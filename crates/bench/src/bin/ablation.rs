@@ -1,0 +1,105 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! 1. **k sweep beyond {1,2,4}** — where does the overlap benefit stop
+//!    paying for threading overhead? (The paper only tries 1, 2, 4.)
+//! 2. **Numbering locality** — the same euler mesh with generator-order
+//!    vs randomly shuffled node numbering: quantifies how much of the
+//!    strategy's small-P overhead is a property of the dataset, the
+//!    paper's own explanation for the moldyn-10K slowdowns.
+//! 3. **Native backend** — the phased strategy on real host threads vs
+//!    shared-memory atomics and replication, on a no-read-state kernel.
+
+use std::sync::Arc;
+
+use irred::baseline::{atomic_reduction, replicated_reduction, serial_reduction};
+use irred::kernel::WeightedPairKernel;
+use irred::{seq_reduction, PhasedReduction, PhasedSpec};
+use kernels::EulerProblem;
+use repro_bench::{quick, Report, Row, SimConfig, StrategyConfig};
+use workloads::{Distribution, Mesh, MeshPreset};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sweeps = if quick() { 10 } else { 100 };
+    let mut rep = Report::new("Ablations: k sweep, numbering locality, native backend");
+
+    // --- 1. k sweep -----------------------------------------------------
+    let problem = EulerProblem::preset(MeshPreset::Euler2K, 1);
+    let seq = seq_reduction(&problem.spec, sweeps, cfg);
+    for &k in &[1usize, 2, 3, 4, 6, 8] {
+        let strat = StrategyConfig::new(16, k, Distribution::Cyclic, sweeps);
+        let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+        rep.push(Row {
+            dataset: "euler2K@16p".into(),
+            strategy: format!("k{k}"),
+            procs: 16,
+            seconds: r.seconds,
+            speedup: seq.seconds / r.seconds,
+        });
+    }
+    rep.note("k sweep: expect a maximum near k=2 — more phases beyond that add switch/copy cost without more overlap".into());
+
+    // --- 2. numbering locality -------------------------------------------
+    for (name, mesh) in [
+        ("ordered", Mesh::preset(MeshPreset::Euler2K, 3)),
+        ("shuffled", Mesh::preset(MeshPreset::Euler2K, 3).shuffled(3)),
+    ] {
+        let p = EulerProblem::from_mesh(mesh, 3);
+        let seq = seq_reduction(&p.spec, sweeps, cfg);
+        for &procs in &[2usize, 32] {
+            let r = PhasedReduction::run_sim(
+                &p.spec,
+                &StrategyConfig::new(procs, 2, Distribution::Cyclic, sweeps),
+                cfg,
+            );
+            rep.push(Row {
+                dataset: format!("euler2K-{name}"),
+                strategy: "2c".into(),
+                procs,
+                seconds: r.seconds,
+                speedup: seq.seconds / r.seconds,
+            });
+        }
+    }
+    rep.note("numbering: shuffled numbering buffers nearly every reference — the dataset-dependent degradation of §5.4.2".into());
+
+    // --- 3. native backend ------------------------------------------------
+    let n = 100_000usize;
+    let e = 600_000usize;
+    let mut s = 0x5EEDu64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let spec = PhasedSpec {
+        kernel: Arc::new(WeightedPairKernel {
+            weights: Arc::new((0..e).map(|_| (next() % 100) as f64).collect()),
+        }),
+        num_elements: n,
+        indirection: Arc::new(vec![
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        ]),
+    };
+    let native_sweeps = if quick() { 5 } else { 20 };
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let threads = cores.clamp(1, 8).max(2);
+    let (_, serial) = serial_reduction(&spec, native_sweeps);
+    rep.note(format!("native ({threads} threads on {cores} core(s), {native_sweeps} sweeps, {e} iters): serial {serial:?}"));
+    if cores < 2 {
+        rep.note("NOTE: single-core host — native wall-clock speedups are degenerate (threads timeshare one CPU);                   results below check correctness/overhead only. This is precisely why the evaluation uses the                   discrete-event simulator.".into());
+    }
+    let (_, atomic) = atomic_reduction(&spec, threads, native_sweeps);
+    let (_, repl) = replicated_reduction(&spec, threads, native_sweeps);
+    let strat = StrategyConfig::new(threads, 2, Distribution::Cyclic, native_sweeps);
+    let phased = PhasedReduction::run_native(&spec, &strat).expect("native run").wall;
+    rep.note(format!(
+        "native: atomics {atomic:?} ({:.2}x), replication {repl:?} ({:.2}x), phased-EARTH {phased:?} ({:.2}x)",
+        serial.as_secs_f64() / atomic.as_secs_f64(),
+        serial.as_secs_f64() / repl.as_secs_f64(),
+        serial.as_secs_f64() / phased.as_secs_f64(),
+    ));
+    rep.save().expect("write csv");
+}

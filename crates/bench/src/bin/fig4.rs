@@ -1,0 +1,59 @@
+//! Figure 4: parallel performance of `mvm` on NAS CG classes W and A.
+//!
+//! The paper plots execution time for k ∈ {1, 2, 4} over 1–32 processors
+//! (64 for class A) against the sequential time on one i860XP. Expected
+//! shape: near-linear absolute speedups; k = 2 best, k = 4 a close
+//! second, k = 1 measurably worse at scale (7.9–15.3%).
+
+use kernels::MvmProblem;
+use repro_bench::{mvm_sweeps, quick, Report, Row, SimConfig, StrategyConfig};
+use workloads::{CgClass, Distribution};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sweeps = mvm_sweeps();
+    let mut rep = Report::new("Figure 4: mvm class W and class A");
+
+    let classes: &[(CgClass, f64, &[usize])] = &[
+        (CgClass::W, 41.38, &[2, 4, 8, 16, 32]),
+        (CgClass::A, 154.55, &[2, 4, 8, 16, 32, 64]),
+    ];
+
+    for &(class, paper_seq, procs) in classes {
+        let label = format!("mvm-{}", class.label());
+        let problem = MvmProblem::nas_class(class, 1);
+        let (_, seq_cycles) = problem.sequential(sweeps, cfg);
+        let seq_s = cfg.seconds(seq_cycles);
+        rep.seq(&label, seq_s, paper_seq);
+
+        let plist: Vec<usize> = if quick() { vec![2, 32] } else { procs.to_vec() };
+        for &k in &[1usize, 2, 4] {
+            for &p in &plist {
+                let strat = StrategyConfig::new(p, k, Distribution::Block, sweeps);
+                let r = problem.run_sim(&strat, cfg);
+                rep.push(Row {
+                    dataset: label.clone(),
+                    strategy: format!("k{k}"),
+                    procs: p,
+                    seconds: r.seconds,
+                    speedup: seq_s / r.seconds,
+                });
+            }
+        }
+        // Paper's headline comparisons at the largest configuration.
+        let p = *plist.last().unwrap();
+        if let (Some(t1), Some(t2), Some(t4)) = (
+            rep.seconds_of(&label, "k1", p),
+            rep.seconds_of(&label, "k2", p),
+            rep.seconds_of(&label, "k4", p),
+        ) {
+            rep.note(format!(
+                "{label}: at P={p}, k2 beats k1 by {:+.1}% and k4 by {:+.1}% \
+                 (paper: W@32 13.99%/≤4.84%, A@64 15.31%/≤3.48%)",
+                (t1 / t2 - 1.0) * 100.0,
+                (t4 / t2 - 1.0) * 100.0
+            ));
+        }
+    }
+    rep.save().expect("write csv");
+}

@@ -1,0 +1,57 @@
+//! Figure 5: `mvm` on NAS CG class B.
+//!
+//! Class B (75 000 rows, 13.7 M nonzeros) was too large for the paper's
+//! 1- and 2-node configurations, so it reports **relative speedups
+//! against the best 4-processor version (k = 2)** over 4–64 processors.
+
+use kernels::MvmProblem;
+use repro_bench::{mvm_sweeps, quick, Report, Row, SimConfig, StrategyConfig};
+use workloads::{CgClass, Distribution};
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sweeps = if quick() { 3 } else { mvm_sweeps().min(20) };
+    let mut rep = Report::new("Figure 5: mvm class B");
+    let label = "mvm-B";
+
+    let problem = MvmProblem::nas_class(CgClass::B, 1);
+    let procs: Vec<usize> = if quick() {
+        vec![4, 16, 64]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    };
+
+    // Baseline: the best 4-processor version (k = 2), as in the paper.
+    let base = problem
+        .run_sim(&StrategyConfig::new(4, 2, Distribution::Block, sweeps), cfg)
+        .seconds;
+    rep.note(format!("baseline: k2 @ 4 procs = {base:.3}s (relative speedup 4.0 by definition)"));
+
+    for &k in &[1usize, 2, 4] {
+        for &p in &procs {
+            let strat = StrategyConfig::new(p, k, Distribution::Block, sweeps);
+            let r = problem.run_sim(&strat, cfg);
+            rep.push(Row {
+                dataset: label.to_string(),
+                strategy: format!("k{k}"),
+                procs: p,
+                seconds: r.seconds,
+                // Relative speedup normalized so the 4-proc baseline = 4.
+                speedup: 4.0 * base / r.seconds,
+            });
+        }
+    }
+
+    if let (Some(t1), Some(t2), Some(t4)) = (
+        rep.seconds_of(label, "k1", 64),
+        rep.seconds_of(label, "k2", 64),
+        rep.seconds_of(label, "k4", 64),
+    ) {
+        rep.note(format!(
+            "at P=64: k2 beats k1 by {:+.1}%, k4 by {:+.1}% (paper's class-B plot shows the same ordering as class A)",
+            (t1 / t2 - 1.0) * 100.0,
+            (t4 / t2 - 1.0) * 100.0
+        ));
+    }
+    rep.save().expect("write csv");
+}

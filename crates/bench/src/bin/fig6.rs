@@ -1,0 +1,60 @@
+//! Figure 6: `euler` on the 2.8K-node and 9.4K-node meshes.
+//!
+//! Strategies 1c / 2c / 4c / 2b over 2–32 processors, 100 time steps,
+//! inspector executed once (outside the timed loop, as in §5.4.1).
+//!
+//! Paper's shape: low 2-processor absolute speedups (1.10–1.24); 2c the
+//! best at scale with relative 2→32 speedups of 9.28 (2K) and 10.36
+//! (10K); 2c beats 1c by 15–30%; block (2b) competitive at P ≤ 4 but
+//! 16–33% behind cyclic at P ≥ 8 from per-phase load imbalance.
+
+use irred::{seq_reduction, PhasedReduction};
+use kernels::EulerProblem;
+use repro_bench::{lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig};
+use workloads::MeshPreset;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sweeps = lhs_sweeps();
+    let mut rep = Report::new("Figure 6: euler 2K and 10K meshes");
+
+    let datasets = [
+        (MeshPreset::Euler2K, 7.84, [7.12, 9.28, 8.49, 6.78]),
+        (MeshPreset::Euler10K, 29.07, [7.62, 10.36, 9.95, 6.94]),
+    ];
+
+    for (preset, paper_seq, paper_rel) in datasets {
+        let label = preset.label().to_string();
+        let problem = EulerProblem::preset(preset, 1);
+        let seq = seq_reduction(&problem.spec, sweeps, cfg);
+        rep.seq(&label, seq.seconds, paper_seq);
+
+        for (si, &(k, dist, name)) in paper_strategies().iter().enumerate() {
+            for &p in &lhs_procs() {
+                let strat = StrategyConfig::new(p, k, dist, sweeps);
+                let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+                rep.push(Row {
+                    dataset: label.clone(),
+                    strategy: name.to_string(),
+                    procs: p,
+                    seconds: r.seconds,
+                    speedup: seq.seconds / r.seconds,
+                });
+            }
+            if let Some(rel) = rep.relative(&label, name, 2, 32) {
+                rep.note(format!(
+                    "{label} {name}: relative speedup 2→32 = {rel:.2} (paper {:.2})",
+                    paper_rel[si]
+                ));
+            }
+        }
+        // Block-vs-cyclic gap at scale (paper: 33% at 32 procs on 2K).
+        if let (Some(c), Some(b)) = (rep.seconds_of(&label, "2c", 32), rep.seconds_of(&label, "2b", 32)) {
+            rep.note(format!(
+                "{label}: cyclic beats block at P=32 by {:+.1}% (paper: 33% on the 2K mesh)",
+                (b / c - 1.0) * 100.0
+            ));
+        }
+    }
+    rep.save().expect("write csv");
+}

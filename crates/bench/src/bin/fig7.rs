@@ -1,0 +1,54 @@
+//! Figure 7: `moldyn` on the 2 916- and 10 976-molecule datasets.
+//!
+//! Strategies 1c / 2c / 4c / 2b over 2–32 processors, 100 time steps.
+//!
+//! Paper's shape: on the 2K dataset, 2-processor speedups of 1.11–1.30
+//! with 1c best at P = 2 (fewer phases → less copying) and 2c best at
+//! scale (relative 2→32 = 9.70); on the 10K dataset, 2-processor
+//! *slowdowns* (0.56–0.82 — locality loss) but good relative speedups
+//! (2c: 10.76), with 4c occasionally edging 2c thanks to load-imbalance
+//! tolerance.
+
+use irred::{seq_reduction, PhasedReduction};
+use kernels::MolDynProblem;
+use repro_bench::{lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig};
+use workloads::MolDynPreset;
+
+fn main() {
+    let cfg = SimConfig::default();
+    let sweeps = lhs_sweeps();
+    let mut rep = Report::new("Figure 7: moldyn 2K and 10K datasets");
+
+    let datasets = [
+        (MolDynPreset::MolDyn2K, 10.80, [7.50, 9.70, 8.70, 6.50]),
+        (MolDynPreset::MolDyn10K, 28.98, [8.42, 10.76, 10.51, 9.15]),
+    ];
+
+    for (preset, paper_seq, paper_rel) in datasets {
+        let label = preset.label().to_string();
+        let problem = MolDynProblem::preset(preset);
+        let seq = seq_reduction(&problem.spec, sweeps, cfg);
+        rep.seq(&label, seq.seconds, paper_seq);
+
+        for (si, &(k, dist, name)) in paper_strategies().iter().enumerate() {
+            for &p in &lhs_procs() {
+                let strat = StrategyConfig::new(p, k, dist, sweeps);
+                let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+                rep.push(Row {
+                    dataset: label.clone(),
+                    strategy: name.to_string(),
+                    procs: p,
+                    seconds: r.seconds,
+                    speedup: seq.seconds / r.seconds,
+                });
+            }
+            if let Some(rel) = rep.relative(&label, name, 2, 32) {
+                rep.note(format!(
+                    "{label} {name}: relative speedup 2→32 = {rel:.2} (paper {:.2})",
+                    paper_rel[si]
+                ));
+            }
+        }
+    }
+    rep.save().expect("write csv");
+}

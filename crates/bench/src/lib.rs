@@ -1,0 +1,207 @@
+//! # repro-bench — the reproduction harness
+//!
+//! One binary per figure of the paper's evaluation section:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4` | `mvm` on classes W and A (exec time & speedups, k ∈ {1,2,4}) |
+//! | `fig5` | `mvm` on class B (relative speedups vs best 4-proc version) |
+//! | `fig6` | `euler` on both meshes, strategies 1c/2c/4c/2b |
+//! | `fig7` | `moldyn` on both datasets, strategies 1c/2c/4c/2b |
+//! | `baseline_compare` | the §5.4.3 discussion: phased vs classic inspector/executor |
+//! | `adaptive` | the paper's future work: incremental LightInspector under churn |
+//! | `ablation` | k sweep, numbering-locality sensitivity, native backend |
+//!
+//! Every binary prints a table with the paper's corresponding numbers
+//! alongside, and appends machine-readable CSV under `bench_results/`.
+//!
+//! Environment knobs: `REPRO_SWEEPS` overrides the sweep count
+//! (default: 100 time steps for euler/moldyn, 50 products for mvm);
+//! `REPRO_QUICK=1` shrinks everything for smoke-testing.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+pub use earth_model::sim::SimConfig;
+pub use irred::StrategyConfig;
+pub use workloads::Distribution;
+
+/// Sweep count for the LHS kernels (euler/moldyn), honoring the env knobs.
+pub fn lhs_sweeps() -> usize {
+    sweeps_or(100)
+}
+
+/// Sweep count for mvm.
+pub fn mvm_sweeps() -> usize {
+    sweeps_or(50)
+}
+
+fn sweeps_or(default: usize) -> usize {
+    if let Ok(s) = std::env::var("REPRO_SWEEPS") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    if quick() {
+        default / 10
+    } else {
+        default
+    }
+}
+
+/// Whether `REPRO_QUICK` smoke mode is on.
+pub fn quick() -> bool {
+    std::env::var("REPRO_QUICK").map_or(false, |v| v == "1")
+}
+
+/// Processor counts used by the paper for the LHS kernels.
+pub fn lhs_procs() -> Vec<usize> {
+    if quick() {
+        vec![2, 8, 32]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub dataset: String,
+    pub strategy: String,
+    pub procs: usize,
+    pub seconds: f64,
+    /// Absolute speedup vs the metered sequential run.
+    pub speedup: f64,
+}
+
+/// Collects rows, prints the table, and writes the CSV.
+pub struct Report {
+    title: String,
+    rows: Vec<Row>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(title: &str) -> Self {
+        println!("=== {title} ===");
+        Report {
+            title: title.to_string(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: Row) {
+        println!(
+            "  {:<22} {:<4} P={:<3} {:>9.3}s  speedup {:>6.2}",
+            row.dataset, row.strategy, row.procs, row.seconds, row.speedup
+        );
+        self.rows.push(row);
+    }
+
+    pub fn seq(&mut self, dataset: &str, seconds: f64, paper_seconds: f64) {
+        println!("  {dataset:<22} sequential {seconds:>9.3}s   (paper: {paper_seconds}s)");
+        self.rows.push(Row {
+            dataset: dataset.to_string(),
+            strategy: "seq".to_string(),
+            procs: 1,
+            seconds,
+            speedup: 1.0,
+        });
+    }
+
+    /// A free-form comparison line, echoed and kept in the CSV as a comment.
+    pub fn note(&mut self, text: String) {
+        println!("  {text}");
+        self.notes.push(text);
+    }
+
+    /// Seconds of one recorded configuration.
+    pub fn seconds_of(&self, dataset: &str, strategy: &str, procs: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.dataset == dataset && r.strategy == strategy && r.procs == procs)
+            .map(|r| r.seconds)
+    }
+
+    /// Relative speedup between two of this report's configurations.
+    pub fn relative(&self, dataset: &str, strategy: &str, from: usize, to: usize) -> Option<f64> {
+        let find = |p: usize| {
+            self.rows
+                .iter()
+                .find(|r| r.dataset == dataset && r.strategy == strategy && r.procs == p)
+                .map(|r| r.seconds)
+        };
+        Some(find(from)? / find(to)?)
+    }
+
+    /// Write `bench_results/<slug>.csv`.
+    pub fn save(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all("bench_results")?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let mut out = String::new();
+        writeln!(out, "dataset,strategy,procs,seconds,speedup").unwrap();
+        for r in &self.rows {
+            writeln!(
+                out,
+                "{},{},{},{:.6},{:.4}",
+                r.dataset, r.strategy, r.procs, r.seconds, r.speedup
+            )
+            .unwrap();
+        }
+        for n in &self.notes {
+            writeln!(out, "# {n}").unwrap();
+        }
+        let mut f = std::fs::File::create(format!("bench_results/{slug}.csv"))?;
+        f.write_all(out.as_bytes())
+    }
+}
+
+/// The four strategies of §5.4.1, in the paper's order.
+pub fn paper_strategies() -> Vec<(usize, Distribution, &'static str)> {
+    vec![
+        (1, Distribution::Cyclic, "1c"),
+        (2, Distribution::Cyclic, "2c"),
+        (4, Distribution::Cyclic, "4c"),
+        (2, Distribution::Block, "2b"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_speedup_lookup() {
+        let mut rep = Report::new("t");
+        rep.push(Row {
+            dataset: "d".into(),
+            strategy: "2c".into(),
+            procs: 2,
+            seconds: 10.0,
+            speedup: 1.2,
+        });
+        rep.push(Row {
+            dataset: "d".into(),
+            strategy: "2c".into(),
+            procs: 32,
+            seconds: 1.0,
+            speedup: 12.0,
+        });
+        assert_eq!(rep.relative("d", "2c", 2, 32), Some(10.0));
+        assert_eq!(rep.relative("d", "1c", 2, 32), None);
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        // Without env overrides, paper defaults hold.
+        if std::env::var("REPRO_SWEEPS").is_err() && !quick() {
+            assert_eq!(lhs_sweeps(), 100);
+            assert_eq!(mvm_sweeps(), 50);
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! Native backend: one OS thread per EARTH node.
+//!
+//! This backend emulates EARTH on the host SMP the way the paper notes
+//! EARTH was emulated on off-the-shelf multiprocessors: sync slots are
+//! atomic counters, the per-node ready queue is a channel the node's
+//! thread blocks on, and split-phase operations are applied when the
+//! issuing fiber ends (the SU role is folded into the sender — "gradually
+//! replace stock components with specially designed hardware" in the
+//! other direction).
+//!
+//! Accounting methods of [`FiberCtx`] are no-ops here and compile away,
+//! so native runs measure real wall-clock behaviour.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
+use crate::stats::{NodeStats, OpCounts, RunStats};
+use crate::value::Value;
+
+/// Error from a native run.
+#[derive(Debug)]
+pub enum RunError {
+    /// A node thread panicked while executing a fiber.
+    NodePanicked { node: usize },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NodePanicked { node } => write!(f, "node {node} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Result of [`run_native`]: final node states plus statistics.
+#[derive(Debug)]
+pub struct NativeReport<S> {
+    /// Final node states, in node order.
+    pub states: Vec<S>,
+    pub stats: RunStats,
+    /// Wall-clock duration of the parallel section (threads running).
+    pub wall: Duration,
+}
+
+enum NodeMsg<S> {
+    Ready(SlotId),
+    Spawn(SlotId, FiberSpec<S, NativeCtx<S>>),
+    /// GET_SYNC request: evaluate against this node's state and reply.
+    Get {
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        reply_to: usize,
+        key: u64,
+        slot: SlotId,
+    },
+    Shutdown,
+}
+
+struct NodeShared {
+    counts: Vec<AtomicI64>,
+    resets: Vec<AtomicI64>,
+    next_dyn: AtomicUsize,
+    mailbox: Mutex<HashMap<u64, std::collections::VecDeque<Value>>>,
+}
+
+struct Shared<S> {
+    nodes: Vec<NodeShared>,
+    senders: Vec<Sender<NodeMsg<S>>>,
+    /// Ready notifications queued or executing. When it drops to zero the
+    /// machine is quiescent (nothing left that could generate work).
+    outstanding: AtomicI64,
+    syncs: AtomicU64,
+    messages: AtomicU64,
+    local_messages: AtomicU64,
+    bytes: AtomicU64,
+    spawns: AtomicU64,
+}
+
+impl<S> Shared<S> {
+    /// Decrement slot `slot` on `node`; enqueue the fiber when it reaches
+    /// zero, re-arming repeating fibers.
+    fn dec(&self, node: usize, slot: SlotId) {
+        let ns = &self.nodes[node];
+        let old = ns.counts[slot as usize].fetch_sub(1, Ordering::AcqRel);
+        if old == 1 {
+            let reset = ns.resets[slot as usize].load(Ordering::Acquire);
+            if reset > 0 {
+                // fetch_add (not store) so decrements that raced past zero
+                // are preserved in the re-armed count.
+                ns.counts[slot as usize].fetch_add(reset, Ordering::AcqRel);
+            }
+            self.make_ready(node, slot);
+        }
+    }
+
+    fn make_ready(&self, node: usize, slot: SlotId) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        // Send can only fail after shutdown, which cannot happen while
+        // outstanding > 0.
+        let _ = self.senders[node].send(NodeMsg::Ready(slot));
+    }
+
+    /// Called when a fiber finishes; returns true if the machine became
+    /// quiescent and this caller must broadcast shutdown.
+    fn finish_one(&self) -> bool {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    fn broadcast_shutdown(&self) {
+        for tx in &self.senders {
+            let _ = tx.send(NodeMsg::Shutdown);
+        }
+    }
+}
+
+/// The [`FiberCtx`] implementation for the native backend.
+pub struct NativeCtx<S> {
+    node: usize,
+    num_nodes: usize,
+    shared: Arc<Shared<S>>,
+    ops: Vec<PendingOp<S>>,
+}
+
+enum PendingOp<S> {
+    Sync { node: usize, slot: SlotId },
+    Data { node: usize, key: u64, value: Value, slot: SlotId },
+    Spawn { node: usize, idx: SlotId, spec: FiberSpec<S, NativeCtx<S>> },
+    Get {
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        key: u64,
+        slot: SlotId,
+    },
+}
+
+impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn sync(&mut self, node: usize, slot: SlotId) {
+        self.ops.push(PendingOp::Sync { node, slot });
+    }
+
+    fn data_sync(&mut self, node: usize, key: u64, value: Value, slot: SlotId) {
+        self.ops.push(PendingOp::Data {
+            node,
+            key,
+            value,
+            slot,
+        });
+    }
+
+    fn recv(&mut self, key: u64) -> Option<Value> {
+        let mut mb = self.shared.nodes[self.node].mailbox.lock();
+        let q = mb.get_mut(&key)?;
+        let v = q.pop_front();
+        if q.is_empty() {
+            mb.remove(&key);
+        }
+        v
+    }
+
+    fn spawn(&mut self, node: usize, spec: FiberSpec<S, Self>) -> SlotId {
+        let ns = &self.shared.nodes[node];
+        let idx = ns.next_dyn.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            idx < ns.counts.len(),
+            "node {node} exceeded its dynamic fiber capacity ({}): call reserve_dynamic",
+            ns.counts.len()
+        );
+        // Publish the counter before the spawn message so syncs racing
+        // ahead of registration still find a live count.
+        ns.counts[idx].store(spec.sync_count as i64, Ordering::Release);
+        ns.resets[idx].store(spec.reset.map_or(0, |r| r as i64), Ordering::Release);
+        self.ops.push(PendingOp::Spawn {
+            node,
+            idx: idx as SlotId,
+            spec,
+        });
+        idx as SlotId
+    }
+
+    fn get_sync(
+        &mut self,
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        key: u64,
+        slot: SlotId,
+    ) {
+        self.ops.push(PendingOp::Get {
+            node,
+            extract,
+            key,
+            slot,
+        });
+    }
+}
+
+fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec<PendingOp<S>>) {
+    for op in ops {
+        match op {
+            PendingOp::Sync { node, slot } => {
+                shared.syncs.fetch_add(1, Ordering::Relaxed);
+                shared.dec(node, slot);
+            }
+            PendingOp::Data {
+                node,
+                key,
+                value,
+                slot,
+            } => {
+                shared.messages.fetch_add(1, Ordering::Relaxed);
+                shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
+                {
+                    let mut mb = shared.nodes[node].mailbox.lock();
+                    mb.entry(key).or_default().push_back(value);
+                }
+                shared.dec(node, slot);
+            }
+            PendingOp::Spawn { node, idx, spec } => {
+                shared.spawns.fetch_add(1, Ordering::Relaxed);
+                let ready_now = spec.sync_count == 0;
+                let _ = shared.senders[node].send(NodeMsg::Spawn(idx, spec));
+                if ready_now {
+                    shared.make_ready(node, idx);
+                }
+            }
+            PendingOp::Get {
+                node,
+                extract,
+                key,
+                slot,
+            } => {
+                // Counted like a ready item so shutdown waits for the
+                // round trip to complete.
+                shared.outstanding.fetch_add(1, Ordering::AcqRel);
+                let reply_to = op_src;
+                let _ = shared.senders[node].send(NodeMsg::Get {
+                    extract,
+                    reply_to,
+                    key,
+                    slot,
+                });
+            }
+        }
+    }
+}
+
+/// Execute `prog` with one OS thread per node. Returns when the machine
+/// is quiescent (no ready fibers anywhere and none running).
+pub fn run_native<S: Send + 'static>(
+    prog: MachineProgram<S, NativeCtx<S>>,
+) -> Result<NativeReport<S>, RunError> {
+    let num_nodes = prog.num_nodes();
+    let mut senders = Vec::with_capacity(num_nodes);
+    let mut receivers = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let (tx, rx) = unbounded::<NodeMsg<S>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut node_shared = Vec::with_capacity(num_nodes);
+    let mut node_bodies: Vec<Vec<Option<FiberSpec<S, NativeCtx<S>>>>> = Vec::new();
+    let mut node_states = Vec::new();
+    for nb in prog.nodes {
+        let total = nb.fibers.len() + nb.dynamic_capacity;
+        let counts: Vec<AtomicI64> = (0..total).map(|_| AtomicI64::new(0)).collect();
+        let resets: Vec<AtomicI64> = (0..total).map(|_| AtomicI64::new(0)).collect();
+        let mut bodies: Vec<Option<FiberSpec<S, NativeCtx<S>>>> = Vec::with_capacity(total);
+        for (i, f) in nb.fibers.into_iter().enumerate() {
+            counts[i].store(f.sync_count as i64, Ordering::Relaxed);
+            resets[i].store(f.reset.map_or(0, |r| r as i64), Ordering::Relaxed);
+            bodies.push(Some(f));
+        }
+        let static_len = bodies.len();
+        bodies.resize_with(total, || None);
+        node_shared.push(NodeShared {
+            counts,
+            resets,
+            next_dyn: AtomicUsize::new(static_len),
+            mailbox: Mutex::new(HashMap::new()),
+        });
+        node_bodies.push(bodies);
+        node_states.push(nb.state);
+    }
+
+    let shared = Arc::new(Shared {
+        nodes: node_shared,
+        senders,
+        outstanding: AtomicI64::new(0),
+        syncs: AtomicU64::new(0),
+        messages: AtomicU64::new(0),
+        local_messages: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        spawns: AtomicU64::new(0),
+    });
+
+    // Seed initially-ready fibers before any thread starts.
+    let mut any_ready = false;
+    for (n, bodies) in node_bodies.iter().enumerate() {
+        for (i, b) in bodies.iter().enumerate() {
+            if let Some(spec) = b {
+                if spec.sync_count == 0 {
+                    // Re-arm repeating fibers before their first firing so
+                    // later syncs can trigger them again.
+                    if let Some(r) = spec.reset {
+                        shared.nodes[n].counts[i].store(r as i64, Ordering::Relaxed);
+                    }
+                    shared.make_ready(n, i as SlotId);
+                    any_ready = true;
+                }
+            }
+        }
+    }
+
+    if !any_ready {
+        // Nothing can ever run.
+        let unfired = node_bodies.iter().map(|b| b.iter().flatten().count()).sum::<usize>();
+        return Ok(NativeReport {
+            states: node_states,
+            stats: RunStats {
+                unfired_fibers: unfired as u64,
+                per_node: vec![NodeStats::default(); num_nodes],
+                ..Default::default()
+            },
+            wall: Duration::ZERO,
+        });
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(num_nodes);
+    for (node, (mut bodies, mut state)) in node_bodies
+        .into_iter()
+        .zip(node_states.into_iter())
+        .enumerate()
+    {
+        let rx: Receiver<NodeMsg<S>> = receivers[node].clone();
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let mut fired_per_fiber = vec![0u64; bodies.len()];
+            let mut pending_ready: Vec<SlotId> = Vec::new();
+            let mut fired = 0u64;
+            loop {
+                let msg = match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                };
+                match msg {
+                    NodeMsg::Shutdown => break,
+                    NodeMsg::Get {
+                        extract,
+                        reply_to,
+                        key,
+                        slot,
+                    } => {
+                        // The node's SU role: service the remote read
+                        // against local state, reply, then retire the
+                        // outstanding item.
+                        let value = extract(&state);
+                        shared.messages.fetch_add(1, Ordering::Relaxed);
+                        shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
+                        {
+                            let mut mb = shared.nodes[reply_to].mailbox.lock();
+                            mb.entry(key).or_default().push_back(value);
+                        }
+                        shared.dec(reply_to, slot);
+                        if shared.finish_one() {
+                            shared.broadcast_shutdown();
+                        }
+                    }
+                    NodeMsg::Spawn(idx, spec) => {
+                        if bodies.len() <= idx as usize {
+                            bodies.resize_with(idx as usize + 1, || None);
+                            fired_per_fiber.resize(idx as usize + 1, 0);
+                        }
+                        bodies[idx as usize] = Some(spec);
+                        if let Some(pos) = pending_ready.iter().position(|&p| p == idx) {
+                            pending_ready.swap_remove(pos);
+                            run_one(
+                                node,
+                                idx,
+                                &mut bodies,
+                                &mut state,
+                                &shared,
+                                &mut fired,
+                                &mut fired_per_fiber,
+                            );
+                        }
+                    }
+                    NodeMsg::Ready(idx) => {
+                        if bodies.get(idx as usize).map_or(true, |b| b.is_none()) {
+                            // Spawn message not yet processed; defer.
+                            pending_ready.push(idx);
+                            continue;
+                        }
+                        run_one(
+                            node,
+                            idx,
+                            &mut bodies,
+                            &mut state,
+                            &shared,
+                            &mut fired,
+                            &mut fired_per_fiber,
+                        );
+                    }
+                }
+            }
+            let never_fired = bodies
+                .iter()
+                .zip(fired_per_fiber.iter())
+                .filter(|(b, &f)| b.is_some() && f == 0)
+                .count() as u64;
+            (state, fired, never_fired)
+        }));
+    }
+
+    fn run_one<S: Send + 'static>(
+        node: usize,
+        idx: SlotId,
+        bodies: &mut [Option<FiberSpec<S, NativeCtx<S>>>],
+        state: &mut S,
+        shared: &Arc<Shared<S>>,
+        fired: &mut u64,
+        fired_per_fiber: &mut [u64],
+    ) {
+        // Take the body out so the fiber may (indirectly) reference the
+        // body table through spawns without aliasing.
+        let mut spec = bodies[idx as usize].take().expect("ready fiber has a body");
+        let mut ctx = NativeCtx {
+            node,
+            num_nodes: shared.nodes.len(),
+            shared: Arc::clone(shared),
+            ops: Vec::new(),
+        };
+        (spec.body)(state, &mut ctx);
+        bodies[idx as usize] = Some(spec);
+        *fired += 1;
+        fired_per_fiber[idx as usize] += 1;
+        let ops = std::mem::take(&mut ctx.ops);
+        apply_ops(shared, node, ops);
+        if shared.finish_one() {
+            shared.broadcast_shutdown();
+        }
+    }
+
+    let mut states = Vec::with_capacity(num_nodes);
+    let mut per_node = Vec::with_capacity(num_nodes);
+    let mut total_fired = 0u64;
+    let mut unfired = 0u64;
+    let mut panicked = None;
+    for (node, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok((s, fired, never)) => {
+                states.push(s);
+                total_fired += fired;
+                unfired += never;
+                per_node.push(NodeStats {
+                    fibers_fired: fired,
+                    ..Default::default()
+                });
+            }
+            Err(_) => {
+                panicked = Some(node);
+                break;
+            }
+        }
+    }
+    let wall = start.elapsed();
+    if let Some(node) = panicked {
+        return Err(RunError::NodePanicked { node });
+    }
+
+    let messages = shared.messages.load(Ordering::Relaxed);
+    Ok(NativeReport {
+        states,
+        stats: RunStats {
+            ops: OpCounts {
+                fibers_fired: total_fired,
+                syncs: shared.syncs.load(Ordering::Relaxed),
+                messages,
+                bytes: shared.bytes.load(Ordering::Relaxed),
+                local_messages: shared.local_messages.load(Ordering::Relaxed),
+                spawns: shared.spawns.load(Ordering::Relaxed),
+            },
+            unfired_fibers: unfired,
+            per_node,
+        },
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FiberSpec;
+    use crate::value::mailbox_key;
+
+    type Prog<S> = MachineProgram<S, NativeCtx<S>>;
+
+    #[test]
+    fn single_ready_fiber_runs() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        let n = prog.add_node(0);
+        prog.node_mut(n)
+            .add_fiber(FiberSpec::ready("inc", |s, _cx| *s += 1));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 1);
+        assert_eq!(r.stats.ops.fibers_fired, 1);
+        assert_eq!(r.stats.unfired_fibers, 0);
+    }
+
+    #[test]
+    fn sync_chain_across_nodes() {
+        // node 0 fiber syncs node 1's fiber, which syncs node 2's.
+        let mut prog: Prog<u32> = MachineProgram::new();
+        for _ in 0..3 {
+            prog.add_node(0);
+        }
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |s, cx: &mut NativeCtx<u32>| {
+                *s = 10;
+                cx.sync(1, 0);
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("b", 1, |s, cx: &mut NativeCtx<u32>| {
+                *s = 20;
+                cx.sync(2, 0);
+            }));
+        prog.node_mut(2)
+            .add_fiber(FiberSpec::new("c", 1, |s, _cx| *s = 30));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states, vec![10, 20, 30]);
+        assert_eq!(r.stats.ops.syncs, 2);
+    }
+
+    #[test]
+    fn data_sync_delivers_payload() {
+        let mut prog: Prog<Vec<f64>> = MachineProgram::new();
+        prog.add_node(vec![1.0, 2.0, 3.0]);
+        prog.add_node(Vec::new());
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("send", |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
+                cx.data_sync(1, mailbox_key(1, 0), Value::from(s.clone()), 0);
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("recv", 1, |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
+                let v = cx.recv(mailbox_key(1, 0)).expect("payload present");
+                *s = v.expect_f64s().to_vec();
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.stats.ops.messages, 1);
+        assert_eq!(r.stats.ops.bytes, 24);
+    }
+
+    #[test]
+    fn fan_in_sync_count() {
+        // One fiber waits for syncs from 4 producers.
+        const P: usize = 4;
+        let mut prog: Prog<u64> = MachineProgram::new();
+        for _ in 0..P + 1 {
+            prog.add_node(0);
+        }
+        for p in 0..P {
+            prog.node_mut(p)
+                .add_fiber(FiberSpec::ready("producer", move |_s, cx: &mut NativeCtx<u64>| {
+                    cx.data_sync(P, mailbox_key(9, 0), Value::Scalar(1.0), 0);
+                }));
+        }
+        prog.node_mut(P)
+            .add_fiber(FiberSpec::new("consumer", P as u32, move |s, cx: &mut NativeCtx<u64>| {
+                while let Some(v) = cx.recv(mailbox_key(9, 0)) {
+                    *s += v.expect_scalar() as u64;
+                }
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[P], P as u64);
+    }
+
+    #[test]
+    fn repeating_fiber_fires_multiple_times() {
+        // A ping-pong between two repeating fibers, 5 rounds.
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::repeating("ping", 0, 1, |s, cx: &mut NativeCtx<u32>| {
+                *s += 1;
+                if *s < 5 {
+                    cx.sync(1, 0);
+                }
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::repeating("pong", 1, 1, |s, cx: &mut NativeCtx<u32>| {
+                *s += 1;
+                cx.sync(0, 0);
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 5);
+        assert_eq!(r.states[1], 4);
+    }
+
+    #[test]
+    fn dynamic_spawn_runs_on_remote_node() {
+        let mut prog: Prog<i64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(1).reserve_dynamic(1);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("invoker", |_s, cx: &mut NativeCtx<i64>| {
+                cx.spawn(1, FiberSpec::ready("worker", |s: &mut i64, _cx| *s = 42));
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[1], 42);
+        assert_eq!(r.stats.ops.spawns, 1);
+    }
+
+    #[test]
+    fn spawned_fiber_with_pending_syncs() {
+        // The spawner also syncs the spawned fiber (count 2: one sync from
+        // each of two nodes). Exercises the publish-before-send path.
+        let mut prog: Prog<i64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(2).reserve_dynamic(1);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("spawner", |_s, cx: &mut NativeCtx<i64>| {
+                let slot = cx.spawn(2, FiberSpec::new("gated", 2, |s: &mut i64, _cx| *s = 7));
+                cx.sync(2, slot);
+                cx.sync(1, 0); // tell node 1 to send the second sync
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("second", 1, |_s, cx: &mut NativeCtx<i64>| {
+                // The dynamic fiber is the first dynamic slot on node 2,
+                // i.e. index = #static fibers there = 0.
+                cx.sync(2, 0);
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[2], 7);
+    }
+
+    #[test]
+    fn get_sync_round_trip_native() {
+        let mut prog: Prog<f64> = MachineProgram::new();
+        prog.add_node(0.0);
+        prog.add_node(21.0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut NativeCtx<f64>| {
+                cx.get_sync(1, Box::new(|s: &f64| Value::Scalar(*s)), 9, 1);
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("use", 1, |s: &mut f64, cx: &mut NativeCtx<f64>| {
+                *s = cx.recv(9).unwrap().expect_scalar() * 2.0;
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 42.0);
+        assert_eq!(r.states[1], 21.0, "remote state untouched");
+    }
+
+    #[test]
+    fn get_sync_chain_native() {
+        // A chain of gets: 0 reads 1, then 0 reads 2, accumulating.
+        let mut prog: Prog<i64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(10);
+        prog.add_node(32);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("ask1", |_s, cx: &mut NativeCtx<i64>| {
+                cx.get_sync(1, Box::new(|s: &i64| Value::Int(*s)), 1, 1);
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("ask2", 1, |s: &mut i64, cx: &mut NativeCtx<i64>| {
+                *s += cx.recv(1).unwrap().expect_int();
+                cx.get_sync(2, Box::new(|s: &i64| Value::Int(*s)), 2, 2);
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("sum", 1, |s: &mut i64, cx: &mut NativeCtx<i64>| {
+                *s += cx.recv(2).unwrap().expect_int();
+            }));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 42);
+    }
+
+    #[test]
+    fn unfired_fibers_reported() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0).add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("never", 3, |s, _cx| *s += 100));
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 1);
+        assert_eq!(r.stats.unfired_fibers, 1);
+    }
+
+    #[test]
+    fn empty_program_terminates() {
+        let mut prog: Prog<()> = MachineProgram::new();
+        prog.add_node(());
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.stats.ops.fibers_fired, 0);
+    }
+
+    #[test]
+    fn many_nodes_stress() {
+        // A ring: each node syncs the next; last one flips its state.
+        const N: usize = 16;
+        let mut prog: Prog<u64> = MachineProgram::new();
+        for _ in 0..N {
+            prog.add_node(0);
+        }
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("start", |s, cx: &mut NativeCtx<u64>| {
+                *s = 1;
+                cx.sync(1 % N, 0);
+            }));
+        for n in 1..N {
+            prog.node_mut(n)
+                .add_fiber(FiberSpec::new("hop", 1, move |s, cx: &mut NativeCtx<u64>| {
+                    *s = n as u64 + 1;
+                    if n + 1 < N {
+                        cx.sync(n + 1, 0);
+                    }
+                }));
+        }
+        let r = run_native(prog).unwrap();
+        for (n, s) in r.states.iter().enumerate() {
+            assert_eq!(*s, n as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Backend-independent program representation: nodes, fibers, sync slots.
+
+use crate::value::Value;
+
+/// Identifies a sync slot on a node. Slots are one-per-fiber, so a
+/// `SlotId` is the index the fiber was registered at (the value returned
+/// by [`NodeBuilder::add_fiber`]).
+pub type SlotId = u32;
+
+/// The boxed body of a fiber: runs with exclusive access to the node's
+/// state (the procedure frame) and a backend context for issuing EARTH
+/// operations. `FnMut` because a fiber with a reset count fires many
+/// times.
+pub type FiberBody<S, C> = Box<dyn FnMut(&mut S, &mut C) + Send>;
+
+/// Specification of one fiber.
+pub struct FiberSpec<S, C> {
+    /// Debug/stats label.
+    pub name: &'static str,
+    /// Initial sync-slot count. The fiber becomes ready when the count
+    /// reaches zero; a count of zero makes it ready at start-up.
+    pub sync_count: u32,
+    /// When `Some(r)`, the slot re-arms with count `r` each time it
+    /// fires, so the fiber can fire repeatedly (the standard EARTH idiom
+    /// for loop pipelines). When `None`, the fiber fires at most once.
+    pub reset: Option<u32>,
+    /// The code.
+    pub body: FiberBody<S, C>,
+}
+
+impl<S, C> FiberSpec<S, C> {
+    /// A fiber gated on `sync_count` incoming syncs.
+    pub fn new(
+        name: &'static str,
+        sync_count: u32,
+        body: impl FnMut(&mut S, &mut C) + Send + 'static,
+    ) -> Self {
+        FiberSpec {
+            name,
+            sync_count,
+            reset: None,
+            body: Box::new(body),
+        }
+    }
+
+    /// A fiber that is ready immediately.
+    pub fn ready(name: &'static str, body: impl FnMut(&mut S, &mut C) + Send + 'static) -> Self {
+        Self::new(name, 0, body)
+    }
+
+    /// A repeating fiber: fires when the count reaches zero, then re-arms
+    /// with `reset`.
+    pub fn repeating(
+        name: &'static str,
+        sync_count: u32,
+        reset: u32,
+        body: impl FnMut(&mut S, &mut C) + Send + 'static,
+    ) -> Self {
+        FiberSpec {
+            name,
+            sync_count,
+            reset: Some(reset),
+            body: Box::new(body),
+        }
+    }
+}
+
+impl<S, C> std::fmt::Debug for FiberSpec<S, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FiberSpec")
+            .field("name", &self.name)
+            .field("sync_count", &self.sync_count)
+            .field("reset", &self.reset)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One node of the machine: its procedure frame (`state`) and the fibers
+/// registered on it.
+pub struct NodeBuilder<S, C> {
+    pub state: S,
+    pub(crate) fibers: Vec<FiberSpec<S, C>>,
+    /// How many dynamically spawned fibers this node must be able to
+    /// host (pre-sized so sync counters exist before the spawn lands).
+    pub(crate) dynamic_capacity: usize,
+}
+
+impl<S, C> NodeBuilder<S, C> {
+    /// Register a fiber; returns its [`SlotId`] (used as the sync target).
+    pub fn add_fiber(&mut self, spec: FiberSpec<S, C>) -> SlotId {
+        let id = self.fibers.len() as SlotId;
+        self.fibers.push(spec);
+        id
+    }
+
+    /// Reserve capacity for fibers spawned at run time via
+    /// [`FiberCtx::spawn`]. Defaults to zero.
+    pub fn reserve_dynamic(&mut self, n: usize) {
+        self.dynamic_capacity = self.dynamic_capacity.max(n);
+    }
+
+    pub fn num_fibers(&self) -> usize {
+        self.fibers.len()
+    }
+}
+
+/// A whole-machine program: one [`NodeBuilder`] per node. Generic over
+/// the node state `S` and the backend context `C` the fiber bodies will
+/// receive ([`crate::native::NativeCtx`] or [`crate::sim::SimCtx`]).
+pub struct MachineProgram<S, C> {
+    pub(crate) nodes: Vec<NodeBuilder<S, C>>,
+}
+
+impl<S, C> Default for MachineProgram<S, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S, C> MachineProgram<S, C> {
+    pub fn new() -> Self {
+        MachineProgram { nodes: Vec::new() }
+    }
+
+    /// Add a node with the given initial state; returns its node id.
+    pub fn add_node(&mut self, state: S) -> usize {
+        self.nodes.push(NodeBuilder {
+            state,
+            fibers: Vec::new(),
+            dynamic_capacity: 0,
+        });
+        self.nodes.len() - 1
+    }
+
+    pub fn node_mut(&mut self, node: usize) -> &mut NodeBuilder<S, C> {
+        &mut self.nodes[node]
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total statically registered fibers across all nodes.
+    pub fn num_fibers(&self) -> usize {
+        self.nodes.iter().map(|n| n.fibers.len()).sum()
+    }
+}
+
+/// The handle through which a fiber body issues EARTH operations.
+///
+/// All operations are **split-phase**: they are buffered while the fiber
+/// runs and take effect when it ends (a non-preemptive fiber cannot
+/// observe its own operations' results — the consumer of a long-latency
+/// operation must be a different fiber, exactly as the paper describes).
+///
+/// The accounting methods ([`charge`](FiberCtx::charge),
+/// [`load`](FiberCtx::load), [`store`](FiberCtx::store),
+/// [`flops`](FiberCtx::flops)) are no-ops on the native backend and
+/// compile away; the simulator maps them to cycles through its cost
+/// model.
+pub trait FiberCtx<S>: Sized {
+    /// Id of the node this fiber runs on.
+    fn node_id(&self) -> usize;
+
+    /// Number of nodes in the machine.
+    fn num_nodes(&self) -> usize;
+
+    /// `SYNC`: decrement the sync slot `slot` on `node` (local or remote).
+    fn sync(&mut self, node: usize, slot: SlotId);
+
+    /// `DATA_SYNC` / `BLKMOV`: deposit `value` in `node`'s mailbox under
+    /// `key`, then decrement `slot` there. The receiving fiber picks the
+    /// payload up with [`recv`](FiberCtx::recv).
+    fn data_sync(&mut self, node: usize, key: u64, value: Value, slot: SlotId);
+
+    /// Take one message deposited under `key` in this node's mailbox.
+    /// Messages with the same key queue in arrival order.
+    fn recv(&mut self, key: u64) -> Option<Value>;
+
+    /// `INVOKE`: instantiate a new fiber on `node` at run time. The
+    /// target node must have reserved capacity via
+    /// [`NodeBuilder::reserve_dynamic`]. Returns the new fiber's slot id.
+    fn spawn(&mut self, node: usize, spec: FiberSpec<S, Self>) -> SlotId;
+
+    /// `GET_SYNC`: split-phase remote read. The remote node's SU
+    /// evaluates `extract` against that node's state (without involving
+    /// its EU — the paper's "SU also handles communication"), deposits
+    /// the result in *this* node's mailbox under `key`, and decrements
+    /// `slot` here. The round trip pays network latency both ways on the
+    /// simulator.
+    fn get_sync(
+        &mut self,
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        key: u64,
+        slot: SlotId,
+    );
+
+    /// Charge `cycles` of pure computation to this fiber (sim only).
+    #[inline]
+    fn charge(&mut self, _cycles: u64) {}
+
+    /// Charge `n` floating-point operations (sim only).
+    #[inline]
+    fn flops(&mut self, _n: u64) {}
+
+    /// Charge one memory load of `addr` through the cache model (sim only).
+    #[inline]
+    fn load(&mut self, _addr: u64) {}
+
+    /// Charge one memory store of `addr` through the cache model (sim only).
+    #[inline]
+    fn store(&mut self, _addr: u64) {}
+
+    /// Mark `addr`'s cache line warm without charging — models data the
+    /// SU/DMA deposited into memory-then-cache (received portions), whose
+    /// transfer cost is billed separately (sim only).
+    #[inline]
+    fn warm(&mut self, _addr: u64) {}
+
+    /// Cycles charged so far during the current fiber execution.
+    fn charged(&self) -> u64 {
+        0
+    }
+
+    /// Current simulated time in cycles (0 on the native backend).
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// Whether this is the simulating backend (useful to switch between
+    /// metered and plain inner loops).
+    fn is_sim(&self) -> bool {
+        false
+    }
+}
+
+/// Memory-access metering abstraction for hot loops.
+///
+/// Executors write their inner loops once, generic over `Meter`; passing
+/// [`CtxMeter`] yields a fully instrumented loop for the simulator's
+/// measuring sweep, and [`NullMeter`] yields the plain loop (native
+/// execution, or simulator sweeps whose cost is replayed from the
+/// measuring sweep).
+pub trait Meter {
+    fn load(&mut self, addr: u64);
+    fn store(&mut self, addr: u64);
+    fn flops(&mut self, n: u64);
+}
+
+/// The no-op meter: every call compiles away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMeter;
+
+impl Meter for NullMeter {
+    #[inline(always)]
+    fn load(&mut self, _addr: u64) {}
+    #[inline(always)]
+    fn store(&mut self, _addr: u64) {}
+    #[inline(always)]
+    fn flops(&mut self, _n: u64) {}
+}
+
+/// A meter that forwards to a [`FiberCtx`].
+pub struct CtxMeter<'a, S, C: FiberCtx<S>> {
+    pub ctx: &'a mut C,
+    _marker: std::marker::PhantomData<fn(&mut S)>,
+}
+
+impl<'a, S, C: FiberCtx<S>> CtxMeter<'a, S, C> {
+    pub fn new(ctx: &'a mut C) -> Self {
+        CtxMeter {
+            ctx,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, C: FiberCtx<S>> Meter for CtxMeter<'_, S, C> {
+    #[inline]
+    fn load(&mut self, addr: u64) {
+        self.ctx.load(addr);
+    }
+    #[inline]
+    fn store(&mut self, addr: u64) {
+        self.ctx.store(addr);
+    }
+    #[inline]
+    fn flops(&mut self, n: u64) {
+        self.ctx.flops(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut prog: MachineProgram<(), ()> = MachineProgram::new();
+        let n = prog.add_node(());
+        let f0 = prog.node_mut(n).add_fiber(FiberSpec::ready("a", |_, _| {}));
+        let f1 = prog.node_mut(n).add_fiber(FiberSpec::new("b", 2, |_, _| {}));
+        assert_eq!((f0, f1), (0, 1));
+        assert_eq!(prog.num_fibers(), 2);
+        assert_eq!(prog.num_nodes(), 1);
+    }
+
+    #[test]
+    fn fiberspec_constructors() {
+        let s: FiberSpec<(), ()> = FiberSpec::ready("r", |_, _| {});
+        assert_eq!(s.sync_count, 0);
+        assert!(s.reset.is_none());
+        let s = FiberSpec::<(), ()>::repeating("p", 3, 5, |_, _| {});
+        assert_eq!(s.sync_count, 3);
+        assert_eq!(s.reset, Some(5));
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("\"p\""));
+    }
+
+    #[test]
+    fn null_meter_is_inert() {
+        let mut m = NullMeter;
+        m.load(1);
+        m.store(2);
+        m.flops(3);
+    }
+
+    #[test]
+    fn reserve_dynamic_takes_max() {
+        let mut prog: MachineProgram<(), ()> = MachineProgram::new();
+        let n = prog.add_node(());
+        prog.node_mut(n).reserve_dynamic(4);
+        prog.node_mut(n).reserve_dynamic(2);
+        assert_eq!(prog.node_mut(n).dynamic_capacity, 4);
+    }
+}

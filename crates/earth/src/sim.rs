@@ -1,0 +1,1002 @@
+//! Discrete-event simulation backend.
+//!
+//! This is the reproduction's stand-in for the cycle-accurate MANNA
+//! simulator the paper used (§5.2). Each node has an **EU** that executes
+//! one fiber at a time (non-preemptive, charged `fiber_switch_cycles`
+//! plus whatever the body charges through the [`FiberCtx`] accounting
+//! methods) and an **SU** that handles synchronization and communication
+//! concurrently with the EU — the "manna-dual" mode of the paper, where
+//! one i860XP serves as EU and the second as SU. Remote operations pay a
+//! fixed network latency plus a bandwidth term, and each node's outgoing
+//! link serializes its transfers.
+//!
+//! The simulation executes the *real* computation (fiber bodies run and
+//! produce correct values) while time is advanced from the cost model,
+//! so results can be validated against sequential references in the same
+//! run that produces timing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use memsim::{MemConfig, MemModel};
+
+use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
+use crate::stats::{NodeStats, OpCounts, RunStats};
+use crate::value::Value;
+
+/// Cost parameters of the simulated machine.
+///
+/// Defaults approximate a MANNA node: 50 MHz i860XP, 16 KiB 4-way data
+/// cache, crossbar network with ~16 µs end-to-end message latency and
+/// ~50 MB/s per-link bandwidth. `EXPERIMENTS.md` documents the
+/// calibration against the paper's sequential timings.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub mem: MemConfig,
+    /// EU cycles to schedule and enter a fiber, including the phase
+    /// prologue of generated code (portion bookkeeping, loop setup) —
+    /// this is what makes many tiny phases (large `k·P`) more expensive
+    /// than few large ones, the paper's "threading overhead" (§5.3).
+    pub fiber_switch_cycles: u64,
+    /// SU cycles to process one arriving sync/message.
+    pub su_op_cycles: u64,
+    /// Fixed network cycles for any remote operation.
+    pub net_latency_cycles: u64,
+    /// Payload bytes the link moves per cycle.
+    pub bytes_per_cycle: u64,
+    /// Cycles per floating-point operation.
+    pub flop_cycles: u64,
+    /// Clock rate used to convert cycles to seconds in reports.
+    pub clock_hz: u64,
+    /// Extra cycles per iteration of inspector-generated phased loops,
+    /// over the plain sequential loop: the buffer-management and frame
+    /// bookkeeping the EARTH-C compiler emits (calibrated against the
+    /// paper's 2-processor euler/moldyn overheads — see EXPERIMENTS.md).
+    pub phased_iter_overhead_cycles: u64,
+    /// Extra cycles per second-loop copy operation, same source.
+    pub phased_copy_overhead_cycles: u64,
+    /// Record a per-fiber execution trace in the report (off by default;
+    /// costs memory proportional to fibers fired).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mem: MemConfig::i860xp(),
+            fiber_switch_cycles: 300,
+            su_op_cycles: 20,
+            net_latency_cycles: 800,
+            bytes_per_cycle: 1,
+            flop_cycles: 2,
+            clock_hz: 50_000_000,
+            phased_iter_overhead_cycles: 50,
+            phased_copy_overhead_cycles: 16,
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convert a cycle count to seconds at this machine's clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+/// One fiber execution recorded when [`SimConfig::trace`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub node: usize,
+    pub slot: SlotId,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// Result of [`run_sim`].
+#[derive(Debug)]
+pub struct SimReport<S> {
+    pub states: Vec<S>,
+    /// Makespan in simulated cycles.
+    pub time_cycles: u64,
+    /// Makespan in simulated seconds.
+    pub seconds: f64,
+    pub stats: RunStats,
+    /// Fiber executions, in start order (empty unless tracing).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Render a trace as an ASCII Gantt chart, one row per node: `#` where
+/// the EU is busy, `.` where it idles — a quick visual check of how well
+/// communication hides behind computation.
+pub fn render_gantt(trace: &[TraceEvent], num_nodes: usize, total: u64, width: usize) -> String {
+    let mut rows = vec![vec![false; width]; num_nodes];
+    let scale = |t: u64| ((t as u128 * width as u128) / total.max(1) as u128) as usize;
+    for ev in trace {
+        let (a, b) = (scale(ev.start), scale(ev.end).min(width.saturating_sub(1)));
+        for c in a..=b.min(width - 1) {
+            rows[ev.node][c] = true;
+        }
+    }
+    let mut out = String::new();
+    for (n, row) in rows.iter().enumerate() {
+        out.push_str(&format!("node {n:>3} |"));
+        for &busy in row {
+            out.push(if busy { '#' } else { '.' });
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+/// The [`FiberCtx`] implementation for the simulator.
+///
+/// Owned pieces of the executing node (mailbox, memory model) are swapped
+/// in for the duration of one fiber execution so the context type carries
+/// no lifetimes.
+pub struct SimCtx<S> {
+    node: usize,
+    num_nodes: usize,
+    now: u64,
+    charged: u64,
+    flop_cycles: u64,
+    mailbox: HashMap<u64, VecDeque<Value>>,
+    mem: MemModel,
+    next_dyn: Vec<u32>,
+    dyn_cap: Vec<u32>,
+    ops: Vec<SimOp<S>>,
+}
+
+enum SimOp<S> {
+    Sync { node: usize, slot: SlotId },
+    Data { node: usize, key: u64, value: Value, slot: SlotId },
+    Spawn { node: usize, idx: SlotId, spec: FiberSpec<S, SimCtx<S>> },
+    Get {
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        key: u64,
+        slot: SlotId,
+    },
+}
+
+impl<S> FiberCtx<S> for SimCtx<S> {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn sync(&mut self, node: usize, slot: SlotId) {
+        self.ops.push(SimOp::Sync { node, slot });
+    }
+
+    fn data_sync(&mut self, node: usize, key: u64, value: Value, slot: SlotId) {
+        self.ops.push(SimOp::Data {
+            node,
+            key,
+            value,
+            slot,
+        });
+    }
+
+    fn recv(&mut self, key: u64) -> Option<Value> {
+        let q = self.mailbox.get_mut(&key)?;
+        let v = q.pop_front();
+        if q.is_empty() {
+            self.mailbox.remove(&key);
+        }
+        v
+    }
+
+    fn spawn(&mut self, node: usize, spec: FiberSpec<S, Self>) -> SlotId {
+        let idx = self.next_dyn[node];
+        assert!(
+            idx < self.dyn_cap[node],
+            "node {node} exceeded its dynamic fiber capacity: call reserve_dynamic"
+        );
+        self.next_dyn[node] += 1;
+        self.ops.push(SimOp::Spawn { node, idx, spec });
+        idx
+    }
+
+    fn get_sync(
+        &mut self,
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        key: u64,
+        slot: SlotId,
+    ) {
+        self.ops.push(SimOp::Get {
+            node,
+            extract,
+            key,
+            slot,
+        });
+    }
+
+    #[inline]
+    fn charge(&mut self, cycles: u64) {
+        self.charged += cycles;
+    }
+
+    #[inline]
+    fn flops(&mut self, n: u64) {
+        self.charged += n * self.flop_cycles;
+    }
+
+    #[inline]
+    fn load(&mut self, addr: u64) {
+        self.charged += self.mem.read(addr);
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64) {
+        self.charged += self.mem.write(addr);
+    }
+
+    #[inline]
+    fn warm(&mut self, addr: u64) {
+        self.mem.touch(addr);
+    }
+
+    fn charged(&self) -> u64 {
+        self.charged
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn is_sim(&self) -> bool {
+        true
+    }
+}
+
+enum Ev<S> {
+    SyncArrive { node: usize, slot: SlotId },
+    DataArrive { node: usize, key: u64, value: Value, slot: SlotId },
+    SpawnArrive { node: usize, idx: SlotId, spec: FiberSpec<S, SimCtx<S>> },
+    /// A GET_SYNC request reached the remote SU: evaluate and reply.
+    GetArrive {
+        node: usize,
+        extract: Box<dyn FnOnce(&S) -> Value + Send>,
+        reply_to: usize,
+        key: u64,
+        slot: SlotId,
+    },
+    EuIdle { node: usize },
+}
+
+struct HeapEv<S> {
+    time: u64,
+    seq: u64,
+    ev: Ev<S>,
+}
+
+impl<S> PartialEq for HeapEv<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for HeapEv<S> {}
+impl<S> PartialOrd for HeapEv<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for HeapEv<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct SimNode<S> {
+    state: S,
+    bodies: Vec<Option<FiberSpec<S, SimCtx<S>>>>,
+    counts: Vec<i64>,
+    resets: Vec<i64>,
+    static_len: u32,
+    dyn_cap_total: u32,
+    mailbox: HashMap<u64, VecDeque<Value>>,
+    mem: MemModel,
+    ready: VecDeque<SlotId>,
+    /// Slots whose count reached zero before their spawn registered.
+    pending_ready: Vec<SlotId>,
+    eu_busy: bool,
+    out_link_free: u64,
+    stats: NodeStats,
+    fired_per_fiber: Vec<u64>,
+}
+
+/// The simulator.
+struct Sim<S> {
+    cfg: SimConfig,
+    nodes: Vec<SimNode<S>>,
+    next_dyn: Vec<u32>,
+    heap: BinaryHeap<Reverse<HeapEv<S>>>,
+    seq: u64,
+    now: u64,
+    ops: OpCounts,
+    trace: Vec<TraceEvent>,
+}
+
+impl<S> Sim<S> {
+    fn push(&mut self, time: u64, ev: Ev<S>) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEv {
+            time,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Decrement a slot; enqueue its fiber when it hits zero.
+    fn dec(&mut self, node: usize, slot: SlotId, t: u64) {
+        let n = &mut self.nodes[node];
+        let c = &mut n.counts[slot as usize];
+        *c -= 1;
+        if *c == 0 {
+            let reset = n.resets[slot as usize];
+            if reset > 0 {
+                *c += reset;
+            }
+            if n.bodies.get(slot as usize).map_or(true, |b| b.is_none()) {
+                n.pending_ready.push(slot);
+            } else {
+                n.ready.push_back(slot);
+                self.try_start(node, t);
+            }
+        }
+    }
+
+    fn try_start(&mut self, node: usize, t: u64) {
+        if self.nodes[node].eu_busy || self.nodes[node].ready.is_empty() {
+            return;
+        }
+        let slot = self.nodes[node].ready.pop_front().unwrap();
+        self.run_fiber(node, slot, t);
+    }
+
+    fn run_fiber(&mut self, node: usize, slot: SlotId, t: u64) {
+        let num_nodes = self.nodes.len();
+        let dyn_cap: Vec<u32> = self
+            .nodes
+            .iter()
+            .map(|n| n.static_len + n.dyn_cap_total)
+            .collect();
+        let n = &mut self.nodes[node];
+        n.eu_busy = true;
+        let mut spec = n.bodies[slot as usize].take().expect("ready fiber has a body");
+        let mut ctx = SimCtx {
+            node,
+            num_nodes,
+            now: t,
+            charged: 0,
+            flop_cycles: self.cfg.flop_cycles,
+            mailbox: std::mem::take(&mut n.mailbox),
+            mem: std::mem::replace(&mut n.mem, MemModel::new(self.cfg.mem)),
+            next_dyn: std::mem::take(&mut self.next_dyn),
+            dyn_cap,
+            ops: Vec::new(),
+        };
+        (spec.body)(&mut n.state, &mut ctx);
+        n.bodies[slot as usize] = Some(spec);
+        n.fired_per_fiber[slot as usize] += 1;
+        n.mailbox = ctx.mailbox;
+        n.mem = ctx.mem;
+        self.next_dyn = ctx.next_dyn;
+        let exec = self.cfg.fiber_switch_cycles + ctx.charged;
+        let end = t + exec;
+        n.stats.busy_cycles += exec;
+        n.stats.fibers_fired += 1;
+        self.ops.fibers_fired += 1;
+        if self.cfg.trace {
+            self.trace.push(TraceEvent {
+                node,
+                slot,
+                start: t,
+                end,
+            });
+        }
+        self.push(end, Ev::EuIdle { node });
+        // Dispatch the fiber's split-phase operations at its end time.
+        for op in ctx.ops {
+            match op {
+                SimOp::Sync { node: dst, slot } => {
+                    self.ops.syncs += 1;
+                    let arr = if dst == node {
+                        end + self.cfg.su_op_cycles
+                    } else {
+                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
+                    };
+                    self.push(arr, Ev::SyncArrive { node: dst, slot });
+                }
+                SimOp::Data {
+                    node: dst,
+                    key,
+                    value,
+                    slot,
+                } => {
+                    self.ops.messages += 1;
+                    let bytes = value.bytes();
+                    self.ops.bytes += bytes;
+                    let arr = if dst == node {
+                        self.ops.local_messages += 1;
+                        end + self.cfg.su_op_cycles
+                    } else {
+                        let src = &mut self.nodes[node];
+                        let xfer = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
+                        let start = end.max(src.out_link_free);
+                        src.out_link_free = start + xfer;
+                        src.stats.bytes_sent += bytes;
+                        start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
+                    };
+                    self.push(
+                        arr,
+                        Ev::DataArrive {
+                            node: dst,
+                            key,
+                            value,
+                            slot,
+                        },
+                    );
+                }
+                SimOp::Spawn { node: dst, idx, spec } => {
+                    self.ops.spawns += 1;
+                    let arr = if dst == node {
+                        end + self.cfg.su_op_cycles
+                    } else {
+                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
+                    };
+                    self.push(arr, Ev::SpawnArrive { node: dst, idx, spec });
+                }
+                SimOp::Get {
+                    node: dst,
+                    extract,
+                    key,
+                    slot,
+                } => {
+                    // Request leg of the round trip.
+                    let arr = if dst == node {
+                        end + self.cfg.su_op_cycles
+                    } else {
+                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
+                    };
+                    self.push(
+                        arr,
+                        Ev::GetArrive {
+                            node: dst,
+                            extract,
+                            reply_to: node,
+                            key,
+                            slot,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, t: u64, ev: Ev<S>) {
+        self.now = t;
+        match ev {
+            Ev::SyncArrive { node, slot } => self.dec(node, slot, t),
+            Ev::DataArrive {
+                node,
+                key,
+                value,
+                slot,
+            } => {
+                self.nodes[node]
+                    .mailbox
+                    .entry(key)
+                    .or_default()
+                    .push_back(value);
+                self.dec(node, slot, t);
+            }
+            Ev::SpawnArrive { node, idx, spec } => {
+                let n = &mut self.nodes[node];
+                let i = idx as usize;
+                if n.bodies.len() <= i {
+                    n.bodies.resize_with(i + 1, || None);
+                    n.counts.resize(i + 1, 0);
+                    n.resets.resize(i + 1, 0);
+                    n.fired_per_fiber.resize(i + 1, 0);
+                }
+                n.counts[i] = spec.sync_count as i64;
+                n.resets[i] = spec.reset.map_or(0, |r| r as i64);
+                let ready_now = spec.sync_count == 0;
+                n.bodies[i] = Some(spec);
+                if let Some(pos) = n.pending_ready.iter().position(|&p| p == idx) {
+                    n.pending_ready.swap_remove(pos);
+                    n.ready.push_back(idx);
+                }
+                if ready_now {
+                    n.ready.push_back(idx);
+                }
+                self.try_start(node, t);
+            }
+            Ev::GetArrive {
+                node,
+                extract,
+                reply_to,
+                key,
+                slot,
+            } => {
+                // The remote SU evaluates against the node state without
+                // involving its EU, then ships the value back.
+                let value = extract(&self.nodes[node].state);
+                self.ops.messages += 1;
+                let bytes = value.bytes();
+                self.ops.bytes += bytes;
+                let arr = if reply_to == node {
+                    self.ops.local_messages += 1;
+                    t + self.cfg.su_op_cycles
+                } else {
+                    let src = &mut self.nodes[node];
+                    let xfer = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
+                    let start = t.max(src.out_link_free);
+                    src.out_link_free = start + xfer;
+                    src.stats.bytes_sent += bytes;
+                    start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
+                };
+                self.push(
+                    arr,
+                    Ev::DataArrive {
+                        node: reply_to,
+                        key,
+                        value,
+                        slot,
+                    },
+                );
+            }
+            Ev::EuIdle { node } => {
+                self.nodes[node].eu_busy = false;
+                self.try_start(node, t);
+            }
+        }
+    }
+}
+
+/// Execute `prog` on the simulated machine. Deterministic: identical
+/// programs produce identical reports.
+pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimReport<S> {
+    let mut nodes = Vec::with_capacity(prog.num_nodes());
+    for nb in prog.nodes {
+        let n_static = nb.fibers.len();
+        let mut counts = Vec::with_capacity(n_static);
+        let mut resets = Vec::with_capacity(n_static);
+        let mut bodies: Vec<Option<FiberSpec<S, SimCtx<S>>>> = Vec::with_capacity(n_static);
+        for f in nb.fibers {
+            counts.push(f.sync_count as i64);
+            resets.push(f.reset.map_or(0, |r| r as i64));
+            bodies.push(Some(f));
+        }
+        nodes.push(SimNode {
+            state: nb.state,
+            counts,
+            resets,
+            static_len: n_static as u32,
+            dyn_cap_total: nb.dynamic_capacity as u32,
+            fired_per_fiber: vec![0; n_static],
+            bodies,
+            mailbox: HashMap::new(),
+            mem: MemModel::new(cfg.mem),
+            ready: VecDeque::new(),
+            pending_ready: Vec::new(),
+            eu_busy: false,
+            out_link_free: 0,
+            stats: NodeStats::default(),
+        });
+    }
+    let next_dyn: Vec<u32> = nodes.iter().map(|n| n.static_len).collect();
+    let mut sim = Sim {
+        cfg,
+        nodes,
+        next_dyn,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        now: 0,
+        ops: OpCounts::default(),
+        trace: Vec::new(),
+    };
+
+    // Seed initially-ready fibers.
+    for node in 0..sim.nodes.len() {
+        for slot in 0..sim.nodes[node].counts.len() {
+            if sim.nodes[node].counts[slot] == 0 {
+                let reset = sim.nodes[node].resets[slot];
+                if reset > 0 {
+                    sim.nodes[node].counts[slot] = reset;
+                }
+                sim.nodes[node].ready.push_back(slot as SlotId);
+            }
+        }
+        sim.try_start(node, 0);
+    }
+
+    while let Some(Reverse(HeapEv { time, ev, .. })) = sim.heap.pop() {
+        sim.handle(time, ev);
+    }
+
+    let time_cycles = sim.now;
+    let mut per_node = Vec::with_capacity(sim.nodes.len());
+    let mut states = Vec::with_capacity(sim.nodes.len());
+    let mut unfired = 0u64;
+    for mut n in sim.nodes {
+        unfired += n
+            .bodies
+            .iter()
+            .zip(n.fired_per_fiber.iter())
+            .filter(|(b, &f)| b.is_some() && f == 0)
+            .count() as u64;
+        n.stats.mem = n.mem.stats();
+        per_node.push(n.stats);
+        states.push(n.state);
+    }
+    SimReport {
+        states,
+        time_cycles,
+        seconds: cfg.seconds(time_cycles),
+        stats: RunStats {
+            ops: sim.ops,
+            unfired_fibers: unfired,
+            per_node,
+        },
+        trace: sim.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FiberSpec;
+    use crate::value::mailbox_key;
+
+    type Prog<S> = MachineProgram<S, SimCtx<S>>;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_fiber_time_is_switch_plus_charge() {
+        let mut prog: Prog<()> = MachineProgram::new();
+        prog.add_node(());
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("work", |_s, cx: &mut SimCtx<()>| {
+                cx.charge(1000);
+            }));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.time_cycles, cfg().fiber_switch_cycles + 1000);
+        assert_eq!(r.stats.per_node[0].busy_cycles, r.time_cycles);
+    }
+
+    #[test]
+    fn remote_sync_pays_latency() {
+        let mut prog: Prog<u64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| cx.sync(1, 0)));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("b", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            }));
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        // Fiber a ends at switch; sync arrives +latency +su.
+        assert_eq!(
+            r.states[1],
+            c.fiber_switch_cycles + c.net_latency_cycles + c.su_op_cycles
+        );
+    }
+
+    #[test]
+    fn local_sync_skips_network() {
+        let mut prog: Prog<u64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| cx.sync(0, 1)));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("b", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            }));
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        assert_eq!(r.states[0], c.fiber_switch_cycles + c.su_op_cycles);
+    }
+
+    #[test]
+    fn bandwidth_charged_for_blocks() {
+        // Sending 8000 bytes at 1 B/cycle must take ≥ 8000 cycles longer
+        // than a pure sync.
+        let mut prog: Prog<u64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("send", |_s, cx: &mut SimCtx<u64>| {
+                cx.data_sync(1, 5, Value::from(vec![0.0f64; 1000]), 0);
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            }));
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        assert_eq!(
+            r.states[1],
+            c.fiber_switch_cycles + 8000 + c.net_latency_cycles + c.su_op_cycles
+        );
+        assert_eq!(r.stats.ops.bytes, 8000);
+    }
+
+    #[test]
+    fn out_link_serializes_consecutive_sends() {
+        // One fiber sends two 8000-byte blocks to two nodes; the second
+        // transfer starts only after the first leaves the link.
+        let mut prog: Prog<u64> = MachineProgram::new();
+        for _ in 0..3 {
+            prog.add_node(0);
+        }
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("send2", |_s, cx: &mut SimCtx<u64>| {
+                cx.data_sync(1, 5, Value::from(vec![0.0f64; 1000]), 0);
+                cx.data_sync(2, 5, Value::from(vec![0.0f64; 1000]), 0);
+            }));
+        for n in 1..3 {
+            prog.node_mut(n)
+                .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                    *s = cx.now();
+                }));
+        }
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        let first = c.fiber_switch_cycles + 8000 + c.net_latency_cycles + c.su_op_cycles;
+        assert_eq!(r.states[1], first);
+        assert_eq!(r.states[2], first + 8000);
+    }
+
+    #[test]
+    fn communication_overlaps_computation() {
+        // Node 0: fiber A sends a large block to node 1, then fiber B
+        // computes for 20_000 cycles. Node 1's receive time must be less
+        // than A+B serialized — the EU keeps computing while the message
+        // is in flight.
+        let mut prog: Prog<u64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("send", |_s, cx: &mut SimCtx<u64>| {
+                cx.data_sync(1, 1, Value::from(vec![0.0f64; 1000]), 0);
+                cx.sync(0, 1); // enable compute fiber
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("compute", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                cx.charge(20_000);
+                *s = cx.now() + 20_000 + cx.charged();
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            }));
+        let r = run_sim(prog, cfg());
+        // Total makespan: node 0 busy till ~20_000+; message arrived ~8400.
+        // Overlap means makespan < sum of both.
+        assert!(r.states[1] < 10_000, "receive at {}", r.states[1]);
+        assert!(r.time_cycles < 30_000, "makespan {}", r.time_cycles);
+    }
+
+    #[test]
+    fn eu_serializes_fibers_on_one_node() {
+        let mut prog: Prog<Vec<u64>> = MachineProgram::new();
+        prog.add_node(Vec::new());
+        for _ in 0..3 {
+            prog.node_mut(0)
+                .add_fiber(FiberSpec::ready("f", |s: &mut Vec<u64>, cx: &mut SimCtx<Vec<u64>>| {
+                    cx.charge(100);
+                    s.push(cx.now());
+                }));
+        }
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        let step = c.fiber_switch_cycles + 100;
+        assert_eq!(r.states[0], vec![0, step, 2 * step]);
+    }
+
+    #[test]
+    fn memory_metering_affects_time() {
+        // A strided loop over a large footprint must cost more than the
+        // same number of accesses to one line.
+        let run = |stride: u64| {
+            let mut prog: Prog<()> = MachineProgram::new();
+            prog.add_node(());
+            prog.node_mut(0)
+                .add_fiber(FiberSpec::ready("loop", move |_s, cx: &mut SimCtx<()>| {
+                    for i in 0..10_000u64 {
+                        cx.load(i * stride);
+                    }
+                }));
+            run_sim(prog, cfg()).time_cycles
+        };
+        let dense = run(0);
+        let sparse = run(64);
+        assert!(sparse > 3 * dense, "sparse {sparse} vs dense {dense}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut prog: Prog<u64> = MachineProgram::new();
+            for _ in 0..4 {
+                prog.add_node(0);
+            }
+            for n in 0..4usize {
+                prog.node_mut(n)
+                    .add_fiber(FiberSpec::ready("scatter", move |_s, cx: &mut SimCtx<u64>| {
+                        for d in 0..4usize {
+                            if d != n {
+                                cx.data_sync(d, 7, Value::Scalar(n as f64), 1);
+                            }
+                        }
+                    }));
+                prog.node_mut(n)
+                    .add_fiber(FiberSpec::new("gather", 3, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                        while let Some(v) = cx.recv(7) {
+                            *s += v.expect_scalar() as u64;
+                        }
+                    }));
+            }
+            prog
+        };
+        let r1 = run_sim(build(), cfg());
+        let r2 = run_sim(build(), cfg());
+        assert_eq!(r1.time_cycles, r2.time_cycles);
+        assert_eq!(r1.states, r2.states);
+        // Each node sums the other three ids.
+        assert_eq!(r1.states[0], 1 + 2 + 3);
+        assert_eq!(r1.states[3], 0 + 1 + 2);
+    }
+
+    #[test]
+    fn repeating_fiber_pipeline() {
+        // A self-sustaining 3-firing loop on one node.
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::repeating("loop", 0, 1, |s: &mut u32, cx: &mut SimCtx<u32>| {
+                *s += 1;
+                if *s < 3 {
+                    cx.sync(0, 0);
+                }
+            }));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.states[0], 3);
+        assert_eq!(r.stats.ops.fibers_fired, 3);
+    }
+
+    #[test]
+    fn dynamic_spawn_in_sim() {
+        let mut prog: Prog<i64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(1).reserve_dynamic(2);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("invoker", |_s, cx: &mut SimCtx<i64>| {
+                cx.spawn(1, FiberSpec::ready("w1", |s: &mut i64, _| *s += 40));
+                cx.spawn(1, FiberSpec::ready("w2", |s: &mut i64, _| *s += 2));
+            }));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.states[1], 42);
+        assert_eq!(r.stats.ops.spawns, 2);
+    }
+
+    #[test]
+    fn mailbox_fifo_order_per_key() {
+        let mut prog: Prog<Vec<i64>> = MachineProgram::new();
+        prog.add_node(Vec::new());
+        prog.add_node(Vec::new());
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("send3", |_s, cx: &mut SimCtx<Vec<i64>>| {
+                for i in 0..3 {
+                    cx.data_sync(1, mailbox_key(2, 0), Value::Int(i), 0);
+                }
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("recv3", 3, |s: &mut Vec<i64>, cx: &mut SimCtx<Vec<i64>>| {
+                while let Some(v) = cx.recv(mailbox_key(2, 0)) {
+                    s.push(v.expect_int());
+                }
+            }));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.states[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_records_fiber_executions() {
+        let mut c = cfg();
+        c.trace = true;
+        let mut prog: Prog<()> = MachineProgram::new();
+        prog.add_node(());
+        prog.add_node(());
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<()>| {
+                cx.charge(500);
+                cx.sync(1, 0);
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("b", 1, |_s, cx: &mut SimCtx<()>| cx.charge(700)));
+        let r = run_sim(prog, c);
+        assert_eq!(r.trace.len(), 2);
+        assert_eq!(r.trace[0].node, 0);
+        assert_eq!(r.trace[0].end - r.trace[0].start, c.fiber_switch_cycles + 500);
+        assert!(r.trace[1].start >= r.trace[0].end, "b depends on a");
+        let g = render_gantt(&r.trace, 2, r.time_cycles, 40);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains('#') && g.contains('.'));
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let mut prog: Prog<()> = MachineProgram::new();
+        prog.add_node(());
+        prog.node_mut(0).add_fiber(FiberSpec::ready("a", |_s, _cx| {}));
+        let r = run_sim(prog, cfg());
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn get_sync_round_trip() {
+        // Node 0 reads node 1's state without node 1 running any fiber.
+        let mut prog: Prog<f64> = MachineProgram::new();
+        prog.add_node(0.0);
+        prog.add_node(123.5);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut SimCtx<f64>| {
+                cx.get_sync(1, Box::new(|s: &f64| Value::Scalar(*s)), 77, 1);
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("use", 1, |s: &mut f64, cx: &mut SimCtx<f64>| {
+                *s = cx.recv(77).unwrap().expect_scalar() * 2.0;
+            }));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.states[0], 247.0);
+        // Remote target never fired a fiber.
+        assert_eq!(r.stats.per_node[1].fibers_fired, 0);
+    }
+
+    #[test]
+    fn get_sync_pays_round_trip_latency() {
+        let mut prog: Prog<u64> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(9);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut SimCtx<u64>| {
+                cx.get_sync(1, Box::new(|s: &u64| Value::Int(*s as i64)), 5, 1);
+            }));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("use", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            }));
+        let r = run_sim(prog, cfg());
+        let c = cfg();
+        // switch + (latency + su) out + 8 bytes + (latency + su) back.
+        let expect = c.fiber_switch_cycles
+            + (c.net_latency_cycles + c.su_op_cycles) * 2
+            + 8 / c.bytes_per_cycle.max(1);
+        assert_eq!(r.states[0], expect);
+    }
+
+    #[test]
+    fn unfired_reported_in_sim() {
+        let mut prog: Prog<()> = MachineProgram::new();
+        prog.add_node(());
+        prog.node_mut(0).add_fiber(FiberSpec::ready("a", |_, _| {}));
+        prog.node_mut(0).add_fiber(FiberSpec::new("never", 9, |_, _| {}));
+        let r = run_sim(prog, cfg());
+        assert_eq!(r.stats.unfired_fibers, 1);
+    }
+}

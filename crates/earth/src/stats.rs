@@ -1,0 +1,115 @@
+//! Execution statistics shared by both backends.
+
+use memsim::MemStats;
+
+/// Counts of EARTH operations issued during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Fibers that actually executed (a repeating fiber counts each firing).
+    pub fibers_fired: u64,
+    /// `SYNC` operations issued (excluding the sync half of `DATA_SYNC`).
+    pub syncs: u64,
+    /// `DATA_SYNC`/`BLKMOV` messages issued.
+    pub messages: u64,
+    /// Total payload bytes moved by messages.
+    pub bytes: u64,
+    /// Messages whose source and destination node are the same.
+    pub local_messages: u64,
+    /// Fibers instantiated at run time via `INVOKE`.
+    pub spawns: u64,
+}
+
+impl OpCounts {
+    pub fn merge(&mut self, o: &OpCounts) {
+        self.fibers_fired += o.fibers_fired;
+        self.syncs += o.syncs;
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.local_messages += o.local_messages;
+        self.spawns += o.spawns;
+    }
+}
+
+/// Per-node statistics from a simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Cycles the EU spent executing fiber bodies (incl. switch cost).
+    pub busy_cycles: u64,
+    pub fibers_fired: u64,
+    pub bytes_sent: u64,
+    /// Cache behaviour of the metered portions of fiber bodies.
+    pub mem: MemStats,
+}
+
+/// Aggregate statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub ops: OpCounts,
+    /// Fibers registered but never fired (often intentional slack; callers
+    /// that expect every fiber to fire should assert this is zero).
+    pub unfired_fibers: u64,
+    pub per_node: Vec<NodeStats>,
+}
+
+impl RunStats {
+    /// EU utilization of node `n` given the total run length.
+    pub fn utilization(&self, n: usize, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.per_node[n].busy_cycles as f64 / total_cycles as f64
+        }
+    }
+
+    /// Mean EU utilization across nodes.
+    pub fn mean_utilization(&self, total_cycles: u64) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = (0..self.per_node.len())
+            .map(|n| self.utilization(n, total_cycles))
+            .sum();
+        s / self.per_node.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds() {
+        let mut a = OpCounts {
+            fibers_fired: 1,
+            syncs: 2,
+            messages: 3,
+            bytes: 4,
+            local_messages: 5,
+            spawns: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.fibers_fired, 2);
+        assert_eq!(a.spawns, 12);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let stats = RunStats {
+            per_node: vec![
+                NodeStats {
+                    busy_cycles: 50,
+                    ..Default::default()
+                },
+                NodeStats {
+                    busy_cycles: 100,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.utilization(0, 100), 0.5);
+        assert_eq!(stats.utilization(1, 100), 1.0);
+        assert!((stats.mean_utilization(100) - 0.75).abs() < 1e-12);
+        assert_eq!(stats.utilization(0, 0), 0.0);
+    }
+}

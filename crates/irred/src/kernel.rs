@@ -1,0 +1,150 @@
+//! The kernel abstraction: what an irregular reduction loop computes.
+//!
+//! A kernel corresponds to the *body* of the paper's Figure-1 loop: per
+//! iteration it produces contributions to one or more reduction arrays
+//! through each of its `m` indirection references, possibly reading
+//! per-iteration ("edge") data it owns and node-level read arrays
+//! (replicated across processors, refreshed after each sweep when the
+//! kernel's post-sweep step writes them — e.g. `moldyn`'s position
+//! update from accumulated forces).
+//!
+//! The cost-profile methods (`flops_per_iter`, `edge_reads_per_iter`,
+//! `node_reads_per_elem`, `post_flops_per_elem`) tell the simulator's
+//! measuring sweep what to charge besides the executor's own array
+//! traffic.
+
+use std::ops::Range;
+
+/// An irregular-reduction loop body.
+///
+/// Implementations must be deterministic functions of their inputs: the
+/// phased executor may evaluate iterations in any order, and validation
+/// relies on comparing against a sequential evaluation.
+pub trait EdgeKernel: Send + Sync + 'static {
+    /// Number of distinct indirection references per iteration (`m` in
+    /// the paper; 2 for edge/interaction loops).
+    fn num_refs(&self) -> usize {
+        2
+    }
+
+    /// Number of reduction arrays updated together (the *reference
+    /// group* width — e.g. 3 for a force field's x/y/z components).
+    fn num_arrays(&self) -> usize {
+        1
+    }
+
+    /// Number of replicated node-level read arrays (e.g. positions).
+    fn num_read_arrays(&self) -> usize {
+        0
+    }
+
+    /// Initial contents of the read arrays, each of the reduction
+    /// array's length. Called once per node.
+    fn init_read(&self) -> Vec<Vec<f64>> {
+        Vec::new()
+    }
+
+    /// Whether `post_sweep` mutates the read arrays (requiring the
+    /// executor to broadcast refreshed segments between sweeps). Must be
+    /// constant for the lifetime of the kernel — it determines the sync
+    /// graph built before execution.
+    fn updates_read_state(&self) -> bool {
+        false
+    }
+
+    /// Compute the contributions of (global) iteration `iter`.
+    ///
+    /// * `read` — the node's replicated read arrays;
+    /// * `elems` — the `m` global reduction elements this iteration
+    ///   updates (original indirection values);
+    /// * `out` — `num_refs() * num_arrays()` slots, laid out
+    ///   `out[r * num_arrays() + a]` = contribution to array `a` through
+    ///   reference `r`. All slots are pre-zeroed.
+    fn contrib(&self, read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]);
+
+    /// Arithmetic cost of one `contrib` call, in floating-point ops.
+    fn flops_per_iter(&self) -> u64 {
+        10
+    }
+
+    /// Per-iteration data words the kernel reads (charged at the
+    /// iteration's slot in the edge-data region).
+    fn edge_reads_per_iter(&self) -> usize {
+        1
+    }
+
+    /// Read-array words loaded per referenced element.
+    fn node_reads_per_elem(&self) -> usize {
+        0
+    }
+
+    /// Node-level update executed once per sweep on each portion when
+    /// its reduction values are final (e.g. position integration from
+    /// forces). `x[a][i]` is the final value of reduction array `a` at
+    /// element `range.start + i`. Returns whether `read` was modified.
+    fn post_sweep(&self, read: &mut [Vec<f64>], range: Range<usize>, x: &[&[f64]]) -> bool {
+        let _ = (read, range, x);
+        false
+    }
+
+    /// Arithmetic cost of `post_sweep` per element.
+    fn post_flops_per_elem(&self) -> u64 {
+        0
+    }
+}
+
+/// A minimal test kernel: `X[e1] += w·y[i]`, `X[e2] += 2w·y[i]` with a
+/// per-iteration weight array. Used across the crate's tests.
+#[derive(Debug, Clone)]
+pub struct WeightedPairKernel {
+    pub weights: std::sync::Arc<Vec<f64>>,
+}
+
+impl EdgeKernel for WeightedPairKernel {
+    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        let w = self.weights[iter];
+        out[0] = w;
+        out[1] = 2.0 * w;
+    }
+
+    fn flops_per_iter(&self) -> u64 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let k = WeightedPairKernel {
+            weights: Arc::new(vec![1.0, 2.0]),
+        };
+        assert_eq!(k.num_refs(), 2);
+        assert_eq!(k.num_arrays(), 1);
+        assert_eq!(k.num_read_arrays(), 0);
+        assert!(!k.updates_read_state());
+        assert!(k.init_read().is_empty());
+    }
+
+    #[test]
+    fn contrib_layout() {
+        let k = WeightedPairKernel {
+            weights: Arc::new(vec![3.0]),
+        };
+        let mut out = [0.0; 2];
+        k.contrib(&[], 0, &[5, 9], &mut out);
+        assert_eq!(out, [3.0, 6.0]);
+    }
+
+    #[test]
+    fn default_post_sweep_is_inert() {
+        let k = WeightedPairKernel {
+            weights: Arc::new(vec![]),
+        };
+        let mut read: Vec<Vec<f64>> = vec![];
+        assert!(!k.post_sweep(&mut read, 0..0, &[]));
+    }
+}

@@ -1,0 +1,65 @@
+//! # irred — phased execution of irregular reductions on the EARTH model
+//!
+//! This is the paper's primary contribution as a library: the
+//! **rotating-portion execution strategy** of §2.2, supported by the
+//! LightInspector (crate [`lightinspector`]) and executed on the EARTH
+//! model (crate [`earth_model`], either backend).
+//!
+//! ## The strategy in one paragraph
+//!
+//! Iterations and their per-iteration data are distributed trivially
+//! (block or cyclic — no partitioner). The reduction array is cut into
+//! `k·P` portions that rotate around the processor ring; processor `q`
+//! owns portion `(k·q + p) mod k·P` during phase `p` and forwards it to
+//! `q−1`, where it arrives `k` phases later — so for `k > 1` every
+//! transfer has `k` phases of computation to hide behind. Each processor
+//! executes the iterations whose earliest-resident reference is owned in
+//! the current phase (first loop), buffering contributions to
+//! later-resident elements in an extension of the reduction array, and
+//! folds buffered contributions into newly arrived portions (second
+//! loop). Communication volume and frequency are **independent of the
+//! indirection arrays' contents** — the paper's central claim.
+//!
+//! ## Entry points
+//!
+//! * [`PhasedReduction`] — irregular reductions with LHS indirection
+//!   (`euler`, `moldyn`): full LightInspector machinery.
+//! * [`gather::PhasedGather`] — the `mvm` shape: the *gathered* vector
+//!   rotates, the reduction array stays local; no buffers or second
+//!   loop (§3's single-reference remark).
+//! * [`seq`] — sequential reference executors (validation + the
+//!   speedup denominator).
+//! * [`baseline`] — comparators: the classic communicating
+//!   inspector/executor (owner-computes with ghost buffers) on the same
+//!   simulator, and shared-memory strategies (atomics, replication) on
+//!   the native backend.
+//!
+//! ## Validation
+//!
+//! Every executor produces real values; tests check them against the
+//! sequential reference. The simulator charges cycles through the
+//! [`memsim`] cache model during a measuring sweep and replays per-phase
+//! costs for subsequent identical sweeps.
+
+pub mod baseline;
+pub mod gather;
+pub mod kernel;
+pub mod phased;
+pub mod seq;
+pub mod strategy;
+
+pub use gather::{GatherResult, GatherSpec, PhasedGather};
+pub use kernel::EdgeKernel;
+pub use phased::{PhasedReduction, PhasedResult, PhasedSpec};
+pub use seq::{seq_gather_cycles, seq_reduction, SeqResult};
+pub use strategy::StrategyConfig;
+pub use workloads::Distribution;
+
+/// Compare two reduction results element-wise with a tolerance that
+/// accounts for reassociation of floating-point sums.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}

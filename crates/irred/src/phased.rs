@@ -1,0 +1,788 @@
+//! The rotating-portion phased executor (§2.2 of the paper).
+//!
+//! One EARTH program is built per `(workload, strategy)` pair:
+//!
+//! * each node runs `T · k · P` *phase fibers*, chained in order on the
+//!   node (the EU executes phases sequentially, as the paper's Figure 2
+//!   pseudo-code does);
+//! * a phase fiber additionally waits for the **arrival of the portion**
+//!   it owns — sent by the ring successor `k` phases earlier, so with
+//!   `k > 1` the transfer has computation to hide behind;
+//! * at a portion's *first* visit of a sweep the owner zeroes it (the
+//!   reduction identity) — the preceding transfer therefore carries no
+//!   data, just a sync: the previous owner was the *last* visitor of the
+//!   old sweep and already consumed the final values;
+//! * at a portion's *last* visit the reduction values are final: the
+//!   owner runs the kernel's post-sweep step (e.g. `moldyn`'s position
+//!   update) and, if that step writes the replicated read arrays,
+//!   broadcasts the refreshed segments — the first phase fiber of the
+//!   next sweep on every node waits for those `k·P − k` messages.
+//!
+//! Communication per node per sweep is exactly `k·P` portion transfers
+//! plus (for read-updating kernels) `k·(P−1)` broadcast segments —
+//! **independent of the indirection arrays**, the paper's key property.
+//!
+//! The fiber body executes the LightInspector's two loops. Under the
+//! simulator, the first sweep runs *metered* (every array access goes
+//! through the cache model) and the measured per-phase cost is replayed
+//! for the remaining sweeps, whose access pattern is identical.
+
+use std::sync::Arc;
+
+use earth_model::native::{run_native, NativeCtx, RunError};
+use earth_model::sim::{run_sim, SimConfig, SimCtx};
+use earth_model::{mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value};
+use lightinspector::{inspect, InspectorInput, InspectorPlan, PhaseGeometry};
+use memsim::{AddressMap, Region, StreamModel};
+use workloads::distribute;
+
+use crate::kernel::EdgeKernel;
+use crate::strategy::StrategyConfig;
+
+const TAG_PORTION: u32 = 1;
+const TAG_BCAST: u32 = 2;
+
+/// Problem description, independent of strategy.
+pub struct PhasedSpec<K> {
+    /// The loop body.
+    pub kernel: Arc<K>,
+    /// Length of the reduction array(s).
+    pub num_elements: usize,
+    /// `m` global indirection arrays, each of length `num_iterations`.
+    pub indirection: Arc<Vec<Vec<u32>>>,
+}
+
+impl<K: EdgeKernel> PhasedSpec<K> {
+    pub fn num_iterations(&self) -> usize {
+        self.indirection[0].len()
+    }
+}
+
+/// Final values gathered from the machine plus run statistics.
+#[derive(Debug)]
+pub struct PhasedResult {
+    /// Final reduction arrays (`num_arrays × num_elements`) — the values
+    /// after the last sweep.
+    pub x: Vec<Vec<f64>>,
+    /// Final replicated read arrays (`num_read_arrays × num_elements`).
+    pub read: Vec<Vec<f64>>,
+    /// Simulated cycles (0 for native runs).
+    pub time_cycles: u64,
+    /// Simulated seconds (0 for native runs).
+    pub seconds: f64,
+    /// Native wall time (zero for simulated runs).
+    pub wall: std::time::Duration,
+    pub stats: RunStats,
+    /// Per-processor, per-phase iteration counts — the load-balance
+    /// signature (§5.4.2's block-vs-cyclic analysis).
+    pub phase_iter_counts: Vec<Vec<usize>>,
+    /// Fiber execution trace (empty unless `SimConfig::trace`).
+    pub trace: Vec<earth_model::TraceEvent>,
+}
+
+/// Per-node regions for the cache model. The reduction group and the
+/// read arrays are modeled with array-of-structs layout (one struct of
+/// `num_arrays` / `num_read_arrays` doubles per element), matching how
+/// such codes store multi-component fields — one cache line per element,
+/// not one per component.
+struct Regions {
+    x: Region,
+    read: Region,
+    giter: Region,
+    elems: Region,
+    refs: Vec<Region>,
+    edge: Region,
+    copies: Region,
+}
+
+/// State of one node (the "procedure frame" of the phased program).
+pub struct PhasedNode<K> {
+    proc: usize,
+    geometry: PhaseGeometry,
+    sweeps: usize,
+    kernel: Arc<K>,
+    plan: InspectorPlan,
+    /// Global iteration ids per phase, phase-major.
+    giters: Vec<Vec<u32>>,
+    /// Original global element ids per phase, `m`-interleaved.
+    elems: Vec<Vec<u32>>,
+    /// Reduction arrays with buffer extension: `num_arrays` of
+    /// `num_elements + buffer_len`.
+    x: Vec<Vec<f64>>,
+    /// Replicated read arrays.
+    read: Vec<Vec<f64>>,
+    /// Scratch for kernel contributions.
+    out: Vec<f64>,
+    /// Measured per-phase loop cost, replayed after the metering sweep.
+    phase_cost: Vec<Option<u64>>,
+    /// Cumulative start offset of each phase in the concatenated
+    /// iteration order (for region addressing).
+    phase_off: Vec<usize>,
+    regions: Regions,
+    stream: StreamModel,
+    /// Modeled per-iteration / per-copy overhead of the generated phased
+    /// loop code (0 on the native backend).
+    iter_overhead: u64,
+    copy_overhead: u64,
+    /// Own post-sweep read updates, staged until the next sweep starts so
+    /// that all of a sweep's iterations see sweep-start read values (the
+    /// sequential semantics): `(portion, per-array segments)`.
+    staged: Vec<(usize, Vec<Vec<f64>>)>,
+    /// Final portions collected during the last sweep:
+    /// `(portion, x segments, read segments)`.
+    results: Vec<(usize, Vec<Vec<f64>>, Vec<Vec<f64>>)>,
+}
+
+fn slot_of(t: usize, p: usize, kp: usize) -> SlotId {
+    (t * kp + p) as SlotId
+}
+
+impl<K: EdgeKernel> PhasedNode<K> {
+    fn new(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        proc: usize,
+        local_iters: Vec<u32>,
+        mem_cfg: memsim::MemConfig,
+        overheads: (u64, u64),
+    ) -> Self {
+        let geometry = PhaseGeometry::new(strat.procs, strat.k, spec.num_elements);
+        let m = spec.kernel.num_refs();
+        // Local views of the indirection arrays.
+        let local_ind: Vec<Vec<u32>> = (0..m)
+            .map(|r| {
+                local_iters
+                    .iter()
+                    .map(|&i| spec.indirection[r][i as usize])
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u32]> = local_ind.iter().map(|v| v.as_slice()).collect();
+        let plan = inspect(InspectorInput {
+            geometry,
+            proc_id: proc,
+            indirection: &refs,
+        });
+        debug_assert!(lightinspector::verify_plan(&plan, &refs).is_ok());
+
+        let kp = geometry.num_phases();
+        let mut giters = Vec::with_capacity(kp);
+        let mut elems = Vec::with_capacity(kp);
+        let mut phase_off = Vec::with_capacity(kp);
+        let mut off = 0usize;
+        for ph in &plan.phases {
+            phase_off.push(off);
+            off += ph.iters.len();
+            let g: Vec<u32> = ph.iters.iter().map(|&li| local_iters[li as usize]).collect();
+            let mut e = Vec::with_capacity(ph.iters.len() * m);
+            for &li in &ph.iters {
+                for lr in local_ind.iter() {
+                    e.push(lr[li as usize]);
+                }
+            }
+            giters.push(g);
+            elems.push(e);
+        }
+
+        let n = spec.num_elements;
+        let r_arrays = spec.kernel.num_arrays();
+        let x = vec![vec![0.0f64; n + plan.buffer_len]; r_arrays];
+        let read = spec.kernel.init_read();
+        assert_eq!(read.len(), spec.kernel.num_read_arrays());
+        for ra in &read {
+            assert_eq!(ra.len(), n, "read arrays must span the reduction array");
+        }
+
+        let total_local = local_iters.len();
+        let mut am = AddressMap::new(64);
+        let regions = Regions {
+            x: am.alloc_f64((n + plan.buffer_len) * r_arrays),
+            read: am.alloc_f64(n * read.len().max(1)),
+            giter: am.alloc_u32(total_local.max(1)),
+            elems: am.alloc_u32((total_local * m).max(1)),
+            refs: (0..m).map(|_| am.alloc_u32(total_local.max(1))).collect(),
+            edge: am.alloc_f64(spec.num_iterations().max(1)),
+            copies: am.alloc(plan.total_copies().max(1), 8),
+        };
+
+        PhasedNode {
+            proc,
+            geometry,
+            sweeps: strat.sweeps,
+            kernel: Arc::clone(&spec.kernel),
+            out: vec![0.0; m * r_arrays],
+            plan,
+            giters,
+            elems,
+            x,
+            read,
+            phase_cost: vec![None; kp],
+            phase_off,
+            regions,
+            stream: StreamModel::new(mem_cfg),
+            iter_overhead: overheads.0,
+            copy_overhead: overheads.1,
+            staged: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// The body of phase fiber `(t, p)`.
+    fn run_phase<C: FiberCtx<Self>>(s: &mut Self, t: usize, p: usize, ctx: &mut C) {
+        let g = s.geometry;
+        let kp = g.num_phases();
+        let k = g.k();
+        let portion = g.portion_owned_by(s.proc, p);
+        let range = g.portion_range(portion);
+        let abs = t * kp + p;
+        let first_visit = p < k;
+        let last_visit = p >= kp - k;
+        let r_arrays = s.x.len();
+        let n = g.num_elements();
+
+        // --- portion arrival / initialization ---------------------------
+        if first_visit {
+            // Reduction identity: zero the freshly owned portion.
+            for xa in &mut s.x {
+                xa[range.clone()].fill(0.0);
+            }
+            if ctx.is_sim() && !range.is_empty() {
+                ctx.charge(s.stream.stream((range.len() * r_arrays) as u64, 8));
+            }
+        } else if !range.is_empty() {
+            let payload = ctx
+                .recv(mailbox_key(TAG_PORTION, abs as u32))
+                .expect("portion payload must have arrived");
+            let vals = payload.expect_f64s();
+            debug_assert_eq!(vals.len(), range.len() * r_arrays);
+            // The SU deposits the payload directly into the portion's
+            // memory (split-phase block move); the EU pays only the
+            // first-touch misses, which the metered loops charge.
+            for (a, xa) in s.x.iter_mut().enumerate() {
+                let seg = &vals[a * range.len()..(a + 1) * range.len()];
+                xa[range.clone()].copy_from_slice(seg);
+            }
+        }
+
+        // --- read-array refresh at sweep start --------------------------
+        if p == 0 && t > 0 && s.kernel.updates_read_state() {
+            // Own staged updates from the previous sweep's post-sweep.
+            let staged = std::mem::take(&mut s.staged);
+            for (pi, segs) in staged {
+                let seg_range = g.portion_range(pi);
+                if seg_range.is_empty() {
+                    continue;
+                }
+                for (a, ra) in s.read.iter_mut().enumerate() {
+                    ra[seg_range.clone()].copy_from_slice(&segs[a]);
+                }
+            }
+            // Remote segments from the other nodes' final owners.
+            for pi in 0..kp {
+                let owner = g.owner_at(pi, g.last_visit_phase(pi)).expect("last visit owner");
+                if owner == s.proc {
+                    continue; // applied from the staging buffer above
+                }
+                let key = mailbox_key(TAG_BCAST, ((t - 1) * kp + pi) as u32);
+                let seg_range = g.portion_range(pi);
+                if seg_range.is_empty() {
+                    // Empty segments still arrive (zero-length) to keep the
+                    // sync count uniform.
+                    let _ = ctx.recv(key);
+                    continue;
+                }
+                let payload = ctx.recv(key).expect("broadcast segment must have arrived");
+                let vals = payload.expect_f64s();
+                let len = seg_range.len();
+                debug_assert_eq!(vals.len(), len * s.read.len());
+                // SU-deposited, like portion payloads: no EU copy charge.
+                for (a, ra) in s.read.iter_mut().enumerate() {
+                    ra[seg_range.clone()].copy_from_slice(&vals[a * len..(a + 1) * len]);
+                }
+            }
+        }
+
+        // --- the two loops, metered once per phase ----------------------
+        if ctx.is_sim() {
+            match s.phase_cost[p] {
+                Some(c) => {
+                    s.exec_loops(p, &mut NullMeter);
+                    ctx.charge(c);
+                }
+                None => {
+                    let before = ctx.charged();
+                    let mut meter = earth_model::program::CtxMeter::<Self, C>::new(ctx);
+                    // Split borrow: meter wraps ctx; loops touch the rest.
+                    s.exec_loops_metered(p, &mut meter);
+                    let cost = ctx.charged() - before;
+                    // Sweep 0 runs on a cold cache; re-measure on sweep 1
+                    // and replay that steady-state cost thereafter.
+                    if t > 0 || s.sweeps == 1 {
+                        s.phase_cost[p] = Some(cost);
+                    }
+                }
+            }
+        } else {
+            s.exec_loops(p, &mut NullMeter);
+        }
+        // Generated-code overhead of the phased loops (see SimConfig).
+        if ctx.is_sim() {
+            ctx.charge(
+                s.giters[p].len() as u64 * s.iter_overhead
+                    + s.plan.phases[p].copies.len() as u64 * s.copy_overhead,
+            );
+        }
+
+        // --- post-sweep on final values ----------------------------------
+        if last_visit {
+            // Run the kernel's node-level update, but *stage* its writes
+            // to the read arrays: the rest of this sweep (later phases on
+            // this node) must keep seeing sweep-start read values, exactly
+            // as a sequential time step would.
+            let mut updated: Vec<Vec<f64>> = Vec::new();
+            if !range.is_empty() {
+                let snapshot: Vec<Vec<f64>> =
+                    s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect();
+                let xs: Vec<&[f64]> = s.x.iter().map(|xa| &xa[range.clone()]).collect();
+                let changed = s.kernel.post_sweep(&mut s.read, range.clone(), &xs);
+                if ctx.is_sim() {
+                    ctx.flops(range.len() as u64 * s.kernel.post_flops_per_elem());
+                }
+                debug_assert_eq!(changed, s.kernel.updates_read_state());
+                if changed {
+                    updated = s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect();
+                    for (ra, snap) in s.read.iter_mut().zip(&snapshot) {
+                        ra[range.clone()].copy_from_slice(snap);
+                    }
+                }
+            }
+            // Broadcast the refreshed segments for the next sweep and
+            // stage our own copy.
+            if s.kernel.updates_read_state() && t + 1 < s.sweeps {
+                let len = range.len();
+                let mut seg = Vec::with_capacity(len * s.read.len());
+                for u in &updated {
+                    seg.extend_from_slice(u);
+                }
+                // Keyed by (sweep, portion): the receiver's sweep-start
+                // fiber iterates portions, not phases.
+                let key = mailbox_key(TAG_BCAST, (t * kp + portion) as u32);
+                let dst_slot = slot_of(t + 1, 0, kp);
+                for d in 0..g.num_procs() {
+                    if d != s.proc {
+                        ctx.data_sync(d, key, Value::F64s(seg.clone().into_boxed_slice()), dst_slot);
+                    }
+                }
+                s.staged.push((portion, updated.clone()));
+            }
+            // Keep final values after the last sweep. The read segments
+            // are the *updated* ones: the last time step's node update has
+            // happened, matching the sequential executor.
+            if t + 1 == s.sweeps {
+                let xs: Vec<Vec<f64>> = s.x.iter().map(|xa| xa[range.clone()].to_vec()).collect();
+                let rs: Vec<Vec<f64>> = if s.kernel.updates_read_state() {
+                    updated
+                } else {
+                    s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect()
+                };
+                s.results.push((portion, xs, rs));
+            }
+        }
+
+        // --- forward the portion around the ring -------------------------
+        let next_abs = abs + k;
+        if next_abs < s.sweeps * kp {
+            let dest = g.next_owner(s.proc);
+            let dst_slot = next_abs as SlotId;
+            if last_visit || range.is_empty() {
+                // Next visit starts a new sweep (receiver zeroes) or the
+                // portion is empty: a bare sync suffices.
+                ctx.sync(dest, dst_slot);
+            } else {
+                let mut payload = Vec::with_capacity(range.len() * r_arrays);
+                for xa in &s.x {
+                    payload.extend_from_slice(&xa[range.clone()]);
+                }
+                ctx.data_sync(
+                    dest,
+                    mailbox_key(TAG_PORTION, next_abs as u32),
+                    Value::F64s(payload.into_boxed_slice()),
+                    dst_slot,
+                );
+            }
+        }
+
+        // --- enable the next phase on this node --------------------------
+        if abs + 1 < s.sweeps * kp {
+            ctx.sync(s.proc, (abs + 1) as SlotId);
+        }
+        let _ = n;
+    }
+
+    /// Loop 1 + loop 2 without metering.
+    fn exec_loops(&mut self, p: usize, meter: &mut NullMeter) {
+        let (plan, giters, elems) = (&self.plan, &self.giters[p], &self.elems[p]);
+        loops(
+            &*self.kernel,
+            &self.read,
+            &mut self.x,
+            giters,
+            elems,
+            &plan.phases[p],
+            &mut self.out,
+            &self.regions,
+            self.phase_off[p],
+            meter,
+        );
+    }
+
+    /// Loop 1 + loop 2 with full cache metering.
+    fn exec_loops_metered<M: Meter>(&mut self, p: usize, meter: &mut M) {
+        let (plan, giters, elems) = (&self.plan, &self.giters[p], &self.elems[p]);
+        loops(
+            &*self.kernel,
+            &self.read,
+            &mut self.x,
+            giters,
+            elems,
+            &plan.phases[p],
+            &mut self.out,
+            &self.regions,
+            self.phase_off[p],
+            meter,
+        );
+    }
+}
+
+/// The inner loops, written once and monomorphized over the meter.
+#[allow(clippy::too_many_arguments)]
+fn loops<K: EdgeKernel, M: Meter>(
+    kernel: &K,
+    read: &[Vec<f64>],
+    x: &mut [Vec<f64>],
+    giters: &[u32],
+    elems: &[u32],
+    phase: &lightinspector::PhasePlan,
+    out: &mut [f64],
+    regs: &Regions,
+    phase_off: usize,
+    meter: &mut M,
+) {
+    let m = phase.refs.len();
+    let r_arrays = x.len();
+    let n_read = read.len();
+    let edge_reads = kernel.edge_reads_per_iter();
+    let node_reads = kernel.node_reads_per_elem();
+    let flops = kernel.flops_per_iter();
+
+    // Loop 1: compute contributions and scatter them into the resident
+    // portion or the buffer extension.
+    for (j, &gi) in giters.iter().enumerate() {
+        let pos = phase_off + j;
+        meter.load(regs.giter.addr(pos));
+        let e = &elems[j * m..(j + 1) * m];
+        for (r, &el) in e.iter().enumerate() {
+            meter.load(regs.elems.addr(pos * m + r));
+            for w in 0..node_reads {
+                meter.load(regs.read.addr(el as usize * n_read.max(1) + w % n_read.max(1)));
+            }
+        }
+        for w in 0..edge_reads {
+            let _ = w;
+            meter.load(regs.edge.addr(gi as usize));
+        }
+        out.fill(0.0);
+        kernel.contrib(read, gi as usize, e, out);
+        meter.flops(flops);
+        for r in 0..m {
+            let tgt = phase.refs[r][j] as usize;
+            meter.load(regs.refs[r].addr(pos));
+            for (a, xa) in x.iter_mut().enumerate() {
+                xa[tgt] += out[r * r_arrays + a];
+                meter.load(regs.x.addr(tgt * r_arrays + a));
+                meter.store(regs.x.addr(tgt * r_arrays + a));
+                meter.flops(1);
+            }
+        }
+    }
+
+    // Loop 2: fold buffered contributions into the now-resident portion
+    // and reset the buffer slots for the next sweep.
+    for (ci, c) in phase.copies.iter().enumerate() {
+        meter.load(regs.copies.addr(ci));
+        for (a, xa) in x.iter_mut().enumerate() {
+            let v = xa[c.src as usize];
+            xa[c.dest as usize] += v;
+            xa[c.src as usize] = 0.0;
+            meter.load(regs.x.addr(c.src as usize * r_arrays + a));
+            meter.load(regs.x.addr(c.dest as usize * r_arrays + a));
+            meter.store(regs.x.addr(c.dest as usize * r_arrays + a));
+            meter.store(regs.x.addr(c.src as usize * r_arrays + a));
+            meter.flops(1);
+        }
+    }
+}
+
+/// Compute the sync count of phase fiber `(t, p)`.
+fn sync_count(
+    t: usize,
+    p: usize,
+    k: usize,
+    kp: usize,
+    updates_read: bool,
+) -> u32 {
+    let mut c = 0u32;
+    if !(t == 0 && p == 0) {
+        c += 1; // chain from the previous phase on this node
+    }
+    if !(t == 0 && p < k) {
+        c += 1; // portion arrival (data or bare sync)
+    }
+    if p == 0 && t > 0 && updates_read {
+        c += (kp - k) as u32; // broadcast segments from the previous sweep
+    }
+    c
+}
+
+/// Build the whole-machine program for a `(spec, strategy)` pair,
+/// generic over the backend context.
+pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
+    spec: &PhasedSpec<K>,
+    strat: &StrategyConfig,
+    mem_cfg: memsim::MemConfig,
+    overheads: (u64, u64),
+) -> MachineProgram<PhasedNode<K>, C> {
+    // n < k·P is legal: trailing portions are empty and their phases
+    // degenerate to bare synchronization (PhaseGeometry handles this).
+    let owned = distribute(spec.num_iterations(), strat.procs, strat.distribution);
+    let kp = strat.phases_per_sweep();
+    let k = strat.k;
+    let updates_read = spec.kernel.updates_read_state();
+
+    let mut prog = MachineProgram::new();
+    for proc in 0..strat.procs {
+        let node = PhasedNode::new(spec, strat, proc, owned[proc].clone(), mem_cfg, overheads);
+        let id = prog.add_node(node);
+        for t in 0..strat.sweeps {
+            for p in 0..kp {
+                let count = sync_count(t, p, k, kp, updates_read);
+                prog.node_mut(id).add_fiber(FiberSpec::new(
+                    "phase",
+                    count,
+                    move |s: &mut PhasedNode<K>, ctx: &mut C| {
+                        PhasedNode::run_phase(s, t, p, ctx);
+                    },
+                ));
+            }
+        }
+    }
+    prog
+}
+
+/// Assemble global arrays from per-node final portions.
+fn assemble<K: EdgeKernel>(
+    spec: &PhasedSpec<K>,
+    nodes: Vec<PhasedNode<K>>,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<usize>>) {
+    let n = spec.num_elements;
+    let r_arrays = spec.kernel.num_arrays();
+    let r_read = spec.kernel.num_read_arrays();
+    let mut x = vec![vec![0.0f64; n]; r_arrays];
+    let mut read = vec![vec![0.0f64; n]; r_read];
+    let mut counts = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        counts.push(node.plan.phase_iter_counts());
+        for (portion, xs, rs) in node.results {
+            let range = node.geometry.portion_range(portion);
+            for (a, seg) in xs.into_iter().enumerate() {
+                x[a][range.clone()].copy_from_slice(&seg);
+            }
+            for (a, seg) in rs.into_iter().enumerate() {
+                read[a][range.clone()].copy_from_slice(&seg);
+            }
+        }
+    }
+    (x, read, counts)
+}
+
+/// Entry point for phased execution.
+pub struct PhasedReduction;
+
+impl PhasedReduction {
+    /// Run on the discrete-event simulator, returning simulated time.
+    pub fn run_sim<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        cfg: SimConfig,
+    ) -> PhasedResult {
+        let prog = build_program::<K, SimCtx<PhasedNode<K>>>(
+            spec,
+            strat,
+            cfg.mem,
+            (cfg.phased_iter_overhead_cycles, cfg.phased_copy_overhead_cycles),
+        );
+        let report = run_sim(prog, cfg);
+        assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
+        let (x, read, counts) = assemble(spec, report.states);
+        PhasedResult {
+            x,
+            read,
+            time_cycles: report.time_cycles,
+            seconds: report.seconds,
+            wall: std::time::Duration::ZERO,
+            stats: report.stats,
+            phase_iter_counts: counts,
+            trace: report.trace,
+        }
+    }
+
+    /// Run on real OS threads (one per simulated node).
+    pub fn run_native<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+    ) -> Result<PhasedResult, RunError> {
+        let prog =
+            build_program::<K, NativeCtx<PhasedNode<K>>>(spec, strat, memsim::MemConfig::i860xp(), (0, 0));
+        let report = run_native(prog)?;
+        assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
+        let (x, read, counts) = assemble(spec, report.states);
+        Ok(PhasedResult {
+            x,
+            read,
+            time_cycles: 0,
+            seconds: 0.0,
+            wall: report.wall,
+            stats: report.stats,
+            phase_iter_counts: counts,
+            trace: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::WeightedPairKernel;
+    use crate::seq::seq_reduction;
+    use crate::approx_eq;
+    use workloads::Distribution;
+
+    fn tiny_spec(num_elems: usize, seed: u64, iters: usize) -> PhasedSpec<WeightedPairKernel> {
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let ia1: Vec<u32> = (0..iters).map(|_| (next() % num_elems as u64) as u32).collect();
+        let ia2: Vec<u32> = (0..iters).map(|_| (next() % num_elems as u64) as u32).collect();
+        let weights: Vec<f64> = (0..iters).map(|_| (next() % 1000) as f64 / 100.0).collect();
+        PhasedSpec {
+            kernel: Arc::new(WeightedPairKernel {
+                weights: Arc::new(weights),
+            }),
+            num_elements: num_elems,
+            indirection: Arc::new(vec![ia1, ia2]),
+        }
+    }
+
+    fn check_matches_seq(spec: &PhasedSpec<WeightedPairKernel>, strat: StrategyConfig) {
+        let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
+        let res = PhasedReduction::run_sim(spec, &strat, SimConfig::default());
+        assert!(
+            approx_eq(&res.x[0], &seq.x[0], 1e-9),
+            "phased vs sequential mismatch for {}P {}",
+            strat.procs,
+            strat.label()
+        );
+    }
+
+    #[test]
+    fn two_procs_k2_matches_sequential() {
+        let spec = tiny_spec(32, 1, 200);
+        check_matches_seq(&spec, StrategyConfig::new(2, 2, Distribution::Cyclic, 3));
+    }
+
+    #[test]
+    fn one_proc_degenerate_case() {
+        let spec = tiny_spec(16, 2, 50);
+        check_matches_seq(&spec, StrategyConfig::new(1, 2, Distribution::Block, 2));
+    }
+
+    #[test]
+    fn k1_matches_sequential() {
+        let spec = tiny_spec(24, 3, 120);
+        check_matches_seq(&spec, StrategyConfig::new(3, 1, Distribution::Block, 2));
+    }
+
+    #[test]
+    fn k4_block_matches_sequential() {
+        let spec = tiny_spec(64, 4, 500);
+        check_matches_seq(&spec, StrategyConfig::new(4, 4, Distribution::Block, 2));
+    }
+
+    #[test]
+    fn many_procs_cyclic() {
+        let spec = tiny_spec(64, 5, 400);
+        check_matches_seq(&spec, StrategyConfig::new(8, 2, Distribution::Cyclic, 3));
+    }
+
+    #[test]
+    fn single_sweep() {
+        let spec = tiny_spec(32, 6, 100);
+        check_matches_seq(&spec, StrategyConfig::new(4, 2, Distribution::Cyclic, 1));
+    }
+
+    #[test]
+    fn native_backend_matches_sequential() {
+        let spec = tiny_spec(32, 7, 200);
+        let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 3);
+        let seq = seq_reduction(&spec, strat.sweeps, SimConfig::default());
+        let res = PhasedReduction::run_native(&spec, &strat).unwrap();
+        assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
+    }
+
+    #[test]
+    fn k2_overlaps_better_than_k1() {
+        // On several processors with nontrivial portions, k=2 should beat
+        // k=1 thanks to communication/computation overlap.
+        let spec = tiny_spec(4096, 8, 20_000);
+        let t1 = PhasedReduction::run_sim(
+            &spec,
+            &StrategyConfig::new(8, 1, Distribution::Cyclic, 3),
+            SimConfig::default(),
+        )
+        .time_cycles;
+        let t2 = PhasedReduction::run_sim(
+            &spec,
+            &StrategyConfig::new(8, 2, Distribution::Cyclic, 3),
+            SimConfig::default(),
+        )
+        .time_cycles;
+        assert!(t2 < t1, "k=2 ({t2}) should beat k=1 ({t1})");
+    }
+
+    #[test]
+    fn communication_independent_of_indirection() {
+        // Two specs with identical sizes but different indirection
+        // contents must move exactly the same number of bytes.
+        let a = tiny_spec(256, 10, 2_000);
+        let b = tiny_spec(256, 11, 2_000);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+        let ra = PhasedReduction::run_sim(&a, &strat, SimConfig::default());
+        let rb = PhasedReduction::run_sim(&b, &strat, SimConfig::default());
+        assert_eq!(ra.stats.ops.messages, rb.stats.ops.messages);
+        assert_eq!(ra.stats.ops.bytes, rb.stats.ops.bytes);
+    }
+
+    #[test]
+    fn phase_counts_reported() {
+        let spec = tiny_spec(64, 12, 300);
+        let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 1);
+        let res = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        assert_eq!(res.phase_iter_counts.len(), 4);
+        let total: usize = res.phase_iter_counts.iter().flatten().sum();
+        assert_eq!(total, 300);
+    }
+}

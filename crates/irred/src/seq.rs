@@ -1,0 +1,268 @@
+//! Sequential reference executors.
+//!
+//! These serve two purposes: *validation* (every parallel executor's
+//! output is checked against them) and the *speedup denominator* — the
+//! paper times sequential versions on one i860XP, so we meter the
+//! sequential loops through the same cache/cost model the simulator
+//! uses, making `T_seq / T_par` meaningful.
+
+use std::sync::Arc;
+
+use earth_model::sim::SimConfig;
+use earth_model::Meter;
+use memsim::{AddressMap, MemModel, Region};
+use workloads::SparseMatrix;
+
+use crate::kernel::EdgeKernel;
+use crate::phased::PhasedSpec;
+
+/// A [`Meter`] that charges a real [`MemModel`] — the sequential
+/// equivalent of the simulator's metering sweep.
+pub struct MemMeter {
+    pub mem: MemModel,
+    pub cycles: u64,
+    flop_cycles: u64,
+}
+
+impl MemMeter {
+    pub fn new(cfg: SimConfig) -> Self {
+        MemMeter {
+            mem: MemModel::new(cfg.mem),
+            cycles: 0,
+            flop_cycles: cfg.flop_cycles,
+        }
+    }
+}
+
+impl Meter for MemMeter {
+    #[inline]
+    fn load(&mut self, addr: u64) {
+        self.cycles += self.mem.read(addr);
+    }
+    #[inline]
+    fn store(&mut self, addr: u64) {
+        self.cycles += self.mem.write(addr);
+    }
+    #[inline]
+    fn flops(&mut self, n: u64) {
+        self.cycles += n * self.flop_cycles;
+    }
+}
+
+/// Result of a sequential run.
+#[derive(Debug)]
+pub struct SeqResult {
+    pub x: Vec<Vec<f64>>,
+    pub read: Vec<Vec<f64>>,
+    /// Modeled cycles on one node of the simulated machine.
+    pub cycles: u64,
+    pub seconds: f64,
+}
+
+/// Execute the irregular reduction sequentially for `sweeps` time steps,
+/// metering the first sweep and scaling (the access pattern repeats).
+pub fn seq_reduction<K: EdgeKernel>(
+    spec: &PhasedSpec<K>,
+    sweeps: usize,
+    cfg: SimConfig,
+) -> SeqResult {
+    let n = spec.num_elements;
+    let m = spec.kernel.num_refs();
+    let r_arrays = spec.kernel.num_arrays();
+    let e = spec.num_iterations();
+
+    let mut x = vec![vec![0.0f64; n]; r_arrays];
+    let mut read = spec.kernel.init_read();
+
+    let mut am = AddressMap::new(64);
+    // Array-of-structs layout for the multi-component fields, matching
+    // the phased executor's model.
+    let x_reg: Region = am.alloc_f64(n * r_arrays);
+    let read_reg: Region = am.alloc_f64(n * read.len().max(1));
+    let ind_regs: Vec<Region> = (0..m).map(|_| am.alloc_u32(e.max(1))).collect();
+    let edge_reg = am.alloc_f64(e.max(1));
+
+    let mut meter = MemMeter::new(cfg);
+    let mut out = vec![0.0f64; m * r_arrays];
+    let mut elems = vec![0u32; m];
+    let edge_reads = spec.kernel.edge_reads_per_iter();
+    let node_reads = spec.kernel.node_reads_per_elem();
+    let flops = spec.kernel.flops_per_iter();
+    let mut sweep0_cost = 0u64;
+
+    for sweep in 0..sweeps {
+        let metered = sweep == 0;
+        let before = meter.cycles;
+        // Zero the reduction arrays.
+        for xa in x.iter_mut() {
+            xa.fill(0.0);
+        }
+        if metered {
+            for i in (0..n * r_arrays).step_by(4) {
+                meter.store(x_reg.addr(i)); // one touch per few words ≈ stream
+            }
+        }
+        // The reduction loop, in original iteration order.
+        for i in 0..e {
+            for (r, er) in elems.iter_mut().enumerate() {
+                *er = spec.indirection[r][i];
+            }
+            if metered {
+                for reg in ind_regs.iter() {
+                    meter.load(reg.addr(i));
+                }
+                for _ in 0..edge_reads {
+                    meter.load(edge_reg.addr(i));
+                }
+                if !read.is_empty() {
+                    for &el in &elems {
+                        for w in 0..node_reads {
+                            meter.load(read_reg.addr(el as usize * read.len() + w % read.len()));
+                        }
+                    }
+                }
+                meter.flops(flops);
+            }
+            out.fill(0.0);
+            spec.kernel.contrib(&read, i, &elems, &mut out);
+            for (r, &el) in elems.iter().enumerate() {
+                for (a, xa) in x.iter_mut().enumerate() {
+                    xa[el as usize] += out[r * r_arrays + a];
+                    if metered {
+                        meter.load(x_reg.addr(el as usize * r_arrays + a));
+                        meter.store(x_reg.addr(el as usize * r_arrays + a));
+                        meter.flops(1);
+                    }
+                }
+            }
+        }
+        // Node-level update on final values.
+        let xs: Vec<&[f64]> = x.iter().map(|v| v.as_slice()).collect();
+        spec.kernel.post_sweep(&mut read, 0..n, &xs);
+        if metered {
+            meter.flops(n as u64 * spec.kernel.post_flops_per_elem());
+            sweep0_cost = meter.cycles - before;
+        }
+    }
+
+    let cycles = sweep0_cost * sweeps as u64;
+    SeqResult {
+        x,
+        read,
+        cycles,
+        seconds: cfg.seconds(cycles),
+    }
+}
+
+/// Sequential sparse matrix–vector product, metered: returns `y` after
+/// `sweeps` products plus the modeled cycles.
+pub fn seq_gather_cycles(
+    matrix: &Arc<SparseMatrix>,
+    x: &[f64],
+    sweeps: usize,
+    cfg: SimConfig,
+) -> (Vec<f64>, u64) {
+    let mut am = AddressMap::new(64);
+    let y_reg = am.alloc_f64(matrix.nrows);
+    let x_reg = am.alloc_f64(matrix.ncols);
+    let col_reg = am.alloc_u32(matrix.nnz());
+    let val_reg = am.alloc_f64(matrix.nnz());
+    let rp_reg = am.alloc(matrix.nrows + 1, 8);
+
+    let mut meter = MemMeter::new(cfg);
+    let mut y = vec![0.0f64; matrix.nrows];
+    let mut sweep0 = 0u64;
+    for sweep in 0..sweeps {
+        let metered = sweep == 0;
+        let before = meter.cycles;
+        for r in 0..matrix.nrows {
+            if metered {
+                meter.load(rp_reg.addr(r));
+            }
+            let mut acc = 0.0;
+            for nz in matrix.row_ptr[r] as usize..matrix.row_ptr[r + 1] as usize {
+                let c = matrix.col_idx[nz] as usize;
+                acc += matrix.values[nz] * x[c];
+                if metered {
+                    meter.load(col_reg.addr(nz));
+                    meter.load(val_reg.addr(nz));
+                    meter.load(x_reg.addr(c));
+                    meter.flops(2);
+                }
+            }
+            y[r] = acc;
+            if metered {
+                meter.store(y_reg.addr(r));
+            }
+        }
+        if metered {
+            sweep0 = meter.cycles - before;
+        }
+    }
+    (y, sweep0 * sweeps as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::WeightedPairKernel;
+
+    fn spec() -> PhasedSpec<WeightedPairKernel> {
+        PhasedSpec {
+            kernel: Arc::new(WeightedPairKernel {
+                weights: Arc::new(vec![1.0, 2.0, 3.0]),
+            }),
+            num_elements: 4,
+            indirection: Arc::new(vec![vec![0, 1, 2], vec![3, 3, 0]]),
+        }
+    }
+
+    #[test]
+    fn seq_values_by_hand() {
+        let r = seq_reduction(&spec(), 1, SimConfig::default());
+        // X[e1] += w, X[e2] += 2w per iteration:
+        // i0: X[0]+=1, X[3]+=2; i1: X[1]+=2, X[3]+=4; i2: X[2]+=3, X[0]+=6.
+        assert_eq!(r.x[0], vec![7.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sweeps_scale_cycles_not_values() {
+        let r1 = seq_reduction(&spec(), 1, SimConfig::default());
+        let r3 = seq_reduction(&spec(), 3, SimConfig::default());
+        // Values are re-zeroed each sweep: identical.
+        assert_eq!(r1.x, r3.x);
+        assert_eq!(r3.cycles, 3 * r1.cycles);
+    }
+
+    #[test]
+    fn gather_matches_spmv() {
+        let m = Arc::new(SparseMatrix::random(40, 40, 300, 5));
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let (y, cycles) = seq_gather_cycles(&m, &x, 2, SimConfig::default());
+        let mut want = vec![0.0; 40];
+        m.spmv(&x, &mut want);
+        assert_eq!(y, want);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn scattered_kernel_costs_more_than_dense() {
+        // Same size, scattered vs clustered indirection: cycles differ.
+        let mk = |stride: usize| {
+            let n = 20_000usize;
+            let e = 30_000usize;
+            let ia1: Vec<u32> = (0..e).map(|i| ((i * stride) % n) as u32).collect();
+            let ia2: Vec<u32> = (0..e).map(|i| ((i * stride + 1) % n) as u32).collect();
+            PhasedSpec {
+                kernel: Arc::new(WeightedPairKernel {
+                    weights: Arc::new(vec![1.0; e]),
+                }),
+                num_elements: n,
+                indirection: Arc::new(vec![ia1, ia2]),
+            }
+        };
+        let dense = seq_reduction(&mk(1), 1, SimConfig::default()).cycles;
+        let scattered = seq_reduction(&mk(7919), 1, SimConfig::default()).cycles;
+        assert!(scattered > dense, "{scattered} vs {dense}");
+    }
+}

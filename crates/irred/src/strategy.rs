@@ -1,0 +1,62 @@
+//! Strategy configuration: the `(P, k, distribution)` triple plus sweep
+//! count — the paper's `1c`, `2c`, `4c`, `2b` naming (§5.4.1).
+
+use workloads::Distribution;
+
+/// One point in the paper's strategy space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrategyConfig {
+    /// Number of processors (EARTH nodes).
+    pub procs: usize,
+    /// The overlap parameter: `k·P` phases per sweep.
+    pub k: usize,
+    /// Iteration/data distribution.
+    pub distribution: Distribution,
+    /// Time-step iterations (the paper uses 100 for euler/moldyn).
+    pub sweeps: usize,
+}
+
+impl StrategyConfig {
+    pub fn new(procs: usize, k: usize, distribution: Distribution, sweeps: usize) -> Self {
+        assert!(procs >= 1 && k >= 1 && sweeps >= 1);
+        StrategyConfig {
+            procs,
+            k,
+            distribution,
+            sweeps,
+        }
+    }
+
+    /// The paper's label for this strategy: `"2c"`, `"4c"`, `"2b"`, …
+    pub fn label(&self) -> String {
+        format!("{}{}", self.k, self.distribution.label())
+    }
+
+    /// Phases per sweep.
+    pub fn phases_per_sweep(&self) -> usize {
+        self.k * self.procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            StrategyConfig::new(32, 2, Distribution::Cyclic, 100).label(),
+            "2c"
+        );
+        assert_eq!(
+            StrategyConfig::new(8, 4, Distribution::Block, 100).label(),
+            "4b"
+        );
+    }
+
+    #[test]
+    fn phases_per_sweep() {
+        let s = StrategyConfig::new(4, 2, Distribution::Cyclic, 10);
+        assert_eq!(s.phases_per_sweep(), 8);
+    }
+}

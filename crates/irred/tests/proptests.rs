@@ -1,0 +1,149 @@
+//! Property tests for the phased executors: for arbitrary problem
+//! shapes (element count, iteration count, reference arity `m`,
+//! reduction-group width `R`, indirection contents) and arbitrary
+//! strategies `(P, k, distribution)`, the phased execution equals the
+//! sequential reference.
+
+use std::sync::Arc;
+
+use earth_model::sim::SimConfig;
+use irred::{
+    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedGather, PhasedReduction, PhasedSpec,
+    GatherSpec, StrategyConfig,
+};
+use proptest::prelude::*;
+use workloads::SparseMatrix;
+
+/// A kernel with configurable arity: contribution through ref `r` to
+/// array `a` is `(r+1)·(a+1)·w[i]` (sign alternating by ref).
+struct ArityKernel {
+    m: usize,
+    r_arrays: usize,
+    weights: Arc<Vec<f64>>,
+}
+
+impl EdgeKernel for ArityKernel {
+    fn num_refs(&self) -> usize {
+        self.m
+    }
+    fn num_arrays(&self) -> usize {
+        self.r_arrays
+    }
+    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        let w = self.weights[iter];
+        for r in 0..self.m {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            for a in 0..self.r_arrays {
+                out[r * self.r_arrays + a] = sign * (r + 1) as f64 * (a + 1) as f64 * w;
+            }
+        }
+    }
+    fn flops_per_iter(&self) -> u64 {
+        (self.m * self.r_arrays) as u64 * 2
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Shape {
+    n: usize,
+    e: usize,
+    m: usize,
+    r_arrays: usize,
+    procs: usize,
+    k: usize,
+    dist: Distribution,
+    sweeps: usize,
+    seed: u64,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (
+        8usize..200,
+        0usize..400,
+        1usize..=3,
+        1usize..=3,
+        1usize..=6,
+        1usize..=4,
+        prop::bool::ANY,
+        1usize..=3,
+        any::<u64>(),
+    )
+        .prop_map(|(n, e, m, r_arrays, procs, k, cyclic, sweeps, seed)| Shape {
+            n: n.max(procs * 4), // keep portions non-degenerate
+            e,
+            m,
+            r_arrays,
+            procs,
+            k,
+            dist: if cyclic { Distribution::Cyclic } else { Distribution::Block },
+            sweeps,
+            seed,
+        })
+}
+
+fn build_spec(s: &Shape) -> PhasedSpec<ArityKernel> {
+    let mut x = s.seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let indirection: Vec<Vec<u32>> = (0..s.m)
+        .map(|_| (0..s.e).map(|_| (next() % s.n as u64) as u32).collect())
+        .collect();
+    PhasedSpec {
+        kernel: Arc::new(ArityKernel {
+            m: s.m,
+            r_arrays: s.r_arrays,
+            weights: Arc::new((0..s.e).map(|_| (next() % 1000) as f64 / 13.0).collect()),
+        }),
+        num_elements: s.n,
+        indirection: Arc::new(indirection),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phased_equals_sequential(s in shape()) {
+        let spec = build_spec(&s);
+        let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
+        let seq = seq_reduction(&spec, s.sweeps, SimConfig::default());
+        let r = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        for a in 0..s.r_arrays {
+            prop_assert!(approx_eq(&r.x[a], &seq.x[a], 1e-9), "array {a} of {s:?}");
+        }
+    }
+
+    #[test]
+    fn communication_independent_of_contents(s in shape(), seed2 in any::<u64>()) {
+        prop_assume!(s.seed != seed2);
+        let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
+        let a = PhasedReduction::run_sim(&build_spec(&s), &strat, SimConfig::default());
+        let mut s2 = s.clone();
+        s2.seed = seed2;
+        let b = PhasedReduction::run_sim(&build_spec(&s2), &strat, SimConfig::default());
+        // The paper's headline property: identical shape → identical
+        // message count and payload volume, whatever the indirection.
+        prop_assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
+        prop_assert_eq!(a.stats.ops.bytes, b.stats.ops.bytes);
+    }
+
+    #[test]
+    fn gather_equals_spmv(rows in 8usize..150, nnz_per_row in 1usize..12,
+                          procs in 1usize..=5, k in 1usize..=3, sweeps in 1usize..=3,
+                          seed in any::<u64>()) {
+        let n = rows.max(procs * k * 2);
+        let nnz = (n * nnz_per_row).min(n * n / 2).max(n);
+        let m = Arc::new(SparseMatrix::random(n, n, nnz, seed));
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let spec = GatherSpec { matrix: Arc::clone(&m), x: Arc::new(x.clone()) };
+        let strat = StrategyConfig::new(procs, k, Distribution::Block, sweeps);
+        let r = PhasedGather::run_sim(&spec, &strat, SimConfig::default());
+        let mut want = vec![0.0; n];
+        m.spmv(&x, &mut want);
+        prop_assert!(approx_eq(&r.y, &want, 1e-10));
+    }
+}

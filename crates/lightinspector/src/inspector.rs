@@ -1,0 +1,319 @@
+//! The LightInspector algorithm (§3 of the paper).
+//!
+//! Three passes, all linear in the number of local iterations, with no
+//! inter-processor communication:
+//!
+//! 1. For every local iteration, find the phases at which each referenced
+//!    reduction element is resident here; the minimum is the iteration's
+//!    phase. Count iterations and future references per phase.
+//! 2. Place iterations into per-phase lists; rewrite each reference
+//!    either to its global index (resident during the iteration's phase)
+//!    or to a freshly allocated buffer slot.
+//! 3. Emit the second-loop copy list: a buffered contribution written for
+//!    element `e` during phase `min` is folded into `e` during the phase
+//!    at which `e`'s portion is resident (`max`), strictly later.
+//!
+//! The algorithm handles any number `m ≥ 1` of distinct indirection
+//! references ("trivially extended", §3); the paper's examples use
+//! `m = 2` (edges/interactions touching two nodes/molecules).
+
+use crate::geometry::PhaseGeometry;
+use crate::plan::{CopyOp, InspectorPlan, PhasePlan, SingleRefPlan};
+
+/// Input to [`inspect`]: the geometry, this processor's id, and its local
+/// slice of the indirection arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct InspectorInput<'a> {
+    pub geometry: PhaseGeometry,
+    pub proc_id: usize,
+    /// `indirection[r][i]` = global reduction-array element updated by
+    /// the `r`-th reference of local iteration `i`. All `m` slices must
+    /// have equal length (the local iteration count).
+    pub indirection: &'a [&'a [u32]],
+}
+
+/// Run the LightInspector. Pure function of its inputs; no communication.
+pub fn inspect(input: InspectorInput<'_>) -> InspectorPlan {
+    let g = input.geometry;
+    let m = input.indirection.len();
+    assert!(m >= 1, "need at least one indirection reference");
+    let num_iters = input.indirection[0].len();
+    for r in input.indirection {
+        assert_eq!(r.len(), num_iters, "ragged indirection arrays");
+    }
+    let kp = g.num_phases();
+
+    // Pass 1: phase of each iteration + per-phase counts.
+    let mut iter_phase = vec![0u32; num_iters];
+    let mut phase_counts = vec![0usize; kp];
+    let mut copy_counts = vec![0usize; kp];
+    let mut scratch = vec![0usize; m];
+    for i in 0..num_iters {
+        let mut min_phase = usize::MAX;
+        for (r, ind) in input.indirection.iter().enumerate() {
+            let e = ind[i] as usize;
+            let ph = g.phase_of_portion_on(input.proc_id, g.portion_of(e));
+            scratch[r] = ph;
+            min_phase = min_phase.min(ph);
+        }
+        iter_phase[i] = min_phase as u32;
+        phase_counts[min_phase] += 1;
+        for &ph in &scratch {
+            if ph > min_phase {
+                copy_counts[ph] += 1;
+            }
+        }
+    }
+
+    // Pass 2: place iterations, rewrite references, allocate buffers.
+    let mut phases: Vec<PhasePlan> = (0..kp)
+        .map(|p| PhasePlan {
+            iters: Vec::with_capacity(phase_counts[p]),
+            refs: (0..m).map(|_| Vec::with_capacity(phase_counts[p])).collect(),
+            copies: Vec::with_capacity(copy_counts[p]),
+        })
+        .collect();
+    let n = g.num_elements() as u32;
+    let mut next_slot = n;
+    for i in 0..num_iters {
+        let p = iter_phase[i] as usize;
+        phases[p].iters.push(i as u32);
+        for (r, ind) in input.indirection.iter().enumerate() {
+            let e = ind[i];
+            let ph = g.phase_of_portion_on(input.proc_id, g.portion_of(e as usize));
+            if ph == p {
+                phases[p].refs[r].push(e);
+            } else {
+                // Owned in a future phase: extend X with a buffer slot and
+                // schedule the second-loop fold for phase `ph`.
+                let slot = next_slot;
+                next_slot += 1;
+                phases[p].refs[r].push(slot);
+                phases[ph].copies.push(CopyOp { dest: e, src: slot });
+            }
+        }
+    }
+
+    InspectorPlan {
+        geometry: g,
+        proc_id: input.proc_id,
+        buffer_len: (next_slot - n) as usize,
+        phases,
+        iter_phase,
+    }
+}
+
+/// The single-reference fast path (§3): when the reduction array is
+/// updated through one distinct indirection reference per iteration,
+/// every update can be made while the element is resident — iterations
+/// are merely bucketed by phase, with no buffers and no second loop.
+///
+/// `mvm` uses this shape (the gathered vector rotates; the reduction
+/// array `y` is never indirectly accessed).
+pub fn inspect_single(
+    geometry: PhaseGeometry,
+    proc_id: usize,
+    indirection: &[u32],
+) -> SingleRefPlan {
+    let kp = geometry.num_phases();
+    let mut counts = vec![0usize; kp];
+    for &e in indirection {
+        counts[geometry.phase_of_portion_on(proc_id, geometry.portion_of(e as usize))] += 1;
+    }
+    let mut phases: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (i, &e) in indirection.iter().enumerate() {
+        let p = geometry.phase_of_portion_on(proc_id, geometry.portion_of(e as usize));
+        phases[p].push(i as u32);
+    }
+    SingleRefPlan {
+        geometry,
+        proc_id,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::verify_plan;
+
+    /// The worked example in the spirit of the paper's Figure 3:
+    /// 2 processors, k = 2, a mesh of 8 nodes and 20 edges. Processor 0
+    /// owns edges 0–9. Portions are 2 nodes each; P0 owns portion p at
+    /// phase p.
+    fn fig3_p0_input() -> (PhaseGeometry, Vec<u32>, Vec<u32>) {
+        let g = PhaseGeometry::new(2, 2, 8);
+        // (node1, node2) per local edge of P0.
+        let ind1 = vec![0, 2, 4, 6, 1, 3, 5, 7, 0, 5];
+        let ind2 = vec![1, 3, 5, 7, 2, 4, 6, 4, 7, 2];
+        (g, ind1, ind2)
+    }
+
+    #[test]
+    fn fig3_phase_assignment() {
+        let (g, ind1, ind2) = fig3_p0_input();
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&ind1, &ind2],
+        });
+        // Edge 0 (0,1): both in portion 0 → phase 0, both resident.
+        assert_eq!(plan.iter_phase[0], 0);
+        // Edge 4 (1,2): portions 0 and 1 → phase 0, node 2 buffered.
+        assert_eq!(plan.iter_phase[4], 0);
+        // Edge 7 (7,4): portions 3 and 2 → phase 2 (min), node 7 buffered.
+        assert_eq!(plan.iter_phase[7], 2);
+        // Edge 3 (6,7): portion 3 → phase 3.
+        assert_eq!(plan.iter_phase[3], 3);
+        verify_plan(&plan, &[&ind1, &ind2]).unwrap();
+    }
+
+    #[test]
+    fn fig3_buffer_layout_starts_at_num_nodes() {
+        let (g, ind1, ind2) = fig3_p0_input();
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&ind1, &ind2],
+        });
+        // Buffer slots are allocated from 8 (= num_nodes) upward, exactly
+        // as in the paper ("the remote buffer starts at location 8").
+        let mut min_slot = u32::MAX;
+        for ph in &plan.phases {
+            for refs_r in &ph.refs {
+                for &t in refs_r {
+                    if t >= 8 {
+                        min_slot = min_slot.min(t);
+                    }
+                }
+            }
+        }
+        assert_eq!(min_slot, 8);
+        assert!(plan.buffer_len > 0);
+    }
+
+    #[test]
+    fn fig3_second_loop_folds_buffered_contribs() {
+        let (g, ind1, ind2) = fig3_p0_input();
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&ind1, &ind2],
+        });
+        // Edge 7 = (7,4): assigned phase 2 (node 4 resident), node 7
+        // buffered, folded at phase 3 when portion 3 arrives.
+        let copy = plan.phases[3]
+            .copies
+            .iter()
+            .find(|c| c.dest == 7)
+            .expect("phase 3 folds node 7");
+        assert!(copy.src >= 8);
+    }
+
+    #[test]
+    fn both_residents_update_in_place() {
+        let (g, ind1, ind2) = fig3_p0_input();
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&ind1, &ind2],
+        });
+        // Edge 0 (0,1): both resident at phase 0 → remapped to themselves.
+        let j = plan.phases[0].iters.iter().position(|&i| i == 0).unwrap();
+        assert_eq!(plan.phases[0].refs[0][j], 0);
+        assert_eq!(plan.phases[0].refs[1][j], 1);
+    }
+
+    #[test]
+    fn processor1_sees_shifted_ownership() {
+        let (g, ind1, ind2) = fig3_p0_input();
+        // Reuse the same edge list as if it were P1's local edges.
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 1,
+            indirection: &[&ind1, &ind2],
+        });
+        verify_plan(&plan, &[&ind1, &ind2]).unwrap();
+        // Edge 0 (0,1): portion 0 is owned by P1 at phase 2.
+        assert_eq!(plan.iter_phase[0], 2);
+    }
+
+    #[test]
+    fn three_references_supported() {
+        // m = 3 (e.g. triangle meshes updating three vertices).
+        let g = PhaseGeometry::new(2, 2, 12);
+        let a = vec![0, 3, 6, 9, 1];
+        let b = vec![3, 6, 9, 0, 4];
+        let c = vec![6, 9, 0, 3, 7];
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b, &c],
+        });
+        verify_plan(&plan, &[&a, &b, &c]).unwrap();
+        assert_eq!(plan.total_iters(), 5);
+        // Each iteration has exactly 3 -1 = 2 buffered refs at most; total
+        // copies ≤ 2 per iteration.
+        assert!(plan.total_copies() <= 10);
+    }
+
+    #[test]
+    fn single_ref_plan_partitions_iterations() {
+        let g = PhaseGeometry::new(4, 2, 64);
+        let ind: Vec<u32> = (0..200).map(|i| (i * 7) as u32 % 64).collect();
+        let plan = inspect_single(g, 2, &ind);
+        assert_eq!(plan.total_iters(), 200);
+        // Every iteration's element must be resident in its phase.
+        for (p, iters) in plan.phases.iter().enumerate() {
+            let owned = g.portion_owned_by(2, p);
+            let range = g.portion_range(owned);
+            for &i in iters {
+                assert!(range.contains(&(ind[i as usize] as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn no_copies_when_all_refs_coincide() {
+        // Both endpoints always in the same portion → no buffering at all.
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a = vec![0, 2, 4, 6];
+        let b = vec![1, 3, 5, 7];
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b],
+        });
+        assert_eq!(plan.buffer_len, 0);
+        assert_eq!(plan.total_copies(), 0);
+        verify_plan(&plan, &[&a, &b]).unwrap();
+    }
+
+    #[test]
+    fn k1_plan_is_valid() {
+        let g = PhaseGeometry::new(4, 1, 32);
+        let a: Vec<u32> = (0..100).map(|i| (i * 13) as u32 % 32).collect();
+        let b: Vec<u32> = (0..100).map(|i| (i * 29 + 5) as u32 % 32).collect();
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 3,
+            indirection: &[&a, &b],
+        });
+        verify_plan(&plan, &[&a, &b]).unwrap();
+    }
+
+    #[test]
+    fn empty_iteration_set() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a: Vec<u32> = vec![];
+        let b: Vec<u32> = vec![];
+        let plan = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b],
+        });
+        assert_eq!(plan.total_iters(), 0);
+        assert_eq!(plan.buffer_len, 0);
+        verify_plan(&plan, &[&a, &b]).unwrap();
+    }
+}

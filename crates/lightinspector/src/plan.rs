@@ -1,0 +1,204 @@
+//! Output of the LightInspector and its validity checker.
+
+use crate::geometry::PhaseGeometry;
+
+/// One `X[dest] += X[src]; X[src] = 0` operation of a phase's second
+/// loop: fold a buffered contribution into the now-resident portion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyOp {
+    /// Global element index, owned by this processor during the copy's
+    /// phase.
+    pub dest: u32,
+    /// Buffer index: `>= num_elements`, into the buffer extension.
+    pub src: u32,
+}
+
+/// Per-phase executor input produced by the inspector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhasePlan {
+    /// Local iteration indices executed in this phase (the first loop).
+    pub iters: Vec<u32>,
+    /// `refs[r][j]` is where the `r`-th reduction reference of iteration
+    /// `iters[j]` goes: either a global element index (`< num_elements`,
+    /// resident this phase) or a buffer index (`>= num_elements`).
+    pub refs: Vec<Vec<u32>>,
+    /// The second loop: contributions buffered by earlier phases for
+    /// elements that become resident now.
+    pub copies: Vec<CopyOp>,
+}
+
+/// Complete local plan for one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectorPlan {
+    pub geometry: PhaseGeometry,
+    pub proc_id: usize,
+    /// Number of buffer slots appended to the reduction array; the
+    /// executor allocates `num_elements + buffer_len` elements.
+    pub buffer_len: usize,
+    /// One plan per phase, `k·P` of them.
+    pub phases: Vec<PhasePlan>,
+    /// Phase each local iteration was assigned to (indexed by local
+    /// iteration number) — consumed by the incremental inspector.
+    pub iter_phase: Vec<u32>,
+}
+
+impl InspectorPlan {
+    /// Total iterations across all phases.
+    pub fn total_iters(&self) -> usize {
+        self.phases.iter().map(|p| p.iters.len()).sum()
+    }
+
+    /// Total buffered contributions (= total copy operations).
+    pub fn total_copies(&self) -> usize {
+        self.phases.iter().map(|p| p.copies.len()).sum()
+    }
+
+    /// Per-phase iteration counts — the load-balance signature the paper
+    /// analyzes when comparing block and cyclic distributions (§5.4.2).
+    pub fn phase_iter_counts(&self) -> Vec<usize> {
+        self.phases.iter().map(|p| p.iters.len()).collect()
+    }
+}
+
+/// Plan for the single-indirection-reference case (`mvm`): iterations are
+/// only grouped by phase; no buffers and no second loop are needed
+/// because every update is made while its element is resident (§3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleRefPlan {
+    pub geometry: PhaseGeometry,
+    pub proc_id: usize,
+    /// `phases[p]` = local iterations executed during phase `p`.
+    pub phases: Vec<Vec<u32>>,
+}
+
+impl SingleRefPlan {
+    pub fn total_iters(&self) -> usize {
+        self.phases.iter().map(|p| p.len()).sum()
+    }
+
+    pub fn phase_iter_counts(&self) -> Vec<usize> {
+        self.phases.iter().map(|p| p.len()).collect()
+    }
+}
+
+/// Violation found by [`verify_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An iteration appears in no phase or more than one phase.
+    IterationCoverage { iter: u32, times: usize },
+    /// A resident reference points at an element not owned that phase.
+    NotResident { phase: usize, elem: u32 },
+    /// A buffer slot is written by more than one (phase, iter, ref).
+    BufferAliased { slot: u32 },
+    /// A buffer slot is copied zero or multiple times.
+    CopyCount { slot: u32, times: usize },
+    /// A copy's destination is not resident in its phase.
+    CopyDestNotResident { phase: usize, dest: u32 },
+    /// A copy runs at or before the phase that wrote the buffer.
+    CopyBeforeWrite { slot: u32 },
+    /// A remapped reference disagrees with the original indirection array.
+    WrongTarget { iter: u32, r: usize },
+    /// Phase count does not match the geometry.
+    PhaseCount { got: usize, want: usize },
+}
+
+/// Check every structural invariant of a plan against the original
+/// indirection arrays. Used by unit tests, property tests, and (in debug
+/// builds) the executors.
+///
+/// Invariants:
+/// 1. every local iteration appears in exactly one phase;
+/// 2. every resident reference targets an element owned in that phase,
+///    and equals the original indirection entry;
+/// 3. every buffered reference targets a distinct buffer slot, the slot
+///    is copied exactly once, in a strictly later phase, into the
+///    original indirection entry, which is resident in the copy's phase.
+pub fn verify_plan(plan: &InspectorPlan, indirection: &[&[u32]]) -> Result<(), PlanError> {
+    let g = &plan.geometry;
+    let n = g.num_elements() as u32;
+    let kp = g.num_phases();
+    if plan.phases.len() != kp {
+        return Err(PlanError::PhaseCount {
+            got: plan.phases.len(),
+            want: kp,
+        });
+    }
+    let num_iters = indirection.first().map_or(0, |a| a.len());
+
+    // 1. coverage
+    let mut seen = vec![0usize; num_iters];
+    for ph in &plan.phases {
+        for &it in &ph.iters {
+            seen[it as usize] += 1;
+        }
+    }
+    for (it, &times) in seen.iter().enumerate() {
+        if times != 1 {
+            return Err(PlanError::IterationCoverage {
+                iter: it as u32,
+                times,
+            });
+        }
+    }
+
+    // slot -> (write phase, original element)
+    let mut slot_written: std::collections::HashMap<u32, (usize, u32)> =
+        std::collections::HashMap::new();
+
+    for (p, ph) in plan.phases.iter().enumerate() {
+        let owned = g.portion_owned_by(plan.proc_id, p);
+        let range = g.portion_range(owned);
+        for (j, &it) in ph.iters.iter().enumerate() {
+            for (r, refs_r) in ph.refs.iter().enumerate() {
+                let target = refs_r[j];
+                let orig = indirection[r][it as usize];
+                if target < n {
+                    if target != orig {
+                        return Err(PlanError::WrongTarget { iter: it, r });
+                    }
+                    if !range.contains(&(target as usize)) {
+                        return Err(PlanError::NotResident {
+                            phase: p,
+                            elem: target,
+                        });
+                    }
+                } else {
+                    if slot_written.insert(target, (p, orig)).is_some() {
+                        return Err(PlanError::BufferAliased { slot: target });
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. copies
+    let mut copied: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (p, ph) in plan.phases.iter().enumerate() {
+        let owned = g.portion_owned_by(plan.proc_id, p);
+        let range = g.portion_range(owned);
+        for c in &ph.copies {
+            *copied.entry(c.src).or_insert(0) += 1;
+            if !range.contains(&(c.dest as usize)) {
+                return Err(PlanError::CopyDestNotResident { phase: p, dest: c.dest });
+            }
+            match slot_written.get(&c.src) {
+                None => return Err(PlanError::CopyCount { slot: c.src, times: 0 }),
+                Some(&(wp, orig)) => {
+                    if wp >= p {
+                        return Err(PlanError::CopyBeforeWrite { slot: c.src });
+                    }
+                    if orig != c.dest {
+                        return Err(PlanError::WrongTarget { iter: 0, r: usize::MAX });
+                    }
+                }
+            }
+        }
+    }
+    for (&slot, _) in slot_written.iter() {
+        let times = copied.get(&slot).copied().unwrap_or(0);
+        if times != 1 {
+            return Err(PlanError::CopyCount { slot, times });
+        }
+    }
+    Ok(())
+}

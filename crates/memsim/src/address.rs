@@ -1,0 +1,144 @@
+//! Address-space bookkeeping for simulated nodes.
+//!
+//! Each simulated node has its own flat address space. Arrays are
+//! registered once through [`AddressMap::alloc`] and the returned
+//! [`Region`] converts element indices to byte addresses, which the
+//! kernels feed to the cache model. Regions are aligned to cache lines so
+//! distinct arrays never share a line (the common case on a real
+//! allocator for large arrays).
+
+/// A contiguous allocation inside a node's simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    elem_bytes: u32,
+    len: usize,
+}
+
+impl Region {
+    /// Byte address of element `i`. Panics in debug builds when out of
+    /// bounds — an out-of-range address would silently alias another array
+    /// and corrupt the locality measurement.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of region of len {}", self.len);
+        self.base + (i as u64) * u64::from(self.elem_bytes)
+    }
+
+    /// Base byte address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.len as u64 * u64::from(self.elem_bytes)
+    }
+}
+
+/// Bump allocator for one node's simulated address space.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    next: u64,
+    align: u64,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl AddressMap {
+    /// `align` is the alignment applied to every region (use the cache
+    /// line size or larger).
+    pub fn new(align: u64) -> Self {
+        assert!(align.is_power_of_two());
+        // Start away from address 0 so "null-ish" addresses stand out in
+        // traces.
+        AddressMap { next: 4096, align }
+    }
+
+    /// Reserve a region of `len` elements of `elem_bytes` each.
+    pub fn alloc(&mut self, len: usize, elem_bytes: u32) -> Region {
+        let base = self.next;
+        let sz = (len as u64) * u64::from(elem_bytes);
+        self.next = (base + sz + self.align - 1) & !(self.align - 1);
+        Region {
+            base,
+            elem_bytes,
+            len,
+        }
+    }
+
+    /// Convenience: a region of `len` f64 elements.
+    pub fn alloc_f64(&mut self, len: usize) -> Region {
+        self.alloc(len, 8)
+    }
+
+    /// Convenience: a region of `len` u32 elements.
+    pub fn alloc_u32(&mut self, len: usize) -> Region {
+        self.alloc(len, 4)
+    }
+
+    /// Total bytes reserved so far.
+    pub fn reserved(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut m = AddressMap::new(64);
+        let a = m.alloc_f64(100);
+        let b = m.alloc_u32(7);
+        let c = m.alloc_f64(1);
+        assert!(a.base() % 64 == 0 && b.base() % 64 == 0 && c.base() % 64 == 0);
+        assert!(a.base() + a.bytes() <= b.base());
+        assert!(b.base() + b.bytes() <= c.base());
+    }
+
+    #[test]
+    fn addr_strides_by_elem_size() {
+        let mut m = AddressMap::default();
+        let r = m.alloc_f64(10);
+        assert_eq!(r.addr(3) - r.addr(0), 24);
+        let r2 = m.alloc_u32(10);
+        assert_eq!(r2.addr(5) - r2.addr(0), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_panics_in_debug() {
+        let mut m = AddressMap::default();
+        let r = m.alloc_f64(4);
+        let _ = r.addr(4);
+    }
+
+    #[test]
+    fn empty_region() {
+        let mut m = AddressMap::default();
+        let r = m.alloc_f64(0);
+        assert!(r.is_empty());
+        assert_eq!(r.bytes(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Set-associative cache with LRU replacement.
+//!
+//! The cache stores tags only (no data): it answers "hit or miss" for an
+//! address trace. Write policy is write-allocate / write-back, which is
+//! what the i860XP data cache used; a write miss therefore behaves like a
+//! read miss for timing purposes, and dirty evictions add a write-back
+//! charge accounted by [`crate::MemModel`].
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set). `1` gives a direct-mapped cache.
+    pub ways: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line: usize,
+}
+
+impl CacheConfig {
+    /// The i860XP data cache: 16 KiB, 4-way, 32-byte lines.
+    pub const fn i860xp() -> Self {
+        CacheConfig {
+            capacity: 16 * 1024,
+            ways: 4,
+            line: 32,
+        }
+    }
+
+    /// A tiny cache useful in tests (256 B, 2-way, 16 B lines).
+    pub const fn tiny() -> Self {
+        CacheConfig {
+            capacity: 256,
+            ways: 2,
+            line: 16,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotone timestamp of last touch, for LRU.
+    stamp: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    stamp: 0,
+};
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    pub hit: bool,
+    /// A dirty line was evicted to make room (costs a write-back).
+    pub writeback: bool,
+}
+
+/// A set-associative cache simulated per access.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    set_shift: u32,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl Cache {
+    /// Build a cache; panics if the geometry is degenerate (zero sets,
+    /// non-power-of-two line size).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways >= 1, "need at least one way");
+        let sets = cfg.sets();
+        assert!(sets >= 1, "geometry implies zero sets");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            lines: vec![INVALID; sets * cfg.ways],
+            set_shift: cfg.line.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            clock: 0,
+        }
+    }
+
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Simulate one access; returns hit/miss and whether a dirty line was
+    /// evicted.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        self.clock += 1;
+        let line_addr = addr >> self.set_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        // Hit?
+        for l in ways.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.stamp = self.clock;
+                if kind == AccessKind::Write {
+                    l.dirty = true;
+                }
+                return AccessResult {
+                    hit: true,
+                    writeback: false,
+                };
+            }
+        }
+
+        // Miss: choose victim (invalid first, else LRU).
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, l) in ways.iter().enumerate() {
+            if !l.valid {
+                victim = i;
+                break;
+            }
+            if l.stamp < best {
+                best = l.stamp;
+                victim = i;
+            }
+        }
+        let writeback = ways[victim].valid && ways[victim].dirty;
+        ways[victim] = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            stamp: self.clock,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Invalidate the whole cache (e.g., between independent experiments).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = INVALID;
+        }
+    }
+
+    /// Number of currently valid lines (for tests / introspection).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig::tiny())
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x100, AccessKind::Read).hit);
+        // Same line, different byte.
+        assert!(c.access(0x10f, AccessKind::Read).hit);
+        // Next line.
+        assert!(!c.access(0x110, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        for b in 1..16u64 {
+            assert!(c.access(b, AccessKind::Read).hit, "byte {b} should hit");
+        }
+        assert!(!c.access(16, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // tiny: 256 B / (2 ways * 16 B) = 8 sets. Three lines mapping to
+        // set 0: line addresses 0, 8, 16 (i.e., byte addrs 0, 128, 256).
+        let mut c = tiny();
+        c.access(0, AccessKind::Read); // A
+        c.access(128, AccessKind::Read); // B — set 0 now {A, B}
+        c.access(0, AccessKind::Read); // touch A, B becomes LRU
+        c.access(256, AccessKind::Read); // C evicts B
+        assert!(c.access(0, AccessKind::Read).hit, "A survives");
+        assert!(!c.access(128, AccessKind::Read).hit, "B was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: 32,
+            ways: 1,
+            line: 16,
+        }); // 2 sets, direct-mapped
+        c.access(0, AccessKind::Write);
+        let r = c.access(32, AccessKind::Read); // same set 0, evicts dirty line
+        assert!(!r.hit);
+        assert!(r.writeback);
+        let r2 = c.access(64, AccessKind::Read); // evicts clean line
+        assert!(!r2.hit);
+        assert!(!r2.writeback);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(512, AccessKind::Write);
+        assert_eq!(c.valid_lines(), 2);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.access(0, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn capacity_bound_respected() {
+        let cfg = CacheConfig::tiny();
+        let mut c = Cache::new(cfg);
+        // Touch far more distinct lines than fit.
+        for i in 0..64u64 {
+            c.access(i * cfg.line as u64, AccessKind::Read);
+        }
+        assert!(c.valid_lines() <= cfg.capacity / cfg.line);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: 64,
+            ways: 1,
+            line: 16,
+        }); // 4 sets
+        // Two addresses 64 apart conflict in a 4-set direct-mapped cache.
+        assert!(!c.access(0, AccessKind::Read).hit);
+        assert!(!c.access(64, AccessKind::Read).hit);
+        assert!(!c.access(0, AccessKind::Read).hit, "ping-pong conflict");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line() {
+        Cache::new(CacheConfig {
+            capacity: 256,
+            ways: 2,
+            line: 24,
+        });
+    }
+}

@@ -1,0 +1,224 @@
+//! Loop analysis: the first phase of the paper's compiler (§4).
+//!
+//! For each `forall`, extract the **reduction array sections** (regular
+//! sections of arrays accessed through indirection and updated with
+//! associative/commutative operations) and the **indirection array
+//! sections** (regular sections used to perform those accesses), in the
+//! paper's triplet notation. Reduction sections are then partitioned
+//! into **reference groups** (Definition 1): sections accessed through
+//! the same *set* of indirection sections, which can share one
+//! LightInspector.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::*;
+
+/// A regular array section in triplet notation `(start, end, stride)` —
+/// for `forall (i = 0; i < count; i++)` accesses these are always
+/// `[0 : count : 1]`, with `count` symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    pub array: String,
+    /// Symbolic end bound (the loop count symbol).
+    pub count: String,
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[0 : {} : 1]", self.array, self.count)
+    }
+}
+
+/// A reference group: reduction arrays accessed through the same set of
+/// indirection sections (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefGroup {
+    /// Reduction arrays in this group, in first-appearance order.
+    pub arrays: Vec<String>,
+    /// The indirection arrays (sorted) through which they are accessed.
+    pub vias: Vec<String>,
+}
+
+/// Classification of one `forall`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopClass {
+    /// No indirect updates: embarrassingly parallel over the index.
+    Regular,
+    /// At least one irregular reduction; `groups` has one entry per
+    /// reference group. When `groups.len() > 1`, loop fission applies.
+    IrregularReduction { groups: Vec<RefGroup> },
+}
+
+/// Everything the rest of the pipeline needs to know about one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    pub class: LoopClass,
+    /// All indirection sections used by the loop.
+    pub indirection_sections: Vec<Section>,
+    /// All reduction sections (array, via) pairs.
+    pub reduction_sections: Vec<(Section, String)>,
+}
+
+/// Analyze every loop of a (sema-checked) program.
+pub fn analyze_program(prog: &Program) -> Vec<LoopInfo> {
+    prog.loops.iter().map(analyze_loop).collect()
+}
+
+fn analyze_loop(l: &Forall) -> LoopInfo {
+    // array -> set of vias used to update it
+    let mut updates: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut ind_sections: BTreeSet<String> = BTreeSet::new();
+    let mut red_sections: Vec<(Section, String)> = Vec::new();
+
+    for s in &l.body {
+        if let Stmt::ReduceIndirect { array, via, .. } = s {
+            if !updates.contains_key(array) {
+                order.push(array.clone());
+            }
+            updates.entry(array.clone()).or_default().insert(via.clone());
+            ind_sections.insert(via.clone());
+            let sec = Section {
+                array: array.clone(),
+                count: l.count.clone(),
+            };
+            if !red_sections.iter().any(|(rs, v)| rs == &sec && v == via) {
+                red_sections.push((sec, via.clone()));
+            }
+        }
+    }
+
+    let class = if updates.is_empty() {
+        LoopClass::Regular
+    } else {
+        // Group arrays by their via-set (Definition 1), preserving
+        // first-appearance order of arrays within and across groups.
+        let mut groups: Vec<RefGroup> = Vec::new();
+        for array in &order {
+            let vias: Vec<String> = updates[array].iter().cloned().collect();
+            if let Some(g) = groups.iter_mut().find(|g| g.vias == vias) {
+                g.arrays.push(array.clone());
+            } else {
+                groups.push(RefGroup {
+                    arrays: vec![array.clone()],
+                    vias,
+                });
+            }
+        }
+        LoopClass::IrregularReduction { groups }
+    };
+
+    LoopInfo {
+        class,
+        indirection_sections: ind_sections
+            .into_iter()
+            .map(|array| Section {
+                array,
+                count: l.count.clone(),
+            })
+            .collect(),
+        reduction_sections: red_sections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze(src: &str) -> Vec<LoopInfo> {
+        let prog = parse(src).unwrap();
+        crate::sema::check(&prog).unwrap();
+        analyze_program(&prog)
+    }
+
+    #[test]
+    fn figure1_single_group() {
+        let info = analyze(
+            "double X[n]; double Y[e]; int IA1[e]; int IA2[e];
+             forall (i = 0; i < e; i++) {
+                 double f = Y[i] * 0.5;
+                 X[IA1[i]] += f;
+                 X[IA2[i]] -= f;
+             }",
+        );
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!("expected irregular reduction");
+        };
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].arrays, vec!["X"]);
+        assert_eq!(groups[0].vias, vec!["IA1", "IA2"]);
+        assert_eq!(info[0].indirection_sections.len(), 2);
+        assert_eq!(info[0].indirection_sections[0].to_string(), "IA1[0 : e : 1]");
+    }
+
+    #[test]
+    fn same_via_set_shares_group() {
+        // Two reduction arrays through the same vias → one group, one
+        // LightInspector (the significance of Definition 1).
+        let info = analyze(
+            "double FX[n]; double FY[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 FX[A[i]] += 1.0; FX[B[i]] -= 1.0;
+                 FY[A[i]] += 2.0; FY[B[i]] -= 2.0;
+             }",
+        );
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!()
+        };
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].arrays, vec!["FX", "FY"]);
+    }
+
+    #[test]
+    fn different_via_sets_split_groups() {
+        let info = analyze(
+            "double P[n]; double Q[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 P[A[i]] += 1.0;
+                 Q[B[i]] += 2.0;
+             }",
+        );
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!()
+        };
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].arrays, vec!["P"]);
+        assert_eq!(groups[0].vias, vec!["A"]);
+        assert_eq!(groups[1].arrays, vec!["Q"]);
+        assert_eq!(groups[1].vias, vec!["B"]);
+    }
+
+    #[test]
+    fn subset_via_sets_are_distinct_groups() {
+        // P uses {A}, Q uses {A, B}: different sets → different groups.
+        let info = analyze(
+            "double P[n]; double Q[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 P[A[i]] += 1.0;
+                 Q[A[i]] += 2.0;
+                 Q[B[i]] += 2.0;
+             }",
+        );
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!()
+        };
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn regular_loop_classified() {
+        let info = analyze("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 1.0; }");
+        assert_eq!(info[0].class, LoopClass::Regular);
+        assert!(info[0].indirection_sections.is_empty());
+    }
+
+    #[test]
+    fn reduction_sections_deduplicated() {
+        let info = analyze(
+            "double X[n]; int A[e];
+             forall (i = 0; i < e; i++) { X[A[i]] += 1.0; X[A[i]] += 2.0; }",
+        );
+        assert_eq!(info[0].reduction_sections.len(), 1);
+    }
+}

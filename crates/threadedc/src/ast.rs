@@ -1,0 +1,179 @@
+//! Abstract syntax of the EARTH-C-like DSL.
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Expressions. Array indexing is restricted to one level of
+/// indirection, matching the paper's stated assumption (§4: "no array is
+/// accessed through more than one level of indirection").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Number(f64),
+    /// A scalar: the loop variable or a loop-local.
+    Var(String),
+    /// `A[i]` — direct array access by the loop variable.
+    Direct { array: String },
+    /// `A[B[i]]` — one level of indirection.
+    Indirect { array: String, via: String },
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// All array names read by this expression, with how they are
+    /// accessed: `(array, Some(via))` for indirect, `(array, None)` for
+    /// direct.
+    pub fn array_reads(&self, out: &mut Vec<(String, Option<String>)>) {
+        match self {
+            Expr::Number(_) | Expr::Var(_) => {}
+            Expr::Direct { array } => out.push((array.clone(), None)),
+            Expr::Indirect { array, via } => out.push((array.clone(), Some(via.clone()))),
+            Expr::Bin(_, a, b) => {
+                a.array_reads(out);
+                b.array_reads(out);
+            }
+            Expr::Neg(a) => a.array_reads(out),
+        }
+    }
+
+    /// All scalar variable names read.
+    pub fn var_reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Number(_) | Expr::Direct { .. } => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Indirect { .. } => {}
+            Expr::Bin(_, a, b) => {
+                a.var_reads(out);
+                b.var_reads(out);
+            }
+            Expr::Neg(a) => a.var_reads(out),
+        }
+    }
+
+    /// Rough floating-point operation count, used for cost modeling.
+    pub fn flops(&self) -> u64 {
+        match self {
+            Expr::Number(_) | Expr::Var(_) | Expr::Direct { .. } | Expr::Indirect { .. } => 0,
+            Expr::Bin(_, a, b) => 1 + a.flops() + b.flops(),
+            Expr::Neg(a) => 1 + a.flops(),
+        }
+    }
+}
+
+/// Statements allowed inside a `forall` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `double name = expr;` — a loop-local scalar.
+    Local { name: String, init: Expr, line: usize },
+    /// `X[IA[i]] += expr;` / `-=` — an irregular reduction update.
+    ReduceIndirect {
+        array: String,
+        via: String,
+        negate: bool,
+        value: Expr,
+        line: usize,
+    },
+    /// `Y[i] += expr;` / `Y[i] = expr;` — a direct update by loop index.
+    AssignDirect {
+        array: String,
+        accumulate: bool,
+        value: Expr,
+        line: usize,
+    },
+}
+
+/// Element type of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    Double,
+    Int,
+}
+
+/// A top-level array declaration: `double X[nsym];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub ty: ElemType,
+    /// Symbolic size (resolved against the runtime bindings at execution).
+    pub size: String,
+    pub line: usize,
+}
+
+/// A `forall` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forall {
+    /// Loop variable name.
+    pub var: String,
+    /// Symbolic iteration count (upper bound).
+    pub count: String,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+/// A whole program: declarations followed by loops.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub decls: Vec<ArrayDecl>,
+    pub loops: Vec<Forall>,
+}
+
+impl Program {
+    pub fn decl(&self, name: &str) -> Option<&ArrayDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_reads_collects_both_kinds() {
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Direct { array: "W".into() }),
+            Box::new(Expr::Indirect {
+                array: "Q".into(),
+                via: "IA".into(),
+            }),
+        );
+        let mut reads = Vec::new();
+        e.array_reads(&mut reads);
+        assert_eq!(
+            reads,
+            vec![("W".to_string(), None), ("Q".to_string(), Some("IA".to_string()))]
+        );
+    }
+
+    #[test]
+    fn flops_counts_operators() {
+        let e = Expr::Neg(Box::new(Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Number(1.0)),
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into())),
+            )),
+        )));
+        assert_eq!(e.flops(), 3);
+    }
+
+    #[test]
+    fn var_reads_ignores_arrays() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var("f".into())),
+            Box::new(Expr::Direct { array: "W".into() }),
+        );
+        let mut vars = Vec::new();
+        e.var_reads(&mut vars);
+        assert_eq!(vars, vec!["f".to_string()]);
+    }
+}

@@ -1,0 +1,574 @@
+//! Code generation: lower analyzed, fissioned loops onto the phased
+//! execution strategy.
+//!
+//! "After loop fission, each loop can be easily processed to generate
+//! code for the execution strategy presented in Section 2. The
+//! indirection array sections are used to form the parameters to the
+//! LIGHTINSPECTOR. The reduction array sections are used to establish
+//! the communication." (§4)
+//!
+//! Concretely, each irregular loop becomes a [`CompiledLoop`]: the
+//! indirection arrays (LightInspector parameters), the reduction arrays
+//! (the rotating group), and an [`InterpKernel`] — an interpreted
+//! [`irred::EdgeKernel`] evaluating the loop body — which
+//! [`CompiledProgram::execute_sim`] runs through the standard
+//! [`irred::PhasedReduction`] machinery on the simulated EARTH machine.
+//! Regular loops (including fission preludes) run sequentially between
+//! phased loops.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use earth_model::sim::SimConfig;
+use irred::{EdgeKernel, PhasedReduction, PhasedSpec, StrategyConfig};
+
+use crate::analysis::{analyze_program, LoopClass};
+use crate::ast::*;
+use crate::fission::fission_loop;
+use crate::interp::{interpret_loop, Bindings};
+use crate::parser::parse;
+use crate::sema::check;
+use crate::Diagnostic;
+
+/// A compiled (resolved-reference) expression, evaluable without name
+/// lookups.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Number(f64),
+    LoopVar,
+    Local(usize),
+    /// Direct read: f64 array slot, indexed by the iteration.
+    Direct(usize),
+    /// Indirect read: f64 array slot through int array slot.
+    Indirect(usize, usize),
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    Neg(Box<CExpr>),
+}
+
+impl CExpr {
+    fn eval(&self, i: usize, locals: &[f64], f64s: &[Arc<Vec<f64>>], ints: &[Arc<Vec<u32>>]) -> f64 {
+        match self {
+            CExpr::Number(v) => *v,
+            CExpr::LoopVar => i as f64,
+            CExpr::Local(s) => locals[*s],
+            CExpr::Direct(a) => f64s[*a][i],
+            CExpr::Indirect(a, v) => f64s[*a][ints[*v][i] as usize],
+            CExpr::Bin(op, x, y) => {
+                let (x, y) = (x.eval(i, locals, f64s, ints), y.eval(i, locals, f64s, ints));
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                }
+            }
+            CExpr::Neg(x) => -x.eval(i, locals, f64s, ints),
+        }
+    }
+}
+
+/// The interpreted kernel generated for one irregular loop: implements
+/// [`irred::EdgeKernel`] by evaluating the loop body.
+pub struct InterpKernel {
+    locals: Vec<CExpr>,
+    /// `(ref index, array index, negate, value)` per reduction statement.
+    updates: Vec<(usize, usize, bool, CExpr)>,
+    f64s: Vec<Arc<Vec<f64>>>,
+    ints: Vec<Arc<Vec<u32>>>,
+    num_refs: usize,
+    num_arrays: usize,
+    flops: u64,
+    edge_reads: usize,
+    node_reads: usize,
+}
+
+impl EdgeKernel for InterpKernel {
+    fn num_refs(&self) -> usize {
+        self.num_refs
+    }
+
+    fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        let mut locals = [0.0f64; 16];
+        for (s, init) in self.locals.iter().enumerate() {
+            locals[s] = init.eval(iter, &locals, &self.f64s, &self.ints);
+        }
+        for (r, a, negate, value) in &self.updates {
+            let v = value.eval(iter, &locals, &self.f64s, &self.ints);
+            let slot = r * self.num_arrays + a;
+            out[slot] += if *negate { -v } else { v };
+        }
+    }
+
+    fn flops_per_iter(&self) -> u64 {
+        self.flops
+    }
+
+    fn edge_reads_per_iter(&self) -> usize {
+        self.edge_reads
+    }
+
+    fn node_reads_per_elem(&self) -> usize {
+        self.node_reads
+    }
+}
+
+/// One irregular loop lowered to the phased strategy.
+pub struct CompiledLoop {
+    /// Index into [`CompiledProgram::program`]'s loop list.
+    pub loop_index: usize,
+    /// The reduction arrays of the (single) reference group.
+    pub reduction_arrays: Vec<String>,
+    /// The LightInspector parameters: the indirection arrays, sorted.
+    pub vias: Vec<String>,
+    /// Size symbol of the reduction arrays.
+    pub elem_size: String,
+    /// Iteration-count symbol.
+    pub count: String,
+}
+
+/// What to do with each loop, in program order.
+pub enum LoopPlan {
+    /// Run sequentially on the control processor (regular loops and
+    /// fission preludes).
+    Regular(usize),
+    /// Run under the phased strategy.
+    Phased(CompiledLoop),
+}
+
+/// The compiler's output: the transformed program plus an execution plan.
+pub struct CompiledProgram {
+    /// Post-fission program (declarations include introduced temps).
+    pub program: Program,
+    pub plan: Vec<LoopPlan>,
+    /// Human-readable compilation log (sections, groups, fission).
+    pub log: Vec<String>,
+}
+
+/// Compile source text end to end (parse → sema → analysis → fission →
+/// plan).
+pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
+    let prog = parse(src)?;
+    check(&prog)?;
+    let infos = analyze_program(&prog);
+
+    let mut out = Program {
+        decls: prog.decls.clone(),
+        loops: Vec::new(),
+    };
+    let mut plan = Vec::new();
+    let mut log = Vec::new();
+
+    for (l, info) in prog.loops.iter().zip(&infos) {
+        for sec in &info.indirection_sections {
+            log.push(format!("loop@{}: indirection section {sec}", l.line));
+        }
+        for (sec, via) in &info.reduction_sections {
+            log.push(format!("loop@{}: reduction section {sec} via {via}", l.line));
+        }
+        match &info.class {
+            LoopClass::Regular => {
+                log.push(format!("loop@{}: regular (no inspector needed)", l.line));
+                let idx = out.loops.len();
+                out.loops.push(l.clone());
+                plan.push(LoopPlan::Regular(idx));
+            }
+            LoopClass::IrregularReduction { groups } => {
+                log.push(format!(
+                    "loop@{}: irregular reduction, {} reference group(s)",
+                    l.line,
+                    groups.len()
+                ));
+                let f = fission_loop(l, groups);
+                if groups.len() > 1 {
+                    log.push(format!(
+                        "loop@{}: fissioned into {} loops, {} temp array(s)",
+                        l.line,
+                        f.loops.len(),
+                        f.temps.len()
+                    ));
+                }
+                out.decls.extend(f.temps.clone());
+                let n_groups = groups.len();
+                let n_loops = f.loops.len();
+                for (j, fl) in f.loops.into_iter().enumerate() {
+                    let idx = out.loops.len();
+                    out.loops.push(fl);
+                    let is_prelude = n_loops > n_groups && j == 0;
+                    if is_prelude {
+                        plan.push(LoopPlan::Regular(idx));
+                        continue;
+                    }
+                    let g = &groups[j - (n_loops - n_groups)];
+                    let elem_size = out
+                        .decls
+                        .iter()
+                        .find(|d| d.name == g.arrays[0])
+                        .expect("sema checked")
+                        .size
+                        .clone();
+                    log.push(format!(
+                        "loop@{}: LIGHTINSPECTOR({}) over {}; rotating group {{{}}}",
+                        l.line,
+                        g.vias.join(", "),
+                        l.count,
+                        g.arrays.join(", ")
+                    ));
+                    plan.push(LoopPlan::Phased(CompiledLoop {
+                        loop_index: idx,
+                        reduction_arrays: g.arrays.clone(),
+                        vias: g.vias.clone(),
+                        elem_size,
+                        count: l.count.clone(),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(CompiledProgram { program: out, plan, log })
+}
+
+/// Result of executing a compiled program on the simulated machine.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// Total simulated cycles across the phased loops.
+    pub time_cycles: u64,
+    /// Phased loops executed.
+    pub phased_loops: usize,
+    /// Regular loops executed (sequentially).
+    pub regular_loops: usize,
+}
+
+impl CompiledProgram {
+    /// Build the [`InterpKernel`] and [`PhasedSpec`] for one compiled loop
+    /// against concrete bindings.
+    fn lower_kernel(
+        &self,
+        cl: &CompiledLoop,
+        b: &Bindings,
+    ) -> Result<PhasedSpec<InterpKernel>, Diagnostic> {
+        let l = &self.program.loops[cl.loop_index];
+        let mut f64_slots: Vec<(String, Arc<Vec<f64>>)> = Vec::new();
+        let mut int_slots: Vec<(String, Arc<Vec<u32>>)> = Vec::new();
+        let mut local_slots: HashMap<String, usize> = HashMap::new();
+
+        let f64_slot = |name: &str, f64_slots: &mut Vec<(String, Arc<Vec<f64>>)>| -> Result<usize, Diagnostic> {
+            if let Some(p) = f64_slots.iter().position(|(n, _)| n == name) {
+                return Ok(p);
+            }
+            let data = b.f64s.get(name).cloned().ok_or_else(|| Diagnostic {
+                line: l.line,
+                message: format!("array `{name}` not bound"),
+            })?;
+            f64_slots.push((name.to_string(), Arc::new(data)));
+            Ok(f64_slots.len() - 1)
+        };
+        let int_slot = |name: &str, int_slots: &mut Vec<(String, Arc<Vec<u32>>)>| -> Result<usize, Diagnostic> {
+            if let Some(p) = int_slots.iter().position(|(n, _)| n == name) {
+                return Ok(p);
+            }
+            let data = b.ints.get(name).cloned().ok_or_else(|| Diagnostic {
+                line: l.line,
+                message: format!("indirection array `{name}` not bound"),
+            })?;
+            int_slots.push((name.to_string(), Arc::new(data)));
+            Ok(int_slots.len() - 1)
+        };
+
+        let mut edge_reads = 0usize;
+        let mut node_reads = 0usize;
+        fn lower(
+            e: &Expr,
+            locals: &HashMap<String, usize>,
+            f64_slot: &mut dyn FnMut(&str) -> Result<usize, Diagnostic>,
+            int_slot: &mut dyn FnMut(&str) -> Result<usize, Diagnostic>,
+            edge_reads: &mut usize,
+            node_reads: &mut usize,
+        ) -> Result<CExpr, Diagnostic> {
+            Ok(match e {
+                Expr::Number(v) => CExpr::Number(*v),
+                Expr::Var(v) => match locals.get(v) {
+                    Some(s) => CExpr::Local(*s),
+                    None => CExpr::LoopVar,
+                },
+                Expr::Direct { array } => {
+                    *edge_reads += 1;
+                    CExpr::Direct(f64_slot(array)?)
+                }
+                Expr::Indirect { array, via } => {
+                    *node_reads += 1;
+                    CExpr::Indirect(f64_slot(array)?, int_slot(via)?)
+                }
+                Expr::Bin(op, a, c) => CExpr::Bin(
+                    *op,
+                    Box::new(lower(a, locals, f64_slot, int_slot, edge_reads, node_reads)?),
+                    Box::new(lower(c, locals, f64_slot, int_slot, edge_reads, node_reads)?),
+                ),
+                Expr::Neg(a) => {
+                    CExpr::Neg(Box::new(lower(a, locals, f64_slot, int_slot, edge_reads, node_reads)?))
+                }
+            })
+        }
+
+        let mut locals = Vec::new();
+        let mut updates = Vec::new();
+        let mut flops = 0u64;
+        for s in &l.body {
+            match s {
+                Stmt::Local { name, init, .. } => {
+                    assert!(locals.len() < 16, "more than 16 loop locals unsupported");
+                    let ce = lower(
+                        init,
+                        &local_slots,
+                        &mut |n| f64_slot(n, &mut f64_slots),
+                        &mut |n| int_slot(n, &mut int_slots),
+                        &mut edge_reads,
+                        &mut node_reads,
+                    )?;
+                    flops += init.flops();
+                    local_slots.insert(name.clone(), locals.len());
+                    locals.push(ce);
+                }
+                Stmt::ReduceIndirect {
+                    array,
+                    via,
+                    negate,
+                    value,
+                    ..
+                } => {
+                    let r = cl.vias.iter().position(|v| v == via).expect("analysis");
+                    let a = cl
+                        .reduction_arrays
+                        .iter()
+                        .position(|x| x == array)
+                        .expect("analysis");
+                    let ce = lower(
+                        value,
+                        &local_slots,
+                        &mut |n| f64_slot(n, &mut f64_slots),
+                        &mut |n| int_slot(n, &mut int_slots),
+                        &mut edge_reads,
+                        &mut node_reads,
+                    )?;
+                    flops += value.flops() + 1;
+                    updates.push((r, a, *negate, ce));
+                }
+                Stmt::AssignDirect { .. } => {
+                    return Err(Diagnostic {
+                        line: l.line,
+                        message: "direct assignment inside a phased loop (fission should have removed it)"
+                            .into(),
+                    })
+                }
+            }
+        }
+
+        // The indirection arrays of the group, in via order.
+        let e = b.size_of(&cl.count)?;
+        let mut indirection = Vec::with_capacity(cl.vias.len());
+        for via in &cl.vias {
+            let data = b.ints.get(via).cloned().ok_or_else(|| Diagnostic {
+                line: l.line,
+                message: format!("indirection array `{via}` not bound"),
+            })?;
+            if data.len() != e {
+                return Err(Diagnostic {
+                    line: l.line,
+                    message: format!("indirection array `{via}` has wrong length"),
+                });
+            }
+            indirection.push(data);
+        }
+
+        let kernel = InterpKernel {
+            locals,
+            updates,
+            f64s: f64_slots.into_iter().map(|(_, d)| d).collect(),
+            ints: int_slots.into_iter().map(|(_, d)| d).collect(),
+            num_refs: cl.vias.len(),
+            num_arrays: cl.reduction_arrays.len(),
+            flops,
+            edge_reads,
+            node_reads,
+        };
+        Ok(PhasedSpec {
+            kernel: Arc::new(kernel),
+            num_elements: b.size_of(&cl.elem_size)?,
+            indirection: Arc::new(indirection),
+        })
+    }
+
+    /// Execute the compiled program: regular loops sequentially, phased
+    /// loops on the simulated EARTH machine with `strat`. Mutates the
+    /// bindings like the interpreter would; returns simulated time of the
+    /// phased portions.
+    pub fn execute_sim(
+        &self,
+        b: &mut Bindings,
+        strat: &StrategyConfig,
+        cfg: SimConfig,
+    ) -> Result<ExecReport, Diagnostic> {
+        b.materialize(&self.program)?;
+        let mut time = 0u64;
+        let mut phased = 0usize;
+        let mut regular = 0usize;
+        for p in &self.plan {
+            match p {
+                LoopPlan::Regular(idx) => {
+                    interpret_loop(&self.program.loops[*idx], b)?;
+                    regular += 1;
+                }
+                LoopPlan::Phased(cl) => {
+                    let spec = self.lower_kernel(cl, b)?;
+                    let r = PhasedReduction::run_sim(&spec, strat, cfg);
+                    // DSL semantics: X accumulates onto its prior contents;
+                    // the phased executor computes the pure sum.
+                    for (a, name) in cl.reduction_arrays.iter().enumerate() {
+                        let x = b.f64s.get_mut(name).expect("materialized");
+                        for (xi, ri) in x.iter_mut().zip(&r.x[a]) {
+                            *xi += ri;
+                        }
+                    }
+                    time += r.time_cycles;
+                    phased += 1;
+                }
+            }
+        }
+        Ok(ExecReport {
+            time_cycles: time,
+            phased_loops: phased,
+            regular_loops: regular,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+
+    fn rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    const FIG1: &str = "
+        double X[n]; double Y[e]; int IA1[e]; int IA2[e];
+        forall (i = 0; i < e; i++) {
+            double f = Y[i] * 0.5;
+            X[IA1[i]] += f;
+            X[IA2[i]] -= f;
+        }";
+
+    fn fig1_bindings(n: usize, e: usize, seed: u64) -> Bindings {
+        let mut next = rng(seed);
+        let mut b = Bindings::default();
+        b.sizes.insert("n".into(), n);
+        b.sizes.insert("e".into(), e);
+        b.f64s.insert("Y".into(), (0..e).map(|_| (next() % 100) as f64 / 7.0).collect());
+        b.ints.insert("IA1".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+        b.ints.insert("IA2".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+        b
+    }
+
+    #[test]
+    fn compile_produces_plan_and_log() {
+        let c = compile(FIG1).unwrap();
+        assert_eq!(c.plan.len(), 1);
+        assert!(matches!(&c.plan[0], LoopPlan::Phased(cl)
+            if cl.vias == ["IA1", "IA2"] && cl.reduction_arrays == ["X"]));
+        assert!(c.log.iter().any(|l| l.contains("LIGHTINSPECTOR(IA1, IA2)")), "{:?}", c.log);
+    }
+
+    #[test]
+    fn compiled_execution_matches_interpreter() {
+        let c = compile(FIG1).unwrap();
+        let mut phased = fig1_bindings(40, 300, 5);
+        let strat = StrategyConfig::new(4, 2, irred::Distribution::Cyclic, 1);
+        let rep = c.execute_sim(&mut phased, &strat, SimConfig::default()).unwrap();
+        assert_eq!(rep.phased_loops, 1);
+        assert!(rep.time_cycles > 0);
+
+        let prog = parse(FIG1).unwrap();
+        let mut direct = fig1_bindings(40, 300, 5);
+        interpret(&prog, &mut direct).unwrap();
+        for (a, b) in phased.f64s["X"].iter().zip(&direct.f64s["X"]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multi_group_program_fissions_and_matches() {
+        let src = "
+            double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+            forall (i = 0; i < e; i++) {
+                double f = W[i] * 2.0;
+                P[A[i]] += f;
+                Q[B[i]] -= f;
+            }";
+        let c = compile(src).unwrap();
+        // prelude (regular) + two phased loops
+        assert_eq!(c.plan.len(), 3);
+        assert!(matches!(c.plan[0], LoopPlan::Regular(_)));
+
+        let mut next = rng(9);
+        let (n, e) = (30usize, 200usize);
+        let mk = |next: &mut dyn FnMut() -> u64| {
+            let mut b = Bindings::default();
+            b.sizes.insert("n".into(), n);
+            b.sizes.insert("e".into(), e);
+            b.f64s.insert("W".into(), (0..e).map(|_| (next() % 50) as f64).collect());
+            b.ints.insert("A".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+            b.ints.insert("B".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+            b
+        };
+        let mut phased = mk(&mut next);
+        let mut next2 = rng(9);
+        let mut direct = mk(&mut next2);
+
+        let strat = StrategyConfig::new(2, 2, irred::Distribution::Block, 1);
+        let rep = c.execute_sim(&mut phased, &strat, SimConfig::default()).unwrap();
+        assert_eq!(rep.phased_loops, 2);
+        assert_eq!(rep.regular_loops, 1);
+
+        interpret(&parse(src).unwrap(), &mut direct).unwrap();
+        for arr in ["P", "Q"] {
+            for (a, b) in phased.f64s[arr].iter().zip(&direct.f64s[arr]) {
+                assert!((a - b).abs() < 1e-9, "{arr}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_array_group_uses_single_inspector() {
+        let src = "
+            double FX[n]; double FY[n]; int A[e]; int B[e];
+            forall (i = 0; i < e; i++) {
+                FX[A[i]] += 1.0; FX[B[i]] -= 1.0;
+                FY[A[i]] += 0.5; FY[B[i]] -= 0.5;
+            }";
+        let c = compile(src).unwrap();
+        assert_eq!(c.plan.len(), 1);
+        let LoopPlan::Phased(cl) = &c.plan[0] else { panic!() };
+        assert_eq!(cl.reduction_arrays, vec!["FX", "FY"]);
+    }
+
+    #[test]
+    fn regular_loops_stay_sequential() {
+        let c = compile("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = i + 1.0; }").unwrap();
+        assert!(matches!(c.plan[0], LoopPlan::Regular(_)));
+        let mut b = Bindings::default();
+        b.sizes.insert("e".into(), 4);
+        let strat = StrategyConfig::new(2, 2, irred::Distribution::Block, 1);
+        c.execute_sim(&mut b, &strat, SimConfig::default()).unwrap();
+        assert_eq!(b.f64s["Y"], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Loop fission by reference group (§4).
+//!
+//! "If all reduction array sections updated in a given irregular
+//! reduction loop do not belong to the same reference group, we apply
+//! loop fission to break the original loop into a sequence of loops such
+//! that each of them only updates array sections belonging to the same
+//! reference group. … Some of the scalar values computed in the original
+//! loop may now be required in multiple loops, so temporary arrays may
+//! need to be introduced."
+//!
+//! Implementation: scalars needed by more than one fissioned loop are
+//! materialized into compiler-introduced temporary arrays
+//! (`__tmp_<name>`) filled by a leading *prelude* loop, which also
+//! carries any direct (non-reduction) assignments. Scalars used by a
+//! single group sink into that group's loop.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::RefGroup;
+use crate::ast::*;
+
+/// Result of fissioning one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FissionResult {
+    /// Compiler-introduced temporary arrays (name, per-iteration).
+    pub temps: Vec<ArrayDecl>,
+    /// The loops, in execution order: an optional prelude (locals that
+    /// feed several groups + direct assignments), then one loop per
+    /// reference group.
+    pub loops: Vec<Forall>,
+}
+
+/// Which groups (by index) each local scalar feeds, transitively.
+fn local_consumers(body: &[Stmt], groups: &[RefGroup]) -> HashMap<String, HashSet<usize>> {
+    // local -> locals it depends on
+    let mut deps: HashMap<String, Vec<String>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for s in body {
+        if let Stmt::Local { name, init, .. } = s {
+            let mut vars = Vec::new();
+            init.var_reads(&mut vars);
+            deps.insert(name.clone(), vars);
+            order.push(name.clone());
+        }
+    }
+    let group_of_array = |array: &str| -> Option<usize> {
+        groups.iter().position(|g| g.arrays.iter().any(|a| a == array))
+    };
+
+    let mut consumers: HashMap<String, HashSet<usize>> = HashMap::new();
+    for s in body {
+        if let Stmt::ReduceIndirect { array, value, .. } = s {
+            let Some(gi) = group_of_array(array) else { continue };
+            let mut vars = Vec::new();
+            value.var_reads(&mut vars);
+            // Transitive closure over local→local dependencies.
+            let mut stack = vars;
+            let mut seen = HashSet::new();
+            while let Some(v) = stack.pop() {
+                if !seen.insert(v.clone()) {
+                    continue;
+                }
+                if let Some(d) = deps.get(&v) {
+                    consumers.entry(v).or_default().insert(gi);
+                    stack.extend(d.iter().cloned());
+                }
+            }
+        }
+    }
+    consumers
+}
+
+/// Substitute reads of `name` with reads of the temp array in an
+/// expression.
+fn substitute(e: &Expr, renames: &HashMap<String, String>) -> Expr {
+    match e {
+        Expr::Var(v) => match renames.get(v) {
+            Some(t) => Expr::Direct { array: t.clone() },
+            None => e.clone(),
+        },
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(substitute(a, renames)),
+            Box::new(substitute(b, renames)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(substitute(a, renames))),
+        _ => e.clone(),
+    }
+}
+
+/// Fission `l` into per-group loops. `groups` must come from
+/// [`crate::analysis`] on the same loop.
+pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
+    if groups.len() <= 1 {
+        return FissionResult {
+            temps: Vec::new(),
+            loops: vec![l.clone()],
+        };
+    }
+
+    let consumers = local_consumers(&l.body, groups);
+    // Locals needed by >1 group (or by a group *and* a direct assign) are
+    // materialized. For simplicity, any local read by a direct assignment
+    // also counts as "shared" since direct assignments live in the
+    // prelude.
+    let mut direct_reads: HashSet<String> = HashSet::new();
+    for s in &l.body {
+        if let Stmt::AssignDirect { value, .. } = s {
+            let mut vars = Vec::new();
+            value.var_reads(&mut vars);
+            direct_reads.extend(vars);
+        }
+    }
+
+    let mut shared: Vec<String> = Vec::new();
+    for s in &l.body {
+        if let Stmt::Local { name, .. } = s {
+            let ngroups = consumers.get(name).map_or(0, |s| s.len());
+            if ngroups > 1 || (ngroups >= 1 && direct_reads.contains(name)) {
+                shared.push(name.clone());
+            }
+        }
+    }
+
+    let renames: HashMap<String, String> = shared
+        .iter()
+        .map(|n| (n.clone(), format!("__tmp_{n}")))
+        .collect();
+    let temps: Vec<ArrayDecl> = shared
+        .iter()
+        .map(|n| ArrayDecl {
+            name: renames[n].clone(),
+            ty: ElemType::Double,
+            size: l.count.clone(),
+            line: l.line,
+        })
+        .collect();
+
+    // Prelude: locals (all of them, in order — cheap and keeps
+    // dependencies simple), temp stores, and direct assignments.
+    let mut prelude: Vec<Stmt> = Vec::new();
+    for s in &l.body {
+        match s {
+            Stmt::Local { .. } => prelude.push(s.clone()),
+            Stmt::AssignDirect { .. } => prelude.push(s.clone()),
+            Stmt::ReduceIndirect { .. } => {}
+        }
+    }
+    for n in &shared {
+        prelude.push(Stmt::AssignDirect {
+            array: renames[n].clone(),
+            accumulate: false,
+            value: Expr::Var(n.clone()),
+            line: l.line,
+        });
+    }
+
+    let mut loops = Vec::new();
+    let needs_prelude = !shared.is_empty() || prelude.iter().any(|s| matches!(s, Stmt::AssignDirect { .. }));
+    if needs_prelude {
+        loops.push(Forall {
+            var: l.var.clone(),
+            count: l.count.clone(),
+            body: prelude,
+            line: l.line,
+        });
+    }
+
+    for (gi, g) in groups.iter().enumerate() {
+        let mut body: Vec<Stmt> = Vec::new();
+        // Locals exclusively consumed by this group sink here (shared
+        // ones are read back from their temps).
+        for s in &l.body {
+            match s {
+                Stmt::Local { name, init, line } => {
+                    let cons = consumers.get(name);
+                    let only_here = cons.map_or(false, |c| c.len() == 1 && c.contains(&gi));
+                    if only_here && !renames.contains_key(name) {
+                        body.push(Stmt::Local {
+                            name: name.clone(),
+                            init: substitute(init, &renames),
+                            line: *line,
+                        });
+                    }
+                }
+                Stmt::ReduceIndirect {
+                    array,
+                    via,
+                    negate,
+                    value,
+                    line,
+                } => {
+                    if g.arrays.iter().any(|a| a == array) {
+                        body.push(Stmt::ReduceIndirect {
+                            array: array.clone(),
+                            via: via.clone(),
+                            negate: *negate,
+                            value: substitute(value, &renames),
+                            line: *line,
+                        });
+                    }
+                }
+                Stmt::AssignDirect { .. } => {}
+            }
+        }
+        loops.push(Forall {
+            var: l.var.clone(),
+            count: l.count.clone(),
+            body,
+            line: l.line,
+        });
+    }
+
+    FissionResult { temps, loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_program, LoopClass};
+    use crate::parser::parse;
+
+    fn fission(src: &str) -> FissionResult {
+        let prog = parse(src).unwrap();
+        crate::sema::check(&prog).unwrap();
+        let info = analyze_program(&prog);
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!("not irregular");
+        };
+        fission_loop(&prog.loops[0], groups)
+    }
+
+    #[test]
+    fn single_group_untouched() {
+        let r = fission(
+            "double X[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) { X[A[i]] += 1.0; X[B[i]] += 1.0; }",
+        );
+        assert!(r.temps.is_empty());
+        assert_eq!(r.loops.len(), 1);
+    }
+
+    #[test]
+    fn two_groups_split_without_shared_locals() {
+        let r = fission(
+            "double P[n]; double Q[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) { P[A[i]] += 1.0; Q[B[i]] += 2.0; }",
+        );
+        assert!(r.temps.is_empty());
+        assert_eq!(r.loops.len(), 2);
+        assert_eq!(r.loops[0].body.len(), 1);
+        assert_eq!(r.loops[1].body.len(), 1);
+    }
+
+    #[test]
+    fn shared_local_becomes_temp_array() {
+        let r = fission(
+            "double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 double f = W[i] * 2.0;
+                 P[A[i]] += f;
+                 Q[B[i]] += f;
+             }",
+        );
+        assert_eq!(r.temps.len(), 1);
+        assert_eq!(r.temps[0].name, "__tmp_f");
+        // prelude + 2 group loops
+        assert_eq!(r.loops.len(), 3);
+        // Group loops read the temp, not the local.
+        for l in &r.loops[1..] {
+            let Stmt::ReduceIndirect { value, .. } = &l.body[0] else {
+                panic!()
+            };
+            assert_eq!(value, &Expr::Direct { array: "__tmp_f".into() });
+        }
+    }
+
+    #[test]
+    fn exclusive_local_sinks_into_its_group() {
+        let r = fission(
+            "double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 double f = W[i] * 2.0;
+                 double g = W[i] + 1.0;
+                 P[A[i]] += f;
+                 Q[B[i]] += g;
+             }",
+        );
+        assert!(r.temps.is_empty());
+        assert_eq!(r.loops.len(), 2);
+        // Each loop carries exactly its own local + reduce.
+        assert_eq!(r.loops[0].body.len(), 2);
+        assert!(matches!(&r.loops[0].body[0], Stmt::Local { name, .. } if name == "f"));
+        assert!(matches!(&r.loops[1].body[0], Stmt::Local { name, .. } if name == "g"));
+    }
+
+    #[test]
+    fn transitive_local_dependencies_followed() {
+        let r = fission(
+            "double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 double f = W[i] * 2.0;
+                 double g = f + 1.0;
+                 P[A[i]] += g;
+                 Q[B[i]] += f;
+             }",
+        );
+        // f feeds both groups (directly and via g) → temp; g only feeds P.
+        assert_eq!(r.temps.len(), 1);
+        assert_eq!(r.temps[0].name, "__tmp_f");
+    }
+}

@@ -1,0 +1,218 @@
+//! A direct sequential interpreter for the DSL — the reference
+//! semantics that compiled (phased) execution is validated against.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::Diagnostic;
+
+/// Runtime bindings for a program's symbols: array sizes (the symbolic
+/// bounds in declarations and loop headers) and array contents.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    pub sizes: HashMap<String, usize>,
+    pub f64s: HashMap<String, Vec<f64>>,
+    pub ints: HashMap<String, Vec<u32>>,
+}
+
+impl Bindings {
+    /// Resolve a size symbol (or a numeric literal used as one).
+    pub fn size_of(&self, sym: &str) -> Result<usize, Diagnostic> {
+        if let Ok(v) = sym.parse::<usize>() {
+            return Ok(v);
+        }
+        self.sizes.get(sym).copied().ok_or_else(|| Diagnostic {
+            line: 0,
+            message: format!("unbound size symbol `{sym}`"),
+        })
+    }
+
+    /// Allocate any declared arrays not provided by the caller
+    /// (zero-filled), and validate the sizes of provided ones.
+    pub fn materialize(&mut self, prog: &Program) -> Result<(), Diagnostic> {
+        for d in &prog.decls {
+            let n = self.size_of(&d.size)?;
+            match d.ty {
+                ElemType::Double => {
+                    let v = self.f64s.entry(d.name.clone()).or_insert_with(|| vec![0.0; n]);
+                    if v.len() != n {
+                        return Err(Diagnostic {
+                            line: d.line,
+                            message: format!("array `{}` bound with wrong length", d.name),
+                        });
+                    }
+                }
+                ElemType::Int => {
+                    let v = self.ints.entry(d.name.clone()).or_insert_with(|| vec![0; n]);
+                    if v.len() != n {
+                        return Err(Diagnostic {
+                            line: d.line,
+                            message: format!("array `{}` bound with wrong length", d.name),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpret the whole program sequentially, mutating `b` in place.
+pub fn interpret(prog: &Program, b: &mut Bindings) -> Result<(), Diagnostic> {
+    b.materialize(prog)?;
+    for l in &prog.loops {
+        interpret_loop(l, b)?;
+    }
+    Ok(())
+}
+
+/// Interpret one loop.
+pub fn interpret_loop(l: &Forall, b: &mut Bindings) -> Result<(), Diagnostic> {
+    let count = b.size_of(&l.count)?;
+    let mut locals: HashMap<String, f64> = HashMap::new();
+    for i in 0..count {
+        locals.clear();
+        for s in &l.body {
+            match s {
+                Stmt::Local { name, init, .. } => {
+                    let v = eval(init, i, &locals, b)?;
+                    locals.insert(name.clone(), v);
+                }
+                Stmt::ReduceIndirect {
+                    array,
+                    via,
+                    negate,
+                    value,
+                    line,
+                } => {
+                    let v = eval(value, i, &locals, b)?;
+                    let e = b.ints[via][i] as usize;
+                    let x = b.f64s.get_mut(array).ok_or_else(|| miss(array, *line))?;
+                    if *negate {
+                        x[e] -= v;
+                    } else {
+                        x[e] += v;
+                    }
+                }
+                Stmt::AssignDirect {
+                    array,
+                    accumulate,
+                    value,
+                    line,
+                } => {
+                    let v = eval(value, i, &locals, b)?;
+                    let y = b.f64s.get_mut(array).ok_or_else(|| miss(array, *line))?;
+                    if *accumulate {
+                        y[i] += v;
+                    } else {
+                        y[i] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn miss(array: &str, line: usize) -> Diagnostic {
+    Diagnostic {
+        line,
+        message: format!("array `{array}` not bound"),
+    }
+}
+
+fn eval(e: &Expr, i: usize, locals: &HashMap<String, f64>, b: &Bindings) -> Result<f64, Diagnostic> {
+    Ok(match e {
+        Expr::Number(v) => *v,
+        Expr::Var(v) => match locals.get(v) {
+            Some(x) => *x,
+            None => i as f64, // the loop variable
+        },
+        Expr::Direct { array } => b.f64s[array][i],
+        Expr::Indirect { array, via } => {
+            let e = b.ints[via][i] as usize;
+            b.f64s[array][e]
+        }
+        Expr::Bin(op, a, c) => {
+            let (x, y) = (eval(a, i, locals, b)?, eval(c, i, locals, b)?);
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        }
+        Expr::Neg(a) => -eval(a, i, locals, b)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn figure1_by_hand() {
+        let prog = parse(
+            "double X[n]; double Y[e]; int IA1[e]; int IA2[e];
+             forall (i = 0; i < e; i++) {
+                 double f = Y[i];
+                 X[IA1[i]] += f;
+                 X[IA2[i]] -= f;
+             }",
+        )
+        .unwrap();
+        let mut b = Bindings::default();
+        b.sizes.insert("n".into(), 4);
+        b.sizes.insert("e".into(), 3);
+        b.f64s.insert("Y".into(), vec![1.0, 2.0, 3.0]);
+        b.ints.insert("IA1".into(), vec![0, 1, 2]);
+        b.ints.insert("IA2".into(), vec![3, 3, 0]);
+        interpret(&prog, &mut b).unwrap();
+        // X[0]+=1, X[3]-=1; X[1]+=2, X[3]-=2; X[2]+=3, X[0]-=3
+        assert_eq!(b.f64s["X"], vec![-2.0, 2.0, 3.0, -3.0]);
+    }
+
+    #[test]
+    fn loop_var_usable_in_expressions() {
+        let prog = parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = i * 2.0; }").unwrap();
+        let mut b = Bindings::default();
+        b.sizes.insert("e".into(), 3);
+        interpret(&prog, &mut b).unwrap();
+        assert_eq!(b.f64s["Y"], vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn numeric_sizes_work() {
+        let prog = parse("double Y[5]; forall (i = 0; i < 5; i++) { Y[i] = 1.0; }");
+        // loop counts are symbols in the grammar — a literal count is not
+        // allowed, so only declaration sizes may be numeric.
+        assert!(prog.is_err());
+        let prog = parse("double Y[5]; forall (i = 0; i < e; i++) { Y[i] = 1.0; }").unwrap();
+        let mut b = Bindings::default();
+        b.sizes.insert("e".into(), 5);
+        interpret(&prog, &mut b).unwrap();
+        assert_eq!(b.f64s["Y"].len(), 5);
+    }
+
+    #[test]
+    fn unbound_size_is_an_error() {
+        let prog = parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 1.0; }").unwrap();
+        let mut b = Bindings::default();
+        assert!(interpret(&prog, &mut b).is_err());
+    }
+
+    #[test]
+    fn sequential_loops_compose() {
+        let prog = parse(
+            "double Y[e]; double Z[e];
+             forall (i = 0; i < e; i++) { Y[i] = 2.0; }
+             forall (i = 0; i < e; i++) { Z[i] = Y[i] * 3.0; }",
+        )
+        .unwrap();
+        let mut b = Bindings::default();
+        b.sizes.insert("e".into(), 2);
+        interpret(&prog, &mut b).unwrap();
+        assert_eq!(b.f64s["Z"], vec![6.0, 6.0]);
+    }
+}

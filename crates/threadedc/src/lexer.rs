@@ -1,0 +1,232 @@
+//! Tokenizer for the EARTH-C-like DSL.
+
+use crate::Diagnostic;
+
+/// A lexical token, tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // keywords
+    Double,
+    Int,
+    Forall,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Assign,     // =
+    PlusEq,     // +=
+    MinusEq,    // -=
+    PlusPlus,   // ++
+    Lt,         // <
+    // literals / names
+    Ident(String),
+    Number(f64),
+}
+
+/// A token with position info.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Token,
+    pub line: usize,
+}
+
+/// Tokenize the whole source, reporting the first lexical error.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(Diagnostic {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '(' => push(&mut out, Token::LParen, line, &mut i),
+            ')' => push(&mut out, Token::RParen, line, &mut i),
+            '{' => push(&mut out, Token::LBrace, line, &mut i),
+            '}' => push(&mut out, Token::RBrace, line, &mut i),
+            '[' => push(&mut out, Token::LBracket, line, &mut i),
+            ']' => push(&mut out, Token::RBracket, line, &mut i),
+            ';' => push(&mut out, Token::Semi, line, &mut i),
+            ',' => push(&mut out, Token::Comma, line, &mut i),
+            '*' => push(&mut out, Token::Star, line, &mut i),
+            '/' => push(&mut out, Token::Slash, line, &mut i),
+            '<' => push(&mut out, Token::Lt, line, &mut i),
+            '+' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::PlusEq, line });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'+') {
+                    out.push(Spanned { tok: Token::PlusPlus, line });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Plus, line, &mut i);
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Spanned { tok: Token::MinusEq, line });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Minus, line, &mut i);
+                }
+            }
+            '=' => push(&mut out, Token::Assign, line, &mut i),
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-') && i > start && (bytes[i-1] == 'e' || bytes[i-1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: f64 = text.parse().map_err(|_| Diagnostic {
+                    line,
+                    message: format!("bad number literal `{text}`"),
+                })?;
+                out.push(Spanned {
+                    tok: Token::Number(v),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "double" => Token::Double,
+                    "int" => Token::Int,
+                    "forall" => Token::Forall,
+                    _ => Token::Ident(text),
+                };
+                out.push(Spanned { tok, line });
+            }
+            other => {
+                return Err(Diagnostic {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Spanned>, tok: Token, line: usize, i: &mut usize) {
+    out.push(Spanned { tok, line });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("double x int forall foo_1"),
+            vec![
+                Token::Double,
+                Token::Ident("x".into()),
+                Token::Int,
+                Token::Forall,
+                Token::Ident("foo_1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 2.5e-2"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1000.0),
+                Token::Number(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("+= -= ++ + - = <"),
+            vec![
+                Token::PlusEq,
+                Token::MinusEq,
+                Token::PlusPlus,
+                Token::Plus,
+                Token::Minus,
+                Token::Assign,
+                Token::Lt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // whole line\nb /* multi\nline */ c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let t = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a § b").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Recursive-descent parser for the DSL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program  := (decl | forall)*
+//! decl     := ("double" | "int") IDENT "[" IDENT_OR_NUM "]" ";"
+//! forall   := "forall" "(" IDENT "=" "0" ";" IDENT "<" IDENT ";" IDENT "++" ")" "{" stmt* "}"
+//! stmt     := "double" IDENT "=" expr ";"
+//!           | IDENT "[" index "]" ("+=" | "-=" | "=") expr ";"
+//! index    := IDENT | IDENT "[" IDENT "]"
+//! expr     := term (("+" | "-") term)*
+//! term     := factor (("*" | "/") factor)*
+//! factor   := NUMBER | "-" factor | "(" expr ")" | IDENT [ "[" index "]" ]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::Diagnostic;
+
+/// Parse source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), Diagnostic> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, Diagnostic> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut prog = Program::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Token::Double | Token::Int => {
+                    let d = self.decl()?;
+                    prog.decls.push(d);
+                }
+                Token::Forall => {
+                    let f = self.forall()?;
+                    prog.loops.push(f);
+                }
+                other => return Err(self.err(format!("expected declaration or forall, found {other:?}"))),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn decl(&mut self) -> Result<ArrayDecl, Diagnostic> {
+        let line = self.line();
+        let ty = match self.bump() {
+            Some(Token::Double) => ElemType::Double,
+            Some(Token::Int) => ElemType::Int,
+            _ => unreachable!("checked by caller"),
+        };
+        let name = self.ident("array name")?;
+        self.expect(&Token::LBracket, "`[`")?;
+        let size = match self.bump() {
+            Some(Token::Ident(s)) => s,
+            Some(Token::Number(v)) => format!("{}", v as usize),
+            other => return Err(self.err(format!("expected array size, found {other:?}"))),
+        };
+        self.expect(&Token::RBracket, "`]`")?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(ArrayDecl { name, ty, size, line })
+    }
+
+    fn forall(&mut self) -> Result<Forall, Diagnostic> {
+        let line = self.line();
+        self.expect(&Token::Forall, "`forall`")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let var = self.ident("loop variable")?;
+        self.expect(&Token::Assign, "`=`")?;
+        match self.bump() {
+            Some(Token::Number(v)) if v == 0.0 => {}
+            other => return Err(self.err(format!("forall must start at 0, found {other:?}"))),
+        }
+        self.expect(&Token::Semi, "`;`")?;
+        let v2 = self.ident("loop variable")?;
+        if v2 != var {
+            return Err(self.err(format!("loop condition tests `{v2}`, expected `{var}`")));
+        }
+        self.expect(&Token::Lt, "`<`")?;
+        let count = self.ident("iteration-count symbol")?;
+        self.expect(&Token::Semi, "`;`")?;
+        let v3 = self.ident("loop variable")?;
+        if v3 != var {
+            return Err(self.err(format!("loop increments `{v3}`, expected `{var}`")));
+        }
+        self.expect(&Token::PlusPlus, "`++`")?;
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            body.push(self.stmt(&var)?);
+        }
+        self.expect(&Token::RBrace, "`}`")?;
+        Ok(Forall { var, count, body, line })
+    }
+
+    fn stmt(&mut self, loop_var: &str) -> Result<Stmt, Diagnostic> {
+        let line = self.line();
+        match self.peek() {
+            Some(Token::Double) => {
+                self.bump();
+                let name = self.ident("local name")?;
+                self.expect(&Token::Assign, "`=`")?;
+                let init = self.expr(loop_var)?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(Stmt::Local { name, init, line })
+            }
+            Some(Token::Ident(_)) => {
+                let array = self.ident("array name")?;
+                self.expect(&Token::LBracket, "`[`")?;
+                let idx_name = self.ident("index")?;
+                let via = if self.peek() == Some(&Token::LBracket) {
+                    self.bump();
+                    let inner = self.ident("inner index")?;
+                    if inner != loop_var {
+                        return Err(self.err(format!(
+                            "indirection array must be indexed by the loop variable `{loop_var}`"
+                        )));
+                    }
+                    self.expect(&Token::RBracket, "`]`")?;
+                    Some(idx_name)
+                } else if idx_name == loop_var {
+                    None
+                } else {
+                    return Err(self.err(format!(
+                        "direct access must use the loop variable `{loop_var}`, found `{idx_name}`"
+                    )));
+                };
+                self.expect(&Token::RBracket, "`]`")?;
+                let op = self.bump();
+                let value = self.expr(loop_var)?;
+                self.expect(&Token::Semi, "`;`")?;
+                match (via, op) {
+                    (Some(via), Some(Token::PlusEq)) => Ok(Stmt::ReduceIndirect {
+                        array,
+                        via,
+                        negate: false,
+                        value,
+                        line,
+                    }),
+                    (Some(via), Some(Token::MinusEq)) => Ok(Stmt::ReduceIndirect {
+                        array,
+                        via,
+                        negate: true,
+                        value,
+                        line,
+                    }),
+                    (Some(_), other) => Err(self.err(format!(
+                        "indirect updates must be `+=` or `-=` (associative/commutative), found {other:?}"
+                    ))),
+                    (None, Some(Token::PlusEq)) => Ok(Stmt::AssignDirect {
+                        array,
+                        accumulate: true,
+                        value,
+                        line,
+                    }),
+                    (None, Some(Token::Assign)) => Ok(Stmt::AssignDirect {
+                        array,
+                        accumulate: false,
+                        value,
+                        line,
+                    }),
+                    (None, other) => Err(self.err(format!("expected `=` or `+=`, found {other:?}"))),
+                }
+            }
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self, loop_var: &str) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.term(loop_var)?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term(loop_var)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self, loop_var: &str) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.factor(loop_var)?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor(loop_var)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self, loop_var: &str) -> Result<Expr, Diagnostic> {
+        match self.bump() {
+            Some(Token::Number(v)) => Ok(Expr::Number(v)),
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.factor(loop_var)?))),
+            Some(Token::LParen) => {
+                let e = self.expr(loop_var)?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LBracket) {
+                    self.bump();
+                    let idx = self.ident("index")?;
+                    if self.peek() == Some(&Token::LBracket) {
+                        self.bump();
+                        let inner = self.ident("inner index")?;
+                        if inner != loop_var {
+                            return Err(self.err(
+                                "indirection array must be indexed by the loop variable".to_string(),
+                            ));
+                        }
+                        self.expect(&Token::RBracket, "`]`")?;
+                        self.expect(&Token::RBracket, "`]`")?;
+                        Ok(Expr::Indirect { array: name, via: idx })
+                    } else {
+                        self.expect(&Token::RBracket, "`]`")?;
+                        if idx != loop_var {
+                            return Err(self.err(format!(
+                                "direct access must use the loop variable `{loop_var}`"
+                            )));
+                        }
+                        Ok(Expr::Direct { array: name })
+                    }
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = r#"
+        // The paper's Figure 1 loop shape.
+        double X[num_nodes];
+        double Y[num_edges];
+        int IA1[num_edges];
+        int IA2[num_edges];
+        forall (i = 0; i < num_edges; i++) {
+            double f = Y[i] * 0.5;
+            X[IA1[i]] += f;
+            X[IA2[i]] -= f;
+        }
+    "#;
+
+    #[test]
+    fn parses_figure1() {
+        let prog = parse(FIG1).unwrap();
+        assert_eq!(prog.decls.len(), 4);
+        assert_eq!(prog.loops.len(), 1);
+        let l = &prog.loops[0];
+        assert_eq!(l.var, "i");
+        assert_eq!(l.count, "num_edges");
+        assert_eq!(l.body.len(), 3);
+        assert!(matches!(&l.body[1], Stmt::ReduceIndirect { array, via, negate: false, .. }
+            if array == "X" && via == "IA1"));
+        assert!(matches!(&l.body[2], Stmt::ReduceIndirect { negate: true, .. }));
+    }
+
+    #[test]
+    fn parses_direct_assign() {
+        let prog = parse(
+            "double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 2.0; Y[i] += 1.0; }",
+        )
+        .unwrap();
+        assert!(matches!(prog.loops[0].body[0], Stmt::AssignDirect { accumulate: false, .. }));
+        assert!(matches!(prog.loops[0].body[1], Stmt::AssignDirect { accumulate: true, .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 1.0 + 2.0 * 3.0; }").unwrap();
+        let Stmt::AssignDirect { value, .. } = &prog.loops[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2*3)
+        assert!(matches!(value, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn rejects_plain_assign_through_indirection() {
+        let err = parse("double X[n]; int A[e]; forall (i = 0; i < e; i++) { X[A[i]] = 1.0; }")
+            .unwrap_err();
+        assert!(err.message.contains("associative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_loop_variable() {
+        let err =
+            parse("double Y[e]; forall (i = 0; i < e; i++) { Y[j] = 1.0; }").unwrap_err();
+        assert!(err.message.contains("loop variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_two_level_indirection() {
+        // A[B[C[i]]] is not in the grammar at all.
+        assert!(parse("double X[n]; int A[e]; int B[e]; forall (i = 0; i < e; i++) { X[A[B[i]]] += 1.0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_nonzero_start() {
+        assert!(parse("double Y[e]; forall (i = 1; i < e; i++) { Y[i] = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("double X[n];\n\nforall (i = 0; i < e; i++) { X[ }").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! Semantic checks: name resolution, element kinds, and the structural
+//! preconditions the paper's analysis assumes (§4).
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::Diagnostic;
+
+/// A semantic error (alias for the shared diagnostic type).
+pub type SemaError = Diagnostic;
+
+fn err(line: usize, message: impl Into<String>) -> SemaError {
+    Diagnostic {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Check a parsed program. On success, the program satisfies:
+///
+/// * every referenced array is declared, exactly once;
+/// * arrays used as indirection (`via`) have `int` element type and are
+///   never written inside any loop;
+/// * arrays updated through indirection (reduction arrays) are `double`
+///   and are **not read** in the same loop — together with `+=`-only
+///   updates this gives the paper's "no loop-carried dependencies except
+///   on reduction array elements";
+/// * loop-local scalars are defined before use and not redefined;
+/// * directly-assigned arrays are not also reduction targets.
+pub fn check(prog: &Program) -> Result<(), SemaError> {
+    let mut names = HashSet::new();
+    for d in &prog.decls {
+        if !names.insert(d.name.clone()) {
+            return Err(err(d.line, format!("array `{}` declared twice", d.name)));
+        }
+    }
+    let decl = |name: &str| prog.decl(name);
+
+    for l in &prog.loops {
+        let mut locals: HashSet<String> = HashSet::new();
+        let mut reduced: HashSet<String> = HashSet::new();
+        let mut vias: HashSet<String> = HashSet::new();
+        let mut direct_written: HashSet<String> = HashSet::new();
+
+        // First pass: collect write sets.
+        for s in &l.body {
+            match s {
+                Stmt::ReduceIndirect { array, via, line, .. } => {
+                    let da = decl(array).ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                    if da.ty != ElemType::Double {
+                        return Err(err(*line, format!("reduction array `{array}` must be double")));
+                    }
+                    let dv = decl(via).ok_or_else(|| err(*line, format!("undeclared indirection array `{via}`")))?;
+                    if dv.ty != ElemType::Int {
+                        return Err(err(*line, format!("indirection array `{via}` must be int")));
+                    }
+                    reduced.insert(array.clone());
+                    vias.insert(via.clone());
+                }
+                Stmt::AssignDirect { array, line, .. } => {
+                    let da = decl(array).ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                    if da.ty != ElemType::Double {
+                        return Err(err(*line, format!("assigned array `{array}` must be double")));
+                    }
+                    direct_written.insert(array.clone());
+                }
+                Stmt::Local { .. } => {}
+            }
+        }
+        if let Some(both) = reduced.intersection(&direct_written).next() {
+            return Err(err(
+                l.line,
+                format!("array `{both}` is both a reduction target and directly assigned"),
+            ));
+        }
+        if let Some(both) = reduced.intersection(&vias).next() {
+            return Err(err(
+                l.line,
+                format!("array `{both}` used both as reduction target and indirection"),
+            ));
+        }
+
+        // Second pass: check reads in order.
+        for s in &l.body {
+            let (value, line) = match s {
+                Stmt::Local { name, init, line } => {
+                    if locals.contains(name) {
+                        return Err(err(*line, format!("local `{name}` redefined")));
+                    }
+                    if name == &l.var {
+                        return Err(err(*line, format!("local `{name}` shadows the loop variable")));
+                    }
+                    check_expr(prog, l, init, &locals, &reduced, &vias, *line)?;
+                    locals.insert(name.clone());
+                    continue;
+                }
+                Stmt::ReduceIndirect { value, line, .. } => (value, *line),
+                Stmt::AssignDirect { value, line, .. } => (value, *line),
+            };
+            check_expr(prog, l, value, &locals, &reduced, &vias, line)?;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_expr(
+    prog: &Program,
+    l: &Forall,
+    e: &Expr,
+    locals: &HashSet<String>,
+    reduced: &HashSet<String>,
+    vias: &HashSet<String>,
+    line: usize,
+) -> Result<(), SemaError> {
+    match e {
+        Expr::Number(_) => Ok(()),
+        Expr::Var(v) => {
+            if v == &l.var || locals.contains(v) {
+                Ok(())
+            } else {
+                Err(err(line, format!("undefined scalar `{v}`")))
+            }
+        }
+        Expr::Direct { array } => {
+            let d = prog
+                .decl(array)
+                .ok_or_else(|| err(line, format!("undeclared array `{array}`")))?;
+            if reduced.contains(array) {
+                return Err(err(
+                    line,
+                    format!("reduction array `{array}` read inside its own loop (loop-carried dependency)"),
+                ));
+            }
+            if d.ty != ElemType::Double {
+                return Err(err(line, format!("array `{array}` read as a value but has int type")));
+            }
+            Ok(())
+        }
+        Expr::Indirect { array, via } => {
+            let d = prog
+                .decl(array)
+                .ok_or_else(|| err(line, format!("undeclared array `{array}`")))?;
+            let dv = prog
+                .decl(via)
+                .ok_or_else(|| err(line, format!("undeclared indirection array `{via}`")))?;
+            if reduced.contains(array) {
+                return Err(err(
+                    line,
+                    format!("reduction array `{array}` read inside its own loop (loop-carried dependency)"),
+                ));
+            }
+            if d.ty != ElemType::Double || dv.ty != ElemType::Int {
+                return Err(err(line, format!("`{array}[{via}[i]]` needs double[ int[i] ]")));
+            }
+            let _ = vias;
+            Ok(())
+        }
+        Expr::Bin(_, a, b) => {
+            check_expr(prog, l, a, locals, reduced, vias, line)?;
+            check_expr(prog, l, b, locals, reduced, vias, line)
+        }
+        Expr::Neg(a) => check_expr(prog, l, a, locals, reduced, vias, line),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), SemaError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn figure1_is_valid() {
+        check_src(
+            "double X[n]; double Y[e]; int IA1[e]; int IA2[e];
+             forall (i = 0; i < e; i++) {
+                 double f = Y[i] * 0.5;
+                 X[IA1[i]] += f;
+                 X[IA2[i]] -= f;
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_array() {
+        let e = check_src("double Y[e]; forall (i = 0; i < e; i++) { Z[i] = 1.0; }").unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_int_indirection_type_misuse() {
+        let e = check_src(
+            "double X[n]; double IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] += 1.0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("must be int"), "{e}");
+    }
+
+    #[test]
+    fn rejects_reading_reduction_array() {
+        let e = check_src(
+            "double X[n]; int IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] += X[IA[i]]; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("loop-carried"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undefined_scalar() {
+        let e = check_src(
+            "double X[n]; int IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] += f; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undefined scalar"), "{e}");
+    }
+
+    #[test]
+    fn rejects_local_redefinition() {
+        let e = check_src(
+            "double Y[e];
+             forall (i = 0; i < e; i++) { double f = 1.0; double f = 2.0; Y[i] = f; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("redefined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mixed_reduce_and_assign() {
+        let e = check_src(
+            "double X[n]; int IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] += 1.0; }
+             forall (i = 0; i < n; i++) { X[i] = 0.0; }",
+        );
+        // Different loops may do both — only the same loop is an error.
+        e.unwrap();
+        let e2 = check_src(
+            "double X[e]; int IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] += 1.0; X[i] = 0.0; }",
+        )
+        .unwrap_err();
+        assert!(e2.message.contains("both"), "{e2}");
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let e = check_src("double X[n]; double X[n];").unwrap_err();
+        assert!(e.message.contains("declared twice"), "{e}");
+    }
+
+    #[test]
+    fn locals_must_precede_use() {
+        let e = check_src(
+            "double Y[e];
+             forall (i = 0; i < e; i++) { Y[i] = f; double f = 1.0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undefined scalar"), "{e}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — dataset generators and partitioners for the reproduction
+//!
+//! The paper evaluates on three kernels whose inputs we do not have
+//! (NAS CG matrices, CFD meshes from [5], and the Tseng/Han `moldyn`
+//! datasets). This crate generates synthetic equivalents **at exactly the
+//! paper's sizes** (see `DESIGN.md` §3 for the substitution argument):
+//!
+//! * [`nascg`] — sparse matrices shaped like NAS CG classes W/A/B
+//!   (7 000 / 14 000 / 75 000 rows; ≈508 402 / 1 853 104 / 13 708 072
+//!   nonzeros);
+//! * [`mesh`] — unstructured meshes with the `euler` node/edge counts
+//!   (2 800 / 17 377 and 9 428 / 59 863) and tunable index locality;
+//! * [`moldyn`] — periodic FCC molecular configurations whose cutoff
+//!   neighbor lists give *exactly* the paper's interaction counts
+//!   (2 916 / 26 244 and 10 976 / 65 856), plus position perturbation and
+//!   neighbor-list rebuild for adaptive experiments;
+//! * [`partition`] — block and cyclic iteration distributions (the `2b`
+//!   vs `2c` strategies of §5.4) and a recursive-coordinate-bisection
+//!   partitioner for the classic partitioning-based baseline.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod mesh;
+pub mod moldyn;
+pub mod nascg;
+pub mod partition;
+
+pub use mesh::{Mesh, MeshPreset};
+pub use moldyn::{MolDyn, MolDynPreset};
+pub use nascg::{CgClass, SparseMatrix};
+pub use partition::{distribute, hash_distribute_pairs, rcb_partition, Distribution};

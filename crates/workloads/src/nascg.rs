@@ -1,0 +1,325 @@
+//! Sparse matrices shaped like the NAS CG benchmark inputs.
+//!
+//! The paper's `mvm` kernel multiplies the NAS Conjugate Gradient
+//! matrices (classes W, A, B). NAS `makea` builds a symmetric positive
+//! definite matrix as a sum of random sparse outer products; what
+//! matters to the phased execution strategy is only the size, the
+//! nonzeros-per-row distribution, and the fact that column indices are
+//! spread across the whole row space. We generate matrices with exactly
+//! the class sizes and those statistics (see `DESIGN.md` §3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The NAS CG classes used in §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgClass {
+    /// 7 000 rows, 508 402 nonzeros.
+    W,
+    /// 14 000 rows, 1 853 104 nonzeros.
+    A,
+    /// 75 000 rows, 13 708 072 nonzeros.
+    B,
+}
+
+impl CgClass {
+    pub fn rows(&self) -> usize {
+        match self {
+            CgClass::W => 7_000,
+            CgClass::A => 14_000,
+            CgClass::B => 75_000,
+        }
+    }
+
+    pub fn nonzeros(&self) -> usize {
+        match self {
+            CgClass::W => 508_402,
+            CgClass::A => 1_853_104,
+            CgClass::B => 13_708_072,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            CgClass::W => "W",
+            CgClass::A => "A",
+            CgClass::B => "B",
+        }
+    }
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pub nrows: usize,
+    pub ncols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    pub row_ptr: Vec<u64>,
+    pub col_idx: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Generate a matrix with the exact shape of `class`.
+    pub fn nas_class(class: CgClass, seed: u64) -> SparseMatrix {
+        SparseMatrix::random(class.rows(), class.rows(), class.nonzeros(), seed)
+    }
+
+    /// Random CSR matrix with exactly `nnz` nonzeros spread over `nrows`
+    /// rows: each row gets `nnz/nrows ± 50%` entries (remainders settled
+    /// on the last rows), columns drawn with a near-diagonal bias plus a
+    /// uniform tail — the qualitative profile of NAS `makea` output.
+    pub fn random(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> SparseMatrix {
+        assert!(nrows >= 1 && ncols >= 2);
+        assert!(nnz >= nrows, "want at least one entry per row");
+        assert!(nnz <= nrows * ncols, "more nonzeros than matrix cells");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = nnz / nrows;
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0u64);
+
+        let mut remaining = nnz;
+        let mut cols_scratch: Vec<u32> = Vec::with_capacity(2 * mean);
+        for r in 0..nrows {
+            let rows_left = nrows - r;
+            // Target for this row, clamped so the remaining rows can
+            // still get at least 1 and at most 2*mean+1 each.
+            let jitter = if mean > 1 {
+                rng.gen_range(mean / 2..=mean + mean / 2)
+            } else {
+                1
+            };
+            // Cap per-row capacity at ncols when sizing the leftovers so
+            // narrow matrices cannot paint the tail into a corner.
+            let per_row_cap = (2 * mean + 1).min(ncols);
+            let max_allowed = remaining - (rows_left - 1);
+            let min_required = remaining.saturating_sub((rows_left - 1) * per_row_cap);
+            let want = jitter.clamp(min_required.max(1), max_allowed.min(ncols));
+
+            cols_scratch.clear();
+            let mut tries = 0;
+            while cols_scratch.len() < want {
+                // Mostly uniform columns with a mild diagonal bias — the
+                // qualitative profile of NAS makea output (sums of random
+                // sparse outer products land almost uniformly).
+                let c = if rng.gen_bool(0.02) {
+                    let band = (ncols / 16).max(4) as i64;
+                    let off = rng.gen_range(-band..=band);
+                    (r as i64 + off).rem_euclid(ncols as i64) as u32
+                } else {
+                    rng.gen_range(0..ncols as u32)
+                };
+                if !cols_scratch.contains(&c) {
+                    cols_scratch.push(c);
+                }
+                tries += 1;
+                if tries > 100 * want {
+                    // Degenerate tiny case: fill sequentially.
+                    let mut c = 0u32;
+                    while cols_scratch.len() < want {
+                        if !cols_scratch.contains(&c) {
+                            cols_scratch.push(c);
+                        }
+                        c += 1;
+                    }
+                }
+            }
+            cols_scratch.sort_unstable();
+            for &c in &cols_scratch {
+                col_idx.push(c);
+                values.push(rng.gen_range(0.0..1.0));
+            }
+            remaining -= want;
+            row_ptr.push(col_idx.len() as u64);
+        }
+        assert_eq!(remaining, 0);
+        assert_eq!(col_idx.len(), nnz);
+
+        SparseMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Generate a symmetric, strictly diagonally dominant (hence positive
+    /// definite) matrix with about `nnz` nonzeros — the shape a conjugate
+    /// gradient solver needs (NAS CG's `makea` also produces an SPD
+    /// matrix). The pattern is a symmetrized random pattern plus a
+    /// dominant diagonal.
+    pub fn symmetric_dd(n: usize, nnz: usize, seed: u64) -> SparseMatrix {
+        let base = SparseMatrix::random(n, n, nnz.max(n), seed);
+        // Collect symmetrized off-diagonal entries.
+        let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(base.nnz() * 2);
+        for r in 0..n {
+            for e in base.row_ptr[r] as usize..base.row_ptr[r + 1] as usize {
+                let c = base.col_idx[e] as usize;
+                if c == r {
+                    continue;
+                }
+                let v = base.values[e] * 0.5;
+                entries.push((r as u32, c as u32, v));
+                entries.push((c as u32, r as u32, v));
+            }
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates, accumulate row sums for the dominant diagonal.
+        let mut row_ptr = vec![0u64; n + 1];
+        let mut col_idx = Vec::with_capacity(entries.len() + n);
+        let mut values = Vec::with_capacity(entries.len() + n);
+        let mut rowsum = vec![0.0f64; n];
+        let mut i = 0usize;
+        for r in 0..n as u32 {
+            let mut diag_written = false;
+            while i < entries.len() && entries[i].0 == r {
+                let (_, c, mut v) = entries[i];
+                i += 1;
+                while i < entries.len() && entries[i].0 == r && entries[i].1 == c {
+                    v += entries[i].2;
+                    i += 1;
+                }
+                if !diag_written && c > r {
+                    col_idx.push(r);
+                    values.push(0.0); // patched below
+                    diag_written = true;
+                }
+                col_idx.push(c);
+                values.push(v);
+                rowsum[r as usize] += v.abs();
+            }
+            if !diag_written {
+                col_idx.push(r);
+                values.push(0.0);
+            }
+            row_ptr[r as usize + 1] = col_idx.len() as u64;
+        }
+        // Patch diagonals: rowsum + 1 guarantees strict dominance.
+        for r in 0..n {
+            for e in row_ptr[r] as usize..row_ptr[r + 1] as usize {
+                if col_idx[e] as usize == r {
+                    values[e] = rowsum[r] + 1.0;
+                }
+            }
+        }
+        SparseMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// `y = A·x` sequential reference.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for e in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                acc += self.values[e] * x[self.col_idx[e] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_w_exact_shape() {
+        let m = SparseMatrix::nas_class(CgClass::W, 1);
+        assert_eq!(m.nrows, 7_000);
+        assert_eq!(m.nnz(), 508_402);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+    }
+
+    #[test]
+    fn rows_sorted_and_unique() {
+        let m = SparseMatrix::random(100, 100, 1_000, 3);
+        for r in 0..m.nrows {
+            let cols = &m.col_idx[m.row_ptr[r] as usize..m.row_ptr[r + 1] as usize];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "row {r} not strictly sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn every_row_nonempty() {
+        let m = SparseMatrix::random(50, 50, 75, 4);
+        for r in 0..m.nrows {
+            assert!(m.row_ptr[r + 1] > m.row_ptr[r], "row {r} empty");
+        }
+        assert_eq!(m.nnz(), 75);
+    }
+
+    #[test]
+    fn spmv_identity_like() {
+        // Build a small diagonal-ish check by hand.
+        let m = SparseMatrix {
+            nrows: 3,
+            ncols: 3,
+            row_ptr: vec![0, 1, 3, 4],
+            col_idx: vec![0, 0, 2, 1],
+            values: vec![2.0, 1.0, 3.0, 4.0],
+        };
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [2.0, 1.0 + 9.0, 8.0]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SparseMatrix::random(200, 200, 4_000, 9);
+        let b = SparseMatrix::random(200, 200, 4_000, 9);
+        assert_eq!(a.col_idx, b.col_idx);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn symmetric_dd_is_symmetric_and_dominant() {
+        let m = SparseMatrix::symmetric_dd(60, 500, 7);
+        // Symmetry: collect entries into a map, check transposes match.
+        let mut map = std::collections::HashMap::new();
+        for r in 0..m.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for e in m.row_ptr[r] as usize..m.row_ptr[r + 1] as usize {
+                let c = m.col_idx[e] as usize;
+                map.insert((r, c), m.values[e]);
+                if c == r {
+                    diag = m.values[e];
+                } else {
+                    off += m.values[e].abs();
+                }
+            }
+            assert!(diag > off, "row {r} not diagonally dominant");
+        }
+        for (&(r, c), &v) in &map {
+            assert_eq!(map.get(&(c, r)), Some(&v), "asymmetric at ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn columns_span_the_space() {
+        let m = SparseMatrix::random(1_000, 1_000, 20_000, 5);
+        let mut touched = vec![false; 1_000];
+        for &c in &m.col_idx {
+            touched[c as usize] = true;
+        }
+        let frac = touched.iter().filter(|&&t| t).count() as f64 / 1_000.0;
+        assert!(frac > 0.9, "only {frac} of columns touched");
+    }
+}

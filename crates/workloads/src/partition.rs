@@ -1,0 +1,192 @@
+//! Iteration distributions and the partitioning-based baseline's
+//! partitioner.
+//!
+//! The paper's phased strategy needs only a *trivial* distribution of
+//! iterations to processors — block or cyclic (strategies `2b` / `2c`…).
+//! The partitioning-based comparator (classic inspector/executor)
+//! instead pays for a geometric partitioner; we provide recursive
+//! coordinate bisection (RCB), the standard light-geometry choice.
+
+/// How loop iterations (and their per-iteration arrays) are divided
+/// among processors before the LightInspector runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// `num_iters/P` consecutive iterations per processor.
+    Block,
+    /// Round-robin assignment, iteration `i` to processor `i mod P`.
+    Cyclic,
+}
+
+impl Distribution {
+    /// Short label used in figures: `b` / `c` as in the paper's `2b`/`2c`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Block => "b",
+            Distribution::Cyclic => "c",
+        }
+    }
+}
+
+/// Assign `num_iters` iterations to `procs` processors. Returns the
+/// global iteration ids owned by each processor, in increasing order.
+pub fn distribute(num_iters: usize, procs: usize, d: Distribution) -> Vec<Vec<u32>> {
+    assert!(procs >= 1);
+    let mut out = vec![Vec::with_capacity(num_iters / procs + 1); procs];
+    match d {
+        Distribution::Block => {
+            // Balanced block sizes: first (num_iters % procs) blocks get
+            // one extra.
+            let base = num_iters / procs;
+            let extra = num_iters % procs;
+            let mut start = 0usize;
+            for (p, v) in out.iter_mut().enumerate() {
+                let len = base + usize::from(p < extra);
+                v.extend((start..start + len).map(|i| i as u32));
+                start += len;
+            }
+        }
+        Distribution::Cyclic => {
+            for i in 0..num_iters {
+                out[i % procs].push(i as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Distribute interaction pairs to processors by a stable hash of the
+/// pair's identity. Balanced like a cyclic distribution, but invariant
+/// under reordering of the list — after an adaptive neighbour-list
+/// rebuild, surviving pairs land on the *same* processor, so only real
+/// churn reaches the incremental inspector.
+pub fn hash_distribute_pairs(ia1: &[u32], ia2: &[u32], procs: usize) -> Vec<Vec<(u32, u32)>> {
+    assert!(procs >= 1);
+    let mut out = vec![Vec::with_capacity(ia1.len() / procs + 1); procs];
+    for (&a, &b) in ia1.iter().zip(ia2) {
+        let h = (u64::from(a)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(u64::from(b)))
+        .wrapping_mul(0xC2B2AE3D27D4EB4F);
+        out[(h >> 33) as usize % procs].push((a, b));
+    }
+    out
+}
+
+/// Recursive coordinate bisection over 3-D points: split the longest
+/// axis at the median until `parts` parts exist. Returns a part id per
+/// point. `parts` must be a power of two.
+pub fn rcb_partition(points: &[[f64; 3]], parts: usize) -> Vec<u32> {
+    assert!(parts.is_power_of_two(), "RCB needs a power-of-two part count");
+    let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+    let mut owner = vec![0u32; points.len()];
+    rcb_rec(points, &mut ids, 0, parts as u32, &mut owner);
+    owner
+}
+
+fn rcb_rec(points: &[[f64; 3]], ids: &mut [u32], first: u32, parts: u32, owner: &mut [u32]) {
+    if parts == 1 || ids.len() <= 1 {
+        for &i in ids.iter() {
+            owner[i as usize] = first;
+        }
+        return;
+    }
+    // Longest axis of the bounding box.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in ids.iter() {
+        for d in 0..3 {
+            lo[d] = lo[d].min(points[i as usize][d]);
+            hi[d] = hi[d].max(points[i as usize][d]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize][axis]
+            .partial_cmp(&points[b as usize][axis])
+            .unwrap()
+    });
+    let (left, right) = ids.split_at_mut(mid);
+    rcb_rec(points, left, first, parts / 2, owner);
+    rcb_rec(points, right, first + parts / 2, parts / 2, owner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_covers_all_in_order() {
+        let d = distribute(10, 3, Distribution::Block);
+        assert_eq!(d[0], vec![0, 1, 2, 3]);
+        assert_eq!(d[1], vec![4, 5, 6]);
+        assert_eq!(d[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn cyclic_round_robins() {
+        let d = distribute(7, 3, Distribution::Cyclic);
+        assert_eq!(d[0], vec![0, 3, 6]);
+        assert_eq!(d[1], vec![1, 4]);
+        assert_eq!(d[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn distributions_are_balanced() {
+        for &n in &[100usize, 101, 999] {
+            for &p in &[1usize, 2, 7, 32] {
+                for d in [Distribution::Block, Distribution::Cyclic] {
+                    let parts = distribute(n, p, d);
+                    let total: usize = parts.iter().map(|v| v.len()).sum();
+                    assert_eq!(total, n);
+                    let min = parts.iter().map(|v| v.len()).min().unwrap();
+                    let max = parts.iter().map(|v| v.len()).max().unwrap();
+                    assert!(max - min <= 1, "imbalance for n={n} p={p} {d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::Block.label(), "b");
+        assert_eq!(Distribution::Cyclic.label(), "c");
+    }
+
+    #[test]
+    fn rcb_splits_evenly() {
+        // 8×8 grid of points, 4 parts.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                pts.push([i as f64, j as f64, 0.0]);
+            }
+        }
+        let owner = rcb_partition(&pts, 4);
+        let mut counts = [0usize; 4];
+        for &o in &owner {
+            counts[o as usize] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn rcb_parts_are_spatially_coherent() {
+        // Points on a line: each quarter must be contiguous.
+        let pts: Vec<[f64; 3]> = (0..16).map(|i| [i as f64, 0.0, 0.0]).collect();
+        let owner = rcb_partition(&pts, 4);
+        for w in 0..4 {
+            let idxs: Vec<usize> = (0..16).filter(|&i| owner[i] == w).collect();
+            assert_eq!(idxs.len(), 4);
+            assert_eq!(idxs[3] - idxs[0], 3, "part {w} not contiguous: {idxs:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rcb_rejects_odd_parts() {
+        rcb_partition(&[[0.0; 3]; 4], 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! The compiler pipeline end to end: DSL source → analysis → reference
+//! groups → loop fission → LightInspector-based phased execution.
+//!
+//! The input reproduces the paper's Figure-1 loop plus a second loop
+//! with two reference groups, so every stage (including fission with a
+//! temporary array) is exercised.
+//!
+//! ```sh
+//! cargo run --release --example compile_pipeline
+//! ```
+
+use earth_model::sim::SimConfig;
+use irred::{Distribution, StrategyConfig};
+use threadedc::{compile, interpret, parse, Bindings};
+
+const SRC: &str = "
+    // Figure 1 of the paper: an edge loop over an unstructured mesh.
+    double X[num_nodes];
+    double Y[num_edges];
+    int IA1[num_edges];
+    int IA2[num_edges];
+
+    forall (i = 0; i < num_edges; i++) {
+        double f = Y[i] * 0.5;
+        X[IA1[i]] += f;
+        X[IA2[i]] -= f;
+    }
+
+    // A second loop with two reference groups: P through {A}, Q through
+    // {B}. The shared scalar g forces a temporary array during fission.
+    double P[num_nodes];
+    double Q[num_nodes];
+    int A[num_edges];
+    int B[num_edges];
+
+    forall (i = 0; i < num_edges; i++) {
+        double g = Y[i] + 1.0;
+        P[A[i]] += g;
+        Q[B[i]] += g * 2.0;
+    }
+";
+
+fn bindings(n: usize, e: usize) -> Bindings {
+    let mut s = 77u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut b = Bindings::default();
+    b.sizes.insert("num_nodes".into(), n);
+    b.sizes.insert("num_edges".into(), e);
+    b.f64s.insert("Y".into(), (0..e).map(|_| (next() % 100) as f64 / 9.0).collect());
+    for name in ["IA1", "IA2", "A", "B"] {
+        b.ints.insert(name.into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+    }
+    b
+}
+
+fn main() {
+    println!("--- source ---{SRC}");
+    let compiled = compile(SRC).expect("compiles");
+    println!("--- compiler log ---");
+    for line in &compiled.log {
+        println!("  {line}");
+    }
+
+    let (n, e) = (5_000usize, 40_000usize);
+    let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 1);
+    println!("--- executing on {} simulated EARTH nodes (k = {}) ---", strat.procs, strat.k);
+    let mut phased = bindings(n, e);
+    let report = compiled
+        .execute_sim(&mut phased, &strat, SimConfig::default())
+        .expect("executes");
+    println!(
+        "  {} phased loop(s), {} sequential loop(s), {:.3} simulated seconds",
+        report.phased_loops,
+        report.regular_loops,
+        SimConfig::default().seconds(report.time_cycles)
+    );
+
+    // Validate against the direct interpreter.
+    let mut direct = bindings(n, e);
+    interpret(&parse(SRC).unwrap(), &mut direct).expect("interprets");
+    for arr in ["X", "P", "Q"] {
+        let max_diff = phased.f64s[arr]
+            .iter()
+            .zip(&direct.f64s[arr])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!("  {arr}: max |compiled − interpreted| = {max_diff:.2e}");
+        assert!(max_diff < 1e-9);
+    }
+    println!("compiled execution matches the interpreter ✓");
+}

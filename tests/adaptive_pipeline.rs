@@ -1,0 +1,79 @@
+//! Adaptivity end to end: perturb a moldyn configuration, update the
+//! plans incrementally, and verify a fresh phased execution of the new
+//! interaction list still matches the sequential reference.
+
+use earth_model::sim::SimConfig;
+use irred::{approx_eq, seq_reduction, Distribution, PhasedReduction, StrategyConfig};
+use kernels::MolDynProblem;
+use lightinspector::{diff_pairs, verify_plan, IncrementalInspector, PhaseGeometry};
+use workloads::{hash_distribute_pairs, MolDyn};
+
+#[test]
+fn incremental_plans_stay_valid_across_rebuilds() {
+    let procs = 4usize;
+    let mut md = MolDyn::fcc(4, 0.75);
+    let g = PhaseGeometry::new(procs, 2, md.num_molecules);
+
+    let initial = hash_distribute_pairs(&md.ia1, &md.ia2, procs);
+    let caps: Vec<usize> = initial.iter().map(|v| v.len() + v.len() / 4 + 8).collect();
+    let mut incs: Vec<IncrementalInspector> = initial
+        .iter()
+        .zip(&caps)
+        .enumerate()
+        .map(|(q, (pairs, &cap))| {
+            let mut a: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let mut b: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            a.resize(cap, 0);
+            b.resize(cap, 0);
+            IncrementalInspector::new(g, q, vec![a, b])
+        })
+        .collect();
+
+    for round in 0..4 {
+        md.perturb(0.06, round);
+        md.rebuild_interactions();
+        let fresh = hash_distribute_pairs(&md.ia1, &md.ia2, procs);
+        for (q, inc) in incs.iter_mut().enumerate() {
+            let mut na: Vec<u32> = fresh[q].iter().map(|p| p.0).collect();
+            let mut nb: Vec<u32> = fresh[q].iter().map(|p| p.1).collect();
+            na.resize(caps[q], 0);
+            nb.resize(caps[q], 0);
+            let new_pairs: Vec<(u32, u32)> = na.iter().zip(&nb).map(|(&x, &y)| (x, y)).collect();
+            let d = diff_pairs(
+                inc.indirection()[0].as_slice(),
+                inc.indirection()[1].as_slice(),
+                &new_pairs,
+            );
+            for (slot, x, y) in d {
+                inc.update(slot, &[x, y]);
+            }
+            let refs: Vec<&[u32]> = inc.indirection().iter().map(|v| v.as_slice()).collect();
+            verify_plan(inc.plan(), &refs).expect("plan valid after rebuild");
+            // The plan's pairs are exactly the fresh local list (as a set).
+            let mut have: Vec<(u32, u32)> =
+                refs[0].iter().zip(refs[1]).map(|(&x, &y)| (x, y)).collect();
+            let mut want = new_pairs;
+            have.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(have, want, "proc {q} round {round}");
+        }
+    }
+}
+
+#[test]
+fn phased_run_after_adaptation_matches_sequential() {
+    let mut md = MolDyn::fcc(4, 0.75);
+    for round in 0..3 {
+        md.perturb(0.05, round);
+        md.rebuild_interactions();
+    }
+    let problem = MolDynProblem::from_config(md);
+    let sweeps = 2;
+    let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
+    let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, sweeps);
+    let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+    for a in 0..3 {
+        assert!(approx_eq(&r.x[a], &seq.x[a], 1e-8));
+        assert!(approx_eq(&r.read[a], &seq.read[a], 1e-8));
+    }
+}

@@ -1,0 +1,81 @@
+//! The same program must produce the same values on the discrete-event
+//! simulator and on real OS threads — the two backends differ only in
+//! how time passes.
+
+use std::sync::Arc;
+
+use earth_model::sim::SimConfig;
+use irred::kernel::WeightedPairKernel;
+use irred::{
+    approx_eq, Distribution, PhasedGather, PhasedReduction, PhasedSpec, StrategyConfig,
+};
+use kernels::{EulerProblem, MvmProblem};
+use workloads::{Mesh, SparseMatrix};
+
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+#[test]
+fn weighted_kernel_sim_equals_native() {
+    let mut next = rng(21);
+    let (n, e) = (128usize, 1_000usize);
+    let spec = PhasedSpec {
+        kernel: Arc::new(WeightedPairKernel {
+            weights: Arc::new((0..e).map(|_| (next() % 97) as f64 / 3.0).collect()),
+        }),
+        num_elements: n,
+        indirection: Arc::new(vec![
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        ]),
+    };
+    for (procs, k) in [(2usize, 2usize), (4, 1), (8, 4)] {
+        let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, 3);
+        let sim = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        let nat = PhasedReduction::run_native(&spec, &strat).unwrap();
+        assert!(
+            approx_eq(&sim.x[0], &nat.x[0], 1e-9),
+            "backend mismatch at P={procs} k={k}"
+        );
+    }
+}
+
+#[test]
+fn euler_sim_equals_native() {
+    let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_600, 4), 4);
+    let strat = StrategyConfig::new(4, 2, Distribution::Block, 3);
+    let sim = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+    let nat = PhasedReduction::run_native(&problem.spec, &strat).unwrap();
+    for a in 0..4 {
+        assert!(approx_eq(&sim.x[a], &nat.x[a], 1e-9), "x[{a}]");
+    }
+    assert!(approx_eq(&sim.read[0], &nat.read[0], 1e-9));
+}
+
+#[test]
+fn mvm_sim_equals_native() {
+    let problem = MvmProblem::from_matrix(Arc::new(SparseMatrix::random(200, 200, 3_000, 5)));
+    let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+    let sim = PhasedGather::run_sim(&problem.spec, &strat, SimConfig::default());
+    let nat = PhasedGather::run_native(&problem.spec, &strat).unwrap();
+    assert!(approx_eq(&sim.y, &nat.y, 1e-12));
+}
+
+#[test]
+fn op_counts_agree_across_backends() {
+    // The two backends execute the identical fiber/message graph.
+    let problem = EulerProblem::from_mesh(Mesh::generate3d(200, 900, 8), 8);
+    let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 2);
+    let sim = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+    let nat = PhasedReduction::run_native(&problem.spec, &strat).unwrap();
+    assert_eq!(sim.stats.ops.messages, nat.stats.ops.messages);
+    assert_eq!(sim.stats.ops.bytes, nat.stats.ops.bytes);
+    assert_eq!(sim.stats.ops.fibers_fired, nat.stats.ops.fibers_fired);
+}

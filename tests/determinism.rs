@@ -1,0 +1,60 @@
+//! The simulator must be perfectly deterministic: identical inputs give
+//! identical times, statistics, and values — the property that makes the
+//! figures reproducible.
+
+use earth_model::sim::SimConfig;
+use irred::{Distribution, PhasedGather, PhasedReduction, StrategyConfig};
+use kernels::{EulerProblem, MvmProblem};
+use std::sync::Arc;
+use workloads::{Mesh, SparseMatrix};
+
+#[test]
+fn phased_sim_is_deterministic() {
+    let strat = StrategyConfig::new(6, 2, Distribution::Cyclic, 3);
+    let run = || {
+        let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_500, 42), 42);
+        PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.time_cycles, b.time_cycles);
+    assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.read, b.read);
+}
+
+#[test]
+fn gather_sim_is_deterministic() {
+    let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+    let run = || {
+        let p = MvmProblem::from_matrix(Arc::new(SparseMatrix::random(256, 256, 4_000, 7)));
+        PhasedGather::run_sim(&p.spec, &strat, SimConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.time_cycles, b.time_cycles);
+    assert_eq!(a.y, b.y);
+}
+
+#[test]
+fn different_seeds_give_different_times() {
+    let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
+    let time = |seed: u64| {
+        let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_500, seed), seed);
+        PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default()).time_cycles
+    };
+    assert_ne!(time(1), time(2), "different meshes should not tie exactly");
+}
+
+#[test]
+fn workload_generators_are_seed_stable() {
+    // Regenerating the paper presets must give byte-identical datasets —
+    // the figures depend on it.
+    let a = Mesh::preset(workloads::MeshPreset::Euler2K, 1);
+    let b = Mesh::preset(workloads::MeshPreset::Euler2K, 1);
+    assert_eq!(a.ia1, b.ia1);
+    assert_eq!(a.ia2, b.ia2);
+    let ma = workloads::MolDyn::preset(workloads::MolDynPreset::MolDyn2K);
+    let mb = workloads::MolDyn::preset(workloads::MolDynPreset::MolDyn2K);
+    assert_eq!(ma.ia1, mb.ia1);
+}

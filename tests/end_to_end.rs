@@ -1,0 +1,115 @@
+//! Cross-crate integration: every kernel, on reduced datasets, across
+//! the full strategy space, validated against its sequential reference.
+
+use std::sync::Arc;
+
+use earth_model::sim::SimConfig;
+use irred::{approx_eq, seq_reduction, Distribution, PhasedGather, PhasedReduction, StrategyConfig};
+use kernels::{EulerProblem, MolDynProblem, MvmProblem};
+use workloads::{Mesh, MolDyn, SparseMatrix};
+
+fn strategies(sweeps: usize) -> Vec<StrategyConfig> {
+    let mut out = Vec::new();
+    for procs in [1usize, 2, 3, 4, 8] {
+        for k in [1usize, 2, 4] {
+            for d in [Distribution::Block, Distribution::Cyclic] {
+                out.push(StrategyConfig::new(procs, k, d, sweeps));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn euler_all_strategies_match_sequential() {
+    let problem = EulerProblem::from_mesh(Mesh::generate3d(400, 2_200, 11), 11);
+    let sweeps = 3;
+    let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
+    for strat in strategies(sweeps) {
+        let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+        for a in 0..4 {
+            assert!(
+                approx_eq(&r.x[a], &seq.x[a], 1e-8),
+                "euler x[{a}] mismatch at P={} {}",
+                strat.procs,
+                strat.label()
+            );
+        }
+        assert!(
+            approx_eq(&r.read[0], &seq.read[0], 1e-8),
+            "euler state mismatch at P={} {}",
+            strat.procs,
+            strat.label()
+        );
+    }
+}
+
+#[test]
+fn moldyn_all_strategies_match_sequential() {
+    let mut config = MolDyn::fcc(4, 0.75);
+    config.perturb(0.03, 5);
+    config.rebuild_interactions();
+    let problem = MolDynProblem::from_config(config);
+    let sweeps = 2;
+    let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
+    for strat in strategies(sweeps) {
+        let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+        for a in 0..3 {
+            assert!(
+                approx_eq(&r.read[a], &seq.read[a], 1e-8),
+                "moldyn pos[{a}] mismatch at P={} {}",
+                strat.procs,
+                strat.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn mvm_all_strategies_match_spmv() {
+    let problem = MvmProblem::from_matrix(Arc::new(SparseMatrix::random(300, 300, 5_000, 9)));
+    let mut want = vec![0.0; 300];
+    problem.spec.matrix.spmv(&problem.spec.x, &mut want);
+    for strat in strategies(2) {
+        let r = PhasedGather::run_sim(&problem.spec, &strat, SimConfig::default());
+        assert!(
+            approx_eq(&r.y, &want, 1e-10),
+            "mvm mismatch at P={} {}",
+            strat.procs,
+            strat.label()
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_under_any_numbering() {
+    // Euler's edge fluxes are conservative (±f per edge): the global sum
+    // of every reduction array is zero regardless of mesh numbering or
+    // strategy.
+    let mesh = Mesh::generate3d(300, 1_500, 3);
+    let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 3);
+    for m in [mesh.clone(), mesh.shuffled(99)] {
+        let p = EulerProblem::from_mesh(m, 3);
+        let r = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        for a in 0..4 {
+            let total: f64 = r.x[a].iter().sum();
+            assert!(total.abs() < 1e-7, "array {a} drifted: {total}");
+        }
+        // And the phased run matches its own sequential reference.
+        let seq = seq_reduction(&p.spec, 3, SimConfig::default());
+        assert!(approx_eq(&r.read[0], &seq.read[0], 1e-8));
+    }
+}
+
+#[test]
+fn inspector_cost_excluded_from_loop_time() {
+    // Same spec, 1 sweep vs 4 sweeps: time scales with sweeps (the
+    // inspector runs once at build time, outside the timed loop).
+    let problem = EulerProblem::from_mesh(Mesh::generate3d(400, 2_200, 7), 7);
+    let strat1 = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
+    let strat4 = StrategyConfig::new(4, 2, Distribution::Cyclic, 8);
+    let t1 = PhasedReduction::run_sim(&problem.spec, &strat1, SimConfig::default()).time_cycles;
+    let t4 = PhasedReduction::run_sim(&problem.spec, &strat4, SimConfig::default()).time_cycles;
+    let ratio = t4 as f64 / t1 as f64;
+    assert!((3.0..5.0).contains(&ratio), "time should scale ~4x with sweeps, got {ratio}");
+}
