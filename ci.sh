@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: the workspace must build, test, and
+# lint clean with no network access and no external crates. This is the
+# same gate CI runs (.github/workflows/ci.yml); run it locally before
+# pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

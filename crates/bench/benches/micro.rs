@@ -1,14 +1,18 @@
-//! Criterion micro-benchmarks for the building blocks.
+//! Host micro-benchmarks for the building blocks, on the in-tree
+//! [`harness::bench`] harness.
 //!
 //! These measure *host* performance of the runtime pieces themselves —
 //! the LightInspector's passes, incremental updates, the cache
 //! simulator, ownership arithmetic, and the native EARTH backend's
 //! messaging — complementing the figure binaries, which measure
 //! *simulated* machine performance.
+//!
+//! Run with `cargo bench -p repro-bench`. `BENCH_ITERS` / `BENCH_WARMUP`
+//! control the sample counts; set `BENCH_CSV=bench_results/micro.csv`
+//! to append machine-readable results.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harness::bench::Suite;
+use harness::Rng64;
 
 use earth_model::native::{run_native, NativeCtx};
 use earth_model::{FiberCtx, FiberSpec, MachineProgram};
@@ -16,36 +20,34 @@ use lightinspector::{inspect, IncrementalInspector, InspectorInput, PhaseGeometr
 use memsim::{AccessKind, Cache, CacheConfig, MemConfig, MemModel};
 
 fn random_mesh(e: usize, n: u32, seed: u64) -> (Vec<u32>, Vec<u32>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     (
         (0..e).map(|_| rng.gen_range(0..n)).collect(),
         (0..e).map(|_| rng.gen_range(0..n)).collect(),
     )
 }
 
-fn bench_inspector(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lightinspector");
+fn bench_inspector() {
+    let mut suite = Suite::new("lightinspector");
     for &e in &[10_000usize, 100_000] {
         let (a, b) = random_mesh(e, 10_000, 42);
         let geom = PhaseGeometry::new(16, 2, 10_000);
-        g.throughput(Throughput::Elements(e as u64));
-        g.bench_function(format!("inspect/{e}"), |bench| {
-            bench.iter(|| {
-                inspect(InspectorInput {
-                    geometry: geom,
-                    proc_id: 3,
-                    indirection: &[&a, &b],
-                })
+        suite.throughput(e as u64);
+        suite.bench(&format!("inspect/{e}"), || {
+            inspect(InspectorInput {
+                geometry: geom,
+                proc_id: 3,
+                indirection: &[&a, &b],
             })
         });
     }
-    g.finish();
+    suite.finish();
 }
 
-fn bench_incremental(c: &mut Criterion) {
+fn bench_incremental() {
     let (a, b) = random_mesh(50_000, 10_000, 7);
     let geom = PhaseGeometry::new(16, 2, 10_000);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng64::seed_from_u64(9);
     let updates: Vec<(usize, Vec<u32>)> = (0..1_000)
         .map(|_| {
             (
@@ -54,90 +56,85 @@ fn bench_incremental(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut g = c.benchmark_group("incremental");
-    g.throughput(Throughput::Elements(updates.len() as u64));
-    g.bench_function("update_batch/1000", |bench| {
-        bench.iter_batched(
-            || IncrementalInspector::new(geom, 0, vec![a.clone(), b.clone()]),
-            |mut inc| {
-                inc.update_batch(&updates);
-                inc
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    let mut suite = Suite::new("incremental");
+    suite.throughput(updates.len() as u64);
+    suite.bench_with_setup(
+        "update_batch/1000",
+        || IncrementalInspector::new(geom, 0, vec![a.clone(), b.clone()]),
+        |mut inc| {
+            inc.update_batch(&updates);
+            inc
+        },
+    );
+    suite.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("cache_stream/100k", |bench| {
-        let mut cache = Cache::new(CacheConfig::i860xp());
-        bench.iter(|| {
-            let mut misses = 0u32;
-            for i in 0..100_000u64 {
-                if !cache.access(i * 8, AccessKind::Read).hit {
-                    misses += 1;
-                }
+fn bench_cache() {
+    let mut suite = Suite::new("memsim");
+    suite.throughput(100_000);
+    let mut cache = Cache::new(CacheConfig::i860xp());
+    suite.bench("cache_stream/100k", || {
+        let mut misses = 0u32;
+        for i in 0..100_000u64 {
+            if !cache.access(i * 8, AccessKind::Read).hit {
+                misses += 1;
             }
-            misses
-        })
+        }
+        misses
     });
-    g.bench_function("memmodel_gather/100k", |bench| {
-        let mut m = MemModel::new(MemConfig::i860xp());
-        bench.iter(|| {
-            let mut x = 1u64;
-            let mut cyc = 0u64;
-            for _ in 0..100_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                cyc += m.read((x % 1_000_000) * 8);
-            }
-            cyc
-        })
+    let mut m = MemModel::new(MemConfig::i860xp());
+    suite.bench("memmodel_gather/100k", || {
+        let mut x = 1u64;
+        let mut cyc = 0u64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cyc += m.read((x % 1_000_000) * 8);
+        }
+        cyc
     });
-    g.finish();
+    suite.finish();
 }
 
-fn bench_geometry(c: &mut Criterion) {
+fn bench_geometry() {
     let geom = PhaseGeometry::new(32, 2, 1_000_000);
-    c.bench_function("geometry/phase_of_portion", |bench| {
-        bench.iter(|| {
-            let mut acc = 0usize;
-            for e in (0..1_000_000usize).step_by(97) {
-                acc += geom.phase_of_portion_on(7, geom.portion_of(e));
-            }
-            acc
-        })
+    let mut suite = Suite::new("geometry");
+    suite.bench("phase_of_portion", || {
+        let mut acc = 0usize;
+        for e in (0..1_000_000usize).step_by(97) {
+            acc += geom.phase_of_portion_on(7, geom.portion_of(e));
+        }
+        acc
     });
+    suite.finish();
 }
 
-fn bench_native_pingpong(c: &mut Criterion) {
-    c.bench_function("native/pingpong_100", |bench| {
-        bench.iter(|| {
-            let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
-            prog.add_node(0);
-            prog.add_node(0);
-            prog.node_mut(0)
-                .add_fiber(FiberSpec::repeating("ping", 0, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
-                    *s += 1;
-                    if *s < 100 {
-                        cx.sync(1, 0);
-                    }
-                }));
-            prog.node_mut(1)
-                .add_fiber(FiberSpec::repeating("pong", 1, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
-                    *s += 1;
-                    cx.sync(0, 0);
-                }));
-            run_native(prog).unwrap().stats.ops.fibers_fired
-        })
+fn bench_native_pingpong() {
+    let mut suite = Suite::new("native");
+    suite.bench("pingpong_100", || {
+        let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::repeating("ping", 0, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
+                *s += 1;
+                if *s < 100 {
+                    cx.sync(1, 0);
+                }
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::repeating("pong", 1, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
+                *s += 1;
+                cx.sync(0, 0);
+            }));
+        run_native(prog).unwrap().stats.ops.fibers_fired
     });
+    suite.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_inspector, bench_incremental, bench_cache, bench_geometry, bench_native_pingpong
+fn main() {
+    bench_inspector();
+    bench_incremental();
+    bench_cache();
+    bench_geometry();
+    bench_native_pingpong();
 }
-criterion_main!(benches);

@@ -110,9 +110,9 @@ fn main() {
             let g = PhaseGeometry::new(p, 2, spec.num_elements);
             let dist = distribute(spec.num_iterations(), p, Distribution::Cyclic);
             let li_start = std::time::Instant::now();
-            for q in 0..p {
-                let l1: Vec<u32> = dist[q].iter().map(|&i| spec.indirection[0][i as usize]).collect();
-                let l2: Vec<u32> = dist[q].iter().map(|&i| spec.indirection[1][i as usize]).collect();
+            for (q, owned) in dist.iter().enumerate().take(p) {
+                let l1: Vec<u32> = owned.iter().map(|&i| spec.indirection[0][i as usize]).collect();
+                let l2: Vec<u32> = owned.iter().map(|&i| spec.indirection[1][i as usize]).collect();
                 let _ = inspect(InspectorInput {
                     geometry: g,
                     proc_id: q,

@@ -51,7 +51,7 @@ fn sweeps_or(default: usize) -> usize {
 
 /// Whether `REPRO_QUICK` smoke mode is on.
 pub fn quick() -> bool {
-    std::env::var("REPRO_QUICK").map_or(false, |v| v == "1")
+    std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Processor counts used by the paper for the LHS kernels.

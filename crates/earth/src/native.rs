@@ -10,14 +10,16 @@
 //!
 //! Accounting methods of [`FiberCtx`] are no-ops here and compile away,
 //! so native runs measure real wall-clock behaviour.
+//!
+//! Built entirely on `std::sync` (mpsc channels for the per-node ready
+//! queues, `Mutex` for the mailboxes) — no external crates, per the
+//! workspace's hermetic-build policy (DESIGN.md).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
 use crate::stats::{NodeStats, OpCounts, RunStats};
@@ -49,6 +51,9 @@ pub struct NativeReport<S> {
     /// Wall-clock duration of the parallel section (threads running).
     pub wall: Duration,
 }
+
+/// A node's fiber table: slot → body (None = free dynamic slot).
+type FiberSlots<S> = Vec<Option<FiberSpec<S, NativeCtx<S>>>>;
 
 enum NodeMsg<S> {
     Ready(SlotId),
@@ -163,7 +168,7 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
     }
 
     fn recv(&mut self, key: u64) -> Option<Value> {
-        let mut mb = self.shared.nodes[self.node].mailbox.lock();
+        let mut mb = self.shared.nodes[self.node].mailbox.lock().unwrap();
         let q = mb.get_mut(&key)?;
         let v = q.pop_front();
         if q.is_empty() {
@@ -224,7 +229,7 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
                 shared.messages.fetch_add(1, Ordering::Relaxed);
                 shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
                 {
-                    let mut mb = shared.nodes[node].mailbox.lock();
+                    let mut mb = shared.nodes[node].mailbox.lock().unwrap();
                     mb.entry(key).or_default().push_back(value);
                 }
                 shared.dec(node, slot);
@@ -267,19 +272,19 @@ pub fn run_native<S: Send + 'static>(
     let mut senders = Vec::with_capacity(num_nodes);
     let mut receivers = Vec::with_capacity(num_nodes);
     for _ in 0..num_nodes {
-        let (tx, rx) = unbounded::<NodeMsg<S>>();
+        let (tx, rx) = channel::<NodeMsg<S>>();
         senders.push(tx);
         receivers.push(rx);
     }
 
     let mut node_shared = Vec::with_capacity(num_nodes);
-    let mut node_bodies: Vec<Vec<Option<FiberSpec<S, NativeCtx<S>>>>> = Vec::new();
+    let mut node_bodies: Vec<FiberSlots<S>> = Vec::new();
     let mut node_states = Vec::new();
     for nb in prog.nodes {
         let total = nb.fibers.len() + nb.dynamic_capacity;
         let counts: Vec<AtomicI64> = (0..total).map(|_| AtomicI64::new(0)).collect();
         let resets: Vec<AtomicI64> = (0..total).map(|_| AtomicI64::new(0)).collect();
-        let mut bodies: Vec<Option<FiberSpec<S, NativeCtx<S>>>> = Vec::with_capacity(total);
+        let mut bodies: FiberSlots<S> = Vec::with_capacity(total);
         for (i, f) in nb.fibers.into_iter().enumerate() {
             counts[i].store(f.sync_count as i64, Ordering::Relaxed);
             resets[i].store(f.reset.map_or(0, |r| r as i64), Ordering::Relaxed);
@@ -342,12 +347,13 @@ pub fn run_native<S: Send + 'static>(
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(num_nodes);
-    for (node, (mut bodies, mut state)) in node_bodies
+    for (node, ((mut bodies, mut state), rx)) in node_bodies
         .into_iter()
-        .zip(node_states.into_iter())
+        .zip(node_states)
+        .zip(receivers)
         .enumerate()
     {
-        let rx: Receiver<NodeMsg<S>> = receivers[node].clone();
+        let rx: Receiver<NodeMsg<S>> = rx;
         let shared = Arc::clone(&shared);
         handles.push(std::thread::spawn(move || {
             let mut fired_per_fiber = vec![0u64; bodies.len()];
@@ -373,7 +379,7 @@ pub fn run_native<S: Send + 'static>(
                         shared.messages.fetch_add(1, Ordering::Relaxed);
                         shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
                         {
-                            let mut mb = shared.nodes[reply_to].mailbox.lock();
+                            let mut mb = shared.nodes[reply_to].mailbox.lock().unwrap();
                             mb.entry(key).or_default().push_back(value);
                         }
                         shared.dec(reply_to, slot);
@@ -401,7 +407,7 @@ pub fn run_native<S: Send + 'static>(
                         }
                     }
                     NodeMsg::Ready(idx) => {
-                        if bodies.get(idx as usize).map_or(true, |b| b.is_none()) {
+                        if bodies.get(idx as usize).is_none_or(|b| b.is_none()) {
                             // Spawn message not yet processed; defer.
                             pending_ready.push(idx);
                             continue;

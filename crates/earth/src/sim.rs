@@ -114,8 +114,8 @@ pub fn render_gantt(trace: &[TraceEvent], num_nodes: usize, total: u64, width: u
     let scale = |t: u64| ((t as u128 * width as u128) / total.max(1) as u128) as usize;
     for ev in trace {
         let (a, b) = (scale(ev.start), scale(ev.end).min(width.saturating_sub(1)));
-        for c in a..=b.min(width - 1) {
-            rows[ev.node][c] = true;
+        for cell in &mut rows[ev.node][a..=b.min(width - 1)] {
+            *cell = true;
         }
     }
     let mut out = String::new();
@@ -343,7 +343,7 @@ impl<S> Sim<S> {
             if reset > 0 {
                 *c += reset;
             }
-            if n.bodies.get(slot as usize).map_or(true, |b| b.is_none()) {
+            if n.bodies.get(slot as usize).is_none_or(|b| b.is_none()) {
                 n.pending_ready.push(slot);
             } else {
                 n.ready.push_back(slot);
@@ -858,7 +858,7 @@ mod tests {
         assert_eq!(r1.states, r2.states);
         // Each node sums the other three ids.
         assert_eq!(r1.states[0], 1 + 2 + 3);
-        assert_eq!(r1.states[3], 0 + 1 + 2);
+        assert_eq!(r1.states[3], 1 + 2);
     }
 
     #[test]

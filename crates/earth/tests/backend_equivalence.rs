@@ -1,5 +1,6 @@
 //! Property test: random fiber dataflow graphs produce identical results
-//! on the native and simulated backends.
+//! on the native and simulated backends. On the in-tree
+//! [`harness::prop`] harness.
 //!
 //! Programs are layered DAGs: `L` layers of fibers spread over `P`
 //! nodes; each fiber accumulates the values it received, adds its own
@@ -8,9 +9,10 @@
 //! final per-node sums agree exactly (integer arithmetic).
 
 use earth_model::native::{run_native, NativeCtx};
-use earth_model::sim::{run_sim, SimCtx, SimConfig};
+use earth_model::sim::{run_sim, SimConfig, SimCtx};
 use earth_model::{mailbox_key, FiberCtx, FiberSpec, MachineProgram};
-use proptest::prelude::*;
+use harness::prop::{check, Config, Gen};
+use harness::prop_assert_eq;
 
 /// Node state: accumulated integer per node.
 type State = i64;
@@ -83,50 +85,63 @@ fn build<C: FiberCtx<State> + 'static>(
     prog
 }
 
-fn scenario() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<Vec<(usize, usize)>>)> {
-    (2usize..=5, 1usize..=4).prop_flat_map(|(procs, nlayers)| {
-        let layer = prop::collection::vec(0..procs, 1..=4);
-        let layers = prop::collection::vec(layer, nlayers);
-        layers.prop_flat_map(move |layers| {
-            // Edges between consecutive layers; every next-layer fiber
-            // gets at least one producer so nothing starves.
-            let mut edge_strats = Vec::new();
-            for li in 0..layers.len().saturating_sub(1) {
-                let (src_n, dst_n) = (layers[li].len(), layers[li + 1].len());
-                let extra = prop::collection::vec((0..src_n, 0..dst_n), 0..6);
-                let base: Vec<(usize, usize)> = (0..dst_n).map(|d| (d % src_n, d)).collect();
-                edge_strats.push(extra.prop_map(move |mut es| {
-                    es.extend(base.iter().copied());
-                    es
-                }));
-            }
-            (Just(procs), Just(layers), edge_strats)
-        })
-    })
+/// Random layered DAG: `procs`, fiber layers, edges between consecutive
+/// layers (every next-layer fiber gets at least one producer so nothing
+/// starves).
+#[derive(Debug, Clone)]
+struct Scenario {
+    procs: usize,
+    layers: Vec<Vec<usize>>,
+    edges: Vec<Vec<(usize, usize)>>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn scenario(g: &mut Gen) -> Scenario {
+    let procs = g.usize_incl(2, 5);
+    let nlayers = g.usize_incl(1, 4);
+    let layers: Vec<Vec<usize>> = (0..nlayers)
+        .map(|_| g.vec(1, 4, |g| g.usize_in(0..procs)))
+        .collect();
+    let mut edges = Vec::new();
+    for li in 0..layers.len().saturating_sub(1) {
+        let (src_n, dst_n) = (layers[li].len(), layers[li + 1].len());
+        let mut es: Vec<(usize, usize)> =
+            g.vec(0, 6, |g| (g.usize_in(0..src_n), g.usize_in(0..dst_n)));
+        es.extend((0..dst_n).map(|d| (d % src_n, d)));
+        edges.push(es);
+    }
+    Scenario { procs, layers, edges }
+}
 
-    #[test]
-    fn native_and_sim_agree((procs, layers, edges) in scenario()) {
+#[test]
+fn native_and_sim_agree() {
+    check("native_and_sim_agree", Config::cases(64), scenario, |s| {
         let sim = run_sim(
-            build::<SimCtx<State>>(&layers, &edges, procs),
+            build::<SimCtx<State>>(&s.layers, &s.edges, s.procs),
             SimConfig::default(),
         );
-        let nat = run_native(build::<NativeCtx<State>>(&layers, &edges, procs)).unwrap();
+        let nat = run_native(build::<NativeCtx<State>>(&s.layers, &s.edges, s.procs)).unwrap();
         prop_assert_eq!(&sim.states, &nat.states);
         prop_assert_eq!(sim.stats.ops.fibers_fired, nat.stats.ops.fibers_fired);
         prop_assert_eq!(sim.stats.ops.messages, nat.stats.ops.messages);
         prop_assert_eq!(sim.stats.unfired_fibers, 0u64);
         prop_assert_eq!(nat.stats.unfired_fibers, 0u64);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sim_is_reproducible((procs, layers, edges) in scenario()) {
-        let a = run_sim(build::<SimCtx<State>>(&layers, &edges, procs), SimConfig::default());
-        let b = run_sim(build::<SimCtx<State>>(&layers, &edges, procs), SimConfig::default());
+#[test]
+fn sim_is_reproducible() {
+    check("sim_is_reproducible", Config::cases(64), scenario, |s| {
+        let a = run_sim(
+            build::<SimCtx<State>>(&s.layers, &s.edges, s.procs),
+            SimConfig::default(),
+        );
+        let b = run_sim(
+            build::<SimCtx<State>>(&s.layers, &s.edges, s.procs),
+            SimConfig::default(),
+        );
         prop_assert_eq!(a.time_cycles, b.time_cycles);
         prop_assert_eq!(a.states, b.states);
-    }
+        Ok(())
+    });
 }

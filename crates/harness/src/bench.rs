@@ -1,0 +1,268 @@
+//! A minimal benchmark harness: warmup, N timed iterations, and
+//! robust statistics (median and MAD) — the slice of `criterion` the
+//! micro-benchmarks use, with zero dependencies.
+//!
+//! Results print to stdout in a fixed-width table and can be appended
+//! as CSV (`name,iters,median_ns,mad_ns,per_element_ns,elements`),
+//! following the repository convention of machine-readable output
+//! under `bench_results/`.
+//!
+//! Environment knobs: `BENCH_ITERS` overrides the timed iteration
+//! count, `BENCH_WARMUP` the warmup count, `BENCH_CSV` a path to
+//! append CSV rows to.
+
+use std::time::Instant;
+
+/// Configuration for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub warmup_iters: u32,
+    pub timed_iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let parse = |k: &str, d: u32| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        BenchConfig {
+            warmup_iters: parse("BENCH_WARMUP", 3),
+            timed_iters: parse("BENCH_ITERS", 20),
+        }
+    }
+}
+
+/// Statistics over the timed iterations, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub iters: u32,
+    pub median_ns: f64,
+    /// Median absolute deviation — robust spread.
+    pub mad_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// Elements processed per iteration (for throughput), if declared.
+    pub elements: Option<u64>,
+}
+
+impl Stats {
+    /// Nanoseconds per declared element.
+    pub fn per_element_ns(&self) -> Option<f64> {
+        self.elements.map(|e| self.median_ns / e as f64)
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a config, mirroring the
+/// criterion `benchmark_group` idiom the micro bench file used.
+pub struct Suite {
+    group: String,
+    config: BenchConfig,
+    elements: Option<u64>,
+    results: Vec<Stats>,
+}
+
+impl Suite {
+    pub fn new(group: &str) -> Suite {
+        println!("== bench group: {group} ==");
+        Suite {
+            group: group.to_string(),
+            config: BenchConfig::default(),
+            elements: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Declare elements-per-iteration for subsequent benches
+    /// (throughput reporting).
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Time `routine`, which returns a value that is black-boxed to
+    /// keep the optimizer honest.
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) -> &Stats {
+        self.bench_with_setup(name, || (), |()| routine())
+    }
+
+    /// Time `routine` over fresh input from `setup`; setup time is
+    /// excluded (the criterion `iter_batched` idiom).
+    pub fn bench_with_setup<I, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+    ) -> &Stats {
+        let full = format!("{}/{}", self.group, name);
+        for _ in 0..self.config.warmup_iters {
+            let input = setup();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+        }
+        let mut samples = Vec::with_capacity(self.config.timed_iters as usize);
+        for _ in 0..self.config.timed_iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let med = median(&samples);
+        let mut devs: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            name: full.clone(),
+            iters: self.config.timed_iters,
+            median_ns: med,
+            mad_ns: median(&devs),
+            min_ns: samples.first().copied().unwrap_or(0.0),
+            max_ns: samples.last().copied().unwrap_or(0.0),
+            elements: self.elements,
+        };
+        let throughput = stats
+            .per_element_ns()
+            .map(|ns| format!("  ({:.1} ns/elem)", ns))
+            .unwrap_or_default();
+        println!(
+            "  {:<40} median {:>12}  mad {:>10}  [{} .. {}]{}",
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mad_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            throughput,
+        );
+        self.results.push(stats);
+        self.results.last().unwrap()
+    }
+
+    /// Append this group's rows to the CSV at `BENCH_CSV`, if set.
+    /// Schema: `name,iters,median_ns,mad_ns,per_element_ns,elements`.
+    pub fn finish(self) -> Vec<Stats> {
+        if let Ok(path) = std::env::var("BENCH_CSV") {
+            if let Err(e) = append_csv(&path, &self.results) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+        self.results
+    }
+}
+
+fn append_csv(path: &str, rows: &[Stats]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let header_needed = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if header_needed {
+        writeln!(f, "name,iters,median_ns,mad_ns,per_element_ns,elements")?;
+    }
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{:.1},{:.1},{},{}",
+            r.name,
+            r.iters,
+            r.median_ns,
+            r.mad_ns,
+            r.per_element_ns().map(|v| format!("{v:.3}")).unwrap_or_default(),
+            r.elements.map(|e| e.to_string()).unwrap_or_default(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[1.0, 2.0, 100.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 100.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut suite = Suite::new("selftest");
+        suite.throughput(1000);
+        let s = suite.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.per_element_ns().unwrap() > 0.0);
+        let results = suite.finish();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn setup_excluded_from_timing() {
+        let mut suite = Suite::new("setup");
+        let s = suite.bench_with_setup(
+            "consume_vec",
+            || vec![1u8; 1024],
+            |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+        );
+        assert!(s.iters > 0);
+    }
+
+    #[test]
+    fn csv_append_roundtrip() {
+        let dir = std::env::temp_dir().join("harness_bench_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.csv");
+        let rows = vec![Stats {
+            name: "g/x".into(),
+            iters: 5,
+            median_ns: 123.4,
+            mad_ns: 1.5,
+            min_ns: 120.0,
+            max_ns: 130.0,
+            elements: Some(10),
+        }];
+        append_csv(path.to_str().unwrap(), &rows).unwrap();
+        append_csv(path.to_str().unwrap(), &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one header + two rows: {text}");
+        assert!(lines[0].starts_with("name,iters"));
+        assert!(lines[1].starts_with("g/x,5,123.4"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -139,8 +139,11 @@ impl<K: EdgeKernel> IeNode<K> {
 
     fn run_fold<C: FiberCtx<Self>>(s: &mut Self, t: usize, ctx: &mut C) {
         let r_arrays = s.x.len();
-        // Fold every neighbour's contributions.
-        let folds: Vec<usize> = s.fold_targets.keys().copied().collect();
+        // Fold every neighbour's contributions, in ascending source
+        // order — hash-map order would reassociate the float adds
+        // differently on every run.
+        let mut folds: Vec<usize> = s.fold_targets.keys().copied().collect();
+        folds.sort_unstable();
         for src in folds {
             let payload = ctx
                 .recv(mailbox_key(TAG_SCATTER, (t * 64 + src) as u32))
@@ -457,7 +460,7 @@ mod tests {
     fn matches_sequential_single_proc() {
         let s = spec(32, 200, 2);
         let seq = seq_reduction(&s, 1, SimConfig::default());
-        let r = InspectorExecutor::run_sim(&s, &vec![0; 32], 1, 1, SimConfig::default());
+        let r = InspectorExecutor::run_sim(&s, &[0; 32], 1, 1, SimConfig::default());
         assert!(crate::approx_eq(&r.x[0], &seq.x[0], 1e-9));
         // No neighbours → no scatter messages.
         assert_eq!(r.stats.ops.messages, 0);

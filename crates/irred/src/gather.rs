@@ -104,9 +104,9 @@ impl GatherNode {
         }
         let mut phase_off = Vec::with_capacity(kp);
         let mut off = 0;
-        for p in 0..kp {
+        for rows in ph_rows.iter().take(kp) {
             phase_off.push(off);
-            off += ph_rows[p].len();
+            off += rows.len();
         }
 
         // Initially the node holds its k starting portions of x; for
@@ -157,7 +157,7 @@ impl GatherNode {
         }
 
         // Receive the resident x portion (except the initially-held ones).
-        if !(t == 0 && p < k) && !range.is_empty() {
+        if !(range.is_empty() || (t == 0 && p < k)) {
             let payload = ctx
                 .recv(mailbox_key(TAG_XPORT, abs as u32))
                 .expect("x portion must have arrived");
@@ -278,8 +278,8 @@ impl PhasedGather {
         let rows = distribute(spec.matrix.nrows, strat.procs, strat.distribution);
         let kp = strat.phases_per_sweep();
         let mut prog = MachineProgram::new();
-        for proc in 0..strat.procs {
-            let node = GatherNode::new(spec, strat, proc, rows[proc].clone(), mem_cfg);
+        for (proc, proc_rows) in rows.iter().enumerate().take(strat.procs) {
+            let node = GatherNode::new(spec, strat, proc, proc_rows.clone(), mem_cfg);
             let id = prog.add_node(node);
             for t in 0..strat.sweeps {
                 for p in 0..kp {

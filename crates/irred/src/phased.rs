@@ -130,8 +130,12 @@ pub struct PhasedNode<K> {
     staged: Vec<(usize, Vec<Vec<f64>>)>,
     /// Final portions collected during the last sweep:
     /// `(portion, x segments, read segments)`.
-    results: Vec<(usize, Vec<Vec<f64>>, Vec<Vec<f64>>)>,
+    results: Vec<FinalPortion>,
 }
+
+/// One node's final values for one portion: `(portion, x segments, read
+/// segments)`.
+type FinalPortion = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>);
 
 fn slot_of(t: usize, p: usize, kp: usize) -> SlotId {
     (t * kp + p) as SlotId
@@ -560,8 +564,8 @@ pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
     let updates_read = spec.kernel.updates_read_state();
 
     let mut prog = MachineProgram::new();
-    for proc in 0..strat.procs {
-        let node = PhasedNode::new(spec, strat, proc, owned[proc].clone(), mem_cfg, overheads);
+    for (proc, proc_owned) in owned.iter().enumerate().take(strat.procs) {
+        let node = PhasedNode::new(spec, strat, proc, proc_owned.clone(), mem_cfg, overheads);
         let id = prog.add_node(node);
         for t in 0..strat.sweeps {
             for p in 0..kp {
@@ -579,11 +583,14 @@ pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
     prog
 }
 
+/// `(x arrays, read arrays, per-node phase iteration counts)`.
+type AssembledArrays = (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<usize>>);
+
 /// Assemble global arrays from per-node final portions.
 fn assemble<K: EdgeKernel>(
     spec: &PhasedSpec<K>,
     nodes: Vec<PhasedNode<K>>,
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<usize>>) {
+) -> AssembledArrays {
     let n = spec.num_elements;
     let r_arrays = spec.kernel.num_arrays();
     let r_read = spec.kernel.num_read_arrays();

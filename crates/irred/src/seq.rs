@@ -175,7 +175,7 @@ pub fn seq_gather_cycles(
     for sweep in 0..sweeps {
         let metered = sweep == 0;
         let before = meter.cycles;
-        for r in 0..matrix.nrows {
+        for (r, yr) in y.iter_mut().enumerate().take(matrix.nrows) {
             if metered {
                 meter.load(rp_reg.addr(r));
             }
@@ -190,7 +190,7 @@ pub fn seq_gather_cycles(
                     meter.flops(2);
                 }
             }
-            y[r] = acc;
+            *yr = acc;
             if metered {
                 meter.store(y_reg.addr(r));
             }

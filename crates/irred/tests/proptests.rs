@@ -1,17 +1,22 @@
-//! Property tests for the phased executors: for arbitrary problem
-//! shapes (element count, iteration count, reference arity `m`,
-//! reduction-group width `R`, indirection contents) and arbitrary
-//! strategies `(P, k, distribution)`, the phased execution equals the
-//! sequential reference.
+//! Property tests for the phased executors, on the in-tree
+//! [`harness::prop`] harness: for arbitrary problem shapes (element
+//! count, iteration count, reference arity `m`, reduction-group width
+//! `R`, indirection contents) and arbitrary strategies
+//! `(P, k, distribution)`, the phased execution equals the sequential
+//! reference.
+//!
+//! The former `.proptest-regressions` seed is preserved as the named
+//! unit test [`regression_gather_rows8_nnz6`].
 
 use std::sync::Arc;
 
 use earth_model::sim::SimConfig;
+use harness::prop::{check, Config, Gen};
+use harness::{prop_assert, prop_assert_eq};
 use irred::{
     approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedGather, PhasedReduction, PhasedSpec,
     GatherSpec, StrategyConfig,
 };
-use proptest::prelude::*;
 use workloads::SparseMatrix;
 
 /// A kernel with configurable arity: contribution through ref `r` to
@@ -56,29 +61,27 @@ struct Shape {
     seed: u64,
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    (
-        8usize..200,
-        0usize..400,
-        1usize..=3,
-        1usize..=3,
-        1usize..=6,
-        1usize..=4,
-        prop::bool::ANY,
-        1usize..=3,
-        any::<u64>(),
-    )
-        .prop_map(|(n, e, m, r_arrays, procs, k, cyclic, sweeps, seed)| Shape {
-            n: n.max(procs * 4), // keep portions non-degenerate
-            e,
-            m,
-            r_arrays,
-            procs,
-            k,
-            dist: if cyclic { Distribution::Cyclic } else { Distribution::Block },
-            sweeps,
-            seed,
-        })
+fn shape(g: &mut Gen) -> Shape {
+    let n = g.usize_in(8..200);
+    let e = g.usize_in(0..400);
+    let m = g.usize_incl(1, 3);
+    let r_arrays = g.usize_incl(1, 3);
+    let procs = g.usize_incl(1, 6);
+    let k = g.usize_incl(1, 4);
+    let cyclic = g.prob(0.5);
+    let sweeps = g.usize_incl(1, 3);
+    let seed = g.u64_any();
+    Shape {
+        n: n.max(procs * 4), // keep portions non-degenerate
+        e,
+        m,
+        r_arrays,
+        procs,
+        k,
+        dist: if cyclic { Distribution::Cyclic } else { Distribution::Block },
+        sweeps,
+        seed,
+    }
 }
 
 fn build_spec(s: &Shape) -> PhasedSpec<ArityKernel> {
@@ -103,47 +106,105 @@ fn build_spec(s: &Shape) -> PhasedSpec<ArityKernel> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn phased_equals_sequential(s in shape()) {
-        let spec = build_spec(&s);
+#[test]
+fn phased_equals_sequential() {
+    check("phased_equals_sequential", Config::cases(64), shape, |s| {
+        let spec = build_spec(s);
         let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
         let seq = seq_reduction(&spec, s.sweeps, SimConfig::default());
         let r = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
         for a in 0..s.r_arrays {
             prop_assert!(approx_eq(&r.x[a], &seq.x[a], 1e-9), "array {a} of {s:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn communication_independent_of_contents(s in shape(), seed2 in any::<u64>()) {
-        prop_assume!(s.seed != seed2);
-        let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
-        let a = PhasedReduction::run_sim(&build_spec(&s), &strat, SimConfig::default());
-        let mut s2 = s.clone();
-        s2.seed = seed2;
-        let b = PhasedReduction::run_sim(&build_spec(&s2), &strat, SimConfig::default());
-        // The paper's headline property: identical shape → identical
-        // message count and payload volume, whatever the indirection.
-        prop_assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
-        prop_assert_eq!(a.stats.ops.bytes, b.stats.ops.bytes);
-    }
+#[test]
+fn communication_independent_of_contents() {
+    check(
+        "communication_independent_of_contents",
+        Config::cases(64),
+        |g| {
+            let s = shape(g);
+            let mut seed2 = g.u64_any();
+            if seed2 == s.seed {
+                seed2 ^= 1;
+            }
+            (s, seed2)
+        },
+        |(s, seed2)| {
+            let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
+            let a = PhasedReduction::run_sim(&build_spec(s), &strat, SimConfig::default());
+            let mut s2 = s.clone();
+            s2.seed = *seed2;
+            let b = PhasedReduction::run_sim(&build_spec(&s2), &strat, SimConfig::default());
+            // The paper's headline property: identical shape → identical
+            // message count and payload volume, whatever the indirection.
+            prop_assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
+            prop_assert_eq!(a.stats.ops.bytes, b.stats.ops.bytes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gather_equals_spmv(rows in 8usize..150, nnz_per_row in 1usize..12,
-                          procs in 1usize..=5, k in 1usize..=3, sweeps in 1usize..=3,
-                          seed in any::<u64>()) {
-        let n = rows.max(procs * k * 2);
-        let nnz = (n * nnz_per_row).min(n * n / 2).max(n);
-        let m = Arc::new(SparseMatrix::random(n, n, nnz, seed));
-        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
-        let spec = GatherSpec { matrix: Arc::clone(&m), x: Arc::new(x.clone()) };
-        let strat = StrategyConfig::new(procs, k, Distribution::Block, sweeps);
-        let r = PhasedGather::run_sim(&spec, &strat, SimConfig::default());
-        let mut want = vec![0.0; n];
-        m.spmv(&x, &mut want);
-        prop_assert!(approx_eq(&r.y, &want, 1e-10));
-    }
+#[derive(Debug, Clone)]
+struct GatherShape {
+    rows: usize,
+    nnz_per_row: usize,
+    procs: usize,
+    k: usize,
+    sweeps: usize,
+    seed: u64,
+}
+
+fn gather_matches_spmv(s: &GatherShape) -> Result<(), String> {
+    let n = s.rows.max(s.procs * s.k * 2);
+    let nnz = (n * s.nnz_per_row).min(n * n / 2).max(n);
+    let m = Arc::new(SparseMatrix::random(n, n, nnz, s.seed));
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let spec = GatherSpec {
+        matrix: Arc::clone(&m),
+        x: Arc::new(x.clone()),
+    };
+    let strat = StrategyConfig::new(s.procs, s.k, Distribution::Block, s.sweeps);
+    let r = PhasedGather::run_sim(&spec, &strat, SimConfig::default());
+    let mut want = vec![0.0; n];
+    m.spmv(&x, &mut want);
+    prop_assert!(approx_eq(&r.y, &want, 1e-10));
+    Ok(())
+}
+
+#[test]
+fn gather_equals_spmv() {
+    check(
+        "gather_equals_spmv",
+        Config::cases(64),
+        |g| GatherShape {
+            rows: g.usize_in(8..150),
+            nnz_per_row: g.usize_in(1..12),
+            procs: g.usize_incl(1, 5),
+            k: g.usize_incl(1, 3),
+            sweeps: g.usize_incl(1, 3),
+            seed: g.u64_any(),
+        },
+        gather_matches_spmv,
+    );
+}
+
+/// Former `.proptest-regressions` seed for `gather_equals_spmv`:
+/// shrank to `rows = 8, nnz_per_row = 6, procs = 1, k = 1, sweeps = 1,
+/// seed = 10545539604246074318`. Kept verbatim so the historical
+/// failure mode stays pinned.
+#[test]
+fn regression_gather_rows8_nnz6() {
+    gather_matches_spmv(&GatherShape {
+        rows: 8,
+        nnz_per_row: 6,
+        procs: 1,
+        k: 1,
+        sweeps: 1,
+        seed: 10545539604246074318,
+    })
+    .unwrap();
 }

@@ -101,7 +101,7 @@ impl PhaseGeometry {
     pub fn owner_at(&self, portion: PortionId, phase: usize) -> Option<usize> {
         let kp = self.num_phases();
         let diff = (portion + kp - phase % kp) % kp;
-        if diff % self.k != 0 {
+        if !diff.is_multiple_of(self.k) {
             return None;
         }
         Some((diff / self.k) % self.num_procs)

@@ -143,10 +143,10 @@ impl IncrementalInspector {
         let mut min_phase = usize::MAX;
         let mut phases_r = [0usize; 8];
         assert!(m <= 8, "more than 8 references not supported incrementally");
-        for r in 0..m {
+        for (r, ph_slot) in phases_r.iter_mut().enumerate().take(m) {
             let e = self.indirection[r][iter] as usize;
             let ph = g.phase_of_portion_on(self.plan.proc_id, g.portion_of(e));
-            phases_r[r] = ph;
+            *ph_slot = ph;
             min_phase = min_phase.min(ph);
         }
         let n = g.num_elements() as u32;
@@ -154,9 +154,9 @@ impl IncrementalInspector {
         self.plan.iter_phase[iter] = p as u32;
         self.iter_pos[iter] = self.plan.phases[p].iters.len() as u32;
         self.plan.phases[p].iters.push(iter as u32);
-        for r in 0..m {
+        for (r, &ph_r) in phases_r.iter().enumerate().take(m) {
             let e = self.indirection[r][iter];
-            if phases_r[r] == p {
+            if ph_r == p {
                 self.plan.phases[p].refs[r].push(e);
             } else {
                 let slot = self.free_slots.pop().unwrap_or_else(|| {

@@ -180,7 +180,7 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.reads, 32);
         assert_eq!(s.misses, 16);
-        assert_eq!(s.cycles, 32 * 1 + 16 * 10);
+        assert_eq!(s.cycles, 32 + 16 * 10);
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
             match s {
                 Stmt::Local { name, init, line } => {
                     let cons = consumers.get(name);
-                    let only_here = cons.map_or(false, |c| c.len() == 1 && c.contains(&gi));
+                    let only_here = cons.is_some_and(|c| c.len() == 1 && c.contains(&gi));
                     if only_here && !renames.contains_key(name) {
                         body.push(Stmt::Local {
                             name: name.clone(),

@@ -115,7 +115,7 @@ impl Parser {
         let var = self.ident("loop variable")?;
         self.expect(&Token::Assign, "`=`")?;
         match self.bump() {
-            Some(Token::Number(v)) if v == 0.0 => {}
+            Some(Token::Number(0.0)) => {}
             other => return Err(self.err(format!("forall must start at 0, found {other:?}"))),
         }
         self.expect(&Token::Semi, "`;`")?;

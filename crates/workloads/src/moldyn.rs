@@ -18,8 +18,7 @@
 //! [`MolDyn::rebuild_interactions`] recomputes the neighbour list with a
 //! cell-list search, reporting how many entries changed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harness::Rng64;
 
 /// The two moldyn datasets of §5.4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +133,7 @@ impl MolDyn {
     /// Minimum-image displacement between molecules `i` and `j`.
     fn disp(&self, i: usize, j: usize) -> [f64; 3] {
         let mut d = [0.0; 3];
-        for a in 0..3 {
+        for (a, da) in d.iter_mut().enumerate() {
             let mut x = self.pos[j][a] - self.pos[i][a];
             let l = self.box_side;
             if x > l / 2.0 {
@@ -142,7 +141,7 @@ impl MolDyn {
             } else if x < -l / 2.0 {
                 x += l;
             }
-            d[a] = x;
+            *da = x;
         }
         d
     }
@@ -156,11 +155,11 @@ impl MolDyn {
     /// axis — the adaptive step that invalidates parts of the neighbour
     /// list. Deterministic in `seed`.
     pub fn perturb(&mut self, amplitude: f64, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let l = self.box_side;
         for p in &mut self.pos {
-            for a in 0..3 {
-                p[a] = (p[a] + rng.gen_range(-amplitude..=amplitude)).rem_euclid(l);
+            for pa in p.iter_mut() {
+                *pa = (*pa + rng.gen_range(-amplitude..=amplitude)).rem_euclid(l);
             }
         }
     }
@@ -170,7 +169,7 @@ impl MolDyn {
     /// numbering of their construction pipeline; the paper presets use
     /// this (see `Mesh::shuffled` for the rationale).
     pub fn shuffled(mut self, seed: u64) -> MolDyn {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xBEEF);
         let n = self.num_molecules;
         let mut perm: Vec<u32> = (0..n as u32).collect();
         for i in (1..n).rev() {
@@ -330,8 +329,8 @@ mod tests {
         let mut md = MolDyn::fcc(3, 0.75);
         md.perturb(0.5, 77);
         for p in &md.pos {
-            for a in 0..3 {
-                assert!(p[a] >= 0.0 && p[a] < md.box_side + 1e-12);
+            for &pa in p.iter() {
+                assert!(pa >= 0.0 && pa < md.box_side + 1e-12);
             }
         }
     }

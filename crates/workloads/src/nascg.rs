@@ -8,8 +8,7 @@
 //! spread across the whole row space. We generate matrices with exactly
 //! the class sizes and those statistics (see `DESIGN.md` §3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harness::Rng64;
 
 /// The NAS CG classes used in §5.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +76,7 @@ impl SparseMatrix {
         assert!(nrows >= 1 && ncols >= 2);
         assert!(nnz >= nrows, "want at least one entry per row");
         assert!(nnz <= nrows * ncols, "more nonzeros than matrix cells");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mean = nnz / nrows;
         let mut row_ptr = Vec::with_capacity(nrows + 1);
         let mut col_idx = Vec::with_capacity(nnz);
@@ -222,12 +221,12 @@ impl SparseMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for e in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
                 acc += self.values[e] * x[self.col_idx[e] as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 }

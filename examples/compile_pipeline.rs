@@ -66,7 +66,9 @@ fn main() {
         println!("  {line}");
     }
 
-    let (n, e) = (5_000usize, 40_000usize);
+    // `REPRO_QUICK=1` shrinks the dataset for smoke tests.
+    let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
+    let (n, e) = if quick { (500usize, 3_000usize) } else { (5_000, 40_000) };
     let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 1);
     println!("--- executing on {} simulated EARTH nodes (k = {}) ---", strat.procs, strat.k);
     let mut phased = bindings(n, e);

@@ -11,7 +11,9 @@ use kernels::EulerProblem;
 use workloads::MeshPreset;
 
 fn main() {
-    let sweeps = 100;
+    // `REPRO_QUICK=1` shrinks the sweep count for smoke tests.
+    let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
+    let sweeps = if quick { 4 } else { 100 };
     let cfg = SimConfig::default();
     let problem = EulerProblem::preset(MeshPreset::Euler2K, 1);
     println!(

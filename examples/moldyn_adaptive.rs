@@ -34,11 +34,13 @@ fn padded(pairs: &[(u32, u32)], capacity: usize) -> (Vec<u32>, Vec<u32>) {
 }
 
 fn main() {
+    // `REPRO_QUICK=1` shrinks the lattice and epoch count for smoke tests.
+    let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
     let procs = 8usize;
     let k = 2usize;
     let cfg = SimConfig::default();
 
-    let mut md = MolDyn::fcc(9, 1.05);
+    let mut md = MolDyn::fcc(if quick { 4 } else { 9 }, 1.05);
     println!(
         "moldyn: {} molecules, {} interactions (the paper's 2K dataset)",
         md.num_molecules,
@@ -59,10 +61,10 @@ fn main() {
         })
         .collect();
 
-    for epoch in 0..5 {
+    for epoch in 0..if quick { 2 } else { 5 } {
         // Run a burst of time steps under the current neighbour list.
         let problem = MolDynProblem::from_config(md.clone());
-        let sweeps = 20;
+        let sweeps = if quick { 5 } else { 20 };
         let seq = seq_reduction(&problem.spec, sweeps, cfg);
         let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, sweeps);
         let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);

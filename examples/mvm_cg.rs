@@ -21,8 +21,11 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn main() {
-    let n = 2_000usize;
-    let matrix = Arc::new(SparseMatrix::symmetric_dd(n, 30_000, 42));
+    // `REPRO_QUICK=1` shrinks the system for smoke tests.
+    let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
+    let n = if quick { 400usize } else { 2_000 };
+    let nnz = if quick { 4_000usize } else { 30_000 };
+    let matrix = Arc::new(SparseMatrix::symmetric_dd(n, nnz, 42));
     let b_rhs: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 7.0).collect();
     println!("CG on a {n}×{n} SPD matrix with {} nonzeros", matrix.nnz());
 
@@ -63,7 +66,7 @@ fn main() {
         }
         rs = rs2;
         iters += 1;
-        if iters % 5 == 0 || rs.sqrt() <= 1e-10 {
+        if iters.is_multiple_of(5) || rs.sqrt() <= 1e-10 {
             println!("  iter {iters:>3}: residual {:.3e}", rs.sqrt());
         }
     }

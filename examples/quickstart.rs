@@ -32,8 +32,10 @@ impl EdgeKernel for PairKernel {
 
 fn main() {
     // A random "mesh": 10 000 elements, 60 000 iterations.
-    let n = 10_000usize;
-    let e = 60_000usize;
+    // (`REPRO_QUICK=1` shrinks everything for smoke tests.)
+    let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
+    let n = if quick { 500usize } else { 10_000 };
+    let e = if quick { 2_000usize } else { 60_000 };
     let mut s = 0xABCDu64;
     let mut next = move || {
         s ^= s << 13;
@@ -52,7 +54,7 @@ fn main() {
         ]),
     };
 
-    let sweeps = 10;
+    let sweeps = if quick { 2 } else { 10 };
     let cfg = SimConfig::default();
 
     // (a) sequential reference, metered on the same cost model.

@@ -1,46 +1,43 @@
 //! Property-based validation of the compiler: for randomly generated DSL
 //! programs, phased compiled execution must match the direct interpreter.
+//! On the in-tree [`harness::prop`] harness.
+//!
+//! The former `.proptest-regressions` seed is preserved as the named
+//! unit test [`regression_single_sub_stmt_six_procs`].
 
 use earth_model::sim::SimConfig;
-use irred::{Distribution, StrategyConfig};
-use proptest::prelude::*;
+use harness::prop::{check, Config, Gen};
+use harness::prop_assert;
 use threadedc::{compile, interpret, parse, Bindings};
+
+use irred::{Distribution, StrategyConfig};
 
 /// Generate a random DSL program over a fixed set of declared arrays,
 /// together with sizes. Programs always sema-check by construction.
-fn program_strategy() -> impl Strategy<Value = (String, usize, usize)> {
-    // (#reduce stmts per loop, locals?, groups)
-    (
-        1usize..=4,
-        prop::bool::ANY,
-        1usize..=2,
-        16usize..=64,
-        50usize..=400,
-        0u64..1000,
-    )
-        .prop_map(|(stmts, use_local, groups, n, e, salt)| {
-            let mut src = String::from(
-                "double X[n]; double Z[n]; double W[e]; double V[e]; int A[e]; int B[e]; int C[e];\n",
-            );
-            src.push_str("forall (i = 0; i < e; i++) {\n");
-            if use_local {
-                src.push_str("  double f = W[i] * 0.5 + V[i];\n");
-            }
-            let vias = ["A", "B", "C"];
-            for s in 0..stmts {
-                let arr = if groups == 2 && s % 2 == 1 { "Z" } else { "X" };
-                let via = vias[(s + salt as usize) % if groups == 2 { 2 } else { 3 }];
-                let op = if (s + salt as usize) % 3 == 0 { "-=" } else { "+=" };
-                let val = if use_local {
-                    "f * 2.0"
-                } else {
-                    "W[i] + 1.0"
-                };
-                src.push_str(&format!("  {arr}[{via}[i]] {op} {val};\n"));
-            }
-            src.push_str("}\n");
-            (src, n, e)
-        })
+fn program(g: &mut Gen) -> (String, usize, usize) {
+    let stmts = g.usize_incl(1, 4);
+    let use_local = g.prob(0.5);
+    let groups = g.usize_incl(1, 2);
+    let n = g.usize_incl(16, 64);
+    let e = g.usize_incl(50, 400);
+    let salt = g.usize_in(0..1000);
+    let mut src = String::from(
+        "double X[n]; double Z[n]; double W[e]; double V[e]; int A[e]; int B[e]; int C[e];\n",
+    );
+    src.push_str("forall (i = 0; i < e; i++) {\n");
+    if use_local {
+        src.push_str("  double f = W[i] * 0.5 + V[i];\n");
+    }
+    let vias = ["A", "B", "C"];
+    for s in 0..stmts {
+        let arr = if groups == 2 && s % 2 == 1 { "Z" } else { "X" };
+        let via = vias[(s + salt) % if groups == 2 { 2 } else { 3 }];
+        let op = if (s + salt).is_multiple_of(3) { "-=" } else { "+=" };
+        let val = if use_local { "f * 2.0" } else { "W[i] + 1.0" };
+        src.push_str(&format!("  {arr}[{via}[i]] {op} {val};\n"));
+    }
+    src.push_str("}\n");
+    (src, n, e)
 }
 
 fn bindings(n: usize, e: usize, seed: u64) -> Bindings {
@@ -65,30 +62,60 @@ fn bindings(n: usize, e: usize, seed: u64) -> Bindings {
     b
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Core check, shared by the property and the pinned regression case.
+fn compiled_matches(
+    src: &str,
+    n: usize,
+    e: usize,
+    procs: usize,
+    k: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let compiled = compile(src).expect("generated programs compile");
+    let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, 1);
 
-    #[test]
-    fn compiled_matches_interpreted((src, n, e) in program_strategy(),
-                                    procs in 1usize..=6,
-                                    k in 1usize..=3,
-                                    seed in 0u64..10_000) {
-        let compiled = compile(&src).expect("generated programs compile");
-        let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, 1);
+    let mut phased = bindings(n, e, seed);
+    compiled
+        .execute_sim(&mut phased, &strat, SimConfig::default())
+        .unwrap();
 
-        let mut phased = bindings(n, e, seed);
-        compiled.execute_sim(&mut phased, &strat, SimConfig::default()).unwrap();
+    let mut direct = bindings(n, e, seed);
+    interpret(&parse(src).unwrap(), &mut direct).unwrap();
 
-        let mut direct = bindings(n, e, seed);
-        interpret(&parse(&src).unwrap(), &mut direct).unwrap();
-
-        for arr in ["X", "Z"] {
-            for (i, (a, b)) in phased.f64s[arr].iter().zip(&direct.f64s[arr]).enumerate() {
-                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
-                    "{arr}[{i}]: {a} vs {b}\nprogram:\n{src}");
-            }
+    for arr in ["X", "Z"] {
+        for (i, (a, b)) in phased.f64s[arr].iter().zip(&direct.f64s[arr]).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                "{arr}[{i}]: {a} vs {b}\nprogram:\n{src}"
+            );
         }
     }
+    Ok(())
+}
+
+#[test]
+fn compiled_matches_interpreted() {
+    check(
+        "compiled_matches_interpreted",
+        Config::cases(64),
+        |g| {
+            let (src, n, e) = program(g);
+            let procs = g.usize_incl(1, 6);
+            let k = g.usize_incl(1, 3);
+            let seed = g.u64_in(0..10_000);
+            (src, n, e, procs, k, seed)
+        },
+        |(src, n, e, procs, k, seed)| compiled_matches(src, *n, *e, *procs, *k, *seed),
+    );
+}
+
+/// Former `.proptest-regressions` seed for `compiled_matches_interpreted`:
+/// a single `-=` statement through `A` with `procs = 6, k = 3, seed = 0`.
+#[test]
+fn regression_single_sub_stmt_six_procs() {
+    let src = "double X[n]; double Z[n]; double W[e]; double V[e]; int A[e]; int B[e]; int C[e];\n\
+               forall (i = 0; i < e; i++) {\n  X[A[i]] -= W[i] + 1.0;\n}\n";
+    compiled_matches(src, 16, 50, 6, 3, 0).unwrap();
 }
 
 #[test]

@@ -3,10 +3,14 @@
 //! figures reproducible.
 
 use earth_model::sim::SimConfig;
-use irred::{Distribution, PhasedGather, PhasedReduction, StrategyConfig};
-use kernels::{EulerProblem, MvmProblem};
+use irred::baseline::InspectorExecutor;
+use irred::{
+    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedGather, PhasedReduction,
+    PhasedSpec, StrategyConfig,
+};
+use kernels::{EulerProblem, MolDynProblem, MvmProblem};
 use std::sync::Arc;
-use workloads::{Mesh, SparseMatrix};
+use workloads::{Mesh, MolDyn, SparseMatrix};
 
 #[test]
 fn phased_sim_is_deterministic() {
@@ -44,6 +48,137 @@ fn different_seeds_give_different_times() {
         PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default()).time_cycles
     };
     assert_ne!(time(1), time(2), "different meshes should not tie exactly");
+}
+
+/// View a kernel through a static-reads lens: identical arithmetic, but
+/// the read arrays are baked into the kernel (captured once from
+/// `init_read`) and no post-sweep update happens. Lets the
+/// inspector/executor baseline — which supports neither replicated read
+/// arrays nor read-state updates — run the euler and moldyn kernels'
+/// single-sweep reduction.
+struct Frozen<K> {
+    inner: Arc<K>,
+    read: Vec<Vec<f64>>,
+}
+
+impl<K: EdgeKernel> EdgeKernel for Frozen<K> {
+    fn num_refs(&self) -> usize {
+        self.inner.num_refs()
+    }
+    fn num_arrays(&self) -> usize {
+        self.inner.num_arrays()
+    }
+    fn contrib(&self, _read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]) {
+        self.inner.contrib(&self.read, iter, elems, out)
+    }
+    fn flops_per_iter(&self) -> u64 {
+        self.inner.flops_per_iter()
+    }
+    fn edge_reads_per_iter(&self) -> usize {
+        self.inner.edge_reads_per_iter()
+    }
+}
+
+fn freeze<K: EdgeKernel>(spec: &PhasedSpec<K>) -> PhasedSpec<Frozen<K>> {
+    PhasedSpec {
+        kernel: Arc::new(Frozen {
+            read: spec.kernel.init_read(),
+            inner: Arc::clone(&spec.kernel),
+        }),
+        num_elements: spec.num_elements,
+        indirection: Arc::clone(&spec.indirection),
+    }
+}
+
+/// Sparse MVM expressed as an irregular reduction `y[row[i]] +=
+/// val[i]·x[col[i]]`, so the mvm kernel can run under all three
+/// execution strategies (the gather formulation has no IE baseline).
+struct SpmvKernel {
+    values: Arc<Vec<f64>>,
+    col_idx: Arc<Vec<u32>>,
+    x: Arc<Vec<f64>>,
+}
+
+impl EdgeKernel for SpmvKernel {
+    fn num_refs(&self) -> usize {
+        1
+    }
+    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        out[0] = self.values[iter] * self.x[self.col_idx[iter] as usize];
+    }
+    fn flops_per_iter(&self) -> u64 {
+        2
+    }
+}
+
+fn mvm_reduction_spec(m: &SparseMatrix, seed: u64) -> PhasedSpec<SpmvKernel> {
+    let mut rows = Vec::with_capacity(m.nnz());
+    for r in 0..m.nrows {
+        for _ in m.row_ptr[r]..m.row_ptr[r + 1] {
+            rows.push(r as u32);
+        }
+    }
+    let x: Vec<f64> = (0..m.ncols).map(|i| 1.0 + ((i as u64 + seed) % 7) as f64).collect();
+    PhasedSpec {
+        kernel: Arc::new(SpmvKernel {
+            values: Arc::new(m.values.clone()),
+            col_idx: Arc::new(m.col_idx.clone()),
+            x: Arc::new(x),
+        }),
+        num_elements: m.nrows,
+        indirection: Arc::new(vec![rows]),
+    }
+}
+
+/// The satellite determinism contract: for a fixed seed, each execution
+/// strategy — sequential reference, communicating inspector/executor
+/// baseline, and the paper's phased executor — produces *bit-identical*
+/// reduction results when re-run, and all three agree with one another
+/// to floating-point reassociation tolerance. One check per kernel.
+fn assert_strategy_determinism<K: EdgeKernel>(name: &str, spec: &PhasedSpec<K>, procs: usize, k: usize) {
+    let strat = StrategyConfig::new(procs, k, Distribution::Block, 1);
+    let owners: Vec<u32> = (0..spec.num_elements)
+        .map(|e| (e * procs / spec.num_elements) as u32)
+        .collect();
+
+    let seq = || seq_reduction(spec, 1, SimConfig::default());
+    let ie = || InspectorExecutor::run_sim(spec, &owners, procs, 1, SimConfig::default());
+    let phased = || PhasedReduction::run_sim(spec, &strat, SimConfig::default());
+
+    // Re-run bit-identity per strategy.
+    let (s1, s2) = (seq(), seq());
+    assert_eq!(s1.x, s2.x, "{name}: seq not bit-stable");
+    let (i1, i2) = (ie(), ie());
+    assert_eq!(i1.x, i2.x, "{name}: inspector/executor not bit-stable");
+    assert_eq!(i1.time_cycles, i2.time_cycles, "{name}: IE timing not stable");
+    let (p1, p2) = (phased(), phased());
+    assert_eq!(p1.x, p2.x, "{name}: phased not bit-stable");
+    assert_eq!(p1.time_cycles, p2.time_cycles, "{name}: phased timing not stable");
+
+    // Cross-strategy agreement (reassociation tolerance, not bitwise —
+    // the strategies legitimately sum contributions in different orders).
+    for a in 0..spec.kernel.num_arrays() {
+        assert!(approx_eq(&s1.x[a], &i1.x[a], 1e-9), "{name}: seq vs IE, array {a}");
+        assert!(approx_eq(&s1.x[a], &p1.x[a], 1e-9), "{name}: seq vs phased, array {a}");
+    }
+}
+
+#[test]
+fn strategies_deterministic_mvm() {
+    let m = SparseMatrix::random(256, 256, 4_000, 7);
+    assert_strategy_determinism("mvm", &mvm_reduction_spec(&m, 7), 4, 2);
+}
+
+#[test]
+fn strategies_deterministic_euler() {
+    let p = EulerProblem::from_mesh(Mesh::generate3d(300, 1_500, 42), 42);
+    assert_strategy_determinism("euler", &freeze(&p.spec), 4, 2);
+}
+
+#[test]
+fn strategies_deterministic_moldyn() {
+    let p = MolDynProblem::from_config(MolDyn::fcc(3, 0.75));
+    assert_strategy_determinism("moldyn", &freeze(&p.spec), 3, 2);
 }
 
 #[test]

@@ -1,0 +1,42 @@
+//! Smoke test: every program in `examples/` builds and runs to
+//! completion at small (`REPRO_QUICK=1`) problem sizes, so examples
+//! can't silently rot as the APIs evolve.
+//!
+//! Runs each example through the same `cargo` that is running the tests
+//! (`cargo test` has already compiled the examples, so these are cheap
+//! re-invocations of existing binaries). All examples run in one test
+//! function to keep the recursive cargo invocations serial.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "inspector_walkthrough",
+    "euler_cfd",
+    "mvm_cg",
+    "moldyn_adaptive",
+    "compile_pipeline",
+];
+
+#[test]
+fn every_example_runs() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    for name in EXAMPLES {
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--offline", "--example", name])
+            .arg("--manifest-path")
+            .arg(&manifest)
+            .env("CARGO_NET_OFFLINE", "true")
+            .env("REPRO_QUICK", "1")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example '{name}' failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+}
