@@ -3,18 +3,73 @@
 # lint clean with no network access and no external crates. This is the
 # same gate CI runs (.github/workflows/ci.yml); run it locally before
 # pushing.
+#
+# Usage:
+#   ./ci.sh          # tier1 + faults (everything)
+#   ./ci.sh tier1    # build + full test suite + clippy
+#   ./ci.sh faults   # fault-injection / recovery sweeps only
+#
+# Every test invocation runs under a hard timeout: a hang anywhere —
+# including in the code under test, whose whole contract is "typed error,
+# never a hang" — fails the pipeline instead of wedging it.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-echo "== build (release) =="
-cargo build --release
+# Hard ceiling per test invocation (seconds). SIGKILL 30 s after the
+# polite SIGTERM in case a wedged thread ignores it.
+TEST_TIMEOUT="${CI_TEST_TIMEOUT:-900}"
 
-echo "== test =="
-cargo test -q --workspace
+run_tests() {
+    timeout -k 30 "$TEST_TIMEOUT" "$@"
+}
 
-echo "== clippy (-D warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+tier1() {
+    echo "== build (release) =="
+    cargo build --release
+
+    echo "== test =="
+    run_tests cargo test -q --workspace
+
+    echo "== clippy (-D warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+faults() {
+    # Deterministic replay: the same base seed must inject the same
+    # faults. Three fixed seeds, then one randomized pass to keep
+    # widening coverage over time (its seeds print on failure for
+    # replay via PROP_SEED).
+    for seed in 1 2 3; do
+        echo "== fault injection (PROP_BASE_SEED=$seed) =="
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p earth-model --test fault_injection
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p irred --test recovery
+    done
+
+    echo "== fault injection (randomized pass) =="
+    rand_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    echo "   PROP_BASE_SEED=$rand_seed"
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p earth-model --test fault_injection
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p irred --test recovery
+
+    # The watchdog deadline is wall-clock: verify it also holds without
+    # debug-build slack.
+    echo "== watchdog deadline (release) =="
+    run_tests cargo test -q --release -p earth-model --test fault_injection watchdog
+}
+
+case "${1:-all}" in
+    tier1) tier1 ;;
+    faults) faults ;;
+    all)
+        tier1
+        faults
+        ;;
+    *)
+        echo "usage: $0 [tier1|faults]" >&2
+        exit 2
+        ;;
+esac
 
 echo "ci.sh: all green"

@@ -39,6 +39,7 @@ fn bench_inspector() {
                 proc_id: 3,
                 indirection: &[&a, &b],
             })
+            .unwrap()
         });
     }
     suite.finish();

@@ -68,7 +68,8 @@ fn main() {
                 geometry: g,
                 proc_id: q,
                 indirection: &[&a, &b],
-            });
+            })
+            .unwrap();
         }
         let full_ms = t0.elapsed().as_secs_f64() * 1e3;
         total_full += full_ms;

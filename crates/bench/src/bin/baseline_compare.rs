@@ -117,7 +117,8 @@ fn main() {
                     geometry: g,
                     proc_id: q,
                     indirection: &[&l1, &l2],
-                });
+                })
+                .unwrap();
             }
             rep.note(format!(
                 "{label} P={p}: LightInspector (all {p} procs, host wall) = {:.2} ms — no communication",

@@ -59,6 +59,7 @@
 //! assert_eq!(report.states[1], 3.0);
 //! ```
 
+pub mod faults;
 pub mod native;
 pub mod procedure;
 pub mod program;
@@ -66,6 +67,10 @@ pub mod sim;
 pub mod stats;
 pub mod value;
 
+pub use faults::{FaultConfig, FaultCounts, FaultPlan, FiberFault, MessageFault};
+pub use native::{
+    run_native, run_native_with, NativeConfig, NativeReport, RunError, StallDump, StallReason,
+};
 pub use procedure::{instantiate, invoke, FrameStore, ProcedureInstance, ProcedureTemplate};
 pub use program::{FiberCtx, FiberSpec, MachineProgram, Meter, NodeBuilder, NullMeter, SlotId};
 pub use sim::{render_gantt, SimConfig, SimReport, TraceEvent};

@@ -11,36 +11,201 @@
 //! Accounting methods of [`FiberCtx`] are no-ops here and compile away,
 //! so native runs measure real wall-clock behaviour.
 //!
+//! ## Supervision
+//!
+//! Every fiber body runs under `catch_unwind`; a panic is captured with
+//! its payload, node, slot, and fiber label, the machine is shut down,
+//! and the run returns [`RunError::NodePanicked`] instead of hanging on
+//! a dead thread's channel. A supervisor loop on the calling thread
+//! watches a global progress heartbeat (bumped by every sync landing and
+//! every fiber completing); if nothing progresses for
+//! [`NativeConfig::watchdog`] while work is still outstanding, the run
+//! returns [`RunError::Stalled`] carrying a [`StallDump`] of every
+//! pending sync slot, queued message, and per-node fiber state. Threads
+//! stuck inside a blocked fiber body are abandoned (they hold no result
+//! state the report needs); everything else shuts down cleanly.
+//!
+//! Fault injection (see [`crate::faults`]) hooks the split-phase
+//! delivery path and the fiber dispatch path when
+//! [`NativeConfig::faults`] is set; a fault-free run pays nothing.
+//!
 //! Built entirely on `std::sync` (mpsc channels for the per-node ready
 //! queues, `Mutex` for the mailboxes) — no external crates, per the
 //! workspace's hermetic-build policy (DESIGN.md).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::faults::{FaultConfig, FaultPlan, FiberFault, MessageFault};
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
 use crate::stats::{NodeStats, OpCounts, RunStats};
 use crate::value::Value;
 
+/// Why a run was declared stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// Work was outstanding but the progress heartbeat stopped for the
+    /// whole watchdog deadline (deadlock, livelock, or a blocked body).
+    NoProgress,
+    /// The machine went quiescent with fibers still armed — some sync
+    /// they were waiting for never arrived (only reported when
+    /// [`NativeConfig::starved_is_error`] is set).
+    Starved,
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallReason::NoProgress => write!(f, "no progress"),
+            StallReason::Starved => write!(f, "starved"),
+        }
+    }
+}
+
+/// One armed-but-unfired sync slot in a [`StallDump`].
+#[derive(Debug, Clone)]
+pub struct PendingSlot {
+    pub slot: SlotId,
+    /// Fiber label registered at that slot (`"<dynamic>"` for slots
+    /// filled by runtime spawns).
+    pub fiber: &'static str,
+    /// Remaining sync count before the fiber would fire.
+    pub remaining: i64,
+}
+
+/// Per-node snapshot taken when a run is declared stalled.
+#[derive(Debug, Clone)]
+pub struct NodeDump {
+    pub node: usize,
+    /// Whether the node's thread had already exited cleanly.
+    pub exited: bool,
+    /// Fibers the node fired, when its thread reported back.
+    pub fibers_fired: Option<u64>,
+    /// Values sitting undelivered in the node's mailbox (`None` if the
+    /// mailbox lock was held by a wedged thread).
+    pub queued_messages: Option<usize>,
+    /// Sync slots still armed (count > 0) on this node.
+    pub pending: Vec<PendingSlot>,
+}
+
+/// Diagnostic snapshot of the whole machine at stall time.
+#[derive(Debug, Clone)]
+pub struct StallDump {
+    pub nodes: Vec<NodeDump>,
+}
+
+impl StallDump {
+    /// Total armed-but-unfired sync slots across all nodes.
+    pub fn pending_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.pending.len()).sum()
+    }
+
+    /// Total undelivered mailbox values across all nodes.
+    pub fn queued_messages(&self) -> usize {
+        self.nodes.iter().filter_map(|n| n.queued_messages).sum()
+    }
+}
+
+impl std::fmt::Display for StallDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pending slot(s), {} queued message(s) across {} node(s)",
+            self.pending_slots(),
+            self.queued_messages(),
+            self.nodes.len()
+        )?;
+        for n in &self.nodes {
+            for p in &n.pending {
+                write!(
+                    f,
+                    "; node {} slot {} '{}' waiting on {} sync(s)",
+                    n.node, p.slot, p.fiber, p.remaining
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Error from a native run.
 #[derive(Debug)]
 pub enum RunError {
-    /// A node thread panicked while executing a fiber.
-    NodePanicked { node: usize },
+    /// A fiber body panicked (or a panic was injected by the fault
+    /// plan). Carries everything needed to locate the failure.
+    NodePanicked {
+        node: usize,
+        slot: SlotId,
+        /// Label of the fiber that was executing.
+        fiber: &'static str,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The machine hung or starved; see [`StallReason`]. The dump lists
+    /// every pending sync slot, queued message, and per-node state.
+    Stalled {
+        reason: StallReason,
+        /// How long the supervisor waited before declaring the stall.
+        waited: Duration,
+        /// Ready-or-running items still outstanding at stall time.
+        outstanding: i64,
+        dump: StallDump,
+    },
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RunError::NodePanicked { node } => write!(f, "node {node} panicked"),
+            RunError::NodePanicked {
+                node,
+                slot,
+                fiber,
+                message,
+            } => write!(f, "node {node} panicked in fiber '{fiber}' (slot {slot}): {message}"),
+            RunError::Stalled {
+                reason,
+                waited,
+                outstanding,
+                dump,
+            } => write!(
+                f,
+                "machine stalled ({reason}) after {waited:?} with {outstanding} outstanding item(s): {dump}"
+            ),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Knobs for [`run_native_with`]. The default matches the historical
+/// [`run_native`] behaviour plus a generous watchdog.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeConfig {
+    /// Declare [`RunError::Stalled`] after this long without any fiber
+    /// completing or sync landing while work is outstanding.
+    pub watchdog: Duration,
+    /// Optional deterministic fault plan (see [`crate::faults`]).
+    pub faults: Option<FaultConfig>,
+    /// Treat quiescence with armed-but-unfired fibers as
+    /// `Stalled { reason: Starved }` instead of reporting it in
+    /// `RunStats::unfired_fibers`. Executors that require every fiber to
+    /// fire (the phased reduction) set this.
+    pub starved_is_error: bool,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            watchdog: Duration::from_secs(10),
+            faults: None,
+            starved_is_error: false,
+        }
+    }
+}
 
 /// Result of [`run_native`]: final node states plus statistics.
 #[derive(Debug)]
@@ -75,12 +240,25 @@ struct NodeShared {
     mailbox: Mutex<HashMap<u64, std::collections::VecDeque<Value>>>,
 }
 
+/// First fiber failure of the run (first writer wins).
+struct Failure {
+    node: usize,
+    slot: SlotId,
+    fiber: &'static str,
+    message: String,
+}
+
 struct Shared<S> {
     nodes: Vec<NodeShared>,
     senders: Vec<Sender<NodeMsg<S>>>,
     /// Ready notifications queued or executing. When it drops to zero the
     /// machine is quiescent (nothing left that could generate work).
     outstanding: AtomicI64,
+    /// Heartbeat for the watchdog: bumped by every landed sync and every
+    /// completed fiber. The supervisor only compares successive values.
+    progress: AtomicU64,
+    failure: Mutex<Option<Failure>>,
+    faults: Option<FaultPlan>,
     syncs: AtomicU64,
     messages: AtomicU64,
     local_messages: AtomicU64,
@@ -94,6 +272,7 @@ impl<S> Shared<S> {
     fn dec(&self, node: usize, slot: SlotId) {
         let ns = &self.nodes[node];
         let old = ns.counts[slot as usize].fetch_sub(1, Ordering::AcqRel);
+        self.progress.fetch_add(1, Ordering::Relaxed);
         if old == 1 {
             let reset = ns.resets[slot as usize].load(Ordering::Acquire);
             if reset > 0 {
@@ -107,8 +286,8 @@ impl<S> Shared<S> {
 
     fn make_ready(&self, node: usize, slot: SlotId) {
         self.outstanding.fetch_add(1, Ordering::AcqRel);
-        // Send can only fail after shutdown, which cannot happen while
-        // outstanding > 0.
+        // Send can only fail after shutdown; the supervisor owns the
+        // error reporting in that case.
         let _ = self.senders[node].send(NodeMsg::Ready(slot));
     }
 
@@ -122,6 +301,21 @@ impl<S> Shared<S> {
         for tx in &self.senders {
             let _ = tx.send(NodeMsg::Shutdown);
         }
+    }
+
+    /// Record the first fiber failure and shut the machine down.
+    fn record_failure(&self, node: usize, slot: SlotId, fiber: &'static str, message: String) {
+        let mut f = self.failure.lock().unwrap();
+        if f.is_none() {
+            *f = Some(Failure {
+                node,
+                slot,
+                fiber,
+                message,
+            });
+        }
+        drop(f);
+        self.broadcast_shutdown();
     }
 }
 
@@ -213,12 +407,97 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
     }
 }
 
+/// Land one sync decrement, routed through the dedup filter when a
+/// fault plan is active.
+fn deliver_sync<S>(shared: &Shared<S>, plan: Option<&FaultPlan>, node: usize, slot: SlotId, dup: bool) {
+    match plan {
+        None => shared.dec(node, slot),
+        Some(p) => {
+            let id = p.next_op_id();
+            let times = if dup { 2 } else { 1 };
+            for _ in 0..times {
+                // A duplicate reuses the id; the filter admits it once.
+                if p.first_delivery(id) {
+                    shared.dec(node, slot);
+                }
+            }
+        }
+    }
+}
+
+/// Deposit a data payload and land its sync half, dedup-filtered.
+fn deliver_data<S>(
+    shared: &Shared<S>,
+    plan: Option<&FaultPlan>,
+    node: usize,
+    key: u64,
+    value: Value,
+    slot: SlotId,
+    dup: bool,
+) {
+    let deposit = |v: Value| {
+        let mut mb = shared.nodes[node].mailbox.lock().unwrap();
+        mb.entry(key).or_default().push_back(v);
+    };
+    match plan {
+        None => {
+            deposit(value);
+            shared.dec(node, slot);
+        }
+        Some(p) => {
+            let id = p.next_op_id();
+            let times = if dup { 2 } else { 1 };
+            for _ in 0..times {
+                // A duplicate reuses the id; the filter admits it once,
+                // so at most one copy is ever deposited.
+                if p.first_delivery(id) {
+                    deposit(value.clone());
+                    shared.dec(node, slot);
+                }
+            }
+        }
+    }
+}
+
 fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec<PendingOp<S>>) {
-    for op in ops {
+    let plan = shared.faults.as_ref();
+    // Decide each message op's fate up front; reordered ops move behind
+    // their batch siblings (the only schedule perturbation that cannot
+    // lose work — cross-batch order is already unconstrained).
+    let ops: Vec<(PendingOp<S>, MessageFault)> = match plan {
+        None => ops.into_iter().map(|op| (op, MessageFault::Deliver)).collect(),
+        Some(p) => {
+            let mut now = Vec::with_capacity(ops.len());
+            let mut later = Vec::new();
+            for op in ops {
+                let fate = match &op {
+                    PendingOp::Sync { node, slot } => p.message_fault(op_src, *node, *slot),
+                    PendingOp::Data { node, slot, .. } => p.message_fault(op_src, *node, *slot),
+                    _ => MessageFault::Deliver,
+                };
+                if fate == MessageFault::Reorder {
+                    later.push((op, fate));
+                } else {
+                    now.push((op, fate));
+                }
+            }
+            now.append(&mut later);
+            now
+        }
+    };
+    for (op, fate) in ops {
+        if let MessageFault::Delay { micros } = fate {
+            // The issuing SU holds the message: modeled network latency.
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+        let dup = fate == MessageFault::Duplicate;
         match op {
             PendingOp::Sync { node, slot } => {
                 shared.syncs.fetch_add(1, Ordering::Relaxed);
-                shared.dec(node, slot);
+                if fate == MessageFault::Drop {
+                    continue;
+                }
+                deliver_sync(shared, plan, node, slot, dup);
             }
             PendingOp::Data {
                 node,
@@ -228,11 +507,10 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
             } => {
                 shared.messages.fetch_add(1, Ordering::Relaxed);
                 shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
-                {
-                    let mut mb = shared.nodes[node].mailbox.lock().unwrap();
-                    mb.entry(key).or_default().push_back(value);
+                if fate == MessageFault::Drop {
+                    continue;
                 }
-                shared.dec(node, slot);
+                deliver_data(shared, plan, node, key, value, slot, dup);
             }
             PendingOp::Spawn { node, idx, spec } => {
                 shared.spawns.fetch_add(1, Ordering::Relaxed);
@@ -263,10 +541,89 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
     }
 }
 
-/// Execute `prog` with one OS thread per node. Returns when the machine
-/// is quiescent (no ready fibers anywhere and none running).
+/// Stringify a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// What a node thread reports back to the supervisor when it exits.
+struct NodeExit<S> {
+    node: usize,
+    state: S,
+    fired: u64,
+    never_fired: u64,
+}
+
+/// Snapshot the machine for a [`StallDump`].
+fn build_dump<S>(
+    shared: &Shared<S>,
+    names: &[Vec<&'static str>],
+    exits: &[Option<NodeExit<S>>],
+) -> StallDump {
+    let nodes = shared
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(n, ns)| {
+            let pending = ns
+                .counts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let v = c.load(Ordering::Relaxed);
+                    if v > 0 {
+                        Some(PendingSlot {
+                            slot: i as SlotId,
+                            fiber: names
+                                .get(n)
+                                .and_then(|fs| fs.get(i))
+                                .copied()
+                                .unwrap_or("<dynamic>"),
+                            remaining: v,
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let queued_messages = ns
+                .mailbox
+                .try_lock()
+                .ok()
+                .map(|mb| mb.values().map(|q| q.len()).sum());
+            let exit = exits.get(n).and_then(|e| e.as_ref());
+            NodeDump {
+                node: n,
+                exited: exit.is_some(),
+                fibers_fired: exit.map(|e| e.fired),
+                queued_messages,
+                pending,
+            }
+        })
+        .collect();
+    StallDump { nodes }
+}
+
+/// Execute `prog` with one OS thread per node and default
+/// [`NativeConfig`]. Returns when the machine is quiescent (no ready
+/// fibers anywhere and none running).
 pub fn run_native<S: Send + 'static>(
     prog: MachineProgram<S, NativeCtx<S>>,
+) -> Result<NativeReport<S>, RunError> {
+    run_native_with(prog, NativeConfig::default())
+}
+
+/// Execute `prog` under explicit supervision knobs (watchdog deadline,
+/// fault plan, starvation policy).
+pub fn run_native_with<S: Send + 'static>(
+    prog: MachineProgram<S, NativeCtx<S>>,
+    cfg: NativeConfig,
 ) -> Result<NativeReport<S>, RunError> {
     let num_nodes = prog.num_nodes();
     let mut senders = Vec::with_capacity(num_nodes);
@@ -302,10 +659,25 @@ pub fn run_native<S: Send + 'static>(
         node_states.push(nb.state);
     }
 
+    // Fiber labels, snapshotted before the bodies move into node threads
+    // so a stall dump can name what it finds.
+    let fiber_names: Vec<Vec<&'static str>> = node_bodies
+        .iter()
+        .map(|bodies| {
+            bodies
+                .iter()
+                .map(|b| b.as_ref().map_or("<dynamic>", |f| f.name))
+                .collect()
+        })
+        .collect();
+
     let shared = Arc::new(Shared {
         nodes: node_shared,
         senders,
         outstanding: AtomicI64::new(0),
+        progress: AtomicU64::new(0),
+        failure: Mutex::new(None),
+        faults: cfg.faults.filter(|f| !f.is_noop()).map(FaultPlan::new),
         syncs: AtomicU64::new(0),
         messages: AtomicU64::new(0),
         local_messages: AtomicU64::new(0),
@@ -334,6 +706,15 @@ pub fn run_native<S: Send + 'static>(
     if !any_ready {
         // Nothing can ever run.
         let unfired = node_bodies.iter().map(|b| b.iter().flatten().count()).sum::<usize>();
+        if cfg.starved_is_error && unfired > 0 {
+            let exits: Vec<Option<NodeExit<S>>> = (0..num_nodes).map(|_| None).collect();
+            return Err(RunError::Stalled {
+                reason: StallReason::Starved,
+                waited: Duration::ZERO,
+                outstanding: 0,
+                dump: build_dump(&shared, &fiber_names, &exits),
+            });
+        }
         return Ok(NativeReport {
             states: node_states,
             stats: RunStats {
@@ -346,7 +727,7 @@ pub fn run_native<S: Send + 'static>(
     }
 
     let start = Instant::now();
-    let mut handles = Vec::with_capacity(num_nodes);
+    let (done_tx, done_rx) = channel::<NodeExit<S>>();
     for (node, ((mut bodies, mut state), rx)) in node_bodies
         .into_iter()
         .zip(node_states)
@@ -355,11 +736,15 @@ pub fn run_native<S: Send + 'static>(
     {
         let rx: Receiver<NodeMsg<S>> = rx;
         let shared = Arc::clone(&shared);
-        handles.push(std::thread::spawn(move || {
+        let done_tx = done_tx.clone();
+        // The handle is dropped (thread detached): the supervisor awaits
+        // the exit record instead of joining, so a thread wedged inside a
+        // blocked fiber body cannot hang the run.
+        std::thread::spawn(move || {
             let mut fired_per_fiber = vec![0u64; bodies.len()];
             let mut pending_ready: Vec<SlotId> = Vec::new();
             let mut fired = 0u64;
-            loop {
+            'node: loop {
                 let msg = match rx.recv() {
                     Ok(m) => m,
                     Err(_) => break,
@@ -395,7 +780,7 @@ pub fn run_native<S: Send + 'static>(
                         bodies[idx as usize] = Some(spec);
                         if let Some(pos) = pending_ready.iter().position(|&p| p == idx) {
                             pending_ready.swap_remove(pos);
-                            run_one(
+                            if !run_one(
                                 node,
                                 idx,
                                 &mut bodies,
@@ -403,7 +788,9 @@ pub fn run_native<S: Send + 'static>(
                                 &shared,
                                 &mut fired,
                                 &mut fired_per_fiber,
-                            );
+                            ) {
+                                break 'node;
+                            }
                         }
                     }
                     NodeMsg::Ready(idx) => {
@@ -412,7 +799,7 @@ pub fn run_native<S: Send + 'static>(
                             pending_ready.push(idx);
                             continue;
                         }
-                        run_one(
+                        if !run_one(
                             node,
                             idx,
                             &mut bodies,
@@ -420,7 +807,9 @@ pub fn run_native<S: Send + 'static>(
                             &shared,
                             &mut fired,
                             &mut fired_per_fiber,
-                        );
+                        ) {
+                            break 'node;
+                        }
                     }
                 }
             }
@@ -429,10 +818,18 @@ pub fn run_native<S: Send + 'static>(
                 .zip(fired_per_fiber.iter())
                 .filter(|(b, &f)| b.is_some() && f == 0)
                 .count() as u64;
-            (state, fired, never_fired)
-        }));
+            let _ = done_tx.send(NodeExit {
+                node,
+                state,
+                fired,
+                never_fired,
+            });
+        });
     }
+    drop(done_tx);
 
+    /// Run one ready fiber under supervision. Returns false when the
+    /// firing failed (panic, injected or real) and the node must stop.
     fn run_one<S: Send + 'static>(
         node: usize,
         idx: SlotId,
@@ -441,52 +838,169 @@ pub fn run_native<S: Send + 'static>(
         shared: &Arc<Shared<S>>,
         fired: &mut u64,
         fired_per_fiber: &mut [u64],
-    ) {
+    ) -> bool {
         // Take the body out so the fiber may (indirectly) reference the
         // body table through spawns without aliasing.
         let mut spec = bodies[idx as usize].take().expect("ready fiber has a body");
+        if let Some(plan) = &shared.faults {
+            match plan.fiber_fault(node, idx) {
+                FiberFault::Run => {}
+                FiberFault::Stall { micros } => {
+                    // The whole node pauses: no fiber on it can run and
+                    // nothing it would send goes out.
+                    std::thread::sleep(Duration::from_micros(micros));
+                }
+                FiberFault::Panic => {
+                    let name = spec.name;
+                    bodies[idx as usize] = Some(spec);
+                    shared.record_failure(
+                        node,
+                        idx,
+                        name,
+                        "injected fiber panic (fault plan)".to_string(),
+                    );
+                    return false;
+                }
+            }
+        }
         let mut ctx = NativeCtx {
             node,
             num_nodes: shared.nodes.len(),
             shared: Arc::clone(shared),
             ops: Vec::new(),
         };
-        (spec.body)(state, &mut ctx);
+        let outcome = catch_unwind(AssertUnwindSafe(|| (spec.body)(state, &mut ctx)));
+        let name = spec.name;
         bodies[idx as usize] = Some(spec);
-        *fired += 1;
-        fired_per_fiber[idx as usize] += 1;
-        let ops = std::mem::take(&mut ctx.ops);
-        apply_ops(shared, node, ops);
-        if shared.finish_one() {
-            shared.broadcast_shutdown();
+        match outcome {
+            Ok(()) => {
+                *fired += 1;
+                fired_per_fiber[idx as usize] += 1;
+                let ops = std::mem::take(&mut ctx.ops);
+                apply_ops(shared, node, ops);
+                shared.progress.fetch_add(1, Ordering::Relaxed);
+                if shared.finish_one() {
+                    shared.broadcast_shutdown();
+                }
+                true
+            }
+            Err(payload) => {
+                // Discard the fiber's buffered split-phase ops: a crashed
+                // fiber sent nothing.
+                drop(ctx.ops);
+                shared.record_failure(node, idx, name, panic_message(payload));
+                false
+            }
         }
+    }
+
+    // Supervisor: collect exit records with a no-progress watchdog
+    // instead of joining threads (a join on a wedged thread never
+    // returns).
+    let mut exits: Vec<Option<NodeExit<S>>> = (0..num_nodes).map(|_| None).collect();
+    let mut received = 0usize;
+    let tick = (cfg.watchdog / 8).clamp(Duration::from_millis(2), Duration::from_millis(250));
+    let mut last_progress = shared.progress.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    let mut stalled = false;
+    while received < num_nodes {
+        match done_rx.recv_timeout(tick) {
+            Ok(ex) => {
+                let n = ex.node;
+                exits[n] = Some(ex);
+                received += 1;
+                last_change = Instant::now();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.failure.lock().unwrap().is_some() {
+                    // A fiber failed; shutdown is in flight. Stop waiting
+                    // for full quiescence and go drain what exits remain.
+                    break;
+                }
+                let p = shared.progress.load(Ordering::Relaxed);
+                if p != last_progress {
+                    last_progress = p;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() >= cfg.watchdog {
+                    stalled = true;
+                    shared.broadcast_shutdown();
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Grace drain: give healthy nodes a moment to deliver their exit
+    // records after a shutdown broadcast; wedged ones are abandoned.
+    if received < num_nodes {
+        let grace_deadline = Instant::now() + tick.max(Duration::from_millis(50)) * 4;
+        while received < num_nodes {
+            let now = Instant::now();
+            if now >= grace_deadline {
+                break;
+            }
+            match done_rx.recv_timeout(grace_deadline - now) {
+                Ok(ex) => {
+                    let n = ex.node;
+                    exits[n] = Some(ex);
+                    received += 1;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    let wall = start.elapsed();
+
+    if let Some(f) = shared.failure.lock().unwrap().take() {
+        return Err(RunError::NodePanicked {
+            node: f.node,
+            slot: f.slot,
+            fiber: f.fiber,
+            message: f.message,
+        });
+    }
+    if stalled {
+        return Err(RunError::Stalled {
+            reason: StallReason::NoProgress,
+            waited: cfg.watchdog,
+            outstanding: shared.outstanding.load(Ordering::Relaxed),
+            dump: build_dump(&shared, &fiber_names, &exits),
+        });
+    }
+    if received < num_nodes {
+        // A node thread died without reporting and without recording a
+        // failure: a runtime bug, not a fiber panic.
+        let node = exits.iter().position(|e| e.is_none()).unwrap_or(0);
+        return Err(RunError::NodePanicked {
+            node,
+            slot: 0,
+            fiber: "<runtime>",
+            message: "node thread terminated without reporting".to_string(),
+        });
     }
 
     let mut states = Vec::with_capacity(num_nodes);
     let mut per_node = Vec::with_capacity(num_nodes);
     let mut total_fired = 0u64;
     let mut unfired = 0u64;
-    let mut panicked = None;
-    for (node, h) in handles.into_iter().enumerate() {
-        match h.join() {
-            Ok((s, fired, never)) => {
-                states.push(s);
-                total_fired += fired;
-                unfired += never;
-                per_node.push(NodeStats {
-                    fibers_fired: fired,
-                    ..Default::default()
-                });
-            }
-            Err(_) => {
-                panicked = Some(node);
-                break;
-            }
-        }
+    for ex in exits.into_iter().flatten() {
+        total_fired += ex.fired;
+        unfired += ex.never_fired;
+        per_node.push(NodeStats {
+            fibers_fired: ex.fired,
+            ..Default::default()
+        });
+        states.push(ex.state);
     }
-    let wall = start.elapsed();
-    if let Some(node) = panicked {
-        return Err(RunError::NodePanicked { node });
+
+    if cfg.starved_is_error && unfired > 0 {
+        let exits: Vec<Option<NodeExit<S>>> = (0..num_nodes).map(|_| None).collect();
+        return Err(RunError::Stalled {
+            reason: StallReason::Starved,
+            waited: wall,
+            outstanding: shared.outstanding.load(Ordering::Relaxed),
+            dump: build_dump(&shared, &fiber_names, &exits),
+        });
     }
 
     let messages = shared.messages.load(Ordering::Relaxed);
@@ -503,6 +1017,7 @@ pub fn run_native<S: Send + 'static>(
             },
             unfired_fibers: unfired,
             per_node,
+            faults: shared.faults.as_ref().map(|p| p.counts()).unwrap_or_default(),
         },
         wall,
     })
@@ -526,6 +1041,7 @@ mod tests {
         assert_eq!(r.states[0], 1);
         assert_eq!(r.stats.ops.fibers_fired, 1);
         assert_eq!(r.stats.unfired_fibers, 0);
+        assert_eq!(r.stats.faults, crate::faults::FaultCounts::default());
     }
 
     #[test]
@@ -711,6 +1227,28 @@ mod tests {
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[0], 1);
         assert_eq!(r.stats.unfired_fibers, 1);
+    }
+
+    #[test]
+    fn starved_is_error_turns_unfired_into_stall() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0).add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("never", 3, |s, _cx| *s += 100));
+        let cfg = NativeConfig {
+            starved_is_error: true,
+            ..NativeConfig::default()
+        };
+        match run_native_with(prog, cfg) {
+            Err(RunError::Stalled { reason, dump, .. }) => {
+                assert_eq!(reason, StallReason::Starved);
+                assert_eq!(dump.pending_slots(), 1);
+                assert_eq!(dump.nodes[0].pending[0].fiber, "never");
+                assert_eq!(dump.nodes[0].pending[0].remaining, 3);
+            }
+            other => panic!("expected Stalled(Starved), got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use memsim::{MemConfig, MemModel};
 
+use crate::faults::{FaultConfig, FaultPlan, MessageFault};
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
 use crate::stats::{NodeStats, OpCounts, RunStats};
 use crate::value::Value;
@@ -58,6 +59,13 @@ pub struct SimConfig {
     /// Record a per-fiber execution trace in the report (off by default;
     /// costs memory proportional to fibers fired).
     pub trace: bool,
+    /// Optional deterministic fault plan (see [`crate::faults`]). The
+    /// simulator injects the *message* faults — delay (extra latency
+    /// cycles), reorder (one extra network hop), duplicate (two arrival
+    /// events sharing one operation id, deduplicated at the SU), drop
+    /// (the arrival event is never scheduled). Fiber panic/stall rates
+    /// are native-backend concepts and are ignored here.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +81,7 @@ impl Default for SimConfig {
             phased_iter_overhead_cycles: 50,
             phased_copy_overhead_cycles: 16,
             trace: false,
+            faults: None,
         }
     }
 }
@@ -256,8 +265,9 @@ impl<S> FiberCtx<S> for SimCtx<S> {
 }
 
 enum Ev<S> {
-    SyncArrive { node: usize, slot: SlotId },
-    DataArrive { node: usize, key: u64, value: Value, slot: SlotId },
+    /// `op` is a dedup-filter operation id, present only in faulted runs.
+    SyncArrive { node: usize, slot: SlotId, op: Option<u64> },
+    DataArrive { node: usize, key: u64, value: Value, slot: SlotId, op: Option<u64> },
     SpawnArrive { node: usize, idx: SlotId, spec: FiberSpec<S, SimCtx<S>> },
     /// A GET_SYNC request reached the remote SU: evaluate and reply.
     GetArrive {
@@ -321,6 +331,7 @@ struct Sim<S> {
     now: u64,
     ops: OpCounts,
     trace: Vec<TraceEvent>,
+    faults: Option<FaultPlan>,
 }
 
 impl<S> Sim<S> {
@@ -331,6 +342,35 @@ impl<S> Sim<S> {
             seq: self.seq,
             ev,
         }));
+    }
+
+    /// Decide a message's fate and allocate its dedup-filter id (faulted
+    /// runs only — fault-free runs skip both).
+    fn message_fate(&self, src: usize, dst: usize, slot: SlotId) -> (MessageFault, Option<u64>) {
+        match &self.faults {
+            None => (MessageFault::Deliver, None),
+            Some(p) => (p.message_fault(src, dst, slot), Some(p.next_op_id())),
+        }
+    }
+
+    /// Extra arrival latency implied by a fault. Reorder is modeled as
+    /// one extra network hop: enough to land behind every same-batch
+    /// sibling without losing the message.
+    fn fault_delay_cycles(&self, fate: MessageFault) -> u64 {
+        match fate {
+            MessageFault::Delay { micros } => micros * (self.cfg.clock_hz / 1_000_000).max(1),
+            MessageFault::Reorder => self.cfg.net_latency_cycles + self.cfg.su_op_cycles,
+            _ => 0,
+        }
+    }
+
+    /// True when an arriving operation is a duplicate the SU's dedup
+    /// filter must swallow.
+    fn suppressed(&self, op: Option<u64>) -> bool {
+        match (&self.faults, op) {
+            (Some(p), Some(id)) => !p.first_delivery(id),
+            _ => false,
+        }
     }
 
     /// Decrement a slot; enqueue its fiber when it hits zero.
@@ -407,12 +447,19 @@ impl<S> Sim<S> {
             match op {
                 SimOp::Sync { node: dst, slot } => {
                     self.ops.syncs += 1;
+                    let (fate, op) = self.message_fate(node, dst, slot);
+                    if fate == MessageFault::Drop {
+                        continue;
+                    }
                     let arr = if dst == node {
                         end + self.cfg.su_op_cycles
                     } else {
                         end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    };
-                    self.push(arr, Ev::SyncArrive { node: dst, slot });
+                    } + self.fault_delay_cycles(fate);
+                    let copies = if fate == MessageFault::Duplicate { 2 } else { 1 };
+                    for _ in 0..copies {
+                        self.push(arr, Ev::SyncArrive { node: dst, slot, op });
+                    }
                 }
                 SimOp::Data {
                     node: dst,
@@ -423,6 +470,10 @@ impl<S> Sim<S> {
                     self.ops.messages += 1;
                     let bytes = value.bytes();
                     self.ops.bytes += bytes;
+                    let (fate, op) = self.message_fate(node, dst, slot);
+                    if fate == MessageFault::Drop {
+                        continue;
+                    }
                     let arr = if dst == node {
                         self.ops.local_messages += 1;
                         end + self.cfg.su_op_cycles
@@ -433,16 +484,20 @@ impl<S> Sim<S> {
                         src.out_link_free = start + xfer;
                         src.stats.bytes_sent += bytes;
                         start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    };
-                    self.push(
-                        arr,
-                        Ev::DataArrive {
-                            node: dst,
-                            key,
-                            value,
-                            slot,
-                        },
-                    );
+                    } + self.fault_delay_cycles(fate);
+                    let copies = if fate == MessageFault::Duplicate { 2 } else { 1 };
+                    for _ in 0..copies {
+                        self.push(
+                            arr,
+                            Ev::DataArrive {
+                                node: dst,
+                                key,
+                                value: value.clone(),
+                                slot,
+                                op,
+                            },
+                        );
+                    }
                 }
                 SimOp::Spawn { node: dst, idx, spec } => {
                     self.ops.spawns += 1;
@@ -483,13 +538,22 @@ impl<S> Sim<S> {
     fn handle(&mut self, t: u64, ev: Ev<S>) {
         self.now = t;
         match ev {
-            Ev::SyncArrive { node, slot } => self.dec(node, slot, t),
+            Ev::SyncArrive { node, slot, op } => {
+                if self.suppressed(op) {
+                    return;
+                }
+                self.dec(node, slot, t)
+            }
             Ev::DataArrive {
                 node,
                 key,
                 value,
                 slot,
+                op,
             } => {
+                if self.suppressed(op) {
+                    return;
+                }
                 self.nodes[node]
                     .mailbox
                     .entry(key)
@@ -550,6 +614,7 @@ impl<S> Sim<S> {
                         key,
                         value,
                         slot,
+                        op: None,
                     },
                 );
             }
@@ -602,6 +667,7 @@ pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimRepo
         now: 0,
         ops: OpCounts::default(),
         trace: Vec::new(),
+        faults: cfg.faults.filter(|f| !f.is_noop()).map(FaultPlan::new),
     };
 
     // Seed initially-ready fibers.
@@ -645,6 +711,7 @@ pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimRepo
             ops: sim.ops,
             unfired_fibers: unfired,
             per_node,
+            faults: sim.faults.as_ref().map(|p| p.counts()).unwrap_or_default(),
         },
         trace: sim.trace,
     }

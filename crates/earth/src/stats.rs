@@ -49,6 +49,9 @@ pub struct RunStats {
     /// that expect every fiber to fire should assert this is zero).
     pub unfired_fibers: u64,
     pub per_node: Vec<NodeStats>,
+    /// Injected-fault counters (all zero unless the run carried a
+    /// [`FaultConfig`](crate::faults::FaultConfig)).
+    pub faults: crate::faults::FaultCounts,
 }
 
 impl RunStats {

@@ -1,0 +1,468 @@
+//! Deterministic fault injection against the EARTH backends.
+//!
+//! The invariant (ISSUE: robustness): under **any** injected fault plan a
+//! run either completes **bit-identical** to the fault-free run or
+//! returns a structured [`RunError`] within the watchdog deadline — no
+//! hangs, no silent corruption.
+//!
+//! The programs used here move only integer-valued `f64`s, so sums are
+//! exact under any delivery order: bit-identical results are a meaningful
+//! check even when faults reorder or delay messages.
+//!
+//! Failing cases print a `PROP_SEED` replay line; see DESIGN.md §8.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use earth_model::native::NativeCtx;
+use earth_model::sim::{run_sim, SimConfig, SimCtx};
+use earth_model::{
+    run_native, run_native_with, FaultConfig, FiberCtx, FiberSpec, MachineProgram, NativeConfig,
+    RunError, StallReason, Value,
+};
+use harness::prop::{check, Config, Gen};
+use harness::{prop_assert, prop_assert_eq};
+
+/// Ring token-passing: hop `h` delivers the integer value `vals[h]` to
+/// node `h % nodes`, which adds it to its state and forwards `vals[h+1]`.
+/// Every mailbox key is used exactly once, so the program is a pure
+/// dataflow graph: its result is independent of timing.
+#[derive(Debug, Clone)]
+struct RingCase {
+    nodes: usize,
+    rounds: usize,
+    vals: Vec<u32>,
+}
+
+fn gen_ring(g: &mut Gen) -> RingCase {
+    let nodes = g.usize_incl(2, 5);
+    let rounds = g.usize_incl(1, 4);
+    let hops = nodes * rounds;
+    let vals = (0..hops).map(|_| g.u32_in(0..1_000)).collect();
+    RingCase { nodes, rounds, vals }
+}
+
+fn build_ring<C: FiberCtx<f64> + 'static>(case: &RingCase) -> MachineProgram<f64, C> {
+    let n = case.nodes;
+    let hops = n * case.rounds;
+    let mut prog: MachineProgram<f64, C> = MachineProgram::new();
+    for _ in 0..n {
+        prog.add_node(0.0f64);
+    }
+    for r in 0..case.rounds {
+        for i in 0..n {
+            let h = r * n + i;
+            let this_val = case.vals[h] as f64;
+            let next_val = case.vals.get(h + 1).copied().unwrap_or(0) as f64;
+            let count = if h == 0 { 0 } else { 1 };
+            prog.node_mut(i).add_fiber(FiberSpec::new(
+                "hop",
+                count,
+                move |s: &mut f64, cx: &mut C| {
+                    let v = if h == 0 {
+                        this_val
+                    } else {
+                        cx.recv(h as u64).expect("token present").expect_scalar()
+                    };
+                    *s += v;
+                    if h + 1 < hops {
+                        let dest = (h + 1) % n;
+                        let slot = ((h + 1) / n) as u32;
+                        cx.data_sync(dest, (h + 1) as u64, Value::Scalar(next_val), slot);
+                    }
+                },
+            ));
+        }
+    }
+    prog
+}
+
+fn ring_expected(case: &RingCase) -> Vec<f64> {
+    let mut states = vec![0.0f64; case.nodes];
+    for (h, &v) in case.vals.iter().enumerate() {
+        states[h % case.nodes] += v as f64;
+    }
+    states
+}
+
+/// Fan-in: `p` producers each `data_sync` one integer value to a
+/// consumer whose sync count is `p`; the consumer drains the mailbox.
+#[derive(Debug, Clone)]
+struct FanCase {
+    producers: usize,
+    vals: Vec<u32>,
+}
+
+fn gen_fan(g: &mut Gen) -> FanCase {
+    let producers = g.usize_incl(2, 6);
+    let vals = (0..producers).map(|_| g.u32_in(0..1_000)).collect();
+    FanCase { producers, vals }
+}
+
+fn build_fan<C: FiberCtx<f64> + 'static>(case: &FanCase) -> MachineProgram<f64, C> {
+    let p = case.producers;
+    let mut prog: MachineProgram<f64, C> = MachineProgram::new();
+    for _ in 0..=p {
+        prog.add_node(0.0f64);
+    }
+    for (q, &v) in case.vals.iter().enumerate() {
+        let val = v as f64;
+        prog.node_mut(q).add_fiber(FiberSpec::ready(
+            "produce",
+            move |_s: &mut f64, cx: &mut C| {
+                cx.data_sync(p, 7, Value::Scalar(val), 0);
+            },
+        ));
+    }
+    prog.node_mut(p).add_fiber(FiberSpec::new(
+        "consume",
+        p as u32,
+        move |s: &mut f64, cx: &mut C| {
+            while let Some(v) = cx.recv(7) {
+                *s += v.expect_scalar();
+            }
+        },
+    ));
+    prog
+}
+
+fn fan_expected(case: &FanCase) -> f64 {
+    case.vals.iter().map(|&v| v as f64).sum()
+}
+
+/// Native cfg used throughout: a short watchdog (the programs finish in
+/// microseconds) and starvation reported as a typed error, so a dropped
+/// message can never masquerade as a short-but-Ok run.
+fn strict_cfg(faults: Option<FaultConfig>) -> NativeConfig {
+    NativeConfig {
+        watchdog: Duration::from_secs(5),
+        faults,
+        starved_is_error: true,
+    }
+}
+
+// --- lossless plans: faults are bit-transparent -------------------------
+
+#[test]
+fn lossless_faults_are_bit_transparent_native() {
+    let injected = AtomicU64::new(0);
+    check(
+        "lossless_faults_are_bit_transparent_native",
+        Config::cases(64),
+        |g| (gen_ring(g), g.u64_any()),
+        |(case, seed)| {
+            let baseline = run_native(build_ring::<NativeCtx<f64>>(case)).unwrap();
+            prop_assert_eq!(&baseline.states, &ring_expected(case));
+            let faulty = run_native_with(
+                build_ring::<NativeCtx<f64>>(case),
+                strict_cfg(Some(FaultConfig::lossless(*seed))),
+            )
+            .unwrap();
+            // Bit-identical, not approximately equal.
+            prop_assert_eq!(&faulty.states, &baseline.states);
+            prop_assert_eq!(faulty.stats.ops.fibers_fired, baseline.stats.ops.fibers_fired);
+            prop_assert_eq!(faulty.stats.faults.dropped, 0);
+            injected.fetch_add(faulty.stats.faults.total(), Ordering::Relaxed);
+            Ok(())
+        },
+    );
+    // The sweep as a whole must actually have exercised the fault paths.
+    assert!(injected.load(Ordering::Relaxed) > 0, "no faults injected across 64 cases");
+}
+
+#[test]
+fn lossless_faults_are_bit_transparent_fan_in() {
+    check(
+        "lossless_faults_are_bit_transparent_fan_in",
+        Config::cases(64),
+        |g| (gen_fan(g), g.u64_any()),
+        |(case, seed)| {
+            let r = run_native_with(
+                build_fan::<NativeCtx<f64>>(case),
+                strict_cfg(Some(FaultConfig::lossless(*seed))),
+            )
+            .unwrap();
+            prop_assert_eq!(r.states[case.producers], fan_expected(case));
+            Ok(())
+        },
+    );
+}
+
+// --- lossy/chaos plans: bit-identical or typed error, never a hang ------
+
+#[test]
+fn chaos_faults_complete_or_fail_typed_native() {
+    let failures = AtomicU64::new(0);
+    check(
+        "chaos_faults_complete_or_fail_typed_native",
+        Config::cases(96),
+        |g| {
+            let case = gen_ring(g);
+            let seed = g.u64_any();
+            // Random rates across the whole taxonomy, drop included.
+            let cfg = FaultConfig {
+                drop_prob: g.f64_in(0.0..0.3),
+                panic_prob: g.f64_in(0.0..0.1),
+                stall_prob: g.f64_in(0.0..0.1),
+                ..FaultConfig::lossless(seed)
+            };
+            (case, cfg)
+        },
+        |(case, fcfg)| {
+            let expected = ring_expected(case);
+            let started = Instant::now();
+            let out = run_native_with(build_ring::<NativeCtx<f64>>(case), strict_cfg(Some(*fcfg)));
+            let elapsed = started.elapsed();
+            prop_assert!(
+                elapsed < Duration::from_secs(20),
+                "run exceeded the watchdog envelope: {elapsed:?}"
+            );
+            match out {
+                Ok(r) => prop_assert_eq!(&r.states, &expected),
+                Err(RunError::NodePanicked { message, fiber, .. }) => {
+                    prop_assert!(!message.is_empty());
+                    prop_assert!(!fiber.is_empty());
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(RunError::Stalled { reason, .. }) => {
+                    // Dropped messages starve downstream fibers; a stall
+                    // injection cannot block forever (bounded sleep), so
+                    // NoProgress would indicate a runtime bug here.
+                    prop_assert_eq!(reason, StallReason::Starved);
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(
+        failures.load(Ordering::Relaxed) > 0,
+        "chaos sweep never produced a typed failure — rates too low to test recovery"
+    );
+}
+
+// --- simulator: deterministic replay ------------------------------------
+
+#[test]
+fn sim_fault_replay_is_deterministic() {
+    check(
+        "sim_fault_replay_is_deterministic",
+        Config::cases(64),
+        |g| (gen_ring(g), g.u64_any()),
+        |(case, seed)| {
+            let run = || {
+                let cfg = SimConfig {
+                    faults: Some(FaultConfig::lossless(*seed)),
+                    ..SimConfig::default()
+                };
+                run_sim(build_ring::<SimCtx<f64>>(case), cfg)
+            };
+            let a = run();
+            let b = run();
+            // Same seed → same injected faults → same cycle count.
+            prop_assert_eq!(a.time_cycles, b.time_cycles);
+            prop_assert_eq!(a.stats.faults, b.stats.faults);
+            prop_assert_eq!(&a.states, &b.states);
+            // And lossless plans never perturb the values.
+            prop_assert_eq!(&a.states, &ring_expected(case));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sim_different_seeds_usually_differ() {
+    // Not a per-case guarantee (a tiny program may draw no faults), but
+    // across the sweep two distinct seeds must disagree somewhere.
+    let mut distinct = false;
+    let case = RingCase {
+        nodes: 4,
+        rounds: 4,
+        vals: (0..16).collect(),
+    };
+    let base = {
+        let cfg = SimConfig {
+            faults: Some(FaultConfig::lossless(1)),
+            ..SimConfig::default()
+        };
+        run_sim(build_ring::<SimCtx<f64>>(&case), cfg)
+    };
+    for seed in 2..20u64 {
+        let cfg = SimConfig {
+            faults: Some(FaultConfig::lossless(seed)),
+            ..SimConfig::default()
+        };
+        let r = run_sim(build_ring::<SimCtx<f64>>(&case), cfg);
+        assert_eq!(r.states, base.states, "lossless faults must stay transparent");
+        if r.time_cycles != base.time_cycles || r.stats.faults != base.stats.faults {
+            distinct = true;
+        }
+    }
+    assert!(distinct, "19 seeds all injected identical fault schedules");
+}
+
+#[test]
+fn sim_drop_faults_starve_not_corrupt() {
+    // Drop every message: the ring stops at the first transfer. The sim
+    // reports the starvation through unfired_fibers; values of fibers
+    // that did run are untouched.
+    let case = RingCase {
+        nodes: 3,
+        rounds: 2,
+        vals: (0..6).collect(),
+    };
+    let cfg = SimConfig {
+        faults: Some(FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::none(9)
+        }),
+        ..SimConfig::default()
+    };
+    let r = run_sim(build_ring::<SimCtx<f64>>(&case), cfg);
+    assert!(r.stats.unfired_fibers > 0);
+    assert!(r.stats.faults.dropped > 0);
+    assert_eq!(r.states[0], case.vals[0] as f64);
+}
+
+// --- panics: enriched structured reports --------------------------------
+
+#[test]
+fn real_panic_reports_node_slot_fiber_and_message() {
+    let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
+    prog.add_node(0);
+    prog.add_node(0);
+    prog.node_mut(0)
+        .add_fiber(FiberSpec::ready("starter", |_s, cx: &mut NativeCtx<u32>| {
+            cx.sync(1, 0);
+        }));
+    prog.node_mut(1)
+        .add_fiber(FiberSpec::new("exploder", 1, |_s, _cx: &mut NativeCtx<u32>| {
+            panic!("boom at iteration 17");
+        }));
+    match run_native(prog) {
+        Err(RunError::NodePanicked { node, slot, fiber, message }) => {
+            assert_eq!(node, 1);
+            assert_eq!(slot, 0);
+            assert_eq!(fiber, "exploder");
+            assert!(message.contains("boom at iteration 17"), "got: {message}");
+        }
+        other => panic!("expected NodePanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn panic_error_display_is_informative() {
+    let e = RunError::NodePanicked {
+        node: 3,
+        slot: 5,
+        fiber: "phase",
+        message: "index out of bounds".into(),
+    };
+    let s = e.to_string();
+    assert!(s.contains("node 3"), "{s}");
+    assert!(s.contains("phase"), "{s}");
+    assert!(s.contains("slot 5"), "{s}");
+    assert!(s.contains("index out of bounds"), "{s}");
+}
+
+#[test]
+fn injected_panics_are_reported_as_node_panics() {
+    // panic_prob = 1 on a program with at least one fiber: the very
+    // first fiber trips the injected panic.
+    let case = RingCase {
+        nodes: 2,
+        rounds: 2,
+        vals: vec![1, 2, 3, 4],
+    };
+    let cfg = strict_cfg(Some(FaultConfig {
+        panic_prob: 1.0,
+        ..FaultConfig::none(4)
+    }));
+    match run_native_with(build_ring::<NativeCtx<f64>>(&case), cfg) {
+        Err(RunError::NodePanicked { message, .. }) => {
+            assert!(message.contains("injected"), "got: {message}");
+        }
+        other => panic!("expected injected NodePanicked, got {other:?}"),
+    }
+}
+
+// --- watchdog: deadlocks and wedged bodies become typed stalls ----------
+
+#[test]
+fn watchdog_reports_deadlocked_program_within_deadline() {
+    // Two fibers waiting on syncs nobody will ever send: a deliberate
+    // deadlock. Must come back as Stalled with a full dump, quickly, in
+    // both debug and release builds.
+    let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
+    prog.add_node(0);
+    prog.add_node(0);
+    prog.node_mut(0)
+        .add_fiber(FiberSpec::new("waits-forever", 2, |_s, _cx| {}));
+    prog.node_mut(1)
+        .add_fiber(FiberSpec::new("also-waits", 1, |_s, _cx| {}));
+    let cfg = NativeConfig {
+        watchdog: Duration::from_millis(400),
+        faults: None,
+        starved_is_error: true,
+    };
+    let started = Instant::now();
+    match run_native_with(prog, cfg) {
+        Err(RunError::Stalled { reason, dump, .. }) => {
+            assert_eq!(reason, StallReason::Starved);
+            assert_eq!(dump.pending_slots(), 2);
+            let fibers: Vec<&str> = dump
+                .nodes
+                .iter()
+                .flat_map(|n| n.pending.iter().map(|p| p.fiber))
+                .collect();
+            assert!(fibers.contains(&"waits-forever"), "{fibers:?}");
+            assert!(fibers.contains(&"also-waits"), "{fibers:?}");
+            // The Display form names every pending slot.
+            let text = dump.to_string();
+            assert!(text.contains("waits-forever"), "{text}");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadlock detection took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn watchdog_trips_on_wedged_fiber_body() {
+    // A body that blocks longer than the watchdog: no sync progress is
+    // made, so the supervisor must give up and return NoProgress rather
+    // than waiting for the sleep to end.
+    let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
+    prog.add_node(0);
+    prog.add_node(0);
+    prog.node_mut(0)
+        .add_fiber(FiberSpec::ready("wedged", |_s, _cx: &mut NativeCtx<u32>| {
+            std::thread::sleep(Duration::from_secs(8));
+        }));
+    prog.node_mut(1)
+        .add_fiber(FiberSpec::new("downstream", 1, |s, _cx| *s = 1));
+    let cfg = NativeConfig {
+        watchdog: Duration::from_millis(300),
+        faults: None,
+        starved_is_error: true,
+    };
+    let started = Instant::now();
+    match run_native_with(prog, cfg) {
+        Err(RunError::Stalled { reason, waited, outstanding, .. }) => {
+            assert_eq!(reason, StallReason::NoProgress);
+            assert!(waited >= Duration::from_millis(300));
+            assert!(outstanding > 0, "work was still pending");
+        }
+        other => panic!("expected Stalled(NoProgress), got {other:?}"),
+    }
+    // Well inside the 8 s the wedged body would need: the supervisor
+    // abandoned the thread instead of joining it.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "watchdog took {:?}",
+        started.elapsed()
+    );
+}

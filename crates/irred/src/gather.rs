@@ -14,15 +14,16 @@
 
 use std::sync::Arc;
 
-use earth_model::native::{run_native, NativeCtx, RunError};
+use earth_model::native::{run_native_with, NativeConfig, NativeCtx};
 use earth_model::sim::{run_sim, SimConfig, SimCtx};
 use earth_model::{
     mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value,
 };
-use lightinspector::PhaseGeometry;
+use lightinspector::{InspectError, PhaseGeometry};
 use memsim::{AddressMap, Region, StreamModel};
 use workloads::{distribute, SparseMatrix};
 
+use crate::phased::PhasedError;
 use crate::strategy::StrategyConfig;
 
 const TAG_XPORT: u32 = 3;
@@ -86,8 +87,8 @@ impl GatherNode {
         proc: usize,
         rows: Vec<u32>,
         mem_cfg: memsim::MemConfig,
-    ) -> Self {
-        let geometry = PhaseGeometry::new(strat.procs, strat.k, spec.matrix.ncols);
+    ) -> Result<Self, PhasedError> {
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.matrix.ncols)?;
         let kp = geometry.num_phases();
         let mut ph_rows = vec![Vec::new(); kp];
         let mut ph_cols = vec![Vec::new(); kp];
@@ -123,7 +124,7 @@ impl GatherNode {
             y: am.alloc_f64(rows.len().max(1)),
         };
 
-        GatherNode {
+        Ok(GatherNode {
             proc,
             geometry,
             sweeps: strat.sweeps,
@@ -137,7 +138,7 @@ impl GatherNode {
             phase_cost: vec![None; kp],
             regions,
             stream: StreamModel::new(mem_cfg),
-        }
+        })
     }
 
     fn run_phase<C: FiberCtx<Self>>(s: &mut Self, t: usize, p: usize, ctx: &mut C) {
@@ -271,15 +272,31 @@ impl PhasedGather {
         spec: &GatherSpec,
         strat: &StrategyConfig,
         mem_cfg: memsim::MemConfig,
-    ) -> MachineProgram<GatherNode, C> {
-        assert_eq!(spec.x.len(), spec.matrix.ncols);
+    ) -> Result<MachineProgram<GatherNode, C>, PhasedError> {
+        if spec.x.len() != spec.matrix.ncols {
+            return Err(PhasedError::Shape {
+                what: "gather vector length (matrix.ncols)",
+                expected: spec.matrix.ncols,
+                got: spec.x.len(),
+            });
+        }
+        for (nz, &c) in spec.matrix.col_idx.iter().enumerate() {
+            if c as usize >= spec.matrix.ncols {
+                return Err(PhasedError::Invalid(InspectError::OutOfRange {
+                    r: 0,
+                    iter: nz,
+                    elem: c,
+                    num_elements: spec.matrix.ncols,
+                }));
+            }
+        }
         // ncols < k·P is legal: trailing x portions are empty and those
         // phases degenerate to bare synchronization.
         let rows = distribute(spec.matrix.nrows, strat.procs, strat.distribution);
         let kp = strat.phases_per_sweep();
         let mut prog = MachineProgram::new();
         for (proc, proc_rows) in rows.iter().enumerate().take(strat.procs) {
-            let node = GatherNode::new(spec, strat, proc, proc_rows.clone(), mem_cfg);
+            let node = GatherNode::new(spec, strat, proc, proc_rows.clone(), mem_cfg)?;
             let id = prog.add_node(node);
             for t in 0..strat.sweeps {
                 for p in 0..kp {
@@ -300,7 +317,7 @@ impl PhasedGather {
                 }
             }
         }
-        prog
+        Ok(prog)
     }
 
     fn collect(nrows: usize, nodes: Vec<GatherNode>) -> Vec<f64> {
@@ -315,7 +332,8 @@ impl PhasedGather {
 
     /// Run on the discrete-event simulator.
     pub fn run_sim(spec: &GatherSpec, strat: &StrategyConfig, cfg: SimConfig) -> GatherResult {
-        let prog = Self::build::<SimCtx<GatherNode>>(spec, strat, cfg.mem);
+        let prog = Self::build::<SimCtx<GatherNode>>(spec, strat, cfg.mem)
+            .unwrap_or_else(|e| panic!("gather program build failed: {e}"));
         let report = run_sim(prog, cfg);
         assert_eq!(report.stats.unfired_fibers, 0);
         GatherResult {
@@ -327,11 +345,26 @@ impl PhasedGather {
         }
     }
 
-    /// Run on real OS threads.
-    pub fn run_native(spec: &GatherSpec, strat: &StrategyConfig) -> Result<GatherResult, RunError> {
-        let prog = Self::build::<NativeCtx<GatherNode>>(spec, strat, memsim::MemConfig::i860xp());
-        let report = run_native(prog)?;
-        assert_eq!(report.stats.unfired_fibers, 0);
+    /// Run on real OS threads. Like the phased executor, a starved
+    /// machine is reported as a typed `Stalled` error, never as a
+    /// silently short result.
+    pub fn run_native(spec: &GatherSpec, strat: &StrategyConfig) -> Result<GatherResult, PhasedError> {
+        Self::run_native_with(spec, strat, NativeConfig::default())
+    }
+
+    /// [`Self::run_native`] with an explicit backend configuration
+    /// (watchdog deadline, fault plan).
+    pub fn run_native_with(
+        spec: &GatherSpec,
+        strat: &StrategyConfig,
+        cfg: NativeConfig,
+    ) -> Result<GatherResult, PhasedError> {
+        let prog = Self::build::<NativeCtx<GatherNode>>(spec, strat, memsim::MemConfig::i860xp())?;
+        let cfg = NativeConfig {
+            starved_is_error: true,
+            ..cfg
+        };
+        let report = run_native_with(prog, cfg)?;
         Ok(GatherResult {
             y: Self::collect(spec.matrix.nrows, report.states),
             time_cycles: 0,

@@ -50,7 +50,9 @@ pub mod strategy;
 
 pub use gather::{GatherResult, GatherSpec, PhasedGather};
 pub use kernel::EdgeKernel;
-pub use phased::{PhasedReduction, PhasedResult, PhasedSpec};
+pub use phased::{
+    PhasedError, PhasedReduction, PhasedResult, PhasedSpec, RecoveryPolicy, RecoveryReport,
+};
 pub use seq::{seq_gather_cycles, seq_reduction, SeqResult};
 pub use strategy::StrategyConfig;
 pub use workloads::Distribution;

@@ -28,15 +28,17 @@
 //! for the remaining sweeps, whose access pattern is identical.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use earth_model::native::{run_native, NativeCtx, RunError};
+use earth_model::native::{run_native_with, NativeConfig, NativeCtx, RunError};
 use earth_model::sim::{run_sim, SimConfig, SimCtx};
 use earth_model::{mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value};
-use lightinspector::{inspect, InspectorInput, InspectorPlan, PhaseGeometry};
+use lightinspector::{inspect, InspectError, InspectorInput, InspectorPlan, PhaseGeometry};
 use memsim::{AddressMap, Region, StreamModel};
 use workloads::distribute;
 
 use crate::kernel::EdgeKernel;
+use crate::seq::seq_reduction;
 use crate::strategy::StrategyConfig;
 
 const TAG_PORTION: u32 = 1;
@@ -56,6 +58,101 @@ impl<K: EdgeKernel> PhasedSpec<K> {
     pub fn num_iterations(&self) -> usize {
         self.indirection[0].len()
     }
+}
+
+impl<K> std::fmt::Debug for PhasedSpec<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedSpec")
+            .field("num_elements", &self.num_elements)
+            .field("indirection", &self.indirection)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a phased run failed. `Invalid` and `Shape` are caller bugs and are
+/// never retried by the recovery machinery; `Run` is a (possibly
+/// transient) backend failure.
+#[derive(Debug)]
+pub enum PhasedError {
+    /// The LightInspector rejected the geometry or indirection contents.
+    Invalid(InspectError),
+    /// The spec's arrays disagree with each other or with the kernel.
+    Shape {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// The native backend returned a structured runtime error (panic or
+    /// watchdog stall).
+    Run(RunError),
+}
+
+impl std::fmt::Display for PhasedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhasedError::Invalid(e) => write!(f, "invalid phased spec: {e}"),
+            PhasedError::Shape { what, expected, got } => {
+                write!(f, "malformed phased spec: {what}: expected {expected}, got {got}")
+            }
+            PhasedError::Run(e) => write!(f, "phased run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhasedError {}
+
+impl From<InspectError> for PhasedError {
+    fn from(e: InspectError) -> Self {
+        PhasedError::Invalid(e)
+    }
+}
+
+impl From<RunError> for PhasedError {
+    fn from(e: RunError) -> Self {
+        PhasedError::Run(e)
+    }
+}
+
+/// How [`PhasedReduction::run_recovering`] reacts to a failed native run:
+/// retry with exponential backoff up to `max_attempts` total attempts
+/// (each attempt rebuilds the program from scratch), then optionally fall
+/// back to the sequential executor so callers still get a correct answer.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Total native attempts (≥ 1) before giving up or falling back.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubled (times `backoff_factor`)
+    /// before each subsequent one.
+    pub initial_backoff: Duration,
+    pub backoff_factor: u32,
+    /// After exhausting retries, run [`seq_reduction`] and return its
+    /// (bit-correct) values with a warning in the report instead of an
+    /// error.
+    pub fall_back_to_seq: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(2),
+            backoff_factor: 2,
+            fall_back_to_seq: true,
+        }
+    }
+}
+
+/// What the recovery ladder actually did for one call.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Native attempts made (0 when the run bypassed the recovery path).
+    pub attempts: u32,
+    /// Display-formatted error of each failed attempt, in order.
+    pub errors: Vec<String>,
+    /// The answer came from the sequential executor, not the machine.
+    pub fell_back_to_seq: bool,
+    /// Human-readable summary when anything non-default happened.
+    pub warning: Option<String>,
 }
 
 /// Final values gathered from the machine plus run statistics.
@@ -78,6 +175,8 @@ pub struct PhasedResult {
     pub phase_iter_counts: Vec<Vec<usize>>,
     /// Fiber execution trace (empty unless `SimConfig::trace`).
     pub trace: Vec<earth_model::TraceEvent>,
+    /// What the recovery ladder did (all-default for direct runs).
+    pub recovery: RecoveryReport,
 }
 
 /// Per-node regions for the cache model. The reduction group and the
@@ -149,8 +248,8 @@ impl<K: EdgeKernel> PhasedNode<K> {
         local_iters: Vec<u32>,
         mem_cfg: memsim::MemConfig,
         overheads: (u64, u64),
-    ) -> Self {
-        let geometry = PhaseGeometry::new(strat.procs, strat.k, spec.num_elements);
+    ) -> Result<Self, PhasedError> {
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
         let m = spec.kernel.num_refs();
         // Local views of the indirection arrays.
         let local_ind: Vec<Vec<u32>> = (0..m)
@@ -166,7 +265,7 @@ impl<K: EdgeKernel> PhasedNode<K> {
             geometry,
             proc_id: proc,
             indirection: &refs,
-        });
+        })?;
         debug_assert!(lightinspector::verify_plan(&plan, &refs).is_ok());
 
         let kp = geometry.num_phases();
@@ -209,7 +308,7 @@ impl<K: EdgeKernel> PhasedNode<K> {
             copies: am.alloc(plan.total_copies().max(1), 8),
         };
 
-        PhasedNode {
+        Ok(PhasedNode {
             proc,
             geometry,
             sweeps: strat.sweeps,
@@ -228,7 +327,7 @@ impl<K: EdgeKernel> PhasedNode<K> {
             copy_overhead: overheads.1,
             staged: Vec::new(),
             results: Vec::new(),
-        }
+        })
     }
 
     /// The body of phase fiber `(t, p)`.
@@ -548,14 +647,44 @@ fn sync_count(
     c
 }
 
+/// Check the spec's global arrays against each other and the kernel
+/// before any per-node indexing happens.
+fn validate_spec<K: EdgeKernel>(spec: &PhasedSpec<K>) -> Result<(), PhasedError> {
+    let m = spec.kernel.num_refs();
+    if spec.indirection.len() != m {
+        return Err(PhasedError::Shape {
+            what: "indirection arrays (kernel.num_refs)",
+            expected: m,
+            got: spec.indirection.len(),
+        });
+    }
+    if m == 0 {
+        return Err(PhasedError::Invalid(InspectError::NoReferences));
+    }
+    let iters = spec.indirection[0].len();
+    for arr in spec.indirection.iter() {
+        if arr.len() != iters {
+            return Err(PhasedError::Shape {
+                what: "indirection array length",
+                expected: iters,
+                got: arr.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Build the whole-machine program for a `(spec, strategy)` pair,
-/// generic over the backend context.
+/// generic over the backend context. Rejects malformed specs (ragged or
+/// miscounted indirection arrays, out-of-range elements, degenerate
+/// geometry) with a typed [`PhasedError`] before any fiber runs.
 pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
     spec: &PhasedSpec<K>,
     strat: &StrategyConfig,
     mem_cfg: memsim::MemConfig,
     overheads: (u64, u64),
-) -> MachineProgram<PhasedNode<K>, C> {
+) -> Result<MachineProgram<PhasedNode<K>, C>, PhasedError> {
+    validate_spec(spec)?;
     // n < k·P is legal: trailing portions are empty and their phases
     // degenerate to bare synchronization (PhaseGeometry handles this).
     let owned = distribute(spec.num_iterations(), strat.procs, strat.distribution);
@@ -565,7 +694,7 @@ pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
 
     let mut prog = MachineProgram::new();
     for (proc, proc_owned) in owned.iter().enumerate().take(strat.procs) {
-        let node = PhasedNode::new(spec, strat, proc, proc_owned.clone(), mem_cfg, overheads);
+        let node = PhasedNode::new(spec, strat, proc, proc_owned.clone(), mem_cfg, overheads)?;
         let id = prog.add_node(node);
         for t in 0..strat.sweeps {
             for p in 0..kp {
@@ -580,7 +709,7 @@ pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
             }
         }
     }
-    prog
+    Ok(prog)
 }
 
 /// `(x arrays, read arrays, per-node phase iteration counts)`.
@@ -627,7 +756,8 @@ impl PhasedReduction {
             strat,
             cfg.mem,
             (cfg.phased_iter_overhead_cycles, cfg.phased_copy_overhead_cycles),
-        );
+        )
+        .unwrap_or_else(|e| panic!("phased program build failed: {e}"));
         let report = run_sim(prog, cfg);
         assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
         let (x, read, counts) = assemble(spec, report.states);
@@ -640,6 +770,7 @@ impl PhasedReduction {
             stats: report.stats,
             phase_iter_counts: counts,
             trace: report.trace,
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -647,11 +778,29 @@ impl PhasedReduction {
     pub fn run_native<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
-    ) -> Result<PhasedResult, RunError> {
+    ) -> Result<PhasedResult, PhasedError> {
+        Self::run_native_with(spec, strat, NativeConfig::default())
+    }
+
+    /// Like [`Self::run_native`] but with an explicit backend
+    /// configuration (watchdog deadline, fault plan). A starved machine —
+    /// a phase fiber whose sync never arrives, e.g. because a fault plan
+    /// dropped the message — is always reported as
+    /// [`RunError::Stalled`][earth_model::native::RunError], never as a
+    /// silently short result: the phased program has no legitimate
+    /// unfired fibers.
+    pub fn run_native_with<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        cfg: NativeConfig,
+    ) -> Result<PhasedResult, PhasedError> {
         let prog =
-            build_program::<K, NativeCtx<PhasedNode<K>>>(spec, strat, memsim::MemConfig::i860xp(), (0, 0));
-        let report = run_native(prog)?;
-        assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
+            build_program::<K, NativeCtx<PhasedNode<K>>>(spec, strat, memsim::MemConfig::i860xp(), (0, 0))?;
+        let cfg = NativeConfig {
+            starved_is_error: true,
+            ..cfg
+        };
+        let report = run_native_with(prog, cfg)?;
         let (x, read, counts) = assemble(spec, report.states);
         Ok(PhasedResult {
             x,
@@ -662,7 +811,93 @@ impl PhasedReduction {
             stats: report.stats,
             phase_iter_counts: counts,
             trace: Vec::new(),
+            recovery: RecoveryReport::default(),
         })
+    }
+
+    /// Run natively under a [`RecoveryPolicy`]: retry failed runs with
+    /// exponential backoff (rebuilding the program each time and, when a
+    /// fault plan is configured, reseeding it per attempt), then fall
+    /// back to the sequential executor. Callers always get a bit-correct
+    /// answer or a typed error — never a hang, never silent corruption.
+    pub fn run_recovering<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        policy: RecoveryPolicy,
+        cfg: NativeConfig,
+    ) -> Result<PhasedResult, PhasedError> {
+        Self::run_recovering_with(spec, strat, policy, |attempt| {
+            let mut c = cfg;
+            if attempt > 0 {
+                if let Some(f) = c.faults {
+                    c.faults = Some(f.reseeded(attempt as u64));
+                }
+            }
+            c
+        })
+    }
+
+    /// The general form of [`Self::run_recovering`]: the caller chooses
+    /// the backend configuration of each attempt (attempt numbers start
+    /// at 0). Invalid-spec errors are returned immediately — retrying a
+    /// caller bug cannot succeed; only runtime failures walk the ladder.
+    pub fn run_recovering_with<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        policy: RecoveryPolicy,
+        cfg_for_attempt: impl Fn(u32) -> NativeConfig,
+    ) -> Result<PhasedResult, PhasedError> {
+        let mut report = RecoveryReport::default();
+        let mut last_err: Option<RunError> = None;
+        let mut backoff = policy.initial_backoff;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= policy.backoff_factor.max(1);
+            }
+            report.attempts = attempt + 1;
+            match Self::run_native_with(spec, strat, cfg_for_attempt(attempt)) {
+                Ok(mut res) => {
+                    if attempt > 0 {
+                        report.warning = Some(format!(
+                            "parallel run succeeded on attempt {} after: {}",
+                            attempt + 1,
+                            report.errors.join("; ")
+                        ));
+                    }
+                    res.recovery = report;
+                    return Ok(res);
+                }
+                Err(PhasedError::Run(e)) => {
+                    report.errors.push(e.to_string());
+                    last_err = Some(e);
+                }
+                // Caller bugs: no retry can fix the spec.
+                Err(e) => return Err(e),
+            }
+        }
+        if policy.fall_back_to_seq {
+            let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
+            report.fell_back_to_seq = true;
+            report.warning = Some(format!(
+                "parallel run failed {} attempt(s) ({}); result computed by the sequential executor",
+                report.attempts,
+                report.errors.join("; ")
+            ));
+            Ok(PhasedResult {
+                x: seq.x,
+                read: seq.read,
+                time_cycles: seq.cycles,
+                seconds: seq.seconds,
+                wall: Duration::ZERO,
+                stats: RunStats::default(),
+                phase_iter_counts: Vec::new(),
+                trace: Vec::new(),
+                recovery: report,
+            })
+        } else {
+            Err(PhasedError::Run(last_err.expect("at least one attempt ran")))
+        }
     }
 }
 

@@ -31,17 +31,35 @@ impl PhaseGeometry {
     /// size is rounded up and the final portion may be short (or even
     /// empty when `n < k·P`).
     pub fn new(num_procs: usize, k: usize, num_elements: usize) -> Self {
-        assert!(num_procs >= 1, "need at least one processor");
-        assert!(k >= 1, "k must be at least 1");
-        assert!(num_elements >= 1, "empty reduction array");
+        Self::try_new(num_procs, k, num_elements)
+            .unwrap_or_else(|e| panic!("invalid PhaseGeometry: {e}"))
+    }
+
+    /// Fallible constructor: returns a typed [`InspectError`] instead of
+    /// panicking on a degenerate `(P, k, n)` triple.
+    pub fn try_new(
+        num_procs: usize,
+        k: usize,
+        num_elements: usize,
+    ) -> Result<Self, crate::inspector::InspectError> {
+        use crate::inspector::InspectError;
+        if num_procs < 1 {
+            return Err(InspectError::NoProcessors);
+        }
+        if k < 1 {
+            return Err(InspectError::ZeroK);
+        }
+        if num_elements < 1 {
+            return Err(InspectError::EmptyElements);
+        }
         let kp = num_procs * k;
         let portion_size = num_elements.div_ceil(kp);
-        PhaseGeometry {
+        Ok(PhaseGeometry {
             num_procs,
             k,
             num_elements,
             portion_size,
-        }
+        })
     }
 
     pub fn num_procs(&self) -> usize {

@@ -47,7 +47,8 @@ impl IncrementalInspector {
             geometry,
             proc_id,
             indirection: &refs,
-        });
+        })
+        .expect("IncrementalInspector::new: invalid inspector input");
         let mut iter_pos = vec![0u32; plan.iter_phase.len()];
         for ph in &plan.phases {
             for (pos, &it) in ph.iters.iter().enumerate() {
@@ -284,7 +285,8 @@ mod tests {
             geometry: g,
             proc_id: 2,
             indirection: &refs,
-        });
+        })
+        .unwrap();
         assert_eq!(full.iter_phase, inc.plan().iter_phase);
         for p in 0..g.num_phases() {
             let mut a: Vec<u32> = inc.plan().phases[p].iters.clone();

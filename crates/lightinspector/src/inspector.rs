@@ -20,6 +20,65 @@
 use crate::geometry::PhaseGeometry;
 use crate::plan::{CopyOp, InspectorPlan, PhasePlan, SingleRefPlan};
 
+/// Why an inspector input was rejected. Every variant is a caller bug
+/// that would previously panic (debug) or silently mis-bucket references
+/// through wrapped portion arithmetic (release) — UB-adjacent for the
+/// downstream executor, which indexes arrays by the resulting phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectError {
+    /// Geometry with zero processors.
+    NoProcessors,
+    /// Geometry with `k = 0`.
+    ZeroK,
+    /// Geometry over an empty reduction array — every portion would be
+    /// zero-length and `portion_of` would divide by zero.
+    EmptyElements,
+    /// `proc_id` is not a processor of the geometry; ownership arithmetic
+    /// would alias another processor's schedule.
+    ProcOutOfRange { proc_id: usize, num_procs: usize },
+    /// No indirection references at all (`m = 0`).
+    NoReferences,
+    /// Indirection array `r` has a different length than array 0.
+    Ragged { r: usize, len: usize, expected: usize },
+    /// `indirection[r][iter]` names an element outside the reduction
+    /// array.
+    OutOfRange {
+        r: usize,
+        iter: usize,
+        elem: u32,
+        num_elements: usize,
+    },
+}
+
+impl std::fmt::Display for InspectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InspectError::NoProcessors => write!(f, "geometry needs at least one processor"),
+            InspectError::ZeroK => write!(f, "overlap parameter k must be at least 1"),
+            InspectError::EmptyElements => write!(f, "empty reduction array"),
+            InspectError::ProcOutOfRange { proc_id, num_procs } => {
+                write!(f, "proc_id {proc_id} out of range for {num_procs} processor(s)")
+            }
+            InspectError::NoReferences => write!(f, "need at least one indirection reference"),
+            InspectError::Ragged { r, len, expected } => write!(
+                f,
+                "ragged indirection arrays: array {r} has {len} entries, expected {expected}"
+            ),
+            InspectError::OutOfRange {
+                r,
+                iter,
+                elem,
+                num_elements,
+            } => write!(
+                f,
+                "indirection[{r}][{iter}] = {elem} is outside the reduction array (n = {num_elements})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InspectError {}
+
 /// Input to [`inspect`]: the geometry, this processor's id, and its local
 /// slice of the indirection arrays.
 #[derive(Debug, Clone, Copy)]
@@ -32,15 +91,55 @@ pub struct InspectorInput<'a> {
     pub indirection: &'a [&'a [u32]],
 }
 
-/// Run the LightInspector. Pure function of its inputs; no communication.
-pub fn inspect(input: InspectorInput<'_>) -> InspectorPlan {
-    let g = input.geometry;
-    let m = input.indirection.len();
-    assert!(m >= 1, "need at least one indirection reference");
-    let num_iters = input.indirection[0].len();
-    for r in input.indirection {
-        assert_eq!(r.len(), num_iters, "ragged indirection arrays");
+/// Validate the shared preconditions of [`inspect`] / [`inspect_single`].
+fn validate(
+    g: &PhaseGeometry,
+    proc_id: usize,
+    indirection: &[&[u32]],
+) -> Result<(), InspectError> {
+    if proc_id >= g.num_procs() {
+        return Err(InspectError::ProcOutOfRange {
+            proc_id,
+            num_procs: g.num_procs(),
+        });
     }
+    if indirection.is_empty() {
+        return Err(InspectError::NoReferences);
+    }
+    let num_iters = indirection[0].len();
+    for (r, arr) in indirection.iter().enumerate() {
+        if arr.len() != num_iters {
+            return Err(InspectError::Ragged {
+                r,
+                len: arr.len(),
+                expected: num_iters,
+            });
+        }
+        let n = g.num_elements();
+        for (i, &e) in arr.iter().enumerate() {
+            if e as usize >= n {
+                return Err(InspectError::OutOfRange {
+                    r,
+                    iter: i,
+                    elem: e,
+                    num_elements: n,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the LightInspector. Pure function of its inputs; no communication.
+///
+/// Rejects malformed input (out-of-range indices, ragged arrays, a
+/// foreign `proc_id`) with a typed [`InspectError`] instead of panicking
+/// or silently mis-bucketing through wrapped modular arithmetic.
+pub fn inspect(input: InspectorInput<'_>) -> Result<InspectorPlan, InspectError> {
+    let g = input.geometry;
+    validate(&g, input.proc_id, input.indirection)?;
+    let m = input.indirection.len();
+    let num_iters = input.indirection[0].len();
     let kp = g.num_phases();
 
     // Pass 1: phase of each iteration + per-phase counts.
@@ -94,13 +193,13 @@ pub fn inspect(input: InspectorInput<'_>) -> InspectorPlan {
         }
     }
 
-    InspectorPlan {
+    Ok(InspectorPlan {
         geometry: g,
         proc_id: input.proc_id,
         buffer_len: (next_slot - n) as usize,
         phases,
         iter_phase,
-    }
+    })
 }
 
 /// The single-reference fast path (§3): when the reduction array is
@@ -114,7 +213,8 @@ pub fn inspect_single(
     geometry: PhaseGeometry,
     proc_id: usize,
     indirection: &[u32],
-) -> SingleRefPlan {
+) -> Result<SingleRefPlan, InspectError> {
+    validate(&geometry, proc_id, &[indirection])?;
     let kp = geometry.num_phases();
     let mut counts = vec![0usize; kp];
     for &e in indirection {
@@ -125,11 +225,11 @@ pub fn inspect_single(
         let p = geometry.phase_of_portion_on(proc_id, geometry.portion_of(e as usize));
         phases[p].push(i as u32);
     }
-    SingleRefPlan {
+    Ok(SingleRefPlan {
         geometry,
         proc_id,
         phases,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -156,7 +256,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&ind1, &ind2],
-        });
+        })
+        .unwrap();
         // Edge 0 (0,1): both in portion 0 → phase 0, both resident.
         assert_eq!(plan.iter_phase[0], 0);
         // Edge 4 (1,2): portions 0 and 1 → phase 0, node 2 buffered.
@@ -175,7 +276,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&ind1, &ind2],
-        });
+        })
+        .unwrap();
         // Buffer slots are allocated from 8 (= num_nodes) upward, exactly
         // as in the paper ("the remote buffer starts at location 8").
         let mut min_slot = u32::MAX;
@@ -199,7 +301,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&ind1, &ind2],
-        });
+        })
+        .unwrap();
         // Edge 7 = (7,4): assigned phase 2 (node 4 resident), node 7
         // buffered, folded at phase 3 when portion 3 arrives.
         let copy = plan.phases[3]
@@ -217,7 +320,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&ind1, &ind2],
-        });
+        })
+        .unwrap();
         // Edge 0 (0,1): both resident at phase 0 → remapped to themselves.
         let j = plan.phases[0].iters.iter().position(|&i| i == 0).unwrap();
         assert_eq!(plan.phases[0].refs[0][j], 0);
@@ -232,7 +336,8 @@ mod tests {
             geometry: g,
             proc_id: 1,
             indirection: &[&ind1, &ind2],
-        });
+        })
+        .unwrap();
         verify_plan(&plan, &[&ind1, &ind2]).unwrap();
         // Edge 0 (0,1): portion 0 is owned by P1 at phase 2.
         assert_eq!(plan.iter_phase[0], 2);
@@ -249,7 +354,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&a, &b, &c],
-        });
+        })
+        .unwrap();
         verify_plan(&plan, &[&a, &b, &c]).unwrap();
         assert_eq!(plan.total_iters(), 5);
         // Each iteration has exactly 3 -1 = 2 buffered refs at most; total
@@ -261,7 +367,7 @@ mod tests {
     fn single_ref_plan_partitions_iterations() {
         let g = PhaseGeometry::new(4, 2, 64);
         let ind: Vec<u32> = (0..200).map(|i| (i * 7) as u32 % 64).collect();
-        let plan = inspect_single(g, 2, &ind);
+        let plan = inspect_single(g, 2, &ind).unwrap();
         assert_eq!(plan.total_iters(), 200);
         // Every iteration's element must be resident in its phase.
         for (p, iters) in plan.phases.iter().enumerate() {
@@ -283,7 +389,8 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&a, &b],
-        });
+        })
+        .unwrap();
         assert_eq!(plan.buffer_len, 0);
         assert_eq!(plan.total_copies(), 0);
         verify_plan(&plan, &[&a, &b]).unwrap();
@@ -298,7 +405,8 @@ mod tests {
             geometry: g,
             proc_id: 3,
             indirection: &[&a, &b],
-        });
+        })
+        .unwrap();
         verify_plan(&plan, &[&a, &b]).unwrap();
     }
 
@@ -311,9 +419,96 @@ mod tests {
             geometry: g,
             proc_id: 0,
             indirection: &[&a, &b],
-        });
+        })
+        .unwrap();
         assert_eq!(plan.total_iters(), 0);
         assert_eq!(plan.buffer_len, 0);
         verify_plan(&plan, &[&a, &b]).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_element() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a: Vec<u32> = vec![0, 8, 1];
+        let b: Vec<u32> = vec![1, 2, 3];
+        let err = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b],
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            InspectError::OutOfRange {
+                r: 0,
+                iter: 1,
+                elem: 8,
+                num_elements: 8
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_ragged_indirection() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a: Vec<u32> = vec![0, 1, 2];
+        let b: Vec<u32> = vec![1, 2];
+        let err = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b],
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            InspectError::Ragged {
+                r: 1,
+                len: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_proc_id() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a: Vec<u32> = vec![0];
+        let err = inspect_single(g, 2, &a).unwrap_err();
+        assert_eq!(
+            err,
+            InspectError::ProcOutOfRange {
+                proc_id: 2,
+                num_procs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_no_references() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let err = inspect(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[],
+        })
+        .unwrap_err();
+        assert_eq!(err, InspectError::NoReferences);
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        assert_eq!(
+            PhaseGeometry::try_new(0, 2, 8).unwrap_err(),
+            InspectError::NoProcessors
+        );
+        assert_eq!(
+            PhaseGeometry::try_new(2, 0, 8).unwrap_err(),
+            InspectError::ZeroK
+        );
+        assert_eq!(
+            PhaseGeometry::try_new(2, 2, 0).unwrap_err(),
+            InspectError::EmptyElements
+        );
+        assert!(PhaseGeometry::try_new(2, 2, 8).is_ok());
     }
 }

@@ -41,5 +41,5 @@ pub mod plan;
 
 pub use geometry::{PhaseGeometry, PortionId};
 pub use incremental::{diff_pairs, IncrementalInspector};
-pub use inspector::{inspect, inspect_single, InspectorInput};
+pub use inspector::{inspect, inspect_single, InspectError, InspectorInput};
 pub use plan::{verify_plan, CopyOp, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};

@@ -49,7 +49,8 @@ fn plan_is_always_valid() {
                     geometry: g,
                     proc_id,
                     indirection: &[&s.a, &s.b],
-                });
+                })
+                .unwrap();
                 prop_assert!(verify_plan(&plan, &[&s.a, &s.b]).is_ok());
                 prop_assert_eq!(plan.total_iters(), s.a.len());
             }
@@ -70,7 +71,8 @@ fn buffers_bounded_by_refs() {
                 geometry: g,
                 proc_id: 0,
                 indirection: &[&s.a, &s.b],
-            });
+            })
+            .unwrap();
             // At most one buffered reference per (iteration, ref) pair
             // beyond the resident one: m-1 = 1 per iteration here.
             prop_assert!(plan.buffer_len <= s.a.len());
@@ -88,7 +90,7 @@ fn single_ref_groups_residents() {
         scenario,
         |s| {
             let g = PhaseGeometry::new(s.p, s.k, s.n);
-            let plan = inspect_single(g, s.p - 1, &s.a);
+            let plan = inspect_single(g, s.p - 1, &s.a).unwrap();
             prop_assert_eq!(plan.total_iters(), s.a.len());
             for (phase, iters) in plan.phases.iter().enumerate() {
                 let owned = g.portion_owned_by(s.p - 1, phase);
@@ -132,7 +134,8 @@ fn incremental_matches_full() {
                 geometry: g,
                 proc_id: 0,
                 indirection: &refs,
-            });
+            })
+            .unwrap();
             prop_assert_eq!(&full.iter_phase, &inc.plan().iter_phase);
             Ok(())
         },

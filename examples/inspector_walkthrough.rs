@@ -35,7 +35,8 @@ fn main() {
         geometry,
         proc_id: 0,
         indirection: &[&indir1_in, &indir2_in],
-    });
+    })
+    .expect("inspector input valid");
     verify_plan(&plan, &[&indir1_in, &indir2_in]).expect("plan valid");
 
     println!("\nremote buffer starts at location {} (= num_nodes)", geometry.num_elements());

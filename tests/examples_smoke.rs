@@ -1,14 +1,17 @@
 //! Smoke test: every program in `examples/` builds and runs to
-//! completion at small (`REPRO_QUICK=1`) problem sizes, so examples
-//! can't silently rot as the APIs evolve.
+//! completion at small (`REPRO_QUICK=1`) problem sizes **within a hard
+//! deadline**, so examples can't silently rot as the APIs evolve and a
+//! wedged example shows up as a test failure, not a hung CI job.
 //!
 //! Runs each example through the same `cargo` that is running the tests
 //! (`cargo test` has already compiled the examples, so these are cheap
 //! re-invocations of existing binaries). All examples run in one test
 //! function to keep the recursive cargo invocations serial.
 
+use std::io::Read;
 use std::path::Path;
-use std::process::Command;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 const EXAMPLES: &[&str] = &[
     "quickstart",
@@ -19,24 +22,59 @@ const EXAMPLES: &[&str] = &[
     "compile_pipeline",
 ];
 
+/// Generous per-example bound: each runs in well under 10 s at
+/// `REPRO_QUICK` sizes, but a cold target/ directory may have to link.
+const DEADLINE: Duration = Duration::from_secs(180);
+
+/// Spawn a reader thread draining one pipe, so a chatty example can't
+/// deadlock against a full pipe buffer while we poll the deadline.
+fn drain<R: Read + Send + 'static>(r: R) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut buf = String::new();
+        let mut r = r;
+        let _ = r.read_to_string(&mut buf);
+        buf
+    })
+}
+
 #[test]
-fn every_example_runs() {
+fn every_example_terminates_within_deadline() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
     for name in EXAMPLES {
-        let out = Command::new(env!("CARGO"))
+        let started = Instant::now();
+        let mut child = Command::new(env!("CARGO"))
             .args(["run", "--quiet", "--offline", "--example", name])
             .arg("--manifest-path")
             .arg(&manifest)
             .env("CARGO_NET_OFFLINE", "true")
             .env("REPRO_QUICK", "1")
-            .output()
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
             .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        let out = drain(child.stdout.take().expect("stdout piped"));
+        let err = drain(child.stderr.take().expect("stderr piped"));
+
+        let status = loop {
+            match child.try_wait().expect("try_wait") {
+                Some(status) => break status,
+                None if started.elapsed() > DEADLINE => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!(
+                        "example '{name}' still running after {DEADLINE:?} — killed.\n\
+                         --- stderr so far ---\n{}",
+                        err.join().unwrap_or_default()
+                    );
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        };
         assert!(
-            out.status.success(),
-            "example '{name}' failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
-            out.status,
-            String::from_utf8_lossy(&out.stdout),
-            String::from_utf8_lossy(&out.stderr),
+            status.success(),
+            "example '{name}' failed ({status}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.join().unwrap_or_default(),
+            err.join().unwrap_or_default(),
         );
     }
 }
