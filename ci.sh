@@ -6,7 +6,7 @@
 #
 # Usage:
 #   ./ci.sh          # tier1 + faults (everything)
-#   ./ci.sh tier1    # build + full test suite + clippy
+#   ./ci.sh tier1    # fmt --check + build + full test suite + clippy
 #   ./ci.sh faults   # fault-injection / recovery sweeps only
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
@@ -26,6 +26,9 @@ run_tests() {
 }
 
 tier1() {
+    echo "== fmt (--check) =="
+    cargo fmt --all -- --check
+
     echo "== build (release) =="
     cargo build --release
 

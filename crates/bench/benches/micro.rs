@@ -115,20 +115,72 @@ fn bench_native_pingpong() {
         let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
         prog.add_node(0);
         prog.add_node(0);
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::repeating("ping", 0, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
+        prog.node_mut(0).add_fiber(FiberSpec::repeating(
+            "ping",
+            0,
+            1,
+            |s: &mut u32, cx: &mut NativeCtx<u32>| {
                 *s += 1;
                 if *s < 100 {
                     cx.sync(1, 0);
                 }
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::repeating("pong", 1, 1, |s: &mut u32, cx: &mut NativeCtx<u32>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::repeating(
+            "pong",
+            1,
+            1,
+            |s: &mut u32, cx: &mut NativeCtx<u32>| {
                 *s += 1;
                 cx.sync(0, 0);
-            }));
+            },
+        ));
         run_native(prog).unwrap().stats.ops.fibers_fired
     });
+    suite.finish();
+}
+
+/// The engine-layer payoff: prepare-once-execute-N vs N cold runs of the
+/// same (spec, strategy). The prepared path reuses the inspector plans,
+/// the remapped indirection, the EARTH program template, the pooled node
+/// buffers, and — on the simulator — the measured steady-state phase
+/// costs, so only the first execute pays for metering.
+fn bench_prepare_reuse() {
+    use earth_model::sim::SimConfig;
+    use irred::{Distribution, PhasedEngine, ReductionEngine, StrategyConfig, Workspace};
+    use kernels::MolDynProblem;
+    use workloads::MolDyn;
+
+    const RUNS: usize = 100;
+    let problem = MolDynProblem::from_config(MolDyn::fcc(4, 0.75));
+    let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 1);
+    let engine = PhasedEngine::sim(SimConfig::default());
+
+    let mut suite = Suite::new("prepare_reuse");
+    suite.throughput(RUNS as u64);
+    suite.bench(&format!("cold_run_{RUNS}"), || {
+        let mut acc = 0u64;
+        for _ in 0..RUNS {
+            acc += engine.run(&problem.spec, &strat).unwrap().time_cycles;
+        }
+        acc
+    });
+    suite.bench_with_setup(
+        &format!("prepared_run_{RUNS}"),
+        || {
+            (
+                engine.prepare(&problem.spec, &strat).unwrap(),
+                Workspace::new(),
+            )
+        },
+        |(mut prepared, mut ws)| {
+            let mut acc = 0u64;
+            for _ in 0..RUNS {
+                acc += engine.execute(&mut prepared, &mut ws).unwrap().time_cycles;
+            }
+            acc
+        },
+    );
     suite.finish();
 }
 
@@ -138,4 +190,5 @@ fn main() {
     bench_cache();
     bench_geometry();
     bench_native_pingpong();
+    bench_prepare_reuse();
 }

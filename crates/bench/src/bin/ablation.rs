@@ -11,9 +11,10 @@
 
 use std::sync::Arc;
 
+use earth_model::native::NativeConfig;
 use irred::baseline::{atomic_reduction, replicated_reduction, serial_reduction};
 use irred::kernel::WeightedPairKernel;
-use irred::{seq_reduction, PhasedReduction, PhasedSpec};
+use irred::{seq_reduction, PhasedEngine, PhasedSpec, ReductionEngine};
 use kernels::EulerProblem;
 use repro_bench::{quick, Report, Row, SimConfig, StrategyConfig};
 use workloads::{Distribution, Mesh, MeshPreset};
@@ -28,7 +29,7 @@ fn main() {
     let seq = seq_reduction(&problem.spec, sweeps, cfg);
     for &k in &[1usize, 2, 3, 4, 6, 8] {
         let strat = StrategyConfig::new(16, k, Distribution::Cyclic, sweeps);
-        let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+        let r = PhasedEngine::sim(cfg).run(&problem.spec, &strat).unwrap();
         rep.push(Row {
             dataset: "euler2K@16p".into(),
             strategy: format!("k{k}"),
@@ -47,11 +48,12 @@ fn main() {
         let p = EulerProblem::from_mesh(mesh, 3);
         let seq = seq_reduction(&p.spec, sweeps, cfg);
         for &procs in &[2usize, 32] {
-            let r = PhasedReduction::run_sim(
-                &p.spec,
-                &StrategyConfig::new(procs, 2, Distribution::Cyclic, sweeps),
-                cfg,
-            );
+            let r = PhasedEngine::sim(cfg)
+                .run(
+                    &p.spec,
+                    &StrategyConfig::new(procs, 2, Distribution::Cyclic, sweeps),
+                )
+                .unwrap();
             rep.push(Row {
                 dataset: format!("euler2K-{name}"),
                 strategy: "2c".into(),
@@ -94,7 +96,10 @@ fn main() {
     let (_, atomic) = atomic_reduction(&spec, threads, native_sweeps);
     let (_, repl) = replicated_reduction(&spec, threads, native_sweeps);
     let strat = StrategyConfig::new(threads, 2, Distribution::Cyclic, native_sweeps);
-    let phased = PhasedReduction::run_native(&spec, &strat).expect("native run").wall;
+    let phased = PhasedEngine::native(NativeConfig::default())
+        .run(&spec, &strat)
+        .expect("native run")
+        .wall;
     rep.note(format!(
         "native: atomics {atomic:?} ({:.2}x), replication {repl:?} ({:.2}x), phased-EARTH {phased:?} ({:.2}x)",
         serial.as_secs_f64() / atomic.as_secs_f64(),

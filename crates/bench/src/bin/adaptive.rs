@@ -107,7 +107,8 @@ fn main() {
     }
 
     // Scheme 3: the partitioning scheme's modeled cost per event.
-    let part = InspectorExecutor::partitioning_cycles(md.num_molecules, md.num_interactions(), &cfg);
+    let part =
+        InspectorExecutor::partitioning_cycles(md.num_molecules, md.num_interactions(), &cfg);
     rep.note(format!(
         "partitioning-based scheme per adaptation (modeled): {:.1} ms re-partition + communicating inspector",
         cfg.seconds(part) * 1e3

@@ -9,8 +9,10 @@
 //! report the preprocessing costs each scheme pays (the phased
 //! strategy's headline advantage for adaptive problems).
 
-use irred::baseline::InspectorExecutor;
-use irred::{seq_reduction, PhasedReduction};
+use std::sync::Arc;
+
+use irred::baseline::{IeEngine, InspectorExecutor};
+use irred::{seq_reduction, PhasedEngine, ReductionEngine, Workspace};
 use kernels::euler::EulerKernel;
 use kernels::EulerProblem;
 use lightinspector::{inspect, InspectorInput, PhaseGeometry};
@@ -72,7 +74,7 @@ fn main() {
         for &p in &[2usize, 8, 32] {
             // Phased (2c).
             let strat = StrategyConfig::new(p, 2, Distribution::Cyclic, sweeps);
-            let r = PhasedReduction::run_sim(&spec, &strat, cfg);
+            let r = PhasedEngine::sim(cfg).run(&spec, &strat).unwrap();
             rep.push(Row {
                 dataset: label.clone(),
                 strategy: "phased-2c".into(),
@@ -84,7 +86,12 @@ fn main() {
             // Inspector/executor with RCB ownership.
             let owners = rcb_partition(&problem.mesh.coords, p.next_power_of_two());
             let owners: Vec<u32> = owners.iter().map(|&o| o % p as u32).collect();
-            let ie = InspectorExecutor::run_sim(&spec, &owners, p, sweeps, cfg);
+            let ie_strat = StrategyConfig::new(p, 1, Distribution::Block, sweeps);
+            let ie_engine = IeEngine::with_owners(cfg, Arc::new(owners));
+            let mut prepared = ie_engine.prepare(&spec, &ie_strat).expect("valid IE spec");
+            let ie = ie_engine
+                .execute(&mut prepared, &mut Workspace::new())
+                .expect("IE run");
             rep.push(Row {
                 dataset: label.clone(),
                 strategy: "ie-rcb".into(),
@@ -100,9 +107,9 @@ fn main() {
             rep.note(format!(
                 "{label} P={p}: IE preprocessing = {:.1} ms inspector (communicating) + {:.1} ms partitioning; \
                  ghosts/proc ≈ {}",
-                cfg.seconds(ie.inspector_cycles) * 1e3,
+                cfg.seconds(prepared.inspector_cycles()) * 1e3,
                 cfg.seconds(part) * 1e3,
-                ie.ghost_counts.iter().sum::<usize>() / p
+                prepared.ghost_counts().iter().sum::<usize>() / p
             ));
 
             // LightInspector cost for the same configuration (measured on
@@ -111,8 +118,14 @@ fn main() {
             let dist = distribute(spec.num_iterations(), p, Distribution::Cyclic);
             let li_start = std::time::Instant::now();
             for (q, owned) in dist.iter().enumerate().take(p) {
-                let l1: Vec<u32> = owned.iter().map(|&i| spec.indirection[0][i as usize]).collect();
-                let l2: Vec<u32> = owned.iter().map(|&i| spec.indirection[1][i as usize]).collect();
+                let l1: Vec<u32> = owned
+                    .iter()
+                    .map(|&i| spec.indirection[0][i as usize])
+                    .collect();
+                let l2: Vec<u32> = owned
+                    .iter()
+                    .map(|&i| spec.indirection[1][i as usize])
+                    .collect();
                 let _ = inspect(InspectorInput {
                     geometry: g,
                     proc_id: q,

@@ -25,7 +25,9 @@ fn main() {
     let base = problem
         .run_sim(&StrategyConfig::new(4, 2, Distribution::Block, sweeps), cfg)
         .seconds;
-    rep.note(format!("baseline: k2 @ 4 procs = {base:.3}s (relative speedup 4.0 by definition)"));
+    rep.note(format!(
+        "baseline: k2 @ 4 procs = {base:.3}s (relative speedup 4.0 by definition)"
+    ));
 
     for &k in &[1usize, 2, 4] {
         for &p in &procs {

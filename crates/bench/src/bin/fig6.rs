@@ -8,9 +8,11 @@
 //! (10K); 2c beats 1c by 15–30%; block (2b) competitive at P ≤ 4 but
 //! 16–33% behind cyclic at P ≥ 8 from per-phase load imbalance.
 
-use irred::{seq_reduction, PhasedReduction};
+use irred::{seq_reduction, PhasedEngine, ReductionEngine};
 use kernels::EulerProblem;
-use repro_bench::{lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig,
+};
 use workloads::MeshPreset;
 
 fn main() {
@@ -32,7 +34,7 @@ fn main() {
         for (si, &(k, dist, name)) in paper_strategies().iter().enumerate() {
             for &p in &lhs_procs() {
                 let strat = StrategyConfig::new(p, k, dist, sweeps);
-                let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+                let r = PhasedEngine::sim(cfg).run(&problem.spec, &strat).unwrap();
                 rep.push(Row {
                     dataset: label.clone(),
                     strategy: name.to_string(),
@@ -49,7 +51,10 @@ fn main() {
             }
         }
         // Block-vs-cyclic gap at scale (paper: 33% at 32 procs on 2K).
-        if let (Some(c), Some(b)) = (rep.seconds_of(&label, "2c", 32), rep.seconds_of(&label, "2b", 32)) {
+        if let (Some(c), Some(b)) = (
+            rep.seconds_of(&label, "2c", 32),
+            rep.seconds_of(&label, "2b", 32),
+        ) {
             rep.note(format!(
                 "{label}: cyclic beats block at P=32 by {:+.1}% (paper: 33% on the 2K mesh)",
                 (b / c - 1.0) * 100.0

@@ -9,9 +9,11 @@
 //! (2c: 10.76), with 4c occasionally edging 2c thanks to load-imbalance
 //! tolerance.
 
-use irred::{seq_reduction, PhasedReduction};
+use irred::{seq_reduction, PhasedEngine, ReductionEngine};
 use kernels::MolDynProblem;
-use repro_bench::{lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig,
+};
 use workloads::MolDynPreset;
 
 fn main() {
@@ -33,7 +35,7 @@ fn main() {
         for (si, &(k, dist, name)) in paper_strategies().iter().enumerate() {
             for &p in &lhs_procs() {
                 let strat = StrategyConfig::new(p, k, dist, sweeps);
-                let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+                let r = PhasedEngine::sim(cfg).run(&problem.spec, &strat).unwrap();
                 rep.push(Row {
                     dataset: label.clone(),
                     strategy: name.to_string(),

@@ -141,7 +141,13 @@ impl Report {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let mut out = String::new();
         writeln!(out, "dataset,strategy,procs,seconds,speedup").unwrap();

@@ -269,7 +269,14 @@ impl FaultPlan {
     pub fn message_fault(&self, src: usize, dst: usize, slot: u32) -> MessageFault {
         let site = site_hash(self.cfg.seed, 1, src as u64, dst as u64, slot as u64, 0);
         let occ = self.occurrence(site);
-        let u = unit(site_hash(self.cfg.seed, 2, src as u64, dst as u64, slot as u64, occ));
+        let u = unit(site_hash(
+            self.cfg.seed,
+            2,
+            src as u64,
+            dst as u64,
+            slot as u64,
+            occ,
+        ));
         let c = &self.cfg;
         let mut t = c.drop_prob;
         if u < t {
@@ -289,9 +296,8 @@ impl FaultPlan {
         t += c.delay_prob;
         if u < t {
             self.delayed.fetch_add(1, Ordering::Relaxed);
-            let micros =
-                site_hash(self.cfg.seed, 3, src as u64, dst as u64, slot as u64, occ)
-                    % (c.max_delay_us + 1);
+            let micros = site_hash(self.cfg.seed, 3, src as u64, dst as u64, slot as u64, occ)
+                % (c.max_delay_us + 1);
             return MessageFault::Delay { micros };
         }
         MessageFault::Deliver
@@ -301,7 +307,14 @@ impl FaultPlan {
     pub fn fiber_fault(&self, node: usize, slot: u32) -> FiberFault {
         let site = site_hash(self.cfg.seed, 4, node as u64, slot as u64, 0, 0);
         let occ = self.occurrence(site);
-        let u = unit(site_hash(self.cfg.seed, 5, node as u64, slot as u64, 0, occ));
+        let u = unit(site_hash(
+            self.cfg.seed,
+            5,
+            node as u64,
+            slot as u64,
+            0,
+            occ,
+        ));
         let c = &self.cfg;
         let mut t = c.panic_prob;
         if u < t {
@@ -386,7 +399,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = decisions(FaultConfig::lossy(1));
         let b = decisions(FaultConfig::lossy(2));
-        assert_ne!(a, b, "two seeds giving identical 128-draw sequences is vanishingly unlikely");
+        assert_ne!(
+            a, b,
+            "two seeds giving identical 128-draw sequences is vanishingly unlikely"
+        );
     }
 
     #[test]
@@ -410,7 +426,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!((700..1300).contains(&dropped), "dropped {dropped}/2000 at p=0.5");
+        assert!(
+            (700..1300).contains(&dropped),
+            "dropped {dropped}/2000 at p=0.5"
+        );
         assert_eq!(plan.counts().dropped, dropped as u64);
     }
 

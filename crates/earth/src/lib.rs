@@ -72,7 +72,10 @@ pub use native::{
     run_native, run_native_with, NativeConfig, NativeReport, RunError, StallDump, StallReason,
 };
 pub use procedure::{instantiate, invoke, FrameStore, ProcedureInstance, ProcedureTemplate};
-pub use program::{FiberCtx, FiberSpec, MachineProgram, Meter, NodeBuilder, NullMeter, SlotId};
+pub use program::{
+    FiberCtx, FiberSpec, FiberTemplate, MachineProgram, Meter, NodeBuilder, NodeTemplate,
+    NullMeter, ProgramTemplate, SharedFiberBody, SlotId,
+};
 pub use sim::{render_gantt, SimConfig, SimReport, TraceEvent};
 pub use stats::{OpCounts, RunStats};
 pub use value::{mailbox_key, Value};

@@ -328,9 +328,21 @@ pub struct NativeCtx<S> {
 }
 
 enum PendingOp<S> {
-    Sync { node: usize, slot: SlotId },
-    Data { node: usize, key: u64, value: Value, slot: SlotId },
-    Spawn { node: usize, idx: SlotId, spec: FiberSpec<S, NativeCtx<S>> },
+    Sync {
+        node: usize,
+        slot: SlotId,
+    },
+    Data {
+        node: usize,
+        key: u64,
+        value: Value,
+        slot: SlotId,
+    },
+    Spawn {
+        node: usize,
+        idx: SlotId,
+        spec: FiberSpec<S, NativeCtx<S>>,
+    },
     Get {
         node: usize,
         extract: Box<dyn FnOnce(&S) -> Value + Send>,
@@ -409,7 +421,13 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
 
 /// Land one sync decrement, routed through the dedup filter when a
 /// fault plan is active.
-fn deliver_sync<S>(shared: &Shared<S>, plan: Option<&FaultPlan>, node: usize, slot: SlotId, dup: bool) {
+fn deliver_sync<S>(
+    shared: &Shared<S>,
+    plan: Option<&FaultPlan>,
+    node: usize,
+    slot: SlotId,
+    dup: bool,
+) {
     match plan {
         None => shared.dec(node, slot),
         Some(p) => {
@@ -465,7 +483,10 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
     // their batch siblings (the only schedule perturbation that cannot
     // lose work — cross-batch order is already unconstrained).
     let ops: Vec<(PendingOp<S>, MessageFault)> = match plan {
-        None => ops.into_iter().map(|op| (op, MessageFault::Deliver)).collect(),
+        None => ops
+            .into_iter()
+            .map(|op| (op, MessageFault::Deliver))
+            .collect(),
         Some(p) => {
             let mut now = Vec::with_capacity(ops.len());
             let mut later = Vec::new();
@@ -705,7 +726,10 @@ pub fn run_native_with<S: Send + 'static>(
 
     if !any_ready {
         // Nothing can ever run.
-        let unfired = node_bodies.iter().map(|b| b.iter().flatten().count()).sum::<usize>();
+        let unfired = node_bodies
+            .iter()
+            .map(|b| b.iter().flatten().count())
+            .sum::<usize>();
         if cfg.starved_is_error && unfired > 0 {
             let exits: Vec<Option<NodeExit<S>>> = (0..num_nodes).map(|_| None).collect();
             return Err(RunError::Stalled {
@@ -1017,7 +1041,11 @@ pub fn run_native_with<S: Send + 'static>(
             },
             unfired_fibers: unfired,
             per_node,
-            faults: shared.faults.as_ref().map(|p| p.counts()).unwrap_or_default(),
+            faults: shared
+                .faults
+                .as_ref()
+                .map(|p| p.counts())
+                .unwrap_or_default(),
         },
         wall,
     })
@@ -1073,15 +1101,20 @@ mod tests {
         let mut prog: Prog<Vec<f64>> = MachineProgram::new();
         prog.add_node(vec![1.0, 2.0, 3.0]);
         prog.add_node(Vec::new());
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("send", |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "send",
+            |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
                 cx.data_sync(1, mailbox_key(1, 0), Value::from(s.clone()), 0);
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("recv", 1, |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "recv",
+            1,
+            |s: &mut Vec<f64>, cx: &mut NativeCtx<Vec<f64>>| {
                 let v = cx.recv(mailbox_key(1, 0)).expect("payload present");
                 *s = v.expect_f64s().to_vec();
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[1], vec![1.0, 2.0, 3.0]);
         assert_eq!(r.stats.ops.messages, 1);
@@ -1097,17 +1130,22 @@ mod tests {
             prog.add_node(0);
         }
         for p in 0..P {
-            prog.node_mut(p)
-                .add_fiber(FiberSpec::ready("producer", move |_s, cx: &mut NativeCtx<u64>| {
+            prog.node_mut(p).add_fiber(FiberSpec::ready(
+                "producer",
+                move |_s, cx: &mut NativeCtx<u64>| {
                     cx.data_sync(P, mailbox_key(9, 0), Value::Scalar(1.0), 0);
-                }));
+                },
+            ));
         }
-        prog.node_mut(P)
-            .add_fiber(FiberSpec::new("consumer", P as u32, move |s, cx: &mut NativeCtx<u64>| {
+        prog.node_mut(P).add_fiber(FiberSpec::new(
+            "consumer",
+            P as u32,
+            move |s, cx: &mut NativeCtx<u64>| {
                 while let Some(v) = cx.recv(mailbox_key(9, 0)) {
                     *s += v.expect_scalar() as u64;
                 }
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[P], P as u64);
     }
@@ -1118,18 +1156,26 @@ mod tests {
         let mut prog: Prog<u32> = MachineProgram::new();
         prog.add_node(0);
         prog.add_node(0);
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::repeating("ping", 0, 1, |s, cx: &mut NativeCtx<u32>| {
+        prog.node_mut(0).add_fiber(FiberSpec::repeating(
+            "ping",
+            0,
+            1,
+            |s, cx: &mut NativeCtx<u32>| {
                 *s += 1;
                 if *s < 5 {
                     cx.sync(1, 0);
                 }
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::repeating("pong", 1, 1, |s, cx: &mut NativeCtx<u32>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::repeating(
+            "pong",
+            1,
+            1,
+            |s, cx: &mut NativeCtx<u32>| {
                 *s += 1;
                 cx.sync(0, 0);
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[0], 5);
         assert_eq!(r.states[1], 4);
@@ -1141,10 +1187,12 @@ mod tests {
         prog.add_node(0);
         prog.add_node(0);
         prog.node_mut(1).reserve_dynamic(1);
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("invoker", |_s, cx: &mut NativeCtx<i64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "invoker",
+            |_s, cx: &mut NativeCtx<i64>| {
                 cx.spawn(1, FiberSpec::ready("worker", |s: &mut i64, _cx| *s = 42));
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[1], 42);
         assert_eq!(r.stats.ops.spawns, 1);
@@ -1159,18 +1207,23 @@ mod tests {
         prog.add_node(0);
         prog.add_node(0);
         prog.node_mut(2).reserve_dynamic(1);
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("spawner", |_s, cx: &mut NativeCtx<i64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "spawner",
+            |_s, cx: &mut NativeCtx<i64>| {
                 let slot = cx.spawn(2, FiberSpec::new("gated", 2, |s: &mut i64, _cx| *s = 7));
                 cx.sync(2, slot);
                 cx.sync(1, 0); // tell node 1 to send the second sync
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("second", 1, |_s, cx: &mut NativeCtx<i64>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "second",
+            1,
+            |_s, cx: &mut NativeCtx<i64>| {
                 // The dynamic fiber is the first dynamic slot on node 2,
                 // i.e. index = #static fibers there = 0.
                 cx.sync(2, 0);
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[2], 7);
     }
@@ -1184,10 +1237,13 @@ mod tests {
             .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut NativeCtx<f64>| {
                 cx.get_sync(1, Box::new(|s: &f64| Value::Scalar(*s)), 9, 1);
             }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("use", 1, |s: &mut f64, cx: &mut NativeCtx<f64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "use",
+            1,
+            |s: &mut f64, cx: &mut NativeCtx<f64>| {
                 *s = cx.recv(9).unwrap().expect_scalar() * 2.0;
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[0], 42.0);
         assert_eq!(r.states[1], 21.0, "remote state untouched");
@@ -1204,15 +1260,21 @@ mod tests {
             .add_fiber(FiberSpec::ready("ask1", |_s, cx: &mut NativeCtx<i64>| {
                 cx.get_sync(1, Box::new(|s: &i64| Value::Int(*s)), 1, 1);
             }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("ask2", 1, |s: &mut i64, cx: &mut NativeCtx<i64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "ask2",
+            1,
+            |s: &mut i64, cx: &mut NativeCtx<i64>| {
                 *s += cx.recv(1).unwrap().expect_int();
                 cx.get_sync(2, Box::new(|s: &i64| Value::Int(*s)), 2, 2);
-            }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("sum", 1, |s: &mut i64, cx: &mut NativeCtx<i64>| {
+            },
+        ));
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "sum",
+            1,
+            |s: &mut i64, cx: &mut NativeCtx<i64>| {
                 *s += cx.recv(2).unwrap().expect_int();
-            }));
+            },
+        ));
         let r = run_native(prog).unwrap();
         assert_eq!(r.states[0], 42);
     }
@@ -1221,7 +1283,8 @@ mod tests {
     fn unfired_fibers_reported() {
         let mut prog: Prog<u32> = MachineProgram::new();
         prog.add_node(0);
-        prog.node_mut(0).add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
         prog.node_mut(0)
             .add_fiber(FiberSpec::new("never", 3, |s, _cx| *s += 100));
         let r = run_native(prog).unwrap();
@@ -1233,7 +1296,8 @@ mod tests {
     fn starved_is_error_turns_unfired_into_stall() {
         let mut prog: Prog<u32> = MachineProgram::new();
         prog.add_node(0);
-        prog.node_mut(0).add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
         prog.node_mut(0)
             .add_fiber(FiberSpec::new("never", 3, |s, _cx| *s += 100));
         let cfg = NativeConfig {
@@ -1273,13 +1337,16 @@ mod tests {
                 cx.sync(1 % N, 0);
             }));
         for n in 1..N {
-            prog.node_mut(n)
-                .add_fiber(FiberSpec::new("hop", 1, move |s, cx: &mut NativeCtx<u64>| {
+            prog.node_mut(n).add_fiber(FiberSpec::new(
+                "hop",
+                1,
+                move |s, cx: &mut NativeCtx<u64>| {
                     *s = n as u64 + 1;
                     if n + 1 < N {
                         cx.sync(n + 1, 0);
                     }
-                }));
+                },
+            ));
         }
         let r = run_native(prog).unwrap();
         for (n, s) in r.states.iter().enumerate() {

@@ -244,9 +244,12 @@ mod tests {
         prog.node_mut(n1).state.frames.alloc(21);
         prog.node_mut(n1).reserve_dynamic(2);
         let t = template::<SimCtx<NS>>();
-        prog.node_mut(0).add_fiber(FiberSpec::ready("invoker", move |_s, cx: &mut SimCtx<NS>| {
-            invoke(cx, 1, &t, 0);
-        }));
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "invoker",
+            move |_s, cx: &mut SimCtx<NS>| {
+                invoke(cx, 1, &t, 0);
+            },
+        ));
         let r = run_sim(prog, SimConfig::default());
         assert_eq!(r.states[1].result, 42);
     }

@@ -75,6 +75,155 @@ impl<S, C> std::fmt::Debug for FiberSpec<S, C> {
     }
 }
 
+/// A shareable fiber body: unlike [`FiberBody`] it is `Fn` (not
+/// `FnMut`) and reference-counted, so one closure can back the same
+/// fiber across many program instantiations.
+pub type SharedFiberBody<S, C> = std::sync::Arc<dyn Fn(&mut S, &mut C) + Send + Sync>;
+
+/// A reusable fiber description. Where [`FiberSpec`] owns its body (and
+/// is therefore consumed when the program runs), a `FiberTemplate`
+/// shares it, so a [`ProgramTemplate`] can be instantiated any number of
+/// times without re-creating the fiber closures.
+#[derive(Clone)]
+pub struct FiberTemplate<S, C> {
+    pub name: &'static str,
+    pub sync_count: u32,
+    pub reset: Option<u32>,
+    pub body: SharedFiberBody<S, C>,
+}
+
+impl<S: 'static, C: 'static> FiberTemplate<S, C> {
+    /// A template fiber gated on `sync_count` incoming syncs.
+    pub fn new(
+        name: &'static str,
+        sync_count: u32,
+        body: impl Fn(&mut S, &mut C) + Send + Sync + 'static,
+    ) -> Self {
+        FiberTemplate {
+            name,
+            sync_count,
+            reset: None,
+            body: std::sync::Arc::new(body),
+        }
+    }
+
+    /// Materialize a runnable [`FiberSpec`] that forwards to the shared
+    /// body. The clone is an `Arc` bump plus one small allocation — the
+    /// closure environment itself is reused.
+    pub fn instantiate(&self) -> FiberSpec<S, C> {
+        let body = std::sync::Arc::clone(&self.body);
+        FiberSpec {
+            name: self.name,
+            sync_count: self.sync_count,
+            reset: self.reset,
+            body: Box::new(move |s, c| body(s, c)),
+        }
+    }
+}
+
+impl<S, C> std::fmt::Debug for FiberTemplate<S, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FiberTemplate")
+            .field("name", &self.name)
+            .field("sync_count", &self.sync_count)
+            .field("reset", &self.reset)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The fibers of one node, without the state (states are supplied at
+/// instantiation time, since each run consumes them).
+#[derive(Clone, Debug)]
+pub struct NodeTemplate<S, C> {
+    pub(crate) fibers: Vec<FiberTemplate<S, C>>,
+    pub(crate) dynamic_capacity: usize,
+}
+
+impl<S: 'static, C: 'static> NodeTemplate<S, C> {
+    /// Register a template fiber; returns the [`SlotId`] it will occupy
+    /// in every instantiated program.
+    pub fn add_fiber(&mut self, t: FiberTemplate<S, C>) -> SlotId {
+        let id = self.fibers.len() as SlotId;
+        self.fibers.push(t);
+        id
+    }
+
+    /// Reserve capacity for dynamically spawned fibers (see
+    /// [`NodeBuilder::reserve_dynamic`]).
+    pub fn reserve_dynamic(&mut self, n: usize) {
+        self.dynamic_capacity = self.dynamic_capacity.max(n);
+    }
+
+    pub fn num_fibers(&self) -> usize {
+        self.fibers.len()
+    }
+}
+
+/// A reusable whole-machine program: the fiber structure of a
+/// [`MachineProgram`] with the node states factored out. Build it once
+/// per `(workload, strategy)` pair, then [`instantiate`] it with fresh
+/// states for each run — the fiber bodies (the expensive closures) are
+/// shared across instantiations instead of rebuilt.
+///
+/// [`instantiate`]: ProgramTemplate::instantiate
+#[derive(Clone, Debug)]
+pub struct ProgramTemplate<S, C> {
+    nodes: Vec<NodeTemplate<S, C>>,
+}
+
+impl<S: 'static, C: 'static> Default for ProgramTemplate<S, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: 'static, C: 'static> ProgramTemplate<S, C> {
+    pub fn new() -> Self {
+        ProgramTemplate { nodes: Vec::new() }
+    }
+
+    /// Add a node; returns its node id.
+    pub fn add_node(&mut self) -> usize {
+        self.nodes.push(NodeTemplate {
+            fibers: Vec::new(),
+            dynamic_capacity: 0,
+        });
+        self.nodes.len() - 1
+    }
+
+    pub fn node_mut(&mut self, node: usize) -> &mut NodeTemplate<S, C> {
+        &mut self.nodes[node]
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_fibers(&self) -> usize {
+        self.nodes.iter().map(|n| n.fibers.len()).sum()
+    }
+
+    /// Produce a runnable [`MachineProgram`] with one supplied state per
+    /// node. Panics if `states.len() != num_nodes()`.
+    pub fn instantiate(&self, states: Vec<S>) -> MachineProgram<S, C> {
+        assert_eq!(
+            states.len(),
+            self.nodes.len(),
+            "one state per template node required"
+        );
+        let mut prog = MachineProgram::new();
+        for (tmpl, state) in self.nodes.iter().zip(states) {
+            let id = prog.add_node(state);
+            let node = prog.node_mut(id);
+            node.dynamic_capacity = tmpl.dynamic_capacity;
+            for f in &tmpl.fibers {
+                node.add_fiber(f.instantiate());
+            }
+        }
+        prog
+    }
+}
+
 /// One node of the machine: its procedure frame (`state`) and the fibers
 /// registered on it.
 pub struct NodeBuilder<S, C> {
@@ -300,7 +449,9 @@ mod tests {
         let mut prog: MachineProgram<(), ()> = MachineProgram::new();
         let n = prog.add_node(());
         let f0 = prog.node_mut(n).add_fiber(FiberSpec::ready("a", |_, _| {}));
-        let f1 = prog.node_mut(n).add_fiber(FiberSpec::new("b", 2, |_, _| {}));
+        let f1 = prog
+            .node_mut(n)
+            .add_fiber(FiberSpec::new("b", 2, |_, _| {}));
         assert_eq!((f0, f1), (0, 1));
         assert_eq!(prog.num_fibers(), 2);
         assert_eq!(prog.num_nodes(), 1);
@@ -324,6 +475,52 @@ mod tests {
         m.load(1);
         m.store(2);
         m.flops(3);
+    }
+
+    #[test]
+    fn template_instantiates_repeatedly() {
+        let mut tmpl: ProgramTemplate<u32, ()> = ProgramTemplate::new();
+        let n = tmpl.add_node();
+        let f = tmpl
+            .node_mut(n)
+            .add_fiber(FiberTemplate::new("t", 2, |s: &mut u32, _| *s += 1));
+        assert_eq!(f, 0);
+        tmpl.node_mut(n).reserve_dynamic(3);
+        assert_eq!(tmpl.num_nodes(), 1);
+        assert_eq!(tmpl.num_fibers(), 1);
+        for round in 0..3 {
+            let mut prog = tmpl.instantiate(vec![round]);
+            assert_eq!(prog.num_nodes(), 1);
+            assert_eq!(prog.num_fibers(), 1);
+            assert_eq!(prog.node_mut(0).dynamic_capacity, 3);
+            let node = &mut prog.nodes[0];
+            let spec = &mut node.fibers[0];
+            assert_eq!(spec.sync_count, 2);
+            (spec.body)(&mut node.state, &mut ());
+            assert_eq!(node.state, round + 1);
+        }
+    }
+
+    #[test]
+    fn template_clone_shares_bodies() {
+        let mut tmpl: ProgramTemplate<u32, ()> = ProgramTemplate::new();
+        let n = tmpl.add_node();
+        tmpl.node_mut(n)
+            .add_fiber(FiberTemplate::new("t", 0, |s: &mut u32, _| *s *= 2));
+        let copy = tmpl.clone();
+        let mut prog = copy.instantiate(vec![21]);
+        let node = &mut prog.nodes[0];
+        let spec = &mut node.fibers[0];
+        (spec.body)(&mut node.state, &mut ());
+        assert_eq!(node.state, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per template node")]
+    fn template_state_count_mismatch_panics() {
+        let mut tmpl: ProgramTemplate<u32, ()> = ProgramTemplate::new();
+        tmpl.add_node();
+        let _ = tmpl.instantiate(vec![]);
     }
 
     #[test]

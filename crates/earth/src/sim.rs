@@ -158,9 +158,21 @@ pub struct SimCtx<S> {
 }
 
 enum SimOp<S> {
-    Sync { node: usize, slot: SlotId },
-    Data { node: usize, key: u64, value: Value, slot: SlotId },
-    Spawn { node: usize, idx: SlotId, spec: FiberSpec<S, SimCtx<S>> },
+    Sync {
+        node: usize,
+        slot: SlotId,
+    },
+    Data {
+        node: usize,
+        key: u64,
+        value: Value,
+        slot: SlotId,
+    },
+    Spawn {
+        node: usize,
+        idx: SlotId,
+        spec: FiberSpec<S, SimCtx<S>>,
+    },
     Get {
         node: usize,
         extract: Box<dyn FnOnce(&S) -> Value + Send>,
@@ -266,9 +278,23 @@ impl<S> FiberCtx<S> for SimCtx<S> {
 
 enum Ev<S> {
     /// `op` is a dedup-filter operation id, present only in faulted runs.
-    SyncArrive { node: usize, slot: SlotId, op: Option<u64> },
-    DataArrive { node: usize, key: u64, value: Value, slot: SlotId, op: Option<u64> },
-    SpawnArrive { node: usize, idx: SlotId, spec: FiberSpec<S, SimCtx<S>> },
+    SyncArrive {
+        node: usize,
+        slot: SlotId,
+        op: Option<u64>,
+    },
+    DataArrive {
+        node: usize,
+        key: u64,
+        value: Value,
+        slot: SlotId,
+        op: Option<u64>,
+    },
+    SpawnArrive {
+        node: usize,
+        idx: SlotId,
+        spec: FiberSpec<S, SimCtx<S>>,
+    },
     /// A GET_SYNC request reached the remote SU: evaluate and reply.
     GetArrive {
         node: usize,
@@ -277,7 +303,9 @@ enum Ev<S> {
         key: u64,
         slot: SlotId,
     },
-    EuIdle { node: usize },
+    EuIdle {
+        node: usize,
+    },
 }
 
 struct HeapEv<S> {
@@ -409,7 +437,9 @@ impl<S> Sim<S> {
             .collect();
         let n = &mut self.nodes[node];
         n.eu_busy = true;
-        let mut spec = n.bodies[slot as usize].take().expect("ready fiber has a body");
+        let mut spec = n.bodies[slot as usize]
+            .take()
+            .expect("ready fiber has a body");
         let mut ctx = SimCtx {
             node,
             num_nodes,
@@ -456,9 +486,20 @@ impl<S> Sim<S> {
                     } else {
                         end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
                     } + self.fault_delay_cycles(fate);
-                    let copies = if fate == MessageFault::Duplicate { 2 } else { 1 };
+                    let copies = if fate == MessageFault::Duplicate {
+                        2
+                    } else {
+                        1
+                    };
                     for _ in 0..copies {
-                        self.push(arr, Ev::SyncArrive { node: dst, slot, op });
+                        self.push(
+                            arr,
+                            Ev::SyncArrive {
+                                node: dst,
+                                slot,
+                                op,
+                            },
+                        );
                     }
                 }
                 SimOp::Data {
@@ -485,7 +526,11 @@ impl<S> Sim<S> {
                         src.stats.bytes_sent += bytes;
                         start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
                     } + self.fault_delay_cycles(fate);
-                    let copies = if fate == MessageFault::Duplicate { 2 } else { 1 };
+                    let copies = if fate == MessageFault::Duplicate {
+                        2
+                    } else {
+                        1
+                    };
                     for _ in 0..copies {
                         self.push(
                             arr,
@@ -499,14 +544,25 @@ impl<S> Sim<S> {
                         );
                     }
                 }
-                SimOp::Spawn { node: dst, idx, spec } => {
+                SimOp::Spawn {
+                    node: dst,
+                    idx,
+                    spec,
+                } => {
                     self.ops.spawns += 1;
                     let arr = if dst == node {
                         end + self.cfg.su_op_cycles
                     } else {
                         end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
                     };
-                    self.push(arr, Ev::SpawnArrive { node: dst, idx, spec });
+                    self.push(
+                        arr,
+                        Ev::SpawnArrive {
+                            node: dst,
+                            idx,
+                            spec,
+                        },
+                    );
                 }
                 SimOp::Get {
                     node: dst,
@@ -748,11 +804,16 @@ mod tests {
         prog.add_node(0);
         prog.add_node(0);
         prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| cx.sync(1, 0)));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("b", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
-                *s = cx.now();
+            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| {
+                cx.sync(1, 0)
             }));
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "b",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            },
+        ));
         let r = run_sim(prog, cfg());
         let c = cfg();
         // Fiber a ends at switch; sync arrives +latency +su.
@@ -767,11 +828,16 @@ mod tests {
         let mut prog: Prog<u64> = MachineProgram::new();
         prog.add_node(0);
         prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| cx.sync(0, 1)));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("b", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
-                *s = cx.now();
+            .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<u64>| {
+                cx.sync(0, 1)
             }));
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "b",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
+                *s = cx.now();
+            },
+        ));
         let r = run_sim(prog, cfg());
         let c = cfg();
         assert_eq!(r.states[0], c.fiber_switch_cycles + c.su_op_cycles);
@@ -788,10 +854,13 @@ mod tests {
             .add_fiber(FiberSpec::ready("send", |_s, cx: &mut SimCtx<u64>| {
                 cx.data_sync(1, 5, Value::from(vec![0.0f64; 1000]), 0);
             }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "recv",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
                 *s = cx.now();
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         let c = cfg();
         assert_eq!(
@@ -815,10 +884,13 @@ mod tests {
                 cx.data_sync(2, 5, Value::from(vec![0.0f64; 1000]), 0);
             }));
         for n in 1..3 {
-            prog.node_mut(n)
-                .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+            prog.node_mut(n).add_fiber(FiberSpec::new(
+                "recv",
+                1,
+                |s: &mut u64, cx: &mut SimCtx<u64>| {
                     *s = cx.now();
-                }));
+                },
+            ));
         }
         let r = run_sim(prog, cfg());
         let c = cfg();
@@ -841,15 +913,21 @@ mod tests {
                 cx.data_sync(1, 1, Value::from(vec![0.0f64; 1000]), 0);
                 cx.sync(0, 1); // enable compute fiber
             }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("compute", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "compute",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
                 cx.charge(20_000);
                 *s = cx.now() + 20_000 + cx.charged();
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("recv", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "recv",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
                 *s = cx.now();
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         // Total makespan: node 0 busy till ~20_000+; message arrived ~8400.
         // Overlap means makespan < sum of both.
@@ -862,11 +940,13 @@ mod tests {
         let mut prog: Prog<Vec<u64>> = MachineProgram::new();
         prog.add_node(Vec::new());
         for _ in 0..3 {
-            prog.node_mut(0)
-                .add_fiber(FiberSpec::ready("f", |s: &mut Vec<u64>, cx: &mut SimCtx<Vec<u64>>| {
+            prog.node_mut(0).add_fiber(FiberSpec::ready(
+                "f",
+                |s: &mut Vec<u64>, cx: &mut SimCtx<Vec<u64>>| {
                     cx.charge(100);
                     s.push(cx.now());
-                }));
+                },
+            ));
         }
         let r = run_sim(prog, cfg());
         let c = cfg();
@@ -902,20 +982,25 @@ mod tests {
                 prog.add_node(0);
             }
             for n in 0..4usize {
-                prog.node_mut(n)
-                    .add_fiber(FiberSpec::ready("scatter", move |_s, cx: &mut SimCtx<u64>| {
+                prog.node_mut(n).add_fiber(FiberSpec::ready(
+                    "scatter",
+                    move |_s, cx: &mut SimCtx<u64>| {
                         for d in 0..4usize {
                             if d != n {
                                 cx.data_sync(d, 7, Value::Scalar(n as f64), 1);
                             }
                         }
-                    }));
-                prog.node_mut(n)
-                    .add_fiber(FiberSpec::new("gather", 3, |s: &mut u64, cx: &mut SimCtx<u64>| {
+                    },
+                ));
+                prog.node_mut(n).add_fiber(FiberSpec::new(
+                    "gather",
+                    3,
+                    |s: &mut u64, cx: &mut SimCtx<u64>| {
                         while let Some(v) = cx.recv(7) {
                             *s += v.expect_scalar() as u64;
                         }
-                    }));
+                    },
+                ));
             }
             prog
         };
@@ -933,13 +1018,17 @@ mod tests {
         // A self-sustaining 3-firing loop on one node.
         let mut prog: Prog<u32> = MachineProgram::new();
         prog.add_node(0);
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::repeating("loop", 0, 1, |s: &mut u32, cx: &mut SimCtx<u32>| {
+        prog.node_mut(0).add_fiber(FiberSpec::repeating(
+            "loop",
+            0,
+            1,
+            |s: &mut u32, cx: &mut SimCtx<u32>| {
                 *s += 1;
                 if *s < 3 {
                     cx.sync(0, 0);
                 }
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         assert_eq!(r.states[0], 3);
         assert_eq!(r.stats.ops.fibers_fired, 3);
@@ -966,18 +1055,23 @@ mod tests {
         let mut prog: Prog<Vec<i64>> = MachineProgram::new();
         prog.add_node(Vec::new());
         prog.add_node(Vec::new());
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("send3", |_s, cx: &mut SimCtx<Vec<i64>>| {
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "send3",
+            |_s, cx: &mut SimCtx<Vec<i64>>| {
                 for i in 0..3 {
                     cx.data_sync(1, mailbox_key(2, 0), Value::Int(i), 0);
                 }
-            }));
-        prog.node_mut(1)
-            .add_fiber(FiberSpec::new("recv3", 3, |s: &mut Vec<i64>, cx: &mut SimCtx<Vec<i64>>| {
+            },
+        ));
+        prog.node_mut(1).add_fiber(FiberSpec::new(
+            "recv3",
+            3,
+            |s: &mut Vec<i64>, cx: &mut SimCtx<Vec<i64>>| {
                 while let Some(v) = cx.recv(mailbox_key(2, 0)) {
                     s.push(v.expect_int());
                 }
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         assert_eq!(r.states[1], vec![0, 1, 2]);
     }
@@ -995,11 +1089,16 @@ mod tests {
                 cx.sync(1, 0);
             }));
         prog.node_mut(1)
-            .add_fiber(FiberSpec::new("b", 1, |_s, cx: &mut SimCtx<()>| cx.charge(700)));
+            .add_fiber(FiberSpec::new("b", 1, |_s, cx: &mut SimCtx<()>| {
+                cx.charge(700)
+            }));
         let r = run_sim(prog, c);
         assert_eq!(r.trace.len(), 2);
         assert_eq!(r.trace[0].node, 0);
-        assert_eq!(r.trace[0].end - r.trace[0].start, c.fiber_switch_cycles + 500);
+        assert_eq!(
+            r.trace[0].end - r.trace[0].start,
+            c.fiber_switch_cycles + 500
+        );
         assert!(r.trace[1].start >= r.trace[0].end, "b depends on a");
         let g = render_gantt(&r.trace, 2, r.time_cycles, 40);
         assert_eq!(g.lines().count(), 2);
@@ -1010,7 +1109,8 @@ mod tests {
     fn trace_off_by_default() {
         let mut prog: Prog<()> = MachineProgram::new();
         prog.add_node(());
-        prog.node_mut(0).add_fiber(FiberSpec::ready("a", |_s, _cx| {}));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |_s, _cx| {}));
         let r = run_sim(prog, cfg());
         assert!(r.trace.is_empty());
     }
@@ -1025,10 +1125,13 @@ mod tests {
             .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut SimCtx<f64>| {
                 cx.get_sync(1, Box::new(|s: &f64| Value::Scalar(*s)), 77, 1);
             }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("use", 1, |s: &mut f64, cx: &mut SimCtx<f64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "use",
+            1,
+            |s: &mut f64, cx: &mut SimCtx<f64>| {
                 *s = cx.recv(77).unwrap().expect_scalar() * 2.0;
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         assert_eq!(r.states[0], 247.0);
         // Remote target never fired a fiber.
@@ -1044,10 +1147,13 @@ mod tests {
             .add_fiber(FiberSpec::ready("ask", |_s, cx: &mut SimCtx<u64>| {
                 cx.get_sync(1, Box::new(|s: &u64| Value::Int(*s as i64)), 5, 1);
             }));
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::new("use", 1, |s: &mut u64, cx: &mut SimCtx<u64>| {
+        prog.node_mut(0).add_fiber(FiberSpec::new(
+            "use",
+            1,
+            |s: &mut u64, cx: &mut SimCtx<u64>| {
                 *s = cx.now();
-            }));
+            },
+        ));
         let r = run_sim(prog, cfg());
         let c = cfg();
         // switch + (latency + su) out + 8 bytes + (latency + su) back.
@@ -1062,7 +1168,8 @@ mod tests {
         let mut prog: Prog<()> = MachineProgram::new();
         prog.add_node(());
         prog.node_mut(0).add_fiber(FiberSpec::ready("a", |_, _| {}));
-        prog.node_mut(0).add_fiber(FiberSpec::new("never", 9, |_, _| {}));
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::new("never", 9, |_, _| {}));
         let r = run_sim(prog, cfg());
         assert_eq!(r.stats.unfired_fibers, 1);
     }

@@ -109,7 +109,11 @@ fn scenario(g: &mut Gen) -> Scenario {
         es.extend((0..dst_n).map(|d| (d % src_n, d)));
         edges.push(es);
     }
-    Scenario { procs, layers, edges }
+    Scenario {
+        procs,
+        layers,
+        edges,
+    }
 }
 
 #[test]

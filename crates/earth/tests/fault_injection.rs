@@ -39,7 +39,11 @@ fn gen_ring(g: &mut Gen) -> RingCase {
     let rounds = g.usize_incl(1, 4);
     let hops = nodes * rounds;
     let vals = (0..hops).map(|_| g.u32_in(0..1_000)).collect();
-    RingCase { nodes, rounds, vals }
+    RingCase {
+        nodes,
+        rounds,
+        vals,
+    }
 }
 
 fn build_ring<C: FiberCtx<f64> + 'static>(case: &RingCase) -> MachineProgram<f64, C> {
@@ -160,14 +164,20 @@ fn lossless_faults_are_bit_transparent_native() {
             .unwrap();
             // Bit-identical, not approximately equal.
             prop_assert_eq!(&faulty.states, &baseline.states);
-            prop_assert_eq!(faulty.stats.ops.fibers_fired, baseline.stats.ops.fibers_fired);
+            prop_assert_eq!(
+                faulty.stats.ops.fibers_fired,
+                baseline.stats.ops.fibers_fired
+            );
             prop_assert_eq!(faulty.stats.faults.dropped, 0);
             injected.fetch_add(faulty.stats.faults.total(), Ordering::Relaxed);
             Ok(())
         },
     );
     // The sweep as a whole must actually have exercised the fault paths.
-    assert!(injected.load(Ordering::Relaxed) > 0, "no faults injected across 64 cases");
+    assert!(
+        injected.load(Ordering::Relaxed) > 0,
+        "no faults injected across 64 cases"
+    );
 }
 
 #[test]
@@ -293,7 +303,10 @@ fn sim_different_seeds_usually_differ() {
             ..SimConfig::default()
         };
         let r = run_sim(build_ring::<SimCtx<f64>>(&case), cfg);
-        assert_eq!(r.states, base.states, "lossless faults must stay transparent");
+        assert_eq!(
+            r.states, base.states,
+            "lossless faults must stay transparent"
+        );
         if r.time_cycles != base.time_cycles || r.stats.faults != base.stats.faults {
             distinct = true;
         }
@@ -331,16 +344,26 @@ fn real_panic_reports_node_slot_fiber_and_message() {
     let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
     prog.add_node(0);
     prog.add_node(0);
-    prog.node_mut(0)
-        .add_fiber(FiberSpec::ready("starter", |_s, cx: &mut NativeCtx<u32>| {
+    prog.node_mut(0).add_fiber(FiberSpec::ready(
+        "starter",
+        |_s, cx: &mut NativeCtx<u32>| {
             cx.sync(1, 0);
-        }));
-    prog.node_mut(1)
-        .add_fiber(FiberSpec::new("exploder", 1, |_s, _cx: &mut NativeCtx<u32>| {
+        },
+    ));
+    prog.node_mut(1).add_fiber(FiberSpec::new(
+        "exploder",
+        1,
+        |_s, _cx: &mut NativeCtx<u32>| {
             panic!("boom at iteration 17");
-        }));
+        },
+    ));
     match run_native(prog) {
-        Err(RunError::NodePanicked { node, slot, fiber, message }) => {
+        Err(RunError::NodePanicked {
+            node,
+            slot,
+            fiber,
+            message,
+        }) => {
             assert_eq!(node, 1);
             assert_eq!(slot, 0);
             assert_eq!(fiber, "exploder");
@@ -438,10 +461,12 @@ fn watchdog_trips_on_wedged_fiber_body() {
     let mut prog: MachineProgram<u32, NativeCtx<u32>> = MachineProgram::new();
     prog.add_node(0);
     prog.add_node(0);
-    prog.node_mut(0)
-        .add_fiber(FiberSpec::ready("wedged", |_s, _cx: &mut NativeCtx<u32>| {
+    prog.node_mut(0).add_fiber(FiberSpec::ready(
+        "wedged",
+        |_s, _cx: &mut NativeCtx<u32>| {
             std::thread::sleep(Duration::from_secs(8));
-        }));
+        },
+    ));
     prog.node_mut(1)
         .add_fiber(FiberSpec::new("downstream", 1, |s, _cx| *s = 1));
     let cfg = NativeConfig {
@@ -451,7 +476,12 @@ fn watchdog_trips_on_wedged_fiber_body() {
     };
     let started = Instant::now();
     match run_native_with(prog, cfg) {
-        Err(RunError::Stalled { reason, waited, outstanding, .. }) => {
+        Err(RunError::Stalled {
+            reason,
+            waited,
+            outstanding,
+            ..
+        }) => {
             assert_eq!(reason, StallReason::NoProgress);
             assert!(waited >= Duration::from_millis(300));
             assert!(outstanding > 0, "work was still pending");

@@ -182,8 +182,13 @@ fn append_csv(path: &str, rows: &[Stats]) -> std::io::Result<()> {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let header_needed = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let header_needed = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
     if header_needed {
         writeln!(f, "name,iters,median_ns,mad_ns,per_element_ns,elements")?;
     }
@@ -195,7 +200,9 @@ fn append_csv(path: &str, rows: &[Stats]) -> std::io::Result<()> {
             r.iters,
             r.median_ns,
             r.mad_ns,
-            r.per_element_ns().map(|v| format!("{v:.3}")).unwrap_or_default(),
+            r.per_element_ns()
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
             r.elements.map(|e| e.to_string()).unwrap_or_default(),
         )?;
     }

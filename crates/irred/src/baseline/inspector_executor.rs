@@ -18,25 +18,40 @@
 //! Contrast with the LightInspector: the inspector here must exchange
 //! ghost-id lists (communication), its cost grows with partition
 //! quality, and adaptivity forces full re-inspection — exactly the
-//! overheads §1 and §5.4.3 discuss.
+//! overheads §1 and §5.4.3 discuss. Under the engine API the inspection
+//! happens once in `prepare`; re-executing a [`PreparedIe`] reuses the
+//! ghost tables and exchange schedule (valid because this baseline is
+//! restricted to static meshes anyway).
 //!
 //! Restricted to kernels without read-state updates (the euler-style
 //! comparison of §5.4.3); a gather step for replicated reads would be
-//! symmetric to the scatter implemented here.
+//! symmetric to the scatter implemented here. The engine reports these
+//! limits as [`EngineError::Unsupported`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use earth_model::sim::{run_sim, SimConfig, SimCtx};
-use earth_model::{mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value};
+use earth_model::{
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, RunStats, SlotId,
+    Value,
+};
 use memsim::{AddressMap, Region};
 
+use crate::engine::{
+    validate_phased_spec, EngineBackend, EngineError, Provenance, ReductionEngine, RunOutcome,
+};
 use crate::kernel::EdgeKernel;
 use crate::phased::PhasedSpec;
+use crate::prepared::{PhaseCosts, PlanToken, Workspace};
+use crate::strategy::StrategyConfig;
 
 const TAG_SCATTER: u32 = 9;
 
-/// Result of an inspector/executor run.
+/// Result of an inspector/executor run — the result shape of the
+/// deprecated [`InspectorExecutor::run_sim`]. New code receives
+/// [`RunOutcome`] from the engine API and reads the inspector-side
+/// numbers off the [`PreparedIe`].
 #[derive(Debug)]
 pub struct IeResult {
     pub x: Vec<Vec<f64>>,
@@ -51,10 +66,10 @@ pub struct IeResult {
     pub stats: RunStats,
 }
 
-struct IeNode<K> {
+/// The immutable per-node product of the communicating inspector:
+/// ownership, renumbering, ghost tables, and the exchange schedule.
+struct IeNodePlan {
     proc: usize,
-    sweeps: usize,
-    kernel: Arc<K>,
     /// Owned global elements, ascending; local id = position.
     owned: Vec<u32>,
     /// Ghost global elements, ascending; local id = owned.len() + pos.
@@ -73,10 +88,16 @@ struct IeNode<K> {
     /// For each in-neighbour, the local ids its contributions fold into
     /// (same order as the sender's ghost list).
     fold_targets: HashMap<usize, Vec<u32>>,
+    regs: IeRegions,
+}
+
+struct IeNode<K> {
+    sweeps: usize,
+    kernel: Arc<K>,
+    plan: Arc<IeNodePlan>,
     x: Vec<Vec<f64>>,
     out: Vec<f64>,
     sweep_cost: Option<u64>,
-    regs: IeRegions,
     results: Vec<(u32, Vec<f64>)>,
 }
 
@@ -118,8 +139,8 @@ impl<K: EdgeKernel> IeNode<K> {
             s.exec(&mut NullMeter);
         }
         // Scatter ghost contributions.
-        let nowned = s.owned.len();
-        for (dest, ghost_ids) in &s.send_to {
+        let nowned = s.plan.owned.len();
+        for (dest, ghost_ids) in &s.plan.send_to {
             let mut payload = Vec::with_capacity(ghost_ids.len() * r_arrays);
             for xa in &s.x {
                 for &g in ghost_ids {
@@ -128,13 +149,13 @@ impl<K: EdgeKernel> IeNode<K> {
             }
             ctx.data_sync(
                 *dest,
-                mailbox_key(TAG_SCATTER, (t * 64 + s.proc) as u32),
+                mailbox_key(TAG_SCATTER, (t * 64 + s.plan.proc) as u32),
                 Value::F64s(payload.into_boxed_slice()),
                 fold_slot(t),
             );
         }
         // Enable the local fold.
-        ctx.sync(s.proc, fold_slot(t));
+        ctx.sync(s.plan.proc, fold_slot(t));
     }
 
     fn run_fold<C: FiberCtx<Self>>(s: &mut Self, t: usize, ctx: &mut C) {
@@ -142,14 +163,14 @@ impl<K: EdgeKernel> IeNode<K> {
         // Fold every neighbour's contributions, in ascending source
         // order — hash-map order would reassociate the float adds
         // differently on every run.
-        let mut folds: Vec<usize> = s.fold_targets.keys().copied().collect();
+        let mut folds: Vec<usize> = s.plan.fold_targets.keys().copied().collect();
         folds.sort_unstable();
         for src in folds {
             let payload = ctx
                 .recv(mailbox_key(TAG_SCATTER, (t * 64 + src) as u32))
                 .expect("scatter payload present");
             let vals = payload.expect_f64s();
-            let targets = &s.fold_targets[&src];
+            let targets = &s.plan.fold_targets[&src];
             debug_assert_eq!(vals.len(), targets.len() * r_arrays);
             for (a, xa) in s.x.iter_mut().enumerate() {
                 for (j, &lt) in targets.iter().enumerate() {
@@ -162,10 +183,10 @@ impl<K: EdgeKernel> IeNode<K> {
             }
         }
         if t + 1 < s.sweeps {
-            ctx.sync(s.proc, compute_slot(t + 1));
+            ctx.sync(s.plan.proc, compute_slot(t + 1));
         } else {
             // Keep final owned values.
-            for (li, &ge) in s.owned.iter().enumerate() {
+            for (li, &ge) in s.plan.owned.iter().enumerate() {
                 let vals: Vec<f64> = s.x.iter().map(|xa| xa[li]).collect();
                 s.results.push((ge, vals));
             }
@@ -173,27 +194,29 @@ impl<K: EdgeKernel> IeNode<K> {
     }
 
     fn exec(&mut self, meter: &mut NullMeter) {
+        let p = &self.plan;
         ie_loop(
             &*self.kernel,
             &mut self.x,
-            &self.giters,
-            &self.local_refs,
-            &self.elems,
+            &p.giters,
+            &p.local_refs,
+            &p.elems,
             &mut self.out,
-            &self.regs,
+            &p.regs,
             meter,
         );
     }
 
     fn exec_metered<M: Meter>(&mut self, meter: &mut M) {
+        let p = &self.plan;
         ie_loop(
             &*self.kernel,
             &mut self.x,
-            &self.giters,
-            &self.local_refs,
-            &self.elems,
+            &p.giters,
+            &p.local_refs,
+            &p.elems,
             &mut self.out,
-            &self.regs,
+            &p.regs,
             meter,
         );
     }
@@ -235,27 +258,180 @@ fn ie_loop<K: EdgeKernel, M: Meter>(
     }
 }
 
-/// The baseline runner.
-pub struct InspectorExecutor;
+/// Block ownership: element `e` belongs to processor `e·P / n` — the
+/// default partition when the caller supplies none.
+pub fn block_owners(num_elements: usize, procs: usize) -> Vec<u32> {
+    (0..num_elements)
+        .map(|e| (e * procs / num_elements) as u32)
+        .collect()
+}
 
-impl InspectorExecutor {
-    /// Run with the given element ownership (`owners[e]` = processor that
-    /// owns element `e`, values `< procs`). Returns results plus modeled
-    /// inspector cost.
-    pub fn run_sim<K: EdgeKernel>(
+/// A fully prepared inspector/executor run: the communicating
+/// inspector's per-node output (ghost tables, renumbering, exchange
+/// schedule) plus the sweep-loop program template.
+pub struct PreparedIe<K> {
+    kernel: Arc<K>,
+    num_elements: usize,
+    sweeps: usize,
+    node_plans: Vec<Arc<IeNodePlan>>,
+    inspector_cycles: u64,
+    template: ProgramTemplate<IeNode<K>, SimCtx<IeNode<K>>>,
+    token: PlanToken,
+    executions: u64,
+}
+
+impl<K> std::fmt::Debug for PreparedIe<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedIe")
+            .field("num_elements", &self.num_elements)
+            .field("sweeps", &self.sweeps)
+            .field("inspector_cycles", &self.inspector_cycles)
+            .field("executions", &self.executions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: EdgeKernel> PreparedIe<K> {
+    /// Modeled cycles of the communicating inspector (paid once, at
+    /// prepare time — the cost §5.4.3 compares against).
+    pub fn inspector_cycles(&self) -> u64 {
+        self.inspector_cycles
+    }
+
+    /// Ghost elements per processor — the partition-quality signature.
+    pub fn ghost_counts(&self) -> Vec<usize> {
+        self.node_plans.iter().map(|p| p.ghosts.len()).collect()
+    }
+
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    fn make_nodes(&self, ws: &mut Workspace) -> Vec<IeNode<K>> {
+        let r_arrays = self.kernel.num_arrays();
+        let m = self.kernel.num_refs();
+        let cached = ws.costs_for(self.token).cloned();
+        self.node_plans
+            .iter()
+            .enumerate()
+            .map(|(q, plan)| {
+                let xl = plan.owned.len() + plan.ghosts.len();
+                let x: Vec<Vec<f64>> = (0..r_arrays).map(|_| ws.take_buffer(xl)).collect();
+                let sweep_cost = cached
+                    .as_ref()
+                    .and_then(|c| c.get(q))
+                    .and_then(|v| v.first().copied())
+                    .flatten();
+                IeNode {
+                    sweeps: self.sweeps,
+                    kernel: Arc::clone(&self.kernel),
+                    plan: Arc::clone(plan),
+                    x,
+                    out: vec![0.0; m * r_arrays],
+                    sweep_cost,
+                    results: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn finish(&self, nodes: Vec<IeNode<K>>, ws: &mut Workspace) -> Vec<Vec<f64>> {
+        let r_arrays = self.kernel.num_arrays();
+        let mut x = vec![vec![0.0f64; self.num_elements]; r_arrays];
+        let mut harvest: PhaseCosts = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            for (ge, vals) in node.results {
+                for (a, v) in vals.into_iter().enumerate() {
+                    x[a][ge as usize] = v;
+                }
+            }
+            harvest.push(vec![node.sweep_cost]);
+            for xa in node.x {
+                ws.put_buffer(xa);
+            }
+        }
+        ws.store_costs(self.token, harvest);
+        x
+    }
+}
+
+/// The inspector/executor baseline as a [`ReductionEngine`]. Simulator
+/// only; kernels that update read state and machines beyond 64
+/// processors are rejected as [`EngineError::Unsupported`]. Ownership
+/// defaults to [`block_owners`]; supply a partition with
+/// [`Self::with_owners`] (e.g. RCB output) to study partition quality.
+#[derive(Clone)]
+pub struct IeEngine {
+    cfg: SimConfig,
+    owners: Option<Arc<Vec<u32>>>,
+}
+
+impl IeEngine {
+    pub fn sim(cfg: SimConfig) -> Self {
+        IeEngine { cfg, owners: None }
+    }
+
+    /// Use an explicit element partition (`owners[e]` = processor that
+    /// owns element `e`, values `< procs`).
+    pub fn with_owners(cfg: SimConfig, owners: Arc<Vec<u32>>) -> Self {
+        IeEngine {
+            cfg,
+            owners: Some(owners),
+        }
+    }
+
+    pub fn backend(&self) -> EngineBackend {
+        EngineBackend::Sim(self.cfg)
+    }
+}
+
+impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
+    type Prepared = PreparedIe<K>;
+
+    fn name(&self) -> &'static str {
+        "inspector-executor"
+    }
+
+    fn prepare(
+        &self,
         spec: &PhasedSpec<K>,
-        owners: &[u32],
-        procs: usize,
-        sweeps: usize,
-        cfg: SimConfig,
-    ) -> IeResult {
-        assert!(!spec.kernel.updates_read_state(), "IE baseline: static reads only");
-        assert!(procs <= 64, "scatter keying assumes ≤64 processors");
-        assert_eq!(owners.len(), spec.num_elements);
+        strat: &StrategyConfig,
+    ) -> Result<Self::Prepared, EngineError> {
+        validate_phased_spec(spec)?;
+        if spec.kernel.updates_read_state() {
+            return Err(EngineError::Unsupported(
+                "IE baseline handles static reads only",
+            ));
+        }
+        let procs = strat.procs;
+        if procs > 64 {
+            return Err(EngineError::Unsupported(
+                "IE baseline scatter keying assumes <= 64 processors",
+            ));
+        }
+        let owners_vec;
+        let owners: &[u32] = match &self.owners {
+            Some(o) => {
+                if o.len() != spec.num_elements {
+                    return Err(EngineError::Shape {
+                        what: "owners length (num_elements)",
+                        expected: spec.num_elements,
+                        got: o.len(),
+                    });
+                }
+                o
+            }
+            None => {
+                owners_vec = block_owners(spec.num_elements, procs);
+                &owners_vec
+            }
+        };
+        let sweeps = strat.sweeps;
+        let cfg = &self.cfg;
         let m = spec.kernel.num_refs();
         let e_total = spec.num_iterations();
 
-        // --- host-side inspection (mirrored into modeled cycles below) ---
+        // --- the communicating inspector (modeled in cycles below) -------
         let mut owned: Vec<Vec<u32>> = vec![Vec::new(); procs];
         for (e, &o) in owners.iter().enumerate() {
             owned[o as usize].push(e as u32);
@@ -267,7 +443,7 @@ impl InspectorExecutor {
         }
 
         // Per node: ghosts, local renumbering, exchange schedule.
-        let mut nodes: Vec<IeNode<K>> = Vec::with_capacity(procs);
+        let mut plans: Vec<IeNodePlan> = Vec::with_capacity(procs);
         let mut ghost_requests: Vec<HashMap<usize, Vec<u32>>> = vec![HashMap::new(); procs];
         let mut inspector_cycles_max = 0u64;
         for q in 0..procs {
@@ -284,6 +460,16 @@ impl InspectorExecutor {
                 giters.push(gi);
                 for r in 0..m {
                     let ge = spec.indirection[r][gi as usize];
+                    if ge as usize >= spec.num_elements {
+                        return Err(EngineError::Invalid(
+                            lightinspector::InspectError::OutOfRange {
+                                r,
+                                iter: gi as usize,
+                                elem: ge,
+                                num_elements: spec.num_elements,
+                            },
+                        ));
+                    }
                     elems.push(ge);
                     let li = *local_id.entry(ge).or_insert_with(|| {
                         ghosts.push(ge);
@@ -323,10 +509,8 @@ impl InspectorExecutor {
                 ind: am.alloc_u32(iters_of[q].len().max(1)),
                 edge: am.alloc_f64(iters_of[q].len().max(1)),
             };
-            nodes.push(IeNode {
+            plans.push(IeNodePlan {
                 proc: q,
-                sweeps,
-                kernel: Arc::clone(&spec.kernel),
                 owned: owned[q].clone(),
                 ghosts,
                 giters,
@@ -335,17 +519,13 @@ impl InspectorExecutor {
                 send_to: send_vec,
                 in_degree: 0,
                 fold_targets: HashMap::new(),
-                x: vec![vec![0.0; xl]; r_arrays],
-                out: vec![0.0; m * r_arrays],
-                sweep_cost: None,
                 regs,
-                results: Vec::new(),
             });
         }
         // Resolve fold targets: global ghost ids -> owner-local ids.
         for q in 0..procs {
             let reqs = std::mem::take(&mut ghost_requests[q]);
-            let map: HashMap<u32, u32> = nodes[q]
+            let map: HashMap<u32, u32> = plans[q]
                 .owned
                 .iter()
                 .enumerate()
@@ -353,26 +533,26 @@ impl InspectorExecutor {
                 .collect();
             for (src, ges) in reqs {
                 let targets: Vec<u32> = ges.iter().map(|ge| map[ge]).collect();
-                nodes[q].fold_targets.insert(src, targets);
-                nodes[q].in_degree += 1;
+                plans[q].fold_targets.insert(src, targets);
+                plans[q].in_degree += 1;
             }
         }
 
-        // --- build the sweep-loop program --------------------------------
-        let mut prog: MachineProgram<IeNode<K>, SimCtx<IeNode<K>>> = MachineProgram::new();
-        for node in nodes {
-            let in_deg = node.in_degree as u32;
-            let id = prog.add_node(node);
+        // --- the sweep-loop program template ------------------------------
+        let mut template: ProgramTemplate<IeNode<K>, SimCtx<IeNode<K>>> = ProgramTemplate::new();
+        for plan in &plans {
+            let in_deg = plan.in_degree as u32;
+            let id = template.add_node();
             for t in 0..sweeps {
                 let compute_count = u32::from(t > 0);
-                prog.node_mut(id).add_fiber(FiberSpec::new(
+                template.node_mut(id).add_fiber(FiberTemplate::new(
                     "ie-compute",
                     compute_count,
                     move |s: &mut IeNode<K>, ctx: &mut SimCtx<IeNode<K>>| {
                         IeNode::run_compute(s, t, ctx);
                     },
                 ));
-                prog.node_mut(id).add_fiber(FiberSpec::new(
+                template.node_mut(id).add_fiber(FiberTemplate::new(
                     "ie-fold",
                     in_deg + 1,
                     move |s: &mut IeNode<K>, ctx: &mut SimCtx<IeNode<K>>| {
@@ -381,27 +561,85 @@ impl InspectorExecutor {
                 ));
             }
         }
-        let report = run_sim(prog, cfg);
-        assert_eq!(report.stats.unfired_fibers, 0);
 
-        let r_arrays = spec.kernel.num_arrays();
-        let mut x = vec![vec![0.0f64; spec.num_elements]; r_arrays];
-        let mut ghost_counts = Vec::with_capacity(report.states.len());
-        for node in report.states {
-            ghost_counts.push(node.ghosts.len());
-            for (ge, vals) in node.results {
-                for (a, v) in vals.into_iter().enumerate() {
-                    x[a][ge as usize] = v;
-                }
-            }
-        }
-        IeResult {
-            x,
+        Ok(PreparedIe {
+            kernel: Arc::clone(&spec.kernel),
+            num_elements: spec.num_elements,
+            sweeps,
+            node_plans: plans.into_iter().map(Arc::new).collect(),
+            inspector_cycles: inspector_cycles_max,
+            template,
+            token: PlanToken::fresh(),
+            executions: 0,
+        })
+    }
+
+    fn execute(
+        &self,
+        prepared: &mut Self::Prepared,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        let reused = prepared.executions > 0;
+        prepared.executions += 1;
+        let nodes = prepared.make_nodes(ws);
+        let prog = prepared.template.instantiate(nodes);
+        let report = run_sim(prog, self.cfg);
+        assert_eq!(report.stats.unfired_fibers, 0);
+        let values = prepared.finish(report.states, ws);
+        Ok(RunOutcome {
+            values,
             time_cycles: report.time_cycles,
             seconds: report.seconds,
-            inspector_cycles: inspector_cycles_max,
-            ghost_counts,
             stats: report.stats,
+            trace: report.trace,
+            provenance: Provenance {
+                engine: "inspector-executor",
+                backend: "sim",
+                reused_plan: reused,
+                executions: prepared.executions,
+            },
+            ..RunOutcome::default()
+        })
+    }
+}
+
+/// The baseline runner — the deprecated one-shot API.
+pub struct InspectorExecutor;
+
+impl InspectorExecutor {
+    /// Run with the given element ownership (`owners[e]` = processor that
+    /// owns element `e`, values `< procs`). Returns results plus modeled
+    /// inspector cost.
+    #[deprecated(note = "use IeEngine::with_owners(cfg, owners) via the ReductionEngine trait")]
+    pub fn run_sim<K: EdgeKernel>(
+        spec: &PhasedSpec<K>,
+        owners: &[u32],
+        procs: usize,
+        sweeps: usize,
+        cfg: SimConfig,
+    ) -> IeResult {
+        assert!(
+            !spec.kernel.updates_read_state(),
+            "IE baseline: static reads only"
+        );
+        assert!(procs <= 64, "scatter keying assumes ≤64 processors");
+        assert_eq!(owners.len(), spec.num_elements);
+        let engine = IeEngine::with_owners(cfg, Arc::new(owners.to_vec()));
+        let strat = StrategyConfig::new(procs, 1, workloads::Distribution::Block, sweeps);
+        let mut prepared =
+            <IeEngine as ReductionEngine<PhasedSpec<K>>>::prepare(&engine, spec, &strat)
+                .unwrap_or_else(|e| panic!("IE inspection failed: {e}"));
+        let mut ws = Workspace::new();
+        let out = engine
+            .execute(&mut prepared, &mut ws)
+            .unwrap_or_else(|e| panic!("IE run failed: {e}"));
+        IeResult {
+            x: out.values,
+            time_cycles: out.time_cycles,
+            seconds: out.seconds,
+            inspector_cycles: prepared.inspector_cycles(),
+            ghost_counts: prepared.ghost_counts(),
+            stats: out.stats,
         }
     }
 
@@ -422,6 +660,7 @@ mod tests {
     use super::*;
     use crate::kernel::WeightedPairKernel;
     use crate::seq::seq_reduction;
+    use workloads::Distribution;
 
     fn spec(n: usize, e: usize, seed: u64) -> PhasedSpec<WeightedPairKernel> {
         let mut s = seed | 1;
@@ -443,25 +682,34 @@ mod tests {
         }
     }
 
-    fn block_owners(n: usize, procs: usize) -> Vec<u32> {
-        (0..n).map(|e| (e * procs / n) as u32).collect()
+    fn run_ie(
+        s: &PhasedSpec<WeightedPairKernel>,
+        procs: usize,
+        sweeps: usize,
+    ) -> (RunOutcome, u64) {
+        let engine = IeEngine::sim(SimConfig::default());
+        let strat = StrategyConfig::new(procs, 1, Distribution::Block, sweeps);
+        let mut prepared = engine.prepare(s, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let out = engine.execute(&mut prepared, &mut ws).unwrap();
+        (out, prepared.inspector_cycles())
     }
 
     #[test]
     fn matches_sequential_block_partition() {
         let s = spec(64, 500, 1);
         let seq = seq_reduction(&s, 2, SimConfig::default());
-        let r = InspectorExecutor::run_sim(&s, &block_owners(64, 4), 4, 2, SimConfig::default());
-        assert!(crate::approx_eq(&r.x[0], &seq.x[0], 1e-9));
-        assert!(r.inspector_cycles > 0);
+        let (r, insp) = run_ie(&s, 4, 2);
+        assert!(crate::approx_eq(&r.values[0], &seq.x[0], 1e-9));
+        assert!(insp > 0);
     }
 
     #[test]
     fn matches_sequential_single_proc() {
         let s = spec(32, 200, 2);
         let seq = seq_reduction(&s, 1, SimConfig::default());
-        let r = InspectorExecutor::run_sim(&s, &[0; 32], 1, 1, SimConfig::default());
-        assert!(crate::approx_eq(&r.x[0], &seq.x[0], 1e-9));
+        let (r, _) = run_ie(&s, 1, 1);
+        assert!(crate::approx_eq(&r.values[0], &seq.x[0], 1e-9));
         // No neighbours → no scatter messages.
         assert_eq!(r.stats.ops.messages, 0);
     }
@@ -484,15 +732,49 @@ mod tests {
             ]),
         };
         let scrambled = spec(n, e, 7);
-        let owners = block_owners(n, 4);
-        let a = InspectorExecutor::run_sim(&clustered, &owners, 4, 2, SimConfig::default());
-        let b = InspectorExecutor::run_sim(&scrambled, &owners, 4, 2, SimConfig::default());
+        let (a, _) = run_ie(&clustered, 4, 2);
+        let (b, _) = run_ie(&scrambled, 4, 2);
         assert!(
             b.stats.ops.bytes > 2 * a.stats.ops.bytes,
             "scrambled {} vs clustered {}",
             b.stats.ops.bytes,
             a.stats.ops.bytes
         );
+    }
+
+    #[test]
+    fn prepared_reuse_is_bit_identical() {
+        let s = spec(96, 800, 3);
+        let engine = IeEngine::sim(SimConfig::default());
+        let strat = StrategyConfig::new(4, 1, Distribution::Block, 2);
+        let mut prepared = engine.prepare(&s, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let first = engine.execute(&mut prepared, &mut ws).unwrap();
+        let again = engine.execute(&mut prepared, &mut ws).unwrap();
+        assert_eq!(first.values, again.values);
+        assert!(again.provenance.reused_plan);
+    }
+
+    #[test]
+    fn unsupported_cases_are_typed_errors() {
+        let s = spec(32, 100, 4);
+        let engine = IeEngine::sim(SimConfig::default());
+        let strat = StrategyConfig::new(65, 1, Distribution::Block, 1);
+        assert!(matches!(
+            engine.prepare(&s, &strat).unwrap_err(),
+            EngineError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn deprecated_shim_still_works() {
+        let s = spec(48, 300, 5);
+        let seq = seq_reduction(&s, 1, SimConfig::default());
+        let owners = block_owners(48, 3);
+        #[allow(deprecated)]
+        let r = InspectorExecutor::run_sim(&s, &owners, 3, 1, SimConfig::default());
+        assert!(crate::approx_eq(&r.x[0], &seq.x[0], 1e-9));
+        assert!(r.inspector_cycles > 0);
     }
 
     #[test]

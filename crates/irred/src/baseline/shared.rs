@@ -46,7 +46,10 @@ fn run_kernel_range<K: EdgeKernel>(
 }
 
 /// Single-threaded reference; returns `(x, wall)`.
-pub fn serial_reduction<K: EdgeKernel>(spec: &PhasedSpec<K>, sweeps: usize) -> (Vec<f64>, Duration) {
+pub fn serial_reduction<K: EdgeKernel>(
+    spec: &PhasedSpec<K>,
+    sweeps: usize,
+) -> (Vec<f64>, Duration) {
     assert!(!spec.kernel.updates_read_state());
     let n = spec.num_elements;
     let e = spec.num_iterations();
@@ -102,7 +105,10 @@ pub fn atomic_reduction<K: EdgeKernel>(
         });
     }
     let wall = start.elapsed();
-    let out = x.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect();
+    let out = x
+        .iter()
+        .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+        .collect();
     (out, wall)
 }
 

@@ -11,31 +11,46 @@
 //! of its nonzeros whose column lies in the resident portion. Bucketing
 //! nonzeros by phase is the single-reference inspection
 //! ([`lightinspector::inspect_single`] at the granularity of nonzeros).
+//!
+//! The phase bucketing depends only on the matrix structure, so a
+//! [`PreparedGather`] is reused across input vectors: a CG iteration
+//! swaps in the next `x` with [`PreparedGather::set_x`] and re-executes
+//! the same plan — no re-bucketing, no program rebuild, and cached phase
+//! costs stay valid (the access *pattern* is unchanged).
 
 use std::sync::Arc;
 
 use earth_model::native::{run_native_with, NativeConfig, NativeCtx};
 use earth_model::sim::{run_sim, SimConfig, SimCtx};
 use earth_model::{
-    mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value,
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, RunStats, SlotId,
+    Value,
 };
-use lightinspector::{InspectError, PhaseGeometry};
+use lightinspector::PhaseGeometry;
 use memsim::{AddressMap, Region, StreamModel};
 use workloads::{distribute, SparseMatrix};
 
+use crate::engine::{
+    run_recovery_ladder, validate_gather_spec, validate_gather_x, EngineBackend, EngineError,
+    Provenance, RecoveryPolicy, ReductionEngine, RunOutcome,
+};
 use crate::phased::PhasedError;
+use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::strategy::StrategyConfig;
 
 const TAG_XPORT: u32 = 3;
 
 /// Problem description for the gather-rotation executor.
+#[derive(Clone)]
 pub struct GatherSpec {
     pub matrix: Arc<SparseMatrix>,
     /// The input vector (replicated conceptually; only portions move).
     pub x: Arc<Vec<f64>>,
 }
 
-/// Result of a gather-rotation run.
+/// Result of a gather-rotation run — the result shape of the deprecated
+/// [`PhasedGather`] entry points. New code receives [`RunOutcome`] from
+/// the engine API.
 #[derive(Debug)]
 pub struct GatherResult {
     pub y: Vec<f64>,
@@ -45,7 +60,19 @@ pub struct GatherResult {
     pub stats: RunStats,
 }
 
-/// One nonzero, phase-bucketed: local row, column, value.
+fn outcome_to_result(mut out: RunOutcome) -> GatherResult {
+    GatherResult {
+        y: out
+            .values
+            .pop()
+            .expect("gather outcome has one value array"),
+        time_cycles: out.time_cycles,
+        seconds: out.seconds,
+        wall: out.wall,
+        stats: out.stats,
+    }
+}
+
 struct NodeRegions {
     rows: Region,
     cols: Region,
@@ -54,11 +81,11 @@ struct NodeRegions {
     y: Region,
 }
 
-/// Node state for the gather executor.
-pub struct GatherNode {
-    proc: usize,
+/// The immutable, reusable part of one node: the phase-bucketed
+/// nonzeros and the cache-model regions. Depends on the matrix and the
+/// strategy only — never on the vector contents.
+struct GatherNodePlan {
     geometry: PhaseGeometry,
-    sweeps: usize,
     /// Rows owned by this node (global ids, ascending).
     rows: Vec<u32>,
     /// Per phase: parallel arrays of (local row, column, value).
@@ -67,12 +94,69 @@ pub struct GatherNode {
     ph_vals: Vec<Vec<f64>>,
     /// Start offset of each phase in the concatenated nonzero order.
     phase_off: Vec<usize>,
+    regions: NodeRegions,
+}
+
+impl GatherNodePlan {
+    fn new(
+        matrix: &SparseMatrix,
+        geometry: PhaseGeometry,
+        proc: usize,
+        rows: Vec<u32>,
+    ) -> GatherNodePlan {
+        let kp = geometry.num_phases();
+        let mut ph_rows = vec![Vec::new(); kp];
+        let mut ph_cols = vec![Vec::new(); kp];
+        let mut ph_vals = vec![Vec::new(); kp];
+        for (lr, &r) in rows.iter().enumerate() {
+            for nz in matrix.row_ptr[r as usize] as usize..matrix.row_ptr[r as usize + 1] as usize {
+                let c = matrix.col_idx[nz];
+                let p = geometry.phase_of_portion_on(proc, geometry.portion_of(c as usize));
+                ph_rows[p].push(lr as u32);
+                ph_cols[p].push(c);
+                ph_vals[p].push(matrix.values[nz]);
+            }
+        }
+        let mut phase_off = Vec::with_capacity(kp);
+        let mut off = 0;
+        for r in ph_rows.iter().take(kp) {
+            phase_off.push(off);
+            off += r.len();
+        }
+
+        let total_nnz = off;
+        let mut am = AddressMap::new(64);
+        let regions = NodeRegions {
+            rows: am.alloc_u32(total_nnz.max(1)),
+            cols: am.alloc_u32(total_nnz.max(1)),
+            vals: am.alloc_f64(total_nnz.max(1)),
+            x: am.alloc_f64(matrix.ncols),
+            y: am.alloc_f64(rows.len().max(1)),
+        };
+
+        GatherNodePlan {
+            geometry,
+            rows,
+            ph_rows,
+            ph_cols,
+            ph_vals,
+            phase_off,
+            regions,
+        }
+    }
+}
+
+/// Node state for the gather executor: the shared plan plus this
+/// execute's mutable buffers.
+pub struct GatherNode {
+    proc: usize,
+    sweeps: usize,
+    data: Arc<GatherNodePlan>,
     /// Local copy of x (portions become valid as they arrive).
     x: Vec<f64>,
-    /// Local y block, indexed like `rows`.
+    /// Local y block, indexed like `data.rows`.
     y: Vec<f64>,
     phase_cost: Vec<Option<u64>>,
-    regions: NodeRegions,
     stream: StreamModel,
 }
 
@@ -81,68 +165,8 @@ fn slot_of(abs: usize) -> SlotId {
 }
 
 impl GatherNode {
-    fn new(
-        spec: &GatherSpec,
-        strat: &StrategyConfig,
-        proc: usize,
-        rows: Vec<u32>,
-        mem_cfg: memsim::MemConfig,
-    ) -> Result<Self, PhasedError> {
-        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.matrix.ncols)?;
-        let kp = geometry.num_phases();
-        let mut ph_rows = vec![Vec::new(); kp];
-        let mut ph_cols = vec![Vec::new(); kp];
-        let mut ph_vals = vec![Vec::new(); kp];
-        let m = &spec.matrix;
-        for (lr, &r) in rows.iter().enumerate() {
-            for nz in m.row_ptr[r as usize] as usize..m.row_ptr[r as usize + 1] as usize {
-                let c = m.col_idx[nz];
-                let p = geometry.phase_of_portion_on(proc, geometry.portion_of(c as usize));
-                ph_rows[p].push(lr as u32);
-                ph_cols[p].push(c);
-                ph_vals[p].push(m.values[nz]);
-            }
-        }
-        let mut phase_off = Vec::with_capacity(kp);
-        let mut off = 0;
-        for rows in ph_rows.iter().take(kp) {
-            phase_off.push(off);
-            off += rows.len();
-        }
-
-        // Initially the node holds its k starting portions of x; for
-        // simplicity (and because x never changes) we pre-fill the whole
-        // local copy — timing still pays for every rotation transfer.
-        let x = spec.x.as_ref().clone();
-        let total_nnz = off;
-        let mut am = AddressMap::new(64);
-        let regions = NodeRegions {
-            rows: am.alloc_u32(total_nnz.max(1)),
-            cols: am.alloc_u32(total_nnz.max(1)),
-            vals: am.alloc_f64(total_nnz.max(1)),
-            x: am.alloc_f64(m.ncols),
-            y: am.alloc_f64(rows.len().max(1)),
-        };
-
-        Ok(GatherNode {
-            proc,
-            geometry,
-            sweeps: strat.sweeps,
-            y: vec![0.0; rows.len()],
-            rows,
-            ph_rows,
-            ph_cols,
-            ph_vals,
-            phase_off,
-            x,
-            phase_cost: vec![None; kp],
-            regions,
-            stream: StreamModel::new(mem_cfg),
-        })
-    }
-
     fn run_phase<C: FiberCtx<Self>>(s: &mut Self, t: usize, p: usize, ctx: &mut C) {
-        let g = s.geometry;
+        let g = s.data.geometry;
         let kp = g.num_phases();
         let k = g.k();
         let portion = g.portion_owned_by(s.proc, p);
@@ -213,27 +237,29 @@ impl GatherNode {
     }
 
     fn exec_loop(&mut self, p: usize, meter: &mut NullMeter) {
+        let d = &self.data;
         gather_loop(
-            &self.ph_rows[p],
-            &self.ph_cols[p],
-            &self.ph_vals[p],
+            &d.ph_rows[p],
+            &d.ph_cols[p],
+            &d.ph_vals[p],
             &self.x,
             &mut self.y,
-            &self.regions,
-            self.phase_off[p],
+            &d.regions,
+            d.phase_off[p],
             meter,
         );
     }
 
     fn exec_loop_metered<M: Meter>(&mut self, p: usize, meter: &mut M) {
+        let d = &self.data;
         gather_loop(
-            &self.ph_rows[p],
-            &self.ph_cols[p],
-            &self.ph_vals[p],
+            &d.ph_rows[p],
+            &d.ph_cols[p],
+            &d.ph_vals[p],
             &self.x,
             &mut self.y,
-            &self.regions,
-            self.phase_off[p],
+            &d.regions,
+            d.phase_off[p],
             meter,
         );
     }
@@ -264,114 +290,384 @@ fn gather_loop<M: Meter>(
     }
 }
 
-/// The `mvm` phased executor.
-pub struct PhasedGather;
+enum GatherTemplate {
+    Sim(ProgramTemplate<GatherNode, SimCtx<GatherNode>>),
+    Native(ProgramTemplate<GatherNode, NativeCtx<GatherNode>>),
+}
 
-impl PhasedGather {
-    fn build<C: FiberCtx<GatherNode> + 'static>(
+fn build_template<C: FiberCtx<GatherNode> + 'static>(
+    strat: &StrategyConfig,
+) -> ProgramTemplate<GatherNode, C> {
+    let kp = strat.phases_per_sweep();
+    let mut tmpl = ProgramTemplate::new();
+    for _proc in 0..strat.procs {
+        let id = tmpl.add_node();
+        for t in 0..strat.sweeps {
+            for p in 0..kp {
+                let mut count = 0u32;
+                if !(t == 0 && p == 0) {
+                    count += 1; // chain
+                }
+                if !(t == 0 && p < strat.k) {
+                    count += 1; // portion arrival
+                }
+                tmpl.node_mut(id).add_fiber(FiberTemplate::new(
+                    "mvm-phase",
+                    count,
+                    move |s: &mut GatherNode, ctx: &mut C| {
+                        GatherNode::run_phase(s, t, p, ctx);
+                    },
+                ));
+            }
+        }
+    }
+    tmpl
+}
+
+/// A fully prepared gather run: validated matrix, phase-bucketed
+/// nonzeros per node, and the EARTH program template. The input vector
+/// is *state* of the prepared run — swap it per execute with
+/// [`Self::set_x`] (a CG iteration does exactly this) without touching
+/// the plan.
+pub struct PreparedGather {
+    matrix: Arc<SparseMatrix>,
+    strat: StrategyConfig,
+    /// The vector the next execute multiplies by.
+    x_current: Vec<f64>,
+    node_data: Vec<Arc<GatherNodePlan>>,
+    mem_cfg: memsim::MemConfig,
+    template: GatherTemplate,
+    token: PlanToken,
+    executions: u64,
+}
+
+impl std::fmt::Debug for PreparedGather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedGather")
+            .field("strat", &self.strat)
+            .field("token", &self.token)
+            .field("executions", &self.executions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedGather {
+    fn new(
         spec: &GatherSpec,
         strat: &StrategyConfig,
-        mem_cfg: memsim::MemConfig,
-    ) -> Result<MachineProgram<GatherNode, C>, PhasedError> {
-        if spec.x.len() != spec.matrix.ncols {
-            return Err(PhasedError::Shape {
-                what: "gather vector length (matrix.ncols)",
-                expected: spec.matrix.ncols,
-                got: spec.x.len(),
-            });
-        }
-        for (nz, &c) in spec.matrix.col_idx.iter().enumerate() {
-            if c as usize >= spec.matrix.ncols {
-                return Err(PhasedError::Invalid(InspectError::OutOfRange {
-                    r: 0,
-                    iter: nz,
-                    elem: c,
-                    num_elements: spec.matrix.ncols,
-                }));
-            }
-        }
+        backend: &EngineBackend,
+    ) -> Result<Self, EngineError> {
+        validate_gather_spec(&spec.matrix, spec.x.len())?;
         // ncols < k·P is legal: trailing x portions are empty and those
         // phases degenerate to bare synchronization.
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.matrix.ncols)?;
         let rows = distribute(spec.matrix.nrows, strat.procs, strat.distribution);
-        let kp = strat.phases_per_sweep();
-        let mut prog = MachineProgram::new();
-        for (proc, proc_rows) in rows.iter().enumerate().take(strat.procs) {
-            let node = GatherNode::new(spec, strat, proc, proc_rows.clone(), mem_cfg)?;
-            let id = prog.add_node(node);
-            for t in 0..strat.sweeps {
-                for p in 0..kp {
-                    let mut count = 0u32;
-                    if !(t == 0 && p == 0) {
-                        count += 1; // chain
-                    }
-                    if !(t == 0 && p < strat.k) {
-                        count += 1; // portion arrival
-                    }
-                    prog.node_mut(id).add_fiber(FiberSpec::new(
-                        "mvm-phase",
-                        count,
-                        move |s: &mut GatherNode, ctx: &mut C| {
-                            GatherNode::run_phase(s, t, p, ctx);
-                        },
-                    ));
-                }
-            }
-        }
-        Ok(prog)
+        let node_data = rows
+            .into_iter()
+            .enumerate()
+            .take(strat.procs)
+            .map(|(proc, proc_rows)| {
+                Arc::new(GatherNodePlan::new(&spec.matrix, geometry, proc, proc_rows))
+            })
+            .collect();
+        let (mem_cfg, template) = match backend {
+            EngineBackend::Sim(cfg) => (cfg.mem, GatherTemplate::Sim(build_template(strat))),
+            EngineBackend::Native(_) => (
+                memsim::MemConfig::i860xp(),
+                GatherTemplate::Native(build_template(strat)),
+            ),
+        };
+        Ok(PreparedGather {
+            matrix: Arc::clone(&spec.matrix),
+            strat: *strat,
+            x_current: spec.x.as_ref().clone(),
+            node_data,
+            mem_cfg,
+            template,
+            token: PlanToken::fresh(),
+            executions: 0,
+        })
     }
 
-    fn collect(nrows: usize, nodes: Vec<GatherNode>) -> Vec<f64> {
-        let mut y = vec![0.0f64; nrows];
+    /// Replace the input vector for subsequent executes. The plan (and
+    /// any cached phase costs — the access *pattern* is unchanged) stays
+    /// valid.
+    pub fn set_x(&mut self, x: &[f64]) -> Result<(), EngineError> {
+        validate_gather_x(&self.matrix, x.len())?;
+        self.x_current.copy_from_slice(x);
+        Ok(())
+    }
+
+    /// The vector the next execute will multiply by.
+    pub fn x(&self) -> &[f64] {
+        &self.x_current
+    }
+
+    pub fn strategy(&self) -> &StrategyConfig {
+        &self.strat
+    }
+
+    pub fn token(&self) -> PlanToken {
+        self.token
+    }
+
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    fn make_nodes(&self, ws: &mut Workspace, sim: bool) -> Vec<GatherNode> {
+        let kp = self.strat.phases_per_sweep();
+        let cached = if sim {
+            ws.costs_for(self.token).cloned()
+        } else {
+            None
+        };
+        (0..self.strat.procs)
+            .map(|proc| {
+                let data = Arc::clone(&self.node_data[proc]);
+                let mut x = ws.take_buffer(self.matrix.ncols);
+                x.copy_from_slice(&self.x_current);
+                let y = ws.take_buffer(data.rows.len());
+                let phase_cost = cached
+                    .as_ref()
+                    .and_then(|c| c.get(proc).cloned())
+                    .unwrap_or_else(|| vec![None; kp]);
+                GatherNode {
+                    proc,
+                    sweeps: self.strat.sweeps,
+                    data,
+                    x,
+                    y,
+                    phase_cost,
+                    stream: StreamModel::new(self.mem_cfg),
+                }
+            })
+            .collect()
+    }
+
+    /// Collect the global y, return buffers to the pool, and (for
+    /// simulated runs) harvest measured phase costs.
+    fn finish(&self, nodes: Vec<GatherNode>, ws: &mut Workspace, sim: bool) -> Vec<f64> {
+        let mut y = vec![0.0f64; self.matrix.nrows];
+        let mut harvest: PhaseCosts = Vec::with_capacity(if sim { nodes.len() } else { 0 });
         for node in nodes {
-            for (lr, &r) in node.rows.iter().enumerate() {
+            for (lr, &r) in node.data.rows.iter().enumerate() {
                 y[r as usize] = node.y[lr];
             }
+            if sim {
+                harvest.push(node.phase_cost);
+            }
+            ws.put_buffer(node.x);
+            ws.put_buffer(node.y);
+        }
+        if sim {
+            ws.store_costs(self.token, harvest);
         }
         y
     }
 
-    /// Run on the discrete-event simulator.
-    pub fn run_sim(spec: &GatherSpec, strat: &StrategyConfig, cfg: SimConfig) -> GatherResult {
-        let prog = Self::build::<SimCtx<GatherNode>>(spec, strat, cfg.mem)
-            .unwrap_or_else(|e| panic!("gather program build failed: {e}"));
-        let report = run_sim(prog, cfg);
-        assert_eq!(report.stats.unfired_fibers, 0);
-        GatherResult {
-            y: Self::collect(spec.matrix.nrows, report.states),
-            time_cycles: report.time_cycles,
-            seconds: report.seconds,
-            wall: std::time::Duration::ZERO,
-            stats: report.stats,
+    fn provenance(&self, backend: &'static str, reused: bool) -> Provenance {
+        Provenance {
+            engine: "gather",
+            backend,
+            reused_plan: reused,
+            executions: self.executions,
         }
+    }
+
+    /// Sequential fallback: plain SpMV with the current vector.
+    fn seq_fallback(&self) -> RunOutcome {
+        let mut y = vec![0.0; self.matrix.nrows];
+        self.matrix.spmv(&self.x_current, &mut y);
+        RunOutcome {
+            values: vec![y],
+            ..RunOutcome::default()
+        }
+    }
+
+    fn execute(
+        &mut self,
+        backend: &EngineBackend,
+        recovery: Option<RecoveryPolicy>,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        let reused = self.executions > 0;
+        self.executions += 1;
+        match (&self.template, backend) {
+            (GatherTemplate::Sim(tmpl), EngineBackend::Sim(cfg)) => {
+                let nodes = self.make_nodes(ws, true);
+                let prog = tmpl.instantiate(nodes);
+                let report = run_sim(prog, *cfg);
+                assert_eq!(report.stats.unfired_fibers, 0);
+                let y = self.finish(report.states, ws, true);
+                Ok(RunOutcome {
+                    values: vec![y],
+                    time_cycles: report.time_cycles,
+                    seconds: report.seconds,
+                    stats: report.stats,
+                    trace: report.trace,
+                    provenance: self.provenance("sim", reused),
+                    ..RunOutcome::default()
+                })
+            }
+            (GatherTemplate::Native(_), EngineBackend::Native(cfg)) => {
+                let base = *cfg;
+                let mut out = match recovery {
+                    None => self.native_attempt(base, ws)?,
+                    Some(policy) => run_recovery_ladder(
+                        policy,
+                        |attempt| {
+                            let mut c = base;
+                            if attempt > 0 {
+                                if let Some(f) = c.faults {
+                                    c.faults = Some(f.reseeded(attempt as u64));
+                                }
+                            }
+                            self.native_attempt(c, ws)
+                        },
+                        || self.seq_fallback(),
+                    )?,
+                };
+                out.provenance = self.provenance("native", reused);
+                Ok(out)
+            }
+            _ => Err(EngineError::Unsupported(
+                "prepared run was built for the other backend",
+            )),
+        }
+    }
+
+    /// One native run from the prepared plan. Like the phased executor,
+    /// a starved machine is reported as a typed `Stalled` error, never
+    /// as a silently short result.
+    fn native_attempt(
+        &self,
+        cfg: NativeConfig,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        let GatherTemplate::Native(tmpl) = &self.template else {
+            return Err(EngineError::Unsupported(
+                "prepared run was built for the simulator",
+            ));
+        };
+        let cfg = NativeConfig {
+            starved_is_error: true,
+            ..cfg
+        };
+        let nodes = self.make_nodes(ws, false);
+        let prog = tmpl.instantiate(nodes);
+        let report = run_native_with(prog, cfg)?;
+        let y = self.finish(report.states, ws, false);
+        Ok(RunOutcome {
+            values: vec![y],
+            wall: report.wall,
+            stats: report.stats,
+            ..RunOutcome::default()
+        })
+    }
+}
+
+/// The `mvm` gather executor as a [`ReductionEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct GatherEngine {
+    backend: EngineBackend,
+    recovery: Option<RecoveryPolicy>,
+}
+
+impl GatherEngine {
+    /// Run on the discrete-event simulator.
+    pub fn sim(cfg: SimConfig) -> Self {
+        GatherEngine {
+            backend: EngineBackend::Sim(cfg),
+            recovery: None,
+        }
+    }
+
+    /// Run on real OS threads.
+    pub fn native(cfg: NativeConfig) -> Self {
+        GatherEngine {
+            backend: EngineBackend::Native(cfg),
+            recovery: None,
+        }
+    }
+
+    /// Run natively under a [`RecoveryPolicy`]; the fallback is a plain
+    /// sequential SpMV.
+    pub fn recovering(cfg: NativeConfig, policy: RecoveryPolicy) -> Self {
+        GatherEngine {
+            backend: EngineBackend::Native(cfg),
+            recovery: Some(policy),
+        }
+    }
+
+    pub fn backend(&self) -> &EngineBackend {
+        &self.backend
+    }
+}
+
+impl ReductionEngine<GatherSpec> for GatherEngine {
+    type Prepared = PreparedGather;
+
+    fn name(&self) -> &'static str {
+        "gather"
+    }
+
+    fn prepare(
+        &self,
+        spec: &GatherSpec,
+        strat: &StrategyConfig,
+    ) -> Result<Self::Prepared, EngineError> {
+        PreparedGather::new(spec, strat, &self.backend)
+    }
+
+    fn execute(
+        &self,
+        prepared: &mut Self::Prepared,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        prepared.execute(&self.backend, self.recovery, ws)
+    }
+}
+
+/// The `mvm` phased executor — the deprecated one-shot API. Every call
+/// re-buckets the matrix; prefer [`GatherEngine`] with a held
+/// [`PreparedGather`] for anything that runs more than once.
+pub struct PhasedGather;
+
+impl PhasedGather {
+    /// Run on the discrete-event simulator.
+    #[deprecated(note = "use GatherEngine::sim(cfg) via the ReductionEngine trait")]
+    pub fn run_sim(spec: &GatherSpec, strat: &StrategyConfig, cfg: SimConfig) -> GatherResult {
+        let out = GatherEngine::sim(cfg)
+            .run(spec, strat)
+            .unwrap_or_else(|e| panic!("gather program build failed: {e}"));
+        outcome_to_result(out)
     }
 
     /// Run on real OS threads. Like the phased executor, a starved
     /// machine is reported as a typed `Stalled` error, never as a
     /// silently short result.
-    pub fn run_native(spec: &GatherSpec, strat: &StrategyConfig) -> Result<GatherResult, PhasedError> {
-        Self::run_native_with(spec, strat, NativeConfig::default())
+    #[deprecated(note = "use GatherEngine::native(cfg) via the ReductionEngine trait")]
+    pub fn run_native(
+        spec: &GatherSpec,
+        strat: &StrategyConfig,
+    ) -> Result<GatherResult, PhasedError> {
+        GatherEngine::native(NativeConfig::default())
+            .run(spec, strat)
+            .map(outcome_to_result)
     }
 
-    /// [`Self::run_native`] with an explicit backend configuration
-    /// (watchdog deadline, fault plan).
+    /// `run_native` with an explicit backend configuration (watchdog
+    /// deadline, fault plan).
+    #[deprecated(note = "use GatherEngine::native(cfg) via the ReductionEngine trait")]
     pub fn run_native_with(
         spec: &GatherSpec,
         strat: &StrategyConfig,
         cfg: NativeConfig,
     ) -> Result<GatherResult, PhasedError> {
-        let prog = Self::build::<NativeCtx<GatherNode>>(spec, strat, memsim::MemConfig::i860xp())?;
-        let cfg = NativeConfig {
-            starved_is_error: true,
-            ..cfg
-        };
-        let report = run_native_with(prog, cfg)?;
-        Ok(GatherResult {
-            y: Self::collect(spec.matrix.nrows, report.states),
-            time_cycles: 0,
-            seconds: 0.0,
-            wall: report.wall,
-            stats: report.stats,
-        })
+        GatherEngine::native(cfg)
+            .run(spec, strat)
+            .map(outcome_to_result)
     }
 }
 
@@ -382,7 +678,11 @@ mod tests {
 
     fn spec(n: usize, nnz: usize, seed: u64) -> GatherSpec {
         let matrix = Arc::new(SparseMatrix::random(n, n, nnz, seed));
-        let x = Arc::new((0..n).map(|i| (i % 17) as f64 * 0.5 + 1.0).collect::<Vec<_>>());
+        let x = Arc::new(
+            (0..n)
+                .map(|i| (i % 17) as f64 * 0.5 + 1.0)
+                .collect::<Vec<_>>(),
+        );
         GatherSpec { matrix, x }
     }
 
@@ -392,34 +692,33 @@ mod tests {
         y
     }
 
+    fn run_sim_engine(s: &GatherSpec, strat: &StrategyConfig) -> RunOutcome {
+        GatherEngine::sim(SimConfig::default())
+            .run(s, strat)
+            .unwrap()
+    }
+
     #[test]
     fn matches_spmv_2procs() {
         let s = spec(64, 600, 1);
-        let r = PhasedGather::run_sim(
-            &s,
-            &StrategyConfig::new(2, 2, Distribution::Block, 3),
-            SimConfig::default(),
-        );
-        assert!(crate::approx_eq(&r.y, &reference(&s), 1e-10));
+        let r = run_sim_engine(&s, &StrategyConfig::new(2, 2, Distribution::Block, 3));
+        assert!(crate::approx_eq(&r.values[0], &reference(&s), 1e-10));
     }
 
     #[test]
     fn matches_spmv_8procs_k4() {
         let s = spec(128, 2_000, 2);
-        let r = PhasedGather::run_sim(
-            &s,
-            &StrategyConfig::new(8, 4, Distribution::Block, 2),
-            SimConfig::default(),
-        );
-        assert!(crate::approx_eq(&r.y, &reference(&s), 1e-10));
+        let r = run_sim_engine(&s, &StrategyConfig::new(8, 4, Distribution::Block, 2));
+        assert!(crate::approx_eq(&r.values[0], &reference(&s), 1e-10));
     }
 
     #[test]
     fn native_matches_spmv() {
         let s = spec(64, 600, 3);
-        let r = PhasedGather::run_native(&s, &StrategyConfig::new(4, 2, Distribution::Block, 2))
+        let r = GatherEngine::native(NativeConfig::default())
+            .run(&s, &StrategyConfig::new(4, 2, Distribution::Block, 2))
             .unwrap();
-        assert!(crate::approx_eq(&r.y, &reference(&s), 1e-10));
+        assert!(crate::approx_eq(&r.values[0], &reference(&s), 1e-10));
     }
 
     #[test]
@@ -430,29 +729,20 @@ mod tests {
         // per-phase compute must exceed one portion transfer, else only
         // k≥4 could hide it).
         let s = spec(4096, 200_000, 4);
-        let t1 = PhasedGather::run_sim(
-            &s,
-            &StrategyConfig::new(16, 1, Distribution::Block, 12),
-            SimConfig::default(),
-        )
-        .time_cycles;
-        let t2 = PhasedGather::run_sim(
-            &s,
-            &StrategyConfig::new(16, 2, Distribution::Block, 12),
-            SimConfig::default(),
-        )
-        .time_cycles;
+        let t1 =
+            run_sim_engine(&s, &StrategyConfig::new(16, 1, Distribution::Block, 12)).time_cycles;
+        let t2 =
+            run_sim_engine(&s, &StrategyConfig::new(16, 2, Distribution::Block, 12)).time_cycles;
         assert!(t2 < t1, "k=2 {t2} vs k=1 {t1}");
     }
 
     #[test]
     fn message_count_is_deterministic_function_of_shape() {
-        // P procs, k, T sweeps: (T*kP - k) transfers per ring lane... in
-        // total: each absolute phase beyond the first k on each node gets
-        // one message/sync: P * (T*kP - k).
+        // P procs, k, T sweeps: each absolute phase beyond the first k on
+        // each node gets one message/sync: P * (T*kP - k).
         let s = spec(256, 3_000, 5);
         let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
-        let r = PhasedGather::run_sim(&s, &strat, SimConfig::default());
+        let r = run_sim_engine(&s, &strat);
         let kp = strat.phases_per_sweep();
         let expected = strat.procs as u64 * (strat.sweeps * kp - strat.k) as u64;
         assert_eq!(r.stats.ops.messages, expected);
@@ -461,9 +751,54 @@ mod tests {
     #[test]
     fn cyclic_rows_also_correct() {
         let s = spec(96, 900, 6);
+        let r = run_sim_engine(&s, &StrategyConfig::new(3, 2, Distribution::Cyclic, 2));
+        assert!(crate::approx_eq(&r.values[0], &reference(&s), 1e-10));
+    }
+
+    #[test]
+    fn prepared_set_x_matches_fresh_runs() {
+        let s = spec(96, 1_200, 7);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 1);
+        let engine = GatherEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&s, &strat).unwrap();
+        let mut ws = Workspace::new();
+        for round in 0..3u64 {
+            let x2: Vec<f64> = (0..96)
+                .map(|i| ((i + round as usize) % 13) as f64)
+                .collect();
+            prepared.set_x(&x2).unwrap();
+            let out = engine.execute(&mut prepared, &mut ws).unwrap();
+            let fresh = GatherSpec {
+                matrix: Arc::clone(&s.matrix),
+                x: Arc::new(x2),
+            };
+            let mut y = vec![0.0; 96];
+            fresh.matrix.spmv(&fresh.x, &mut y);
+            assert!(crate::approx_eq(&out.values[0], &y, 1e-10));
+        }
+        assert_eq!(prepared.executions(), 3);
+        assert!(ws.pooled_buffers() > 0);
+    }
+
+    #[test]
+    fn set_x_rejects_wrong_length() {
+        let s = spec(64, 600, 8);
+        let strat = StrategyConfig::new(2, 2, Distribution::Block, 1);
+        let engine = GatherEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&s, &strat).unwrap();
+        assert!(matches!(
+            prepared.set_x(&[1.0; 5]).unwrap_err(),
+            EngineError::Shape { .. }
+        ));
+    }
+
+    #[test]
+    fn deprecated_shim_still_works() {
+        let s = spec(64, 600, 9);
+        #[allow(deprecated)]
         let r = PhasedGather::run_sim(
             &s,
-            &StrategyConfig::new(3, 2, Distribution::Cyclic, 2),
+            &StrategyConfig::new(2, 2, Distribution::Block, 2),
             SimConfig::default(),
         );
         assert!(crate::approx_eq(&r.y, &reference(&s), 1e-10));

@@ -22,17 +22,28 @@
 //!
 //! ## Entry points
 //!
-//! * [`PhasedReduction`] — irregular reductions with LHS indirection
-//!   (`euler`, `moldyn`): full LightInspector machinery.
-//! * [`gather::PhasedGather`] — the `mvm` shape: the *gathered* vector
+//! All four executors implement the [`ReductionEngine`] trait:
+//! `prepare` once per `(spec, strategy)` pair, then `execute` the
+//! returned prepared run any number of times — repeated executes reuse
+//! the inspector plans, the remapped indirection, and the built EARTH
+//! program, and draw node buffers from a [`Workspace`] pool.
+//!
+//! * [`PhasedEngine`] — irregular reductions with LHS indirection
+//!   (`euler`, `moldyn`): full LightInspector machinery, on either
+//!   backend, optionally under a [`RecoveryPolicy`].
+//! * [`gather::GatherEngine`] — the `mvm` shape: the *gathered* vector
 //!   rotates, the reduction array stays local; no buffers or second
 //!   loop (§3's single-reference remark).
-//! * [`seq`] — sequential reference executors (validation + the
-//!   speedup denominator).
-//! * [`baseline`] — comparators: the classic communicating
-//!   inspector/executor (owner-computes with ghost buffers) on the same
-//!   simulator, and shared-memory strategies (atomics, replication) on
-//!   the native backend.
+//! * [`seq::SeqEngine`] — the sequential reference executor
+//!   (validation + the speedup denominator).
+//! * [`baseline::IeEngine`] — the classic communicating
+//!   inspector/executor comparator (owner-computes with ghost buffers)
+//!   on the same simulator. The shared-memory comparators (atomics,
+//!   replication) remain standalone native-only harnesses in
+//!   [`baseline`].
+//!
+//! The pre-trait one-shot entry points ([`PhasedReduction`],
+//! [`gather::PhasedGather`], …) survive as deprecated shims.
 //!
 //! ## Validation
 //!
@@ -42,19 +53,26 @@
 //! costs for subsequent identical sweeps.
 
 pub mod baseline;
+pub mod engine;
 pub mod gather;
 pub mod kernel;
 pub mod phased;
+pub mod prepared;
 pub mod seq;
 pub mod strategy;
 
-pub use gather::{GatherResult, GatherSpec, PhasedGather};
+pub use engine::{
+    EngineBackend, EngineError, Provenance, RecoveryPolicy, RecoveryReport, ReductionEngine,
+    RunOutcome,
+};
+pub use gather::{GatherEngine, GatherResult, GatherSpec, PhasedGather, PreparedGather};
 pub use kernel::EdgeKernel;
 pub use phased::{
-    PhasedError, PhasedReduction, PhasedResult, PhasedSpec, RecoveryPolicy, RecoveryReport,
+    PhasedEngine, PhasedError, PhasedReduction, PhasedResult, PhasedSpec, PreparedPhased,
 };
-pub use seq::{seq_gather_cycles, seq_reduction, SeqResult};
-pub use strategy::StrategyConfig;
+pub use prepared::{PlanToken, Workspace};
+pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
+pub use strategy::{StrategyConfig, StrategyError};
 pub use workloads::Distribution;
 
 /// Compare two reduction results element-wise with a tolerance that

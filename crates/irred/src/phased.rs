@@ -1,6 +1,8 @@
 //! The rotating-portion phased executor (§2.2 of the paper).
 //!
-//! One EARTH program is built per `(workload, strategy)` pair:
+//! One *prepared run* is built per `(workload, strategy)` pair — the
+//! LightInspector plans, the remapped indirection arrays, and the EARTH
+//! program template — and then executed any number of times:
 //!
 //! * each node runs `T · k · P` *phase fibers*, chained in order on the
 //!   node (the EU executes phases sequentially, as the paper's Figure 2
@@ -23,23 +25,36 @@
 //! **independent of the indirection arrays**, the paper's key property.
 //!
 //! The fiber body executes the LightInspector's two loops. Under the
-//! simulator, the first sweep runs *metered* (every array access goes
-//! through the cache model) and the measured per-phase cost is replayed
-//! for the remaining sweeps, whose access pattern is identical.
+//! simulator, the first sweep of a cold run is *metered* (every array
+//! access goes through the cache model) and the measured per-phase cost
+//! is replayed for subsequent identical sweeps; executes of an
+//! already-measured prepared plan replay the cached steady-state costs
+//! via the [`Workspace`] and skip metering entirely.
 
 use std::sync::Arc;
-use std::time::Duration;
 
-use earth_model::native::{run_native_with, NativeConfig, NativeCtx, RunError};
+use earth_model::native::{run_native_with, NativeConfig, NativeCtx};
 use earth_model::sim::{run_sim, SimConfig, SimCtx};
-use earth_model::{mailbox_key, FiberCtx, FiberSpec, MachineProgram, Meter, NullMeter, RunStats, SlotId, Value};
-use lightinspector::{inspect, InspectError, InspectorInput, InspectorPlan, PhaseGeometry};
+use earth_model::{
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, SlotId, Value,
+};
+use lightinspector::{IncrementalInspector, InspectError, InspectorPlan, PhaseGeometry};
 use memsim::{AddressMap, Region, StreamModel};
 use workloads::distribute;
 
+use crate::engine::{
+    run_recovery_ladder, validate_phased_spec, EngineBackend, EngineError, Provenance,
+    ReductionEngine, RunOutcome,
+};
 use crate::kernel::EdgeKernel;
+use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::seq::seq_reduction;
 use crate::strategy::StrategyConfig;
+
+// Compatibility names: the error and recovery types moved to the shared
+// engine layer (crate::engine); these aliases keep old paths working.
+pub use crate::engine::EngineError as PhasedError;
+pub use crate::engine::{RecoveryPolicy, RecoveryReport};
 
 const TAG_PORTION: u32 = 1;
 const TAG_BCAST: u32 = 2;
@@ -60,6 +75,16 @@ impl<K: EdgeKernel> PhasedSpec<K> {
     }
 }
 
+impl<K> Clone for PhasedSpec<K> {
+    fn clone(&self) -> Self {
+        PhasedSpec {
+            kernel: Arc::clone(&self.kernel),
+            num_elements: self.num_elements,
+            indirection: Arc::clone(&self.indirection),
+        }
+    }
+}
+
 impl<K> std::fmt::Debug for PhasedSpec<K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PhasedSpec")
@@ -69,93 +94,9 @@ impl<K> std::fmt::Debug for PhasedSpec<K> {
     }
 }
 
-/// Why a phased run failed. `Invalid` and `Shape` are caller bugs and are
-/// never retried by the recovery machinery; `Run` is a (possibly
-/// transient) backend failure.
-#[derive(Debug)]
-pub enum PhasedError {
-    /// The LightInspector rejected the geometry or indirection contents.
-    Invalid(InspectError),
-    /// The spec's arrays disagree with each other or with the kernel.
-    Shape {
-        what: &'static str,
-        expected: usize,
-        got: usize,
-    },
-    /// The native backend returned a structured runtime error (panic or
-    /// watchdog stall).
-    Run(RunError),
-}
-
-impl std::fmt::Display for PhasedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PhasedError::Invalid(e) => write!(f, "invalid phased spec: {e}"),
-            PhasedError::Shape { what, expected, got } => {
-                write!(f, "malformed phased spec: {what}: expected {expected}, got {got}")
-            }
-            PhasedError::Run(e) => write!(f, "phased run failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PhasedError {}
-
-impl From<InspectError> for PhasedError {
-    fn from(e: InspectError) -> Self {
-        PhasedError::Invalid(e)
-    }
-}
-
-impl From<RunError> for PhasedError {
-    fn from(e: RunError) -> Self {
-        PhasedError::Run(e)
-    }
-}
-
-/// How [`PhasedReduction::run_recovering`] reacts to a failed native run:
-/// retry with exponential backoff up to `max_attempts` total attempts
-/// (each attempt rebuilds the program from scratch), then optionally fall
-/// back to the sequential executor so callers still get a correct answer.
-#[derive(Debug, Clone, Copy)]
-pub struct RecoveryPolicy {
-    /// Total native attempts (≥ 1) before giving up or falling back.
-    pub max_attempts: u32,
-    /// Sleep before the first retry; doubled (times `backoff_factor`)
-    /// before each subsequent one.
-    pub initial_backoff: Duration,
-    pub backoff_factor: u32,
-    /// After exhausting retries, run [`seq_reduction`] and return its
-    /// (bit-correct) values with a warning in the report instead of an
-    /// error.
-    pub fall_back_to_seq: bool,
-}
-
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
-        RecoveryPolicy {
-            max_attempts: 2,
-            initial_backoff: Duration::from_millis(2),
-            backoff_factor: 2,
-            fall_back_to_seq: true,
-        }
-    }
-}
-
-/// What the recovery ladder actually did for one call.
-#[derive(Debug, Clone, Default)]
-pub struct RecoveryReport {
-    /// Native attempts made (0 when the run bypassed the recovery path).
-    pub attempts: u32,
-    /// Display-formatted error of each failed attempt, in order.
-    pub errors: Vec<String>,
-    /// The answer came from the sequential executor, not the machine.
-    pub fell_back_to_seq: bool,
-    /// Human-readable summary when anything non-default happened.
-    pub warning: Option<String>,
-}
-
-/// Final values gathered from the machine plus run statistics.
+/// Final values gathered from the machine plus run statistics — the
+/// result shape of the deprecated `PhasedReduction` entry points. New
+/// code receives [`RunOutcome`] from the engine API.
 #[derive(Debug)]
 pub struct PhasedResult {
     /// Final reduction arrays (`num_arrays × num_elements`) — the values
@@ -169,7 +110,7 @@ pub struct PhasedResult {
     pub seconds: f64,
     /// Native wall time (zero for simulated runs).
     pub wall: std::time::Duration,
-    pub stats: RunStats,
+    pub stats: earth_model::RunStats,
     /// Per-processor, per-phase iteration counts — the load-balance
     /// signature (§5.4.2's block-vs-cyclic analysis).
     pub phase_iter_counts: Vec<Vec<usize>>,
@@ -177,6 +118,20 @@ pub struct PhasedResult {
     pub trace: Vec<earth_model::TraceEvent>,
     /// What the recovery ladder did (all-default for direct runs).
     pub recovery: RecoveryReport,
+}
+
+fn outcome_to_result(out: RunOutcome) -> PhasedResult {
+    PhasedResult {
+        x: out.values,
+        read: out.read,
+        time_cycles: out.time_cycles,
+        seconds: out.seconds,
+        wall: out.wall,
+        stats: out.stats,
+        phase_iter_counts: out.phase_iter_counts,
+        trace: out.trace,
+        recovery: out.recovery,
+    }
 }
 
 /// Per-node regions for the cache model. The reduction group and the
@@ -194,17 +149,91 @@ struct Regions {
     copies: Region,
 }
 
-/// State of one node (the "procedure frame" of the phased program).
-pub struct PhasedNode<K> {
-    proc: usize,
+/// The immutable, reusable part of one node: the inspector plan and the
+/// addressing derived from it. Shared (`Arc`) between the prepared run
+/// and every node state instantiated from it, and rebuilt only when an
+/// incremental mesh update dirties the node.
+struct NodePlanData {
     geometry: PhaseGeometry,
-    sweeps: usize,
-    kernel: Arc<K>,
     plan: InspectorPlan,
     /// Global iteration ids per phase, phase-major.
     giters: Vec<Vec<u32>>,
     /// Original global element ids per phase, `m`-interleaved.
     elems: Vec<Vec<u32>>,
+    /// Cumulative start offset of each phase in the concatenated
+    /// iteration order (for region addressing).
+    phase_off: Vec<usize>,
+    regions: Regions,
+}
+
+impl NodePlanData {
+    /// Derive the frozen per-node data from an (incremental) inspector
+    /// state.
+    fn from_inspector<K: EdgeKernel>(
+        insp: &IncrementalInspector,
+        local_iters: &[u32],
+        spec_elems: usize,
+        total_iterations: usize,
+        kernel: &K,
+    ) -> NodePlanData {
+        let plan = insp.plan().clone();
+        let local_ind = insp.indirection();
+        let m = kernel.num_refs();
+        let kp = plan.geometry.num_phases();
+        let mut giters = Vec::with_capacity(kp);
+        let mut elems = Vec::with_capacity(kp);
+        let mut phase_off = Vec::with_capacity(kp);
+        let mut off = 0usize;
+        for ph in &plan.phases {
+            phase_off.push(off);
+            off += ph.iters.len();
+            let g: Vec<u32> = ph
+                .iters
+                .iter()
+                .map(|&li| local_iters[li as usize])
+                .collect();
+            let mut e = Vec::with_capacity(ph.iters.len() * m);
+            for &li in &ph.iters {
+                for lr in local_ind.iter() {
+                    e.push(lr[li as usize]);
+                }
+            }
+            giters.push(g);
+            elems.push(e);
+        }
+
+        let n = spec_elems;
+        let r_arrays = kernel.num_arrays();
+        let n_read = kernel.num_read_arrays();
+        let total_local = local_iters.len();
+        let mut am = AddressMap::new(64);
+        let regions = Regions {
+            x: am.alloc_f64((n + plan.buffer_len) * r_arrays),
+            read: am.alloc_f64(n * n_read.max(1)),
+            giter: am.alloc_u32(total_local.max(1)),
+            elems: am.alloc_u32((total_local * m).max(1)),
+            refs: (0..m).map(|_| am.alloc_u32(total_local.max(1))).collect(),
+            edge: am.alloc_f64(total_iterations.max(1)),
+            copies: am.alloc(plan.total_copies().max(1), 8),
+        };
+        NodePlanData {
+            geometry: plan.geometry,
+            plan,
+            giters,
+            elems,
+            phase_off,
+            regions,
+        }
+    }
+}
+
+/// State of one node (the "procedure frame" of the phased program):
+/// the shared plan data plus this execute's mutable buffers.
+pub struct PhasedNode<K> {
+    proc: usize,
+    sweeps: usize,
+    kernel: Arc<K>,
+    data: Arc<NodePlanData>,
     /// Reduction arrays with buffer extension: `num_arrays` of
     /// `num_elements + buffer_len`.
     x: Vec<Vec<f64>>,
@@ -212,12 +241,9 @@ pub struct PhasedNode<K> {
     read: Vec<Vec<f64>>,
     /// Scratch for kernel contributions.
     out: Vec<f64>,
-    /// Measured per-phase loop cost, replayed after the metering sweep.
+    /// Measured per-phase loop cost, replayed after the metering sweep
+    /// (and seeded from the [`Workspace`] cost cache under plan reuse).
     phase_cost: Vec<Option<u64>>,
-    /// Cumulative start offset of each phase in the concatenated
-    /// iteration order (for region addressing).
-    phase_off: Vec<usize>,
-    regions: Regions,
     stream: StreamModel,
     /// Modeled per-iteration / per-copy overhead of the generated phased
     /// loop code (0 on the native backend).
@@ -236,103 +262,18 @@ pub struct PhasedNode<K> {
 /// segments)`.
 type FinalPortion = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>);
 
+/// What [`PreparedPhased::finish`] assembles from the per-node portions:
+/// `(values, read, phase_iter_counts)`.
+type Assembled = (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<usize>>);
+
 fn slot_of(t: usize, p: usize, kp: usize) -> SlotId {
     (t * kp + p) as SlotId
 }
 
 impl<K: EdgeKernel> PhasedNode<K> {
-    fn new(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-        proc: usize,
-        local_iters: Vec<u32>,
-        mem_cfg: memsim::MemConfig,
-        overheads: (u64, u64),
-    ) -> Result<Self, PhasedError> {
-        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
-        let m = spec.kernel.num_refs();
-        // Local views of the indirection arrays.
-        let local_ind: Vec<Vec<u32>> = (0..m)
-            .map(|r| {
-                local_iters
-                    .iter()
-                    .map(|&i| spec.indirection[r][i as usize])
-                    .collect()
-            })
-            .collect();
-        let refs: Vec<&[u32]> = local_ind.iter().map(|v| v.as_slice()).collect();
-        let plan = inspect(InspectorInput {
-            geometry,
-            proc_id: proc,
-            indirection: &refs,
-        })?;
-        debug_assert!(lightinspector::verify_plan(&plan, &refs).is_ok());
-
-        let kp = geometry.num_phases();
-        let mut giters = Vec::with_capacity(kp);
-        let mut elems = Vec::with_capacity(kp);
-        let mut phase_off = Vec::with_capacity(kp);
-        let mut off = 0usize;
-        for ph in &plan.phases {
-            phase_off.push(off);
-            off += ph.iters.len();
-            let g: Vec<u32> = ph.iters.iter().map(|&li| local_iters[li as usize]).collect();
-            let mut e = Vec::with_capacity(ph.iters.len() * m);
-            for &li in &ph.iters {
-                for lr in local_ind.iter() {
-                    e.push(lr[li as usize]);
-                }
-            }
-            giters.push(g);
-            elems.push(e);
-        }
-
-        let n = spec.num_elements;
-        let r_arrays = spec.kernel.num_arrays();
-        let x = vec![vec![0.0f64; n + plan.buffer_len]; r_arrays];
-        let read = spec.kernel.init_read();
-        assert_eq!(read.len(), spec.kernel.num_read_arrays());
-        for ra in &read {
-            assert_eq!(ra.len(), n, "read arrays must span the reduction array");
-        }
-
-        let total_local = local_iters.len();
-        let mut am = AddressMap::new(64);
-        let regions = Regions {
-            x: am.alloc_f64((n + plan.buffer_len) * r_arrays),
-            read: am.alloc_f64(n * read.len().max(1)),
-            giter: am.alloc_u32(total_local.max(1)),
-            elems: am.alloc_u32((total_local * m).max(1)),
-            refs: (0..m).map(|_| am.alloc_u32(total_local.max(1))).collect(),
-            edge: am.alloc_f64(spec.num_iterations().max(1)),
-            copies: am.alloc(plan.total_copies().max(1), 8),
-        };
-
-        Ok(PhasedNode {
-            proc,
-            geometry,
-            sweeps: strat.sweeps,
-            kernel: Arc::clone(&spec.kernel),
-            out: vec![0.0; m * r_arrays],
-            plan,
-            giters,
-            elems,
-            x,
-            read,
-            phase_cost: vec![None; kp],
-            phase_off,
-            regions,
-            stream: StreamModel::new(mem_cfg),
-            iter_overhead: overheads.0,
-            copy_overhead: overheads.1,
-            staged: Vec::new(),
-            results: Vec::new(),
-        })
-    }
-
     /// The body of phase fiber `(t, p)`.
     fn run_phase<C: FiberCtx<Self>>(s: &mut Self, t: usize, p: usize, ctx: &mut C) {
-        let g = s.geometry;
+        let g = s.data.geometry;
         let kp = g.num_phases();
         let k = g.k();
         let portion = g.portion_owned_by(s.proc, p);
@@ -341,7 +282,6 @@ impl<K: EdgeKernel> PhasedNode<K> {
         let first_visit = p < k;
         let last_visit = p >= kp - k;
         let r_arrays = s.x.len();
-        let n = g.num_elements();
 
         // --- portion arrival / initialization ---------------------------
         if first_visit {
@@ -382,7 +322,9 @@ impl<K: EdgeKernel> PhasedNode<K> {
             }
             // Remote segments from the other nodes' final owners.
             for pi in 0..kp {
-                let owner = g.owner_at(pi, g.last_visit_phase(pi)).expect("last visit owner");
+                let owner = g
+                    .owner_at(pi, g.last_visit_phase(pi))
+                    .expect("last visit owner");
                 if owner == s.proc {
                     continue; // applied from the staging buffer above
                 }
@@ -431,8 +373,8 @@ impl<K: EdgeKernel> PhasedNode<K> {
         // Generated-code overhead of the phased loops (see SimConfig).
         if ctx.is_sim() {
             ctx.charge(
-                s.giters[p].len() as u64 * s.iter_overhead
-                    + s.plan.phases[p].copies.len() as u64 * s.copy_overhead,
+                s.data.giters[p].len() as u64 * s.iter_overhead
+                    + s.data.plan.phases[p].copies.len() as u64 * s.copy_overhead,
             );
         }
 
@@ -473,7 +415,12 @@ impl<K: EdgeKernel> PhasedNode<K> {
                 let dst_slot = slot_of(t + 1, 0, kp);
                 for d in 0..g.num_procs() {
                     if d != s.proc {
-                        ctx.data_sync(d, key, Value::F64s(seg.clone().into_boxed_slice()), dst_slot);
+                        ctx.data_sync(
+                            d,
+                            key,
+                            Value::F64s(seg.clone().into_boxed_slice()),
+                            dst_slot,
+                        );
                     }
                 }
                 s.staged.push((portion, updated.clone()));
@@ -519,39 +466,38 @@ impl<K: EdgeKernel> PhasedNode<K> {
         if abs + 1 < s.sweeps * kp {
             ctx.sync(s.proc, (abs + 1) as SlotId);
         }
-        let _ = n;
     }
 
     /// Loop 1 + loop 2 without metering.
     fn exec_loops(&mut self, p: usize, meter: &mut NullMeter) {
-        let (plan, giters, elems) = (&self.plan, &self.giters[p], &self.elems[p]);
+        let d = &self.data;
         loops(
             &*self.kernel,
             &self.read,
             &mut self.x,
-            giters,
-            elems,
-            &plan.phases[p],
+            &d.giters[p],
+            &d.elems[p],
+            &d.plan.phases[p],
             &mut self.out,
-            &self.regions,
-            self.phase_off[p],
+            &d.regions,
+            d.phase_off[p],
             meter,
         );
     }
 
     /// Loop 1 + loop 2 with full cache metering.
     fn exec_loops_metered<M: Meter>(&mut self, p: usize, meter: &mut M) {
-        let (plan, giters, elems) = (&self.plan, &self.giters[p], &self.elems[p]);
+        let d = &self.data;
         loops(
             &*self.kernel,
             &self.read,
             &mut self.x,
-            giters,
-            elems,
-            &plan.phases[p],
+            &d.giters[p],
+            &d.elems[p],
+            &d.plan.phases[p],
             &mut self.out,
-            &self.regions,
-            self.phase_off[p],
+            &d.regions,
+            d.phase_off[p],
             meter,
         );
     }
@@ -587,7 +533,10 @@ fn loops<K: EdgeKernel, M: Meter>(
         for (r, &el) in e.iter().enumerate() {
             meter.load(regs.elems.addr(pos * m + r));
             for w in 0..node_reads {
-                meter.load(regs.read.addr(el as usize * n_read.max(1) + w % n_read.max(1)));
+                meter.load(
+                    regs.read
+                        .addr(el as usize * n_read.max(1) + w % n_read.max(1)),
+                );
             }
         }
         for w in 0..edge_reads {
@@ -627,13 +576,7 @@ fn loops<K: EdgeKernel, M: Meter>(
 }
 
 /// Compute the sync count of phase fiber `(t, p)`.
-fn sync_count(
-    t: usize,
-    p: usize,
-    k: usize,
-    kp: usize,
-    updates_read: bool,
-) -> u32 {
+fn sync_count(t: usize, p: usize, k: usize, kp: usize, updates_read: bool) -> u32 {
     let mut c = 0u32;
     if !(t == 0 && p == 0) {
         c += 1; // chain from the previous phase on this node
@@ -647,59 +590,26 @@ fn sync_count(
     c
 }
 
-/// Check the spec's global arrays against each other and the kernel
-/// before any per-node indexing happens.
-fn validate_spec<K: EdgeKernel>(spec: &PhasedSpec<K>) -> Result<(), PhasedError> {
-    let m = spec.kernel.num_refs();
-    if spec.indirection.len() != m {
-        return Err(PhasedError::Shape {
-            what: "indirection arrays (kernel.num_refs)",
-            expected: m,
-            got: spec.indirection.len(),
-        });
-    }
-    if m == 0 {
-        return Err(PhasedError::Invalid(InspectError::NoReferences));
-    }
-    let iters = spec.indirection[0].len();
-    for arr in spec.indirection.iter() {
-        if arr.len() != iters {
-            return Err(PhasedError::Shape {
-                what: "indirection array length",
-                expected: iters,
-                got: arr.len(),
-            });
-        }
-    }
-    Ok(())
+/// The program template, specialized to whichever backend the engine
+/// that prepared the run drives.
+enum PhasedTemplate<K> {
+    Sim(ProgramTemplate<PhasedNode<K>, SimCtx<PhasedNode<K>>>),
+    Native(ProgramTemplate<PhasedNode<K>, NativeCtx<PhasedNode<K>>>),
 }
 
-/// Build the whole-machine program for a `(spec, strategy)` pair,
-/// generic over the backend context. Rejects malformed specs (ragged or
-/// miscounted indirection arrays, out-of-range elements, degenerate
-/// geometry) with a typed [`PhasedError`] before any fiber runs.
-pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
-    spec: &PhasedSpec<K>,
+fn build_template<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
     strat: &StrategyConfig,
-    mem_cfg: memsim::MemConfig,
-    overheads: (u64, u64),
-) -> Result<MachineProgram<PhasedNode<K>, C>, PhasedError> {
-    validate_spec(spec)?;
-    // n < k·P is legal: trailing portions are empty and their phases
-    // degenerate to bare synchronization (PhaseGeometry handles this).
-    let owned = distribute(spec.num_iterations(), strat.procs, strat.distribution);
+    updates_read: bool,
+) -> ProgramTemplate<PhasedNode<K>, C> {
     let kp = strat.phases_per_sweep();
     let k = strat.k;
-    let updates_read = spec.kernel.updates_read_state();
-
-    let mut prog = MachineProgram::new();
-    for (proc, proc_owned) in owned.iter().enumerate().take(strat.procs) {
-        let node = PhasedNode::new(spec, strat, proc, proc_owned.clone(), mem_cfg, overheads)?;
-        let id = prog.add_node(node);
+    let mut tmpl = ProgramTemplate::new();
+    for _proc in 0..strat.procs {
+        let id = tmpl.add_node();
         for t in 0..strat.sweeps {
             for p in 0..kp {
                 let count = sync_count(t, p, k, kp, updates_read);
-                prog.node_mut(id).add_fiber(FiberSpec::new(
+                tmpl.node_mut(id).add_fiber(FiberTemplate::new(
                     "phase",
                     count,
                     move |s: &mut PhasedNode<K>, ctx: &mut C| {
@@ -709,204 +619,617 @@ pub fn build_program<K: EdgeKernel, C: FiberCtx<PhasedNode<K>> + 'static>(
             }
         }
     }
-    Ok(prog)
+    tmpl
 }
 
-/// `(x arrays, read arrays, per-node phase iteration counts)`.
-type AssembledArrays = (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<usize>>);
+/// A fully prepared phased run: validated spec, per-node inspector
+/// plans (held incrementally so adaptive meshes re-prepare in `O(m)` per
+/// changed iteration), remapped indirection, and the EARTH program
+/// template. Execute it any number of times; repeated executes skip
+/// inspection, remapping, program construction, and (on the simulator)
+/// metering.
+pub struct PreparedPhased<K> {
+    kernel: Arc<K>,
+    num_elements: usize,
+    strat: StrategyConfig,
+    /// Current global indirection arrays (kept in sync with the per-node
+    /// inspectors by [`Self::apply_updates`]).
+    indirection: Vec<Vec<u32>>,
+    /// Global iteration → (proc, local index) under the distribution.
+    iter_loc: Vec<(u32, u32)>,
+    /// Per-proc incremental inspectors (own the local indirection).
+    inspectors: Vec<IncrementalInspector>,
+    /// Per-proc local→global iteration maps.
+    local_iters: Vec<Vec<u32>>,
+    /// Frozen per-node plan snapshots handed to node states.
+    node_data: Vec<Arc<NodePlanData>>,
+    /// Nodes whose snapshot is stale after incremental updates.
+    dirty: Vec<bool>,
+    /// The kernel's initial read arrays, computed once and copied into
+    /// pooled buffers on each execute.
+    read_init: Vec<Vec<f64>>,
+    mem_cfg: memsim::MemConfig,
+    overheads: (u64, u64),
+    template: PhasedTemplate<K>,
+    token: PlanToken,
+    executions: u64,
+}
 
-/// Assemble global arrays from per-node final portions.
-fn assemble<K: EdgeKernel>(
-    spec: &PhasedSpec<K>,
-    nodes: Vec<PhasedNode<K>>,
-) -> AssembledArrays {
-    let n = spec.num_elements;
-    let r_arrays = spec.kernel.num_arrays();
-    let r_read = spec.kernel.num_read_arrays();
-    let mut x = vec![vec![0.0f64; n]; r_arrays];
-    let mut read = vec![vec![0.0f64; n]; r_read];
-    let mut counts = Vec::with_capacity(nodes.len());
-    for node in nodes {
-        counts.push(node.plan.phase_iter_counts());
-        for (portion, xs, rs) in node.results {
-            let range = node.geometry.portion_range(portion);
-            for (a, seg) in xs.into_iter().enumerate() {
-                x[a][range.clone()].copy_from_slice(&seg);
-            }
-            for (a, seg) in rs.into_iter().enumerate() {
-                read[a][range.clone()].copy_from_slice(&seg);
+impl<K> std::fmt::Debug for PreparedPhased<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedPhased")
+            .field("num_elements", &self.num_elements)
+            .field("strat", &self.strat)
+            .field("token", &self.token)
+            .field("executions", &self.executions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: EdgeKernel> PreparedPhased<K> {
+    fn new(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        backend: &EngineBackend,
+    ) -> Result<Self, EngineError> {
+        validate_phased_spec(spec)?;
+        // n < k·P is legal: trailing portions are empty and their phases
+        // degenerate to bare synchronization (PhaseGeometry handles this).
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
+        let m = spec.kernel.num_refs();
+        let total_iterations = spec.num_iterations();
+        let owned = distribute(total_iterations, strat.procs, strat.distribution);
+
+        let mut iter_loc = vec![(0u32, 0u32); total_iterations];
+        for (proc, iters) in owned.iter().enumerate() {
+            for (li, &gi) in iters.iter().enumerate() {
+                iter_loc[gi as usize] = (proc as u32, li as u32);
             }
         }
+
+        let mut inspectors = Vec::with_capacity(strat.procs);
+        let mut node_data = Vec::with_capacity(strat.procs);
+        for (proc, local_iters) in owned.iter().enumerate().take(strat.procs) {
+            let local_ind: Vec<Vec<u32>> = (0..m)
+                .map(|r| {
+                    local_iters
+                        .iter()
+                        .map(|&i| spec.indirection[r][i as usize])
+                        .collect()
+                })
+                .collect();
+            let insp = IncrementalInspector::try_new(geometry, proc, local_ind)?;
+            debug_assert!({
+                let refs: Vec<&[u32]> = insp.indirection().iter().map(|v| v.as_slice()).collect();
+                lightinspector::verify_plan(insp.plan(), &refs).is_ok()
+            });
+            node_data.push(Arc::new(NodePlanData::from_inspector(
+                &insp,
+                local_iters,
+                spec.num_elements,
+                total_iterations,
+                &*spec.kernel,
+            )));
+            inspectors.push(insp);
+        }
+
+        let read_init = spec.kernel.init_read();
+        if read_init.len() != spec.kernel.num_read_arrays() {
+            return Err(EngineError::Shape {
+                what: "init_read arrays (kernel.num_read_arrays)",
+                expected: spec.kernel.num_read_arrays(),
+                got: read_init.len(),
+            });
+        }
+        for ra in &read_init {
+            if ra.len() != spec.num_elements {
+                return Err(EngineError::Shape {
+                    what: "read array length (num_elements)",
+                    expected: spec.num_elements,
+                    got: ra.len(),
+                });
+            }
+        }
+
+        let updates_read = spec.kernel.updates_read_state();
+        let (mem_cfg, overheads, template) = match backend {
+            EngineBackend::Sim(cfg) => (
+                cfg.mem,
+                (
+                    cfg.phased_iter_overhead_cycles,
+                    cfg.phased_copy_overhead_cycles,
+                ),
+                PhasedTemplate::Sim(build_template(strat, updates_read)),
+            ),
+            EngineBackend::Native(_) => (
+                memsim::MemConfig::i860xp(),
+                (0, 0),
+                PhasedTemplate::Native(build_template(strat, updates_read)),
+            ),
+        };
+
+        Ok(PreparedPhased {
+            kernel: Arc::clone(&spec.kernel),
+            num_elements: spec.num_elements,
+            strat: *strat,
+            indirection: spec.indirection.as_ref().clone(),
+            iter_loc,
+            inspectors,
+            local_iters: owned,
+            node_data,
+            dirty: vec![false; strat.procs],
+            read_init,
+            mem_cfg,
+            overheads,
+            template,
+            token: PlanToken::fresh(),
+            executions: 0,
+        })
     }
-    (x, read, counts)
+
+    /// The strategy this run was prepared for.
+    pub fn strategy(&self) -> &StrategyConfig {
+        &self.strat
+    }
+
+    /// The current global indirection arrays (reflecting all applied
+    /// updates).
+    pub fn indirection(&self) -> &[Vec<u32>] {
+        &self.indirection
+    }
+
+    /// Cache identity of this plan (version changes on every
+    /// [`Self::apply_updates`]).
+    pub fn token(&self) -> PlanToken {
+        self.token
+    }
+
+    /// Executes performed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Re-route iterations of an adaptive mesh: each entry re-targets
+    /// global iteration `iter` to `new_refs` (one element per indirection
+    /// array). The affected nodes' plans are updated incrementally in
+    /// `O(m)` per iteration via [`lightinspector::incremental`] — no
+    /// full re-inspection — and cached phase costs are invalidated.
+    pub fn apply_updates(&mut self, updates: &[(usize, Vec<u32>)]) -> Result<(), EngineError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let m = self.kernel.num_refs();
+        let total = self.indirection[0].len();
+        for (iter, new_refs) in updates {
+            if new_refs.len() != m {
+                return Err(EngineError::Shape {
+                    what: "update arity (kernel.num_refs)",
+                    expected: m,
+                    got: new_refs.len(),
+                });
+            }
+            if *iter >= total {
+                return Err(EngineError::Shape {
+                    what: "updated iteration index (num_iterations)",
+                    expected: total,
+                    got: *iter,
+                });
+            }
+            for (r, &e) in new_refs.iter().enumerate() {
+                if e as usize >= self.num_elements {
+                    return Err(EngineError::Invalid(InspectError::OutOfRange {
+                        r,
+                        iter: *iter,
+                        elem: e,
+                        num_elements: self.num_elements,
+                    }));
+                }
+            }
+        }
+        for (iter, new_refs) in updates {
+            let (proc, local) = self.iter_loc[*iter];
+            self.inspectors[proc as usize].update(local as usize, new_refs);
+            for (r, &e) in new_refs.iter().enumerate() {
+                self.indirection[r][*iter] = e;
+            }
+            self.dirty[proc as usize] = true;
+        }
+        self.token.bump();
+        Ok(())
+    }
+
+    /// Rebuild frozen snapshots for nodes dirtied by incremental updates.
+    fn refresh_dirty(&mut self) {
+        let total_iterations = self.indirection[0].len();
+        for proc in 0..self.strat.procs {
+            if !self.dirty[proc] {
+                continue;
+            }
+            self.node_data[proc] = Arc::new(NodePlanData::from_inspector(
+                &self.inspectors[proc],
+                &self.local_iters[proc],
+                self.num_elements,
+                total_iterations,
+                &*self.kernel,
+            ));
+            self.dirty[proc] = false;
+        }
+    }
+
+    /// Instantiate per-node states from pooled buffers.
+    fn make_nodes(&self, ws: &mut Workspace, sim: bool) -> Vec<PhasedNode<K>> {
+        let kp = self.strat.phases_per_sweep();
+        let r_arrays = self.kernel.num_arrays();
+        let m = self.kernel.num_refs();
+        let n = self.num_elements;
+        let cached = if sim {
+            ws.costs_for(self.token).cloned()
+        } else {
+            None
+        };
+        let mut nodes = Vec::with_capacity(self.strat.procs);
+        for proc in 0..self.strat.procs {
+            let data = Arc::clone(&self.node_data[proc]);
+            let x: Vec<Vec<f64>> = (0..r_arrays)
+                .map(|_| ws.take_buffer(n + data.plan.buffer_len))
+                .collect();
+            let read: Vec<Vec<f64>> = self
+                .read_init
+                .iter()
+                .map(|ra| {
+                    let mut b = ws.take_buffer(n);
+                    b.copy_from_slice(ra);
+                    b
+                })
+                .collect();
+            let phase_cost = cached
+                .as_ref()
+                .and_then(|c| c.get(proc).cloned())
+                .unwrap_or_else(|| vec![None; kp]);
+            nodes.push(PhasedNode {
+                proc,
+                sweeps: self.strat.sweeps,
+                kernel: Arc::clone(&self.kernel),
+                data,
+                x,
+                read,
+                out: vec![0.0; m * r_arrays],
+                phase_cost,
+                stream: StreamModel::new(self.mem_cfg),
+                iter_overhead: self.overheads.0,
+                copy_overhead: self.overheads.1,
+                staged: Vec::new(),
+                results: Vec::new(),
+            });
+        }
+        nodes
+    }
+
+    /// Assemble global arrays from per-node final portions, return the
+    /// node buffers to the pool, and (for simulated runs) harvest the
+    /// measured phase costs into the workspace cache.
+    fn finish(&self, nodes: Vec<PhasedNode<K>>, ws: &mut Workspace, sim: bool) -> Assembled {
+        let n = self.num_elements;
+        let r_arrays = self.kernel.num_arrays();
+        let r_read = self.kernel.num_read_arrays();
+        let mut x = vec![vec![0.0f64; n]; r_arrays];
+        let mut read = vec![vec![0.0f64; n]; r_read];
+        let mut counts = Vec::with_capacity(nodes.len());
+        let mut harvest: PhaseCosts = Vec::with_capacity(if sim { nodes.len() } else { 0 });
+        for node in nodes {
+            counts.push(node.data.plan.phase_iter_counts());
+            for (portion, xs, rs) in node.results {
+                let range = node.data.geometry.portion_range(portion);
+                for (a, seg) in xs.into_iter().enumerate() {
+                    x[a][range.clone()].copy_from_slice(&seg);
+                }
+                for (a, seg) in rs.into_iter().enumerate() {
+                    read[a][range.clone()].copy_from_slice(&seg);
+                }
+            }
+            if sim {
+                harvest.push(node.phase_cost);
+            }
+            for xa in node.x {
+                ws.put_buffer(xa);
+            }
+            for ra in node.read {
+                ws.put_buffer(ra);
+            }
+        }
+        if sim {
+            ws.store_costs(self.token, harvest);
+        }
+        (x, read, counts)
+    }
+
+    fn provenance(&self, backend: &'static str, reused: bool) -> Provenance {
+        Provenance {
+            engine: "phased",
+            backend,
+            reused_plan: reused,
+            executions: self.executions,
+        }
+    }
+
+    /// A sequential fallback outcome computed from the *current*
+    /// indirection arrays (post-updates).
+    fn seq_fallback(&self) -> RunOutcome {
+        let spec = PhasedSpec {
+            kernel: Arc::clone(&self.kernel),
+            num_elements: self.num_elements,
+            indirection: Arc::new(self.indirection.clone()),
+        };
+        let seq = seq_reduction(&spec, self.strat.sweeps, SimConfig::default());
+        RunOutcome {
+            values: seq.x,
+            read: seq.read,
+            time_cycles: seq.cycles,
+            seconds: seq.seconds,
+            ..RunOutcome::default()
+        }
+    }
+
+    fn execute(
+        &mut self,
+        backend: &EngineBackend,
+        recovery: Option<RecoveryPolicy>,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        self.refresh_dirty();
+        let reused = self.executions > 0;
+        self.executions += 1;
+        match (&self.template, backend) {
+            (PhasedTemplate::Sim(tmpl), EngineBackend::Sim(cfg)) => {
+                let nodes = self.make_nodes(ws, true);
+                let prog = tmpl.instantiate(nodes);
+                let report = run_sim(prog, *cfg);
+                assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
+                let (values, read, counts) = self.finish(report.states, ws, true);
+                Ok(RunOutcome {
+                    values,
+                    read,
+                    time_cycles: report.time_cycles,
+                    seconds: report.seconds,
+                    stats: report.stats,
+                    phase_iter_counts: counts,
+                    trace: report.trace,
+                    provenance: self.provenance("sim", reused),
+                    ..RunOutcome::default()
+                })
+            }
+            (PhasedTemplate::Native(_), EngineBackend::Native(cfg)) => {
+                let base = *cfg;
+                let mut out = match recovery {
+                    None => self.native_attempt(base, ws)?,
+                    Some(policy) => run_recovery_ladder(
+                        policy,
+                        |attempt| {
+                            let mut c = base;
+                            if attempt > 0 {
+                                if let Some(f) = c.faults {
+                                    c.faults = Some(f.reseeded(attempt as u64));
+                                }
+                            }
+                            self.native_attempt(c, ws)
+                        },
+                        || self.seq_fallback(),
+                    )?,
+                };
+                out.provenance = self.provenance("native", reused);
+                Ok(out)
+            }
+            _ => Err(EngineError::Unsupported(
+                "prepared run was built for the other backend",
+            )),
+        }
+    }
+
+    /// One native run from the prepared plan. A starved machine — a
+    /// phase fiber whose sync never arrives, e.g. because a fault plan
+    /// dropped the message — is always reported as
+    /// [`RunError::Stalled`][earth_model::native::RunError], never as a
+    /// silently short result: the phased program has no legitimate
+    /// unfired fibers.
+    fn native_attempt(
+        &self,
+        cfg: NativeConfig,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        let PhasedTemplate::Native(tmpl) = &self.template else {
+            return Err(EngineError::Unsupported(
+                "prepared run was built for the simulator",
+            ));
+        };
+        let cfg = NativeConfig {
+            starved_is_error: true,
+            ..cfg
+        };
+        let nodes = self.make_nodes(ws, false);
+        let prog = tmpl.instantiate(nodes);
+        let report = run_native_with(prog, cfg)?;
+        let (values, read, counts) = self.finish(report.states, ws, false);
+        Ok(RunOutcome {
+            values,
+            read,
+            wall: report.wall,
+            stats: report.stats,
+            phase_iter_counts: counts,
+            ..RunOutcome::default()
+        })
+    }
+
+    /// The general recovery form: the caller chooses the backend
+    /// configuration of each attempt (attempt numbers start at 0).
+    /// Invalid-spec errors are returned immediately — retrying a caller
+    /// bug cannot succeed; only runtime failures walk the ladder.
+    pub fn execute_recovering_with(
+        &mut self,
+        ws: &mut Workspace,
+        policy: RecoveryPolicy,
+        cfg_for_attempt: impl Fn(u32) -> NativeConfig,
+    ) -> Result<RunOutcome, EngineError> {
+        self.refresh_dirty();
+        let reused = self.executions > 0;
+        self.executions += 1;
+        let mut out = run_recovery_ladder(
+            policy,
+            |attempt| self.native_attempt(cfg_for_attempt(attempt), ws),
+            || self.seq_fallback(),
+        )?;
+        out.provenance = self.provenance("native", reused);
+        Ok(out)
+    }
 }
 
-/// Entry point for phased execution.
+/// The phased executor as a [`ReductionEngine`]: construct it for a
+/// backend, `prepare` once per `(spec, strategy)`, `execute` per run.
+#[derive(Debug, Clone, Copy)]
+pub struct PhasedEngine {
+    backend: EngineBackend,
+    recovery: Option<RecoveryPolicy>,
+}
+
+impl PhasedEngine {
+    /// Run on the discrete-event simulator.
+    pub fn sim(cfg: SimConfig) -> Self {
+        PhasedEngine {
+            backend: EngineBackend::Sim(cfg),
+            recovery: None,
+        }
+    }
+
+    /// Run on real OS threads (one per simulated node).
+    pub fn native(cfg: NativeConfig) -> Self {
+        PhasedEngine {
+            backend: EngineBackend::Native(cfg),
+            recovery: None,
+        }
+    }
+
+    /// Run natively under a [`RecoveryPolicy`]: retry failed runs with
+    /// exponential backoff (re-instantiating the program each time and,
+    /// when a fault plan is configured, reseeding it per attempt), then
+    /// fall back to the sequential executor. Callers always get a
+    /// bit-correct answer or a typed error — never a hang, never silent
+    /// corruption.
+    pub fn recovering(cfg: NativeConfig, policy: RecoveryPolicy) -> Self {
+        PhasedEngine {
+            backend: EngineBackend::Native(cfg),
+            recovery: Some(policy),
+        }
+    }
+
+    pub fn backend(&self) -> &EngineBackend {
+        &self.backend
+    }
+}
+
+impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for PhasedEngine {
+    type Prepared = PreparedPhased<K>;
+
+    fn name(&self) -> &'static str {
+        "phased"
+    }
+
+    fn prepare(
+        &self,
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+    ) -> Result<Self::Prepared, EngineError> {
+        PreparedPhased::new(spec, strat, &self.backend)
+    }
+
+    fn execute(
+        &self,
+        prepared: &mut Self::Prepared,
+        ws: &mut Workspace,
+    ) -> Result<RunOutcome, EngineError> {
+        prepared.execute(&self.backend, self.recovery, ws)
+    }
+}
+
+/// Entry point for phased execution — the deprecated one-shot API.
+/// Every call re-prepares from scratch; prefer [`PhasedEngine`] with a
+/// held [`PreparedPhased`] for anything that runs more than once.
 pub struct PhasedReduction;
 
 impl PhasedReduction {
     /// Run on the discrete-event simulator, returning simulated time.
+    #[deprecated(note = "use PhasedEngine::sim(cfg) via the ReductionEngine trait")]
     pub fn run_sim<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
         cfg: SimConfig,
     ) -> PhasedResult {
-        let prog = build_program::<K, SimCtx<PhasedNode<K>>>(
-            spec,
-            strat,
-            cfg.mem,
-            (cfg.phased_iter_overhead_cycles, cfg.phased_copy_overhead_cycles),
-        )
-        .unwrap_or_else(|e| panic!("phased program build failed: {e}"));
-        let report = run_sim(prog, cfg);
-        assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
-        let (x, read, counts) = assemble(spec, report.states);
-        PhasedResult {
-            x,
-            read,
-            time_cycles: report.time_cycles,
-            seconds: report.seconds,
-            wall: std::time::Duration::ZERO,
-            stats: report.stats,
-            phase_iter_counts: counts,
-            trace: report.trace,
-            recovery: RecoveryReport::default(),
-        }
+        let out = PhasedEngine::sim(cfg)
+            .run(spec, strat)
+            .unwrap_or_else(|e| panic!("phased program build failed: {e}"));
+        outcome_to_result(out)
     }
 
     /// Run on real OS threads (one per simulated node).
+    #[deprecated(note = "use PhasedEngine::native(cfg) via the ReductionEngine trait")]
     pub fn run_native<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
     ) -> Result<PhasedResult, PhasedError> {
-        Self::run_native_with(spec, strat, NativeConfig::default())
+        PhasedEngine::native(NativeConfig::default())
+            .run(spec, strat)
+            .map(outcome_to_result)
     }
 
-    /// Like [`Self::run_native`] but with an explicit backend
-    /// configuration (watchdog deadline, fault plan). A starved machine —
-    /// a phase fiber whose sync never arrives, e.g. because a fault plan
-    /// dropped the message — is always reported as
-    /// [`RunError::Stalled`][earth_model::native::RunError], never as a
-    /// silently short result: the phased program has no legitimate
-    /// unfired fibers.
+    /// Like `run_native` but with an explicit backend configuration
+    /// (watchdog deadline, fault plan).
+    #[deprecated(note = "use PhasedEngine::native(cfg) via the ReductionEngine trait")]
     pub fn run_native_with<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
         cfg: NativeConfig,
     ) -> Result<PhasedResult, PhasedError> {
-        let prog =
-            build_program::<K, NativeCtx<PhasedNode<K>>>(spec, strat, memsim::MemConfig::i860xp(), (0, 0))?;
-        let cfg = NativeConfig {
-            starved_is_error: true,
-            ..cfg
-        };
-        let report = run_native_with(prog, cfg)?;
-        let (x, read, counts) = assemble(spec, report.states);
-        Ok(PhasedResult {
-            x,
-            read,
-            time_cycles: 0,
-            seconds: 0.0,
-            wall: report.wall,
-            stats: report.stats,
-            phase_iter_counts: counts,
-            trace: Vec::new(),
-            recovery: RecoveryReport::default(),
-        })
+        PhasedEngine::native(cfg)
+            .run(spec, strat)
+            .map(outcome_to_result)
     }
 
-    /// Run natively under a [`RecoveryPolicy`]: retry failed runs with
-    /// exponential backoff (rebuilding the program each time and, when a
-    /// fault plan is configured, reseeding it per attempt), then fall
-    /// back to the sequential executor. Callers always get a bit-correct
-    /// answer or a typed error — never a hang, never silent corruption.
+    /// Run natively under a [`RecoveryPolicy`].
+    #[deprecated(note = "use PhasedEngine::recovering(cfg, policy) via the ReductionEngine trait")]
     pub fn run_recovering<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
         policy: RecoveryPolicy,
         cfg: NativeConfig,
     ) -> Result<PhasedResult, PhasedError> {
-        Self::run_recovering_with(spec, strat, policy, |attempt| {
-            let mut c = cfg;
-            if attempt > 0 {
-                if let Some(f) = c.faults {
-                    c.faults = Some(f.reseeded(attempt as u64));
-                }
-            }
-            c
-        })
+        PhasedEngine::recovering(cfg, policy)
+            .run(spec, strat)
+            .map(outcome_to_result)
     }
 
-    /// The general form of [`Self::run_recovering`]: the caller chooses
-    /// the backend configuration of each attempt (attempt numbers start
-    /// at 0). Invalid-spec errors are returned immediately — retrying a
-    /// caller bug cannot succeed; only runtime failures walk the ladder.
+    /// The general form of `run_recovering`: the caller chooses the
+    /// backend configuration of each attempt.
+    #[deprecated(note = "use PreparedPhased::execute_recovering_with")]
     pub fn run_recovering_with<K: EdgeKernel>(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
         policy: RecoveryPolicy,
         cfg_for_attempt: impl Fn(u32) -> NativeConfig,
     ) -> Result<PhasedResult, PhasedError> {
-        let mut report = RecoveryReport::default();
-        let mut last_err: Option<RunError> = None;
-        let mut backoff = policy.initial_backoff;
-        for attempt in 0..policy.max_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff *= policy.backoff_factor.max(1);
-            }
-            report.attempts = attempt + 1;
-            match Self::run_native_with(spec, strat, cfg_for_attempt(attempt)) {
-                Ok(mut res) => {
-                    if attempt > 0 {
-                        report.warning = Some(format!(
-                            "parallel run succeeded on attempt {} after: {}",
-                            attempt + 1,
-                            report.errors.join("; ")
-                        ));
-                    }
-                    res.recovery = report;
-                    return Ok(res);
-                }
-                Err(PhasedError::Run(e)) => {
-                    report.errors.push(e.to_string());
-                    last_err = Some(e);
-                }
-                // Caller bugs: no retry can fix the spec.
-                Err(e) => return Err(e),
-            }
-        }
-        if policy.fall_back_to_seq {
-            let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
-            report.fell_back_to_seq = true;
-            report.warning = Some(format!(
-                "parallel run failed {} attempt(s) ({}); result computed by the sequential executor",
-                report.attempts,
-                report.errors.join("; ")
-            ));
-            Ok(PhasedResult {
-                x: seq.x,
-                read: seq.read,
-                time_cycles: seq.cycles,
-                seconds: seq.seconds,
-                wall: Duration::ZERO,
-                stats: RunStats::default(),
-                phase_iter_counts: Vec::new(),
-                trace: Vec::new(),
-                recovery: report,
-            })
-        } else {
-            Err(PhasedError::Run(last_err.expect("at least one attempt ran")))
-        }
+        let engine = PhasedEngine::native(NativeConfig::default());
+        let mut prepared =
+            <PhasedEngine as ReductionEngine<PhasedSpec<K>>>::prepare(&engine, spec, strat)?;
+        let mut ws = Workspace::new();
+        prepared
+            .execute_recovering_with(&mut ws, policy, cfg_for_attempt)
+            .map(outcome_to_result)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::approx_eq;
     use crate::kernel::WeightedPairKernel;
     use crate::seq::seq_reduction;
-    use crate::approx_eq;
     use workloads::Distribution;
 
     fn tiny_spec(num_elems: usize, seed: u64, iters: usize) -> PhasedSpec<WeightedPairKernel> {
@@ -917,8 +1240,12 @@ mod tests {
             s ^= s << 17;
             s
         };
-        let ia1: Vec<u32> = (0..iters).map(|_| (next() % num_elems as u64) as u32).collect();
-        let ia2: Vec<u32> = (0..iters).map(|_| (next() % num_elems as u64) as u32).collect();
+        let ia1: Vec<u32> = (0..iters)
+            .map(|_| (next() % num_elems as u64) as u32)
+            .collect();
+        let ia2: Vec<u32> = (0..iters)
+            .map(|_| (next() % num_elems as u64) as u32)
+            .collect();
         let weights: Vec<f64> = (0..iters).map(|_| (next() % 1000) as f64 / 100.0).collect();
         PhasedSpec {
             kernel: Arc::new(WeightedPairKernel {
@@ -929,11 +1256,17 @@ mod tests {
         }
     }
 
+    fn run_sim_engine(spec: &PhasedSpec<WeightedPairKernel>, strat: &StrategyConfig) -> RunOutcome {
+        PhasedEngine::sim(SimConfig::default())
+            .run(spec, strat)
+            .unwrap()
+    }
+
     fn check_matches_seq(spec: &PhasedSpec<WeightedPairKernel>, strat: StrategyConfig) {
         let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
-        let res = PhasedReduction::run_sim(spec, &strat, SimConfig::default());
+        let res = run_sim_engine(spec, &strat);
         assert!(
-            approx_eq(&res.x[0], &seq.x[0], 1e-9),
+            approx_eq(&res.values[0], &seq.x[0], 1e-9),
             "phased vs sequential mismatch for {}P {}",
             strat.procs,
             strat.label()
@@ -981,8 +1314,10 @@ mod tests {
         let spec = tiny_spec(32, 7, 200);
         let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 3);
         let seq = seq_reduction(&spec, strat.sweeps, SimConfig::default());
-        let res = PhasedReduction::run_native(&spec, &strat).unwrap();
-        assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
+        let res = PhasedEngine::native(NativeConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
+        assert!(approx_eq(&res.values[0], &seq.x[0], 1e-9));
     }
 
     #[test]
@@ -990,18 +1325,10 @@ mod tests {
         // On several processors with nontrivial portions, k=2 should beat
         // k=1 thanks to communication/computation overlap.
         let spec = tiny_spec(4096, 8, 20_000);
-        let t1 = PhasedReduction::run_sim(
-            &spec,
-            &StrategyConfig::new(8, 1, Distribution::Cyclic, 3),
-            SimConfig::default(),
-        )
-        .time_cycles;
-        let t2 = PhasedReduction::run_sim(
-            &spec,
-            &StrategyConfig::new(8, 2, Distribution::Cyclic, 3),
-            SimConfig::default(),
-        )
-        .time_cycles;
+        let t1 =
+            run_sim_engine(&spec, &StrategyConfig::new(8, 1, Distribution::Cyclic, 3)).time_cycles;
+        let t2 =
+            run_sim_engine(&spec, &StrategyConfig::new(8, 2, Distribution::Cyclic, 3)).time_cycles;
         assert!(t2 < t1, "k=2 ({t2}) should beat k=1 ({t1})");
     }
 
@@ -1012,8 +1339,8 @@ mod tests {
         let a = tiny_spec(256, 10, 2_000);
         let b = tiny_spec(256, 11, 2_000);
         let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
-        let ra = PhasedReduction::run_sim(&a, &strat, SimConfig::default());
-        let rb = PhasedReduction::run_sim(&b, &strat, SimConfig::default());
+        let ra = run_sim_engine(&a, &strat);
+        let rb = run_sim_engine(&b, &strat);
         assert_eq!(ra.stats.ops.messages, rb.stats.ops.messages);
         assert_eq!(ra.stats.ops.bytes, rb.stats.ops.bytes);
     }
@@ -1022,9 +1349,88 @@ mod tests {
     fn phase_counts_reported() {
         let spec = tiny_spec(64, 12, 300);
         let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 1);
-        let res = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        let res = run_sim_engine(&spec, &strat);
         assert_eq!(res.phase_iter_counts.len(), 4);
         let total: usize = res.phase_iter_counts.iter().flatten().sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn prepare_once_execute_many_is_bit_identical() {
+        let spec = tiny_spec(48, 13, 400);
+        let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&spec, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let first = engine.execute(&mut prepared, &mut ws).unwrap();
+        assert!(!first.provenance.reused_plan);
+        for _ in 0..3 {
+            let fresh = engine.run(&spec, &strat).unwrap();
+            let again = engine.execute(&mut prepared, &mut ws).unwrap();
+            assert!(again.provenance.reused_plan);
+            assert_eq!(
+                again.values, fresh.values,
+                "reused plan must be bit-identical"
+            );
+            assert_eq!(again.values, first.values);
+        }
+        assert_eq!(prepared.executions(), 4);
+        assert!(ws.has_cached_costs(), "sim executes cache phase costs");
+        assert!(ws.pooled_buffers() > 0, "buffers returned to the pool");
+    }
+
+    #[test]
+    fn apply_updates_matches_fresh_prepare() {
+        let spec = tiny_spec(64, 14, 300);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&spec, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let _ = engine.execute(&mut prepared, &mut ws).unwrap();
+
+        // Re-route some iterations, then compare against preparing the
+        // mutated spec from scratch.
+        let updates: Vec<(usize, Vec<u32>)> = (0..20)
+            .map(|i| (i * 7 % 300, vec![(i * 3 % 64) as u32, (i * 5 % 64) as u32]))
+            .collect();
+        prepared.apply_updates(&updates).unwrap();
+        let after = engine.execute(&mut prepared, &mut ws).unwrap();
+
+        let mutated = PhasedSpec {
+            kernel: Arc::clone(&spec.kernel),
+            num_elements: spec.num_elements,
+            indirection: Arc::new(prepared.indirection().to_vec()),
+        };
+        let fresh = engine.run(&mutated, &strat).unwrap();
+        assert!(
+            approx_eq(&after.values[0], &fresh.values[0], 1e-9),
+            "incremental re-prepare must agree with fresh prepare"
+        );
+    }
+
+    #[test]
+    fn apply_updates_rejects_out_of_range() {
+        let spec = tiny_spec(32, 15, 100);
+        let strat = StrategyConfig::new(2, 2, Distribution::Block, 1);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&spec, &strat).unwrap();
+        let err = prepared.apply_updates(&[(0, vec![99, 0])]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Invalid(InspectError::OutOfRange { elem: 99, .. })
+        ));
+        let err = prepared.apply_updates(&[(500, vec![1, 2])]).unwrap_err();
+        assert!(matches!(err, EngineError::Shape { .. }));
+    }
+
+    #[test]
+    fn deprecated_shim_still_works() {
+        #![allow(deprecated)]
+        let spec = tiny_spec(32, 16, 150);
+        let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 2);
+        let seq = seq_reduction(&spec, strat.sweeps, SimConfig::default());
+        #[allow(deprecated)]
+        let res = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
     }
 }

@@ -1,0 +1,150 @@
+//! The prepared-run support layer: buffer pooling and cross-execute
+//! cost caching, so steady-state `execute` calls neither allocate nor
+//! re-meter.
+//!
+//! A [`Workspace`] is deliberately separate from the prepared runs that
+//! use it: prepared plans are immutable structure, the workspace is
+//! scratch. One workspace can serve many prepared runs (buffers are
+//! pooled by size-agnostic recycling; costs are keyed by plan identity).
+
+use std::collections::HashMap;
+
+/// Identity of one prepared plan, including its mutation version.
+/// Incremental updates bump the version, which invalidates any phase
+/// costs cached for the old plan — the access pattern changed, so the
+/// measured cycles no longer apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanToken {
+    id: u64,
+    version: u64,
+}
+
+impl PlanToken {
+    /// A fresh, process-unique token at version 0.
+    pub(crate) fn fresh() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        PlanToken {
+            id: NEXT.fetch_add(1, Ordering::Relaxed),
+            version: 0,
+        }
+    }
+
+    /// Invalidate cached costs after a plan mutation.
+    pub(crate) fn bump(&mut self) {
+        self.version += 1;
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Per-node, per-phase measured loop costs, as harvested from node
+/// states after a simulated execute (`None` = not yet measured).
+pub(crate) type PhaseCosts = Vec<Vec<Option<u64>>>;
+
+/// Pools per-node buffers and caches measured phase costs across
+/// executes. Checked-out buffers are always zeroed; returned buffers
+/// keep their capacity, so a steady-state loop of identically shaped
+/// executes performs no heap allocation for node arrays.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+    /// Plan id → (version, costs). A stale version is overwritten on
+    /// store and ignored on lookup.
+    costs: HashMap<u64, (u64, PhaseCosts)>,
+}
+
+/// Cap on pooled buffers: enough for every node array of a large run,
+/// small enough that a workspace never hoards unbounded memory.
+const MAX_POOLED: usize = 256;
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Check out a zeroed buffer of length `len`, reusing pooled
+    /// capacity when available.
+    pub(crate) fn take_buffer(&mut self, len: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                b.clear();
+                b.resize(len, 0.0);
+                b
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a buffer to the pool.
+    pub(crate) fn put_buffer(&mut self, b: Vec<f64>) {
+        if self.pool.len() < MAX_POOLED && b.capacity() > 0 {
+            self.pool.push(b);
+        }
+    }
+
+    /// Measured costs for `token`, if an execute of the same plan
+    /// version stored them.
+    pub(crate) fn costs_for(&self, token: PlanToken) -> Option<&PhaseCosts> {
+        match self.costs.get(&token.id) {
+            Some((v, c)) if *v == token.version => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Store measured costs for `token`, superseding any older version.
+    pub(crate) fn store_costs(&mut self, token: PlanToken, costs: PhaseCosts) {
+        self.costs.insert(token.id, (token.version, costs));
+    }
+
+    /// Number of buffers currently pooled (introspection for tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether any phase costs are cached (introspection for tests).
+    pub fn has_cached_costs(&self) -> bool {
+        !self.costs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_capacity() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take_buffer(100);
+        b[3] = 42.0;
+        let cap = b.capacity();
+        ws.put_buffer(b);
+        assert_eq!(ws.pooled_buffers(), 1);
+        let b2 = ws.take_buffer(80);
+        assert_eq!(ws.pooled_buffers(), 0);
+        assert!(b2.capacity() >= cap.min(80));
+        assert!(b2.iter().all(|&v| v == 0.0), "checked-out buffer is zeroed");
+    }
+
+    #[test]
+    fn costs_keyed_by_version() {
+        let mut ws = Workspace::new();
+        let mut tok = PlanToken::fresh();
+        ws.store_costs(tok, vec![vec![Some(7)]]);
+        assert!(ws.costs_for(tok).is_some());
+        tok.bump();
+        assert!(
+            ws.costs_for(tok).is_none(),
+            "bumped version invalidates cache"
+        );
+        ws.store_costs(tok, vec![vec![Some(9)]]);
+        assert_eq!(ws.costs_for(tok).unwrap()[0][0], Some(9));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        assert_ne!(PlanToken::fresh(), PlanToken::fresh());
+    }
+}

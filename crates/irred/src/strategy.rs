@@ -3,6 +3,28 @@
 
 use workloads::Distribution;
 
+/// Why a strategy configuration is rejected. Every field of
+/// [`StrategyConfig`] must be at least 1: zero processors or zero phases
+/// describe no machine, and zero sweeps describe no work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyError {
+    ZeroProcs,
+    ZeroK,
+    ZeroSweeps,
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::ZeroProcs => write!(f, "strategy needs at least 1 processor"),
+            StrategyError::ZeroK => write!(f, "strategy needs k >= 1"),
+            StrategyError::ZeroSweeps => write!(f, "strategy needs at least 1 sweep"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
 /// One point in the paper's strategy space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StrategyConfig {
@@ -17,14 +39,34 @@ pub struct StrategyConfig {
 }
 
 impl StrategyConfig {
-    pub fn new(procs: usize, k: usize, distribution: Distribution, sweeps: usize) -> Self {
-        assert!(procs >= 1 && k >= 1 && sweeps >= 1);
-        StrategyConfig {
+    /// Validating constructor with a typed error.
+    pub fn try_new(
+        procs: usize,
+        k: usize,
+        distribution: Distribution,
+        sweeps: usize,
+    ) -> Result<Self, StrategyError> {
+        if procs < 1 {
+            return Err(StrategyError::ZeroProcs);
+        }
+        if k < 1 {
+            return Err(StrategyError::ZeroK);
+        }
+        if sweeps < 1 {
+            return Err(StrategyError::ZeroSweeps);
+        }
+        Ok(StrategyConfig {
             procs,
             k,
             distribution,
             sweeps,
-        }
+        })
+    }
+
+    /// Panicking wrapper around [`Self::try_new`] for static strategies.
+    pub fn new(procs: usize, k: usize, distribution: Distribution, sweeps: usize) -> Self {
+        Self::try_new(procs, k, distribution, sweeps)
+            .unwrap_or_else(|e| panic!("invalid strategy: {e}"))
     }
 
     /// The paper's label for this strategy: `"2c"`, `"4c"`, `"2b"`, …
@@ -58,5 +100,28 @@ mod tests {
     fn phases_per_sweep() {
         let s = StrategyConfig::new(4, 2, Distribution::Cyclic, 10);
         assert_eq!(s.phases_per_sweep(), 8);
+    }
+
+    #[test]
+    fn try_new_rejects_zeroes() {
+        assert_eq!(
+            StrategyConfig::try_new(0, 2, Distribution::Block, 1),
+            Err(StrategyError::ZeroProcs)
+        );
+        assert_eq!(
+            StrategyConfig::try_new(2, 0, Distribution::Block, 1),
+            Err(StrategyError::ZeroK)
+        );
+        assert_eq!(
+            StrategyConfig::try_new(2, 2, Distribution::Block, 0),
+            Err(StrategyError::ZeroSweeps)
+        );
+        assert!(StrategyConfig::try_new(1, 1, Distribution::Cyclic, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid strategy")]
+    fn new_panics_on_zero() {
+        let _ = StrategyConfig::new(0, 1, Distribution::Block, 1);
     }
 }

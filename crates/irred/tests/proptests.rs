@@ -14,8 +14,8 @@ use earth_model::sim::SimConfig;
 use harness::prop::{check, Config, Gen};
 use harness::{prop_assert, prop_assert_eq};
 use irred::{
-    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedGather, PhasedReduction, PhasedSpec,
-    GatherSpec, StrategyConfig,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, GatherEngine, GatherSpec, PhasedEngine,
+    PhasedSpec, ReductionEngine, StrategyConfig,
 };
 use workloads::SparseMatrix;
 
@@ -78,7 +78,11 @@ fn shape(g: &mut Gen) -> Shape {
         r_arrays,
         procs,
         k,
-        dist: if cyclic { Distribution::Cyclic } else { Distribution::Block },
+        dist: if cyclic {
+            Distribution::Cyclic
+        } else {
+            Distribution::Block
+        },
         sweeps,
         seed,
     }
@@ -112,9 +116,14 @@ fn phased_equals_sequential() {
         let spec = build_spec(s);
         let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
         let seq = seq_reduction(&spec, s.sweeps, SimConfig::default());
-        let r = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
+        let r = PhasedEngine::sim(SimConfig::default())
+            .run(&spec, &strat)
+            .map_err(|e| format!("{e}"))?;
         for a in 0..s.r_arrays {
-            prop_assert!(approx_eq(&r.x[a], &seq.x[a], 1e-9), "array {a} of {s:?}");
+            prop_assert!(
+                approx_eq(&r.values[a], &seq.x[a], 1e-9),
+                "array {a} of {s:?}"
+            );
         }
         Ok(())
     });
@@ -135,10 +144,15 @@ fn communication_independent_of_contents() {
         },
         |(s, seed2)| {
             let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
-            let a = PhasedReduction::run_sim(&build_spec(s), &strat, SimConfig::default());
+            let engine = PhasedEngine::sim(SimConfig::default());
+            let a = engine
+                .run(&build_spec(s), &strat)
+                .map_err(|e| format!("{e}"))?;
             let mut s2 = s.clone();
             s2.seed = *seed2;
-            let b = PhasedReduction::run_sim(&build_spec(&s2), &strat, SimConfig::default());
+            let b = engine
+                .run(&build_spec(&s2), &strat)
+                .map_err(|e| format!("{e}"))?;
             // The paper's headline property: identical shape → identical
             // message count and payload volume, whatever the indirection.
             prop_assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
@@ -168,10 +182,12 @@ fn gather_matches_spmv(s: &GatherShape) -> Result<(), String> {
         x: Arc::new(x.clone()),
     };
     let strat = StrategyConfig::new(s.procs, s.k, Distribution::Block, s.sweeps);
-    let r = PhasedGather::run_sim(&spec, &strat, SimConfig::default());
+    let r = GatherEngine::sim(SimConfig::default())
+        .run(&spec, &strat)
+        .map_err(|e| format!("{e}"))?;
     let mut want = vec![0.0; n];
     m.spmv(&x, &mut want);
-    prop_assert!(approx_eq(&r.y, &want, 1e-10));
+    prop_assert!(approx_eq(&r.values[0], &want, 1e-10));
     Ok(())
 }
 

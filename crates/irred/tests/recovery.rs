@@ -19,8 +19,8 @@ use harness::{prop_assert, prop_assert_eq};
 use irred::kernel::WeightedPairKernel;
 use irred::phased::PhasedError;
 use irred::{
-    approx_eq, seq_reduction, Distribution, PhasedReduction, PhasedSpec, RecoveryPolicy,
-    StrategyConfig,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedEngine, PhasedSpec, RecoveryPolicy,
+    ReductionEngine, StrategyConfig, Workspace,
 };
 use lightinspector::InspectError;
 
@@ -92,6 +92,21 @@ fn strict(faults: Option<FaultConfig>) -> NativeConfig {
     }
 }
 
+/// Prepare once on the native backend, then run the per-attempt
+/// recovery ladder — the engine-API successor of the old
+/// `run_recovering_with` entry point.
+fn run_recovering_with<K: EdgeKernel>(
+    spec: &PhasedSpec<K>,
+    strat: &StrategyConfig,
+    policy: RecoveryPolicy,
+    cfg_for_attempt: impl Fn(u32) -> NativeConfig,
+) -> Result<irred::RunOutcome, irred::EngineError> {
+    let engine = PhasedEngine::native(NativeConfig::default());
+    let mut prepared = engine.prepare(spec, strat)?;
+    let mut ws = Workspace::new();
+    prepared.execute_recovering_with(&mut ws, policy, cfg_for_attempt)
+}
+
 // --- fault transparency on the real executor ----------------------------
 
 #[test]
@@ -101,16 +116,18 @@ fn lossless_faults_native_matches_fault_free() {
         Config::cases(64),
         |g| (spec_from(g), strat_from(g), g.u64_any()),
         |(spec, strat, seed)| {
-            let clean = PhasedReduction::run_native(spec, strat).unwrap();
-            let faulty =
-                PhasedReduction::run_native_with(spec, strat, strict(Some(FaultConfig::lossless(*seed))))
-                    .unwrap();
+            let clean = PhasedEngine::native(NativeConfig::default())
+                .run(spec, strat)
+                .unwrap();
+            let faulty = PhasedEngine::native(strict(Some(FaultConfig::lossless(*seed))))
+                .run(spec, strat)
+                .unwrap();
             // The phased program is a pure dataflow graph and the
             // weights are integers: delayed / reordered / duplicated
             // messages must leave the answer bit-identical.
-            prop_assert_eq!(&faulty.x, &clean.x);
+            prop_assert_eq!(&faulty.values, &clean.values);
             let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
-            prop_assert!(approx_eq(&faulty.x[0], &seq.x[0], 1e-9));
+            prop_assert!(approx_eq(&faulty.values[0], &seq.x[0], 1e-9));
             Ok(())
         },
     );
@@ -133,16 +150,12 @@ fn chaos_recovery_always_returns_correct_answer() {
         },
         |(spec, strat, faults)| {
             let seq = seq_reduction(spec, strat.sweeps, SimConfig::default());
-            let res = PhasedReduction::run_recovering(
-                spec,
-                strat,
-                RecoveryPolicy::default(),
-                strict(Some(*faults)),
-            )
-            .unwrap();
+            let res = PhasedEngine::recovering(strict(Some(*faults)), RecoveryPolicy::default())
+                .run(spec, strat)
+                .unwrap();
             // With fallback enabled the ladder cannot fail — and whatever
             // rung answered, the values must be right.
-            prop_assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
+            prop_assert!(approx_eq(&res.values[0], &seq.x[0], 1e-9));
             prop_assert!(res.recovery.attempts >= 1);
             if res.recovery.fell_back_to_seq {
                 prop_assert!(res.recovery.warning.is_some());
@@ -161,25 +174,29 @@ fn recovery_retries_then_succeeds() {
     let strat = fixed_strat();
     let seq = seq_reduction(&spec, strat.sweeps, SimConfig::default());
     // Attempt 0 is doomed (every message dropped); attempt 1 runs clean.
-    let res = PhasedReduction::run_recovering_with(
-        &spec,
-        &strat,
-        RecoveryPolicy::default(),
-        |attempt| {
-            if attempt == 0 {
-                strict(Some(drop_everything(3)))
-            } else {
-                strict(None)
-            }
-        },
-    )
+    let res = run_recovering_with(&spec, &strat, RecoveryPolicy::default(), |attempt| {
+        if attempt == 0 {
+            strict(Some(drop_everything(3)))
+        } else {
+            strict(None)
+        }
+    })
     .unwrap();
     assert_eq!(res.recovery.attempts, 2);
     assert_eq!(res.recovery.errors.len(), 1);
-    assert!(res.recovery.errors[0].contains("stalled"), "{:?}", res.recovery.errors);
+    assert!(
+        res.recovery.errors[0].contains("stalled"),
+        "{:?}",
+        res.recovery.errors
+    );
     assert!(!res.recovery.fell_back_to_seq);
-    assert!(res.recovery.warning.as_deref().unwrap().contains("attempt 2"));
-    assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
+    assert!(res
+        .recovery
+        .warning
+        .as_deref()
+        .unwrap()
+        .contains("attempt 2"));
+    assert!(approx_eq(&res.values[0], &seq.x[0], 1e-9));
 }
 
 #[test]
@@ -191,7 +208,7 @@ fn recovery_exhausts_retries_and_falls_back_to_seq() {
         max_attempts: 3,
         ..RecoveryPolicy::default()
     };
-    let res = PhasedReduction::run_recovering_with(&spec, &strat, policy, |a| {
+    let res = run_recovering_with(&spec, &strat, policy, |a| {
         strict(Some(drop_everything(a as u64 + 1)))
     })
     .unwrap();
@@ -201,7 +218,7 @@ fn recovery_exhausts_retries_and_falls_back_to_seq() {
     let warning = res.recovery.warning.as_deref().unwrap();
     assert!(warning.contains("sequential"), "{warning}");
     // The fallback answer is the sequential executor's own — exact.
-    assert_eq!(res.x[0], seq.x[0]);
+    assert_eq!(res.values[0], seq.x[0]);
     assert_eq!(res.read, seq.read);
 }
 
@@ -214,7 +231,7 @@ fn recovery_without_fallback_returns_last_error() {
         fall_back_to_seq: false,
         ..RecoveryPolicy::default()
     };
-    match PhasedReduction::run_recovering_with(&spec, &strat, policy, |a| {
+    match run_recovering_with(&spec, &strat, policy, |a| {
         strict(Some(drop_everything(a as u64 + 40)))
     }) {
         Err(PhasedError::Run(RunError::Stalled { .. })) => {}
@@ -240,19 +257,16 @@ fn out_of_range_indirection_is_invalid_not_retried() {
         let ind = Arc::get_mut(&mut spec.indirection).unwrap();
         ind[1][7] = spec.num_elements as u32 + 3; // outside the array
     }
-    match PhasedReduction::run_native(&spec, &fixed_strat()) {
+    match PhasedEngine::native(NativeConfig::default()).run(&spec, &fixed_strat()) {
         Err(PhasedError::Invalid(InspectError::OutOfRange { elem, .. })) => {
             assert_eq!(elem, spec.num_elements as u32 + 3);
         }
         other => panic!("expected Invalid(OutOfRange), got {other:?}"),
     }
     // And the recovery ladder refuses to retry it.
-    match PhasedReduction::run_recovering(
-        &spec,
-        &fixed_strat(),
-        RecoveryPolicy::default(),
-        NativeConfig::default(),
-    ) {
+    match PhasedEngine::recovering(NativeConfig::default(), RecoveryPolicy::default())
+        .run(&spec, &fixed_strat())
+    {
         Err(PhasedError::Invalid(_)) => {}
         other => panic!("expected immediate Invalid, got {other:?}"),
     }
@@ -265,7 +279,7 @@ fn ragged_indirection_is_a_shape_error() {
         let ind = Arc::get_mut(&mut spec.indirection).unwrap();
         ind[1].pop(); // now shorter than array 0
     }
-    match PhasedReduction::run_native(&spec, &fixed_strat()) {
+    match PhasedEngine::native(NativeConfig::default()).run(&spec, &fixed_strat()) {
         Err(PhasedError::Shape { expected, got, .. }) => {
             assert_eq!(expected, spec.indirection[0].len());
             assert_eq!(got, spec.indirection[0].len() - 1);
@@ -282,8 +296,12 @@ fn wrong_indirection_count_is_a_shape_error() {
         let ind = Arc::get_mut(&mut spec.indirection).unwrap();
         ind.push(vec![0; len]);
     }
-    match PhasedReduction::run_native(&spec, &fixed_strat()) {
-        Err(PhasedError::Shape { expected: 2, got: 3, .. }) => {}
+    match PhasedEngine::native(NativeConfig::default()).run(&spec, &fixed_strat()) {
+        Err(PhasedError::Shape {
+            expected: 2,
+            got: 3,
+            ..
+        }) => {}
         other => panic!("expected Shape{{2,3}}, got {other:?}"),
     }
 }
@@ -306,7 +324,7 @@ fn phased_error_display_names_the_cause() {
 
 mod gather {
     use super::*;
-    use irred::{GatherSpec, PhasedGather};
+    use irred::{GatherEngine, GatherSpec};
     use workloads::SparseMatrix;
 
     #[test]
@@ -316,8 +334,12 @@ mod gather {
             x: Arc::new(vec![1.0; matrix.ncols + 4]),
             matrix,
         };
-        match PhasedGather::run_native(&spec, &fixed_strat()) {
-            Err(PhasedError::Shape { expected: 32, got: 36, .. }) => {}
+        match GatherEngine::native(NativeConfig::default()).run(&spec, &fixed_strat()) {
+            Err(PhasedError::Shape {
+                expected: 32,
+                got: 36,
+                ..
+            }) => {}
             other => panic!("expected Shape{{32,36}}, got {other:?}"),
         }
     }
@@ -330,7 +352,7 @@ mod gather {
             x: Arc::new(vec![1.0; 32]),
             matrix: Arc::new(m),
         };
-        match PhasedGather::run_native(&spec, &fixed_strat()) {
+        match GatherEngine::native(NativeConfig::default()).run(&spec, &fixed_strat()) {
             Err(PhasedError::Invalid(InspectError::OutOfRange { elem: 99, .. })) => {}
             other => panic!("expected Invalid(OutOfRange), got {other:?}"),
         }
@@ -344,11 +366,13 @@ mod gather {
             matrix,
         };
         let strat = fixed_strat();
-        let clean = PhasedGather::run_native(&spec, &strat).unwrap();
-        let faulty =
-            PhasedGather::run_native_with(&spec, &strat, strict(Some(FaultConfig::lossless(8))))
-                .unwrap();
-        assert_eq!(faulty.y, clean.y);
+        let clean = GatherEngine::native(NativeConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
+        let faulty = GatherEngine::native(strict(Some(FaultConfig::lossless(8))))
+            .run(&spec, &strat)
+            .unwrap();
+        assert_eq!(faulty.values, clean.values);
     }
 
     #[test]
@@ -358,8 +382,7 @@ mod gather {
             x: Arc::new(vec![1.0; 48]),
             matrix,
         };
-        match PhasedGather::run_native_with(&spec, &fixed_strat(), strict(Some(drop_everything(2))))
-        {
+        match GatherEngine::native(strict(Some(drop_everything(2)))).run(&spec, &fixed_strat()) {
             Err(PhasedError::Run(RunError::Stalled { .. })) => {}
             other => panic!("expected Run(Stalled), got {other:?}"),
         }

@@ -141,8 +141,17 @@ impl EulerProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use earth_model::native::NativeConfig;
     use earth_model::sim::SimConfig;
-    use irred::{approx_eq, seq_reduction, PhasedReduction, StrategyConfig};
+    use irred::{
+        approx_eq, seq_reduction, PhasedEngine, ReductionEngine, RunOutcome, StrategyConfig,
+    };
+
+    fn run_phased(p: &EulerProblem, strat: &StrategyConfig) -> RunOutcome {
+        PhasedEngine::sim(SimConfig::default())
+            .run(&p.spec, strat)
+            .expect("valid euler spec")
+    }
     use workloads::Distribution;
 
     fn small_problem() -> EulerProblem {
@@ -176,9 +185,9 @@ mod tests {
         let p = small_problem();
         let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 4);
         let seq = seq_reduction(&p.spec, 4, SimConfig::default());
-        let res = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let res = run_phased(&p, &strat);
         for a in 0..4 {
-            assert!(approx_eq(&res.x[a], &seq.x[a], 1e-8), "array {a}");
+            assert!(approx_eq(&res.values[a], &seq.x[a], 1e-8), "array {a}");
         }
         assert!(approx_eq(&res.read[0], &seq.read[0], 1e-8));
     }
@@ -188,7 +197,7 @@ mod tests {
         let p = small_problem();
         let strat = StrategyConfig::new(4, 2, Distribution::Block, 3);
         let seq = seq_reduction(&p.spec, 3, SimConfig::default());
-        let res = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let res = run_phased(&p, &strat);
         assert!(approx_eq(&res.read[0], &seq.read[0], 1e-8));
     }
 
@@ -197,7 +206,7 @@ mod tests {
         let p = small_problem();
         let strat = StrategyConfig::new(3, 1, Distribution::Cyclic, 3);
         let seq = seq_reduction(&p.spec, 3, SimConfig::default());
-        let res = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let res = run_phased(&p, &strat);
         assert!(approx_eq(&res.read[0], &seq.read[0], 1e-8));
     }
 
@@ -206,7 +215,9 @@ mod tests {
         let p = small_problem();
         let strat = StrategyConfig::new(2, 2, Distribution::Block, 3);
         let seq = seq_reduction(&p.spec, 3, SimConfig::default());
-        let res = PhasedReduction::run_native(&p.spec, &strat).unwrap();
+        let res = PhasedEngine::native(NativeConfig::default())
+            .run(&p.spec, &strat)
+            .unwrap();
         assert!(approx_eq(&res.read[0], &seq.read[0], 1e-8));
     }
 

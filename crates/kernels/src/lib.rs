@@ -2,7 +2,7 @@
 //!
 //! * [`mvm`] — sparse matrix–vector multiply extracted from NAS CG
 //!   (§5.3): the reduction array `y` is *not* indirectly accessed; the
-//!   gathered vector rotates ([`irred::PhasedGather`]).
+//!   gathered vector rotates ([`irred::GatherEngine`]).
 //! * [`euler`] — a CFD unstructured-mesh edge loop (§5.4): two LHS
 //!   indirection references into flux accumulators, a per-node state
 //!   array updated each time step from the accumulated fluxes.

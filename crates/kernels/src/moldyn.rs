@@ -162,7 +162,15 @@ impl MolDynProblem {
 mod tests {
     use super::*;
     use earth_model::sim::SimConfig;
-    use irred::{approx_eq, seq_reduction, PhasedReduction, StrategyConfig};
+    use irred::{
+        approx_eq, seq_reduction, PhasedEngine, ReductionEngine, RunOutcome, StrategyConfig,
+    };
+
+    fn run_phased(p: &MolDynProblem, strat: &StrategyConfig) -> RunOutcome {
+        PhasedEngine::sim(SimConfig::default())
+            .run(&p.spec, strat)
+            .expect("valid moldyn spec")
+    }
     use workloads::Distribution;
 
     fn small_problem() -> MolDynProblem {
@@ -211,9 +219,9 @@ mod tests {
         let p = MolDynProblem::from_config(config);
         let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 3);
         let seq = seq_reduction(&p.spec, 3, SimConfig::default());
-        let res = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let res = run_phased(&p, &strat);
         for a in 0..3 {
-            assert!(approx_eq(&res.x[a], &seq.x[a], 1e-8), "force axis {a}");
+            assert!(approx_eq(&res.values[a], &seq.x[a], 1e-8), "force axis {a}");
             assert!(approx_eq(&res.read[a], &seq.read[a], 1e-8), "pos axis {a}");
         }
     }
@@ -226,7 +234,7 @@ mod tests {
         let p = MolDynProblem::from_config(config);
         let strat = StrategyConfig::new(4, 4, Distribution::Block, 2);
         let seq = seq_reduction(&p.spec, 2, SimConfig::default());
-        let res = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let res = run_phased(&p, &strat);
         for a in 0..3 {
             assert!(approx_eq(&res.read[a], &seq.read[a], 1e-8));
         }

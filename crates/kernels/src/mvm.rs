@@ -3,12 +3,14 @@
 //! The reduction array `y` is indexed by the loop's row variable — not
 //! through indirection — so the LightInspector is not needed; the phased
 //! strategy rotates portions of the *gathered* vector `x`
-//! ([`irred::PhasedGather`]).
+//! ([`irred::GatherEngine`]).
 
 use std::sync::Arc;
 
 use earth_model::sim::SimConfig;
-use irred::{seq_gather_cycles, GatherResult, GatherSpec, PhasedGather, StrategyConfig};
+use irred::{
+    seq_gather_cycles, GatherEngine, GatherSpec, ReductionEngine, RunOutcome, StrategyConfig,
+};
 use workloads::{CgClass, SparseMatrix};
 
 /// A complete mvm problem: matrix + input vector.
@@ -25,7 +27,9 @@ impl MvmProblem {
     pub fn from_matrix(matrix: Arc<SparseMatrix>) -> Self {
         // NAS CG starts from the all-ones vector; a mild ramp keeps the
         // output non-degenerate for validation.
-        let x: Vec<f64> = (0..matrix.ncols).map(|i| 1.0 + (i % 7) as f64 * 0.125).collect();
+        let x: Vec<f64> = (0..matrix.ncols)
+            .map(|i| 1.0 + (i % 7) as f64 * 0.125)
+            .collect();
         MvmProblem {
             spec: GatherSpec {
                 matrix,
@@ -34,9 +38,12 @@ impl MvmProblem {
         }
     }
 
-    /// Run the phased strategy on the simulator.
-    pub fn run_sim(&self, strat: &StrategyConfig, cfg: SimConfig) -> GatherResult {
-        PhasedGather::run_sim(&self.spec, strat, cfg)
+    /// Run the phased gather strategy on the simulator. The single
+    /// value array of the [`RunOutcome`] is `y`.
+    pub fn run_sim(&self, strat: &StrategyConfig, cfg: SimConfig) -> RunOutcome {
+        GatherEngine::sim(cfg)
+            .run(&self.spec, strat)
+            .expect("valid mvm spec")
     }
 
     /// Sequential reference: `(y, cycles)` for `sweeps` products.
@@ -63,7 +70,7 @@ mod tests {
             let strat = StrategyConfig::new(procs, k, Distribution::Block, 2);
             let r = p.run_sim(&strat, SimConfig::default());
             assert!(
-                approx_eq(&r.y, &want, 1e-10),
+                approx_eq(&r.values[0], &want, 1e-10),
                 "mismatch at P={procs}, k={k}"
             );
         }

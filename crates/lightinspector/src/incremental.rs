@@ -40,15 +40,34 @@ pub struct IncrementalInspector {
 }
 
 impl IncrementalInspector {
-    /// Run a full inspection and index it for incremental updates.
-    pub fn new(geometry: PhaseGeometry, proc_id: usize, indirection: Vec<Vec<u32>>) -> Self {
+    /// Run a full inspection and index it for incremental updates,
+    /// propagating inspection errors (out-of-range elements, degenerate
+    /// geometry) instead of panicking.
+    pub fn try_new(
+        geometry: PhaseGeometry,
+        proc_id: usize,
+        indirection: Vec<Vec<u32>>,
+    ) -> Result<Self, crate::InspectError> {
         let refs: Vec<&[u32]> = indirection.iter().map(|v| v.as_slice()).collect();
         let plan = inspect(InspectorInput {
             geometry,
             proc_id,
             indirection: &refs,
-        })
-        .expect("IncrementalInspector::new: invalid inspector input");
+        })?;
+        Ok(Self::index(plan, indirection))
+    }
+
+    /// Run a full inspection and index it for incremental updates.
+    /// Panics on invalid input; see [`Self::try_new`] for the fallible
+    /// form.
+    pub fn new(geometry: PhaseGeometry, proc_id: usize, indirection: Vec<Vec<u32>>) -> Self {
+        Self::try_new(geometry, proc_id, indirection)
+            .expect("IncrementalInspector::new: invalid inspector input")
+    }
+
+    /// Index a freshly inspected plan for O(m) incremental updates.
+    fn index(plan: InspectorPlan, indirection: Vec<Vec<u32>>) -> Self {
+        let geometry = plan.geometry;
         let mut iter_pos = vec![0u32; plan.iter_phase.len()];
         for ph in &plan.phases {
             for (pos, &it) in ph.iters.iter().enumerate() {
@@ -169,7 +188,9 @@ impl IncrementalInspector {
                 self.plan.phases[p].refs[r].push(slot);
                 let cp = phases_r[r];
                 let ci = self.plan.phases[cp].copies.len() as u32;
-                self.plan.phases[cp].copies.push(CopyOp { dest: e, src: slot });
+                self.plan.phases[cp]
+                    .copies
+                    .push(CopyOp { dest: e, src: slot });
                 self.copy_pos[(slot - n) as usize] = Some((cp as u32, ci));
             }
         }
@@ -266,7 +287,9 @@ mod tests {
         // Apply a wave of updates.
         let mut x = 42u64;
         for step in 0..200usize {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let iter = (x >> 32) as usize % 500;
             let e1 = (x % 64) as u32;
             let e2 = ((x >> 8) % 64) as u32;
@@ -382,7 +405,11 @@ mod tests {
         for (i, p) in new.iter_mut().enumerate().take(10) {
             *p = ((i * 3) as u32 % 64, (i * 7 + 1) as u32 % 64);
         }
-        let d = diff_pairs(inc.indirection()[0].as_slice(), inc.indirection()[1].as_slice(), &new);
+        let d = diff_pairs(
+            inc.indirection()[0].as_slice(),
+            inc.indirection()[1].as_slice(),
+            &new,
+        );
         assert!(d.len() <= 10 + 3, "diff too large: {}", d.len());
         for (slot, x, y) in d {
             inc.update(slot, &[x, y]);
@@ -390,7 +417,8 @@ mod tests {
         let refs: Vec<&[u32]> = inc.indirection().iter().map(|v| v.as_slice()).collect();
         verify_plan(inc.plan(), &refs).unwrap();
         // The plan now covers exactly the new multiset of pairs.
-        let mut have: Vec<(u32, u32)> = refs[0].iter().zip(refs[1]).map(|(&x, &y)| (x, y)).collect();
+        let mut have: Vec<(u32, u32)> =
+            refs[0].iter().zip(refs[1]).map(|(&x, &y)| (x, y)).collect();
         let mut wanted = new.clone();
         have.sort_unstable();
         wanted.sort_unstable();

@@ -39,7 +39,11 @@ pub enum InspectError {
     /// No indirection references at all (`m = 0`).
     NoReferences,
     /// Indirection array `r` has a different length than array 0.
-    Ragged { r: usize, len: usize, expected: usize },
+    Ragged {
+        r: usize,
+        len: usize,
+        expected: usize,
+    },
     /// `indirection[r][iter]` names an element outside the reduction
     /// array.
     OutOfRange {
@@ -92,11 +96,7 @@ pub struct InspectorInput<'a> {
 }
 
 /// Validate the shared preconditions of [`inspect`] / [`inspect_single`].
-fn validate(
-    g: &PhaseGeometry,
-    proc_id: usize,
-    indirection: &[&[u32]],
-) -> Result<(), InspectError> {
+fn validate(g: &PhaseGeometry, proc_id: usize, indirection: &[&[u32]]) -> Result<(), InspectError> {
     if proc_id >= g.num_procs() {
         return Err(InspectError::ProcOutOfRange {
             proc_id,
@@ -168,7 +168,9 @@ pub fn inspect(input: InspectorInput<'_>) -> Result<InspectorPlan, InspectError>
     let mut phases: Vec<PhasePlan> = (0..kp)
         .map(|p| PhasePlan {
             iters: Vec::with_capacity(phase_counts[p]),
-            refs: (0..m).map(|_| Vec::with_capacity(phase_counts[p])).collect(),
+            refs: (0..m)
+                .map(|_| Vec::with_capacity(phase_counts[p]))
+                .collect(),
             copies: Vec::with_capacity(copy_counts[p]),
         })
         .collect();

@@ -179,16 +179,27 @@ pub fn verify_plan(plan: &InspectorPlan, indirection: &[&[u32]]) -> Result<(), P
         for c in &ph.copies {
             *copied.entry(c.src).or_insert(0) += 1;
             if !range.contains(&(c.dest as usize)) {
-                return Err(PlanError::CopyDestNotResident { phase: p, dest: c.dest });
+                return Err(PlanError::CopyDestNotResident {
+                    phase: p,
+                    dest: c.dest,
+                });
             }
             match slot_written.get(&c.src) {
-                None => return Err(PlanError::CopyCount { slot: c.src, times: 0 }),
+                None => {
+                    return Err(PlanError::CopyCount {
+                        slot: c.src,
+                        times: 0,
+                    })
+                }
                 Some(&(wp, orig)) => {
                     if wp >= p {
                         return Err(PlanError::CopyBeforeWrite { slot: c.src });
                     }
                     if orig != c.dest {
-                        return Err(PlanError::WrongTarget { iter: 0, r: usize::MAX });
+                        return Err(PlanError::WrongTarget {
+                            iter: 0,
+                            r: usize::MAX,
+                        });
                     }
                 }
             }

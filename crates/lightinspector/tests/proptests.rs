@@ -38,25 +38,20 @@ fn scenario(g: &mut Gen) -> Scenario {
 
 #[test]
 fn plan_is_always_valid() {
-    check(
-        "plan_is_always_valid",
-        Config::cases(256),
-        scenario,
-        |s| {
-            let g = PhaseGeometry::new(s.p, s.k, s.n);
-            for proc_id in 0..s.p {
-                let plan = inspect(InspectorInput {
-                    geometry: g,
-                    proc_id,
-                    indirection: &[&s.a, &s.b],
-                })
-                .unwrap();
-                prop_assert!(verify_plan(&plan, &[&s.a, &s.b]).is_ok());
-                prop_assert_eq!(plan.total_iters(), s.a.len());
-            }
-            Ok(())
-        },
-    );
+    check("plan_is_always_valid", Config::cases(256), scenario, |s| {
+        let g = PhaseGeometry::new(s.p, s.k, s.n);
+        for proc_id in 0..s.p {
+            let plan = inspect(InspectorInput {
+                geometry: g,
+                proc_id,
+                indirection: &[&s.a, &s.b],
+            })
+            .unwrap();
+            prop_assert!(verify_plan(&plan, &[&s.a, &s.b]).is_ok());
+            prop_assert_eq!(plan.total_iters(), s.a.len());
+        }
+        Ok(())
+    });
 }
 
 #[test]

@@ -111,7 +111,11 @@ mod tests {
         let a = m.alloc_f64(100);
         let b = m.alloc_u32(7);
         let c = m.alloc_f64(1);
-        assert!(a.base().is_multiple_of(64) && b.base().is_multiple_of(64) && c.base().is_multiple_of(64));
+        assert!(
+            a.base().is_multiple_of(64)
+                && b.base().is_multiple_of(64)
+                && c.base().is_multiple_of(64)
+        );
         assert!(a.base() + a.bytes() <= b.base());
         assert!(b.base() + b.bytes() <= c.base());
     }

@@ -87,7 +87,10 @@ impl Cache {
     /// Build a cache; panics if the geometry is degenerate (zero sets,
     /// non-power-of-two line size).
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1, "need at least one way");
         let sets = cfg.sets();
         assert!(sets >= 1, "geometry implies zero sets");
@@ -255,7 +258,7 @@ mod tests {
             ways: 1,
             line: 16,
         }); // 4 sets
-        // Two addresses 64 apart conflict in a 4-set direct-mapped cache.
+            // Two addresses 64 apart conflict in a 4-set direct-mapped cache.
         assert!(!c.access(0, AccessKind::Read).hit);
         assert!(!c.access(64, AccessKind::Read).hit);
         assert!(!c.access(0, AccessKind::Read).hit, "ping-pong conflict");

@@ -217,7 +217,9 @@ mod tests {
         // Deterministic scatter over a footprint much larger than the cache.
         let mut x = 12345u64;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rnd.read((x % (n as u64)) * 8);
         }
         assert!(

@@ -76,7 +76,10 @@ fn analyze_loop(l: &Forall) -> LoopInfo {
             if !updates.contains_key(array) {
                 order.push(array.clone());
             }
-            updates.entry(array.clone()).or_default().insert(via.clone());
+            updates
+                .entry(array.clone())
+                .or_default()
+                .insert(via.clone());
             ind_sections.insert(via.clone());
             let sec = Section {
                 array: array.clone(),
@@ -149,7 +152,10 @@ mod tests {
         assert_eq!(groups[0].arrays, vec!["X"]);
         assert_eq!(groups[0].vias, vec!["IA1", "IA2"]);
         assert_eq!(info[0].indirection_sections.len(), 2);
-        assert_eq!(info[0].indirection_sections[0].to_string(), "IA1[0 : e : 1]");
+        assert_eq!(
+            info[0].indirection_sections[0].to_string(),
+            "IA1[0 : e : 1]"
+        );
     }
 
     #[test]

@@ -18,9 +18,14 @@ pub enum Expr {
     /// A scalar: the loop variable or a loop-local.
     Var(String),
     /// `A[i]` — direct array access by the loop variable.
-    Direct { array: String },
+    Direct {
+        array: String,
+    },
     /// `A[B[i]]` — one level of indirection.
-    Indirect { array: String, via: String },
+    Indirect {
+        array: String,
+        via: String,
+    },
     Bin(BinOp, Box<Expr>, Box<Expr>),
     Neg(Box<Expr>),
 }
@@ -70,7 +75,11 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `double name = expr;` — a loop-local scalar.
-    Local { name: String, init: Expr, line: usize },
+    Local {
+        name: String,
+        init: Expr,
+        line: usize,
+    },
     /// `X[IA[i]] += expr;` / `-=` — an irregular reduction update.
     ReduceIndirect {
         array: String,
@@ -147,7 +156,10 @@ mod tests {
         e.array_reads(&mut reads);
         assert_eq!(
             reads,
-            vec![("W".to_string(), None), ("Q".to_string(), Some("IA".to_string()))]
+            vec![
+                ("W".to_string(), None),
+                ("Q".to_string(), Some("IA".to_string()))
+            ]
         );
     }
 

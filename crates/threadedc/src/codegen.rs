@@ -11,16 +11,21 @@
 //! indirection arrays (LightInspector parameters), the reduction arrays
 //! (the rotating group), and an [`InterpKernel`] — an interpreted
 //! [`irred::EdgeKernel`] evaluating the loop body — which
-//! [`CompiledProgram::execute_sim`] runs through the standard
-//! [`irred::PhasedReduction`] machinery on the simulated EARTH machine.
-//! Regular loops (including fission preludes) run sequentially between
-//! phased loops.
+//! [`CompiledProgram::execute_with`] runs through any
+//! [`irred::ReductionEngine`] (the phased engine being the strategy the
+//! paper's compiler targets; [`CompiledProgram::execute_sim`] is that
+//! default). Codegen itself is engine-agnostic: it emits a
+//! [`irred::PhasedSpec`] per irregular loop and lets the engine prepare
+//! and execute it. Regular loops (including fission preludes) run
+//! sequentially between phased loops.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use earth_model::sim::SimConfig;
-use irred::{EdgeKernel, PhasedReduction, PhasedSpec, StrategyConfig};
+use irred::{
+    EdgeKernel, PhasedEngine, PhasedSpec, ReductionEngine, RunOutcome, StrategyConfig, Workspace,
+};
 
 use crate::analysis::{analyze_program, LoopClass};
 use crate::ast::*;
@@ -46,7 +51,13 @@ enum CExpr {
 }
 
 impl CExpr {
-    fn eval(&self, i: usize, locals: &[f64], f64s: &[Arc<Vec<f64>>], ints: &[Arc<Vec<u32>>]) -> f64 {
+    fn eval(
+        &self,
+        i: usize,
+        locals: &[f64],
+        f64s: &[Arc<Vec<f64>>],
+        ints: &[Arc<Vec<u32>>],
+    ) -> f64 {
         match self {
             CExpr::Number(v) => *v,
             CExpr::LoopVar => i as f64,
@@ -167,7 +178,10 @@ pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
             log.push(format!("loop@{}: indirection section {sec}", l.line));
         }
         for (sec, via) in &info.reduction_sections {
-            log.push(format!("loop@{}: reduction section {sec} via {via}", l.line));
+            log.push(format!(
+                "loop@{}: reduction section {sec} via {via}",
+                l.line
+            ));
         }
         match &info.class {
             LoopClass::Regular => {
@@ -228,7 +242,11 @@ pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
             }
         }
     }
-    Ok(CompiledProgram { program: out, plan, log })
+    Ok(CompiledProgram {
+        program: out,
+        plan,
+        log,
+    })
 }
 
 /// Result of executing a compiled program on the simulated machine.
@@ -255,7 +273,9 @@ impl CompiledProgram {
         let mut int_slots: Vec<(String, Arc<Vec<u32>>)> = Vec::new();
         let mut local_slots: HashMap<String, usize> = HashMap::new();
 
-        let f64_slot = |name: &str, f64_slots: &mut Vec<(String, Arc<Vec<f64>>)>| -> Result<usize, Diagnostic> {
+        let f64_slot = |name: &str,
+                        f64_slots: &mut Vec<(String, Arc<Vec<f64>>)>|
+         -> Result<usize, Diagnostic> {
             if let Some(p) = f64_slots.iter().position(|(n, _)| n == name) {
                 return Ok(p);
             }
@@ -266,7 +286,9 @@ impl CompiledProgram {
             f64_slots.push((name.to_string(), Arc::new(data)));
             Ok(f64_slots.len() - 1)
         };
-        let int_slot = |name: &str, int_slots: &mut Vec<(String, Arc<Vec<u32>>)>| -> Result<usize, Diagnostic> {
+        let int_slot = |name: &str,
+                        int_slots: &mut Vec<(String, Arc<Vec<u32>>)>|
+         -> Result<usize, Diagnostic> {
             if let Some(p) = int_slots.iter().position(|(n, _)| n == name) {
                 return Ok(p);
             }
@@ -304,12 +326,16 @@ impl CompiledProgram {
                 }
                 Expr::Bin(op, a, c) => CExpr::Bin(
                     *op,
-                    Box::new(lower(a, locals, f64_slot, int_slot, edge_reads, node_reads)?),
-                    Box::new(lower(c, locals, f64_slot, int_slot, edge_reads, node_reads)?),
+                    Box::new(lower(
+                        a, locals, f64_slot, int_slot, edge_reads, node_reads,
+                    )?),
+                    Box::new(lower(
+                        c, locals, f64_slot, int_slot, edge_reads, node_reads,
+                    )?),
                 ),
-                Expr::Neg(a) => {
-                    CExpr::Neg(Box::new(lower(a, locals, f64_slot, int_slot, edge_reads, node_reads)?))
-                }
+                Expr::Neg(a) => CExpr::Neg(Box::new(lower(
+                    a, locals, f64_slot, int_slot, edge_reads, node_reads,
+                )?)),
             })
         }
 
@@ -356,13 +382,12 @@ impl CompiledProgram {
                     flops += value.flops() + 1;
                     updates.push((r, a, *negate, ce));
                 }
-                Stmt::AssignDirect { .. } => {
-                    return Err(Diagnostic {
-                        line: l.line,
-                        message: "direct assignment inside a phased loop (fission should have removed it)"
+                Stmt::AssignDirect { .. } => return Err(Diagnostic {
+                    line: l.line,
+                    message:
+                        "direct assignment inside a phased loop (fission should have removed it)"
                             .into(),
-                    })
-                }
+                }),
             }
         }
 
@@ -401,17 +426,24 @@ impl CompiledProgram {
         })
     }
 
-    /// Execute the compiled program: regular loops sequentially, phased
-    /// loops on the simulated EARTH machine with `strat`. Mutates the
-    /// bindings like the interpreter would; returns simulated time of the
-    /// phased portions.
-    pub fn execute_sim(
+    /// Execute the compiled program through an arbitrary
+    /// [`ReductionEngine`]: regular loops run sequentially on the control
+    /// processor, irregular loops are lowered to [`PhasedSpec`]s and
+    /// handed to `engine`. One [`Workspace`] is shared across the
+    /// program's loops, so an engine that pools buffers reuses them
+    /// between loops. Mutates the bindings like the interpreter would;
+    /// returns the engine-reported time of the irregular portions.
+    pub fn execute_with<E>(
         &self,
         b: &mut Bindings,
+        engine: &E,
         strat: &StrategyConfig,
-        cfg: SimConfig,
-    ) -> Result<ExecReport, Diagnostic> {
+    ) -> Result<ExecReport, Diagnostic>
+    where
+        E: ReductionEngine<PhasedSpec<InterpKernel>>,
+    {
         b.materialize(&self.program)?;
+        let mut ws = Workspace::new();
         let mut time = 0u64;
         let mut phased = 0usize;
         let mut regular = 0usize;
@@ -422,17 +454,24 @@ impl CompiledProgram {
                     regular += 1;
                 }
                 LoopPlan::Phased(cl) => {
+                    let line = self.program.loops[cl.loop_index].line;
                     let spec = self.lower_kernel(cl, b)?;
-                    let r = PhasedReduction::run_sim(&spec, strat, cfg);
+                    let to_diag = |e: irred::EngineError| Diagnostic {
+                        line,
+                        message: format!("engine `{}` failed: {e}", engine.name()),
+                    };
+                    let mut prepared = engine.prepare(&spec, strat).map_err(to_diag)?;
+                    let out: RunOutcome =
+                        engine.execute(&mut prepared, &mut ws).map_err(to_diag)?;
                     // DSL semantics: X accumulates onto its prior contents;
-                    // the phased executor computes the pure sum.
+                    // the engine computes the pure sum.
                     for (a, name) in cl.reduction_arrays.iter().enumerate() {
                         let x = b.f64s.get_mut(name).expect("materialized");
-                        for (xi, ri) in x.iter_mut().zip(&r.x[a]) {
+                        for (xi, ri) in x.iter_mut().zip(&out.values[a]) {
                             *xi += ri;
                         }
                     }
-                    time += r.time_cycles;
+                    time += out.time_cycles;
                     phased += 1;
                 }
             }
@@ -442,6 +481,19 @@ impl CompiledProgram {
             phased_loops: phased,
             regular_loops: regular,
         })
+    }
+
+    /// Execute on the paper's target: the phased engine over the
+    /// simulated EARTH machine. Equivalent to
+    /// [`execute_with`](Self::execute_with) with
+    /// [`PhasedEngine::sim`]`(cfg)`.
+    pub fn execute_sim(
+        &self,
+        b: &mut Bindings,
+        strat: &StrategyConfig,
+        cfg: SimConfig,
+    ) -> Result<ExecReport, Diagnostic> {
+        self.execute_with(b, &PhasedEngine::sim(cfg), strat)
     }
 }
 
@@ -473,9 +525,18 @@ mod tests {
         let mut b = Bindings::default();
         b.sizes.insert("n".into(), n);
         b.sizes.insert("e".into(), e);
-        b.f64s.insert("Y".into(), (0..e).map(|_| (next() % 100) as f64 / 7.0).collect());
-        b.ints.insert("IA1".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
-        b.ints.insert("IA2".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+        b.f64s.insert(
+            "Y".into(),
+            (0..e).map(|_| (next() % 100) as f64 / 7.0).collect(),
+        );
+        b.ints.insert(
+            "IA1".into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
+        b.ints.insert(
+            "IA2".into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
         b
     }
 
@@ -485,7 +546,11 @@ mod tests {
         assert_eq!(c.plan.len(), 1);
         assert!(matches!(&c.plan[0], LoopPlan::Phased(cl)
             if cl.vias == ["IA1", "IA2"] && cl.reduction_arrays == ["X"]));
-        assert!(c.log.iter().any(|l| l.contains("LIGHTINSPECTOR(IA1, IA2)")), "{:?}", c.log);
+        assert!(
+            c.log.iter().any(|l| l.contains("LIGHTINSPECTOR(IA1, IA2)")),
+            "{:?}",
+            c.log
+        );
     }
 
     #[test]
@@ -493,7 +558,9 @@ mod tests {
         let c = compile(FIG1).unwrap();
         let mut phased = fig1_bindings(40, 300, 5);
         let strat = StrategyConfig::new(4, 2, irred::Distribution::Cyclic, 1);
-        let rep = c.execute_sim(&mut phased, &strat, SimConfig::default()).unwrap();
+        let rep = c
+            .execute_sim(&mut phased, &strat, SimConfig::default())
+            .unwrap();
         assert_eq!(rep.phased_loops, 1);
         assert!(rep.time_cycles > 0);
 
@@ -501,6 +568,35 @@ mod tests {
         let mut direct = fig1_bindings(40, 300, 5);
         interpret(&prog, &mut direct).unwrap();
         for (a, b) in phased.f64s["X"].iter().zip(&direct.f64s["X"]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn codegen_is_engine_agnostic() {
+        // The same compiled program runs through any ReductionEngine;
+        // the sequential engine must agree with the phased one up to
+        // summation order.
+        let c = compile(FIG1).unwrap();
+        let strat = StrategyConfig::new(4, 2, irred::Distribution::Cyclic, 1);
+
+        let mut via_phased = fig1_bindings(40, 300, 5);
+        c.execute_with(
+            &mut via_phased,
+            &irred::PhasedEngine::sim(SimConfig::default()),
+            &strat,
+        )
+        .unwrap();
+
+        let mut via_seq = fig1_bindings(40, 300, 5);
+        c.execute_with(
+            &mut via_seq,
+            &irred::SeqEngine::new(SimConfig::default()),
+            &strat,
+        )
+        .unwrap();
+
+        for (a, b) in via_phased.f64s["X"].iter().zip(&via_seq.f64s["X"]) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
@@ -525,9 +621,16 @@ mod tests {
             let mut b = Bindings::default();
             b.sizes.insert("n".into(), n);
             b.sizes.insert("e".into(), e);
-            b.f64s.insert("W".into(), (0..e).map(|_| (next() % 50) as f64).collect());
-            b.ints.insert("A".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
-            b.ints.insert("B".into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+            b.f64s
+                .insert("W".into(), (0..e).map(|_| (next() % 50) as f64).collect());
+            b.ints.insert(
+                "A".into(),
+                (0..e).map(|_| (next() % n as u64) as u32).collect(),
+            );
+            b.ints.insert(
+                "B".into(),
+                (0..e).map(|_| (next() % n as u64) as u32).collect(),
+            );
             b
         };
         let mut phased = mk(&mut next);
@@ -535,7 +638,9 @@ mod tests {
         let mut direct = mk(&mut next2);
 
         let strat = StrategyConfig::new(2, 2, irred::Distribution::Block, 1);
-        let rep = c.execute_sim(&mut phased, &strat, SimConfig::default()).unwrap();
+        let rep = c
+            .execute_sim(&mut phased, &strat, SimConfig::default())
+            .unwrap();
         assert_eq!(rep.phased_loops, 2);
         assert_eq!(rep.regular_loops, 1);
 
@@ -557,7 +662,9 @@ mod tests {
             }";
         let c = compile(src).unwrap();
         assert_eq!(c.plan.len(), 1);
-        let LoopPlan::Phased(cl) = &c.plan[0] else { panic!() };
+        let LoopPlan::Phased(cl) = &c.plan[0] else {
+            panic!()
+        };
         assert_eq!(cl.reduction_arrays, vec!["FX", "FY"]);
     }
 

@@ -44,13 +44,17 @@ fn local_consumers(body: &[Stmt], groups: &[RefGroup]) -> HashMap<String, HashSe
         }
     }
     let group_of_array = |array: &str| -> Option<usize> {
-        groups.iter().position(|g| g.arrays.iter().any(|a| a == array))
+        groups
+            .iter()
+            .position(|g| g.arrays.iter().any(|a| a == array))
     };
 
     let mut consumers: HashMap<String, HashSet<usize>> = HashMap::new();
     for s in body {
         if let Stmt::ReduceIndirect { array, value, .. } = s {
-            let Some(gi) = group_of_array(array) else { continue };
+            let Some(gi) = group_of_array(array) else {
+                continue;
+            };
             let mut vars = Vec::new();
             value.var_reads(&mut vars);
             // Transitive closure over local→local dependencies.
@@ -156,7 +160,10 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
     }
 
     let mut loops = Vec::new();
-    let needs_prelude = !shared.is_empty() || prelude.iter().any(|s| matches!(s, Stmt::AssignDirect { .. }));
+    let needs_prelude = !shared.is_empty()
+        || prelude
+            .iter()
+            .any(|s| matches!(s, Stmt::AssignDirect { .. }));
     if needs_prelude {
         loops.push(Forall {
             var: l.var.clone(),
@@ -271,7 +278,12 @@ mod tests {
             let Stmt::ReduceIndirect { value, .. } = &l.body[0] else {
                 panic!()
             };
-            assert_eq!(value, &Expr::Direct { array: "__tmp_f".into() });
+            assert_eq!(
+                value,
+                &Expr::Direct {
+                    array: "__tmp_f".into()
+                }
+            );
         }
     }
 

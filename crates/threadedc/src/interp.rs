@@ -34,7 +34,10 @@ impl Bindings {
             let n = self.size_of(&d.size)?;
             match d.ty {
                 ElemType::Double => {
-                    let v = self.f64s.entry(d.name.clone()).or_insert_with(|| vec![0.0; n]);
+                    let v = self
+                        .f64s
+                        .entry(d.name.clone())
+                        .or_insert_with(|| vec![0.0; n]);
                     if v.len() != n {
                         return Err(Diagnostic {
                             line: d.line,
@@ -43,7 +46,10 @@ impl Bindings {
                     }
                 }
                 ElemType::Int => {
-                    let v = self.ints.entry(d.name.clone()).or_insert_with(|| vec![0; n]);
+                    let v = self
+                        .ints
+                        .entry(d.name.clone())
+                        .or_insert_with(|| vec![0; n]);
                     if v.len() != n {
                         return Err(Diagnostic {
                             line: d.line,
@@ -121,7 +127,12 @@ fn miss(array: &str, line: usize) -> Diagnostic {
     }
 }
 
-fn eval(e: &Expr, i: usize, locals: &HashMap<String, f64>, b: &Bindings) -> Result<f64, Diagnostic> {
+fn eval(
+    e: &Expr,
+    i: usize,
+    locals: &HashMap<String, f64>,
+    b: &Bindings,
+) -> Result<f64, Diagnostic> {
     Ok(match e {
         Expr::Number(v) => *v,
         Expr::Var(v) => match locals.get(v) {

@@ -23,11 +23,11 @@ pub enum Token {
     Minus,
     Star,
     Slash,
-    Assign,     // =
-    PlusEq,     // +=
-    MinusEq,    // -=
-    PlusPlus,   // ++
-    Lt,         // <
+    Assign,   // =
+    PlusEq,   // +=
+    MinusEq,  // -=
+    PlusPlus, // ++
+    Lt,       // <
     // literals / names
     Ident(String),
     Number(f64),
@@ -88,10 +88,16 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
             '<' => push(&mut out, Token::Lt, line, &mut i),
             '+' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Spanned { tok: Token::PlusEq, line });
+                    out.push(Spanned {
+                        tok: Token::PlusEq,
+                        line,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&'+') {
-                    out.push(Spanned { tok: Token::PlusPlus, line });
+                    out.push(Spanned {
+                        tok: Token::PlusPlus,
+                        line,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Plus, line, &mut i);
@@ -99,7 +105,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Spanned { tok: Token::MinusEq, line });
+                    out.push(Spanned {
+                        tok: Token::MinusEq,
+                        line,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Minus, line, &mut i);
@@ -108,8 +117,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
             '=' => push(&mut out, Token::Assign, line, &mut i),
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
-                    || ((bytes[i] == '+' || bytes[i] == '-') && i > start && (bytes[i-1] == 'e' || bytes[i-1] == 'E')))
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && i > start
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
                 {
                     i += 1;
                 }

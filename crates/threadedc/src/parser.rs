@@ -83,7 +83,9 @@ impl Parser {
                     let f = self.forall()?;
                     prog.loops.push(f);
                 }
-                other => return Err(self.err(format!("expected declaration or forall, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected declaration or forall, found {other:?}")))
+                }
             }
         }
         Ok(prog)
@@ -105,7 +107,12 @@ impl Parser {
         };
         self.expect(&Token::RBracket, "`]`")?;
         self.expect(&Token::Semi, "`;`")?;
-        Ok(ArrayDecl { name, ty, size, line })
+        Ok(ArrayDecl {
+            name,
+            ty,
+            size,
+            line,
+        })
     }
 
     fn forall(&mut self) -> Result<Forall, Diagnostic> {
@@ -138,7 +145,12 @@ impl Parser {
             body.push(self.stmt(&var)?);
         }
         self.expect(&Token::RBrace, "`}`")?;
-        Ok(Forall { var, count, body, line })
+        Ok(Forall {
+            var,
+            count,
+            body,
+            line,
+        })
     }
 
     fn stmt(&mut self, loop_var: &str) -> Result<Stmt, Diagnostic> {
@@ -262,12 +274,16 @@ impl Parser {
                         let inner = self.ident("inner index")?;
                         if inner != loop_var {
                             return Err(self.err(
-                                "indirection array must be indexed by the loop variable".to_string(),
+                                "indirection array must be indexed by the loop variable"
+                                    .to_string(),
                             ));
                         }
                         self.expect(&Token::RBracket, "`]`")?;
                         self.expect(&Token::RBracket, "`]`")?;
-                        Ok(Expr::Indirect { array: name, via: idx })
+                        Ok(Expr::Indirect {
+                            array: name,
+                            via: idx,
+                        })
                     } else {
                         self.expect(&Token::RBracket, "`]`")?;
                         if idx != loop_var {
@@ -312,24 +328,40 @@ mod tests {
         assert_eq!(l.var, "i");
         assert_eq!(l.count, "num_edges");
         assert_eq!(l.body.len(), 3);
-        assert!(matches!(&l.body[1], Stmt::ReduceIndirect { array, via, negate: false, .. }
-            if array == "X" && via == "IA1"));
-        assert!(matches!(&l.body[2], Stmt::ReduceIndirect { negate: true, .. }));
+        assert!(
+            matches!(&l.body[1], Stmt::ReduceIndirect { array, via, negate: false, .. }
+            if array == "X" && via == "IA1")
+        );
+        assert!(matches!(
+            &l.body[2],
+            Stmt::ReduceIndirect { negate: true, .. }
+        ));
     }
 
     #[test]
     fn parses_direct_assign() {
-        let prog = parse(
-            "double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 2.0; Y[i] += 1.0; }",
-        )
-        .unwrap();
-        assert!(matches!(prog.loops[0].body[0], Stmt::AssignDirect { accumulate: false, .. }));
-        assert!(matches!(prog.loops[0].body[1], Stmt::AssignDirect { accumulate: true, .. }));
+        let prog =
+            parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 2.0; Y[i] += 1.0; }").unwrap();
+        assert!(matches!(
+            prog.loops[0].body[0],
+            Stmt::AssignDirect {
+                accumulate: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog.loops[0].body[1],
+            Stmt::AssignDirect {
+                accumulate: true,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn precedence() {
-        let prog = parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 1.0 + 2.0 * 3.0; }").unwrap();
+        let prog =
+            parse("double Y[e]; forall (i = 0; i < e; i++) { Y[i] = 1.0 + 2.0 * 3.0; }").unwrap();
         let Stmt::AssignDirect { value, .. } = &prog.loops[0].body[0] else {
             panic!()
         };
@@ -346,15 +378,17 @@ mod tests {
 
     #[test]
     fn rejects_wrong_loop_variable() {
-        let err =
-            parse("double Y[e]; forall (i = 0; i < e; i++) { Y[j] = 1.0; }").unwrap_err();
+        let err = parse("double Y[e]; forall (i = 0; i < e; i++) { Y[j] = 1.0; }").unwrap_err();
         assert!(err.message.contains("loop variable"), "{err}");
     }
 
     #[test]
     fn rejects_two_level_indirection() {
         // A[B[C[i]]] is not in the grammar at all.
-        assert!(parse("double X[n]; int A[e]; int B[e]; forall (i = 0; i < e; i++) { X[A[B[i]]] += 1.0; }").is_err());
+        assert!(parse(
+            "double X[n]; int A[e]; int B[e]; forall (i = 0; i < e; i++) { X[A[B[i]]] += 1.0; }"
+        )
+        .is_err());
     }
 
     #[test]

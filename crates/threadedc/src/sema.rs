@@ -45,12 +45,20 @@ pub fn check(prog: &Program) -> Result<(), SemaError> {
         // First pass: collect write sets.
         for s in &l.body {
             match s {
-                Stmt::ReduceIndirect { array, via, line, .. } => {
-                    let da = decl(array).ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                Stmt::ReduceIndirect {
+                    array, via, line, ..
+                } => {
+                    let da = decl(array)
+                        .ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
                     if da.ty != ElemType::Double {
-                        return Err(err(*line, format!("reduction array `{array}` must be double")));
+                        return Err(err(
+                            *line,
+                            format!("reduction array `{array}` must be double"),
+                        ));
                     }
-                    let dv = decl(via).ok_or_else(|| err(*line, format!("undeclared indirection array `{via}`")))?;
+                    let dv = decl(via).ok_or_else(|| {
+                        err(*line, format!("undeclared indirection array `{via}`"))
+                    })?;
                     if dv.ty != ElemType::Int {
                         return Err(err(*line, format!("indirection array `{via}` must be int")));
                     }
@@ -58,9 +66,13 @@ pub fn check(prog: &Program) -> Result<(), SemaError> {
                     vias.insert(via.clone());
                 }
                 Stmt::AssignDirect { array, line, .. } => {
-                    let da = decl(array).ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                    let da = decl(array)
+                        .ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
                     if da.ty != ElemType::Double {
-                        return Err(err(*line, format!("assigned array `{array}` must be double")));
+                        return Err(err(
+                            *line,
+                            format!("assigned array `{array}` must be double"),
+                        ));
                     }
                     direct_written.insert(array.clone());
                 }
@@ -88,7 +100,10 @@ pub fn check(prog: &Program) -> Result<(), SemaError> {
                         return Err(err(*line, format!("local `{name}` redefined")));
                     }
                     if name == &l.var {
-                        return Err(err(*line, format!("local `{name}` shadows the loop variable")));
+                        return Err(err(
+                            *line,
+                            format!("local `{name}` shadows the loop variable"),
+                        ));
                     }
                     check_expr(prog, l, init, &locals, &reduced, &vias, *line)?;
                     locals.insert(name.clone());
@@ -133,7 +148,10 @@ fn check_expr(
                 ));
             }
             if d.ty != ElemType::Double {
-                return Err(err(line, format!("array `{array}` read as a value but has int type")));
+                return Err(err(
+                    line,
+                    format!("array `{array}` read as a value but has int type"),
+                ));
             }
             Ok(())
         }
@@ -151,7 +169,10 @@ fn check_expr(
                 ));
             }
             if d.ty != ElemType::Double || dv.ty != ElemType::Int {
-                return Err(err(line, format!("`{array}[{via}[i]]` needs double[ int[i] ]")));
+                return Err(err(
+                    line,
+                    format!("`{array}[{via}[i]]` needs double[ int[i] ]"),
+                ));
             }
             let _ = vias;
             Ok(())

@@ -101,8 +101,11 @@ impl Mesh {
         let mut seen = std::collections::HashSet::with_capacity(num_edges * 2);
         let mut ia1 = Vec::with_capacity(num_edges);
         let mut ia2 = Vec::with_capacity(num_edges);
-        let push = |a: usize, b: usize, seen: &mut std::collections::HashSet<u64>,
-                        ia1: &mut Vec<u32>, ia2: &mut Vec<u32>|
+        let push = |a: usize,
+                    b: usize,
+                    seen: &mut std::collections::HashSet<u64>,
+                    ia1: &mut Vec<u32>,
+                    ia2: &mut Vec<u32>|
          -> bool {
             if a == b || a >= num_nodes || b >= num_nodes {
                 return false;
@@ -177,8 +180,11 @@ impl Mesh {
         let mut seen = std::collections::HashSet::with_capacity(num_edges * 2);
         let mut ia1 = Vec::with_capacity(num_edges);
         let mut ia2 = Vec::with_capacity(num_edges);
-        let push = |a: usize, b: usize, seen: &mut std::collections::HashSet<u64>,
-                    ia1: &mut Vec<u32>, ia2: &mut Vec<u32>|
+        let push = |a: usize,
+                    b: usize,
+                    seen: &mut std::collections::HashSet<u64>,
+                    ia1: &mut Vec<u32>,
+                    ia2: &mut Vec<u32>|
          -> bool {
             if a == b || a >= num_nodes || b >= num_nodes {
                 return false;
@@ -215,7 +221,13 @@ impl Mesh {
             if b < 0 {
                 continue;
             }
-            push(a, (b as usize).min(num_nodes - 1), &mut seen, &mut ia1, &mut ia2);
+            push(
+                a,
+                (b as usize).min(num_nodes - 1),
+                &mut seen,
+                &mut ia1,
+                &mut ia2,
+            );
         }
 
         Mesh {

@@ -76,7 +76,10 @@ pub fn hash_distribute_pairs(ia1: &[u32], ia2: &[u32], procs: usize) -> Vec<Vec<
 /// axis at the median until `parts` parts exist. Returns a part id per
 /// point. `parts` must be a power of two.
 pub fn rcb_partition(points: &[[f64; 3]], parts: usize) -> Vec<u32> {
-    assert!(parts.is_power_of_two(), "RCB needs a power-of-two part count");
+    assert!(
+        parts.is_power_of_two(),
+        "RCB needs a power-of-two part count"
+    );
     let mut ids: Vec<u32> = (0..points.len() as u32).collect();
     let mut owner = vec![0u32; points.len()];
     rcb_rec(points, &mut ids, 0, parts as u32, &mut owner);

@@ -51,9 +51,15 @@ fn bindings(n: usize, e: usize) -> Bindings {
     let mut b = Bindings::default();
     b.sizes.insert("num_nodes".into(), n);
     b.sizes.insert("num_edges".into(), e);
-    b.f64s.insert("Y".into(), (0..e).map(|_| (next() % 100) as f64 / 9.0).collect());
+    b.f64s.insert(
+        "Y".into(),
+        (0..e).map(|_| (next() % 100) as f64 / 9.0).collect(),
+    );
     for name in ["IA1", "IA2", "A", "B"] {
-        b.ints.insert(name.into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+        b.ints.insert(
+            name.into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
     }
     b
 }
@@ -68,9 +74,16 @@ fn main() {
 
     // `REPRO_QUICK=1` shrinks the dataset for smoke tests.
     let quick = std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1");
-    let (n, e) = if quick { (500usize, 3_000usize) } else { (5_000, 40_000) };
+    let (n, e) = if quick {
+        (500usize, 3_000usize)
+    } else {
+        (5_000, 40_000)
+    };
     let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 1);
-    println!("--- executing on {} simulated EARTH nodes (k = {}) ---", strat.procs, strat.k);
+    println!(
+        "--- executing on {} simulated EARTH nodes (k = {}) ---",
+        strat.procs, strat.k
+    );
     let mut phased = bindings(n, e);
     let report = compiled
         .execute_sim(&mut phased, &strat, SimConfig::default())

@@ -6,7 +6,7 @@
 //! ```
 
 use earth_model::sim::SimConfig;
-use irred::{seq_reduction, Distribution, PhasedReduction, StrategyConfig};
+use irred::{seq_reduction, Distribution, PhasedEngine, ReductionEngine, StrategyConfig};
 use kernels::EulerProblem;
 use workloads::MeshPreset;
 
@@ -24,9 +24,15 @@ fn main() {
     );
 
     let seq = seq_reduction(&problem.spec, sweeps, cfg);
-    println!("sequential: {:.2} simulated seconds (paper: 7.84 s)", seq.seconds);
+    println!(
+        "sequential: {:.2} simulated seconds (paper: 7.84 s)",
+        seq.seconds
+    );
 
-    println!("{:<6} {:>6} {:>12} {:>9}", "strat", "procs", "sim seconds", "speedup");
+    println!(
+        "{:<6} {:>6} {:>12} {:>9}",
+        "strat", "procs", "sim seconds", "speedup"
+    );
     for (k, d, name) in [
         (1usize, Distribution::Cyclic, "1c"),
         (2, Distribution::Cyclic, "2c"),
@@ -35,7 +41,7 @@ fn main() {
     ] {
         for procs in [2usize, 8, 32] {
             let strat = StrategyConfig::new(procs, k, d, sweeps);
-            let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+            let r = PhasedEngine::sim(cfg).run(&problem.spec, &strat).unwrap();
             println!(
                 "{:<6} {:>6} {:>12.3} {:>9.2}",
                 name,
@@ -50,7 +56,7 @@ fn main() {
     // Show the load-balance signature that favors cyclic distributions.
     let imbalance = |d: Distribution| {
         let strat = StrategyConfig::new(32, 2, d, 1);
-        let r = PhasedReduction::run_sim(&problem.spec, &strat, cfg);
+        let r = PhasedEngine::sim(cfg).run(&problem.spec, &strat).unwrap();
         let per_phase_max: usize = (0..strat.phases_per_sweep())
             .map(|p| r.phase_iter_counts.iter().map(|c| c[p]).max().unwrap())
             .sum();

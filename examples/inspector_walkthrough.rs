@@ -39,7 +39,10 @@ fn main() {
     .expect("inspector input valid");
     verify_plan(&plan, &[&indir1_in, &indir2_in]).expect("plan valid");
 
-    println!("\nremote buffer starts at location {} (= num_nodes)", geometry.num_elements());
+    println!(
+        "\nremote buffer starts at location {} (= num_nodes)",
+        geometry.num_elements()
+    );
     println!("buffer slots allocated: {}", plan.buffer_len);
 
     for (p, phase) in plan.phases.iter().enumerate() {
@@ -51,7 +54,10 @@ fn main() {
             println!("  second loop: (empty)");
         } else {
             for c in &phase.copies {
-                println!("  second loop: X[{}] += X[{}]; X[{}] = 0", c.dest, c.src, c.src);
+                println!(
+                    "  second loop: X[{}] += X[{}]; X[{}] = 0",
+                    c.dest, c.src, c.src
+                );
             }
         }
     }

@@ -11,9 +11,10 @@
 
 use std::sync::Arc;
 
+use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
 use irred::{
-    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedReduction, PhasedSpec,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedEngine, PhasedSpec, ReductionEngine,
     StrategyConfig,
 };
 
@@ -63,7 +64,9 @@ fn main() {
 
     // (b) phased strategy on the simulated EARTH machine (P=8, k=2, cyclic).
     let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, sweeps);
-    let sim = PhasedReduction::run_sim(&spec, &strat, cfg);
+    let sim = PhasedEngine::sim(cfg)
+        .run(&spec, &strat)
+        .expect("valid spec");
     println!(
         "phased sim:  {:>8.3} simulated seconds on {} nodes (speedup {:.2})",
         sim.seconds,
@@ -76,18 +79,34 @@ fn main() {
     );
 
     // (c) the same program on real OS threads.
-    let native = PhasedReduction::run_native(&spec, &strat).expect("native run");
-    println!("phased host: {:>8.2?} wall on {} threads", native.wall, strat.procs);
+    let native = PhasedEngine::native(NativeConfig::default())
+        .run(&spec, &strat)
+        .expect("native run");
+    println!(
+        "phased host: {:>8.2?} wall on {} threads",
+        native.wall, strat.procs
+    );
 
-    assert!(approx_eq(&sim.x[0], &seq.x[0], 1e-9), "sim result mismatch");
-    assert!(approx_eq(&native.x[0], &seq.x[0], 1e-9), "native result mismatch");
+    assert!(
+        approx_eq(&sim.values[0], &seq.x[0], 1e-9),
+        "sim result mismatch"
+    );
+    assert!(
+        approx_eq(&native.values[0], &seq.x[0], 1e-9),
+        "native result mismatch"
+    );
     println!("all three executions agree ✓");
 
     // Visualize the overlap: a Gantt chart of one 2-sweep run.
     let mut traced = cfg;
     traced.trace = true;
     let small = StrategyConfig::new(8, 2, Distribution::Cyclic, 2);
-    let t = PhasedReduction::run_sim(&spec, &small, traced);
+    let t = PhasedEngine::sim(traced)
+        .run(&spec, &small)
+        .expect("valid spec");
     println!("\nEU occupancy (2 sweeps, {} nodes, k = 2):", small.procs);
-    print!("{}", earth_model::render_gantt(&t.trace, small.procs, t.time_cycles, 72));
+    print!(
+        "{}",
+        earth_model::render_gantt(&t.trace, small.procs, t.time_cycles, 72)
+    );
 }

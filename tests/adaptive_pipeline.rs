@@ -3,7 +3,9 @@
 //! interaction list still matches the sequential reference.
 
 use earth_model::sim::SimConfig;
-use irred::{approx_eq, seq_reduction, Distribution, PhasedReduction, StrategyConfig};
+use irred::{
+    approx_eq, seq_reduction, Distribution, PhasedEngine, ReductionEngine, StrategyConfig,
+};
 use kernels::MolDynProblem;
 use lightinspector::{diff_pairs, verify_plan, IncrementalInspector, PhaseGeometry};
 use workloads::{hash_distribute_pairs, MolDyn};
@@ -71,9 +73,11 @@ fn phased_run_after_adaptation_matches_sequential() {
     let sweeps = 2;
     let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
     let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, sweeps);
-    let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+    let r = PhasedEngine::sim(SimConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
     for a in 0..3 {
-        assert!(approx_eq(&r.x[a], &seq.x[a], 1e-8));
+        assert!(approx_eq(&r.values[a], &seq.x[a], 1e-8));
         assert!(approx_eq(&r.read[a], &seq.read[a], 1e-8));
     }
 }

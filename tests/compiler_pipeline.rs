@@ -32,7 +32,11 @@ fn program(g: &mut Gen) -> (String, usize, usize) {
     for s in 0..stmts {
         let arr = if groups == 2 && s % 2 == 1 { "Z" } else { "X" };
         let via = vias[(s + salt) % if groups == 2 { 2 } else { 3 }];
-        let op = if (s + salt).is_multiple_of(3) { "-=" } else { "+=" };
+        let op = if (s + salt).is_multiple_of(3) {
+            "-="
+        } else {
+            "+="
+        };
         let val = if use_local { "f * 2.0" } else { "W[i] + 1.0" };
         src.push_str(&format!("  {arr}[{via}[i]] {op} {val};\n"));
     }
@@ -52,12 +56,16 @@ fn bindings(n: usize, e: usize, seed: u64) -> Bindings {
     b.sizes.insert("n".into(), n);
     b.sizes.insert("e".into(), e);
     for name in ["W", "V"] {
-        b.f64s
-            .insert(name.into(), (0..e).map(|_| (next() % 100) as f64 / 11.0).collect());
+        b.f64s.insert(
+            name.into(),
+            (0..e).map(|_| (next() % 100) as f64 / 11.0).collect(),
+        );
     }
     for name in ["A", "B", "C"] {
-        b.ints
-            .insert(name.into(), (0..e).map(|_| (next() % n as u64) as u32).collect());
+        b.ints.insert(
+            name.into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
     }
     b
 }
@@ -130,7 +138,11 @@ fn fission_temp_arrays_do_not_leak_into_results() {
     let compiled = compile(src).unwrap();
     let mut b = bindings_small();
     compiled
-        .execute_sim(&mut b, &StrategyConfig::new(2, 2, Distribution::Block, 1), SimConfig::default())
+        .execute_sim(
+            &mut b,
+            &StrategyConfig::new(2, 2, Distribution::Block, 1),
+            SimConfig::default(),
+        )
         .unwrap();
     // The temp array exists in the bindings (materialized) but is an
     // implementation detail with predictable contents.
@@ -144,8 +156,11 @@ fn bindings_small() -> Bindings {
     let mut b = Bindings::default();
     b.sizes.insert("n".into(), 16);
     b.sizes.insert("e".into(), 40);
-    b.f64s.insert("W".into(), (0..40).map(|i| i as f64).collect());
-    b.ints.insert("A".into(), (0..40).map(|i| (i * 7 % 16) as u32).collect());
-    b.ints.insert("B".into(), (0..40).map(|i| (i * 11 % 16) as u32).collect());
+    b.f64s
+        .insert("W".into(), (0..40).map(|i| i as f64).collect());
+    b.ints
+        .insert("A".into(), (0..40).map(|i| (i * 7 % 16) as u32).collect());
+    b.ints
+        .insert("B".into(), (0..40).map(|i| (i * 11 % 16) as u32).collect());
     b
 }

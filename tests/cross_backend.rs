@@ -4,10 +4,12 @@
 
 use std::sync::Arc;
 
+use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
 use irred::kernel::WeightedPairKernel;
 use irred::{
-    approx_eq, Distribution, PhasedGather, PhasedReduction, PhasedSpec, StrategyConfig,
+    approx_eq, Distribution, GatherEngine, PhasedEngine, PhasedSpec, ReductionEngine,
+    StrategyConfig,
 };
 use kernels::{EulerProblem, MvmProblem};
 use workloads::{Mesh, SparseMatrix};
@@ -38,10 +40,14 @@ fn weighted_kernel_sim_equals_native() {
     };
     for (procs, k) in [(2usize, 2usize), (4, 1), (8, 4)] {
         let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, 3);
-        let sim = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
-        let nat = PhasedReduction::run_native(&spec, &strat).unwrap();
+        let sim = PhasedEngine::sim(SimConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
+        let nat = PhasedEngine::native(NativeConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
         assert!(
-            approx_eq(&sim.x[0], &nat.x[0], 1e-9),
+            approx_eq(&sim.values[0], &nat.values[0], 1e-9),
             "backend mismatch at P={procs} k={k}"
         );
     }
@@ -51,10 +57,14 @@ fn weighted_kernel_sim_equals_native() {
 fn euler_sim_equals_native() {
     let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_600, 4), 4);
     let strat = StrategyConfig::new(4, 2, Distribution::Block, 3);
-    let sim = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
-    let nat = PhasedReduction::run_native(&problem.spec, &strat).unwrap();
+    let sim = PhasedEngine::sim(SimConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
+    let nat = PhasedEngine::native(NativeConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
     for a in 0..4 {
-        assert!(approx_eq(&sim.x[a], &nat.x[a], 1e-9), "x[{a}]");
+        assert!(approx_eq(&sim.values[a], &nat.values[a], 1e-9), "x[{a}]");
     }
     assert!(approx_eq(&sim.read[0], &nat.read[0], 1e-9));
 }
@@ -63,9 +73,13 @@ fn euler_sim_equals_native() {
 fn mvm_sim_equals_native() {
     let problem = MvmProblem::from_matrix(Arc::new(SparseMatrix::random(200, 200, 3_000, 5)));
     let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
-    let sim = PhasedGather::run_sim(&problem.spec, &strat, SimConfig::default());
-    let nat = PhasedGather::run_native(&problem.spec, &strat).unwrap();
-    assert!(approx_eq(&sim.y, &nat.y, 1e-12));
+    let sim = GatherEngine::sim(SimConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
+    let nat = GatherEngine::native(NativeConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
+    assert!(approx_eq(&sim.values[0], &nat.values[0], 1e-12));
 }
 
 #[test]
@@ -73,8 +87,12 @@ fn op_counts_agree_across_backends() {
     // The two backends execute the identical fiber/message graph.
     let problem = EulerProblem::from_mesh(Mesh::generate3d(200, 900, 8), 8);
     let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 2);
-    let sim = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
-    let nat = PhasedReduction::run_native(&problem.spec, &strat).unwrap();
+    let sim = PhasedEngine::sim(SimConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
+    let nat = PhasedEngine::native(NativeConfig::default())
+        .run(&problem.spec, &strat)
+        .unwrap();
     assert_eq!(sim.stats.ops.messages, nat.stats.ops.messages);
     assert_eq!(sim.stats.ops.bytes, nat.stats.ops.bytes);
     assert_eq!(sim.stats.ops.fibers_fired, nat.stats.ops.fibers_fired);

@@ -3,10 +3,10 @@
 //! figures reproducible.
 
 use earth_model::sim::SimConfig;
-use irred::baseline::InspectorExecutor;
+use irred::baseline::IeEngine;
 use irred::{
-    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedGather, PhasedReduction,
-    PhasedSpec, StrategyConfig,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, GatherEngine, PhasedEngine, PhasedSpec,
+    ReductionEngine, StrategyConfig,
 };
 use kernels::{EulerProblem, MolDynProblem, MvmProblem};
 use std::sync::Arc;
@@ -17,13 +17,15 @@ fn phased_sim_is_deterministic() {
     let strat = StrategyConfig::new(6, 2, Distribution::Cyclic, 3);
     let run = || {
         let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_500, 42), 42);
-        PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default())
+        PhasedEngine::sim(SimConfig::default())
+            .run(&problem.spec, &strat)
+            .unwrap()
     };
     let a = run();
     let b = run();
     assert_eq!(a.time_cycles, b.time_cycles);
     assert_eq!(a.stats.ops.messages, b.stats.ops.messages);
-    assert_eq!(a.x, b.x);
+    assert_eq!(a.values, b.values);
     assert_eq!(a.read, b.read);
 }
 
@@ -32,12 +34,14 @@ fn gather_sim_is_deterministic() {
     let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
     let run = || {
         let p = MvmProblem::from_matrix(Arc::new(SparseMatrix::random(256, 256, 4_000, 7)));
-        PhasedGather::run_sim(&p.spec, &strat, SimConfig::default())
+        GatherEngine::sim(SimConfig::default())
+            .run(&p.spec, &strat)
+            .unwrap()
     };
     let a = run();
     let b = run();
     assert_eq!(a.time_cycles, b.time_cycles);
-    assert_eq!(a.y, b.y);
+    assert_eq!(a.values, b.values);
 }
 
 #[test]
@@ -45,7 +49,10 @@ fn different_seeds_give_different_times() {
     let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
     let time = |seed: u64| {
         let problem = EulerProblem::from_mesh(Mesh::generate3d(300, 1_500, seed), seed);
-        PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default()).time_cycles
+        PhasedEngine::sim(SimConfig::default())
+            .run(&problem.spec, &strat)
+            .unwrap()
+            .time_cycles
     };
     assert_ne!(time(1), time(2), "different meshes should not tie exactly");
 }
@@ -118,7 +125,9 @@ fn mvm_reduction_spec(m: &SparseMatrix, seed: u64) -> PhasedSpec<SpmvKernel> {
             rows.push(r as u32);
         }
     }
-    let x: Vec<f64> = (0..m.ncols).map(|i| 1.0 + ((i as u64 + seed) % 7) as f64).collect();
+    let x: Vec<f64> = (0..m.ncols)
+        .map(|i| 1.0 + ((i as u64 + seed) % 7) as f64)
+        .collect();
     PhasedSpec {
         kernel: Arc::new(SpmvKernel {
             values: Arc::new(m.values.clone()),
@@ -135,31 +144,60 @@ fn mvm_reduction_spec(m: &SparseMatrix, seed: u64) -> PhasedSpec<SpmvKernel> {
 /// baseline, and the paper's phased executor — produces *bit-identical*
 /// reduction results when re-run, and all three agree with one another
 /// to floating-point reassociation tolerance. One check per kernel.
-fn assert_strategy_determinism<K: EdgeKernel>(name: &str, spec: &PhasedSpec<K>, procs: usize, k: usize) {
+fn assert_strategy_determinism<K: EdgeKernel>(
+    name: &str,
+    spec: &PhasedSpec<K>,
+    procs: usize,
+    k: usize,
+) {
     let strat = StrategyConfig::new(procs, k, Distribution::Block, 1);
     let owners: Vec<u32> = (0..spec.num_elements)
         .map(|e| (e * procs / spec.num_elements) as u32)
         .collect();
 
+    let ie_strat = StrategyConfig::new(procs, 1, Distribution::Block, 1);
     let seq = || seq_reduction(spec, 1, SimConfig::default());
-    let ie = || InspectorExecutor::run_sim(spec, &owners, procs, 1, SimConfig::default());
-    let phased = || PhasedReduction::run_sim(spec, &strat, SimConfig::default());
+    let ie = || {
+        IeEngine::with_owners(SimConfig::default(), Arc::new(owners.clone()))
+            .run(spec, &ie_strat)
+            .unwrap()
+    };
+    let phased = || {
+        PhasedEngine::sim(SimConfig::default())
+            .run(spec, &strat)
+            .unwrap()
+    };
 
     // Re-run bit-identity per strategy.
     let (s1, s2) = (seq(), seq());
     assert_eq!(s1.x, s2.x, "{name}: seq not bit-stable");
     let (i1, i2) = (ie(), ie());
-    assert_eq!(i1.x, i2.x, "{name}: inspector/executor not bit-stable");
-    assert_eq!(i1.time_cycles, i2.time_cycles, "{name}: IE timing not stable");
+    assert_eq!(
+        i1.values, i2.values,
+        "{name}: inspector/executor not bit-stable"
+    );
+    assert_eq!(
+        i1.time_cycles, i2.time_cycles,
+        "{name}: IE timing not stable"
+    );
     let (p1, p2) = (phased(), phased());
-    assert_eq!(p1.x, p2.x, "{name}: phased not bit-stable");
-    assert_eq!(p1.time_cycles, p2.time_cycles, "{name}: phased timing not stable");
+    assert_eq!(p1.values, p2.values, "{name}: phased not bit-stable");
+    assert_eq!(
+        p1.time_cycles, p2.time_cycles,
+        "{name}: phased timing not stable"
+    );
 
     // Cross-strategy agreement (reassociation tolerance, not bitwise —
     // the strategies legitimately sum contributions in different orders).
     for a in 0..spec.kernel.num_arrays() {
-        assert!(approx_eq(&s1.x[a], &i1.x[a], 1e-9), "{name}: seq vs IE, array {a}");
-        assert!(approx_eq(&s1.x[a], &p1.x[a], 1e-9), "{name}: seq vs phased, array {a}");
+        assert!(
+            approx_eq(&s1.x[a], &i1.values[a], 1e-9),
+            "{name}: seq vs IE, array {a}"
+        );
+        assert!(
+            approx_eq(&s1.x[a], &p1.values[a], 1e-9),
+            "{name}: seq vs phased, array {a}"
+        );
     }
 }
 

@@ -4,7 +4,10 @@
 use std::sync::Arc;
 
 use earth_model::sim::SimConfig;
-use irred::{approx_eq, seq_reduction, Distribution, PhasedGather, PhasedReduction, StrategyConfig};
+use irred::{
+    approx_eq, seq_reduction, Distribution, GatherEngine, PhasedEngine, ReductionEngine,
+    StrategyConfig,
+};
 use kernels::{EulerProblem, MolDynProblem, MvmProblem};
 use workloads::{Mesh, MolDyn, SparseMatrix};
 
@@ -26,10 +29,12 @@ fn euler_all_strategies_match_sequential() {
     let sweeps = 3;
     let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
     for strat in strategies(sweeps) {
-        let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+        let r = PhasedEngine::sim(SimConfig::default())
+            .run(&problem.spec, &strat)
+            .unwrap();
         for a in 0..4 {
             assert!(
-                approx_eq(&r.x[a], &seq.x[a], 1e-8),
+                approx_eq(&r.values[a], &seq.x[a], 1e-8),
                 "euler x[{a}] mismatch at P={} {}",
                 strat.procs,
                 strat.label()
@@ -53,7 +58,9 @@ fn moldyn_all_strategies_match_sequential() {
     let sweeps = 2;
     let seq = seq_reduction(&problem.spec, sweeps, SimConfig::default());
     for strat in strategies(sweeps) {
-        let r = PhasedReduction::run_sim(&problem.spec, &strat, SimConfig::default());
+        let r = PhasedEngine::sim(SimConfig::default())
+            .run(&problem.spec, &strat)
+            .unwrap();
         for a in 0..3 {
             assert!(
                 approx_eq(&r.read[a], &seq.read[a], 1e-8),
@@ -71,9 +78,11 @@ fn mvm_all_strategies_match_spmv() {
     let mut want = vec![0.0; 300];
     problem.spec.matrix.spmv(&problem.spec.x, &mut want);
     for strat in strategies(2) {
-        let r = PhasedGather::run_sim(&problem.spec, &strat, SimConfig::default());
+        let r = GatherEngine::sim(SimConfig::default())
+            .run(&problem.spec, &strat)
+            .unwrap();
         assert!(
-            approx_eq(&r.y, &want, 1e-10),
+            approx_eq(&r.values[0], &want, 1e-10),
             "mvm mismatch at P={} {}",
             strat.procs,
             strat.label()
@@ -90,9 +99,11 @@ fn conservation_holds_under_any_numbering() {
     let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 3);
     for m in [mesh.clone(), mesh.shuffled(99)] {
         let p = EulerProblem::from_mesh(m, 3);
-        let r = PhasedReduction::run_sim(&p.spec, &strat, SimConfig::default());
+        let r = PhasedEngine::sim(SimConfig::default())
+            .run(&p.spec, &strat)
+            .unwrap();
         for a in 0..4 {
-            let total: f64 = r.x[a].iter().sum();
+            let total: f64 = r.values[a].iter().sum();
             assert!(total.abs() < 1e-7, "array {a} drifted: {total}");
         }
         // And the phased run matches its own sequential reference.
@@ -108,8 +119,12 @@ fn inspector_cost_excluded_from_loop_time() {
     let problem = EulerProblem::from_mesh(Mesh::generate3d(400, 2_200, 7), 7);
     let strat1 = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
     let strat4 = StrategyConfig::new(4, 2, Distribution::Cyclic, 8);
-    let t1 = PhasedReduction::run_sim(&problem.spec, &strat1, SimConfig::default()).time_cycles;
-    let t4 = PhasedReduction::run_sim(&problem.spec, &strat4, SimConfig::default()).time_cycles;
+    let engine = PhasedEngine::sim(SimConfig::default());
+    let t1 = engine.run(&problem.spec, &strat1).unwrap().time_cycles;
+    let t4 = engine.run(&problem.spec, &strat4).unwrap().time_cycles;
     let ratio = t4 as f64 / t1 as f64;
-    assert!((3.0..5.0).contains(&ratio), "time should scale ~4x with sweeps, got {ratio}");
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "time should scale ~4x with sweeps, got {ratio}"
+    );
 }
