@@ -37,6 +37,15 @@ tier1() {
 
     echo "== clippy (-D warnings) =="
     cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "== trace smoke (fig5 --trace) =="
+    # The --trace path must emit a phase-timeline table and a Chrome
+    # trace_event JSON that passes the hand validator (dump_trace
+    # panics on invalid JSON, so a non-empty file implies it parsed).
+    rm -f bench_results/fig5_trace.json
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin fig5 -- --trace \
+        | grep -q "phase timeline (fig5)"
+    test -s bench_results/fig5_trace.json
 }
 
 faults() {

@@ -16,7 +16,9 @@ use irred::baseline::{atomic_reduction, replicated_reduction, serial_reduction};
 use irred::kernel::WeightedPairKernel;
 use irred::{seq_reduction, PhasedEngine, PhasedSpec, ReductionEngine};
 use kernels::EulerProblem;
-use repro_bench::{quick, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    dump_trace, quick, trace_requested, ExecutionConfig, Report, Row, SimConfig, StrategyConfig,
+};
 use workloads::{Distribution, Mesh, MeshPreset};
 
 fn main() {
@@ -107,4 +109,12 @@ fn main() {
         serial.as_secs_f64() / phased.as_secs_f64(),
     ));
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        let strat = StrategyConfig::new(16, 2, Distribution::Cyclic, 2);
+        let traced = PhasedEngine::new(ExecutionConfig::sim(cfg).traced())
+            .run(&problem.spec, &strat)
+            .unwrap();
+        dump_trace("ablation", &traced).expect("write trace");
+    }
 }

@@ -17,7 +17,8 @@
 
 use irred::baseline::InspectorExecutor;
 use lightinspector::{diff_pairs, inspect, IncrementalInspector, InspectorInput, PhaseGeometry};
-use repro_bench::{quick, Report, SimConfig};
+use repro_bench::{dump_trace_events, quick, trace_requested, Report, SimConfig};
+use trace::{TraceEvent, TraceKind};
 use workloads::hash_distribute_pairs;
 use workloads::MolDyn;
 
@@ -118,4 +119,31 @@ fn main() {
         total_full / total_inc.max(1e-9)
     ));
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        // This binary never runs the reduction itself, so trace the
+        // inspection pipeline: one full LightInspector pass per
+        // processor, stage completions as events.
+        let mut events = Vec::new();
+        let fresh = hash_distribute_pairs(&md.ia1, &md.ia2, procs);
+        for (q, (pairs, &cap)) in fresh.iter().zip(&caps).enumerate() {
+            let (a, b) = padded(pairs, cap);
+            let _ = lightinspector::inspect_observed(
+                InspectorInput {
+                    geometry: g,
+                    proc_id: q,
+                    indirection: &[&a, &b],
+                },
+                &mut |stage| {
+                    events.push(TraceEvent::new(
+                        stage as u64,
+                        q as u32,
+                        TraceKind::InspectorStage { stage },
+                    ));
+                },
+            )
+            .unwrap();
+        }
+        dump_trace_events("adaptive", &events).expect("write trace");
+    }
 }

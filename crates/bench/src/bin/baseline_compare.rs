@@ -16,7 +16,10 @@ use irred::{seq_reduction, PhasedEngine, ReductionEngine, Workspace};
 use kernels::euler::EulerKernel;
 use kernels::EulerProblem;
 use lightinspector::{inspect, InspectorInput, PhaseGeometry};
-use repro_bench::{lhs_sweeps, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    dump_trace, lhs_sweeps, trace_requested, ExecutionConfig, Report, Row, SimConfig,
+    StrategyConfig,
+};
 use workloads::{distribute, rcb_partition, Distribution, MeshPreset};
 
 /// The IE baseline cannot refresh replicated read state; compare on a
@@ -85,13 +88,28 @@ fn main() {
 
             // Inspector/executor with RCB ownership.
             let owners = rcb_partition(&problem.mesh.coords, p.next_power_of_two());
-            let owners: Vec<u32> = owners.iter().map(|&o| o % p as u32).collect();
+            let owners: Arc<Vec<u32>> = Arc::new(owners.iter().map(|&o| o % p as u32).collect());
             let ie_strat = StrategyConfig::new(p, 1, Distribution::Block, sweeps);
-            let ie_engine = IeEngine::with_owners(cfg, Arc::new(owners));
+            let ie_engine = IeEngine::with_owners(cfg, Arc::clone(&owners));
             let mut prepared = ie_engine.prepare(&spec, &ie_strat).expect("valid IE spec");
             let ie = ie_engine
                 .execute(&mut prepared, &mut Workspace::new())
                 .expect("IE run");
+            if trace_requested() && p == 8 && matches!(preset, MeshPreset::Euler2K) {
+                // Export both schemes' event streams at the same scale:
+                // the phased ring rotation vs the IE scatter/fold pattern.
+                let traced = PhasedEngine::new(ExecutionConfig::sim(cfg).traced())
+                    .run(&spec, &StrategyConfig::new(p, 2, Distribution::Cyclic, 2))
+                    .unwrap();
+                dump_trace("baseline_compare_phased", &traced).expect("write trace");
+                let t_ie =
+                    IeEngine::with_owners(ExecutionConfig::sim(cfg).traced(), owners.clone());
+                let mut t_prep = t_ie.prepare(&spec, &ie_strat).expect("valid IE spec");
+                let ie_out = t_ie
+                    .execute(&mut t_prep, &mut Workspace::new())
+                    .expect("IE run");
+                dump_trace("baseline_compare_ie", &ie_out).expect("write trace");
+            }
             rep.push(Row {
                 dataset: label.clone(),
                 strategy: "ie-rcb".into(),

@@ -6,7 +6,10 @@
 //! second, k = 1 measurably worse at scale (7.9–15.3%).
 
 use kernels::MvmProblem;
-use repro_bench::{mvm_sweeps, quick, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    dump_trace, mvm_sweeps, quick, trace_requested, ExecutionConfig, Report, Row, SimConfig,
+    StrategyConfig,
+};
 use workloads::{CgClass, Distribution};
 
 fn main() {
@@ -56,4 +59,11 @@ fn main() {
         }
     }
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        let problem = MvmProblem::nas_class(CgClass::W, 1);
+        let strat = StrategyConfig::new(8, 2, Distribution::Block, sweeps.min(2));
+        let traced = problem.run_sim(&strat, ExecutionConfig::sim(cfg).traced());
+        dump_trace("fig4", &traced).expect("write trace");
+    }
 }

@@ -5,7 +5,10 @@
 //! against the best 4-processor version (k = 2)** over 4–64 processors.
 
 use kernels::MvmProblem;
-use repro_bench::{mvm_sweeps, quick, Report, Row, SimConfig, StrategyConfig};
+use repro_bench::{
+    dump_trace, mvm_sweeps, quick, trace_requested, ExecutionConfig, Report, Row, SimConfig,
+    StrategyConfig,
+};
 use workloads::{CgClass, Distribution};
 
 fn main() {
@@ -56,4 +59,12 @@ fn main() {
         ));
     }
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        // Re-run the baseline configuration with the ring sink on and
+        // export the phase timeline + Chrome trace.
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, sweeps.min(2));
+        let traced = problem.run_sim(&strat, ExecutionConfig::sim(cfg).traced());
+        dump_trace("fig5", &traced).expect("write trace");
+    }
 }

@@ -11,9 +11,10 @@
 use irred::{seq_reduction, PhasedEngine, ReductionEngine};
 use kernels::EulerProblem;
 use repro_bench::{
-    lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig,
+    dump_trace, lhs_procs, lhs_sweeps, paper_strategies, trace_requested, ExecutionConfig, Report,
+    Row, SimConfig, StrategyConfig,
 };
-use workloads::MeshPreset;
+use workloads::{Distribution, MeshPreset};
 
 fn main() {
     let cfg = SimConfig::default();
@@ -62,4 +63,13 @@ fn main() {
         }
     }
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        let problem = EulerProblem::preset(MeshPreset::Euler2K, 1);
+        let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 2);
+        let traced = PhasedEngine::new(ExecutionConfig::sim(cfg).traced())
+            .run(&problem.spec, &strat)
+            .unwrap();
+        dump_trace("fig6", &traced).expect("write trace");
+    }
 }

@@ -12,9 +12,10 @@
 use irred::{seq_reduction, PhasedEngine, ReductionEngine};
 use kernels::MolDynProblem;
 use repro_bench::{
-    lhs_procs, lhs_sweeps, paper_strategies, Report, Row, SimConfig, StrategyConfig,
+    dump_trace, lhs_procs, lhs_sweeps, paper_strategies, trace_requested, ExecutionConfig, Report,
+    Row, SimConfig, StrategyConfig,
 };
-use workloads::MolDynPreset;
+use workloads::{Distribution, MolDynPreset};
 
 fn main() {
     let cfg = SimConfig::default();
@@ -53,4 +54,13 @@ fn main() {
         }
     }
     rep.save().expect("write csv");
+
+    if trace_requested() {
+        let problem = MolDynProblem::preset(MolDynPreset::MolDyn2K);
+        let strat = StrategyConfig::new(8, 2, Distribution::Cyclic, 2);
+        let traced = PhasedEngine::new(ExecutionConfig::sim(cfg).traced())
+            .run(&problem.spec, &strat)
+            .unwrap();
+        dump_trace("fig7", &traced).expect("write trace");
+    }
 }

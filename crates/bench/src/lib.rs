@@ -17,13 +17,16 @@
 //!
 //! Environment knobs: `REPRO_SWEEPS` overrides the sweep count
 //! (default: 100 time steps for euler/moldyn, 50 products for mvm);
-//! `REPRO_QUICK=1` shrinks everything for smoke-testing.
+//! `REPRO_QUICK=1` shrinks everything for smoke-testing. Passing
+//! `--trace` on any figure binary re-runs one representative
+//! configuration with the ring sink on, prints the per-phase timeline
+//! table, and writes a Chrome `trace_event` JSON under `bench_results/`.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 
 pub use earth_model::sim::SimConfig;
-pub use irred::StrategyConfig;
+pub use irred::{ExecutionConfig, RunOutcome, StrategyConfig};
 pub use workloads::Distribution;
 
 /// Sweep count for the LHS kernels (euler/moldyn), honoring the env knobs.
@@ -52,6 +55,38 @@ fn sweeps_or(default: usize) -> usize {
 /// Whether `REPRO_QUICK` smoke mode is on.
 pub fn quick() -> bool {
     std::env::var("REPRO_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Whether `--trace` was passed on the command line.
+pub fn trace_requested() -> bool {
+    std::env::args().any(|a| a == "--trace")
+}
+
+/// Dump a traced run: print the per-phase timeline table and the metrics
+/// registry, and write `bench_results/<slug>_trace.json` as Chrome
+/// `trace_event` JSON (open in `chrome://tracing` or Perfetto). The JSON
+/// is re-validated through the hand validator before it is written —
+/// a malformed export fails the run rather than producing a file
+/// Perfetto rejects.
+pub fn dump_trace(slug: &str, out: &RunOutcome) -> std::io::Result<()> {
+    dump_trace_events(slug, &out.trace)?;
+    print!("{}", out.metrics().render());
+    Ok(())
+}
+
+/// The event-stream half of [`dump_trace`], for call sites that have a
+/// raw event list rather than a full [`RunOutcome`].
+pub fn dump_trace_events(slug: &str, events: &[trace::TraceEvent]) -> std::io::Result<()> {
+    let json = trace::chrome_trace_json(events);
+    let n = trace::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("generated Chrome trace is invalid: {e}"));
+    std::fs::create_dir_all("bench_results")?;
+    let path = format!("bench_results/{slug}_trace.json");
+    std::fs::write(&path, &json)?;
+    println!("--- phase timeline ({slug}) ---");
+    print!("{}", trace::Timeline::from_events(events).table());
+    println!("chrome trace: {path} ({n} events)");
+    Ok(())
 }
 
 /// Processor counts used by the paper for the LHS kernels.

@@ -69,13 +69,18 @@ pub mod value;
 
 pub use faults::{FaultConfig, FaultCounts, FaultPlan, FiberFault, MessageFault};
 pub use native::{
-    run_native, run_native_with, NativeConfig, NativeReport, RunError, StallDump, StallReason,
+    run_native, run_native_traced, run_native_with, NativeConfig, NativeReport, RunError,
+    StallDump, StallReason,
 };
 pub use procedure::{instantiate, invoke, FrameStore, ProcedureInstance, ProcedureTemplate};
 pub use program::{
     FiberCtx, FiberSpec, FiberTemplate, MachineProgram, Meter, NodeBuilder, NodeTemplate,
     NullMeter, ProgramTemplate, SharedFiberBody, SlotId,
 };
-pub use sim::{render_gantt, SimConfig, SimReport, TraceEvent};
+pub use sim::{render_gantt, run_sim, run_sim_traced, SimConfig, SimReport};
 pub use stats::{OpCounts, RunStats};
+pub use trace::{
+    CsvSink, FaultKind, MetricsRegistry, NullSink, RingSink, Timeline, TraceEvent, TraceKind,
+    TraceSink,
+};
 pub use value::{mailbox_key, Value};

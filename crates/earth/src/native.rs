@@ -44,6 +44,18 @@ use crate::faults::{FaultConfig, FaultPlan, FiberFault, MessageFault};
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
 use crate::stats::{NodeStats, OpCounts, RunStats};
 use crate::value::Value;
+use trace::{FaultKind, NullSink, TraceEvent, TraceKind, TraceSink};
+
+/// Map a decided message fate onto the trace-level fault taxonomy.
+/// `Deliver` is never passed here (callers only record actual faults).
+fn fault_kind(fate: MessageFault) -> FaultKind {
+    match fate {
+        MessageFault::Delay { .. } => FaultKind::MsgDelay,
+        MessageFault::Reorder => FaultKind::MsgReorder,
+        MessageFault::Duplicate => FaultKind::MsgDuplicate,
+        MessageFault::Drop | MessageFault::Deliver => FaultKind::MsgDrop,
+    }
+}
 
 /// Why a run was declared stalled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,9 +276,29 @@ struct Shared<S> {
     local_messages: AtomicU64,
     bytes: AtomicU64,
     spawns: AtomicU64,
+    /// Structured event sink; `tracing` caches `sink.enabled()` so the
+    /// untraced fast path pays one predictable branch per hook.
+    sink: Arc<dyn TraceSink>,
+    tracing: bool,
+    /// Epoch for event timestamps (monotonic nanoseconds since run
+    /// start — the native backend has no cycle clock).
+    t0: Instant,
 }
 
 impl<S> Shared<S> {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Record one event stamped with the current monotonic offset.
+    #[inline]
+    fn record(&self, node: u32, kind: TraceKind) {
+        if self.tracing {
+            self.sink.record(TraceEvent::new(self.now(), node, kind));
+        }
+    }
+
     /// Decrement slot `slot` on `node`; enqueue the fiber when it reaches
     /// zero, re-arming repeating fibers.
     fn dec(&self, node: usize, slot: SlotId) {
@@ -325,6 +357,9 @@ pub struct NativeCtx<S> {
     num_nodes: usize,
     shared: Arc<Shared<S>>,
     ops: Vec<PendingOp<S>>,
+    /// Events the fiber body emitted; flushed (timestamped) when the
+    /// fiber retires, like split-phase ops.
+    tbuf: Vec<TraceKind>,
 }
 
 enum PendingOp<S> {
@@ -358,6 +393,16 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
 
     fn num_nodes(&self) -> usize {
         self.num_nodes
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.shared.tracing
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        if self.shared.tracing {
+            self.tbuf.push(kind);
+        }
     }
 
     fn sync(&mut self, node: usize, slot: SlotId) {
@@ -515,6 +560,23 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
         match op {
             PendingOp::Sync { node, slot } => {
                 shared.syncs.fetch_add(1, Ordering::Relaxed);
+                if shared.tracing {
+                    shared.record(
+                        op_src as u32,
+                        TraceKind::Sync {
+                            to_node: node as u32,
+                            slot,
+                        },
+                    );
+                    if fate != MessageFault::Deliver {
+                        shared.record(
+                            op_src as u32,
+                            TraceKind::FaultInjected {
+                                kind: fault_kind(fate),
+                            },
+                        );
+                    }
+                }
                 if fate == MessageFault::Drop {
                     continue;
                 }
@@ -527,11 +589,36 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
                 slot,
             } => {
                 shared.messages.fetch_add(1, Ordering::Relaxed);
-                shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
+                let bytes = value.bytes();
+                shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+                if shared.tracing {
+                    shared.record(
+                        op_src as u32,
+                        TraceKind::MsgSend {
+                            to_node: node as u32,
+                            bytes,
+                        },
+                    );
+                    if fate != MessageFault::Deliver {
+                        shared.record(
+                            op_src as u32,
+                            TraceKind::FaultInjected {
+                                kind: fault_kind(fate),
+                            },
+                        );
+                    }
+                }
                 if fate == MessageFault::Drop {
                     continue;
                 }
                 deliver_data(shared, plan, node, key, value, slot, dup);
+                shared.record(
+                    node as u32,
+                    TraceKind::MsgRecv {
+                        from_node: op_src as u32,
+                        bytes,
+                    },
+                );
             }
             PendingOp::Spawn { node, idx, spec } => {
                 shared.spawns.fetch_add(1, Ordering::Relaxed);
@@ -646,6 +733,21 @@ pub fn run_native_with<S: Send + 'static>(
     prog: MachineProgram<S, NativeCtx<S>>,
     cfg: NativeConfig,
 ) -> Result<NativeReport<S>, RunError> {
+    run_native_traced(prog, cfg, Arc::new(NullSink))
+}
+
+/// Like [`run_native_with`], but records structured [`TraceEvent`]s into
+/// `sink` as the machine runs. Timestamps are monotonic nanoseconds from
+/// run start (the native backend has no cycle clock), so native streams
+/// are *not* deterministic across runs — use the sim backend for
+/// byte-reproducible traces. The caller keeps the `Arc` and drains the
+/// sink after the run. Passing a disabled sink ([`NullSink`]) makes
+/// every hook a single predictable branch.
+pub fn run_native_traced<S: Send + 'static>(
+    prog: MachineProgram<S, NativeCtx<S>>,
+    cfg: NativeConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<NativeReport<S>, RunError> {
     let num_nodes = prog.num_nodes();
     let mut senders = Vec::with_capacity(num_nodes);
     let mut receivers = Vec::with_capacity(num_nodes);
@@ -704,6 +806,9 @@ pub fn run_native_with<S: Send + 'static>(
         local_messages: AtomicU64::new(0),
         bytes: AtomicU64::new(0),
         spawns: AtomicU64::new(0),
+        tracing: sink.enabled(),
+        sink,
+        t0: Instant::now(),
     });
 
     // Seed initially-ready fibers before any thread starts.
@@ -786,7 +891,22 @@ pub fn run_native_with<S: Send + 'static>(
                         // outstanding item.
                         let value = extract(&state);
                         shared.messages.fetch_add(1, Ordering::Relaxed);
-                        shared.bytes.fetch_add(value.bytes(), Ordering::Relaxed);
+                        let bytes = value.bytes();
+                        shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+                        shared.record(
+                            node as u32,
+                            TraceKind::MsgSend {
+                                to_node: reply_to as u32,
+                                bytes,
+                            },
+                        );
+                        shared.record(
+                            reply_to as u32,
+                            TraceKind::MsgRecv {
+                                from_node: node as u32,
+                                bytes,
+                            },
+                        );
                         {
                             let mut mb = shared.nodes[reply_to].mailbox.lock().unwrap();
                             mb.entry(key).or_default().push_back(value);
@@ -892,7 +1012,9 @@ pub fn run_native_with<S: Send + 'static>(
             num_nodes: shared.nodes.len(),
             shared: Arc::clone(shared),
             ops: Vec::new(),
+            tbuf: Vec::new(),
         };
+        let fire_ts = if shared.tracing { shared.now() } else { 0 };
         let outcome = catch_unwind(AssertUnwindSafe(|| (spec.body)(state, &mut ctx)));
         let name = spec.name;
         bodies[idx as usize] = Some(spec);
@@ -900,6 +1022,25 @@ pub fn run_native_with<S: Send + 'static>(
             Ok(()) => {
                 *fired += 1;
                 fired_per_fiber[idx as usize] += 1;
+                if shared.tracing {
+                    let end = shared.now();
+                    shared.sink.record(TraceEvent::new(
+                        fire_ts,
+                        node as u32,
+                        TraceKind::FiberFire { slot: idx },
+                    ));
+                    for kind in ctx.tbuf.drain(..) {
+                        shared.sink.record(TraceEvent::new(end, node as u32, kind));
+                    }
+                    shared.sink.record(TraceEvent::new(
+                        end,
+                        node as u32,
+                        TraceKind::FiberRetire {
+                            slot: idx,
+                            exec: end - fire_ts,
+                        },
+                    ));
+                }
                 let ops = std::mem::take(&mut ctx.ops);
                 apply_ops(shared, node, ops);
                 shared.progress.fetch_add(1, Ordering::Relaxed);
@@ -942,6 +1083,12 @@ pub fn run_native_with<S: Send + 'static>(
                     break;
                 }
                 let p = shared.progress.load(Ordering::Relaxed);
+                // Each supervisor tick leaves a heartbeat in the trace,
+                // so a post-mortem timeline shows where progress stopped.
+                shared.record(
+                    trace::RUN_NODE,
+                    TraceKind::WatchdogHeartbeat { progress: p },
+                );
                 if p != last_progress {
                     last_progress = p;
                     last_change = Instant::now();
@@ -1040,6 +1187,7 @@ pub fn run_native_with<S: Send + 'static>(
                 spawns: shared.spawns.load(Ordering::Relaxed),
             },
             unfired_fibers: unfired,
+            total_cycles: 0,
             per_node,
             faults: shared
                 .faults
@@ -1313,6 +1461,73 @@ mod tests {
             }
             other => panic!("expected Stalled(Starved), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_native_run_records_events() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("a", |s, cx: &mut NativeCtx<u32>| {
+                *s = 1;
+                cx.trace(TraceKind::PhaseEnter { sweep: 0, phase: 0 });
+                cx.data_sync(1, mailbox_key(3, 0), Value::Scalar(2.0), 0);
+            }));
+        prog.node_mut(1)
+            .add_fiber(FiberSpec::new("b", 1, |s, cx: &mut NativeCtx<u32>| {
+                *s = cx.recv(mailbox_key(3, 0)).unwrap().expect_scalar() as u32;
+            }));
+        let sink = Arc::new(trace::RingSink::new(2, 64));
+        let r = run_native_traced(
+            prog,
+            NativeConfig::default(),
+            sink.clone() as Arc<dyn TraceSink>,
+        )
+        .unwrap();
+        assert_eq!(r.states, vec![1, 2]);
+        assert_eq!(r.stats.total_cycles, 0, "native has no cycle clock");
+        let events = sink.drain();
+        let fires = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FiberFire { .. }))
+            .count();
+        let retires = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FiberRetire { .. }))
+            .count();
+        assert_eq!(fires, 2);
+        assert_eq!(retires, 2);
+        assert!(events
+            .iter()
+            .any(|e| e.node == 0 && e.kind == (TraceKind::PhaseEnter { sweep: 0, phase: 0 })));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::MsgSend {
+                to_node: 1,
+                bytes: 8
+            }
+        )));
+        assert!(events.iter().any(|e| e.node == 1
+            && matches!(
+                e.kind,
+                TraceKind::MsgRecv {
+                    from_node: 0,
+                    bytes: 8
+                }
+            )));
+    }
+
+    #[test]
+    fn untraced_native_run_records_nothing() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("inc", |s, _cx| *s += 1));
+        // run_native goes through the NullSink path; nothing to drain and
+        // the run still completes.
+        let r = run_native(prog).unwrap();
+        assert_eq!(r.states[0], 1);
     }
 
     #[test]

@@ -382,6 +382,23 @@ pub trait FiberCtx<S>: Sized {
     fn is_sim(&self) -> bool {
         false
     }
+
+    /// Whether a trace sink is attached and recording. Hot paths must
+    /// guard [`trace`](FiberCtx::trace) calls (and any event-argument
+    /// computation) on this, so untraced runs pay one predictable
+    /// branch per potential event.
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Emit a structured trace event. The backend supplies the
+    /// timestamp: simulated cycles on the simulator (stamped at the
+    /// point the fiber had charged this many cycles), monotonic
+    /// nanoseconds on the native backend. A no-op when no sink is
+    /// attached.
+    #[inline]
+    fn trace(&mut self, _kind: trace::TraceKind) {}
 }
 
 /// Memory-access metering abstraction for hot loops.

@@ -17,8 +17,10 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use memsim::{MemConfig, MemModel};
+use trace::{FaultKind, NullSink, TraceEvent, TraceKind, TraceSink};
 
 use crate::faults::{FaultConfig, FaultPlan, MessageFault};
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
@@ -56,9 +58,6 @@ pub struct SimConfig {
     pub phased_iter_overhead_cycles: u64,
     /// Extra cycles per second-loop copy operation, same source.
     pub phased_copy_overhead_cycles: u64,
-    /// Record a per-fiber execution trace in the report (off by default;
-    /// costs memory proportional to fibers fired).
-    pub trace: bool,
     /// Optional deterministic fault plan (see [`crate::faults`]). The
     /// simulator injects the *message* faults — delay (extra latency
     /// cycles), reorder (one extra network hop), duplicate (two arrival
@@ -80,7 +79,6 @@ impl Default for SimConfig {
             clock_hz: 50_000_000,
             phased_iter_overhead_cycles: 50,
             phased_copy_overhead_cycles: 16,
-            trace: false,
             faults: None,
         }
     }
@@ -93,15 +91,6 @@ impl SimConfig {
     }
 }
 
-/// One fiber execution recorded when [`SimConfig::trace`] is on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEvent {
-    pub node: usize,
-    pub slot: SlotId,
-    pub start: u64,
-    pub end: u64,
-}
-
 /// Result of [`run_sim`].
 #[derive(Debug)]
 pub struct SimReport<S> {
@@ -111,19 +100,31 @@ pub struct SimReport<S> {
     /// Makespan in simulated seconds.
     pub seconds: f64,
     pub stats: RunStats,
-    /// Fiber executions, in start order (empty unless tracing).
+    /// The structured events drained from the run's [`TraceSink`]
+    /// (empty when [`run_sim`]'s implicit [`NullSink`] was used).
     pub trace: Vec<TraceEvent>,
 }
 
 /// Render a trace as an ASCII Gantt chart, one row per node: `#` where
 /// the EU is busy, `.` where it idles — a quick visual check of how well
-/// communication hides behind computation.
+/// communication hides behind computation. Busy stretches come from the
+/// [`TraceKind::FiberRetire`] events (each carries its execution time).
 pub fn render_gantt(trace: &[TraceEvent], num_nodes: usize, total: u64, width: usize) -> String {
     let mut rows = vec![vec![false; width]; num_nodes];
     let scale = |t: u64| ((t as u128 * width as u128) / total.max(1) as u128) as usize;
     for ev in trace {
-        let (a, b) = (scale(ev.start), scale(ev.end).min(width.saturating_sub(1)));
-        for cell in &mut rows[ev.node][a..=b.min(width - 1)] {
+        let TraceKind::FiberRetire { exec, .. } = ev.kind else {
+            continue;
+        };
+        let node = ev.node as usize;
+        if node >= num_nodes {
+            continue;
+        }
+        let (a, b) = (
+            scale(ev.ts.saturating_sub(exec)),
+            scale(ev.ts).min(width.saturating_sub(1)),
+        );
+        for cell in &mut rows[node][a..=b.min(width - 1)] {
             *cell = true;
         }
     }
@@ -137,6 +138,17 @@ pub fn render_gantt(trace: &[TraceEvent], num_nodes: usize, total: u64, width: u
         out.push('\n');
     }
     out
+}
+
+/// Map a decided message fate to the trace vocabulary (`Deliver` is not
+/// a fault and must not be passed here).
+fn fault_kind(fate: MessageFault) -> FaultKind {
+    match fate {
+        MessageFault::Delay { .. } => FaultKind::MsgDelay,
+        MessageFault::Reorder => FaultKind::MsgReorder,
+        MessageFault::Duplicate => FaultKind::MsgDuplicate,
+        MessageFault::Drop | MessageFault::Deliver => FaultKind::MsgDrop,
+    }
 }
 
 /// The [`FiberCtx`] implementation for the simulator.
@@ -155,6 +167,11 @@ pub struct SimCtx<S> {
     next_dyn: Vec<u32>,
     dyn_cap: Vec<u32>,
     ops: Vec<SimOp<S>>,
+    tracing: bool,
+    /// Structured events the fiber body emitted, with the cycles charged
+    /// at emission time — stamped `fire_time + offset` when the fiber
+    /// retires, so timestamps stay deterministic.
+    tbuf: Vec<(u64, TraceKind)>,
 }
 
 enum SimOp<S> {
@@ -274,6 +291,18 @@ impl<S> FiberCtx<S> for SimCtx<S> {
     fn is_sim(&self) -> bool {
         true
     }
+
+    #[inline]
+    fn trace_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    #[inline]
+    fn trace(&mut self, kind: TraceKind) {
+        if self.tracing {
+            self.tbuf.push((self.charged, kind));
+        }
+    }
 }
 
 enum Ev<S> {
@@ -285,6 +314,7 @@ enum Ev<S> {
     },
     DataArrive {
         node: usize,
+        from: usize,
         key: u64,
         value: Value,
         slot: SlotId,
@@ -358,11 +388,19 @@ struct Sim<S> {
     seq: u64,
     now: u64,
     ops: OpCounts,
-    trace: Vec<TraceEvent>,
+    sink: Arc<dyn TraceSink>,
+    tracing: bool,
     faults: Option<FaultPlan>,
 }
 
 impl<S> Sim<S> {
+    #[inline]
+    fn record(&self, ts: u64, node: usize, kind: TraceKind) {
+        if self.tracing {
+            self.sink.record(TraceEvent::new(ts, node as u32, kind));
+        }
+    }
+
     fn push(&mut self, time: u64, ev: Ev<S>) {
         self.seq += 1;
         self.heap.push(Reverse(HeapEv {
@@ -451,6 +489,8 @@ impl<S> Sim<S> {
             next_dyn: std::mem::take(&mut self.next_dyn),
             dyn_cap,
             ops: Vec::new(),
+            tracing: self.tracing,
+            tbuf: Vec::new(),
         };
         (spec.body)(&mut n.state, &mut ctx);
         n.bodies[slot as usize] = Some(spec);
@@ -463,13 +503,12 @@ impl<S> Sim<S> {
         n.stats.busy_cycles += exec;
         n.stats.fibers_fired += 1;
         self.ops.fibers_fired += 1;
-        if self.cfg.trace {
-            self.trace.push(TraceEvent {
-                node,
-                slot,
-                start: t,
-                end,
-            });
+        if self.tracing {
+            self.record(t, node, TraceKind::FiberFire { slot });
+            for (off, kind) in ctx.tbuf.drain(..) {
+                self.record(t + self.cfg.fiber_switch_cycles + off, node, kind);
+            }
+            self.record(end, node, TraceKind::FiberRetire { slot, exec });
         }
         self.push(end, Ev::EuIdle { node });
         // Dispatch the fiber's split-phase operations at its end time.
@@ -477,7 +516,24 @@ impl<S> Sim<S> {
             match op {
                 SimOp::Sync { node: dst, slot } => {
                     self.ops.syncs += 1;
+                    self.record(
+                        end,
+                        node,
+                        TraceKind::Sync {
+                            to_node: dst as u32,
+                            slot,
+                        },
+                    );
                     let (fate, op) = self.message_fate(node, dst, slot);
+                    if fate != MessageFault::Deliver {
+                        self.record(
+                            end,
+                            node,
+                            TraceKind::FaultInjected {
+                                kind: fault_kind(fate),
+                            },
+                        );
+                    }
                     if fate == MessageFault::Drop {
                         continue;
                     }
@@ -511,7 +567,24 @@ impl<S> Sim<S> {
                     self.ops.messages += 1;
                     let bytes = value.bytes();
                     self.ops.bytes += bytes;
+                    self.record(
+                        end,
+                        node,
+                        TraceKind::MsgSend {
+                            to_node: dst as u32,
+                            bytes,
+                        },
+                    );
                     let (fate, op) = self.message_fate(node, dst, slot);
+                    if fate != MessageFault::Deliver {
+                        self.record(
+                            end,
+                            node,
+                            TraceKind::FaultInjected {
+                                kind: fault_kind(fate),
+                            },
+                        );
+                    }
                     if fate == MessageFault::Drop {
                         continue;
                     }
@@ -536,6 +609,7 @@ impl<S> Sim<S> {
                             arr,
                             Ev::DataArrive {
                                 node: dst,
+                                from: node,
                                 key,
                                 value: value.clone(),
                                 slot,
@@ -602,6 +676,7 @@ impl<S> Sim<S> {
             }
             Ev::DataArrive {
                 node,
+                from,
                 key,
                 value,
                 slot,
@@ -610,6 +685,14 @@ impl<S> Sim<S> {
                 if self.suppressed(op) {
                     return;
                 }
+                self.record(
+                    t,
+                    node,
+                    TraceKind::MsgRecv {
+                        from_node: from as u32,
+                        bytes: value.bytes(),
+                    },
+                );
                 self.nodes[node]
                     .mailbox
                     .entry(key)
@@ -667,6 +750,7 @@ impl<S> Sim<S> {
                     arr,
                     Ev::DataArrive {
                         node: reply_to,
+                        from: node,
                         key,
                         value,
                         slot,
@@ -683,8 +767,23 @@ impl<S> Sim<S> {
 }
 
 /// Execute `prog` on the simulated machine. Deterministic: identical
-/// programs produce identical reports.
+/// programs produce identical reports. Untraced: every potential event
+/// costs one predictable branch.
 pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimReport<S> {
+    run_sim_traced(prog, cfg, Arc::new(NullSink))
+}
+
+/// [`run_sim`] with a [`TraceSink`]: structured events (fiber
+/// fire/retire, syncs, messages with byte counts, fault injections, and
+/// whatever the fiber bodies emit through [`FiberCtx::trace`]) are
+/// recorded cycle-stamped as the simulation runs, then drained into
+/// [`SimReport::trace`]. Because recording never consults a clock, the
+/// drained stream is byte-identical across runs of the same program.
+pub fn run_sim_traced<S>(
+    prog: MachineProgram<S, SimCtx<S>>,
+    cfg: SimConfig,
+    sink: Arc<dyn TraceSink>,
+) -> SimReport<S> {
     let mut nodes = Vec::with_capacity(prog.num_nodes());
     for nb in prog.nodes {
         let n_static = nb.fibers.len();
@@ -722,7 +821,8 @@ pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimRepo
         seq: 0,
         now: 0,
         ops: OpCounts::default(),
-        trace: Vec::new(),
+        tracing: sink.enabled(),
+        sink,
         faults: cfg.faults.filter(|f| !f.is_noop()).map(FaultPlan::new),
     };
 
@@ -766,10 +866,11 @@ pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimRepo
         stats: RunStats {
             ops: sim.ops,
             unfired_fibers: unfired,
+            total_cycles: time_cycles,
             per_node,
             faults: sim.faults.as_ref().map(|p| p.counts()).unwrap_or_default(),
         },
-        trace: sim.trace,
+        trace: sim.sink.drain(),
     }
 }
 
@@ -1076,30 +1177,55 @@ mod tests {
         assert_eq!(r.states[1], vec![0, 1, 2]);
     }
 
-    #[test]
-    fn trace_records_fiber_executions() {
-        let mut c = cfg();
-        c.trace = true;
+    fn traced_pair() -> Prog<()> {
         let mut prog: Prog<()> = MachineProgram::new();
         prog.add_node(());
         prog.add_node(());
         prog.node_mut(0)
             .add_fiber(FiberSpec::ready("a", |_s, cx: &mut SimCtx<()>| {
                 cx.charge(500);
+                cx.trace(TraceKind::PhaseEnter { sweep: 0, phase: 0 });
                 cx.sync(1, 0);
             }));
         prog.node_mut(1)
             .add_fiber(FiberSpec::new("b", 1, |_s, cx: &mut SimCtx<()>| {
                 cx.charge(700)
             }));
-        let r = run_sim(prog, c);
-        assert_eq!(r.trace.len(), 2);
-        assert_eq!(r.trace[0].node, 0);
-        assert_eq!(
-            r.trace[0].end - r.trace[0].start,
-            c.fiber_switch_cycles + 500
-        );
-        assert!(r.trace[1].start >= r.trace[0].end, "b depends on a");
+        prog
+    }
+
+    #[test]
+    fn trace_records_typed_events() {
+        let c = cfg();
+        let sink = Arc::new(trace::RingSink::new(2, 1024));
+        let r = run_sim_traced(traced_pair(), c, sink);
+        let fires: Vec<_> = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FiberFire { .. }))
+            .collect();
+        assert_eq!(fires.len(), 2);
+        let retire_a = r
+            .trace
+            .iter()
+            .find(|e| e.node == 0 && matches!(e.kind, TraceKind::FiberRetire { .. }))
+            .unwrap();
+        let TraceKind::FiberRetire { exec, .. } = retire_a.kind else {
+            unreachable!()
+        };
+        assert_eq!(exec, c.fiber_switch_cycles + 500);
+        // The body-emitted event is stamped inside a's span.
+        let phase = r
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::PhaseEnter { .. }))
+            .unwrap();
+        assert!(phase.ts <= retire_a.ts);
+        // Sync issue and message-free run: one Sync, no MsgSend.
+        assert!(r
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Sync { to_node: 1, .. })));
         let g = render_gantt(&r.trace, 2, r.time_cycles, 40);
         assert_eq!(g.lines().count(), 2);
         assert!(g.contains('#') && g.contains('.'));
@@ -1107,12 +1233,26 @@ mod tests {
 
     #[test]
     fn trace_off_by_default() {
-        let mut prog: Prog<()> = MachineProgram::new();
-        prog.add_node(());
-        prog.node_mut(0)
-            .add_fiber(FiberSpec::ready("a", |_s, _cx| {}));
-        let r = run_sim(prog, cfg());
+        let r = run_sim(traced_pair(), cfg());
         assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let plain = run_sim(traced_pair(), cfg());
+        let sink = Arc::new(trace::RingSink::new(2, 1024));
+        let traced = run_sim_traced(traced_pair(), cfg(), sink);
+        assert_eq!(plain.time_cycles, traced.time_cycles);
+        assert_eq!(plain.stats.ops, traced.stats.ops);
+    }
+
+    #[test]
+    fn trace_stream_is_deterministic() {
+        let run = || {
+            let sink = Arc::new(trace::RingSink::new(2, 1024));
+            run_sim_traced(traced_pair(), cfg(), sink).trace
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct RunStats {
     /// Fibers registered but never fired (often intentional slack; callers
     /// that expect every fiber to fire should assert this is zero).
     pub unfired_fibers: u64,
+    /// Length of the run in cycles, recorded by the backend that
+    /// produced these stats (the simulator's makespan; zero on the
+    /// native backend, which has no cycle clock). Lets utilization be
+    /// computed without callers threading the run length by hand.
+    pub total_cycles: u64,
     pub per_node: Vec<NodeStats>,
     /// Injected-fault counters (all zero unless the run carried a
     /// [`FaultConfig`](crate::faults::FaultConfig)).
@@ -55,8 +60,32 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// EU utilization of node `n` given the total run length.
-    pub fn utilization(&self, n: usize, total_cycles: u64) -> f64 {
+    /// EU utilization of node `n` over the recorded run length
+    /// ([`RunStats::total_cycles`]). Zero when the backend recorded no
+    /// cycle clock (native runs).
+    pub fn utilization(&self, n: usize) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.per_node[n].busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Mean EU utilization across nodes over the recorded run length.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = (0..self.per_node.len()).map(|n| self.utilization(n)).sum();
+        s / self.per_node.len() as f64
+    }
+
+    /// EU utilization against a caller-supplied run length.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the run length is recorded in RunStats::total_cycles; use utilization(n)"
+    )]
+    pub fn utilization_with(&self, n: usize, total_cycles: u64) -> f64 {
         if total_cycles == 0 {
             0.0
         } else {
@@ -64,13 +93,19 @@ impl RunStats {
         }
     }
 
-    /// Mean EU utilization across nodes.
-    pub fn mean_utilization(&self, total_cycles: u64) -> f64 {
-        if self.per_node.is_empty() {
+    /// Mean EU utilization against a caller-supplied run length.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the run length is recorded in RunStats::total_cycles; use mean_utilization()"
+    )]
+    pub fn mean_utilization_with(&self, total_cycles: u64) -> f64 {
+        if self.per_node.is_empty() || total_cycles == 0 {
             return 0.0;
         }
-        let s: f64 = (0..self.per_node.len())
-            .map(|n| self.utilization(n, total_cycles))
+        let s: f64 = self
+            .per_node
+            .iter()
+            .map(|n| n.busy_cycles as f64 / total_cycles as f64)
             .sum();
         s / self.per_node.len() as f64
     }
@@ -96,8 +131,9 @@ mod tests {
     }
 
     #[test]
-    fn utilization_bounds() {
-        let stats = RunStats {
+    fn utilization_uses_recorded_run_length() {
+        let mut stats = RunStats {
+            total_cycles: 100,
             per_node: vec![
                 NodeStats {
                     busy_cycles: 50,
@@ -110,9 +146,27 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert_eq!(stats.utilization(0, 100), 0.5);
-        assert_eq!(stats.utilization(1, 100), 1.0);
-        assert!((stats.mean_utilization(100) - 0.75).abs() < 1e-12);
-        assert_eq!(stats.utilization(0, 0), 0.0);
+        assert_eq!(stats.utilization(0), 0.5);
+        assert_eq!(stats.utilization(1), 1.0);
+        assert!((stats.mean_utilization() - 0.75).abs() < 1e-12);
+        stats.total_cycles = 0;
+        assert_eq!(stats.utilization(0), 0.0);
+        assert_eq!(stats.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn parameterized_forms_still_agree() {
+        let stats = RunStats {
+            total_cycles: 200,
+            per_node: vec![NodeStats {
+                busy_cycles: 50,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        assert_eq!(stats.utilization_with(0, 200), stats.utilization(0));
+        assert_eq!(stats.mean_utilization_with(200), stats.mean_utilization());
+        assert_eq!(stats.utilization_with(0, 0), 0.0);
     }
 }

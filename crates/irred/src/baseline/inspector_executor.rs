@@ -31,40 +31,20 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use earth_model::sim::{run_sim, SimConfig, SimCtx};
+use earth_model::sim::{run_sim_traced, SimConfig, SimCtx};
 use earth_model::{
-    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, RunStats, SlotId,
-    Value,
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, SlotId, Value,
 };
 use memsim::{AddressMap, Region};
 
-use crate::engine::{
-    validate_phased_spec, EngineBackend, EngineError, Provenance, ReductionEngine, RunOutcome,
-};
+use crate::config::ExecutionConfig;
+use crate::engine::{validate_phased_spec, EngineError, Provenance, ReductionEngine, RunOutcome};
 use crate::kernel::EdgeKernel;
 use crate::phased::PhasedSpec;
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::strategy::StrategyConfig;
 
 const TAG_SCATTER: u32 = 9;
-
-/// Result of an inspector/executor run — the result shape of the
-/// deprecated [`InspectorExecutor::run_sim`]. New code receives
-/// [`RunOutcome`] from the engine API and reads the inspector-side
-/// numbers off the [`PreparedIe`].
-#[derive(Debug)]
-pub struct IeResult {
-    pub x: Vec<Vec<f64>>,
-    /// Cycles of the executor (sweep loop) portion.
-    pub time_cycles: u64,
-    pub seconds: f64,
-    /// Modeled cycles of the communicating inspector (run once).
-    pub inspector_cycles: u64,
-    /// Ghost elements per processor — the partition-quality signature
-    /// that drives this scheme's communication volume.
-    pub ghost_counts: Vec<usize>,
-    pub stats: RunStats,
-}
 
 /// The immutable per-node product of the communicating inspector:
 /// ownership, renumbering, ghost tables, and the exchange schedule.
@@ -362,26 +342,35 @@ impl<K: EdgeKernel> PreparedIe<K> {
 /// [`Self::with_owners`] (e.g. RCB output) to study partition quality.
 #[derive(Clone)]
 pub struct IeEngine {
-    cfg: SimConfig,
+    cfg: ExecutionConfig,
     owners: Option<Arc<Vec<u32>>>,
 }
 
 impl IeEngine {
+    /// This baseline is simulator-only; only `cfg.sim` and `cfg.trace`
+    /// are consulted.
+    pub fn new(cfg: impl Into<ExecutionConfig>) -> Self {
+        IeEngine {
+            cfg: cfg.into(),
+            owners: None,
+        }
+    }
+
     pub fn sim(cfg: SimConfig) -> Self {
-        IeEngine { cfg, owners: None }
+        IeEngine::new(cfg)
     }
 
     /// Use an explicit element partition (`owners[e]` = processor that
     /// owns element `e`, values `< procs`).
-    pub fn with_owners(cfg: SimConfig, owners: Arc<Vec<u32>>) -> Self {
+    pub fn with_owners(cfg: impl Into<ExecutionConfig>, owners: Arc<Vec<u32>>) -> Self {
         IeEngine {
-            cfg,
+            cfg: cfg.into(),
             owners: Some(owners),
         }
     }
 
-    pub fn backend(&self) -> EngineBackend {
-        EngineBackend::Sim(self.cfg)
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.cfg
     }
 }
 
@@ -427,7 +416,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
             }
         };
         let sweeps = strat.sweeps;
-        let cfg = &self.cfg;
+        let cfg = &self.cfg.sim;
         let m = spec.kernel.num_refs();
         let e_total = spec.num_iterations();
 
@@ -583,10 +572,11 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
         prepared.executions += 1;
         let nodes = prepared.make_nodes(ws);
         let prog = prepared.template.instantiate(nodes);
-        let report = run_sim(prog, self.cfg);
+        let sink = self.cfg.trace.make_sink(prepared.node_plans.len());
+        let report = run_sim_traced(prog, self.cfg.sim, sink);
         assert_eq!(report.stats.unfired_fibers, 0);
         let values = prepared.finish(report.states, ws);
-        Ok(RunOutcome {
+        let mut out = RunOutcome {
             values,
             time_cycles: report.time_cycles,
             seconds: report.seconds,
@@ -599,50 +589,16 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
                 executions: prepared.executions,
             },
             ..RunOutcome::default()
-        })
+        };
+        out.fill_metrics();
+        Ok(out)
     }
 }
 
-/// The baseline runner — the deprecated one-shot API.
+/// Cost models shared by the partitioned-baseline comparisons.
 pub struct InspectorExecutor;
 
 impl InspectorExecutor {
-    /// Run with the given element ownership (`owners[e]` = processor that
-    /// owns element `e`, values `< procs`). Returns results plus modeled
-    /// inspector cost.
-    #[deprecated(note = "use IeEngine::with_owners(cfg, owners) via the ReductionEngine trait")]
-    pub fn run_sim<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        owners: &[u32],
-        procs: usize,
-        sweeps: usize,
-        cfg: SimConfig,
-    ) -> IeResult {
-        assert!(
-            !spec.kernel.updates_read_state(),
-            "IE baseline: static reads only"
-        );
-        assert!(procs <= 64, "scatter keying assumes ≤64 processors");
-        assert_eq!(owners.len(), spec.num_elements);
-        let engine = IeEngine::with_owners(cfg, Arc::new(owners.to_vec()));
-        let strat = StrategyConfig::new(procs, 1, workloads::Distribution::Block, sweeps);
-        let mut prepared =
-            <IeEngine as ReductionEngine<PhasedSpec<K>>>::prepare(&engine, spec, &strat)
-                .unwrap_or_else(|e| panic!("IE inspection failed: {e}"));
-        let mut ws = Workspace::new();
-        let out = engine
-            .execute(&mut prepared, &mut ws)
-            .unwrap_or_else(|e| panic!("IE run failed: {e}"));
-        IeResult {
-            x: out.values,
-            time_cycles: out.time_cycles,
-            seconds: out.seconds,
-            inspector_cycles: prepared.inspector_cycles(),
-            ghost_counts: prepared.ghost_counts(),
-            stats: out.stats,
-        }
-    }
-
     /// Modeled sequential cost of the *partitioning* step the paper's
     /// comparators pay (and the phased strategy avoids): an RCB-style
     /// `O(n log n · c)` pass plus data redistribution of every element
@@ -767,14 +723,32 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_works() {
+    fn explicit_owners_match_sequential() {
         let s = spec(48, 300, 5);
         let seq = seq_reduction(&s, 1, SimConfig::default());
-        let owners = block_owners(48, 3);
-        #[allow(deprecated)]
-        let r = InspectorExecutor::run_sim(&s, &owners, 3, 1, SimConfig::default());
-        assert!(crate::approx_eq(&r.x[0], &seq.x[0], 1e-9));
-        assert!(r.inspector_cycles > 0);
+        let owners = Arc::new(block_owners(48, 3));
+        let engine = IeEngine::with_owners(SimConfig::default(), owners);
+        let strat = StrategyConfig::new(3, 1, Distribution::Block, 1);
+        let mut prepared = engine.prepare(&s, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let r = engine.execute(&mut prepared, &mut ws).unwrap();
+        assert!(crate::approx_eq(&r.values[0], &seq.x[0], 1e-9));
+        assert!(prepared.inspector_cycles() > 0);
+    }
+
+    #[test]
+    fn traced_ie_run_populates_trace_and_metrics() {
+        let s = spec(64, 500, 6);
+        let engine = IeEngine::new(ExecutionConfig::default().traced());
+        let strat = StrategyConfig::new(4, 1, Distribution::Block, 2);
+        let mut prepared = engine.prepare(&s, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let out = engine.execute(&mut prepared, &mut ws).unwrap();
+        assert!(!out.trace.is_empty());
+        assert_eq!(
+            out.metrics().counter("messages"),
+            Some(out.stats.ops.messages)
+        );
     }
 
     #[test]

@@ -12,5 +12,5 @@
 pub mod inspector_executor;
 pub mod shared;
 
-pub use inspector_executor::{block_owners, IeEngine, IeResult, InspectorExecutor, PreparedIe};
+pub use inspector_executor::{block_owners, IeEngine, InspectorExecutor, PreparedIe};
 pub use shared::{atomic_reduction, replicated_reduction, serial_reduction};

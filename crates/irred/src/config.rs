@@ -1,0 +1,220 @@
+//! [`ExecutionConfig`] — the single knob bundle every engine consumes.
+//!
+//! Before this module existed each engine constructor took either a
+//! [`SimConfig`] or a [`NativeConfig`] and recovery/fault/trace settings
+//! were threaded through separate side channels. `ExecutionConfig`
+//! unifies backend choice, backend knobs, deterministic fault injection,
+//! the recovery ladder, and trace-sink selection behind one `Copy`
+//! builder, so a bench harness can construct *one* config and hand it to
+//! any [`ReductionEngine`](crate::ReductionEngine).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use earth_model::native::NativeConfig;
+use earth_model::sim::SimConfig;
+use earth_model::{FaultConfig, NullSink, RingSink, TraceSink};
+
+use crate::engine::RecoveryPolicy;
+
+/// Which EARTH backend an [`ExecutionConfig`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The cycle-metered discrete-event simulator.
+    Sim,
+    /// Real OS threads (watchdog, wall-clock timing).
+    Native,
+}
+
+impl BackendKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Native => "native",
+        }
+    }
+}
+
+/// Whether (and how) a run records structured trace events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceConfig {
+    /// No recording; every hook short-circuits on one cached boolean.
+    #[default]
+    Off,
+    /// Per-node bounded ring buffers; the newest `capacity` events per
+    /// node survive. Drained into [`RunOutcome::trace`](crate::RunOutcome::trace).
+    Ring {
+        /// Events retained per node ring.
+        capacity: usize,
+    },
+}
+
+impl TraceConfig {
+    /// Default per-node ring capacity — generous enough that the
+    /// benchmark-sized runs in this repo never wrap.
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Ring recording at [`Self::DEFAULT_RING_CAPACITY`].
+    pub fn ring() -> Self {
+        TraceConfig::Ring {
+            capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    pub fn enabled(self) -> bool {
+        !matches!(self, TraceConfig::Off)
+    }
+
+    /// Build the sink this config calls for. `nodes` is the processor
+    /// count; the ring sink keeps one extra ring for run-level events
+    /// ([`trace::RUN_NODE`]).
+    pub(crate) fn make_sink(self, nodes: usize) -> Arc<dyn TraceSink> {
+        match self {
+            TraceConfig::Off => Arc::new(NullSink),
+            TraceConfig::Ring { capacity } => Arc::new(RingSink::new(nodes, capacity)),
+        }
+    }
+}
+
+/// Everything an engine needs to know about *how* to run: backend,
+/// backend knobs, fault injection, recovery, tracing. `Copy`, so configs
+/// are shared by value exactly like the old per-backend structs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionConfig {
+    pub backend: BackendKind,
+    /// Simulator knobs (used when `backend == Sim`; also by the
+    /// sequential fallback's cycle model).
+    pub sim: SimConfig,
+    /// Native-backend knobs (used when `backend == Native`).
+    pub native: NativeConfig,
+    /// Walk the recovery ladder on native failures when set.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Trace-sink selection (see [`TraceConfig`]).
+    pub trace: TraceConfig,
+}
+
+impl Default for ExecutionConfig {
+    /// Simulator backend, default knobs, no recovery, no tracing.
+    fn default() -> Self {
+        ExecutionConfig::sim(SimConfig::default())
+    }
+}
+
+impl ExecutionConfig {
+    /// Run on the discrete-event simulator with these knobs.
+    pub fn sim(cfg: SimConfig) -> Self {
+        ExecutionConfig {
+            backend: BackendKind::Sim,
+            sim: cfg,
+            native: NativeConfig::default(),
+            recovery: None,
+            trace: TraceConfig::Off,
+        }
+    }
+
+    /// Run on real OS threads with these knobs.
+    pub fn native(cfg: NativeConfig) -> Self {
+        ExecutionConfig {
+            backend: BackendKind::Native,
+            sim: SimConfig::default(),
+            native: cfg,
+            recovery: None,
+            trace: TraceConfig::Off,
+        }
+    }
+
+    /// Inject this deterministic fault plan on whichever backend runs.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.sim.faults = Some(faults);
+        self.native.faults = Some(faults);
+        self
+    }
+
+    /// Walk the recovery ladder (retry + optional sequential fallback)
+    /// on native failures.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Record structured trace events into the configured sink.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Shorthand for `.with_trace(TraceConfig::ring())`.
+    pub fn traced(self) -> Self {
+        self.with_trace(TraceConfig::ring())
+    }
+
+    /// Native watchdog interval (no effect on the simulator, which
+    /// cannot stall).
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.native.watchdog = watchdog;
+        self
+    }
+
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+}
+
+impl From<SimConfig> for ExecutionConfig {
+    fn from(cfg: SimConfig) -> Self {
+        ExecutionConfig::sim(cfg)
+    }
+}
+
+impl From<NativeConfig> for ExecutionConfig {
+    fn from(cfg: NativeConfig) -> Self {
+        ExecutionConfig::native(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_untraced_sim() {
+        let cfg = ExecutionConfig::default();
+        assert_eq!(cfg.backend, BackendKind::Sim);
+        assert!(cfg.recovery.is_none());
+        assert!(!cfg.trace.enabled());
+    }
+
+    #[test]
+    fn with_faults_sets_both_backends() {
+        let f = FaultConfig::none(42);
+        let cfg = ExecutionConfig::sim(SimConfig::default()).with_faults(f);
+        assert_eq!(cfg.sim.faults, Some(f));
+        assert_eq!(cfg.native.faults, Some(f));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ExecutionConfig::native(NativeConfig::default())
+            .with_recovery(RecoveryPolicy::default())
+            .with_watchdog(Duration::from_secs(1))
+            .traced();
+        assert_eq!(cfg.backend, BackendKind::Native);
+        assert!(cfg.recovery.is_some());
+        assert_eq!(cfg.native.watchdog, Duration::from_secs(1));
+        assert!(cfg.trace.enabled());
+    }
+
+    #[test]
+    fn from_impls_pick_the_backend() {
+        let s: ExecutionConfig = SimConfig::default().into();
+        assert_eq!(s.backend, BackendKind::Sim);
+        let n: ExecutionConfig = NativeConfig::default().into();
+        assert_eq!(n.backend, BackendKind::Native);
+    }
+
+    #[test]
+    fn off_sink_is_disabled_ring_sink_enabled() {
+        assert!(!TraceConfig::Off.make_sink(4).enabled());
+        assert!(TraceConfig::ring().make_sink(4).enabled());
+    }
+}

@@ -18,10 +18,10 @@
 
 use std::time::Duration;
 
-use earth_model::native::{NativeConfig, RunError};
-use earth_model::sim::SimConfig;
+use earth_model::native::RunError;
 use earth_model::RunStats;
 use lightinspector::InspectError;
+use trace::{MetricsRegistry, Timeline, TraceEvent, TraceKind, TraceSink, RUN_NODE};
 
 use crate::kernel::EdgeKernel;
 use crate::prepared::Workspace;
@@ -89,24 +89,6 @@ impl From<StrategyError> for EngineError {
     }
 }
 
-/// Which EARTH backend an engine drives.
-#[derive(Debug, Clone, Copy)]
-pub enum EngineBackend {
-    /// The cycle-metered discrete-event simulator.
-    Sim(SimConfig),
-    /// Real OS threads (watchdog, fault injection).
-    Native(NativeConfig),
-}
-
-impl EngineBackend {
-    pub fn label(&self) -> &'static str {
-        match self {
-            EngineBackend::Sim(_) => "sim",
-            EngineBackend::Native(_) => "native",
-        }
-    }
-}
-
 /// Where a [`RunOutcome`] came from: which engine, which backend, and
 /// whether the plan was reused from an earlier `execute` on the same
 /// prepared run.
@@ -143,12 +125,73 @@ pub struct RunOutcome {
     /// Per-processor, per-phase iteration counts — the load-balance
     /// signature (§5.4.2's block-vs-cyclic analysis).
     pub phase_iter_counts: Vec<Vec<usize>>,
-    /// Fiber execution trace (empty unless `SimConfig::trace`).
-    pub trace: Vec<earth_model::TraceEvent>,
+    /// Structured trace events drained from the run's sink (empty unless
+    /// the [`ExecutionConfig`](crate::ExecutionConfig) enabled tracing).
+    /// On the simulator timestamps are cycles and the stream is
+    /// byte-identical across same-seed runs; on the native backend they
+    /// are monotonic nanoseconds.
+    pub trace: Vec<TraceEvent>,
+    /// Named counters/gauges summarizing the run (see
+    /// [`RunOutcome::metrics`]).
+    pub metrics: MetricsRegistry,
     /// What the recovery ladder did (all-default for direct runs).
     pub recovery: RecoveryReport,
     /// Which engine/backend produced this and whether it reused a plan.
     pub provenance: Provenance,
+}
+
+impl RunOutcome {
+    /// Fold the trace into per-processor, per-phase spans (compute vs.
+    /// copy-loop vs. blocked). Empty unless the run was traced.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::from_events(&self.trace)
+    }
+
+    /// Named counters (`messages`, `bytes`, `fibers_fired`, …) and
+    /// gauges (`time_cycles`, `mean_utilization`, …) for this run.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// `DATA_SYNC`/`BLKMOV` messages issued during the run.
+    pub fn messages(&self) -> u64 {
+        self.stats.ops.messages
+    }
+
+    /// Total payload bytes moved by messages.
+    pub fn bytes(&self) -> u64 {
+        self.stats.ops.bytes
+    }
+
+    /// Fibers that actually executed.
+    pub fn fibers_fired(&self) -> u64 {
+        self.stats.ops.fibers_fired
+    }
+
+    /// Mean EU utilization across processors (zero for native runs,
+    /// which record no cycle clock).
+    pub fn mean_utilization(&self) -> f64 {
+        self.stats.mean_utilization()
+    }
+
+    /// Populate [`RunOutcome::metrics`] from the other fields. Engines
+    /// call this once, as the last step of building an outcome; the
+    /// recovery ladder adds its own counters afterwards.
+    pub(crate) fn fill_metrics(&mut self) {
+        let ops = self.stats.ops;
+        let m = &mut self.metrics;
+        m.count("fibers_fired", ops.fibers_fired);
+        m.count("syncs", ops.syncs);
+        m.count("messages", ops.messages);
+        m.count("bytes", ops.bytes);
+        m.count("local_messages", ops.local_messages);
+        m.count("spawns", ops.spawns);
+        m.count("trace_events", self.trace.len() as u64);
+        m.gauge("time_cycles", self.time_cycles as f64);
+        m.gauge("seconds", self.seconds);
+        m.gauge("wall_seconds", self.wall.as_secs_f64());
+        m.gauge("mean_utilization", self.stats.mean_utilization());
+    }
 }
 
 /// How a recovering engine reacts to a failed native run: retry with
@@ -300,18 +343,32 @@ pub fn validate_gather_x(
 /// engine's sequential reference) supplies the answer when the policy
 /// allows. The returned outcome's `recovery` field records what
 /// happened.
+///
+/// Each rung is recorded into `sink` as a [`TraceKind::RecoveryRung`]
+/// event (`attempt: u32::MAX` marks the sequential-fallback rung) at
+/// timestamp 0 on [`RUN_NODE`], so a traced run's event stream shows the
+/// ladder alongside the per-node machine events.
 pub(crate) fn run_recovery_ladder(
     policy: RecoveryPolicy,
+    sink: &dyn TraceSink,
     mut attempt: impl FnMut(u32) -> Result<RunOutcome, EngineError>,
     fallback: impl FnOnce() -> RunOutcome,
 ) -> Result<RunOutcome, EngineError> {
     let mut report = RecoveryReport::default();
     let mut last_err: Option<RunError> = None;
     let mut backoff = policy.initial_backoff;
+    let tracing = sink.enabled();
     for n in 0..policy.max_attempts.max(1) {
         if n > 0 {
             std::thread::sleep(backoff);
             backoff *= policy.backoff_factor.max(1);
+        }
+        if tracing {
+            sink.record(TraceEvent::new(
+                0,
+                RUN_NODE,
+                TraceKind::RecoveryRung { attempt: n },
+            ));
         }
         report.attempts = n + 1;
         match attempt(n) {
@@ -323,6 +380,7 @@ pub(crate) fn run_recovery_ladder(
                         report.errors.join("; ")
                     ));
                 }
+                res.metrics.count("recovery_attempts", u64::from(n + 1));
                 res.recovery = report;
                 return Ok(res);
             }
@@ -335,6 +393,13 @@ pub(crate) fn run_recovery_ladder(
         }
     }
     if policy.fall_back_to_seq {
+        if tracing {
+            sink.record(TraceEvent::new(
+                0,
+                RUN_NODE,
+                TraceKind::RecoveryRung { attempt: u32::MAX },
+            ));
+        }
         let mut res = fallback();
         report.fell_back_to_seq = true;
         report.warning = Some(format!(
@@ -342,6 +407,9 @@ pub(crate) fn run_recovery_ladder(
             report.attempts,
             report.errors.join("; ")
         ));
+        res.metrics
+            .count("recovery_attempts", u64::from(report.attempts));
+        res.metrics.count("recovery_fell_back", 1);
         res.recovery = report;
         Ok(res)
     } else {
@@ -359,6 +427,7 @@ mod tests {
     fn ladder_returns_first_success_unchanged() {
         let out = run_recovery_ladder(
             RecoveryPolicy::default(),
+            &trace::NullSink,
             |_| {
                 Ok(RunOutcome {
                     values: vec![vec![1.0]],
@@ -382,6 +451,7 @@ mod tests {
         };
         let out = run_recovery_ladder(
             policy,
+            &trace::NullSink,
             |n| {
                 if n < 2 {
                     Err(EngineError::Run(RunError::NodePanicked {
@@ -411,6 +481,7 @@ mod tests {
         };
         let out = run_recovery_ladder(
             policy,
+            &trace::NullSink,
             |_| {
                 Err(EngineError::Run(RunError::NodePanicked {
                     node: 0,
@@ -438,6 +509,7 @@ mod tests {
                 initial_backoff: Duration::ZERO,
                 ..RecoveryPolicy::default()
             },
+            &trace::NullSink,
             |_| {
                 calls += 1;
                 Err(EngineError::Shape {
@@ -451,5 +523,40 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, EngineError::Shape { .. }));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ladder_records_rung_events_and_metrics() {
+        let sink = trace::RingSink::new(0, 64);
+        let policy = RecoveryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::ZERO,
+            ..RecoveryPolicy::default()
+        };
+        let out = run_recovery_ladder(
+            policy,
+            &sink,
+            |_| {
+                Err(EngineError::Run(RunError::NodePanicked {
+                    node: 0,
+                    slot: 0,
+                    fiber: "t",
+                    message: "boom".into(),
+                }))
+            },
+            RunOutcome::default,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.counter("recovery_attempts"), Some(2));
+        assert_eq!(out.metrics.counter("recovery_fell_back"), Some(1));
+        let rungs: Vec<u32> = sink
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::RecoveryRung { attempt } => Some(attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rungs, vec![0, 1, u32::MAX]);
     }
 }

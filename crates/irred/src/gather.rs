@@ -20,21 +20,22 @@
 
 use std::sync::Arc;
 
-use earth_model::native::{run_native_with, NativeConfig, NativeCtx};
-use earth_model::sim::{run_sim, SimConfig, SimCtx};
+use earth_model::native::{run_native_traced, NativeConfig, NativeCtx};
+use earth_model::sim::{run_sim_traced, SimConfig, SimCtx};
 use earth_model::{
-    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, RunStats, SlotId,
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, SlotId, TraceSink,
     Value,
 };
 use lightinspector::PhaseGeometry;
 use memsim::{AddressMap, Region, StreamModel};
+use trace::TraceKind;
 use workloads::{distribute, SparseMatrix};
 
+use crate::config::{BackendKind, ExecutionConfig};
 use crate::engine::{
-    run_recovery_ladder, validate_gather_spec, validate_gather_x, EngineBackend, EngineError,
-    Provenance, RecoveryPolicy, ReductionEngine, RunOutcome,
+    run_recovery_ladder, validate_gather_spec, validate_gather_x, EngineError, Provenance,
+    RecoveryPolicy, ReductionEngine, RunOutcome,
 };
-use crate::phased::PhasedError;
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::strategy::StrategyConfig;
 
@@ -46,31 +47,6 @@ pub struct GatherSpec {
     pub matrix: Arc<SparseMatrix>,
     /// The input vector (replicated conceptually; only portions move).
     pub x: Arc<Vec<f64>>,
-}
-
-/// Result of a gather-rotation run — the result shape of the deprecated
-/// [`PhasedGather`] entry points. New code receives [`RunOutcome`] from
-/// the engine API.
-#[derive(Debug)]
-pub struct GatherResult {
-    pub y: Vec<f64>,
-    pub time_cycles: u64,
-    pub seconds: f64,
-    pub wall: std::time::Duration,
-    pub stats: RunStats,
-}
-
-fn outcome_to_result(mut out: RunOutcome) -> GatherResult {
-    GatherResult {
-        y: out
-            .values
-            .pop()
-            .expect("gather outcome has one value array"),
-        time_cycles: out.time_cycles,
-        seconds: out.seconds,
-        wall: out.wall,
-        stats: out.stats,
-    }
 }
 
 struct NodeRegions {
@@ -172,6 +148,17 @@ impl GatherNode {
         let portion = g.portion_owned_by(s.proc, p);
         let range = g.portion_range(portion);
         let abs = t * kp + p;
+        let tracing = ctx.trace_enabled();
+        if tracing {
+            ctx.trace(TraceKind::PhaseEnter {
+                sweep: t as u32,
+                phase: p as u32,
+            });
+            ctx.trace(TraceKind::CopyEnter {
+                sweep: t as u32,
+                phase: p as u32,
+            });
+        }
 
         // Zero y at each sweep start.
         if p == 0 {
@@ -190,6 +177,12 @@ impl GatherNode {
             // SU-deposited (split-phase block move): no EU copy charge;
             // first-touch misses are paid by the metered loop.
             s.x[range.clone()].copy_from_slice(vals);
+        }
+        if tracing {
+            ctx.trace(TraceKind::CopyExit {
+                sweep: t as u32,
+                phase: p as u32,
+            });
         }
 
         // The gather-accumulate loop. Sweep 0 runs on a cold cache; the
@@ -218,6 +211,12 @@ impl GatherNode {
         let next_abs = abs + k;
         if next_abs < s.sweeps * kp {
             let dest = g.next_owner(s.proc);
+            if tracing {
+                ctx.trace(TraceKind::PortionRotate {
+                    portion: portion as u32,
+                    to_node: dest as u32,
+                });
+            }
             if range.is_empty() {
                 ctx.sync(dest, slot_of(next_abs));
             } else {
@@ -233,6 +232,12 @@ impl GatherNode {
         // Chain to the next phase on this node.
         if abs + 1 < s.sweeps * kp {
             ctx.sync(s.proc, slot_of(abs + 1));
+        }
+        if tracing {
+            ctx.trace(TraceKind::PhaseExit {
+                sweep: t as u32,
+                phase: p as u32,
+            });
         }
     }
 
@@ -355,7 +360,7 @@ impl PreparedGather {
     fn new(
         spec: &GatherSpec,
         strat: &StrategyConfig,
-        backend: &EngineBackend,
+        cfg: &ExecutionConfig,
     ) -> Result<Self, EngineError> {
         validate_gather_spec(&spec.matrix, spec.x.len())?;
         // ncols < k·P is legal: trailing x portions are empty and those
@@ -370,9 +375,9 @@ impl PreparedGather {
                 Arc::new(GatherNodePlan::new(&spec.matrix, geometry, proc, proc_rows))
             })
             .collect();
-        let (mem_cfg, template) = match backend {
-            EngineBackend::Sim(cfg) => (cfg.mem, GatherTemplate::Sim(build_template(strat))),
-            EngineBackend::Native(_) => (
+        let (mem_cfg, template) = match cfg.backend {
+            BackendKind::Sim => (cfg.sim.mem, GatherTemplate::Sim(build_template(strat))),
+            BackendKind::Native => (
                 memsim::MemConfig::i860xp(),
                 GatherTemplate::Native(build_template(strat)),
             ),
@@ -487,20 +492,20 @@ impl PreparedGather {
 
     fn execute(
         &mut self,
-        backend: &EngineBackend,
-        recovery: Option<RecoveryPolicy>,
+        cfg: &ExecutionConfig,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
         let reused = self.executions > 0;
         self.executions += 1;
-        match (&self.template, backend) {
-            (GatherTemplate::Sim(tmpl), EngineBackend::Sim(cfg)) => {
+        let sink = cfg.trace.make_sink(self.strat.procs);
+        match (&self.template, cfg.backend) {
+            (GatherTemplate::Sim(tmpl), BackendKind::Sim) => {
                 let nodes = self.make_nodes(ws, true);
                 let prog = tmpl.instantiate(nodes);
-                let report = run_sim(prog, *cfg);
+                let report = run_sim_traced(prog, cfg.sim, sink);
                 assert_eq!(report.stats.unfired_fibers, 0);
                 let y = self.finish(report.states, ws, true);
-                Ok(RunOutcome {
+                let mut out = RunOutcome {
                     values: vec![y],
                     time_cycles: report.time_cycles,
                     seconds: report.seconds,
@@ -508,14 +513,17 @@ impl PreparedGather {
                     trace: report.trace,
                     provenance: self.provenance("sim", reused),
                     ..RunOutcome::default()
-                })
+                };
+                out.fill_metrics();
+                Ok(out)
             }
-            (GatherTemplate::Native(_), EngineBackend::Native(cfg)) => {
-                let base = *cfg;
-                let mut out = match recovery {
-                    None => self.native_attempt(base, ws)?,
+            (GatherTemplate::Native(_), BackendKind::Native) => {
+                let base = cfg.native;
+                let mut out = match cfg.recovery {
+                    None => self.native_attempt(base, &sink, ws)?,
                     Some(policy) => run_recovery_ladder(
                         policy,
+                        sink.as_ref(),
                         |attempt| {
                             let mut c = base;
                             if attempt > 0 {
@@ -523,12 +531,16 @@ impl PreparedGather {
                                     c.faults = Some(f.reseeded(attempt as u64));
                                 }
                             }
-                            self.native_attempt(c, ws)
+                            self.native_attempt(c, &sink, ws)
                         },
                         || self.seq_fallback(),
                     )?,
                 };
+                // The sink accumulates across retry attempts, so the
+                // drained stream shows every rung, not just the winner.
+                out.trace = sink.drain();
                 out.provenance = self.provenance("native", reused);
+                out.fill_metrics();
                 Ok(out)
             }
             _ => Err(EngineError::Unsupported(
@@ -543,6 +555,7 @@ impl PreparedGather {
     fn native_attempt(
         &self,
         cfg: NativeConfig,
+        sink: &Arc<dyn TraceSink>,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
         let GatherTemplate::Native(tmpl) = &self.template else {
@@ -556,7 +569,7 @@ impl PreparedGather {
         };
         let nodes = self.make_nodes(ws, false);
         let prog = tmpl.instantiate(nodes);
-        let report = run_native_with(prog, cfg)?;
+        let report = run_native_traced(prog, cfg, Arc::clone(sink))?;
         let y = self.finish(report.states, ws, false);
         Ok(RunOutcome {
             values: vec![y],
@@ -570,38 +583,34 @@ impl PreparedGather {
 /// The `mvm` gather executor as a [`ReductionEngine`].
 #[derive(Debug, Clone, Copy)]
 pub struct GatherEngine {
-    backend: EngineBackend,
-    recovery: Option<RecoveryPolicy>,
+    cfg: ExecutionConfig,
 }
 
 impl GatherEngine {
+    /// The general constructor: any [`ExecutionConfig`] (or a bare
+    /// `SimConfig`/`NativeConfig` via `Into`).
+    pub fn new(cfg: impl Into<ExecutionConfig>) -> Self {
+        GatherEngine { cfg: cfg.into() }
+    }
+
     /// Run on the discrete-event simulator.
     pub fn sim(cfg: SimConfig) -> Self {
-        GatherEngine {
-            backend: EngineBackend::Sim(cfg),
-            recovery: None,
-        }
+        Self::new(ExecutionConfig::sim(cfg))
     }
 
     /// Run on real OS threads.
     pub fn native(cfg: NativeConfig) -> Self {
-        GatherEngine {
-            backend: EngineBackend::Native(cfg),
-            recovery: None,
-        }
+        Self::new(ExecutionConfig::native(cfg))
     }
 
     /// Run natively under a [`RecoveryPolicy`]; the fallback is a plain
     /// sequential SpMV.
     pub fn recovering(cfg: NativeConfig, policy: RecoveryPolicy) -> Self {
-        GatherEngine {
-            backend: EngineBackend::Native(cfg),
-            recovery: Some(policy),
-        }
+        Self::new(ExecutionConfig::native(cfg).with_recovery(policy))
     }
 
-    pub fn backend(&self) -> &EngineBackend {
-        &self.backend
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.cfg
     }
 }
 
@@ -617,7 +626,7 @@ impl ReductionEngine<GatherSpec> for GatherEngine {
         spec: &GatherSpec,
         strat: &StrategyConfig,
     ) -> Result<Self::Prepared, EngineError> {
-        PreparedGather::new(spec, strat, &self.backend)
+        PreparedGather::new(spec, strat, &self.cfg)
     }
 
     fn execute(
@@ -625,49 +634,7 @@ impl ReductionEngine<GatherSpec> for GatherEngine {
         prepared: &mut Self::Prepared,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
-        prepared.execute(&self.backend, self.recovery, ws)
-    }
-}
-
-/// The `mvm` phased executor — the deprecated one-shot API. Every call
-/// re-buckets the matrix; prefer [`GatherEngine`] with a held
-/// [`PreparedGather`] for anything that runs more than once.
-pub struct PhasedGather;
-
-impl PhasedGather {
-    /// Run on the discrete-event simulator.
-    #[deprecated(note = "use GatherEngine::sim(cfg) via the ReductionEngine trait")]
-    pub fn run_sim(spec: &GatherSpec, strat: &StrategyConfig, cfg: SimConfig) -> GatherResult {
-        let out = GatherEngine::sim(cfg)
-            .run(spec, strat)
-            .unwrap_or_else(|e| panic!("gather program build failed: {e}"));
-        outcome_to_result(out)
-    }
-
-    /// Run on real OS threads. Like the phased executor, a starved
-    /// machine is reported as a typed `Stalled` error, never as a
-    /// silently short result.
-    #[deprecated(note = "use GatherEngine::native(cfg) via the ReductionEngine trait")]
-    pub fn run_native(
-        spec: &GatherSpec,
-        strat: &StrategyConfig,
-    ) -> Result<GatherResult, PhasedError> {
-        GatherEngine::native(NativeConfig::default())
-            .run(spec, strat)
-            .map(outcome_to_result)
-    }
-
-    /// `run_native` with an explicit backend configuration (watchdog
-    /// deadline, fault plan).
-    #[deprecated(note = "use GatherEngine::native(cfg) via the ReductionEngine trait")]
-    pub fn run_native_with(
-        spec: &GatherSpec,
-        strat: &StrategyConfig,
-        cfg: NativeConfig,
-    ) -> Result<GatherResult, PhasedError> {
-        GatherEngine::native(cfg)
-            .run(spec, strat)
-            .map(outcome_to_result)
+        prepared.execute(&self.cfg, ws)
     }
 }
 
@@ -793,14 +760,20 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_works() {
+    fn traced_gather_run_emits_phase_events() {
         let s = spec(64, 600, 9);
-        #[allow(deprecated)]
-        let r = PhasedGather::run_sim(
-            &s,
-            &StrategyConfig::new(2, 2, Distribution::Block, 2),
-            SimConfig::default(),
-        );
-        assert!(crate::approx_eq(&r.y, &reference(&s), 1e-10));
+        let strat = StrategyConfig::new(2, 2, Distribution::Block, 2);
+        let r = GatherEngine::new(ExecutionConfig::sim(SimConfig::default()).traced())
+            .run(&s, &strat)
+            .unwrap();
+        assert!(crate::approx_eq(&r.values[0], &reference(&s), 1e-10));
+        let enters = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::PhaseEnter { .. }))
+            .count();
+        // 2 procs × 2 sweeps × (k·P = 4) phases.
+        assert_eq!(enters, 2 * 2 * 4);
+        assert_eq!(r.metrics().counter("messages"), Some(r.stats.ops.messages));
     }
 }

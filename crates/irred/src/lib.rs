@@ -42,8 +42,13 @@
 //!   replication) remain standalone native-only harnesses in
 //!   [`baseline`].
 //!
-//! The pre-trait one-shot entry points ([`PhasedReduction`],
-//! [`gather::PhasedGather`], …) survive as deprecated shims.
+//! Every engine constructor accepts an [`ExecutionConfig`] (or a bare
+//! backend config via `Into`), which bundles backend choice, fault
+//! injection, the recovery ladder, and trace-sink selection. Runs
+//! return a [`RunOutcome`] carrying values, stats, a
+//! [`MetricsRegistry`](trace::MetricsRegistry), and — when tracing is
+//! on — the structured event stream
+//! ([`RunOutcome::timeline`] folds it into per-processor phase spans).
 //!
 //! ## Validation
 //!
@@ -53,6 +58,7 @@
 //! costs for subsequent identical sweeps.
 
 pub mod baseline;
+pub mod config;
 pub mod engine;
 pub mod gather;
 pub mod kernel;
@@ -61,15 +67,13 @@ pub mod prepared;
 pub mod seq;
 pub mod strategy;
 
+pub use config::{BackendKind, ExecutionConfig, TraceConfig};
 pub use engine::{
-    EngineBackend, EngineError, Provenance, RecoveryPolicy, RecoveryReport, ReductionEngine,
-    RunOutcome,
+    EngineError, Provenance, RecoveryPolicy, RecoveryReport, ReductionEngine, RunOutcome,
 };
-pub use gather::{GatherEngine, GatherResult, GatherSpec, PhasedGather, PreparedGather};
+pub use gather::{GatherEngine, GatherSpec, PreparedGather};
 pub use kernel::EdgeKernel;
-pub use phased::{
-    PhasedEngine, PhasedError, PhasedReduction, PhasedResult, PhasedSpec, PreparedPhased,
-};
+pub use phased::{PhasedEngine, PhasedError, PhasedSpec, PreparedPhased};
 pub use prepared::{PlanToken, Workspace};
 pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
 pub use strategy::{StrategyConfig, StrategyError};

@@ -33,18 +33,20 @@
 
 use std::sync::Arc;
 
-use earth_model::native::{run_native_with, NativeConfig, NativeCtx};
-use earth_model::sim::{run_sim, SimConfig, SimCtx};
+use earth_model::native::{run_native_traced, NativeConfig, NativeCtx};
+use earth_model::sim::{run_sim_traced, SimConfig, SimCtx};
 use earth_model::{
-    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, SlotId, Value,
+    mailbox_key, FiberCtx, FiberTemplate, Meter, NullMeter, ProgramTemplate, SlotId, TraceSink,
+    Value,
 };
 use lightinspector::{IncrementalInspector, InspectError, InspectorPlan, PhaseGeometry};
 use memsim::{AddressMap, Region, StreamModel};
+use trace::{TraceEvent, TraceKind};
 use workloads::distribute;
 
+use crate::config::{BackendKind, ExecutionConfig, TraceConfig};
 use crate::engine::{
-    run_recovery_ladder, validate_phased_spec, EngineBackend, EngineError, Provenance,
-    ReductionEngine, RunOutcome,
+    run_recovery_ladder, validate_phased_spec, EngineError, Provenance, ReductionEngine, RunOutcome,
 };
 use crate::kernel::EdgeKernel;
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
@@ -91,46 +93,6 @@ impl<K> std::fmt::Debug for PhasedSpec<K> {
             .field("num_elements", &self.num_elements)
             .field("indirection", &self.indirection)
             .finish_non_exhaustive()
-    }
-}
-
-/// Final values gathered from the machine plus run statistics — the
-/// result shape of the deprecated `PhasedReduction` entry points. New
-/// code receives [`RunOutcome`] from the engine API.
-#[derive(Debug)]
-pub struct PhasedResult {
-    /// Final reduction arrays (`num_arrays × num_elements`) — the values
-    /// after the last sweep.
-    pub x: Vec<Vec<f64>>,
-    /// Final replicated read arrays (`num_read_arrays × num_elements`).
-    pub read: Vec<Vec<f64>>,
-    /// Simulated cycles (0 for native runs).
-    pub time_cycles: u64,
-    /// Simulated seconds (0 for native runs).
-    pub seconds: f64,
-    /// Native wall time (zero for simulated runs).
-    pub wall: std::time::Duration,
-    pub stats: earth_model::RunStats,
-    /// Per-processor, per-phase iteration counts — the load-balance
-    /// signature (§5.4.2's block-vs-cyclic analysis).
-    pub phase_iter_counts: Vec<Vec<usize>>,
-    /// Fiber execution trace (empty unless `SimConfig::trace`).
-    pub trace: Vec<earth_model::TraceEvent>,
-    /// What the recovery ladder did (all-default for direct runs).
-    pub recovery: RecoveryReport,
-}
-
-fn outcome_to_result(out: RunOutcome) -> PhasedResult {
-    PhasedResult {
-        x: out.values,
-        read: out.read,
-        time_cycles: out.time_cycles,
-        seconds: out.seconds,
-        wall: out.wall,
-        stats: out.stats,
-        phase_iter_counts: out.phase_iter_counts,
-        trace: out.trace,
-        recovery: out.recovery,
     }
 }
 
@@ -282,6 +244,17 @@ impl<K: EdgeKernel> PhasedNode<K> {
         let first_visit = p < k;
         let last_visit = p >= kp - k;
         let r_arrays = s.x.len();
+        let tracing = ctx.trace_enabled();
+        if tracing {
+            ctx.trace(TraceKind::PhaseEnter {
+                sweep: t as u32,
+                phase: p as u32,
+            });
+            ctx.trace(TraceKind::CopyEnter {
+                sweep: t as u32,
+                phase: p as u32,
+            });
+        }
 
         // --- portion arrival / initialization ---------------------------
         if first_visit {
@@ -345,6 +318,12 @@ impl<K: EdgeKernel> PhasedNode<K> {
                     ra[seg_range.clone()].copy_from_slice(&vals[a * len..(a + 1) * len]);
                 }
             }
+        }
+        if tracing {
+            ctx.trace(TraceKind::CopyExit {
+                sweep: t as u32,
+                phase: p as u32,
+            });
         }
 
         // --- the two loops, metered once per phase ----------------------
@@ -444,6 +423,12 @@ impl<K: EdgeKernel> PhasedNode<K> {
         if next_abs < s.sweeps * kp {
             let dest = g.next_owner(s.proc);
             let dst_slot = next_abs as SlotId;
+            if tracing {
+                ctx.trace(TraceKind::PortionRotate {
+                    portion: portion as u32,
+                    to_node: dest as u32,
+                });
+            }
             if last_visit || range.is_empty() {
                 // Next visit starts a new sweep (receiver zeroes) or the
                 // portion is empty: a bare sync suffices.
@@ -465,6 +450,12 @@ impl<K: EdgeKernel> PhasedNode<K> {
         // --- enable the next phase on this node --------------------------
         if abs + 1 < s.sweeps * kp {
             ctx.sync(s.proc, (abs + 1) as SlotId);
+        }
+        if tracing {
+            ctx.trace(TraceKind::PhaseExit {
+                sweep: t as u32,
+                phase: p as u32,
+            });
         }
     }
 
@@ -650,6 +641,14 @@ pub struct PreparedPhased<K> {
     read_init: Vec<Vec<f64>>,
     mem_cfg: memsim::MemConfig,
     overheads: (u64, u64),
+    /// Trace-sink selection captured at prepare time (used by entry
+    /// points that bypass the engine, e.g.
+    /// [`Self::execute_recovering_with`]).
+    trace_cfg: TraceConfig,
+    /// LightInspector stage-completion events captured during prepare
+    /// (timestamp 0, node = processor), replayed into the sink at the
+    /// start of every traced execute so the timeline shows inspection.
+    inspector_events: Vec<TraceEvent>,
     template: PhasedTemplate<K>,
     token: PlanToken,
     executions: u64,
@@ -670,7 +669,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
     fn new(
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
-        backend: &EngineBackend,
+        cfg: &ExecutionConfig,
     ) -> Result<Self, EngineError> {
         validate_phased_spec(spec)?;
         // n < k·P is legal: trailing portions are empty and their phases
@@ -689,6 +688,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
 
         let mut inspectors = Vec::with_capacity(strat.procs);
         let mut node_data = Vec::with_capacity(strat.procs);
+        let mut inspector_events = Vec::new();
         for (proc, local_iters) in owned.iter().enumerate().take(strat.procs) {
             let local_ind: Vec<Vec<u32>> = (0..m)
                 .map(|r| {
@@ -698,7 +698,16 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                         .collect()
                 })
                 .collect();
-            let insp = IncrementalInspector::try_new(geometry, proc, local_ind)?;
+            let insp =
+                IncrementalInspector::try_new_observed(geometry, proc, local_ind, &mut |stage| {
+                    if cfg.trace.enabled() {
+                        inspector_events.push(TraceEvent::new(
+                            0,
+                            proc as u32,
+                            TraceKind::InspectorStage { stage },
+                        ));
+                    }
+                })?;
             debug_assert!({
                 let refs: Vec<&[u32]> = insp.indirection().iter().map(|v| v.as_slice()).collect();
                 lightinspector::verify_plan(insp.plan(), &refs).is_ok()
@@ -732,16 +741,16 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         }
 
         let updates_read = spec.kernel.updates_read_state();
-        let (mem_cfg, overheads, template) = match backend {
-            EngineBackend::Sim(cfg) => (
-                cfg.mem,
+        let (mem_cfg, overheads, template) = match cfg.backend {
+            BackendKind::Sim => (
+                cfg.sim.mem,
                 (
-                    cfg.phased_iter_overhead_cycles,
-                    cfg.phased_copy_overhead_cycles,
+                    cfg.sim.phased_iter_overhead_cycles,
+                    cfg.sim.phased_copy_overhead_cycles,
                 ),
                 PhasedTemplate::Sim(build_template(strat, updates_read)),
             ),
-            EngineBackend::Native(_) => (
+            BackendKind::Native => (
                 memsim::MemConfig::i860xp(),
                 (0, 0),
                 PhasedTemplate::Native(build_template(strat, updates_read)),
@@ -761,6 +770,8 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             read_init,
             mem_cfg,
             overheads,
+            trace_cfg: cfg.trace,
+            inspector_events,
             template,
             token: PlanToken::fresh(),
             executions: 0,
@@ -970,23 +981,34 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         }
     }
 
+    /// Replay the prepare-time LightInspector stage events into a fresh
+    /// sink so traced executes show inspection ahead of the run.
+    fn replay_inspector_events(&self, sink: &dyn TraceSink) {
+        if sink.enabled() {
+            for &ev in &self.inspector_events {
+                sink.record(ev);
+            }
+        }
+    }
+
     fn execute(
         &mut self,
-        backend: &EngineBackend,
-        recovery: Option<RecoveryPolicy>,
+        cfg: &ExecutionConfig,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
         self.refresh_dirty();
         let reused = self.executions > 0;
         self.executions += 1;
-        match (&self.template, backend) {
-            (PhasedTemplate::Sim(tmpl), EngineBackend::Sim(cfg)) => {
+        let sink = cfg.trace.make_sink(self.strat.procs);
+        self.replay_inspector_events(sink.as_ref());
+        match (&self.template, cfg.backend) {
+            (PhasedTemplate::Sim(tmpl), BackendKind::Sim) => {
                 let nodes = self.make_nodes(ws, true);
                 let prog = tmpl.instantiate(nodes);
-                let report = run_sim(prog, *cfg);
+                let report = run_sim_traced(prog, cfg.sim, sink);
                 assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
                 let (values, read, counts) = self.finish(report.states, ws, true);
-                Ok(RunOutcome {
+                let mut out = RunOutcome {
                     values,
                     read,
                     time_cycles: report.time_cycles,
@@ -996,14 +1018,17 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                     trace: report.trace,
                     provenance: self.provenance("sim", reused),
                     ..RunOutcome::default()
-                })
+                };
+                out.fill_metrics();
+                Ok(out)
             }
-            (PhasedTemplate::Native(_), EngineBackend::Native(cfg)) => {
-                let base = *cfg;
-                let mut out = match recovery {
-                    None => self.native_attempt(base, ws)?,
+            (PhasedTemplate::Native(_), BackendKind::Native) => {
+                let base = cfg.native;
+                let mut out = match cfg.recovery {
+                    None => self.native_attempt(base, &sink, ws)?,
                     Some(policy) => run_recovery_ladder(
                         policy,
+                        sink.as_ref(),
                         |attempt| {
                             let mut c = base;
                             if attempt > 0 {
@@ -1011,12 +1036,16 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                                     c.faults = Some(f.reseeded(attempt as u64));
                                 }
                             }
-                            self.native_attempt(c, ws)
+                            self.native_attempt(c, &sink, ws)
                         },
                         || self.seq_fallback(),
                     )?,
                 };
+                // The sink accumulates across retry attempts, so the
+                // drained stream shows every rung, not just the winner.
+                out.trace = sink.drain();
                 out.provenance = self.provenance("native", reused);
+                out.fill_metrics();
                 Ok(out)
             }
             _ => Err(EngineError::Unsupported(
@@ -1034,6 +1063,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
     fn native_attempt(
         &self,
         cfg: NativeConfig,
+        sink: &Arc<dyn TraceSink>,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
         let PhasedTemplate::Native(tmpl) = &self.template else {
@@ -1047,7 +1077,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         };
         let nodes = self.make_nodes(ws, false);
         let prog = tmpl.instantiate(nodes);
-        let report = run_native_with(prog, cfg)?;
+        let report = run_native_traced(prog, cfg, Arc::clone(sink))?;
         let (values, read, counts) = self.finish(report.states, ws, false);
         Ok(RunOutcome {
             values,
@@ -1072,39 +1102,44 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         self.refresh_dirty();
         let reused = self.executions > 0;
         self.executions += 1;
+        let sink = self.trace_cfg.make_sink(self.strat.procs);
+        self.replay_inspector_events(sink.as_ref());
         let mut out = run_recovery_ladder(
             policy,
-            |attempt| self.native_attempt(cfg_for_attempt(attempt), ws),
+            sink.as_ref(),
+            |attempt| self.native_attempt(cfg_for_attempt(attempt), &sink, ws),
             || self.seq_fallback(),
         )?;
+        out.trace = sink.drain();
         out.provenance = self.provenance("native", reused);
+        out.fill_metrics();
         Ok(out)
     }
 }
 
-/// The phased executor as a [`ReductionEngine`]: construct it for a
-/// backend, `prepare` once per `(spec, strategy)`, `execute` per run.
+/// The phased executor as a [`ReductionEngine`]: construct it from an
+/// [`ExecutionConfig`], `prepare` once per `(spec, strategy)`, `execute`
+/// per run.
 #[derive(Debug, Clone, Copy)]
 pub struct PhasedEngine {
-    backend: EngineBackend,
-    recovery: Option<RecoveryPolicy>,
+    cfg: ExecutionConfig,
 }
 
 impl PhasedEngine {
+    /// The general constructor: any [`ExecutionConfig`] (or a bare
+    /// `SimConfig`/`NativeConfig` via `Into`).
+    pub fn new(cfg: impl Into<ExecutionConfig>) -> Self {
+        PhasedEngine { cfg: cfg.into() }
+    }
+
     /// Run on the discrete-event simulator.
     pub fn sim(cfg: SimConfig) -> Self {
-        PhasedEngine {
-            backend: EngineBackend::Sim(cfg),
-            recovery: None,
-        }
+        Self::new(ExecutionConfig::sim(cfg))
     }
 
     /// Run on real OS threads (one per simulated node).
     pub fn native(cfg: NativeConfig) -> Self {
-        PhasedEngine {
-            backend: EngineBackend::Native(cfg),
-            recovery: None,
-        }
+        Self::new(ExecutionConfig::native(cfg))
     }
 
     /// Run natively under a [`RecoveryPolicy`]: retry failed runs with
@@ -1114,14 +1149,11 @@ impl PhasedEngine {
     /// bit-correct answer or a typed error — never a hang, never silent
     /// corruption.
     pub fn recovering(cfg: NativeConfig, policy: RecoveryPolicy) -> Self {
-        PhasedEngine {
-            backend: EngineBackend::Native(cfg),
-            recovery: Some(policy),
-        }
+        Self::new(ExecutionConfig::native(cfg).with_recovery(policy))
     }
 
-    pub fn backend(&self) -> &EngineBackend {
-        &self.backend
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.cfg
     }
 }
 
@@ -1137,7 +1169,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for PhasedEngine {
         spec: &PhasedSpec<K>,
         strat: &StrategyConfig,
     ) -> Result<Self::Prepared, EngineError> {
-        PreparedPhased::new(spec, strat, &self.backend)
+        PreparedPhased::new(spec, strat, &self.cfg)
     }
 
     fn execute(
@@ -1145,82 +1177,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for PhasedEngine {
         prepared: &mut Self::Prepared,
         ws: &mut Workspace,
     ) -> Result<RunOutcome, EngineError> {
-        prepared.execute(&self.backend, self.recovery, ws)
-    }
-}
-
-/// Entry point for phased execution — the deprecated one-shot API.
-/// Every call re-prepares from scratch; prefer [`PhasedEngine`] with a
-/// held [`PreparedPhased`] for anything that runs more than once.
-pub struct PhasedReduction;
-
-impl PhasedReduction {
-    /// Run on the discrete-event simulator, returning simulated time.
-    #[deprecated(note = "use PhasedEngine::sim(cfg) via the ReductionEngine trait")]
-    pub fn run_sim<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-        cfg: SimConfig,
-    ) -> PhasedResult {
-        let out = PhasedEngine::sim(cfg)
-            .run(spec, strat)
-            .unwrap_or_else(|e| panic!("phased program build failed: {e}"));
-        outcome_to_result(out)
-    }
-
-    /// Run on real OS threads (one per simulated node).
-    #[deprecated(note = "use PhasedEngine::native(cfg) via the ReductionEngine trait")]
-    pub fn run_native<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-    ) -> Result<PhasedResult, PhasedError> {
-        PhasedEngine::native(NativeConfig::default())
-            .run(spec, strat)
-            .map(outcome_to_result)
-    }
-
-    /// Like `run_native` but with an explicit backend configuration
-    /// (watchdog deadline, fault plan).
-    #[deprecated(note = "use PhasedEngine::native(cfg) via the ReductionEngine trait")]
-    pub fn run_native_with<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-        cfg: NativeConfig,
-    ) -> Result<PhasedResult, PhasedError> {
-        PhasedEngine::native(cfg)
-            .run(spec, strat)
-            .map(outcome_to_result)
-    }
-
-    /// Run natively under a [`RecoveryPolicy`].
-    #[deprecated(note = "use PhasedEngine::recovering(cfg, policy) via the ReductionEngine trait")]
-    pub fn run_recovering<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-        policy: RecoveryPolicy,
-        cfg: NativeConfig,
-    ) -> Result<PhasedResult, PhasedError> {
-        PhasedEngine::recovering(cfg, policy)
-            .run(spec, strat)
-            .map(outcome_to_result)
-    }
-
-    /// The general form of `run_recovering`: the caller chooses the
-    /// backend configuration of each attempt.
-    #[deprecated(note = "use PreparedPhased::execute_recovering_with")]
-    pub fn run_recovering_with<K: EdgeKernel>(
-        spec: &PhasedSpec<K>,
-        strat: &StrategyConfig,
-        policy: RecoveryPolicy,
-        cfg_for_attempt: impl Fn(u32) -> NativeConfig,
-    ) -> Result<PhasedResult, PhasedError> {
-        let engine = PhasedEngine::native(NativeConfig::default());
-        let mut prepared =
-            <PhasedEngine as ReductionEngine<PhasedSpec<K>>>::prepare(&engine, spec, strat)?;
-        let mut ws = Workspace::new();
-        prepared
-            .execute_recovering_with(&mut ws, policy, cfg_for_attempt)
-            .map(outcome_to_result)
+        prepared.execute(&self.cfg, ws)
     }
 }
 
@@ -1424,13 +1381,58 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shim_still_works() {
-        #![allow(deprecated)]
+    fn traced_sim_run_emits_phase_spans_and_metrics() {
         let spec = tiny_spec(32, 16, 150);
         let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 2);
+        let engine = PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).traced());
+        let res = engine.run(&spec, &strat).unwrap();
         let seq = seq_reduction(&spec, strat.sweeps, SimConfig::default());
-        #[allow(deprecated)]
-        let res = PhasedReduction::run_sim(&spec, &strat, SimConfig::default());
-        assert!(approx_eq(&res.x[0], &seq.x[0], 1e-9));
+        assert!(approx_eq(&res.values[0], &seq.x[0], 1e-9));
+
+        // Every phase fiber emits Enter/Exit plus the copy-stage pair:
+        // 2 procs × 2 sweeps × (k·P = 4) phases.
+        let enters = res
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::PhaseEnter { .. }))
+            .count();
+        let exits = res
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::PhaseExit { .. }))
+            .count();
+        assert_eq!(enters, 2 * 2 * 4);
+        assert_eq!(exits, enters);
+        assert!(res
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::PortionRotate { .. })));
+        // The timeline folds cleanly and the metrics mirror the stats.
+        assert!(!res.timeline().table().is_empty());
+        assert_eq!(
+            res.metrics().counter("messages"),
+            Some(res.stats.ops.messages)
+        );
+        assert_eq!(
+            res.metrics().counter("trace_events"),
+            Some(res.trace.len() as u64)
+        );
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_run_bitwise() {
+        let spec = tiny_spec(48, 17, 300);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+        let plain = PhasedEngine::sim(SimConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
+        let traced = PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).traced())
+            .run(&spec, &strat)
+            .unwrap();
+        assert!(plain.trace.is_empty());
+        assert!(!traced.trace.is_empty());
+        assert_eq!(plain.values, traced.values);
+        assert_eq!(plain.time_cycles, traced.time_cycles);
+        assert_eq!(plain.stats.ops, traced.stats.ops);
     }
 }

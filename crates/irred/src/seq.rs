@@ -13,6 +13,7 @@ use earth_model::Meter;
 use memsim::{AddressMap, MemModel, Region};
 use workloads::SparseMatrix;
 
+use crate::config::ExecutionConfig;
 use crate::engine::{validate_phased_spec, EngineError, Provenance, ReductionEngine, RunOutcome};
 use crate::kernel::EdgeKernel;
 use crate::phased::PhasedSpec;
@@ -204,12 +205,19 @@ impl<K: EdgeKernel> PreparedSeq<K> {
 /// prepare/execute interface as the parallel engines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SeqEngine {
-    cfg: SimConfig,
+    cfg: ExecutionConfig,
 }
 
 impl SeqEngine {
-    pub fn new(cfg: SimConfig) -> Self {
-        SeqEngine { cfg }
+    /// The sequential engine always runs the simulator's cycle model;
+    /// only `cfg.sim` matters, but it accepts a full [`ExecutionConfig`]
+    /// (or a bare [`SimConfig`] via `Into`) like every other engine.
+    pub fn new(cfg: impl Into<ExecutionConfig>) -> Self {
+        SeqEngine { cfg: cfg.into() }
+    }
+
+    pub fn config(&self) -> &ExecutionConfig {
+        &self.cfg
     }
 }
 
@@ -243,7 +251,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for SeqEngine {
         Ok(PreparedSeq {
             spec: spec.clone(),
             sweeps: strat.sweeps,
-            cfg: self.cfg,
+            cfg: self.cfg.sim,
             sweep0_cost: None,
             executions: 0,
         })
@@ -265,7 +273,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for SeqEngine {
         if prepared.sweep0_cost.is_none() && prepared.sweeps > 0 {
             prepared.sweep0_cost = Some(res.cycles / prepared.sweeps as u64);
         }
-        Ok(RunOutcome {
+        let mut out = RunOutcome {
             values: res.x,
             read: res.read,
             time_cycles: res.cycles,
@@ -277,7 +285,9 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for SeqEngine {
                 executions: prepared.executions,
             },
             ..RunOutcome::default()
-        })
+        };
+        out.fill_metrics();
+        Ok(out)
     }
 }
 

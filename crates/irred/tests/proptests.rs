@@ -14,8 +14,8 @@ use earth_model::sim::SimConfig;
 use harness::prop::{check, Config, Gen};
 use harness::{prop_assert, prop_assert_eq};
 use irred::{
-    approx_eq, seq_reduction, Distribution, EdgeKernel, GatherEngine, GatherSpec, PhasedEngine,
-    PhasedSpec, ReductionEngine, StrategyConfig,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, ExecutionConfig, GatherEngine, GatherSpec,
+    PhasedEngine, PhasedSpec, ReductionEngine, StrategyConfig,
 };
 use workloads::SparseMatrix;
 
@@ -205,6 +205,65 @@ fn gather_equals_spmv() {
             seed: g.u64_any(),
         },
         gather_matches_spmv,
+    );
+}
+
+/// Tracing determinism (the observability layer's contract): on the
+/// simulator, the recorded event stream is a pure function of the
+/// problem and strategy — two same-seed traced runs serialize to
+/// byte-identical CSV.
+#[test]
+fn traced_sim_streams_byte_identical_across_runs() {
+    check(
+        "traced_sim_streams_byte_identical_across_runs",
+        Config::cases(32),
+        shape,
+        |s| {
+            let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
+            let engine = PhasedEngine::new(ExecutionConfig::default().traced());
+            let a = engine
+                .run(&build_spec(s), &strat)
+                .map_err(|e| format!("{e}"))?;
+            let b = engine
+                .run(&build_spec(s), &strat)
+                .map_err(|e| format!("{e}"))?;
+            prop_assert!(!a.trace.is_empty(), "traced run recorded nothing: {s:?}");
+            prop_assert_eq!(
+                trace::events_to_csv(&a.trace),
+                trace::events_to_csv(&b.trace)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Tracing never perturbs execution: a `NullSink` run is bit-identical
+/// (values, cycle count, op counts) to the same run with the ring sink.
+#[test]
+fn null_sink_run_bit_identical_to_traced() {
+    check(
+        "null_sink_run_bit_identical_to_traced",
+        Config::cases(32),
+        shape,
+        |s| {
+            let spec = build_spec(s);
+            let strat = StrategyConfig::new(s.procs, s.k, s.dist, s.sweeps);
+            let plain = PhasedEngine::new(ExecutionConfig::default())
+                .run(&spec, &strat)
+                .map_err(|e| format!("{e}"))?;
+            let traced = PhasedEngine::new(ExecutionConfig::default().traced())
+                .run(&spec, &strat)
+                .map_err(|e| format!("{e}"))?;
+            prop_assert!(plain.trace.is_empty());
+            prop_assert_eq!(plain.time_cycles, traced.time_cycles);
+            prop_assert_eq!(plain.stats.ops, traced.stats.ops);
+            for (a, b) in plain.values.iter().zip(&traced.values) {
+                let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(ab, bb);
+            }
+            Ok(())
+        },
     );
 }
 

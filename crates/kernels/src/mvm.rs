@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use earth_model::sim::SimConfig;
 use irred::{
-    seq_gather_cycles, GatherEngine, GatherSpec, ReductionEngine, RunOutcome, StrategyConfig,
+    seq_gather_cycles, ExecutionConfig, GatherEngine, GatherSpec, ReductionEngine, RunOutcome,
+    StrategyConfig,
 };
 use workloads::{CgClass, SparseMatrix};
 
@@ -39,9 +40,10 @@ impl MvmProblem {
     }
 
     /// Run the phased gather strategy on the simulator. The single
-    /// value array of the [`RunOutcome`] is `y`.
-    pub fn run_sim(&self, strat: &StrategyConfig, cfg: SimConfig) -> RunOutcome {
-        GatherEngine::sim(cfg)
+    /// value array of the [`RunOutcome`] is `y`. Accepts a bare
+    /// [`SimConfig`] or a full [`ExecutionConfig`] (e.g. with tracing).
+    pub fn run_sim(&self, strat: &StrategyConfig, cfg: impl Into<ExecutionConfig>) -> RunOutcome {
+        GatherEngine::new(cfg)
             .run(&self.spec, strat)
             .expect("valid mvm spec")
     }

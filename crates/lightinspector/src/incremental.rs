@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use crate::geometry::PhaseGeometry;
-use crate::inspector::{inspect, InspectorInput};
+use crate::inspector::{inspect_observed, InspectorInput};
 use crate::plan::{CopyOp, InspectorPlan};
 
 /// A LightInspector plan that can be updated in place as the application
@@ -48,12 +48,26 @@ impl IncrementalInspector {
         proc_id: usize,
         indirection: Vec<Vec<u32>>,
     ) -> Result<Self, crate::InspectError> {
+        Self::try_new_observed(geometry, proc_id, indirection, &mut |_| {})
+    }
+
+    /// [`Self::try_new`] with the full inspection's stage-completion
+    /// callback (see [`inspect_observed`](crate::inspect_observed)).
+    pub fn try_new_observed(
+        geometry: PhaseGeometry,
+        proc_id: usize,
+        indirection: Vec<Vec<u32>>,
+        observe: &mut dyn FnMut(u32),
+    ) -> Result<Self, crate::InspectError> {
         let refs: Vec<&[u32]> = indirection.iter().map(|v| v.as_slice()).collect();
-        let plan = inspect(InspectorInput {
-            geometry,
-            proc_id,
-            indirection: &refs,
-        })?;
+        let plan = inspect_observed(
+            InspectorInput {
+                geometry,
+                proc_id,
+                indirection: &refs,
+            },
+            observe,
+        )?;
         Ok(Self::index(plan, indirection))
     }
 
@@ -304,7 +318,7 @@ mod tests {
 
         // Full re-inspection of the final arrays must agree on the phase
         // of every iteration and the per-phase iteration multiset.
-        let full = inspect(InspectorInput {
+        let full = crate::inspect(InspectorInput {
             geometry: g,
             proc_id: 2,
             indirection: &refs,

@@ -130,14 +130,34 @@ fn validate(g: &PhaseGeometry, proc_id: usize, indirection: &[&[u32]]) -> Result
     Ok(())
 }
 
+/// Pipeline stage ids reported through [`inspect_observed`]'s callback,
+/// in completion order. These feed the tracing layer's
+/// `InspectorStage` events; the crate itself stays dependency-free.
+pub const STAGE_VALIDATE: u32 = 0;
+/// Pass 1 done: every iteration classified to its earliest phase.
+pub const STAGE_CLASSIFY: u32 = 1;
+/// Pass 2 done: iterations placed, references rewritten, buffers sized.
+pub const STAGE_PLACE: u32 = 2;
+
 /// Run the LightInspector. Pure function of its inputs; no communication.
 ///
 /// Rejects malformed input (out-of-range indices, ragged arrays, a
 /// foreign `proc_id`) with a typed [`InspectError`] instead of panicking
 /// or silently mis-bucketing through wrapped modular arithmetic.
 pub fn inspect(input: InspectorInput<'_>) -> Result<InspectorPlan, InspectError> {
+    inspect_observed(input, &mut |_| {})
+}
+
+/// [`inspect`] with a stage-completion callback (`STAGE_VALIDATE`,
+/// `STAGE_CLASSIFY`, `STAGE_PLACE`), invoked in that order exactly once
+/// each on success. Callers turn these into trace events.
+pub fn inspect_observed(
+    input: InspectorInput<'_>,
+    observe: &mut dyn FnMut(u32),
+) -> Result<InspectorPlan, InspectError> {
     let g = input.geometry;
     validate(&g, input.proc_id, input.indirection)?;
+    observe(STAGE_VALIDATE);
     let m = input.indirection.len();
     let num_iters = input.indirection[0].len();
     let kp = g.num_phases();
@@ -163,6 +183,8 @@ pub fn inspect(input: InspectorInput<'_>) -> Result<InspectorPlan, InspectError>
             }
         }
     }
+
+    observe(STAGE_CLASSIFY);
 
     // Pass 2: place iterations, rewrite references, allocate buffers.
     let mut phases: Vec<PhasePlan> = (0..kp)
@@ -194,6 +216,8 @@ pub fn inspect(input: InspectorInput<'_>) -> Result<InspectorPlan, InspectError>
             }
         }
     }
+
+    observe(STAGE_PLACE);
 
     Ok(InspectorPlan {
         geometry: g,

@@ -41,5 +41,8 @@ pub mod plan;
 
 pub use geometry::{PhaseGeometry, PortionId};
 pub use incremental::{diff_pairs, IncrementalInspector};
-pub use inspector::{inspect, inspect_single, InspectError, InspectorInput};
+pub use inspector::{
+    inspect, inspect_observed, inspect_single, InspectError, InspectorInput, STAGE_CLASSIFY,
+    STAGE_PLACE, STAGE_VALIDATE,
+};
 pub use plan::{verify_plan, CopyOp, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};

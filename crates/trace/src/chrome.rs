@@ -1,0 +1,433 @@
+//! Chrome `trace_event` JSON export (and the matching hand validator).
+//!
+//! The emitted document is the "JSON Object Format" the Chrome tracing
+//! UI and Perfetto accept: `{"traceEvents": [...], ...}`. Paired kinds
+//! (`PhaseEnter`/`PhaseExit`, `CopyEnter`/`CopyExit`,
+//! `FiberFire`/`FiberRetire`) become complete (`"ph":"X"`) duration
+//! events; everything else becomes an instant (`"ph":"i"`). Timestamps
+//! are emitted in the trace's own unit as microseconds — for simulator
+//! traces one "µs" is one simulated cycle, which keeps the viewer's
+//! zoom arithmetic exact. Everything is hand-written: the workspace is
+//! hermetic and carries no serde.
+
+use crate::{Timeline, TraceEvent, TraceKind};
+
+fn push_args(out: &mut String, kind: &TraceKind) {
+    let [a, b] = kind.args();
+    out.push_str("{\"");
+    out.push_str(a.0);
+    out.push_str("\":");
+    out.push_str(&a.1.to_string());
+    if !b.0.is_empty() {
+        out.push_str(",\"");
+        out.push_str(b.0);
+        out.push_str("\":");
+        out.push_str(&b.1.to_string());
+    }
+    out.push('}');
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    node: u32,
+    kind: &TraceKind,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&format!(
+        "    {{\"name\":\"{name}\",\"cat\":\"earth\",\"ph\":\"{ph}\",\"ts\":{ts},"
+    ));
+    if let Some(d) = dur {
+        out.push_str(&format!("\"dur\":{d},"));
+    }
+    if ph == 'i' {
+        out.push_str("\"s\":\"t\",");
+    }
+    out.push_str(&format!("\"pid\":0,\"tid\":{node},\"args\":"));
+    push_args(out, kind);
+    out.push('}');
+}
+
+/// Serialize `events` as a Chrome `trace_event` JSON document.
+///
+/// Phase, copy-loop and blocked spans come from folding the stream
+/// through [`Timeline`]; fiber executions pair `FiberFire` with the
+/// matching `FiberRetire`; the remaining kinds are instants.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+
+    for span in &Timeline::from_events(events).spans {
+        let kind = TraceKind::PhaseEnter {
+            sweep: span.sweep,
+            phase: span.phase,
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            span.kind.label(),
+            'X',
+            span.start,
+            Some(span.duration()),
+            span.node,
+            &kind,
+        );
+    }
+
+    for ev in events {
+        match ev.kind {
+            // Consumed by the span pass above.
+            TraceKind::PhaseEnter { .. }
+            | TraceKind::PhaseExit { .. }
+            | TraceKind::CopyEnter { .. }
+            | TraceKind::CopyExit { .. }
+            | TraceKind::FiberFire { .. } => {}
+            TraceKind::FiberRetire { exec, .. } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    "fiber",
+                    'X',
+                    ev.ts.saturating_sub(exec),
+                    Some(exec),
+                    ev.node,
+                    &ev.kind,
+                );
+            }
+            _ => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    ev.kind.name(),
+                    'i',
+                    ev.ts,
+                    None,
+                    ev.node,
+                    &ev.kind,
+                );
+            }
+        }
+    }
+
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Hand validator: a minimal recursive-descent JSON parser plus the
+// structural checks a trace_event consumer relies on. No serde.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("JSON error at byte {}: {msg}", self.i))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("JSON error at byte {start}: bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i).copied() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => out.push(c),
+                                None => return self.err("bad \\u escape"),
+                            }
+                            self.i += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    // Copy the raw byte; multi-byte UTF-8 sequences pass
+                    // through unmodified.
+                    let rest = &self.s[self.i..];
+                    let ch_len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    match std::str::from_utf8(&rest[..ch_len.min(rest.len())]) {
+                        Ok(chunk) => out.push_str(chunk),
+                        Err(_) => return self.err("invalid UTF-8"),
+                    }
+                    self.i += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.i != self.s.len() {
+            return self.err("trailing garbage");
+        }
+        Ok(v)
+    }
+}
+
+/// Parse `json` and check it is a structurally valid Chrome
+/// `trace_event` document: a top-level object with a `traceEvents`
+/// array whose members each carry `name`/`ph` strings and numeric
+/// `ts`/`pid`/`tid`, with `"ph":"X"` events also carrying a numeric
+/// `dur`. Returns the number of events.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc = Parser {
+        s: json.as_bytes(),
+        i: 0,
+    }
+    .document()?;
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err("traceEvents is not an array".into()),
+        None => return Err("missing traceEvents".into()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("event {i}: missing/empty ph")),
+        };
+        if !matches!(ev.get("name"), Some(Json::Str(s)) if !s.is_empty()) {
+            return Err(format!("event {i}: missing/empty name"));
+        }
+        for field in ["ts", "pid", "tid"] {
+            match ev.get(field) {
+                Some(Json::Num(n)) if n.is_finite() => {}
+                _ => return Err(format!("event {i}: missing numeric {field}")),
+            }
+        }
+        if ph == "X" && !matches!(ev.get("dur"), Some(Json::Num(n)) if n.is_finite() && *n >= 0.0) {
+            return Err(format!("event {i}: X event without numeric dur"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceEvent, TraceKind};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(0, 0, TraceKind::PhaseEnter { sweep: 0, phase: 0 }),
+            TraceEvent::new(4, 0, TraceKind::CopyEnter { sweep: 0, phase: 0 }),
+            TraceEvent::new(6, 0, TraceKind::CopyExit { sweep: 0, phase: 0 }),
+            TraceEvent::new(
+                9,
+                0,
+                TraceKind::MsgSend {
+                    to_node: 1,
+                    bytes: 64,
+                },
+            ),
+            TraceEvent::new(10, 0, TraceKind::PhaseExit { sweep: 0, phase: 0 }),
+            TraceEvent::new(12, 1, TraceKind::FiberRetire { slot: 3, exec: 7 }),
+        ]
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let json = chrome_trace_json(&sample_events());
+        let n = validate_chrome_trace(&json).expect("valid");
+        // 3 spans (compute, copy, compute) + 1 instant + 1 fiber X.
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn empty_trace_validates() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&json), Ok(0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"ph\":\"i\"}]}").is_err());
+        assert!(
+            validate_chrome_trace(
+                "{\"traceEvents\": [{\"name\":\"x\",\"ph\":\"X\",\"ts\":1,\"pid\":0,\"tid\":0}]}"
+            )
+            .is_err(),
+            "X without dur must fail"
+        );
+        assert!(validate_chrome_trace("{\"traceEvents\": []} garbage").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_hand_written_document() {
+        let doc = r#"{"traceEvents":[
+            {"name":"compute","ph":"X","ts":0,"dur":10,"pid":0,"tid":2,"args":{"sweep":0}},
+            {"name":"sync","ph":"i","ts":4,"s":"t","pid":0,"tid":1,"args":{}}
+        ],"displayTimeUnit":"ms"}"#;
+        assert_eq!(validate_chrome_trace(doc), Ok(2));
+    }
+
+    #[test]
+    fn parser_handles_strings_and_escapes() {
+        let doc = r#"{"traceEvents":[{"name":"a\"b\\cA","ph":"i","ts":1.5e2,"pid":0,"tid":0}]}"#;
+        assert_eq!(validate_chrome_trace(doc), Ok(1));
+    }
+}

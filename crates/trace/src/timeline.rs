@@ -1,0 +1,326 @@
+//! Fold an event stream into per-processor, per-phase spans.
+//!
+//! The phased executor emits `PhaseEnter`/`PhaseExit` around each
+//! rotating-portion phase and `CopyEnter`/`CopyExit` around its copy
+//! loop. [`Timeline::from_events`] turns those into [`Span`]s of three
+//! kinds per node:
+//!
+//! * **Compute** — inside a phase, outside the copy loop (the paper's
+//!   first loop: local contributions into the staged portion);
+//! * **CopyLoop** — inside the copy loop (folding arrived portions /
+//!   staging replicated read state);
+//! * **Blocked** — between one phase's exit and the next phase's entry
+//!   on the same node: waiting for the ring rotation to deliver the
+//!   next portion.
+
+use crate::{TraceEvent, TraceKind};
+
+/// How the cycles in a [`Span`] were spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    Compute,
+    CopyLoop,
+    Blocked,
+}
+
+impl SpanKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::CopyLoop => "copy-loop",
+            SpanKind::Blocked => "blocked",
+        }
+    }
+}
+
+/// One contiguous stretch of one node's time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub node: u32,
+    pub sweep: u32,
+    pub phase: u32,
+    pub kind: SpanKind,
+    pub start: u64,
+    pub end: u64,
+}
+
+impl Span {
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Per-processor, per-phase spans folded from a trace, plus the totals
+/// the plain-text table prints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    pub spans: Vec<Span>,
+    /// Highest real node id seen, plus one (machine-level events are
+    /// excluded).
+    pub num_nodes: usize,
+    /// Last event timestamp seen (any kind) — the run's extent in the
+    /// trace's time unit.
+    pub extent: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Open {
+    sweep: u32,
+    phase: u32,
+    since: u64,
+    prev_exit: Option<u64>,
+    in_copy: bool,
+    copy_since: u64,
+}
+
+impl Timeline {
+    /// Fold `events` (any order-stable stream, e.g. a
+    /// [`TraceSink::drain`](crate::TraceSink::drain) result) into spans.
+    pub fn from_events(events: &[TraceEvent]) -> Timeline {
+        let mut tl = Timeline::default();
+        let mut open: Vec<Option<Open>> = Vec::new();
+        for ev in events {
+            tl.extent = tl.extent.max(ev.ts);
+            if ev.node == crate::RUN_NODE {
+                continue;
+            }
+            let n = ev.node as usize;
+            if n >= open.len() {
+                open.resize(n + 1, None);
+            }
+            tl.num_nodes = tl.num_nodes.max(n + 1);
+            match ev.kind {
+                TraceKind::PhaseEnter { sweep, phase } => {
+                    let prev_exit = open[n].and_then(|o| o.prev_exit);
+                    if let Some(exit) = prev_exit {
+                        if ev.ts > exit {
+                            tl.spans.push(Span {
+                                node: ev.node,
+                                sweep,
+                                phase,
+                                kind: SpanKind::Blocked,
+                                start: exit,
+                                end: ev.ts,
+                            });
+                        }
+                    }
+                    open[n] = Some(Open {
+                        sweep,
+                        phase,
+                        since: ev.ts,
+                        prev_exit,
+                        in_copy: false,
+                        copy_since: 0,
+                    });
+                }
+                TraceKind::CopyEnter { .. } => {
+                    if let Some(o) = open[n].as_mut() {
+                        if !o.in_copy {
+                            if ev.ts > o.since {
+                                tl.spans.push(Span {
+                                    node: ev.node,
+                                    sweep: o.sweep,
+                                    phase: o.phase,
+                                    kind: SpanKind::Compute,
+                                    start: o.since,
+                                    end: ev.ts,
+                                });
+                            }
+                            o.in_copy = true;
+                            o.copy_since = ev.ts;
+                        }
+                    }
+                }
+                TraceKind::CopyExit { .. } => {
+                    if let Some(o) = open[n].as_mut() {
+                        if o.in_copy {
+                            if ev.ts > o.copy_since {
+                                tl.spans.push(Span {
+                                    node: ev.node,
+                                    sweep: o.sweep,
+                                    phase: o.phase,
+                                    kind: SpanKind::CopyLoop,
+                                    start: o.copy_since,
+                                    end: ev.ts,
+                                });
+                            }
+                            o.in_copy = false;
+                            o.since = ev.ts;
+                        }
+                    }
+                }
+                TraceKind::PhaseExit { .. } => {
+                    if let Some(o) = open[n].take() {
+                        let start = if o.in_copy { o.copy_since } else { o.since };
+                        let kind = if o.in_copy {
+                            SpanKind::CopyLoop
+                        } else {
+                            SpanKind::Compute
+                        };
+                        if ev.ts > start {
+                            tl.spans.push(Span {
+                                node: ev.node,
+                                sweep: o.sweep,
+                                phase: o.phase,
+                                kind,
+                                start,
+                                end: ev.ts,
+                            });
+                        }
+                        // Tombstone: only `prev_exit` stays live until
+                        // the next PhaseEnter overwrites it.
+                        open[n] = Some(Open {
+                            prev_exit: Some(ev.ts),
+                            in_copy: false,
+                            ..o
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        tl
+    }
+
+    /// Total duration attributed to `kind` on `node`.
+    pub fn node_total(&self, node: u32, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.node == node && s.kind == kind)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Total duration attributed to `kind` across all nodes.
+    pub fn total(&self, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// The plain-text per-phase table the `--trace` flag prints: one
+    /// row per node with compute / copy-loop / blocked totals and
+    /// percentages, then a machine-wide summary line.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<6} {:>14} {:>14} {:>14} {:>9} {:>9} {:>9}\n",
+            "node", "compute", "copy-loop", "blocked", "comp%", "copy%", "blk%"
+        ));
+        let pct = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / whole as f64
+            }
+        };
+        for n in 0..self.num_nodes {
+            let c = self.node_total(n as u32, SpanKind::Compute);
+            let y = self.node_total(n as u32, SpanKind::CopyLoop);
+            let b = self.node_total(n as u32, SpanKind::Blocked);
+            let tot = c + y + b;
+            out.push_str(&format!(
+                "  {:<6} {:>14} {:>14} {:>14} {:>8.1}% {:>8.1}% {:>8.1}%\n",
+                n,
+                c,
+                y,
+                b,
+                pct(c, tot),
+                pct(y, tot),
+                pct(b, tot)
+            ));
+        }
+        let (c, y, b) = (
+            self.total(SpanKind::Compute),
+            self.total(SpanKind::CopyLoop),
+            self.total(SpanKind::Blocked),
+        );
+        let tot = c + y + b;
+        out.push_str(&format!(
+            "  {:<6} {:>14} {:>14} {:>14} {:>8.1}% {:>8.1}% {:>8.1}%\n",
+            "all",
+            c,
+            y,
+            b,
+            pct(c, tot),
+            pct(y, tot),
+            pct(b, tot)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn phase(node: u32, sweep: u32, phase_: u32, enter: u64, exit: u64) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(
+                enter,
+                node,
+                TraceKind::PhaseEnter {
+                    sweep,
+                    phase: phase_,
+                },
+            ),
+            TraceEvent::new(
+                exit,
+                node,
+                TraceKind::PhaseExit {
+                    sweep,
+                    phase: phase_,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn folds_phases_into_compute_and_blocked() {
+        let mut evs = phase(0, 0, 0, 10, 30);
+        evs.extend(phase(0, 0, 1, 50, 60)); // 20-cycle gap → blocked
+        let tl = Timeline::from_events(&evs);
+        assert_eq!(tl.node_total(0, SpanKind::Compute), 20 + 10);
+        assert_eq!(tl.node_total(0, SpanKind::Blocked), 20);
+        assert_eq!(tl.num_nodes, 1);
+        assert_eq!(tl.extent, 60);
+    }
+
+    #[test]
+    fn copy_loop_splits_a_phase() {
+        let evs = vec![
+            TraceEvent::new(0, 2, TraceKind::PhaseEnter { sweep: 0, phase: 0 }),
+            TraceEvent::new(8, 2, TraceKind::CopyEnter { sweep: 0, phase: 0 }),
+            TraceEvent::new(13, 2, TraceKind::CopyExit { sweep: 0, phase: 0 }),
+            TraceEvent::new(20, 2, TraceKind::PhaseExit { sweep: 0, phase: 0 }),
+        ];
+        let tl = Timeline::from_events(&evs);
+        assert_eq!(tl.node_total(2, SpanKind::Compute), 8 + 7);
+        assert_eq!(tl.node_total(2, SpanKind::CopyLoop), 5);
+        assert_eq!(tl.num_nodes, 3);
+    }
+
+    #[test]
+    fn run_level_events_do_not_create_nodes() {
+        let evs = vec![TraceEvent::new(
+            5,
+            crate::RUN_NODE,
+            TraceKind::RecoveryRung { attempt: 0 },
+        )];
+        let tl = Timeline::from_events(&evs);
+        assert_eq!(tl.num_nodes, 0);
+        assert_eq!(tl.extent, 5);
+    }
+
+    #[test]
+    fn table_renders_every_node_and_summary() {
+        let mut evs = phase(0, 0, 0, 0, 10);
+        evs.extend(phase(1, 0, 0, 0, 6));
+        let tbl = Timeline::from_events(&evs).table();
+        assert!(tbl.contains("compute"));
+        assert_eq!(tbl.lines().count(), 4); // header + 2 nodes + all
+    }
+}

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
 use irred::{
-    approx_eq, seq_reduction, Distribution, EdgeKernel, PhasedEngine, PhasedSpec, ReductionEngine,
-    StrategyConfig,
+    approx_eq, seq_reduction, Distribution, EdgeKernel, ExecutionConfig, PhasedEngine, PhasedSpec,
+    ReductionEngine, StrategyConfig,
 };
 
 /// The loop body: contributions `w` and `2w` through the two references.
@@ -75,7 +75,8 @@ fn main() {
     );
     println!(
         "             {} messages, {} payload bytes — independent of the indirection contents",
-        sim.stats.ops.messages, sim.stats.ops.bytes
+        sim.messages(),
+        sim.bytes()
     );
 
     // (c) the same program on real OS threads.
@@ -97,11 +98,10 @@ fn main() {
     );
     println!("all three executions agree ✓");
 
-    // Visualize the overlap: a Gantt chart of one 2-sweep run.
-    let mut traced = cfg;
-    traced.trace = true;
+    // Visualize the overlap: trace one 2-sweep run and fold the event
+    // stream into a Gantt chart plus the per-phase timeline table.
     let small = StrategyConfig::new(8, 2, Distribution::Cyclic, 2);
-    let t = PhasedEngine::sim(traced)
+    let t = PhasedEngine::new(ExecutionConfig::sim(cfg).traced())
         .run(&spec, &small)
         .expect("valid spec");
     println!("\nEU occupancy (2 sweeps, {} nodes, k = 2):", small.procs);
@@ -109,4 +109,6 @@ fn main() {
         "{}",
         earth_model::render_gantt(&t.trace, small.procs, t.time_cycles, 72)
     );
+    println!("\nPhase timeline:");
+    print!("{}", t.timeline().table());
 }
