@@ -510,12 +510,16 @@ fn deliver_data<S>(
         Some(p) => {
             let id = p.next_op_id();
             let times = if dup { 2 } else { 1 };
+            // A duplicate reuses the id; the filter admits it once, so at
+            // most one copy is ever deposited — the payload can be moved,
+            // not cloned.
+            let mut value = Some(value);
             for _ in 0..times {
-                // A duplicate reuses the id; the filter admits it once,
-                // so at most one copy is ever deposited.
                 if p.first_delivery(id) {
-                    deposit(value.clone());
-                    shared.dec(node, slot);
+                    if let Some(v) = value.take() {
+                        deposit(v);
+                        shared.dec(node, slot);
+                    }
                 }
             }
         }
