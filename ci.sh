@@ -8,6 +8,8 @@
 #   ./ci.sh          # tier1 + faults (everything)
 #   ./ci.sh tier1    # fmt --check + build + full test suite + clippy
 #   ./ci.sh faults   # fault-injection / recovery sweeps only
+#   ./ci.sh perf     # quick native-bench subset vs checked-in baseline;
+#                    # fails on >20 % median regression on any workload
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
 # including in the code under test, whose whole contract is "typed error,
@@ -71,15 +73,27 @@ faults() {
     run_tests cargo test -q --release -p earth-model --test fault_injection watchdog
 }
 
+perf() {
+    # Quick-mode native benchmark against the checked-in quick baseline
+    # (bench_results/BENCH_native_quick.json). The comparison runs before
+    # the fresh report is written, so the baseline read is the committed
+    # one. >20 % median regression on any workload fails the pipeline.
+    echo "== perf (quick native bench vs baseline) =="
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_native -- \
+        --check bench_results/BENCH_native_quick.json
+}
+
 case "${1:-all}" in
     tier1) tier1 ;;
     faults) faults ;;
+    perf) perf ;;
     all)
         tier1
         faults
+        perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults]" >&2
+        echo "usage: $0 [tier1|faults|perf]" >&2
         exit 2
         ;;
 esac

@@ -37,11 +37,10 @@ impl irred::EdgeKernel for FrozenEuler {
     fn num_read_arrays(&self) -> usize {
         0
     }
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]) {
-        let q = &self.0.q0;
-        let frozen: &[Vec<f64>] = &[q.as_ref().clone()];
-        // Delegate to the real euler body with the frozen state.
-        self.0.contrib(frozen, iter, elems, out)
+    fn contrib(&self, _read: &[f64], iter: usize, elems: &[u32], out: &mut [f64]) {
+        // Delegate to the real euler body with the frozen state (euler
+        // has one read array, so `q0` already is the interleaved layout).
+        self.0.contrib(&self.0.q0, iter, elems, out)
     }
     fn flops_per_iter(&self) -> u64 {
         self.0.flops_per_iter()

@@ -1,0 +1,197 @@
+//! Native-backend performance tracker.
+//!
+//! Runs a fixed stable of workloads on the *native* (host-thread)
+//! backend at 8 nodes, times prepare once and `execute` over several
+//! repetitions, and emits machine-readable `bench_results/BENCH_native.json`
+//! (per-workload median/MAD wall-clock + speedup vs a timed sequential
+//! reference, git SHA, config) so the perf trajectory is tracked
+//! PR-over-PR.
+//!
+//! Modes:
+//!   bench_native                  full run, writes BENCH_native.json
+//!   REPRO_QUICK=1 bench_native    quick subset (fewer sweeps/reps)
+//!   bench_native --check <base>   also compare against a baseline JSON
+//!                                 and exit 1 on >20 % median regression
+//!
+//! `ci.sh perf` runs the quick mode against the checked-in baseline.
+
+use std::time::{Duration, Instant};
+
+use earth_model::native::NativeConfig;
+use irred::{GatherEngine, PhasedEngine, ReductionEngine, SeqEngine, Workspace};
+use kernels::{EulerProblem, MolDynProblem, MvmProblem};
+use repro_bench::{
+    dump_trace, quick, trace_requested, ExecutionConfig, NativeBenchResult, NativeReport,
+    SimConfig, StrategyConfig,
+};
+use workloads::{CgClass, Distribution, MeshPreset, MolDynPreset};
+
+const PROCS: usize = 8;
+const K: usize = 2; // the paper's all-round best strategy: 2c
+
+fn reps() -> usize {
+    if quick() {
+        3
+    } else {
+        7
+    }
+}
+
+fn sweeps() -> usize {
+    if quick() {
+        5
+    } else {
+        20
+    }
+}
+
+/// Time `reps` executes of one prepared plan; returns (samples, prepare time).
+fn time_engine<Spec, E: ReductionEngine<Spec>>(
+    engine: &E,
+    spec: &Spec,
+    strat: &StrategyConfig,
+    reps: usize,
+) -> (Vec<Duration>, Duration) {
+    let t0 = Instant::now();
+    let mut prepared = engine.prepare(spec, strat).expect("prepare");
+    let prepare = t0.elapsed();
+    let mut ws = Workspace::new();
+    // One warmup execute (first execute meters costs / populates pools).
+    engine.execute(&mut prepared, &mut ws).expect("warmup");
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = engine.execute(&mut prepared, &mut ws).expect("execute");
+        samples.push(t.elapsed());
+        std::hint::black_box(out.values.len());
+    }
+    (samples, prepare)
+}
+
+/// Wall time of one sequential reference run (same sweeps).
+fn time_seq<Spec, E: ReductionEngine<Spec>>(
+    engine: &E,
+    spec: &Spec,
+    strat: &StrategyConfig,
+) -> f64 {
+    let t = Instant::now();
+    let out = engine.run(spec, strat).expect("seq run");
+    std::hint::black_box(out.values.len());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check <baseline.json>").clone());
+
+    let cfg = SimConfig::default();
+    let native = NativeConfig::default();
+    let sweeps = sweeps();
+    let reps = reps();
+    let mut report = NativeReport::new(PROCS, sweeps, reps, quick());
+
+    // --- phased workloads: moldyn 2K / 10K, euler 2K ---------------------
+    type Bench = Box<dyn Fn() -> NativeBenchResult>;
+    let phased: Vec<(&str, Bench)> = vec![
+        (
+            "moldyn-10K",
+            Box::new(move || {
+                let problem = MolDynProblem::preset(MolDynPreset::MolDyn10K);
+                let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
+                let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
+                let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
+                let (samples, prepare) =
+                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                NativeBenchResult::new("moldyn-10K", "2c", samples, prepare, seq_s)
+            }),
+        ),
+        (
+            "moldyn-2K",
+            Box::new(move || {
+                let problem = MolDynProblem::preset(MolDynPreset::MolDyn2K);
+                let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
+                let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
+                let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
+                let (samples, prepare) =
+                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                NativeBenchResult::new("moldyn-2K", "2c", samples, prepare, seq_s)
+            }),
+        ),
+        (
+            "euler-2K",
+            Box::new(move || {
+                let problem = EulerProblem::preset(MeshPreset::Euler2K, 7);
+                let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
+                let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
+                let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
+                let (samples, prepare) =
+                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                NativeBenchResult::new("euler-2K", "2c", samples, prepare, seq_s)
+            }),
+        ),
+        (
+            "mvm-W",
+            Box::new(move || {
+                let problem = MvmProblem::nas_class(CgClass::W, 11);
+                let mvm_sweeps = sweeps.min(10);
+                let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, mvm_sweeps);
+                let t = Instant::now();
+                let (y, _) = problem.sequential(mvm_sweeps, cfg);
+                std::hint::black_box(y.len());
+                let seq_s = t.elapsed().as_secs_f64();
+                let (samples, prepare) =
+                    time_engine(&GatherEngine::native(native), &problem.spec, &strat, reps);
+                NativeBenchResult::new("mvm-W", "2c", samples, prepare, seq_s)
+            }),
+        ),
+    ];
+
+    for (name, run) in phased {
+        eprintln!("bench_native: running {name} ({sweeps} sweeps x {reps} reps)...");
+        let r = run();
+        println!("{}", r.render());
+        report.push(r);
+    }
+
+    if trace_requested() {
+        // One traced native run of the headline workload so the phase
+        // timeline (park/unpark, sync waits, per-phase spans) is
+        // inspectable; writes bench_results/bench_native_trace.json.
+        let problem = MolDynProblem::preset(MolDynPreset::MolDyn10K);
+        let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
+        let traced = PhasedEngine::new(ExecutionConfig::native(native).traced())
+            .run(&problem.spec, &strat)
+            .expect("traced native run");
+        dump_trace("bench_native", &traced).expect("write trace");
+    }
+
+    // Compare BEFORE saving: the baseline may be the very file this run
+    // overwrites, and a self-comparison would always pass.
+    let verdict = baseline.map(|base| report.check_against(&base, 0.20));
+
+    // Quick runs use a different config (fewer sweeps/reps), so they
+    // track their own baseline file instead of clobbering the full one.
+    let path = if quick() {
+        "bench_results/BENCH_native_quick.json"
+    } else {
+        "bench_results/BENCH_native.json"
+    };
+    report.save(path).expect("write BENCH_native.json");
+    println!("wrote {path}");
+
+    match verdict {
+        Some(Ok(lines)) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Some(Err(msg)) => {
+            eprintln!("PERF REGRESSION: {msg}");
+            std::process::exit(1);
+        }
+        None => {}
+    }
+}

@@ -202,6 +202,253 @@ impl Report {
     }
 }
 
+/// One workload's native-backend timing: wall-clock samples reduced to
+/// median/MAD, plus the prepare cost and a timed sequential reference.
+#[derive(Debug, Clone)]
+pub struct NativeBenchResult {
+    pub name: String,
+    pub strategy: String,
+    pub reps: usize,
+    pub median_s: f64,
+    pub mad_s: f64,
+    pub min_s: f64,
+    pub max_s: f64,
+    pub prepare_s: f64,
+    pub seq_s: f64,
+}
+
+impl NativeBenchResult {
+    pub fn new(
+        name: &str,
+        strategy: &str,
+        samples: Vec<std::time::Duration>,
+        prepare: std::time::Duration,
+        seq_s: f64,
+    ) -> Self {
+        let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        let median = |s: &[f64]| -> f64 {
+            let n = s.len();
+            if n == 0 {
+                0.0
+            } else if n % 2 == 1 {
+                s[n / 2]
+            } else {
+                0.5 * (s[n / 2 - 1] + s[n / 2])
+            }
+        };
+        let med = median(&secs);
+        let mut devs: Vec<f64> = secs.iter().map(|s| (s - med).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        NativeBenchResult {
+            name: name.to_string(),
+            strategy: strategy.to_string(),
+            reps: secs.len(),
+            median_s: med,
+            mad_s: median(&devs),
+            min_s: secs.first().copied().unwrap_or(0.0),
+            max_s: secs.last().copied().unwrap_or(0.0),
+            prepare_s: prepare.as_secs_f64(),
+            seq_s,
+        }
+    }
+
+    pub fn speedup_vs_seq(&self) -> f64 {
+        if self.median_s > 0.0 {
+            self.seq_s / self.median_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable one-liner for stdout.
+    pub fn render(&self) -> String {
+        format!(
+            "  {:<12} {:<4} median {:>9.2} ms  mad {:>7.2} ms  prepare {:>8.2} ms  seq {:>9.2} ms  speedup {:>5.2}x",
+            self.name,
+            self.strategy,
+            self.median_s * 1e3,
+            self.mad_s * 1e3,
+            self.prepare_s * 1e3,
+            self.seq_s * 1e3,
+            self.speedup_vs_seq(),
+        )
+    }
+}
+
+/// The machine-readable native-backend perf report
+/// (`bench_results/BENCH_native.json`). Schema documented in
+/// `bench_results/README.md`.
+pub struct NativeReport {
+    procs: usize,
+    sweeps: usize,
+    reps: usize,
+    quick: bool,
+    results: Vec<NativeBenchResult>,
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl NativeReport {
+    pub fn new(procs: usize, sweeps: usize, reps: usize, quick: bool) -> Self {
+        NativeReport {
+            procs,
+            sweeps,
+            reps,
+            quick,
+            results: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, r: NativeBenchResult) {
+        self.results.push(r);
+    }
+
+    /// Serialize to the `BENCH_native.json` schema (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"schema\": 1,").unwrap();
+        writeln!(out, "  \"tool\": \"bench_native\",").unwrap();
+        writeln!(out, "  \"git_sha\": \"{}\",", git_sha()).unwrap();
+        writeln!(out, "  \"quick\": {},", self.quick).unwrap();
+        writeln!(
+            out,
+            "  \"config\": {{ \"procs\": {}, \"sweeps\": {}, \"reps\": {}, \"host_cores\": {} }},",
+            self.procs,
+            self.sweeps,
+            self.reps,
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        )
+        .unwrap();
+        writeln!(out, "  \"workloads\": [").unwrap();
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"strategy\": \"{}\", \"reps\": {}, \
+                 \"median_s\": {:.6}, \"mad_s\": {:.6}, \"min_s\": {:.6}, \"max_s\": {:.6}, \
+                 \"prepare_s\": {:.6}, \"seq_s\": {:.6}, \"speedup_vs_seq\": {:.4} }}{}",
+                r.name,
+                r.strategy,
+                r.reps,
+                r.median_s,
+                r.mad_s,
+                r.min_s,
+                r.max_s,
+                r.prepare_s,
+                r.seq_s,
+                r.speedup_vs_seq(),
+                comma
+            )
+            .unwrap();
+        }
+        writeln!(out, "  ]").unwrap();
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Compare against a baseline `BENCH_native.json`: every workload
+    /// present in BOTH reports must have `median_s` no worse than
+    /// `(1 + tolerance) x` the baseline median. Returns per-workload
+    /// comparison lines on success, or a description of the first
+    /// regression on failure. Workloads only in one report are noted
+    /// but never fail the check (so the stable can evolve).
+    pub fn check_against(
+        &self,
+        baseline_path: &str,
+        tolerance: f64,
+    ) -> Result<Vec<String>, String> {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let base = parse_native_medians(&text);
+        if base.is_empty() {
+            return Err(format!("no workloads parsed from baseline {baseline_path}"));
+        }
+        let mut lines = Vec::new();
+        let mut worst: Option<(String, f64, f64)> = None;
+        for r in &self.results {
+            match base.iter().find(|(n, _)| *n == r.name) {
+                Some((_, base_med)) => {
+                    let ratio = if *base_med > 0.0 {
+                        r.median_s / base_med
+                    } else {
+                        1.0
+                    };
+                    lines.push(format!(
+                        "  {:<12} {:.2} ms vs baseline {:.2} ms ({:+.1} %)",
+                        r.name,
+                        r.median_s * 1e3,
+                        base_med * 1e3,
+                        (ratio - 1.0) * 100.0
+                    ));
+                    if ratio > 1.0 + tolerance && worst.as_ref().is_none_or(|(_, _, w)| ratio > *w)
+                    {
+                        worst = Some((r.name.clone(), *base_med, ratio));
+                    }
+                }
+                None => lines.push(format!("  {:<12} (not in baseline; skipped)", r.name)),
+            }
+        }
+        if let Some((name, base_med, ratio)) = worst {
+            return Err(format!(
+                "{name}: median {:.2} ms is {:.0} % over baseline {:.2} ms (tolerance {:.0} %)",
+                self.results
+                    .iter()
+                    .find(|r| r.name == name)
+                    .map_or(0.0, |r| r.median_s * 1e3),
+                (ratio - 1.0) * 100.0,
+                base_med * 1e3,
+                tolerance * 100.0
+            ));
+        }
+        Ok(lines)
+    }
+}
+
+/// Extract `(name, median_s)` pairs from a `BENCH_native.json` emitted
+/// by [`NativeReport::to_json`] — a targeted scan of our own one-object-
+/// per-line format, not a general JSON parser (hermetic policy: no serde).
+pub fn parse_native_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(mpos) = line.find("\"median_s\": ") else {
+            continue;
+        };
+        let mrest = &line[mpos + 12..];
+        let mend = mrest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(mrest.len());
+        if let Ok(v) = mrest[..mend].parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
 /// The four strategies of §5.4.1, in the paper's order.
 pub fn paper_strategies() -> Vec<(usize, Distribution, &'static str)> {
     vec![

@@ -64,6 +64,7 @@ pub mod native;
 pub mod procedure;
 pub mod program;
 pub mod sim;
+pub mod spsc;
 pub mod stats;
 pub mod value;
 

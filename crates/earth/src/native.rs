@@ -29,19 +29,34 @@
 //! delivery path and the fiber dispatch path when
 //! [`NativeConfig::faults`] is set; a fault-free run pays nothing.
 //!
-//! Built entirely on `std::sync` (mpsc channels for the per-node ready
-//! queues, `Mutex` for the mailboxes) — no external crates, per the
-//! workspace's hermetic-build policy (DESIGN.md).
+//! ## Message fabric
+//!
+//! All inter-node traffic travels on lock-free *lanes*: one
+//! [`SpscQueue`] per (sender, receiver) pair (plus one external lane
+//! per node for the supervising thread's seed messages). Ready
+//! notifications, spawns, GET_SYNC requests, and data deposits are all
+//! lane messages; per-lane FIFO plus a drain-all-lanes step before
+//! every fiber firing preserves the EARTH guarantee that a fiber's
+//! data has landed before its sync fires (see the ordering argument at
+//! [`drain_lanes`]). Logical nodes are hosted on up to
+//! `available_parallelism()` OS threads (one per node on big hosts;
+//! round-robin multiplexed on oversubscribed ones — see
+//! [`NativeConfig::host_threads`]). Idle host threads spin briefly (on
+//! multi-core hosts) and then park; producers unpark them through a
+//! Dekker-style per-node `sleeping` flag. Built entirely on
+//! `std::sync` atomics — no external crates, per the workspace's
+//! hermetic-build policy (DESIGN.md).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::faults::{FaultConfig, FaultPlan, FiberFault, MessageFault};
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
+use crate::spsc::SpscQueue;
 use crate::stats::{NodeStats, OpCounts, RunStats};
 use crate::value::Value;
 use trace::{FaultKind, NullSink, TraceEvent, TraceKind, TraceSink};
@@ -207,6 +222,17 @@ pub struct NativeConfig {
     /// `RunStats::unfired_fibers`. Executors that require every fiber to
     /// fire (the phased reduction) set this.
     pub starved_is_error: bool,
+    /// OS threads to host the logical nodes on. `None` (the default)
+    /// uses one thread per node when the host has at least that many
+    /// cores, and otherwise multiplexes nodes onto
+    /// `available_parallelism()` threads — fibers run to completion
+    /// (`recv` never blocks), so an event-loop thread can round-robin
+    /// several nodes without deadlock, and on an oversubscribed host
+    /// that removes the ring handoff's context-switch churn. Ignored
+    /// (one thread per node) when a fault plan is active: an injected
+    /// stall must pause exactly one node, not everything co-scheduled
+    /// with it.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for NativeConfig {
@@ -215,6 +241,7 @@ impl Default for NativeConfig {
             watchdog: Duration::from_secs(10),
             faults: None,
             starved_is_error: false,
+            host_threads: None,
         }
     }
 }
@@ -232,9 +259,17 @@ pub struct NativeReport<S> {
 /// A node's fiber table: slot → body (None = free dynamic slot).
 type FiberSlots<S> = Vec<Option<FiberSpec<S, NativeCtx<S>>>>;
 
-enum NodeMsg<S> {
+/// One message on a lane. Shutdown is not a message — it is a shared
+/// flag plus an unpark, so any thread may raise it without violating
+/// the lanes' single-producer contract.
+enum LaneMsg<S> {
     Ready(SlotId),
     Spawn(SlotId, FiberSpec<S, NativeCtx<S>>),
+    /// A data payload for the receiver's mailbox under `key`.
+    Deposit {
+        key: u64,
+        value: Value,
+    },
     /// GET_SYNC request: evaluate against this node's state and reply.
     Get {
         extract: Box<dyn FnOnce(&S) -> Value + Send>,
@@ -242,14 +277,26 @@ enum NodeMsg<S> {
         key: u64,
         slot: SlotId,
     },
-    Shutdown,
 }
 
-struct NodeShared {
+struct NodeShared<S> {
     counts: Vec<AtomicI64>,
     resets: Vec<AtomicI64>,
     next_dyn: AtomicUsize,
-    mailbox: Mutex<HashMap<u64, std::collections::VecDeque<Value>>>,
+    /// Inbound lanes, one per producer: `lanes[s]` is pushed only by
+    /// thread `s`; `lanes[num_nodes]` is the external lane pushed only
+    /// by the supervising thread (seeding).
+    lanes: Vec<SpscQueue<LaneMsg<S>>>,
+    /// Data values deposited but not yet `recv`'d (approximate while
+    /// the machine runs; exact at quiescence). Feeds [`NodeDump`].
+    inbox_depth: AtomicUsize,
+    /// Consumer half of the park protocol: set (SeqCst) by the node
+    /// thread just before it re-checks its lanes and parks; cleared by
+    /// the producer that wakes it (or by the node itself on wake-up).
+    sleeping: AtomicBool,
+    /// The node thread's handle, registered when its loop starts, so
+    /// producers and the shutdown broadcast can unpark it.
+    thread: OnceLock<std::thread::Thread>,
 }
 
 /// First fiber failure of the run (first writer wins).
@@ -261,8 +308,11 @@ struct Failure {
 }
 
 struct Shared<S> {
-    nodes: Vec<NodeShared>,
-    senders: Vec<Sender<NodeMsg<S>>>,
+    nodes: Vec<NodeShared<S>>,
+    /// Raised (with an unpark broadcast) to stop every node thread;
+    /// replaces a per-node shutdown message so that *any* thread can
+    /// end the run without being a lane producer.
+    shutdown: AtomicBool,
     /// Ready notifications queued or executing. When it drops to zero the
     /// machine is quiescent (nothing left that could generate work).
     outstanding: AtomicI64,
@@ -299,9 +349,37 @@ impl<S> Shared<S> {
         }
     }
 
+    /// Push `msg` onto `node`'s lane `src` and wake the node if it is
+    /// parked. `src` must be the calling thread's lane index (its node
+    /// id, or `num_nodes` for the supervising thread).
+    #[inline]
+    fn push(&self, src: usize, node: usize, msg: LaneMsg<S>) {
+        let ns = &self.nodes[node];
+        ns.lanes[src].push(msg);
+        // Producer half of the park protocol: the SeqCst fence orders
+        // the lane publish before the `sleeping` read, pairing with the
+        // consumer's store-then-fence-then-recheck. If we read `false`
+        // here, the consumer's post-flag lane recheck is guaranteed to
+        // observe our push, so no wakeup is lost either way.
+        fence(Ordering::SeqCst);
+        if ns.sleeping.load(Ordering::Relaxed) && ns.sleeping.swap(false, Ordering::AcqRel) {
+            if let Some(t) = ns.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Deposit a data payload into `node`'s mailbox via lane `src`.
+    #[inline]
+    fn push_deposit(&self, src: usize, node: usize, key: u64, value: Value) {
+        self.nodes[node].inbox_depth.fetch_add(1, Ordering::Relaxed);
+        self.push(src, node, LaneMsg::Deposit { key, value });
+    }
+
     /// Decrement slot `slot` on `node`; enqueue the fiber when it reaches
-    /// zero, re-arming repeating fibers.
-    fn dec(&self, node: usize, slot: SlotId) {
+    /// zero, re-arming repeating fibers. `src` is the calling thread's
+    /// lane index.
+    fn dec(&self, src: usize, node: usize, slot: SlotId) {
         let ns = &self.nodes[node];
         let old = ns.counts[slot as usize].fetch_sub(1, Ordering::AcqRel);
         self.progress.fetch_add(1, Ordering::Relaxed);
@@ -312,15 +390,13 @@ impl<S> Shared<S> {
                 // are preserved in the re-armed count.
                 ns.counts[slot as usize].fetch_add(reset, Ordering::AcqRel);
             }
-            self.make_ready(node, slot);
+            self.make_ready(src, node, slot);
         }
     }
 
-    fn make_ready(&self, node: usize, slot: SlotId) {
+    fn make_ready(&self, src: usize, node: usize, slot: SlotId) {
         self.outstanding.fetch_add(1, Ordering::AcqRel);
-        // Send can only fail after shutdown; the supervisor owns the
-        // error reporting in that case.
-        let _ = self.senders[node].send(NodeMsg::Ready(slot));
+        self.push(src, node, LaneMsg::Ready(slot));
     }
 
     /// Called when a fiber finishes; returns true if the machine became
@@ -330,8 +406,11 @@ impl<S> Shared<S> {
     }
 
     fn broadcast_shutdown(&self) {
-        for tx in &self.senders {
-            let _ = tx.send(NodeMsg::Shutdown);
+        self.shutdown.store(true, Ordering::SeqCst);
+        for ns in &self.nodes {
+            if let Some(t) = ns.thread.get() {
+                t.unpark();
+            }
         }
     }
 
@@ -352,6 +431,11 @@ impl<S> Shared<S> {
 }
 
 /// The [`FiberCtx`] implementation for the native backend.
+///
+/// One context lives per node thread and is reused across firings so
+/// the `ops`/`tbuf` allocations amortise; the node's mailbox is lent
+/// to it (`mem::take`) around each fiber body so `recv` is a plain
+/// local `HashMap` lookup with no locking.
 pub struct NativeCtx<S> {
     node: usize,
     num_nodes: usize,
@@ -360,6 +444,8 @@ pub struct NativeCtx<S> {
     /// Events the fiber body emitted; flushed (timestamped) when the
     /// fiber retires, like split-phase ops.
     tbuf: Vec<TraceKind>,
+    /// The node's mailbox, on loan while a fiber body runs.
+    inbox: HashMap<u64, VecDeque<Value>>,
 }
 
 enum PendingOp<S> {
@@ -419,11 +505,15 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
     }
 
     fn recv(&mut self, key: u64) -> Option<Value> {
-        let mut mb = self.shared.nodes[self.node].mailbox.lock().unwrap();
-        let q = mb.get_mut(&key)?;
+        let q = self.inbox.get_mut(&key)?;
         let v = q.pop_front();
         if q.is_empty() {
-            mb.remove(&key);
+            self.inbox.remove(&key);
+        }
+        if v.is_some() {
+            self.shared.nodes[self.node]
+                .inbox_depth
+                .fetch_sub(1, Ordering::Relaxed);
         }
         v
     }
@@ -465,23 +555,24 @@ impl<S: Send + 'static> FiberCtx<S> for NativeCtx<S> {
 }
 
 /// Land one sync decrement, routed through the dedup filter when a
-/// fault plan is active.
+/// fault plan is active. `src` is the issuing thread's lane index.
 fn deliver_sync<S>(
     shared: &Shared<S>,
     plan: Option<&FaultPlan>,
+    src: usize,
     node: usize,
     slot: SlotId,
     dup: bool,
 ) {
     match plan {
-        None => shared.dec(node, slot),
+        None => shared.dec(src, node, slot),
         Some(p) => {
             let id = p.next_op_id();
             let times = if dup { 2 } else { 1 };
             for _ in 0..times {
                 // A duplicate reuses the id; the filter admits it once.
                 if p.first_delivery(id) {
-                    shared.dec(node, slot);
+                    shared.dec(src, node, slot);
                 }
             }
         }
@@ -489,23 +580,25 @@ fn deliver_sync<S>(
 }
 
 /// Deposit a data payload and land its sync half, dedup-filtered.
+///
+/// The deposit is pushed before the decrement on the same lane, so the
+/// receiver that drains its lanes before firing a ready fiber is
+/// guaranteed to have the payload in its mailbox (see [`drain_lanes`]).
+#[allow(clippy::too_many_arguments)]
 fn deliver_data<S>(
     shared: &Shared<S>,
     plan: Option<&FaultPlan>,
+    src: usize,
     node: usize,
     key: u64,
     value: Value,
     slot: SlotId,
     dup: bool,
 ) {
-    let deposit = |v: Value| {
-        let mut mb = shared.nodes[node].mailbox.lock().unwrap();
-        mb.entry(key).or_default().push_back(v);
-    };
     match plan {
         None => {
-            deposit(value);
-            shared.dec(node, slot);
+            shared.push_deposit(src, node, key, value);
+            shared.dec(src, node, slot);
         }
         Some(p) => {
             let id = p.next_op_id();
@@ -517,8 +610,8 @@ fn deliver_data<S>(
             for _ in 0..times {
                 if p.first_delivery(id) {
                     if let Some(v) = value.take() {
-                        deposit(v);
-                        shared.dec(node, slot);
+                        shared.push_deposit(src, node, key, v);
+                        shared.dec(src, node, slot);
                     }
                 }
             }
@@ -526,20 +619,28 @@ fn deliver_data<S>(
     }
 }
 
-fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec<PendingOp<S>>) {
-    let plan = shared.faults.as_ref();
-    // Decide each message op's fate up front; reordered ops move behind
-    // their batch siblings (the only schedule perturbation that cannot
-    // lose work — cross-batch order is already unconstrained).
-    let ops: Vec<(PendingOp<S>, MessageFault)> = match plan {
-        None => ops
-            .into_iter()
-            .map(|op| (op, MessageFault::Deliver))
-            .collect(),
+/// Flush a retired fiber's buffered split-phase ops. Takes the op
+/// buffer by `&mut` and drains it so the allocation is reused across
+/// firings.
+fn apply_ops<S: Send + 'static>(
+    shared: &Arc<Shared<S>>,
+    op_src: usize,
+    ops: &mut Vec<PendingOp<S>>,
+) {
+    match shared.faults.as_ref() {
+        None => {
+            for op in ops.drain(..) {
+                dispatch_op(shared, None, op_src, op, MessageFault::Deliver);
+            }
+        }
         Some(p) => {
+            // Decide each message op's fate up front; reordered ops move
+            // behind their batch siblings (the only schedule perturbation
+            // that cannot lose work — cross-batch order is already
+            // unconstrained).
             let mut now = Vec::with_capacity(ops.len());
             let mut later = Vec::new();
-            for op in ops {
+            for op in ops.drain(..) {
                 let fate = match &op {
                     PendingOp::Sync { node, slot } => p.message_fault(op_src, *node, *slot),
                     PendingOp::Data { node, slot, .. } => p.message_fault(op_src, *node, *slot),
@@ -552,103 +653,116 @@ fn apply_ops<S: Send + 'static>(shared: &Arc<Shared<S>>, op_src: usize, ops: Vec
                 }
             }
             now.append(&mut later);
-            now
-        }
-    };
-    for (op, fate) in ops {
-        if let MessageFault::Delay { micros } = fate {
-            // The issuing SU holds the message: modeled network latency.
-            std::thread::sleep(Duration::from_micros(micros));
-        }
-        let dup = fate == MessageFault::Duplicate;
-        match op {
-            PendingOp::Sync { node, slot } => {
-                shared.syncs.fetch_add(1, Ordering::Relaxed);
-                if shared.tracing {
-                    shared.record(
-                        op_src as u32,
-                        TraceKind::Sync {
-                            to_node: node as u32,
-                            slot,
-                        },
-                    );
-                    if fate != MessageFault::Deliver {
-                        shared.record(
-                            op_src as u32,
-                            TraceKind::FaultInjected {
-                                kind: fault_kind(fate),
-                            },
-                        );
-                    }
-                }
-                if fate == MessageFault::Drop {
-                    continue;
-                }
-                deliver_sync(shared, plan, node, slot, dup);
+            for (op, fate) in now {
+                dispatch_op(shared, Some(p), op_src, op, fate);
             }
-            PendingOp::Data {
-                node,
-                key,
-                value,
-                slot,
-            } => {
-                shared.messages.fetch_add(1, Ordering::Relaxed);
-                let bytes = value.bytes();
-                shared.bytes.fetch_add(bytes, Ordering::Relaxed);
-                if shared.tracing {
+        }
+    }
+}
+
+fn dispatch_op<S: Send + 'static>(
+    shared: &Arc<Shared<S>>,
+    plan: Option<&FaultPlan>,
+    op_src: usize,
+    op: PendingOp<S>,
+    fate: MessageFault,
+) {
+    if let MessageFault::Delay { micros } = fate {
+        // The issuing SU holds the message: modeled network latency.
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+    let dup = fate == MessageFault::Duplicate;
+    match op {
+        PendingOp::Sync { node, slot } => {
+            shared.syncs.fetch_add(1, Ordering::Relaxed);
+            if shared.tracing {
+                shared.record(
+                    op_src as u32,
+                    TraceKind::Sync {
+                        to_node: node as u32,
+                        slot,
+                    },
+                );
+                if fate != MessageFault::Deliver {
                     shared.record(
                         op_src as u32,
-                        TraceKind::MsgSend {
-                            to_node: node as u32,
-                            bytes,
+                        TraceKind::FaultInjected {
+                            kind: fault_kind(fate),
                         },
                     );
-                    if fate != MessageFault::Deliver {
-                        shared.record(
-                            op_src as u32,
-                            TraceKind::FaultInjected {
-                                kind: fault_kind(fate),
-                            },
-                        );
-                    }
                 }
-                if fate == MessageFault::Drop {
-                    continue;
-                }
-                deliver_data(shared, plan, node, key, value, slot, dup);
+            }
+            if fate == MessageFault::Drop {
+                return;
+            }
+            deliver_sync(shared, plan, op_src, node, slot, dup);
+        }
+        PendingOp::Data {
+            node,
+            key,
+            value,
+            slot,
+        } => {
+            shared.messages.fetch_add(1, Ordering::Relaxed);
+            let bytes = value.bytes();
+            shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+            if shared.tracing {
                 shared.record(
-                    node as u32,
-                    TraceKind::MsgRecv {
-                        from_node: op_src as u32,
+                    op_src as u32,
+                    TraceKind::MsgSend {
+                        to_node: node as u32,
                         bytes,
                     },
                 );
-            }
-            PendingOp::Spawn { node, idx, spec } => {
-                shared.spawns.fetch_add(1, Ordering::Relaxed);
-                let ready_now = spec.sync_count == 0;
-                let _ = shared.senders[node].send(NodeMsg::Spawn(idx, spec));
-                if ready_now {
-                    shared.make_ready(node, idx);
+                if fate != MessageFault::Deliver {
+                    shared.record(
+                        op_src as u32,
+                        TraceKind::FaultInjected {
+                            kind: fault_kind(fate),
+                        },
+                    );
                 }
             }
-            PendingOp::Get {
+            if fate == MessageFault::Drop {
+                return;
+            }
+            deliver_data(shared, plan, op_src, node, key, value, slot, dup);
+            shared.record(
+                node as u32,
+                TraceKind::MsgRecv {
+                    from_node: op_src as u32,
+                    bytes,
+                },
+            );
+        }
+        PendingOp::Spawn { node, idx, spec } => {
+            shared.spawns.fetch_add(1, Ordering::Relaxed);
+            let ready_now = spec.sync_count == 0;
+            shared.push(op_src, node, LaneMsg::Spawn(idx, spec));
+            if ready_now {
+                shared.make_ready(op_src, node, idx);
+            }
+        }
+        PendingOp::Get {
+            node,
+            extract,
+            key,
+            slot,
+        } => {
+            // Counted like a ready item so shutdown waits for the
+            // round trip to complete.
+            shared.outstanding.fetch_add(1, Ordering::AcqRel);
+            let reply_to = op_src;
+            shared.push(
+                op_src,
                 node,
-                extract,
-                key,
-                slot,
-            } => {
-                // Counted like a ready item so shutdown waits for the
-                // round trip to complete.
-                shared.outstanding.fetch_add(1, Ordering::AcqRel);
-                let reply_to = op_src;
-                let _ = shared.senders[node].send(NodeMsg::Get {
+                LaneMsg::Get {
                     extract,
                     reply_to,
                     key,
                     slot,
-                });
-            }
+                },
+            );
         }
     }
 }
@@ -704,11 +818,7 @@ fn build_dump<S>(
                     }
                 })
                 .collect();
-            let queued_messages = ns
-                .mailbox
-                .try_lock()
-                .ok()
-                .map(|mb| mb.values().map(|q| q.len()).sum());
+            let queued_messages = Some(ns.inbox_depth.load(Ordering::Relaxed));
             let exit = exits.get(n).and_then(|e| e.as_ref());
             NodeDump {
                 node: n,
@@ -753,14 +863,6 @@ pub fn run_native_traced<S: Send + 'static>(
     sink: Arc<dyn TraceSink>,
 ) -> Result<NativeReport<S>, RunError> {
     let num_nodes = prog.num_nodes();
-    let mut senders = Vec::with_capacity(num_nodes);
-    let mut receivers = Vec::with_capacity(num_nodes);
-    for _ in 0..num_nodes {
-        let (tx, rx) = channel::<NodeMsg<S>>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
     let mut node_shared = Vec::with_capacity(num_nodes);
     let mut node_bodies: Vec<FiberSlots<S>> = Vec::new();
     let mut node_states = Vec::new();
@@ -780,7 +882,11 @@ pub fn run_native_traced<S: Send + 'static>(
             counts,
             resets,
             next_dyn: AtomicUsize::new(static_len),
-            mailbox: Mutex::new(HashMap::new()),
+            // One lane per node thread plus the external (seeding) lane.
+            lanes: (0..=num_nodes).map(|_| SpscQueue::new()).collect(),
+            inbox_depth: AtomicUsize::new(0),
+            sleeping: AtomicBool::new(false),
+            thread: OnceLock::new(),
         });
         node_bodies.push(bodies);
         node_states.push(nb.state);
@@ -800,7 +906,7 @@ pub fn run_native_traced<S: Send + 'static>(
 
     let shared = Arc::new(Shared {
         nodes: node_shared,
-        senders,
+        shutdown: AtomicBool::new(false),
         outstanding: AtomicI64::new(0),
         progress: AtomicU64::new(0),
         failure: Mutex::new(None),
@@ -826,7 +932,8 @@ pub fn run_native_traced<S: Send + 'static>(
                     if let Some(r) = spec.reset {
                         shared.nodes[n].counts[i].store(r as i64, Ordering::Relaxed);
                     }
-                    shared.make_ready(n, i as SlotId);
+                    // The supervising thread seeds through the external lane.
+                    shared.make_ready(num_nodes, n, i as SlotId);
                     any_ready = true;
                 }
             }
@@ -859,131 +966,305 @@ pub fn run_native_traced<S: Send + 'static>(
         });
     }
 
+    // Spin budget while idle before parking: pointless on a single
+    // hardware thread (nothing else can run while we spin), cheap
+    // insurance against park/unpark latency on real SMPs.
+    let spin: u32 = std::thread::available_parallelism()
+        .map(|p| if p.get() > 1 { 128 } else { 0 })
+        .unwrap_or(0);
+
+    // How many OS threads host the logical nodes (see
+    // `NativeConfig::host_threads`). Fault plans pin one node per
+    // thread so an injected stall pauses exactly that node.
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let os_threads = if shared.faults.is_some() {
+        num_nodes
+    } else {
+        cfg.host_threads.unwrap_or(hw).clamp(1, num_nodes)
+    };
+
     let start = Instant::now();
     let (done_tx, done_rx) = channel::<NodeExit<S>>();
-    for (node, ((mut bodies, mut state), rx)) in node_bodies
+
+    /// One logical node's run state, bundled so a host thread can own
+    /// several nodes and round-robin them as an event loop.
+    struct NodeRt<S: Send + 'static> {
+        node: usize,
+        bodies: FiberSlots<S>,
+        state: S,
+        ctx: NativeCtx<S>,
+        inbox: HashMap<u64, VecDeque<Value>>,
+        work: VecDeque<LaneMsg<S>>,
+        pending_ready: Vec<SlotId>,
+        fired: u64,
+        fired_per_fiber: Vec<u64>,
+    }
+
+    let mut rts: Vec<NodeRt<S>> = node_bodies
         .into_iter()
         .zip(node_states)
-        .zip(receivers)
         .enumerate()
-    {
-        let rx: Receiver<NodeMsg<S>> = rx;
+        .map(|(node, (bodies, state))| NodeRt {
+            node,
+            ctx: NativeCtx {
+                node,
+                num_nodes,
+                shared: Arc::clone(&shared),
+                ops: Vec::new(),
+                tbuf: Vec::new(),
+                inbox: HashMap::new(),
+            },
+            fired_per_fiber: vec![0u64; bodies.len()],
+            bodies,
+            state,
+            inbox: HashMap::new(),
+            work: VecDeque::new(),
+            pending_ready: Vec::new(),
+            fired: 0,
+        })
+        .collect();
+
+    // Contiguous node→thread chunks keep ring neighbours co-hosted,
+    // so most portion handoffs on an oversubscribed host stay on one
+    // thread. Split from the back so `split_off` peels each chunk.
+    for tid in (0..os_threads).rev() {
+        let lo = tid * num_nodes / os_threads;
+        let mut group = rts.split_off(lo);
+        if group.is_empty() {
+            continue;
+        }
         let shared = Arc::clone(&shared);
         let done_tx = done_tx.clone();
         // The handle is dropped (thread detached): the supervisor awaits
-        // the exit record instead of joining, so a thread wedged inside a
-        // blocked fiber body cannot hang the run.
+        // the exit records instead of joining, so a thread wedged inside
+        // a blocked fiber body cannot hang the run.
         std::thread::spawn(move || {
-            let mut fired_per_fiber = vec![0u64; bodies.len()];
-            let mut pending_ready: Vec<SlotId> = Vec::new();
-            let mut fired = 0u64;
-            'node: loop {
-                let msg = match rx.recv() {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
-                match msg {
-                    NodeMsg::Shutdown => break,
-                    NodeMsg::Get {
-                        extract,
-                        reply_to,
-                        key,
-                        slot,
-                    } => {
-                        // The node's SU role: service the remote read
-                        // against local state, reply, then retire the
-                        // outstanding item.
-                        let value = extract(&state);
-                        shared.messages.fetch_add(1, Ordering::Relaxed);
-                        let bytes = value.bytes();
-                        shared.bytes.fetch_add(bytes, Ordering::Relaxed);
-                        shared.record(
-                            node as u32,
-                            TraceKind::MsgSend {
-                                to_node: reply_to as u32,
-                                bytes,
-                            },
-                        );
-                        shared.record(
-                            reply_to as u32,
-                            TraceKind::MsgRecv {
-                                from_node: node as u32,
-                                bytes,
-                            },
-                        );
-                        {
-                            let mut mb = shared.nodes[reply_to].mailbox.lock().unwrap();
-                            mb.entry(key).or_default().push_back(value);
-                        }
-                        shared.dec(reply_to, slot);
-                        if shared.finish_one() {
-                            shared.broadcast_shutdown();
-                        }
+            for rt in &group {
+                shared.nodes[rt.node]
+                    .thread
+                    .set(std::thread::current())
+                    .expect("node thread registers once");
+            }
+            // Park events are attributed to the group's first node; a
+            // multiplexing thread parks once for all its nodes.
+            let lead = group[0].node as u32;
+            'run: loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut any = false;
+                for rt in group.iter_mut() {
+                    let ns = &shared.nodes[rt.node];
+                    drain_lanes(ns, &mut rt.inbox, &mut rt.work);
+                    if rt.work.is_empty() {
+                        continue;
                     }
-                    NodeMsg::Spawn(idx, spec) => {
-                        if bodies.len() <= idx as usize {
-                            bodies.resize_with(idx as usize + 1, || None);
-                            fired_per_fiber.resize(idx as usize + 1, 0);
+                    any = true;
+                    while let Some(msg) = rt.work.pop_front() {
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            break 'run;
                         }
-                        bodies[idx as usize] = Some(spec);
-                        if let Some(pos) = pending_ready.iter().position(|&p| p == idx) {
-                            pending_ready.swap_remove(pos);
-                            if !run_one(
-                                node,
-                                idx,
-                                &mut bodies,
-                                &mut state,
-                                &shared,
-                                &mut fired,
-                                &mut fired_per_fiber,
-                            ) {
-                                break 'node;
+                        match msg {
+                            LaneMsg::Deposit { key, value } => {
+                                // Normally routed by `drain_lanes`; kept
+                                // for totality.
+                                rt.inbox.entry(key).or_default().push_back(value);
+                            }
+                            LaneMsg::Get {
+                                extract,
+                                reply_to,
+                                key,
+                                slot,
+                            } => {
+                                // The node's SU role: service the remote
+                                // read against local state, reply, then
+                                // retire the outstanding item.
+                                let value = extract(&rt.state);
+                                shared.messages.fetch_add(1, Ordering::Relaxed);
+                                let bytes = value.bytes();
+                                shared.bytes.fetch_add(bytes, Ordering::Relaxed);
+                                shared.record(
+                                    rt.node as u32,
+                                    TraceKind::MsgSend {
+                                        to_node: reply_to as u32,
+                                        bytes,
+                                    },
+                                );
+                                shared.record(
+                                    reply_to as u32,
+                                    TraceKind::MsgRecv {
+                                        from_node: rt.node as u32,
+                                        bytes,
+                                    },
+                                );
+                                shared.push_deposit(rt.node, reply_to, key, value);
+                                shared.dec(rt.node, reply_to, slot);
+                                if shared.finish_one() {
+                                    shared.broadcast_shutdown();
+                                }
+                            }
+                            LaneMsg::Spawn(idx, spec) => {
+                                if rt.bodies.len() <= idx as usize {
+                                    rt.bodies.resize_with(idx as usize + 1, || None);
+                                    rt.fired_per_fiber.resize(idx as usize + 1, 0);
+                                }
+                                rt.bodies[idx as usize] = Some(spec);
+                                if let Some(pos) = rt.pending_ready.iter().position(|&p| p == idx) {
+                                    rt.pending_ready.swap_remove(pos);
+                                    drain_lanes(ns, &mut rt.inbox, &mut rt.work);
+                                    if !run_one(
+                                        rt.node,
+                                        idx,
+                                        &mut rt.bodies,
+                                        &mut rt.state,
+                                        &shared,
+                                        &mut rt.ctx,
+                                        &mut rt.inbox,
+                                        &mut rt.fired,
+                                        &mut rt.fired_per_fiber,
+                                    ) {
+                                        break 'run;
+                                    }
+                                }
+                            }
+                            LaneMsg::Ready(idx) => {
+                                if rt.bodies.get(idx as usize).is_none_or(|b| b.is_none()) {
+                                    // Spawn message not yet processed;
+                                    // defer.
+                                    rt.pending_ready.push(idx);
+                                    continue;
+                                }
+                                // Pull in every deposit that
+                                // happened-before this Ready (see
+                                // `drain_lanes`) so the fiber finds its
+                                // data on arrival.
+                                drain_lanes(ns, &mut rt.inbox, &mut rt.work);
+                                if !run_one(
+                                    rt.node,
+                                    idx,
+                                    &mut rt.bodies,
+                                    &mut rt.state,
+                                    &shared,
+                                    &mut rt.ctx,
+                                    &mut rt.inbox,
+                                    &mut rt.fired,
+                                    &mut rt.fired_per_fiber,
+                                ) {
+                                    break 'run;
+                                }
                             }
                         }
                     }
-                    NodeMsg::Ready(idx) => {
-                        if bodies.get(idx as usize).is_none_or(|b| b.is_none()) {
-                            // Spawn message not yet processed; defer.
-                            pending_ready.push(idx);
-                            continue;
-                        }
-                        if !run_one(
-                            node,
-                            idx,
-                            &mut bodies,
-                            &mut state,
-                            &shared,
-                            &mut fired,
-                            &mut fired_per_fiber,
-                        ) {
-                            break 'node;
+                }
+                if any {
+                    continue;
+                }
+                // Idle: spin a little, then arm every owned node's
+                // sleeping flag, recheck (the consumer half of the
+                // protocol in `Shared::push`, per node), and park once
+                // for the whole group.
+                let mut idle = true;
+                'spin: for _ in 0..spin {
+                    std::hint::spin_loop();
+                    for rt in group.iter_mut() {
+                        drain_lanes(&shared.nodes[rt.node], &mut rt.inbox, &mut rt.work);
+                        if !rt.work.is_empty() {
+                            idle = false;
+                            break 'spin;
                         }
                     }
                 }
+                if idle {
+                    for rt in group.iter() {
+                        shared.nodes[rt.node].sleeping.store(true, Ordering::SeqCst);
+                    }
+                    fence(Ordering::SeqCst);
+                    let mut have = false;
+                    for rt in group.iter_mut() {
+                        drain_lanes(&shared.nodes[rt.node], &mut rt.inbox, &mut rt.work);
+                        if !rt.work.is_empty() {
+                            have = true;
+                        }
+                    }
+                    if !have && !shared.shutdown.load(Ordering::SeqCst) {
+                        let parked = Instant::now();
+                        shared.record(lead, TraceKind::NodeParked);
+                        // The timeout is pure insurance: correctness
+                        // relies on the flag protocol, not on it.
+                        std::thread::park_timeout(Duration::from_millis(10));
+                        shared.record(
+                            lead,
+                            TraceKind::NodeUnparked {
+                                parked_ns: parked.elapsed().as_nanos() as u64,
+                            },
+                        );
+                    }
+                    for rt in group.iter() {
+                        shared.nodes[rt.node]
+                            .sleeping
+                            .store(false, Ordering::SeqCst);
+                    }
+                }
             }
-            let never_fired = bodies
-                .iter()
-                .zip(fired_per_fiber.iter())
-                .filter(|(b, &f)| b.is_some() && f == 0)
-                .count() as u64;
-            let _ = done_tx.send(NodeExit {
-                node,
-                state,
-                fired,
-                never_fired,
-            });
+            for rt in group {
+                let never_fired = rt
+                    .bodies
+                    .iter()
+                    .zip(rt.fired_per_fiber.iter())
+                    .filter(|(b, &f)| b.is_some() && f == 0)
+                    .count() as u64;
+                let _ = done_tx.send(NodeExit {
+                    node: rt.node,
+                    state: rt.state,
+                    fired: rt.fired,
+                    never_fired,
+                });
+            }
         });
     }
     drop(done_tx);
 
+    /// Move everything queued on `ns`'s lanes into the node-local state:
+    /// deposits into the mailbox, everything else onto the work queue.
+    ///
+    /// Calling this immediately before firing a ready fiber is what
+    /// keeps EARTH's data-before-sync guarantee on lock-free lanes: a
+    /// sender pushes its deposit (Release) *before* its sync decrement
+    /// (AcqRel RMW), the RMW chain on the sync counter carries that
+    /// edge to whichever thread performs the final decrement, and that
+    /// thread's Ready push (Release) is what the consumer popped
+    /// (Acquire) to get here — so every deposit ordered before the
+    /// firing is already visible on some lane, whatever thread sent it.
+    fn drain_lanes<S>(
+        ns: &NodeShared<S>,
+        inbox: &mut HashMap<u64, VecDeque<Value>>,
+        work: &mut VecDeque<LaneMsg<S>>,
+    ) {
+        for lane in &ns.lanes {
+            while let Some(msg) = lane.pop() {
+                match msg {
+                    LaneMsg::Deposit { key, value } => {
+                        inbox.entry(key).or_default().push_back(value);
+                    }
+                    other => work.push_back(other),
+                }
+            }
+        }
+    }
+
     /// Run one ready fiber under supervision. Returns false when the
     /// firing failed (panic, injected or real) and the node must stop.
+    #[allow(clippy::too_many_arguments)]
     fn run_one<S: Send + 'static>(
         node: usize,
         idx: SlotId,
         bodies: &mut [Option<FiberSpec<S, NativeCtx<S>>>],
         state: &mut S,
         shared: &Arc<Shared<S>>,
+        ctx: &mut NativeCtx<S>,
+        inbox: &mut HashMap<u64, VecDeque<Value>>,
         fired: &mut u64,
         fired_per_fiber: &mut [u64],
     ) -> bool {
@@ -1011,17 +1292,13 @@ pub fn run_native_traced<S: Send + 'static>(
                 }
             }
         }
-        let mut ctx = NativeCtx {
-            node,
-            num_nodes: shared.nodes.len(),
-            shared: Arc::clone(shared),
-            ops: Vec::new(),
-            tbuf: Vec::new(),
-        };
+        // Lend the mailbox to the context for the body's `recv` calls.
+        ctx.inbox = std::mem::take(inbox);
         let fire_ts = if shared.tracing { shared.now() } else { 0 };
-        let outcome = catch_unwind(AssertUnwindSafe(|| (spec.body)(state, &mut ctx)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| (spec.body)(state, ctx)));
         let name = spec.name;
         bodies[idx as usize] = Some(spec);
+        *inbox = std::mem::take(&mut ctx.inbox);
         match outcome {
             Ok(()) => {
                 *fired += 1;
@@ -1045,8 +1322,7 @@ pub fn run_native_traced<S: Send + 'static>(
                         },
                     ));
                 }
-                let ops = std::mem::take(&mut ctx.ops);
-                apply_ops(shared, node, ops);
+                apply_ops(shared, node, &mut ctx.ops);
                 shared.progress.fetch_add(1, Ordering::Relaxed);
                 if shared.finish_one() {
                     shared.broadcast_shutdown();
@@ -1056,7 +1332,8 @@ pub fn run_native_traced<S: Send + 'static>(
             Err(payload) => {
                 // Discard the fiber's buffered split-phase ops: a crashed
                 // fiber sent nothing.
-                drop(ctx.ops);
+                ctx.ops.clear();
+                ctx.tbuf.clear();
                 shared.record_failure(node, idx, name, panic_message(payload));
                 false
             }

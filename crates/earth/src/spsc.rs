@@ -1,0 +1,268 @@
+//! An unbounded single-producer single-consumer queue on `std` atomics.
+//!
+//! The native backend keeps one of these per (sender, receiver) pair —
+//! a *lane* — so no lock is ever taken on the message path. The queue
+//! is a linked list of fixed-size segments:
+//!
+//! * the producer writes a slot, then publishes it by storing the
+//!   segment's `len` with `Release`;
+//! * the consumer loads `len` with `Acquire` before reading a slot, so
+//!   the slot write happens-before the read;
+//! * a full segment is extended by linking a fresh one through `next`
+//!   (`Release` store / `Acquire` load), and the consumer frees each
+//!   segment once it has drained past it.
+//!
+//! Both cursors live in `UnsafeCell`s: the producer cursor is only ever
+//! touched by the single pushing thread, the consumer cursor only by
+//! the single popping thread. That contract is what makes the
+//! `unsafe impl Sync` below sound — callers must uphold it (the native
+//! backend does so by construction: lane *s* of node *d* is pushed only
+//! by thread *s* and popped only by thread *d*).
+//!
+//! `depth` is a relaxed counter kept for observability (stall dumps);
+//! it is approximate during concurrent access and exact at quiescence.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Slots per segment. Big enough that steady-state traffic amortises
+/// the allocation, small enough that an idle lane wastes little.
+const SEG_CAP: usize = 32;
+
+struct Segment<T> {
+    /// Number of published slots; slots `[0, len)` are initialised.
+    len: AtomicUsize,
+    next: AtomicPtr<Segment<T>>,
+    slots: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],
+}
+
+impl<T> Segment<T> {
+    fn alloc() -> *mut Segment<T> {
+        Box::into_raw(Box::new(Segment {
+            len: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+        }))
+    }
+}
+
+struct ProducerPos<T> {
+    seg: *mut Segment<T>,
+    /// Mirror of `seg.len` so the producer never re-reads the atomic.
+    filled: usize,
+}
+
+struct ConsumerPos<T> {
+    seg: *mut Segment<T>,
+    taken: usize,
+}
+
+/// See the module docs for the single-producer / single-consumer
+/// contract that `push` and `pop` callers must uphold.
+pub struct SpscQueue<T> {
+    tail: UnsafeCell<ProducerPos<T>>,
+    head: UnsafeCell<ConsumerPos<T>>,
+    depth: AtomicUsize,
+}
+
+// Sound under the documented SPSC contract: the two cursors are each
+// confined to one thread, and slot hand-off is ordered by the
+// Release/Acquire pair on `len` / `next`.
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    pub fn new() -> Self {
+        let seg = Segment::alloc();
+        SpscQueue {
+            tail: UnsafeCell::new(ProducerPos { seg, filled: 0 }),
+            head: UnsafeCell::new(ConsumerPos { seg, taken: 0 }),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue `value`. Must only be called from the producer thread.
+    pub fn push(&self, value: T) {
+        unsafe {
+            let p = &mut *self.tail.get();
+            if p.filled == SEG_CAP {
+                let next = Segment::alloc();
+                (*p.seg).next.store(next, Ordering::Release);
+                p.seg = next;
+                p.filled = 0;
+            }
+            (*(*p.seg).slots[p.filled].get()).write(value);
+            p.filled += 1;
+            (*p.seg).len.store(p.filled, Ordering::Release);
+        }
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dequeue the oldest value, if any. Must only be called from the
+    /// consumer thread.
+    pub fn pop(&self) -> Option<T> {
+        unsafe {
+            let c = &mut *self.head.get();
+            loop {
+                let len = (*c.seg).len.load(Ordering::Acquire);
+                if c.taken < len {
+                    let v = (*(*c.seg).slots[c.taken].get()).assume_init_read();
+                    c.taken += 1;
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    return Some(v);
+                }
+                if c.taken == SEG_CAP {
+                    let next = (*c.seg).next.load(Ordering::Acquire);
+                    if next.is_null() {
+                        return None;
+                    }
+                    // The producer linked `next` before it last touched
+                    // this segment; it will never look back at it.
+                    drop(Box::from_raw(c.seg));
+                    c.seg = next;
+                    c.taken = 0;
+                    continue;
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Approximate number of queued values (exact at quiescence).
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SpscQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        unsafe {
+            let c = &mut *self.head.get();
+            let mut seg = c.seg;
+            let mut taken = c.taken;
+            while !seg.is_null() {
+                let len = (*seg).len.load(Ordering::Acquire);
+                for i in taken..len {
+                    (*(*seg).slots[i].get()).assume_init_drop();
+                }
+                let next = (*seg).next.load(Ordering::Acquire);
+                drop(Box::from_raw(seg));
+                seg = next;
+                taken = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_segment() {
+        let q = SpscQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_across_many_segments() {
+        let q = SpscQueue::new();
+        let n = SEG_CAP * 17 + 5;
+        for i in 0..n {
+            q.push(i);
+        }
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_reuses_and_frees_segments() {
+        let q = SpscQueue::new();
+        let mut next_pop = 0usize;
+        let mut next_push = 0usize;
+        for round in 0..200 {
+            for _ in 0..(round % 7 + 1) {
+                q.push(next_push);
+                next_push += 1;
+            }
+            for _ in 0..(round % 5 + 1) {
+                if next_pop < next_push {
+                    assert_eq!(q.pop(), Some(next_pop));
+                    next_pop += 1;
+                }
+            }
+        }
+        while next_pop < next_push {
+            assert_eq!(q.pop(), Some(next_pop));
+            next_pop += 1;
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cross_thread_ordered_delivery() {
+        let q = Arc::new(SpscQueue::new());
+        let n = 100_000u64;
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    q.push(i);
+                }
+            })
+        };
+        let mut expect = 0u64;
+        while expect < n {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_undrained_values() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = SpscQueue::new();
+            for _ in 0..(SEG_CAP * 3 + 2) {
+                q.push(Counted(Arc::clone(&drops)));
+            }
+            drop(q.pop()); // one drained value dropped by us
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), SEG_CAP * 3 + 2);
+    }
+}

@@ -13,6 +13,12 @@ pub enum Value {
     Int(i64),
     /// A block of doubles (`BLKMOV`) — e.g. a rotating reduction portion.
     F64s(Box<[f64]>),
+    /// A block of doubles shared between several in-flight messages
+    /// (e.g. one broadcast segment fanned out to `P − 1` destinations):
+    /// cloning the `Value` clones the `Arc`, not the data. The network
+    /// still charges the full payload size per message — sharing is a
+    /// sender-side memory optimization, not a modeled hardware feature.
+    F64sShared(std::sync::Arc<[f64]>),
     /// A block of 32-bit indices.
     U32s(Box<[u32]>),
     /// A pure synchronization token carrying no data.
@@ -25,6 +31,7 @@ impl Value {
         match self {
             Value::Scalar(_) | Value::Int(_) => 8,
             Value::F64s(v) => 8 * v.len() as u64,
+            Value::F64sShared(v) => 8 * v.len() as u64,
             Value::U32s(v) => 4 * v.len() as u64,
             Value::Unit => 0,
         }
@@ -34,14 +41,18 @@ impl Value {
     pub fn expect_f64s(&self) -> &[f64] {
         match self {
             Value::F64s(v) => v,
+            Value::F64sShared(v) => v,
             other => panic!("expected F64s payload, got {other:?}"),
         }
     }
 
-    /// Consume into a boxed slice of doubles; panics when the variant differs.
+    /// Consume into a boxed slice of doubles; panics when the variant
+    /// differs. A shared payload is copied out (the rare path — hot
+    /// consumers borrow via [`Self::expect_f64s`] instead).
     pub fn into_f64s(self) -> Box<[f64]> {
         match self {
             Value::F64s(v) => v,
+            Value::F64sShared(v) => v.to_vec().into_boxed_slice(),
             other => panic!("expected F64s payload, got {other:?}"),
         }
     }
@@ -117,6 +128,18 @@ mod tests {
     #[should_panic(expected = "expected F64s")]
     fn wrong_variant_panics() {
         Value::Unit.expect_f64s();
+    }
+
+    #[test]
+    fn shared_blocks_behave_like_owned() {
+        let seg: std::sync::Arc<[f64]> = vec![1.0, 2.0, 3.0].into();
+        let v = Value::F64sShared(std::sync::Arc::clone(&seg));
+        assert_eq!(v.bytes(), 24);
+        assert_eq!(v.expect_f64s(), &[1.0, 2.0, 3.0]);
+        // Cloning the value shares the block instead of copying it.
+        let c = v.clone();
+        assert_eq!(std::sync::Arc::strong_count(&seg), 3);
+        assert_eq!(&*c.into_f64s(), &[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -142,6 +142,7 @@ fn strict_cfg(faults: Option<FaultConfig>) -> NativeConfig {
         watchdog: Duration::from_secs(5),
         faults,
         starved_is_error: true,
+        host_threads: None,
     }
 }
 
@@ -427,6 +428,7 @@ fn watchdog_reports_deadlocked_program_within_deadline() {
         watchdog: Duration::from_millis(400),
         faults: None,
         starved_is_error: true,
+        host_threads: None,
     };
     let started = Instant::now();
     match run_native_with(prog, cfg) {
@@ -473,6 +475,7 @@ fn watchdog_trips_on_wedged_fiber_body() {
         watchdog: Duration::from_millis(300),
         faults: None,
         starved_is_error: true,
+        host_threads: None,
     };
     let started = Instant::now();
     match run_native_with(prog, cfg) {

@@ -1,0 +1,102 @@
+//! Seeded-chaos stress test for the native backend's SPSC lanes.
+//!
+//! A producer thread pushes a strictly increasing sequence while the
+//! consumer drains concurrently; both sides run a seeded jitter
+//! schedule (bursts, yields, busy spins) so the interleaving varies
+//! per case the way a `FaultPlan` delay/reorder schedule varies
+//! message timing. Whatever the interleaving, the queue must deliver
+//! every value exactly once, in push order — no lost deposits, no
+//! duplicated ones — and report empty at quiescence.
+
+use std::sync::Arc;
+
+use earth_model::spsc::SpscQueue;
+use harness::prop::{check, Config, Gen};
+use harness::prop_assert;
+use harness::rng::Rng64;
+
+#[derive(Debug, Clone)]
+struct Chaos {
+    total: u32,
+    max_burst: u32,
+    producer_yield: f64,
+    consumer_yield: f64,
+    seed: u64,
+}
+
+fn gen_chaos(g: &mut Gen) -> Chaos {
+    Chaos {
+        total: g.u32_in(500..8_000),
+        max_burst: g.u32_in(1..64),
+        producer_yield: g.f64_in(0.0..0.4),
+        consumer_yield: g.f64_in(0.0..0.4),
+        seed: g.u64_any(),
+    }
+}
+
+fn run_chaos(c: &Chaos) -> Result<(), String> {
+    let q: Arc<SpscQueue<u32>> = Arc::new(SpscQueue::new());
+    let producer = {
+        let q = Arc::clone(&q);
+        let c = c.clone();
+        std::thread::spawn(move || {
+            let mut rng = Rng64::seed_from_u64(c.seed);
+            let mut next = 0u32;
+            while next < c.total {
+                let burst = 1 + rng.bounded_u64(c.max_burst as u64) as u32;
+                for _ in 0..burst {
+                    if next == c.total {
+                        break;
+                    }
+                    q.push(next);
+                    next += 1;
+                }
+                if rng.gen_bool(c.producer_yield) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        })
+    };
+
+    let mut rng = Rng64::seed_from_u64(c.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut expect = 0u32;
+    let mut idle = 0u64;
+    while expect < c.total {
+        match q.pop() {
+            Some(v) => {
+                idle = 0;
+                // In-order and exactly-once: any drop shows up as a
+                // skip, any duplicate as a repeat.
+                prop_assert!(v == expect, "got {v}, expected {expect} ({c:?})");
+                expect += 1;
+            }
+            None => {
+                idle += 1;
+                prop_assert!(idle < 500_000_000, "consumer starved at {expect} ({c:?})");
+                if rng.gen_bool(c.consumer_yield) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    producer
+        .join()
+        .map_err(|_| "producer panicked".to_string())?;
+    prop_assert!(q.pop().is_none(), "value beyond the sequence ({c:?})");
+    prop_assert!(q.is_empty(), "non-empty at quiescence ({c:?})");
+    Ok(())
+}
+
+#[test]
+fn spsc_no_lost_or_duplicated_deposits() {
+    check(
+        "spsc_no_lost_or_duplicated_deposits",
+        Config::cases(24),
+        gen_chaos,
+        run_chaos,
+    );
+}

@@ -215,7 +215,7 @@ fn ie_loop<K: EdgeKernel, M: Meter>(
 ) {
     let m = kernel.num_refs();
     let r_arrays = x.len();
-    let read: &[Vec<f64>] = &[];
+    let read: &[f64] = &[];
     let edge_reads = kernel.edge_reads_per_iter();
     let flops = kernel.flops_per_iter();
     for (j, &gi) in giters.iter().enumerate() {

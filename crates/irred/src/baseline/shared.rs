@@ -32,7 +32,7 @@ fn run_kernel_range<K: EdgeKernel>(
     assert_eq!(r_arrays, 1, "shared baselines support single-array groups");
     let mut out = vec![0.0f64; m];
     let mut elems = vec![0u32; m];
-    let read: Vec<Vec<f64>> = spec.kernel.init_read();
+    let read: Vec<f64> = spec.kernel.init_read();
     for i in range {
         for (r, e) in elems.iter_mut().enumerate() {
             *e = spec.indirection[r][i];

@@ -132,9 +132,16 @@ pub struct GatherNode {
     x: Vec<f64>,
     /// Local y block, indexed like `data.rows`.
     y: Vec<f64>,
+    /// Recycled portion-payload buffers (see the phased executor): the
+    /// boxes received from the ring predecessor are reused for our own
+    /// forwards, so the steady state allocates nothing per message.
+    pool: Vec<Box<[f64]>>,
     phase_cost: Vec<Option<u64>>,
     stream: StreamModel,
 }
+
+/// Most pooled payload buffers a node retains.
+const MAX_NODE_POOL: usize = 32;
 
 fn slot_of(abs: usize) -> SlotId {
     abs as SlotId
@@ -177,6 +184,12 @@ impl GatherNode {
             // SU-deposited (split-phase block move): no EU copy charge;
             // first-touch misses are paid by the metered loop.
             s.x[range.clone()].copy_from_slice(vals);
+            // Recycle the payload buffer for our own forwards.
+            if let Value::F64s(b) = payload {
+                if s.pool.len() < MAX_NODE_POOL {
+                    s.pool.push(b);
+                }
+            }
         }
         if tracing {
             ctx.trace(TraceKind::CopyExit {
@@ -220,10 +233,18 @@ impl GatherNode {
             if range.is_empty() {
                 ctx.sync(dest, slot_of(next_abs));
             } else {
+                // One contiguous copy into a recycled exact-length buffer
+                // (portion sizes take at most two distinct values).
+                let need = range.len();
+                let mut payload = match s.pool.iter().position(|b| b.len() == need) {
+                    Some(i) => s.pool.swap_remove(i),
+                    None => vec![0.0f64; need].into_boxed_slice(),
+                };
+                payload.copy_from_slice(&s.x[range.clone()]);
                 ctx.data_sync(
                     dest,
                     mailbox_key(TAG_XPORT, next_abs as u32),
-                    Value::F64s(s.x[range.clone()].to_vec().into_boxed_slice()),
+                    Value::F64s(payload),
                     slot_of(next_abs),
                 );
             }
@@ -367,14 +388,40 @@ impl PreparedGather {
         // phases degenerate to bare synchronization.
         let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.matrix.ncols)?;
         let rows = distribute(spec.matrix.nrows, strat.procs, strat.distribution);
-        let node_data = rows
-            .into_iter()
-            .enumerate()
-            .take(strat.procs)
-            .map(|(proc, proc_rows)| {
-                Arc::new(GatherNodePlan::new(&spec.matrix, geometry, proc, proc_rows))
+        // Per-node phase bucketing only reads the shared matrix, so the
+        // passes run in parallel on multi-core hosts; collecting in
+        // processor order keeps the result identical to the serial build.
+        let parallel = strat.procs > 1
+            && std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false);
+        let node_data: Vec<Arc<GatherNodePlan>> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .into_iter()
+                    .enumerate()
+                    .take(strat.procs)
+                    .map(|(proc, proc_rows)| {
+                        let matrix = &spec.matrix;
+                        scope.spawn(move || {
+                            Arc::new(GatherNodePlan::new(matrix, geometry, proc, proc_rows))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bucketing pass panicked"))
+                    .collect()
             })
-            .collect();
+        } else {
+            rows.into_iter()
+                .enumerate()
+                .take(strat.procs)
+                .map(|(proc, proc_rows)| {
+                    Arc::new(GatherNodePlan::new(&spec.matrix, geometry, proc, proc_rows))
+                })
+                .collect()
+        };
         let (mem_cfg, template) = match cfg.backend {
             BackendKind::Sim => (cfg.sim.mem, GatherTemplate::Sim(build_template(strat))),
             BackendKind::Native => (
@@ -443,6 +490,7 @@ impl PreparedGather {
                     data,
                     x,
                     y,
+                    pool: Vec::new(),
                     phase_cost,
                     stream: StreamModel::new(self.mem_cfg),
                 }
@@ -464,6 +512,9 @@ impl PreparedGather {
             }
             ws.put_buffer(node.x);
             ws.put_buffer(node.y);
+            for b in node.pool {
+                ws.put_buffer(b.into_vec());
+            }
         }
         if sim {
             ws.store_costs(self.token, harvest);

@@ -38,9 +38,13 @@ pub trait EdgeKernel: Send + Sync + 'static {
         0
     }
 
-    /// Initial contents of the read arrays, each of the reduction
-    /// array's length. Called once per node.
-    fn init_read(&self) -> Vec<Vec<f64>> {
+    /// Initial contents of the read arrays in *element-major interleaved*
+    /// layout: `num_elements * num_read_arrays()` doubles, where
+    /// `read[el * num_read_arrays() + a]` is read array `a` at element
+    /// `el`. One struct of `num_read_arrays()` doubles per element — a
+    /// kernel iteration touches one cache line per referenced element,
+    /// not one per component. Called once per prepare.
+    fn init_read(&self) -> Vec<f64> {
         Vec::new()
     }
 
@@ -54,13 +58,15 @@ pub trait EdgeKernel: Send + Sync + 'static {
 
     /// Compute the contributions of (global) iteration `iter`.
     ///
-    /// * `read` — the node's replicated read arrays;
+    /// * `read` — the node's replicated read arrays, element-major
+    ///   interleaved: `read[el * num_read_arrays() + a]` (see
+    ///   [`Self::init_read`]); empty when `num_read_arrays() == 0`;
     /// * `elems` — the `m` global reduction elements this iteration
     ///   updates (original indirection values);
     /// * `out` — `num_refs() * num_arrays()` slots, laid out
     ///   `out[r * num_arrays() + a]` = contribution to array `a` through
     ///   reference `r`. All slots are pre-zeroed.
-    fn contrib(&self, read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]);
+    fn contrib(&self, read: &[f64], iter: usize, elems: &[u32], out: &mut [f64]);
 
     /// Arithmetic cost of one `contrib` call, in floating-point ops.
     fn flops_per_iter(&self) -> u64 {
@@ -80,9 +86,12 @@ pub trait EdgeKernel: Send + Sync + 'static {
 
     /// Node-level update executed once per sweep on each portion when
     /// its reduction values are final (e.g. position integration from
-    /// forces). `x[a][i]` is the final value of reduction array `a` at
-    /// element `range.start + i`. Returns whether `read` was modified.
-    fn post_sweep(&self, read: &mut [Vec<f64>], range: Range<usize>, x: &[&[f64]]) -> bool {
+    /// forces). `read` is the full interleaved read buffer (index
+    /// `v * num_read_arrays() + a` for global element `v`); `x` holds
+    /// the portion's final reduction values, interleaved:
+    /// `x[i * num_arrays() + a]` is array `a` at element
+    /// `range.start + i`. Returns whether `read` was modified.
+    fn post_sweep(&self, read: &mut [f64], range: Range<usize>, x: &[f64]) -> bool {
         let _ = (read, range, x);
         false
     }
@@ -101,7 +110,7 @@ pub struct WeightedPairKernel {
 }
 
 impl EdgeKernel for WeightedPairKernel {
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         let w = self.weights[iter];
         out[0] = w;
         out[1] = 2.0 * w;
@@ -144,7 +153,7 @@ mod tests {
         let k = WeightedPairKernel {
             weights: Arc::new(vec![]),
         };
-        let mut read: Vec<Vec<f64>> = vec![];
+        let mut read: Vec<f64> = vec![];
         assert!(!k.post_sweep(&mut read, 0..0, &[]));
     }
 }

@@ -76,7 +76,7 @@ pub use kernel::EdgeKernel;
 pub use phased::{PhasedEngine, PhasedError, PhasedSpec, PreparedPhased};
 pub use prepared::{PlanToken, Workspace};
 pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
-pub use strategy::{StrategyConfig, StrategyError};
+pub use strategy::{LoopLayout, StrategyConfig, StrategyError};
 pub use workloads::Distribution;
 
 /// Compare two reduction results element-wise with a tolerance that

@@ -31,6 +31,8 @@
 //! already-measured prepared plan replay the cached steady-state costs
 //! via the [`Workspace`] and skip metering entirely.
 
+use std::cell::UnsafeCell;
+use std::ops::Range;
 use std::sync::Arc;
 
 use earth_model::native::{run_native_traced, NativeConfig, NativeCtx};
@@ -118,6 +120,10 @@ struct Regions {
 struct NodePlanData {
     geometry: PhaseGeometry,
     plan: InspectorPlan,
+    /// Flattened CSR-style schedule derived from `plan` (iter-major
+    /// `m`-interleaved refs + concatenated copy ops) — the fast path
+    /// streams these contiguously instead of walking the nested plan.
+    flat: lightinspector::FlatPlan,
     /// Global iteration ids per phase, phase-major.
     giters: Vec<Vec<u32>>,
     /// Original global element ids per phase, `m`-interleaved.
@@ -178,9 +184,11 @@ impl NodePlanData {
             edge: am.alloc_f64(total_iterations.max(1)),
             copies: am.alloc(plan.total_copies().max(1), 8),
         };
+        let flat = plan.flatten();
         NodePlanData {
             geometry: plan.geometry,
             plan,
+            flat,
             giters,
             elems,
             phase_off,
@@ -191,18 +199,48 @@ impl NodePlanData {
 
 /// State of one node (the "procedure frame" of the phased program):
 /// the shared plan data plus this execute's mutable buffers.
+///
+/// All per-element data is stored *element-major interleaved* (one
+/// struct of `num_arrays` / `num_read_arrays` doubles per element) —
+/// the layout the cache model has always charged for. A kernel
+/// iteration touches one cache line per referenced element instead of
+/// one per component, and every portion / broadcast segment is a single
+/// contiguous slice, so message assembly is one `memcpy`.
 pub struct PhasedNode<K> {
     proc: usize,
     sweeps: usize,
     kernel: Arc<K>,
     data: Arc<NodePlanData>,
-    /// Reduction arrays with buffer extension: `num_arrays` of
-    /// `num_elements + buffer_len`.
-    x: Vec<Vec<f64>>,
-    /// Replicated read arrays.
-    read: Vec<Vec<f64>>,
+    /// Reduction arrays with buffer extension, interleaved:
+    /// `(num_elements + buffer_len) * num_arrays` doubles. When
+    /// `region` is set (native flat runs) this holds *only* the buffer
+    /// extension — the element range lives in the shared region.
+    x: Vec<f64>,
+    /// Zero-copy portion handoff (native flat layout only): the element
+    /// range of the reduction arrays, shared with every other node. See
+    /// [`SharedX`] for the exclusivity and ordering argument. `None` on
+    /// the simulator (which models the message payloads) and under the
+    /// nested diagnostic layout.
+    region: Option<Arc<SharedX>>,
+    /// Zero-copy read refresh (native flat layout only): the
+    /// sweep-parity shared read buffers — see [`SharedRead`]. `None`
+    /// on the simulator and under the nested layout, which replicate
+    /// `read` per node and ship broadcast payloads.
+    shared_read: Option<Arc<SharedRead>>,
+    /// Replicated read arrays, interleaved: `num_elements *
+    /// num_read_arrays` doubles (empty when `shared_read` is set).
+    read: Vec<f64>,
+    /// Reduction-group width / read-group width (cached off the kernel).
+    r_arrays: usize,
+    n_read: usize,
+    /// Run the flattened fast-path loops (see [`StrategyConfig::layout`]).
+    flat: bool,
     /// Scratch for kernel contributions.
     out: Vec<f64>,
+    /// Recycled portion-payload buffers: boxes received from the ring
+    /// predecessor are reused for our own forwards, so the steady state
+    /// allocates nothing on the message path.
+    pool: Vec<Box<[f64]>>,
     /// Measured per-phase loop cost, replayed after the metering sweep
     /// (and seeded from the [`Workspace`] cost cache under plan reuse).
     phase_cost: Vec<Option<u64>>,
@@ -213,16 +251,146 @@ pub struct PhasedNode<K> {
     copy_overhead: u64,
     /// Own post-sweep read updates, staged until the next sweep starts so
     /// that all of a sweep's iterations see sweep-start read values (the
-    /// sequential semantics): `(portion, per-array segments)`.
-    staged: Vec<(usize, Vec<Vec<f64>>)>,
+    /// sequential semantics): `(portion, interleaved segment)`. The
+    /// segment is the same shared buffer the broadcast sends, so staging
+    /// costs a refcount, not a copy.
+    staged: Vec<(usize, Arc<[f64]>)>,
     /// Final portions collected during the last sweep:
-    /// `(portion, x segments, read segments)`.
+    /// `(portion, x segment, read segment)`, interleaved.
     results: Vec<FinalPortion>,
 }
 
-/// One node's final values for one portion: `(portion, x segments, read
-/// segments)`.
-type FinalPortion = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>);
+/// One node's final values for one portion: `(portion, interleaved x
+/// segment, interleaved read segment)`.
+type FinalPortion = (usize, Vec<f64>, Vec<f64>);
+
+/// The reduction arrays of a native flat-layout run, shared by every
+/// node: the ring rotation transfers portion *ownership* as a bare
+/// sync and the portion's doubles never travel. Sound because the
+/// phased plan gives each phase exclusive write access to exactly one
+/// portion range (scatters land in the owned portion or the node's
+/// private buffer extension; copy-folds target the owned portion), and
+/// the sync chain that enables a phase fiber — lane push (Release) →
+/// sync-counter RMW (AcqRel) → Ready push (Release) → lane pop
+/// (Acquire) — carries a happens-before edge from the previous owner's
+/// writes to the next owner's reads (see the ordering argument at
+/// `drain_lanes` in the native backend).
+struct SharedX {
+    data: UnsafeCell<Box<[f64]>>,
+    len: usize,
+}
+
+// SAFETY: access is partitioned by portion ownership as documented on
+// the type; the UnsafeCell is never touched outside owned ranges.
+unsafe impl Send for SharedX {}
+unsafe impl Sync for SharedX {}
+
+impl SharedX {
+    fn new(len: usize) -> Self {
+        SharedX {
+            data: UnsafeCell::new(vec![0.0f64; len].into_boxed_slice()),
+            len,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// # Safety
+    /// The caller must only dereference offsets inside portion ranges
+    /// it currently owns under the ring protocol (or its own copy-fold
+    /// destinations, which lie in the owned portion).
+    unsafe fn ptr(&self) -> *mut f64 {
+        (*self.data.get()).as_mut_ptr()
+    }
+
+    /// # Safety
+    /// `range` must lie inside a portion the caller currently owns; the
+    /// returned borrow must not outlive that ownership.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [f64] {
+        debug_assert!(range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr().add(range.start), range.len())
+    }
+}
+
+/// The replicated read arrays of a zero-copy native run, shared by
+/// every node as a sweep-parity ping-pong pair: during sweep `t` all
+/// nodes read `bufs[t & 1]`; the final owner of each portion writes
+/// that portion's segment of `bufs[(t + 1) & 1]` from its post-sweep
+/// update, and the broadcast degenerates to bare syncs.
+///
+/// Soundness of the parity reuse: the first write into parity
+/// `(t + 1) & 1` happens at some node's phase `(t, kp-k)` — enabling
+/// that fiber required its portion to travel the whole ring, i.e.
+/// every node executed the phase `(t, kp-k-j·k) ≥ (t, 0)` where it
+/// held the portion, and executing `(t, 0)` means that node's last
+/// read of the overwritten parity (its sweep `t-1` loops) is already
+/// ordered before the write by the portion/phase sync chain (each hop
+/// a Release push / Acquire pop pair). Readers of the freshly written
+/// parity start at `(t+1, 0)`, which the `kp-k` broadcast syncs
+/// order after every writer.
+struct SharedRead {
+    bufs: [UnsafeCell<Box<[f64]>>; 2],
+    len: usize,
+}
+
+// SAFETY: segment writes are exclusive per the portion-ownership
+// argument above; reads and writes of the same location are separated
+// by a full sweep of sync edges.
+unsafe impl Send for SharedRead {}
+unsafe impl Sync for SharedRead {}
+
+impl SharedRead {
+    /// `init` seeds the parity-0 buffer (sweep 0 reads it). The
+    /// parity-1 buffer is only allocated when the kernel updates read
+    /// state (otherwise parity 0 serves every sweep read-only).
+    fn new(init: &[f64], updates_read: bool) -> Self {
+        let other = if updates_read {
+            vec![0.0f64; init.len()]
+        } else {
+            Vec::new()
+        };
+        SharedRead {
+            bufs: [
+                UnsafeCell::new(init.to_vec().into_boxed_slice()),
+                UnsafeCell::new(other.into_boxed_slice()),
+            ],
+            len: init.len(),
+        }
+    }
+
+    /// The buffer every node reads during sweep `t`.
+    ///
+    /// # Safety
+    /// Caller must be a sweep-`t` fiber (reads are then ordered
+    /// against the parity's writers by the sync chain, see the type
+    /// docs). `updates_read` must match the kernel.
+    unsafe fn read_for(&self, t: usize, updates_read: bool) -> &[f64] {
+        let i = if updates_read { t & 1 } else { 0 };
+        &*self.bufs[i].get()
+    }
+
+    /// The segment the final owner of a portion writes during sweep
+    /// `t` (the other parity).
+    ///
+    /// # Safety
+    /// Caller must currently own the portion `range` belongs to at its
+    /// last visit of sweep `t`; each portion has exactly one such
+    /// fiber per sweep, so the writes are exclusive.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn write_for(&self, t: usize) -> &mut [f64] {
+        let i = (t + 1) & 1;
+        let buf: &mut [f64] = &mut *self.bufs[i].get();
+        debug_assert_eq!(buf.len(), self.len);
+        buf
+    }
+}
+
+/// Most pooled payload buffers a node retains (portion sizes take at
+/// most two distinct values, so a handful is plenty).
+const MAX_NODE_POOL: usize = 32;
 
 /// What [`PreparedPhased::finish`] assembles from the per-node portions:
 /// `(values, read, phase_iter_counts)`.
@@ -243,7 +411,8 @@ impl<K: EdgeKernel> PhasedNode<K> {
         let abs = t * kp + p;
         let first_visit = p < k;
         let last_visit = p >= kp - k;
-        let r_arrays = s.x.len();
+        let r_arrays = s.r_arrays;
+        let xr = range.start * r_arrays..range.end * r_arrays;
         let tracing = ctx.trace_enabled();
         if tracing {
             ctx.trace(TraceKind::PhaseEnter {
@@ -259,13 +428,15 @@ impl<K: EdgeKernel> PhasedNode<K> {
         // --- portion arrival / initialization ---------------------------
         if first_visit {
             // Reduction identity: zero the freshly owned portion.
-            for xa in &mut s.x {
-                xa[range.clone()].fill(0.0);
+            match &s.region {
+                // SAFETY: this fiber owns `portion` for the phase.
+                Some(reg) => unsafe { reg.slice_mut(xr.clone()) }.fill(0.0),
+                None => s.x[xr.clone()].fill(0.0),
             }
             if ctx.is_sim() && !range.is_empty() {
                 ctx.charge(s.stream.stream((range.len() * r_arrays) as u64, 8));
             }
-        } else if !range.is_empty() {
+        } else if !range.is_empty() && s.region.is_none() {
             let payload = ctx
                 .recv(mailbox_key(TAG_PORTION, abs as u32))
                 .expect("portion payload must have arrived");
@@ -273,25 +444,31 @@ impl<K: EdgeKernel> PhasedNode<K> {
             debug_assert_eq!(vals.len(), range.len() * r_arrays);
             // The SU deposits the payload directly into the portion's
             // memory (split-phase block move); the EU pays only the
-            // first-touch misses, which the metered loops charge.
-            for (a, xa) in s.x.iter_mut().enumerate() {
-                let seg = &vals[a * range.len()..(a + 1) * range.len()];
-                xa[range.clone()].copy_from_slice(seg);
+            // first-touch misses, which the metered loops charge. The
+            // interleaved wire format makes this one contiguous copy.
+            s.x[xr.clone()].copy_from_slice(vals);
+            // Recycle the payload buffer for our own forwards.
+            if let Value::F64s(b) = payload {
+                if s.pool.len() < MAX_NODE_POOL {
+                    s.pool.push(b);
+                }
             }
         }
 
         // --- read-array refresh at sweep start --------------------------
-        if p == 0 && t > 0 && s.kernel.updates_read_state() {
+        // Under shared read buffers (native zero-copy path) there is
+        // nothing to copy: the broadcast syncs that enabled this fiber
+        // already order the other-parity writes, and this sweep's loops
+        // read that parity directly.
+        if p == 0 && t > 0 && s.kernel.updates_read_state() && s.shared_read.is_none() {
             // Own staged updates from the previous sweep's post-sweep.
             let staged = std::mem::take(&mut s.staged);
-            for (pi, segs) in staged {
+            for (pi, seg) in staged {
                 let seg_range = g.portion_range(pi);
                 if seg_range.is_empty() {
                     continue;
                 }
-                for (a, ra) in s.read.iter_mut().enumerate() {
-                    ra[seg_range.clone()].copy_from_slice(&segs[a]);
-                }
+                s.read[seg_range.start * s.n_read..seg_range.end * s.n_read].copy_from_slice(&seg);
             }
             // Remote segments from the other nodes' final owners.
             for pi in 0..kp {
@@ -311,12 +488,9 @@ impl<K: EdgeKernel> PhasedNode<K> {
                 }
                 let payload = ctx.recv(key).expect("broadcast segment must have arrived");
                 let vals = payload.expect_f64s();
-                let len = seg_range.len();
-                debug_assert_eq!(vals.len(), len * s.read.len());
+                debug_assert_eq!(vals.len(), seg_range.len() * s.n_read);
                 // SU-deposited, like portion payloads: no EU copy charge.
-                for (a, ra) in s.read.iter_mut().enumerate() {
-                    ra[seg_range.clone()].copy_from_slice(&vals[a * len..(a + 1) * len]);
-                }
+                s.read[seg_range.start * s.n_read..seg_range.end * s.n_read].copy_from_slice(vals);
             }
         }
         if tracing {
@@ -330,7 +504,7 @@ impl<K: EdgeKernel> PhasedNode<K> {
         if ctx.is_sim() {
             match s.phase_cost[p] {
                 Some(c) => {
-                    s.exec_loops(p, &mut NullMeter);
+                    s.exec_loops(t, p, &mut NullMeter);
                     ctx.charge(c);
                 }
                 None => {
@@ -347,7 +521,7 @@ impl<K: EdgeKernel> PhasedNode<K> {
                 }
             }
         } else {
-            s.exec_loops(p, &mut NullMeter);
+            s.exec_loops(t, p, &mut NullMeter);
         }
         // Generated-code overhead of the phased loops (see SimConfig).
         if ctx.is_sim() {
@@ -358,61 +532,105 @@ impl<K: EdgeKernel> PhasedNode<K> {
         }
 
         // --- post-sweep on final values ----------------------------------
-        if last_visit {
+        if last_visit && s.shared_read.is_some() {
+            // Zero-copy path: the post-sweep update writes the portion's
+            // segment of the *other* parity buffer directly (this sweep's
+            // loops keep reading the current parity, preserving the
+            // sequential sweep-start semantics), and the broadcast
+            // degenerates to bare syncs.
+            let rr = range.start * s.n_read..range.end * s.n_read;
+            let sr = s.shared_read.clone().expect("checked above");
+            let updates = s.kernel.updates_read_state();
+            if updates && !range.is_empty() {
+                let reg = s
+                    .region
+                    .as_ref()
+                    .expect("shared read implies shared region");
+                // SAFETY: this fiber is the portion's unique final-visit
+                // owner for sweep `t` (see [`SharedRead`] / [`SharedX`]).
+                unsafe {
+                    let cur = sr.read_for(t, true);
+                    let next = sr.write_for(t);
+                    next[rr.clone()].copy_from_slice(&cur[rr.clone()]);
+                    let xs = reg.slice_mut(xr.clone());
+                    let changed = s.kernel.post_sweep(next, range.clone(), xs);
+                    debug_assert_eq!(changed, updates);
+                }
+            }
+            if updates && t + 1 < s.sweeps {
+                let dst_slot = slot_of(t + 1, 0, kp);
+                for d in 0..g.num_procs() {
+                    if d != s.proc {
+                        ctx.sync(d, dst_slot);
+                    }
+                }
+            }
+            if t + 1 == s.sweeps {
+                let reg = s
+                    .region
+                    .as_ref()
+                    .expect("shared read implies shared region");
+                // SAFETY: last visit of the last sweep — ownership never
+                // rotates again.
+                let xs = unsafe { reg.slice_mut(xr.clone()) }.to_vec();
+                let rs = if range.is_empty() {
+                    Vec::new()
+                } else if updates {
+                    unsafe { &sr.write_for(t)[rr] }.to_vec()
+                } else {
+                    unsafe { &sr.read_for(t, false)[rr] }.to_vec()
+                };
+                s.results.push((portion, xs, rs));
+            }
+        } else if last_visit {
             // Run the kernel's node-level update, but *stage* its writes
             // to the read arrays: the rest of this sweep (later phases on
             // this node) must keep seeing sweep-start read values, exactly
             // as a sequential time step would.
-            let mut updated: Vec<Vec<f64>> = Vec::new();
+            let rr = range.start * s.n_read..range.end * s.n_read;
+            let mut updated: Option<Arc<[f64]>> = None;
             if !range.is_empty() {
-                let snapshot: Vec<Vec<f64>> =
-                    s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect();
-                let xs: Vec<&[f64]> = s.x.iter().map(|xa| &xa[range.clone()]).collect();
-                let changed = s.kernel.post_sweep(&mut s.read, range.clone(), &xs);
+                let snapshot: Vec<f64> = s.read[rr.clone()].to_vec();
+                let changed = s
+                    .kernel
+                    .post_sweep(&mut s.read, range.clone(), &s.x[xr.clone()]);
                 if ctx.is_sim() {
                     ctx.flops(range.len() as u64 * s.kernel.post_flops_per_elem());
                 }
                 debug_assert_eq!(changed, s.kernel.updates_read_state());
                 if changed {
-                    updated = s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect();
-                    for (ra, snap) in s.read.iter_mut().zip(&snapshot) {
-                        ra[range.clone()].copy_from_slice(snap);
-                    }
+                    // One copy out into the shared segment; the broadcast,
+                    // the staging buffer, and the final results all alias
+                    // this one allocation.
+                    updated = Some(s.read[rr.clone()].into());
+                    s.read[rr.clone()].copy_from_slice(&snapshot);
                 }
             }
-            // Broadcast the refreshed segments for the next sweep and
-            // stage our own copy.
+            // Broadcast the refreshed segment for the next sweep and
+            // stage our own copy. The segment is built once and shared
+            // (`Arc`) across all `P − 1` destinations — no per-dest copy.
             if s.kernel.updates_read_state() && t + 1 < s.sweeps {
-                let len = range.len();
-                let mut seg = Vec::with_capacity(len * s.read.len());
-                for u in &updated {
-                    seg.extend_from_slice(u);
-                }
+                let seg: Arc<[f64]> = updated.clone().unwrap_or_else(|| Vec::new().into());
                 // Keyed by (sweep, portion): the receiver's sweep-start
                 // fiber iterates portions, not phases.
                 let key = mailbox_key(TAG_BCAST, (t * kp + portion) as u32);
                 let dst_slot = slot_of(t + 1, 0, kp);
                 for d in 0..g.num_procs() {
                     if d != s.proc {
-                        ctx.data_sync(
-                            d,
-                            key,
-                            Value::F64s(seg.clone().into_boxed_slice()),
-                            dst_slot,
-                        );
+                        ctx.data_sync(d, key, Value::F64sShared(Arc::clone(&seg)), dst_slot);
                     }
                 }
-                s.staged.push((portion, updated.clone()));
+                s.staged.push((portion, seg));
             }
-            // Keep final values after the last sweep. The read segments
-            // are the *updated* ones: the last time step's node update has
+            // Keep final values after the last sweep. The read segment
+            // is the *updated* one: the last time step's node update has
             // happened, matching the sequential executor.
             if t + 1 == s.sweeps {
-                let xs: Vec<Vec<f64>> = s.x.iter().map(|xa| xa[range.clone()].to_vec()).collect();
-                let rs: Vec<Vec<f64>> = if s.kernel.updates_read_state() {
-                    updated
+                let xs = s.x[xr.clone()].to_vec();
+                let rs = if s.kernel.updates_read_state() {
+                    updated.map(|u| u.to_vec()).unwrap_or_default()
                 } else {
-                    s.read.iter().map(|ra| ra[range.clone()].to_vec()).collect()
+                    s.read[rr].to_vec()
                 };
                 s.results.push((portion, xs, rs));
             }
@@ -429,19 +647,28 @@ impl<K: EdgeKernel> PhasedNode<K> {
                     to_node: dest as u32,
                 });
             }
-            if last_visit || range.is_empty() {
-                // Next visit starts a new sweep (receiver zeroes) or the
-                // portion is empty: a bare sync suffices.
+            if last_visit || range.is_empty() || s.region.is_some() {
+                // A bare sync suffices when the next visit starts a new
+                // sweep (the receiver zeroes), the portion is empty, or
+                // the run shares one region allocation (zero-copy
+                // handoff: ownership rotates, the doubles never travel —
+                // the sync chain carries the happens-before edge, see
+                // [`SharedX`]).
                 ctx.sync(dest, dst_slot);
             } else {
-                let mut payload = Vec::with_capacity(range.len() * r_arrays);
-                for xa in &s.x {
-                    payload.extend_from_slice(&xa[range.clone()]);
-                }
+                // One contiguous copy into a recycled buffer (portion
+                // sizes take at most two distinct values, so a pooled box
+                // of exactly the right length is almost always available).
+                let need = range.len() * r_arrays;
+                let mut payload = match s.pool.iter().position(|b| b.len() == need) {
+                    Some(i) => s.pool.swap_remove(i),
+                    None => vec![0.0f64; need].into_boxed_slice(),
+                };
+                payload.copy_from_slice(&s.x[xr]);
                 ctx.data_sync(
                     dest,
                     mailbox_key(TAG_PORTION, next_abs as u32),
-                    Value::F64s(payload.into_boxed_slice()),
+                    Value::F64s(payload),
                     dst_slot,
                 );
             }
@@ -459,30 +686,72 @@ impl<K: EdgeKernel> PhasedNode<K> {
         }
     }
 
-    /// Loop 1 + loop 2 without metering.
-    fn exec_loops(&mut self, p: usize, meter: &mut NullMeter) {
+    /// Loop 1 + loop 2 without metering: the native / replay hot path.
+    /// Under the default flat layout this streams the inspector's
+    /// flattened iteration schedule; the nested layout replays the same
+    /// float operations from the per-phase plan structures.
+    fn exec_loops(&mut self, t: usize, p: usize, _meter: &mut NullMeter) {
         let d = &self.data;
-        loops(
-            &*self.kernel,
-            &self.read,
-            &mut self.x,
-            &d.giters[p],
-            &d.elems[p],
-            &d.plan.phases[p],
-            &mut self.out,
-            &d.regions,
-            d.phase_off[p],
-            meter,
-        );
+        if let Some(reg) = &self.region {
+            let read: &[f64] = match &self.shared_read {
+                // SAFETY: called from a sweep-`t` fiber; see
+                // [`SharedRead::read_for`].
+                Some(sr) => unsafe { sr.read_for(t, self.kernel.updates_read_state()) },
+                None => &self.read,
+            };
+            loops_flat_region(
+                &*self.kernel,
+                read,
+                reg,
+                &mut self.x,
+                self.r_arrays,
+                &d.giters[p],
+                &d.elems[p],
+                d.flat.phase_refs(p),
+                d.flat.phase_copies(p),
+                &mut self.out,
+            );
+        } else if self.flat {
+            loops_flat(
+                &*self.kernel,
+                &self.read,
+                &mut self.x,
+                self.r_arrays,
+                &d.giters[p],
+                &d.elems[p],
+                d.flat.phase_refs(p),
+                d.flat.phase_copies(p),
+                &mut self.out,
+            );
+        } else {
+            loops(
+                &*self.kernel,
+                &self.read,
+                &mut self.x,
+                self.r_arrays,
+                self.n_read,
+                &d.giters[p],
+                &d.elems[p],
+                &d.plan.phases[p],
+                &mut self.out,
+                &d.regions,
+                d.phase_off[p],
+                &mut NullMeter,
+            );
+        }
     }
 
-    /// Loop 1 + loop 2 with full cache metering.
+    /// Loop 1 + loop 2 with full cache metering. Always runs the nested
+    /// plan walk so the meter sees the byte-identical access sequence
+    /// regardless of the layout knob.
     fn exec_loops_metered<M: Meter>(&mut self, p: usize, meter: &mut M) {
         let d = &self.data;
         loops(
             &*self.kernel,
             &self.read,
             &mut self.x,
+            self.r_arrays,
+            self.n_read,
             &d.giters[p],
             &d.elems[p],
             &d.plan.phases[p],
@@ -498,8 +767,10 @@ impl<K: EdgeKernel> PhasedNode<K> {
 #[allow(clippy::too_many_arguments)]
 fn loops<K: EdgeKernel, M: Meter>(
     kernel: &K,
-    read: &[Vec<f64>],
-    x: &mut [Vec<f64>],
+    read: &[f64],
+    x: &mut [f64],
+    r_arrays: usize,
+    n_read: usize,
     giters: &[u32],
     elems: &[u32],
     phase: &lightinspector::PhasePlan,
@@ -509,8 +780,6 @@ fn loops<K: EdgeKernel, M: Meter>(
     meter: &mut M,
 ) {
     let m = phase.refs.len();
-    let r_arrays = x.len();
-    let n_read = read.len();
     let edge_reads = kernel.edge_reads_per_iter();
     let node_reads = kernel.node_reads_per_elem();
     let flops = kernel.flops_per_iter();
@@ -538,12 +807,12 @@ fn loops<K: EdgeKernel, M: Meter>(
         kernel.contrib(read, gi as usize, e, out);
         meter.flops(flops);
         for r in 0..m {
-            let tgt = phase.refs[r][j] as usize;
+            let base = phase.refs[r][j] as usize * r_arrays;
             meter.load(regs.refs[r].addr(pos));
-            for (a, xa) in x.iter_mut().enumerate() {
-                xa[tgt] += out[r * r_arrays + a];
-                meter.load(regs.x.addr(tgt * r_arrays + a));
-                meter.store(regs.x.addr(tgt * r_arrays + a));
+            for a in 0..r_arrays {
+                x[base + a] += out[r * r_arrays + a];
+                meter.load(regs.x.addr(base + a));
+                meter.store(regs.x.addr(base + a));
                 meter.flops(1);
             }
         }
@@ -553,15 +822,479 @@ fn loops<K: EdgeKernel, M: Meter>(
     // and reset the buffer slots for the next sweep.
     for (ci, c) in phase.copies.iter().enumerate() {
         meter.load(regs.copies.addr(ci));
-        for (a, xa) in x.iter_mut().enumerate() {
-            let v = xa[c.src as usize];
-            xa[c.dest as usize] += v;
-            xa[c.src as usize] = 0.0;
-            meter.load(regs.x.addr(c.src as usize * r_arrays + a));
-            meter.load(regs.x.addr(c.dest as usize * r_arrays + a));
-            meter.store(regs.x.addr(c.dest as usize * r_arrays + a));
-            meter.store(regs.x.addr(c.src as usize * r_arrays + a));
+        let sb = c.src as usize * r_arrays;
+        let db = c.dest as usize * r_arrays;
+        for a in 0..r_arrays {
+            let v = x[sb + a];
+            x[db + a] += v;
+            x[sb + a] = 0.0;
+            meter.load(regs.x.addr(sb + a));
+            meter.load(regs.x.addr(db + a));
+            meter.store(regs.x.addr(db + a));
+            meter.store(regs.x.addr(sb + a));
             meter.flops(1);
+        }
+    }
+}
+
+/// The unmetered fast path over the flattened schedule: references come
+/// interleaved per iteration (`refs[j*m + r]`) so the inner loop streams
+/// one contiguous array instead of hopping between `m` columns, and no
+/// meter plumbing survives into the generated code. Performs exactly the
+/// same float operations in exactly the same order as [`loops`], so the
+/// results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn loops_flat<K: EdgeKernel>(
+    kernel: &K,
+    read: &[f64],
+    x: &mut [f64],
+    r_arrays: usize,
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    // Monomorphize the per-element vector width for the common kernel
+    // shapes (mvm: 1, moldyn: 3, euler: 4) so the scatter and copy inner
+    // loops unroll; anything else takes the generic-width path.
+    match r_arrays {
+        1 => loops_flat_r::<K, 1>(kernel, read, x, giters, elems, refs, copies, out),
+        2 => loops_flat_r::<K, 2>(kernel, read, x, giters, elems, refs, copies, out),
+        3 => loops_flat_r::<K, 3>(kernel, read, x, giters, elems, refs, copies, out),
+        4 => loops_flat_r::<K, 4>(kernel, read, x, giters, elems, refs, copies, out),
+        _ => generic_loops_flat(kernel, read, x, r_arrays, giters, elems, refs, copies, out),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn loops_flat_r<K: EdgeKernel, const R: usize>(
+    kernel: &K,
+    read: &[f64],
+    x: &mut [f64],
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    let m = if giters.is_empty() {
+        1
+    } else {
+        refs.len() / giters.len()
+    };
+    debug_assert_eq!(giters.len() * m, refs.len());
+    debug_assert!(out.len() >= m * R);
+    for (j, &gi) in giters.iter().enumerate() {
+        let e = &elems[j * m..(j + 1) * m];
+        out.fill(0.0);
+        kernel.contrib(read, gi as usize, e, out);
+        let rf = &refs[j * m..(j + 1) * m];
+        for (r, &tgt) in rf.iter().enumerate() {
+            let base = tgt as usize * R;
+            debug_assert!(base + R <= x.len());
+            // SAFETY: `tgt` is a local index the inspector produced and
+            // bounded by the node's `x` extent (region plus buffer): the
+            // spec's element indices are range-checked when the plan is
+            // built (`InspectError::OutOfRange`) and the plan itself is
+            // `verify_plan`-checked in debug builds. `r < m` and `out`
+            // holds `m * R` slots.
+            unsafe {
+                for a in 0..R {
+                    *x.get_unchecked_mut(base + a) += *out.get_unchecked(r * R + a);
+                }
+            }
+        }
+    }
+    for c in copies {
+        let sb = c.src as usize * R;
+        let db = c.dest as usize * R;
+        debug_assert!(sb + R <= x.len() && db + R <= x.len());
+        // SAFETY: copy sources live in the buffer extension and copy
+        // destinations in the resident region, both sized into `x` at
+        // prepare time from the same verified plan as above.
+        unsafe {
+            for a in 0..R {
+                let v = *x.get_unchecked(sb + a);
+                *x.get_unchecked_mut(db + a) += v;
+                *x.get_unchecked_mut(sb + a) = 0.0;
+            }
+        }
+    }
+}
+
+/// [`loops_flat`] against the shared region of a zero-copy native run:
+/// scatter targets below the region length land in the shared
+/// allocation (the portion this phase owns), targets at or above it in
+/// the node's private buffer extension, and every copy-op folds a
+/// buffer slot into the region. Performs exactly the same float
+/// operations in exactly the same order as [`loops`] / [`loops_flat`] —
+/// only the storage differs — so the results stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn loops_flat_region<K: EdgeKernel>(
+    kernel: &K,
+    read: &[f64],
+    region: &SharedX,
+    buf: &mut [f64],
+    r_arrays: usize,
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    let m = if giters.is_empty() {
+        1
+    } else {
+        refs.len() / giters.len()
+    };
+    // Fully const-specialized (refs-per-iter × arrays-per-element)
+    // combinations for the common kernel shapes: the inner loops unroll
+    // completely and the contribution buffer lives on the stack, so the
+    // scatter reads come straight out of registers.
+    macro_rules! mr {
+        ($m:literal, $r:literal) => {
+            loops_flat_region_mr::<K, $m, $r>(
+                kernel, read, region, buf, giters, elems, refs, copies,
+            )
+        };
+    }
+    match (m, r_arrays) {
+        (1, 1) => mr!(1, 1),
+        (2, 1) => mr!(2, 1),
+        (2, 2) => mr!(2, 2),
+        (2, 3) => mr!(2, 3),
+        (2, 4) => mr!(2, 4),
+        (4, 1) => mr!(4, 1),
+        (4, 2) => mr!(4, 2),
+        (4, 3) => mr!(4, 3),
+        (4, 4) => mr!(4, 4),
+        _ => match r_arrays {
+            1 => loops_flat_region_r::<K, 1>(
+                kernel, read, region, buf, giters, elems, refs, copies, out,
+            ),
+            2 => loops_flat_region_r::<K, 2>(
+                kernel, read, region, buf, giters, elems, refs, copies, out,
+            ),
+            3 => loops_flat_region_r::<K, 3>(
+                kernel, read, region, buf, giters, elems, refs, copies, out,
+            ),
+            4 => loops_flat_region_r::<K, 4>(
+                kernel, read, region, buf, giters, elems, refs, copies, out,
+            ),
+            _ => loops_flat_region_generic(
+                kernel, read, region, buf, r_arrays, giters, elems, refs, copies, out,
+            ),
+        },
+    }
+}
+
+/// Distance (in iterations) the flat loops prefetch ahead of the
+/// current iteration. Far enough to cover an L2 miss at ~2 refs per
+/// iteration, near enough that the lines are still resident when used.
+const PREFETCH_AHEAD: usize = 8;
+
+/// Best-effort prefetch of the cache line holding `ptr`. A pure
+/// latency hint — no architectural effect, so float results are
+/// untouched. `wrapping_add`-derived pointers are fine: the hint never
+/// faults and we never dereference them here.
+#[inline(always)]
+fn prefetch(ptr: *const f64) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it cannot fault or write.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(ptr as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn loops_flat_region_r<K: EdgeKernel, const R: usize>(
+    kernel: &K,
+    read: &[f64],
+    region: &SharedX,
+    buf: &mut [f64],
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    let split = region.len();
+    // SAFETY: every region offset dereferenced below lies inside the
+    // portion this phase owns (scatter refs `< n` target the resident
+    // portion; copy dests are resident elements by construction — see
+    // the inspector's PLACE pass), so the accesses are exclusive under
+    // the ring protocol documented on [`SharedX`].
+    let rp = unsafe { region.ptr() };
+    let m = if giters.is_empty() {
+        1
+    } else {
+        refs.len() / giters.len()
+    };
+    debug_assert_eq!(giters.len() * m, refs.len());
+    debug_assert!(out.len() >= m * R);
+    let n_read = kernel.num_read_arrays();
+    let bp = buf.as_mut_ptr();
+    // Branch-free select of a ref's scatter destination: the resident
+    // portion (region) below `split`, the private buffer extension
+    // above it. Both candidate pointers are computed with wrapping
+    // arithmetic (never dereferenced when unselected), so the compiler
+    // can lower the select to a cmov instead of an unpredictable
+    // branch — the region/buffer mix within a phase is data-dependent.
+    let target = |base: usize| -> *mut f64 {
+        let pr = rp.wrapping_add(base);
+        let pb = bp.wrapping_add(base.wrapping_sub(split));
+        if base < split {
+            pr
+        } else {
+            pb
+        }
+    };
+    for (j, &gi) in giters.iter().enumerate() {
+        // Hide the random-access latency of a future iteration's
+        // position reads and scatter targets while this one computes.
+        let pj = j + PREFETCH_AHEAD;
+        if pj < giters.len() {
+            for r in 0..m {
+                let el = elems[pj * m + r] as usize;
+                if n_read > 0 {
+                    prefetch(read.as_ptr().wrapping_add(el * n_read));
+                }
+                prefetch(target(refs[pj * m + r] as usize * R));
+            }
+        }
+        let e = &elems[j * m..(j + 1) * m];
+        out.fill(0.0);
+        kernel.contrib(read, gi as usize, e, out);
+        let rf = &refs[j * m..(j + 1) * m];
+        for (r, &tgt) in rf.iter().enumerate() {
+            let base = tgt as usize * R;
+            debug_assert!(base < split || base - split + R <= buf.len());
+            // SAFETY: `tgt` is inspector-produced and plan-verified:
+            // `< n` means the resident portion (region), otherwise a
+            // buffer slot sized into `buf` at prepare time, so the
+            // selected pointer is valid for `R` doubles.
+            unsafe {
+                let p = target(base);
+                for a in 0..R {
+                    *p.add(a) += *out.get_unchecked(r * R + a);
+                }
+            }
+        }
+    }
+    fold_copies_region::<R>(rp, split, buf, copies);
+}
+
+/// The copy loop shared by the region-mode flat loops: fold every
+/// buffered contribution into its resident element and reset the slot
+/// for the next sweep. Same float operations, same order as the
+/// in-place copy walk in [`loops`].
+fn fold_copies_region<const R: usize>(
+    rp: *mut f64,
+    split: usize,
+    buf: &mut [f64],
+    copies: &[lightinspector::CopyOp],
+) {
+    for (i, c) in copies.iter().enumerate() {
+        if let Some(nc) = copies.get(i + PREFETCH_AHEAD) {
+            prefetch(rp.wrapping_add(nc.dest as usize * R) as *const f64);
+        }
+        let sb = c.src as usize * R;
+        let db = c.dest as usize * R;
+        debug_assert!(sb >= split && sb - split + R <= buf.len());
+        debug_assert!(db + R <= split);
+        // SAFETY: copy sources are buffer slots (`src >= n` by the
+        // inspector's slot allocation) and destinations resident
+        // elements of the owned portion.
+        unsafe {
+            let sb = sb - split;
+            for a in 0..R {
+                let v = *buf.get_unchecked(sb + a);
+                *rp.add(db + a) += v;
+                *buf.get_unchecked_mut(sb + a) = 0.0;
+            }
+        }
+    }
+}
+
+/// Fully unrolled variant of [`loops_flat_region_r`] for kernels with
+/// exactly `M` indirection refs per iteration. The contribution buffer
+/// is a stack array the compiler can promote to registers once the
+/// kernel inlines, and the per-iteration slicing uses plan-verified
+/// unchecked indexing. Float operations and their order are identical
+/// to [`loops`] / [`loops_flat`] — results stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn loops_flat_region_mr<K: EdgeKernel, const M: usize, const R: usize>(
+    kernel: &K,
+    read: &[f64],
+    region: &SharedX,
+    buf: &mut [f64],
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+) {
+    const { assert!(M * R <= 16) };
+    let split = region.len();
+    // SAFETY: region offsets stay inside the phase's owned portion —
+    // see `loops_flat_region_r`.
+    let rp = unsafe { region.ptr() };
+    assert_eq!(giters.len() * M, refs.len());
+    assert_eq!(elems.len(), refs.len());
+    let n_read = kernel.num_read_arrays();
+    let bp = buf.as_mut_ptr();
+    // Branch-free region/buffer select — see `loops_flat_region_r`.
+    let target = |base: usize| -> *mut f64 {
+        let pr = rp.wrapping_add(base);
+        let pb = bp.wrapping_add(base.wrapping_sub(split));
+        if base < split {
+            pr
+        } else {
+            pb
+        }
+    };
+    let mut outb = [0.0f64; 16];
+    for (j, &gi) in giters.iter().enumerate() {
+        let pj = j + PREFETCH_AHEAD;
+        if pj < giters.len() {
+            for r in 0..M {
+                // SAFETY: `pj < giters.len()` and the length equalities
+                // asserted above bound `pj * M + r`.
+                let (el, tgt) = unsafe {
+                    (
+                        *elems.get_unchecked(pj * M + r) as usize,
+                        *refs.get_unchecked(pj * M + r) as usize,
+                    )
+                };
+                if n_read > 0 {
+                    prefetch(read.as_ptr().wrapping_add(el * n_read));
+                }
+                prefetch(target(tgt * R));
+            }
+        }
+        let out = &mut outb[..M * R];
+        out.fill(0.0);
+        // SAFETY: the length equalities asserted above bound the slice.
+        let e = unsafe { elems.get_unchecked(j * M..(j + 1) * M) };
+        kernel.contrib(read, gi as usize, e, out);
+        for r in 0..M {
+            // SAFETY: index bounded as above; the selected pointer is
+            // valid for `R` doubles (plan-verified ref targets).
+            unsafe {
+                let base = *refs.get_unchecked(j * M + r) as usize * R;
+                debug_assert!(base < split || base - split + R <= buf.len());
+                let p = target(base);
+                for a in 0..R {
+                    *p.add(a) += *out.get_unchecked(r * R + a);
+                }
+            }
+        }
+    }
+    fold_copies_region::<R>(rp, split, buf, copies);
+}
+
+/// Checked-arithmetic fallback of [`loops_flat_region_r`] for kernels
+/// with more than four reduction arrays per element.
+#[allow(clippy::too_many_arguments)]
+fn loops_flat_region_generic<K: EdgeKernel>(
+    kernel: &K,
+    read: &[f64],
+    region: &SharedX,
+    buf: &mut [f64],
+    r_arrays: usize,
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    let split = region.len();
+    // SAFETY: as in `loops_flat_region_r` — region offsets stay inside
+    // the phase's owned portion.
+    let rp = unsafe { region.ptr() };
+    let m = if giters.is_empty() {
+        1
+    } else {
+        refs.len() / giters.len()
+    };
+    for (j, &gi) in giters.iter().enumerate() {
+        let e = &elems[j * m..(j + 1) * m];
+        out.fill(0.0);
+        kernel.contrib(read, gi as usize, e, out);
+        let rf = &refs[j * m..(j + 1) * m];
+        for (r, &tgt) in rf.iter().enumerate() {
+            let base = tgt as usize * r_arrays;
+            if base < split {
+                // SAFETY: resident-portion scatter, exclusive per the
+                // ring protocol.
+                unsafe {
+                    for a in 0..r_arrays {
+                        *rp.add(base + a) += out[r * r_arrays + a];
+                    }
+                }
+            } else {
+                let bb = base - split;
+                for a in 0..r_arrays {
+                    buf[bb + a] += out[r * r_arrays + a];
+                }
+            }
+        }
+    }
+    for c in copies {
+        let sb = c.src as usize * r_arrays - split;
+        let db = c.dest as usize * r_arrays;
+        for a in 0..r_arrays {
+            let v = buf[sb + a];
+            // SAFETY: copy dest is a resident element of the owned
+            // portion.
+            unsafe {
+                *rp.add(db + a) += v;
+            }
+            buf[sb + a] = 0.0;
+        }
+    }
+}
+
+/// Checked, dynamic-width fallback of [`loops_flat_r`] for kernels with
+/// more than four reduction arrays per element.
+#[allow(clippy::too_many_arguments)]
+fn generic_loops_flat<K: EdgeKernel>(
+    kernel: &K,
+    read: &[f64],
+    x: &mut [f64],
+    r_arrays: usize,
+    giters: &[u32],
+    elems: &[u32],
+    refs: &[u32],
+    copies: &[lightinspector::CopyOp],
+    out: &mut [f64],
+) {
+    let m = if giters.is_empty() {
+        1
+    } else {
+        refs.len() / giters.len()
+    };
+    for (j, &gi) in giters.iter().enumerate() {
+        let e = &elems[j * m..(j + 1) * m];
+        out.fill(0.0);
+        kernel.contrib(read, gi as usize, e, out);
+        let rf = &refs[j * m..(j + 1) * m];
+        for (r, &tgt) in rf.iter().enumerate() {
+            let base = tgt as usize * r_arrays;
+            for a in 0..r_arrays {
+                x[base + a] += out[r * r_arrays + a];
+            }
+        }
+    }
+    for c in copies {
+        let sb = c.src as usize * r_arrays;
+        let db = c.dest as usize * r_arrays;
+        for a in 0..r_arrays {
+            let v = x[sb + a];
+            x[db + a] += v;
+            x[sb + a] = 0.0;
         }
     }
 }
@@ -636,9 +1369,9 @@ pub struct PreparedPhased<K> {
     node_data: Vec<Arc<NodePlanData>>,
     /// Nodes whose snapshot is stale after incremental updates.
     dirty: Vec<bool>,
-    /// The kernel's initial read arrays, computed once and copied into
-    /// pooled buffers on each execute.
-    read_init: Vec<Vec<f64>>,
+    /// The kernel's initial read state (element-major interleaved),
+    /// computed once and copied into pooled buffers on each execute.
+    read_init: Vec<f64>,
     mem_cfg: memsim::MemConfig,
     overheads: (u64, u64),
     /// Trace-sink selection captured at prepare time (used by entry
@@ -686,10 +1419,15 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             }
         }
 
-        let mut inspectors = Vec::with_capacity(strat.procs);
-        let mut node_data = Vec::with_capacity(strat.procs);
-        let mut inspector_events = Vec::new();
-        for (proc, local_iters) in owned.iter().enumerate().take(strat.procs) {
+        // One inspector pass per processor — each pass only touches its
+        // own local indirection, so the passes are embarrassingly
+        // parallel. On multi-core hosts they run on scoped threads; the
+        // results are collected in processor order, so the plans, trace
+        // events, and everything derived from them are deterministic and
+        // identical to the serial construction.
+        let trace_on = cfg.trace.enabled();
+        type ProcPrep = Result<(IncrementalInspector, NodePlanData, Vec<TraceEvent>), EngineError>;
+        let build_one = |proc: usize, local_iters: &Vec<u32>| -> ProcPrep {
             let local_ind: Vec<Vec<u32>> = (0..m)
                 .map(|r| {
                     local_iters
@@ -698,10 +1436,11 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                         .collect()
                 })
                 .collect();
+            let mut events = Vec::new();
             let insp =
                 IncrementalInspector::try_new_observed(geometry, proc, local_ind, &mut |stage| {
-                    if cfg.trace.enabled() {
-                        inspector_events.push(TraceEvent::new(
+                    if trace_on {
+                        events.push(TraceEvent::new(
                             0,
                             proc as u32,
                             TraceKind::InspectorStage { stage },
@@ -712,32 +1451,58 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 let refs: Vec<&[u32]> = insp.indirection().iter().map(|v| v.as_slice()).collect();
                 lightinspector::verify_plan(insp.plan(), &refs).is_ok()
             });
-            node_data.push(Arc::new(NodePlanData::from_inspector(
+            let data = NodePlanData::from_inspector(
                 &insp,
                 local_iters,
                 spec.num_elements,
                 total_iterations,
                 &*spec.kernel,
-            )));
+            );
+            Ok((insp, data, events))
+        };
+        let parallel = strat.procs > 1
+            && std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false);
+        let prepped: Vec<ProcPrep> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = owned
+                    .iter()
+                    .enumerate()
+                    .take(strat.procs)
+                    .map(|(proc, local_iters)| scope.spawn(move || build_one(proc, local_iters)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("inspector pass panicked"))
+                    .collect()
+            })
+        } else {
+            owned
+                .iter()
+                .enumerate()
+                .take(strat.procs)
+                .map(|(proc, local_iters)| build_one(proc, local_iters))
+                .collect()
+        };
+        let mut inspectors = Vec::with_capacity(strat.procs);
+        let mut node_data = Vec::with_capacity(strat.procs);
+        let mut inspector_events = Vec::new();
+        for prep in prepped {
+            let (insp, data, events) = prep?;
             inspectors.push(insp);
+            node_data.push(Arc::new(data));
+            inspector_events.extend(events);
         }
 
+        let n_read = spec.kernel.num_read_arrays();
         let read_init = spec.kernel.init_read();
-        if read_init.len() != spec.kernel.num_read_arrays() {
+        if read_init.len() != spec.num_elements * n_read {
             return Err(EngineError::Shape {
-                what: "init_read arrays (kernel.num_read_arrays)",
-                expected: spec.kernel.num_read_arrays(),
+                what: "init_read length (num_elements * num_read_arrays)",
+                expected: spec.num_elements * n_read,
                 got: read_init.len(),
             });
-        }
-        for ra in &read_init {
-            if ra.len() != spec.num_elements {
-                return Err(EngineError::Shape {
-                    what: "read array length (num_elements)",
-                    expected: spec.num_elements,
-                    got: ra.len(),
-                });
-            }
         }
 
         let updates_read = spec.kernel.updates_read_state();
@@ -871,28 +1636,46 @@ impl<K: EdgeKernel> PreparedPhased<K> {
     fn make_nodes(&self, ws: &mut Workspace, sim: bool) -> Vec<PhasedNode<K>> {
         let kp = self.strat.phases_per_sweep();
         let r_arrays = self.kernel.num_arrays();
+        let n_read = self.kernel.num_read_arrays();
         let m = self.kernel.num_refs();
         let n = self.num_elements;
+        let flat = matches!(self.strat.layout, crate::strategy::LoopLayout::Flat);
         let cached = if sim {
             ws.costs_for(self.token).cloned()
         } else {
             None
         };
+        // Native flat runs share one region allocation: the ring
+        // rotation moves portion *ownership* (a bare sync), never the
+        // doubles. The simulator keeps private arrays and real payloads
+        // so the modeled message costs stay byte-identical, and the
+        // nested diagnostic layout keeps the naive copying path as the
+        // bit-identity reference.
+        let region = (!sim && flat).then(|| Arc::new(SharedX::new(n * r_arrays)));
+        let shared_read = region.is_some().then(|| {
+            Arc::new(SharedRead::new(
+                &self.read_init,
+                self.kernel.updates_read_state(),
+            ))
+        });
         let mut nodes = Vec::with_capacity(self.strat.procs);
         for proc in 0..self.strat.procs {
             let data = Arc::clone(&self.node_data[proc]);
-            let x: Vec<Vec<f64>> = (0..r_arrays)
-                .map(|_| ws.take_buffer(n + data.plan.buffer_len))
-                .collect();
-            let read: Vec<Vec<f64>> = self
-                .read_init
-                .iter()
-                .map(|ra| {
-                    let mut b = ws.take_buffer(n);
-                    b.copy_from_slice(ra);
-                    b
-                })
-                .collect();
+            let x = if region.is_some() {
+                // Only the private buffer extension: the element range
+                // lives in the shared region.
+                ws.take_buffer(data.plan.buffer_len * r_arrays)
+            } else {
+                ws.take_buffer((n + data.plan.buffer_len) * r_arrays)
+            };
+            let mut read = if shared_read.is_some() {
+                Vec::new()
+            } else {
+                ws.take_buffer(n * n_read)
+            };
+            if shared_read.is_none() {
+                read.copy_from_slice(&self.read_init);
+            }
             let phase_cost = cached
                 .as_ref()
                 .and_then(|c| c.get(proc).cloned())
@@ -903,8 +1686,14 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 kernel: Arc::clone(&self.kernel),
                 data,
                 x,
+                region: region.clone(),
+                shared_read: shared_read.clone(),
                 read,
+                r_arrays,
+                n_read,
+                flat,
                 out: vec![0.0; m * r_arrays],
+                pool: Vec::new(),
                 phase_cost,
                 stream: StreamModel::new(self.mem_cfg),
                 iter_overhead: self.overheads.0,
@@ -929,23 +1718,28 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         let mut harvest: PhaseCosts = Vec::with_capacity(if sim { nodes.len() } else { 0 });
         for node in nodes {
             counts.push(node.data.plan.phase_iter_counts());
+            // De-interleave final portions into the public per-array
+            // shape — the only place the interleaved layout leaks out.
             for (portion, xs, rs) in node.results {
                 let range = node.data.geometry.portion_range(portion);
-                for (a, seg) in xs.into_iter().enumerate() {
-                    x[a][range.clone()].copy_from_slice(&seg);
+                for (i, v) in range.clone().enumerate() {
+                    for (a, xa) in x.iter_mut().enumerate() {
+                        xa[v] = xs[i * r_arrays + a];
+                    }
                 }
-                for (a, seg) in rs.into_iter().enumerate() {
-                    read[a][range.clone()].copy_from_slice(&seg);
+                for (i, v) in range.enumerate() {
+                    for (a, ra) in read.iter_mut().enumerate() {
+                        ra[v] = rs[i * r_read + a];
+                    }
                 }
             }
             if sim {
                 harvest.push(node.phase_cost);
             }
-            for xa in node.x {
-                ws.put_buffer(xa);
-            }
-            for ra in node.read {
-                ws.put_buffer(ra);
+            ws.put_buffer(node.x);
+            ws.put_buffer(node.read);
+            for b in node.pool {
+                ws.put_buffer(b.into_vec());
             }
         }
         if sim {

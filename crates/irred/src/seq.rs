@@ -87,16 +87,19 @@ fn seq_reduction_inner<K: EdgeKernel>(
     let n = spec.num_elements;
     let m = spec.kernel.num_refs();
     let r_arrays = spec.kernel.num_arrays();
+    let n_read = spec.kernel.num_read_arrays();
     let e = spec.num_iterations();
 
-    let mut x = vec![vec![0.0f64; n]; r_arrays];
+    // Element-major interleaved storage (one struct of `r_arrays` /
+    // `n_read` doubles per element) — the layout the cache model below
+    // has always charged for, now also the layout the loop runs on.
+    let mut x = vec![0.0f64; n * r_arrays];
     let mut read = spec.kernel.init_read();
+    debug_assert_eq!(read.len(), n * n_read);
 
     let mut am = AddressMap::new(64);
-    // Array-of-structs layout for the multi-component fields, matching
-    // the phased executor's model.
     let x_reg: Region = am.alloc_f64(n * r_arrays);
-    let read_reg: Region = am.alloc_f64(n * read.len().max(1));
+    let read_reg: Region = am.alloc_f64(n * n_read.max(1));
     let ind_regs: Vec<Region> = (0..m).map(|_| am.alloc_u32(e.max(1))).collect();
     let edge_reg = am.alloc_f64(e.max(1));
 
@@ -112,9 +115,7 @@ fn seq_reduction_inner<K: EdgeKernel>(
         let metered = sweep == 0 && known_sweep0.is_none();
         let before = meter.cycles;
         // Zero the reduction arrays.
-        for xa in x.iter_mut() {
-            xa.fill(0.0);
-        }
+        x.fill(0.0);
         if metered {
             for i in (0..n * r_arrays).step_by(4) {
                 meter.store(x_reg.addr(i)); // one touch per few words ≈ stream
@@ -132,10 +133,10 @@ fn seq_reduction_inner<K: EdgeKernel>(
                 for _ in 0..edge_reads {
                     meter.load(edge_reg.addr(i));
                 }
-                if !read.is_empty() {
+                if n_read > 0 {
                     for &el in &elems {
                         for w in 0..node_reads {
-                            meter.load(read_reg.addr(el as usize * read.len() + w % read.len()));
+                            meter.load(read_reg.addr(el as usize * n_read + w % n_read));
                         }
                     }
                 }
@@ -144,19 +145,19 @@ fn seq_reduction_inner<K: EdgeKernel>(
             out.fill(0.0);
             spec.kernel.contrib(&read, i, &elems, &mut out);
             for (r, &el) in elems.iter().enumerate() {
-                for (a, xa) in x.iter_mut().enumerate() {
-                    xa[el as usize] += out[r * r_arrays + a];
+                let base = el as usize * r_arrays;
+                for a in 0..r_arrays {
+                    x[base + a] += out[r * r_arrays + a];
                     if metered {
-                        meter.load(x_reg.addr(el as usize * r_arrays + a));
-                        meter.store(x_reg.addr(el as usize * r_arrays + a));
+                        meter.load(x_reg.addr(base + a));
+                        meter.store(x_reg.addr(base + a));
                         meter.flops(1);
                     }
                 }
             }
         }
         // Node-level update on final values.
-        let xs: Vec<&[f64]> = x.iter().map(|v| v.as_slice()).collect();
-        spec.kernel.post_sweep(&mut read, 0..n, &xs);
+        spec.kernel.post_sweep(&mut read, 0..n, &x);
         if metered {
             meter.flops(n as u64 * spec.kernel.post_flops_per_elem());
             sweep0_cost = meter.cycles - before;
@@ -165,9 +166,22 @@ fn seq_reduction_inner<K: EdgeKernel>(
 
     let sweep0_cost = known_sweep0.unwrap_or(sweep0_cost);
     let cycles = sweep0_cost * sweeps as u64;
+    // De-interleave into the per-array shape the public result keeps.
+    let mut x_out = vec![vec![0.0f64; n]; r_arrays];
+    for (i, chunk) in x.chunks_exact(r_arrays.max(1)).enumerate().take(n) {
+        for (a, &v) in chunk.iter().enumerate() {
+            x_out[a][i] = v;
+        }
+    }
+    let mut read_out = vec![vec![0.0f64; n]; n_read];
+    for (i, chunk) in read.chunks_exact(n_read.max(1)).enumerate().take(n) {
+        for (a, &v) in chunk.iter().enumerate() {
+            read_out[a][i] = v;
+        }
+    }
     SeqResult {
-        x,
-        read,
+        x: x_out,
+        read: read_out,
         cycles,
         seconds: cfg.seconds(cycles),
     }

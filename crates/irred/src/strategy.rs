@@ -25,6 +25,22 @@ impl std::fmt::Display for StrategyError {
 
 impl std::error::Error for StrategyError {}
 
+/// How the phased executor's unmetered inner loops walk the inspector
+/// schedule. Both layouts perform the identical float operations in the
+/// identical order — results are bit-for-bit the same; the knob only
+/// trades loop structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopLayout {
+    /// Stream the flattened CSR-style schedule (iter-major interleaved
+    /// refs, concatenated copy ops): contiguous reads, no per-reference
+    /// column hopping. The fast path, on by default.
+    #[default]
+    Flat,
+    /// Walk the nested per-phase plan structures, exactly as the metered
+    /// (simulated) sweep does. Kept for A/B comparison and validation.
+    Nested,
+}
+
 /// One point in the paper's strategy space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StrategyConfig {
@@ -36,6 +52,8 @@ pub struct StrategyConfig {
     pub distribution: Distribution,
     /// Time-step iterations (the paper uses 100 for euler/moldyn).
     pub sweeps: usize,
+    /// Inner-loop layout for unmetered execution (native / sim replay).
+    pub layout: LoopLayout,
 }
 
 impl StrategyConfig {
@@ -60,7 +78,14 @@ impl StrategyConfig {
             k,
             distribution,
             sweeps,
+            layout: LoopLayout::default(),
         })
+    }
+
+    /// Select the inner-loop layout (builder style).
+    pub fn with_layout(mut self, layout: LoopLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Panicking wrapper around [`Self::try_new`] for static strategies.

@@ -51,7 +51,7 @@ impl EdgeKernel for IntArityKernel {
     fn num_arrays(&self) -> usize {
         self.r_arrays
     }
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         let w = self.weights[iter];
         for r in 0..self.m {
             let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
@@ -165,7 +165,7 @@ fn gather_agrees_bitwise_with_phased_formulation() {
         fn num_arrays(&self) -> usize {
             1
         }
-        fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
             out[0] = self.matrix.values[iter] * self.x[self.matrix.col_idx[iter] as usize];
         }
         fn flops_per_iter(&self) -> u64 {
@@ -348,28 +348,23 @@ fn prepared_read_updating_kernel_matches_fresh_runs() {
         fn num_read_arrays(&self) -> usize {
             1
         }
-        fn init_read(&self) -> Vec<Vec<f64>> {
-            vec![self.init.as_ref().clone()]
+        fn init_read(&self) -> Vec<f64> {
+            self.init.as_ref().clone()
         }
         fn updates_read_state(&self) -> bool {
             true
         }
-        fn contrib(&self, read: &[Vec<f64>], _iter: usize, elems: &[u32], out: &mut [f64]) {
-            let d = read[0][elems[1] as usize] - read[0][elems[0] as usize];
+        fn contrib(&self, read: &[f64], _iter: usize, elems: &[u32], out: &mut [f64]) {
+            let d = read[elems[1] as usize] - read[elems[0] as usize];
             out[0] = d;
             out[1] = -d;
         }
         fn flops_per_iter(&self) -> u64 {
             3
         }
-        fn post_sweep(
-            &self,
-            read: &mut [Vec<f64>],
-            range: std::ops::Range<usize>,
-            x: &[&[f64]],
-        ) -> bool {
+        fn post_sweep(&self, read: &mut [f64], range: std::ops::Range<usize>, x: &[f64]) -> bool {
             for (i, v) in range.enumerate() {
-                read[0][v] += x[0][i];
+                read[v] += x[i];
             }
             true
         }
@@ -452,6 +447,7 @@ fn prepared_native_lossless_matches_fresh_and_sim() {
         watchdog: Duration::from_secs(5),
         faults: Some(FaultConfig::lossless(0x5EED)),
         starved_is_error: true,
+        host_threads: None,
     });
     let mut prepared = native.prepare(&spec, &strat).expect("valid spec");
     let mut ws = Workspace::new();

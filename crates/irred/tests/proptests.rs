@@ -34,7 +34,7 @@ impl EdgeKernel for ArityKernel {
     fn num_arrays(&self) -> usize {
         self.r_arrays
     }
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         let w = self.weights[iter];
         for r in 0..self.m {
             let sign = if r % 2 == 0 { 1.0 } else { -1.0 };

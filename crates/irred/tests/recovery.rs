@@ -89,6 +89,7 @@ fn strict(faults: Option<FaultConfig>) -> NativeConfig {
         watchdog: Duration::from_secs(5),
         faults,
         starved_is_error: true,
+        host_threads: None,
     }
 }
 

@@ -43,19 +43,19 @@ impl EdgeKernel for EulerKernel {
         1 // the node state q
     }
 
-    fn init_read(&self) -> Vec<Vec<f64>> {
-        vec![self.q0.as_ref().clone()]
+    fn init_read(&self) -> Vec<f64> {
+        // A single read array: the interleaved layout is the array itself.
+        self.q0.as_ref().clone()
     }
 
     fn updates_read_state(&self) -> bool {
         true
     }
 
-    fn contrib(&self, read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]) {
-        let q = &read[0];
+    fn contrib(&self, read: &[f64], iter: usize, elems: &[u32], out: &mut [f64]) {
         let (n1, n2) = (elems[0] as usize, elems[1] as usize);
         let w = self.coeff[iter];
-        let (q1, q2) = (q[n1], q[n2]);
+        let (q1, q2) = (read[n1], read[n2]);
         let d = q1 - q2;
         let avg = 0.5 * (q1 + q2);
         let f_mass = w * d;
@@ -85,10 +85,10 @@ impl EdgeKernel for EulerKernel {
         1 // q
     }
 
-    fn post_sweep(&self, read: &mut [Vec<f64>], range: Range<usize>, x: &[&[f64]]) -> bool {
-        let q = &mut read[0];
+    fn post_sweep(&self, read: &mut [f64], range: Range<usize>, x: &[f64]) -> bool {
         for (i, v) in range.enumerate() {
-            q[v] += DT * (x[0][i] + 0.5 * (x[1][i] + x[2][i]) + 0.25 * x[3][i]);
+            let f = &x[i * 4..i * 4 + 4];
+            read[v] += DT * (f[0] + 0.5 * (f[1] + f[2]) + 0.25 * f[3]);
         }
         true
     }

@@ -61,22 +61,25 @@ impl EdgeKernel for MolDynKernel {
         3 // x, y, z
     }
 
-    fn init_read(&self) -> Vec<Vec<f64>> {
-        (0..3)
-            .map(|a| self.pos0.iter().map(|p| p[a]).collect())
-            .collect()
+    fn init_read(&self) -> Vec<f64> {
+        // Element-major interleaved (x,y,z per molecule) — exactly the
+        // layout `pos0` already has.
+        self.pos0.iter().flat_map(|p| p.iter().copied()).collect()
     }
 
     fn updates_read_state(&self) -> bool {
         true
     }
 
-    fn contrib(&self, read: &[Vec<f64>], _iter: usize, elems: &[u32], out: &mut [f64]) {
-        let (i, j) = (elems[0] as usize, elems[1] as usize);
+    fn contrib(&self, read: &[f64], _iter: usize, elems: &[u32], out: &mut [f64]) {
+        // One 3-double struct per molecule: the two position loads touch
+        // two cache lines, not six.
+        let (i, j) = (elems[0] as usize * 3, elems[1] as usize * 3);
+        let (pi, pj) = (&read[i..i + 3], &read[j..j + 3]);
         let d = [
-            self.min_image(read[0][j] - read[0][i]),
-            self.min_image(read[1][j] - read[1][i]),
-            self.min_image(read[2][j] - read[2][i]),
+            self.min_image(pj[0] - pi[0]),
+            self.min_image(pj[1] - pi[1]),
+            self.min_image(pj[2] - pi[2]),
         ];
         let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS;
         let u2 = SIGMA2 / r2;
@@ -101,11 +104,11 @@ impl EdgeKernel for MolDynKernel {
         3
     }
 
-    fn post_sweep(&self, read: &mut [Vec<f64>], range: Range<usize>, x: &[&[f64]]) -> bool {
+    fn post_sweep(&self, read: &mut [f64], range: Range<usize>, x: &[f64]) -> bool {
         let l = self.box_side;
         for (i, v) in range.enumerate() {
             for a in 0..3 {
-                read[a][v] = (read[a][v] + DT2 * x[a][i]).rem_euclid(l);
+                read[v * 3 + a] = (read[v * 3 + a] + DT2 * x[i * 3 + a]).rem_euclid(l);
             }
         }
         true

@@ -45,4 +45,4 @@ pub use inspector::{
     inspect, inspect_observed, inspect_single, InspectError, InspectorInput, STAGE_CLASSIFY,
     STAGE_PLACE, STAGE_VALIDATE,
 };
-pub use plan::{verify_plan, CopyOp, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};
+pub use plan::{verify_plan, CopyOp, FlatPlan, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};

@@ -58,6 +58,73 @@ impl InspectorPlan {
     pub fn phase_iter_counts(&self) -> Vec<usize> {
         self.phases.iter().map(|p| p.iters.len()).collect()
     }
+
+    /// Flatten the nested per-phase structures into the CSR-style
+    /// schedule the executors' fast path streams (see [`FlatPlan`]).
+    pub fn flatten(&self) -> FlatPlan {
+        let m = self.phases.first().map_or(0, |p| p.refs.len());
+        let total_iters = self.total_iters();
+        let mut iter_ptr = Vec::with_capacity(self.phases.len() + 1);
+        let mut copy_ptr = Vec::with_capacity(self.phases.len() + 1);
+        let mut refs = Vec::with_capacity(total_iters * m);
+        let mut copies = Vec::with_capacity(self.total_copies());
+        iter_ptr.push(0);
+        copy_ptr.push(0);
+        for ph in &self.phases {
+            for j in 0..ph.iters.len() {
+                for refs_r in &ph.refs {
+                    refs.push(refs_r[j]);
+                }
+            }
+            copies.extend_from_slice(&ph.copies);
+            iter_ptr.push(refs.len() as u32 / m.max(1) as u32);
+            copy_ptr.push(copies.len() as u32);
+        }
+        FlatPlan {
+            m,
+            iter_ptr,
+            refs,
+            copy_ptr,
+            copies,
+        }
+    }
+}
+
+/// The inspector plan flattened into a CSR-style schedule: one
+/// contiguous reference array (iteration-major, `m`-interleaved — the
+/// order the executor's scatter consumes them in) and one contiguous
+/// copy-op array, each indexed per phase through a pointer array. The
+/// executors' unmetered fast path streams these arrays front to back,
+/// touching no nested structure and no per-reference columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatPlan {
+    /// References per iteration (`num_refs`).
+    m: usize,
+    /// `iter_ptr[p]..iter_ptr[p+1]` are phase `p`'s iterations (indices
+    /// into the phase-concatenated iteration order, matching the
+    /// executors' `giters` / `elems` flattening).
+    pub iter_ptr: Vec<u32>,
+    /// `refs[j*m + r]` is where the `r`-th reference of concatenated
+    /// iteration `j` goes (element or buffer-extension index).
+    pub refs: Vec<u32>,
+    /// `copy_ptr[p]..copy_ptr[p+1]` are phase `p`'s copy ops.
+    pub copy_ptr: Vec<u32>,
+    /// All copy operations, concatenated in phase order.
+    pub copies: Vec<CopyOp>,
+}
+
+impl FlatPlan {
+    /// Phase `p`'s scatter targets, iteration-major `m`-interleaved.
+    pub fn phase_refs(&self, p: usize) -> &[u32] {
+        let lo = self.iter_ptr[p] as usize * self.m;
+        let hi = self.iter_ptr[p + 1] as usize * self.m;
+        &self.refs[lo..hi]
+    }
+
+    /// Phase `p`'s copy operations.
+    pub fn phase_copies(&self, p: usize) -> &[CopyOp] {
+        &self.copies[self.copy_ptr[p] as usize..self.copy_ptr[p + 1] as usize]
+    }
 }
 
 /// Plan for the single-indirection-reference case (`mvm`): iterations are
@@ -212,4 +279,38 @@ pub fn verify_plan(plan: &InspectorPlan, indirection: &[&[u32]]) -> Result<(), P
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_interleaves_refs_and_concatenates_copies() {
+        let geometry = PhaseGeometry::try_new(2, 1, 8).unwrap();
+        let plan = InspectorPlan {
+            geometry,
+            proc_id: 0,
+            buffer_len: 2,
+            phases: vec![
+                PhasePlan {
+                    iters: vec![0, 1],
+                    refs: vec![vec![0, 1], vec![8, 9]],
+                    copies: vec![],
+                },
+                PhasePlan {
+                    iters: vec![2],
+                    refs: vec![vec![4], vec![5]],
+                    copies: vec![CopyOp { dest: 4, src: 8 }, CopyOp { dest: 5, src: 9 }],
+                },
+            ],
+            iter_phase: vec![0, 0, 1],
+        };
+        let flat = plan.flatten();
+        // refs[r][j] becomes refs[j*m + r]: iteration-major.
+        assert_eq!(flat.phase_refs(0), &[0, 8, 1, 9]);
+        assert_eq!(flat.phase_refs(1), &[4, 5]);
+        assert!(flat.phase_copies(0).is_empty());
+        assert_eq!(flat.phase_copies(1), &plan.phases[1].copies[..]);
+    }
 }

@@ -102,7 +102,7 @@ impl EdgeKernel for InterpKernel {
         self.num_arrays
     }
 
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         let mut locals = [0.0f64; 16];
         for (s, init) in self.locals.iter().enumerate() {
             locals[s] = init.eval(iter, &locals, &self.f64s, &self.ints);

@@ -95,6 +95,11 @@ pub enum TraceKind {
     RecoveryRung { attempt: u32 },
     /// The native watchdog sampled the shared progress counter.
     WatchdogHeartbeat { progress: u64 },
+    /// A native node thread found every inbound lane empty and parked.
+    NodeParked,
+    /// The node thread resumed after parking for `parked_ns`
+    /// nanoseconds (woken by a producer or by the park timeout).
+    NodeUnparked { parked_ns: u64 },
 }
 
 impl TraceKind {
@@ -115,6 +120,8 @@ impl TraceKind {
             TraceKind::FaultInjected { .. } => "fault_injected",
             TraceKind::RecoveryRung { .. } => "recovery_rung",
             TraceKind::WatchdogHeartbeat { .. } => "watchdog_heartbeat",
+            TraceKind::NodeParked => "node_parked",
+            TraceKind::NodeUnparked { .. } => "node_unparked",
         }
     }
 
@@ -141,6 +148,8 @@ impl TraceKind {
             TraceKind::FaultInjected { kind } => [("kind", kind as u64), ("", 0)],
             TraceKind::RecoveryRung { attempt } => [("attempt", attempt as u64), ("", 0)],
             TraceKind::WatchdogHeartbeat { progress } => [("progress", progress), ("", 0)],
+            TraceKind::NodeParked => [("", 0), ("", 0)],
+            TraceKind::NodeUnparked { parked_ns } => [("parked_ns", parked_ns), ("", 0)],
         }
     }
 }

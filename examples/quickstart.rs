@@ -24,7 +24,7 @@ struct PairKernel {
 }
 
 impl EdgeKernel for PairKernel {
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         let w = self.weights[iter];
         out[0] = w; // through IA1
         out[1] = 2.0 * w; // through IA2

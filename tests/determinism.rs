@@ -65,7 +65,7 @@ fn different_seeds_give_different_times() {
 /// single-sweep reduction.
 struct Frozen<K> {
     inner: Arc<K>,
-    read: Vec<Vec<f64>>,
+    read: Vec<f64>,
 }
 
 impl<K: EdgeKernel> EdgeKernel for Frozen<K> {
@@ -75,7 +75,7 @@ impl<K: EdgeKernel> EdgeKernel for Frozen<K> {
     fn num_arrays(&self) -> usize {
         self.inner.num_arrays()
     }
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, elems: &[u32], out: &mut [f64]) {
         self.inner.contrib(&self.read, iter, elems, out)
     }
     fn flops_per_iter(&self) -> u64 {
@@ -110,7 +110,7 @@ impl EdgeKernel for SpmvKernel {
     fn num_refs(&self) -> usize {
         1
     }
-    fn contrib(&self, _read: &[Vec<f64>], iter: usize, _elems: &[u32], out: &mut [f64]) {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
         out[0] = self.values[iter] * self.x[self.col_idx[iter] as usize];
     }
     fn flops_per_iter(&self) -> u64 {

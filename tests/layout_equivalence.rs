@@ -1,0 +1,153 @@
+//! Property suite for the native fast path: the phase-sorted CSR
+//! iteration layout plus pooled zero-copy region handoff
+//! ([`LoopLayout::Flat`], the default) must be **bit-identical** to the
+//! naive nested plan walk ([`LoopLayout::Nested`]) on all three paper
+//! workloads — on the simulator AND on the native backend running
+//! under a lossless fault plan (delays, reorders, duplicate
+//! deliveries). The fault arm doubles as a dedup check on the SPSC
+//! lanes: a duplicated deposit that slipped through, or a lost one,
+//! would shift the reduction sums and break exact equality.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use earth_model::native::NativeConfig;
+use earth_model::sim::SimConfig;
+use earth_model::FaultConfig;
+use harness::prop::{check, Config, Gen};
+use harness::prop_assert;
+use irred::{
+    Distribution, EdgeKernel, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec, ReductionEngine,
+    StrategyConfig,
+};
+use kernels::{EulerProblem, MolDynProblem, MvmProblem};
+use workloads::{Mesh, MolDyn, SparseMatrix};
+
+#[derive(Debug, Clone)]
+struct Case {
+    size: usize,
+    procs: usize,
+    k: usize,
+    dist: Distribution,
+    sweeps: usize,
+    seed: u64,
+}
+
+fn gen_case(g: &mut Gen) -> Case {
+    Case {
+        size: g.usize_incl(0, 2),
+        procs: g.usize_incl(1, 6),
+        k: g.usize_incl(1, 3),
+        dist: if g.prob(0.5) {
+            Distribution::Cyclic
+        } else {
+            Distribution::Block
+        },
+        sweeps: g.usize_incl(1, 3),
+        seed: g.u64_any(),
+    }
+}
+
+fn native_cfg(fault_seed: u64) -> NativeConfig {
+    NativeConfig {
+        watchdog: Duration::from_secs(30),
+        faults: Some(FaultConfig::lossless(fault_seed)),
+        starved_is_error: true,
+        host_threads: None,
+    }
+}
+
+/// Run one phased spec all four ways (sim/native × flat/nested) and
+/// demand exact `f64` equality of every reduction and read array.
+fn assert_layouts_agree<K: EdgeKernel>(spec: &PhasedSpec<K>, c: &Case) -> Result<(), String> {
+    let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+    let nested = flat.with_layout(LoopLayout::Nested);
+    let sim = PhasedEngine::sim(SimConfig::default());
+    let sf = sim.run(spec, &flat).map_err(|e| format!("{e}"))?;
+    let sn = sim.run(spec, &nested).map_err(|e| format!("{e}"))?;
+    prop_assert!(
+        sf.values == sn.values && sf.read == sn.read,
+        "sim flat != sim nested for {c:?}"
+    );
+    let nf = PhasedEngine::native(native_cfg(c.seed))
+        .run(spec, &flat)
+        .map_err(|e| format!("{e}"))?;
+    prop_assert!(
+        nf.values == sf.values && nf.read == sf.read,
+        "native flat (lossless faults) != sim for {c:?}"
+    );
+    let nn = PhasedEngine::native(native_cfg(c.seed))
+        .run(spec, &nested)
+        .map_err(|e| format!("{e}"))?;
+    prop_assert!(
+        nn.values == sf.values && nn.read == sf.read,
+        "native nested (lossless faults) != sim for {c:?}"
+    );
+    Ok(())
+}
+
+#[test]
+fn moldyn_flat_equals_nested() {
+    check(
+        "moldyn_flat_equals_nested",
+        Config::cases(64),
+        gen_case,
+        |c| {
+            // 2–3 fcc cells: 32–108 molecules, enough for portions on up
+            // to 6 nodes while keeping 4 runs per case cheap.
+            let cells = 2 + c.size.min(1);
+            let cutoff = 1.2 + 0.3 * c.size as f64;
+            let problem = MolDynProblem::from_config(MolDyn::fcc(cells, cutoff));
+            assert_layouts_agree(&problem.spec, c)
+        },
+    );
+}
+
+#[test]
+fn euler_flat_equals_nested() {
+    check(
+        "euler_flat_equals_nested",
+        Config::cases(64),
+        gen_case,
+        |c| {
+            let nodes = 48 + 40 * c.size;
+            let edges = nodes * (3 + c.size);
+            let problem =
+                EulerProblem::from_mesh(Mesh::generate3d(nodes, edges, c.seed), c.seed ^ 7);
+            assert_layouts_agree(&problem.spec, c)
+        },
+    );
+}
+
+#[test]
+fn mvm_flat_equals_nested() {
+    check("mvm_flat_equals_nested", Config::cases(64), gen_case, |c| {
+        let rows = 24 + 32 * c.size;
+        let nnz = rows * (3 + c.size);
+        let problem =
+            MvmProblem::from_matrix(Arc::new(SparseMatrix::random(rows, rows, nnz, c.seed)));
+        let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+        let nested = flat.with_layout(LoopLayout::Nested);
+        let sim = GatherEngine::sim(SimConfig::default());
+        let sf = sim.run(&problem.spec, &flat).map_err(|e| format!("{e}"))?;
+        let sn = sim
+            .run(&problem.spec, &nested)
+            .map_err(|e| format!("{e}"))?;
+        prop_assert!(sf.values == sn.values, "sim flat != sim nested for {c:?}");
+        let nf = GatherEngine::native(native_cfg(c.seed))
+            .run(&problem.spec, &flat)
+            .map_err(|e| format!("{e}"))?;
+        prop_assert!(
+            nf.values == sf.values,
+            "native flat (lossless faults) != sim for {c:?}"
+        );
+        let nn = GatherEngine::native(native_cfg(c.seed))
+            .run(&problem.spec, &nested)
+            .map_err(|e| format!("{e}"))?;
+        prop_assert!(
+            nn.values == sf.values,
+            "native nested (lossless faults) != sim for {c:?}"
+        );
+        Ok(())
+    });
+}
