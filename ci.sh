@@ -11,6 +11,9 @@
 #   ./ci.sh perf     # quick native-bench subset vs checked-in baseline;
 #                    # fails on >20 % median regression on any workload,
 #                    # reproduced on 3 consecutive runs (host-noise guard)
+#   ./ci.sh workloads # skewed-family golden-oracle sweeps (3 fixed
+#                    # seeds + one randomized pass) plus the strategy
+#                    # auto-selection check on the deterministic sim
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
 # including in the code under test, whose whole contract is "typed error,
@@ -77,6 +80,29 @@ faults() {
     run_tests cargo test -q --release -p earth-model --test fault_injection watchdog
 }
 
+workloads() {
+    # The golden-oracle property suite for the skewed workload families:
+    # three fixed base seeds for deterministic replay, then one
+    # randomized pass to keep widening coverage (its seed prints on
+    # failure for replay via PROP_SEED).
+    for seed in 1 2 3; do
+        echo "== workload families (PROP_BASE_SEED=$seed) =="
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p earth-irred --test workload_families
+    done
+
+    echo "== workload families (randomized pass) =="
+    rand_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    echo "   PROP_BASE_SEED=$rand_seed"
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p earth-irred --test workload_families
+
+    # The skew sweep runs on the metered simulator — cycle counts are
+    # deterministic, so this check is immune to host noise: auto_select
+    # must pick the empirically faster strategy at the no-skew and
+    # extreme-skew endpoints.
+    echo "== strategy auto-selection (skew sweep, sim) =="
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_workloads -- --check
+}
+
 perf() {
     # Quick-mode native benchmark against the checked-in quick baseline
     # (bench_results/BENCH_native_quick.json). >20 % median regression on
@@ -108,13 +134,15 @@ case "${1:-all}" in
     tier1) tier1 ;;
     faults) faults ;;
     perf) perf ;;
+    workloads) workloads ;;
     all)
         tier1
         faults
+        workloads
         perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults|perf]" >&2
+        echo "usage: $0 [tier1|faults|perf|workloads]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,268 @@
+//! Skew-sweep strategy benchmark for the workload families.
+//!
+//! Runs each generated family — power-law graph, hot-key scatter-add,
+//! particle-in-cell — across its skew knob on the *simulator* (metered,
+//! deterministic cycle counts, so this check is immune to host noise),
+//! timing the phased rotating-portions executor against the classic
+//! communicating inspector/executor at the paper's all-round best
+//! strategy (P=8, k=2, cyclic). The comparison is one **adaptation**:
+//! a (re-)preparation plus one sweep — the regime these families model
+//! (fresh minibatch index sets, particle churn, adaptive frontiers),
+//! where the classic scheme must re-pay its communicating inspector and
+//! partitioning (§5.4.3) while the phased scheme's LightInspector is a
+//! linear pass. For every point it records the plan statistics
+//! ([`irred::PlanStats`]), what [`StrategyConfig::auto_select`] picks
+//! from them, and which engine was empirically faster; results land in
+//! `bench_results/BENCH_workloads.json`.
+//!
+//! Modes:
+//!   bench_workloads             full sweep, writes the JSON
+//!   REPRO_QUICK=1 ...           smaller decks (CI smoke)
+//!   bench_workloads --check     additionally require auto_select to
+//!                               match the empirical winner at the
+//!                               no-skew and extreme-skew endpoints of
+//!                               the power-law and hot-key sweeps, and
+//!                               exit 1 if it does not
+
+use std::fmt::Write as _;
+
+use irred::baseline::{IeEngine, InspectorExecutor};
+use irred::{EngineChoice, PhasedEngine, ReductionEngine, StrategyConfig, Workspace};
+use kernels::FamilyProblem;
+use repro_bench::{quick, SimConfig};
+use workloads::{Distribution, FamilySpec, HotKeyScatter, PicDeck, PowerLawGraph};
+
+const PROCS: usize = 8;
+const K: usize = 2;
+
+struct Point {
+    family: &'static str,
+    param: String,
+    skew: f64,
+    distinct: usize,
+    total_refs: u64,
+    phased_cycles: u64,
+    phased_prep_cycles: u64,
+    ie_cycles: u64,
+    ie_prep_cycles: u64,
+    auto: EngineChoice,
+    empirical: EngineChoice,
+}
+
+impl Point {
+    fn phased_total(&self) -> u64 {
+        self.phased_cycles + self.phased_prep_cycles
+    }
+
+    fn ie_total(&self) -> u64 {
+        self.ie_cycles + self.ie_prep_cycles
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "  {:<9} {:<14} skew {:>6.2}  distinct {:>6}  phased {:>9} cyc (+{:>6} prep)  ie {:>9} cyc (+{:>8} prep)  auto {:<6} empirical {:<6}{}",
+            self.family,
+            self.param,
+            self.skew,
+            self.distinct,
+            self.phased_cycles,
+            self.phased_prep_cycles,
+            self.ie_cycles,
+            self.ie_prep_cycles,
+            self.auto.label(),
+            self.empirical.label(),
+            if self.auto == self.empirical { "" } else { "  <-- mismatch" }
+        )
+    }
+}
+
+/// One sweep point: run both engines on the simulator, sanity-check that
+/// they agree bit for bit, and record per-adaptation cycles (preparation
+/// + one sweep) + statistics + the choice.
+fn measure(family: FamilySpec, fam: &'static str, param: String) -> Point {
+    let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, 1);
+    let num_elements = family.num_elements;
+    let num_iterations = family.num_iterations();
+    let p = FamilyProblem::from_family(family);
+    let cfg = SimConfig::default();
+    let engine = PhasedEngine::sim(cfg);
+    let mut prepared = engine.prepare(&p.spec, &strat).expect("prepare");
+    let stats = prepared.plan_stats();
+    let mut ws = Workspace::new();
+    let phased = engine.execute(&mut prepared, &mut ws).expect("phased sim");
+    // Phased re-preparation: a LightInspector linear pass over the local
+    // references (modeled; the incremental path under churn is cheaper
+    // still).
+    let phased_prep =
+        (stats.total_refs as f64 / PROCS as f64 * StrategyConfig::PREP_REF_CYCLES) as u64;
+    let ie_engine = IeEngine::sim(cfg);
+    let mut ie_prepared = ie_engine.prepare(&p.spec, &strat).expect("ie prepare");
+    let ie = ie_engine
+        .execute(&mut ie_prepared, &mut Workspace::new())
+        .expect("ie sim");
+    // IE re-preparation: the communicating inspector (modeled by the
+    // engine itself) plus re-partitioning the moved data (§5.4.3).
+    let ie_prep = ie_prepared.inspector_cycles()
+        + InspectorExecutor::partitioning_cycles(num_elements, num_iterations, &cfg);
+    assert_eq!(
+        phased.values, ie.values,
+        "{fam} {param}: engines disagree bit-for-bit"
+    );
+    let point = Point {
+        family: fam,
+        param,
+        skew: stats.skew,
+        distinct: stats.distinct_elements,
+        total_refs: stats.total_refs,
+        phased_cycles: phased.time_cycles,
+        phased_prep_cycles: phased_prep,
+        ie_cycles: ie.time_cycles,
+        ie_prep_cycles: ie_prep,
+        auto: strat.auto_select(&stats),
+        empirical: EngineChoice::RotatingPortions,
+    };
+    let empirical = if point.ie_total() < point.phased_total() {
+        EngineChoice::InspectorExecutor
+    } else {
+        EngineChoice::RotatingPortions
+    };
+    Point { empirical, ..point }
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn to_json(points: &[Point], endpoints_ok: bool) -> String {
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(out, "  \"tool\": \"bench_workloads\",").unwrap();
+    writeln!(out, "  \"git_sha\": \"{}\",", git_sha()).unwrap();
+    writeln!(out, "  \"quick\": {},", quick()).unwrap();
+    writeln!(
+        out,
+        "  \"config\": {{ \"procs\": {PROCS}, \"k\": {K}, \"ghost_cost\": {} }},",
+        StrategyConfig::GHOST_COST
+    )
+    .unwrap();
+    writeln!(out, "  \"endpoints_ok\": {endpoints_ok},").unwrap();
+    writeln!(out, "  \"points\": [").unwrap();
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{ \"family\": \"{}\", \"param\": \"{}\", \"skew\": {:.4}, \
+             \"distinct\": {}, \"total_refs\": {}, \"phased_cycles\": {}, \
+             \"phased_prep_cycles\": {}, \"phased_total\": {}, \"ie_cycles\": {}, \
+             \"ie_prep_cycles\": {}, \"ie_total\": {}, \"auto\": \"{}\", \
+             \"empirical\": \"{}\" }}{}",
+            p.family,
+            p.param,
+            p.skew,
+            p.distinct,
+            p.total_refs,
+            p.phased_cycles,
+            p.phased_prep_cycles,
+            p.phased_total(),
+            p.ie_cycles,
+            p.ie_prep_cycles,
+            p.ie_total(),
+            p.auto.label(),
+            p.empirical.label(),
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ]").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let q = quick();
+    println!("=== workload-family skew sweep (sim, P={PROCS} k={K}) ===");
+
+    let (pl_nodes, pl_deg) = if q { (4_096, 8) } else { (8_192, 8) };
+    let (hk_keys, hk_rows) = if q { (4_096, 32_768) } else { (8_192, 65_536) };
+    let (pic_cells, pic_parts) = if q { (2_048, 16_384) } else { (4_096, 32_768) };
+
+    let mut points = Vec::new();
+
+    for &alpha in &[0.0, 0.8, 1.5, 2.5] {
+        let g =
+            PowerLawGraph::generate(pl_nodes, pl_nodes * pl_deg, alpha, 1).expect("powerlaw deck");
+        points.push(measure(
+            g.to_family(1),
+            "powerlaw",
+            format!("alpha={alpha}"),
+        ));
+        println!("{}", points.last().unwrap().render());
+    }
+
+    for &frac in &[0.0, 0.5, 0.9, 0.99] {
+        let d = HotKeyScatter::generate(hk_keys, hk_rows, 1, frac, 1, 2).expect("hotkey deck");
+        points.push(measure(
+            d.to_family(2),
+            "hotkey",
+            format!("hot_frac={frac}"),
+        ));
+        println!("{}", points.last().unwrap().render());
+    }
+
+    for &churn in &[0.1, 0.5, 0.9] {
+        let d = PicDeck::generate(pic_cells, pic_parts, 1, churn, 3).expect("pic deck");
+        points.push(measure(d.initial(), "pic", format!("churn={churn}")));
+        println!("{}", points.last().unwrap().render());
+    }
+
+    // The endpoints the auto-selection rule is accountable for: the
+    // flattest and most skewed points of each monotone sweep.
+    let endpoint = |fam: &str, param: &str| -> &Point {
+        points
+            .iter()
+            .find(|p| p.family == fam && p.param == param)
+            .expect("endpoint point exists")
+    };
+    let endpoints = [
+        endpoint("powerlaw", "alpha=0"),
+        endpoint("powerlaw", "alpha=2.5"),
+        endpoint("hotkey", "hot_frac=0"),
+        endpoint("hotkey", "hot_frac=0.99"),
+    ];
+    let endpoints_ok = endpoints.iter().all(|p| p.auto == p.empirical);
+
+    let path = "bench_results/BENCH_workloads.json";
+    std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
+    std::fs::write(path, to_json(&points, endpoints_ok)).expect("write report");
+    println!("report: {path}");
+
+    if check {
+        if endpoints_ok {
+            println!("check: auto_select matches the empirical winner at all 4 skew endpoints");
+        } else {
+            for p in endpoints {
+                if p.auto != p.empirical {
+                    eprintln!(
+                        "check FAILED: {} {}: auto_select picked {} but {} was faster \
+                         ({} vs {} total cycles)",
+                        p.family,
+                        p.param,
+                        p.auto.label(),
+                        p.empirical.label(),
+                        p.phased_total(),
+                        p.ie_total()
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}

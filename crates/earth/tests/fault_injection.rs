@@ -153,7 +153,7 @@ fn lossless_faults_are_bit_transparent_native() {
     let injected = AtomicU64::new(0);
     check(
         "lossless_faults_are_bit_transparent_native",
-        Config::cases(64),
+        Config::cases_quick(64),
         |g| (gen_ring(g), g.u64_any()),
         |(case, seed)| {
             let baseline = run_native(build_ring::<NativeCtx<f64>>(case)).unwrap();
@@ -185,7 +185,7 @@ fn lossless_faults_are_bit_transparent_native() {
 fn lossless_faults_are_bit_transparent_fan_in() {
     check(
         "lossless_faults_are_bit_transparent_fan_in",
-        Config::cases(64),
+        Config::cases_quick(64),
         |g| (gen_fan(g), g.u64_any()),
         |(case, seed)| {
             let r = run_native_with(
@@ -206,7 +206,7 @@ fn chaos_faults_complete_or_fail_typed_native() {
     let failures = AtomicU64::new(0);
     check(
         "chaos_faults_complete_or_fail_typed_native",
-        Config::cases(96),
+        Config::cases_quick(96),
         |g| {
             let case = gen_ring(g);
             let seed = g.u64_any();
@@ -258,7 +258,7 @@ fn chaos_faults_complete_or_fail_typed_native() {
 fn sim_fault_replay_is_deterministic() {
     check(
         "sim_fault_replay_is_deterministic",
-        Config::cases(64),
+        Config::cases_quick(64),
         |g| (gen_ring(g), g.u64_any()),
         |(case, seed)| {
             let run = || {

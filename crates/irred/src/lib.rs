@@ -73,10 +73,11 @@ pub use engine::{
 };
 pub use gather::{GatherEngine, GatherSpec, PreparedGather};
 pub use kernel::EdgeKernel;
+pub use lightinspector::{portion_stats, PlanStats};
 pub use phased::{PhasedEngine, PhasedError, PhasedSpec, PreparedPhased};
 pub use prepared::{PlanToken, Workspace};
 pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
-pub use strategy::{LoopLayout, StrategyConfig, StrategyError};
+pub use strategy::{EngineChoice, LoopLayout, StrategyConfig, StrategyError};
 pub use workloads::Distribution;
 
 /// Compare two reduction results element-wise with a tolerance that

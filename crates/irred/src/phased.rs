@@ -1565,6 +1565,18 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         self.executions
     }
 
+    /// Portion-space statistics of the *current* indirection (kept in
+    /// sync by [`Self::apply_updates`]): the portion histogram,
+    /// max/mean references, distinct-element count, and the skew
+    /// coefficient — the inputs to
+    /// [`StrategyConfig::auto_select`](crate::StrategyConfig::auto_select).
+    pub fn plan_stats(&self) -> lightinspector::PlanStats {
+        let geometry = PhaseGeometry::try_new(self.strat.procs, self.strat.k, self.num_elements)
+            .expect("prepared runs always hold a valid geometry");
+        let refs: Vec<&[u32]> = self.indirection.iter().map(|v| v.as_slice()).collect();
+        lightinspector::portion_stats(&geometry, &refs)
+    }
+
     /// Re-route iterations of an adaptive mesh: each entry re-targets
     /// global iteration `iter` to `new_refs` (one element per indirection
     /// array). The affected nodes' plans are updated incrementally in

@@ -123,7 +123,7 @@ fn build_spec(s: &Shape) -> PhasedSpec<IntArityKernel> {
 fn seq_ie_phased_agree_bitwise() {
     check(
         "seq_ie_phased_agree_bitwise",
-        Config::cases(64),
+        Config::cases_quick(64),
         shape,
         |s| {
             let spec = build_spec(s);
@@ -175,7 +175,7 @@ fn gather_agrees_bitwise_with_phased_formulation() {
 
     check(
         "gather_agrees_bitwise",
-        Config::cases(48),
+        Config::cases_quick(48),
         |g| {
             let procs = g.usize_incl(1, 5);
             let n = g.usize_in(8..100).max(procs * 4);
@@ -259,7 +259,7 @@ fn assert_provenance(outcomes: &[irred::RunOutcome]) {
 fn prepared_phased_sim_matches_fresh_runs() {
     check(
         "prepared_phased_sim_matches_fresh_runs",
-        Config::cases(32),
+        Config::cases_quick(32),
         shape,
         |s| {
             let spec = build_spec(s);

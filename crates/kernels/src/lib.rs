@@ -16,9 +16,11 @@
 //! sequential reference used by the tests and the benchmark harness.
 
 pub mod euler;
+pub mod family;
 pub mod moldyn;
 pub mod mvm;
 
 pub use euler::{EulerKernel, EulerProblem};
+pub use family::{FamilyKernel, FamilyProblem};
 pub use moldyn::{MolDynKernel, MolDynProblem};
 pub use mvm::MvmProblem;

@@ -38,6 +38,7 @@ pub mod geometry;
 pub mod incremental;
 pub mod inspector;
 pub mod plan;
+pub mod stats;
 
 pub use geometry::{PhaseGeometry, PortionId};
 pub use incremental::{diff_pairs, IncrementalInspector};
@@ -46,3 +47,4 @@ pub use inspector::{
     STAGE_PLACE, STAGE_VALIDATE,
 };
 pub use plan::{verify_plan, CopyOp, FlatPlan, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};
+pub use stats::{portion_stats, PlanStats};

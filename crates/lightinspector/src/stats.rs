@@ -1,0 +1,119 @@
+//! Reference-stream statistics over the portion space — the signal the
+//! strategy auto-selector reads.
+//!
+//! The rotating-portions strategy's communication volume is independent
+//! of the indirection contents, but its *load balance* and the
+//! competing inspector/executor baseline's ghost traffic are not: both
+//! are governed by how references spread over the `k·P` portions and by
+//! how many distinct elements they touch. [`portion_stats`] folds a set
+//! of indirection arrays into that signature once, at inspection
+//! granularity, without building a plan.
+
+use crate::geometry::PhaseGeometry;
+
+/// Portion-space signature of one reference stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// References landing in each of the `k·P` portions (the portion
+    /// histogram).
+    pub portion_refs: Vec<u64>,
+    /// Total references (= iterations × refs-per-iteration).
+    pub total_refs: u64,
+    /// Distinct elements referenced at least once.
+    pub distinct_elements: usize,
+    /// Largest portion count.
+    pub max_portion_refs: u64,
+    /// Mean over all `k·P` portions (including empty ones).
+    pub mean_portion_refs: f64,
+    /// Skew coefficient: `max / mean` over the portion histogram.
+    /// `1.0` is perfectly balanced; an all-in-one-portion stream on
+    /// `k·P` portions reaches `k·P`.
+    pub skew: f64,
+}
+
+impl PlanStats {
+    /// Portions receiving no references at all.
+    pub fn empty_portions(&self) -> usize {
+        self.portion_refs.iter().filter(|&&c| c == 0).count()
+    }
+}
+
+/// Compute the portion histogram, distinct-element count, and skew
+/// coefficient of `indirection` under `geometry`.
+pub fn portion_stats(geometry: &PhaseGeometry, indirection: &[&[u32]]) -> PlanStats {
+    let kp = geometry.num_phases();
+    let mut portion_refs = vec![0u64; kp];
+    let mut seen = vec![false; geometry.num_elements()];
+    let mut distinct = 0usize;
+    let mut total = 0u64;
+    for arr in indirection {
+        for &e in *arr {
+            portion_refs[geometry.portion_of(e as usize)] += 1;
+            total += 1;
+            if !seen[e as usize] {
+                seen[e as usize] = true;
+                distinct += 1;
+            }
+        }
+    }
+    let max = portion_refs.iter().copied().max().unwrap_or(0);
+    let mean = total as f64 / kp.max(1) as f64;
+    PlanStats {
+        portion_refs,
+        total_refs: total,
+        distinct_elements: distinct,
+        max_portion_refs: max,
+        mean_portion_refs: mean,
+        skew: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_stream_has_unit_skew() {
+        // 8 elements, 2 procs, k=2 → 4 portions of 2; one ref per element.
+        let g = PhaseGeometry::try_new(2, 2, 8).unwrap();
+        let ind: Vec<u32> = (0..8).collect();
+        let s = portion_stats(&g, &[&ind]);
+        assert_eq!(s.portion_refs, vec![2, 2, 2, 2]);
+        assert_eq!(s.total_refs, 8);
+        assert_eq!(s.distinct_elements, 8);
+        assert_eq!(s.skew, 1.0);
+        assert_eq!(s.empty_portions(), 0);
+    }
+
+    #[test]
+    fn hot_portion_maximizes_skew() {
+        let g = PhaseGeometry::try_new(2, 2, 8).unwrap();
+        // Every reference lands on element 0 → portion 0.
+        let ind = vec![0u32; 12];
+        let s = portion_stats(&g, &[&ind]);
+        assert_eq!(s.portion_refs, vec![12, 0, 0, 0]);
+        assert_eq!(s.distinct_elements, 1);
+        assert_eq!(s.skew, 4.0); // max 12 / mean 3 — the k·P ceiling
+        assert_eq!(s.empty_portions(), 3);
+    }
+
+    #[test]
+    fn multiple_ref_arrays_accumulate() {
+        let g = PhaseGeometry::try_new(1, 2, 4).unwrap();
+        let a = vec![0u32, 1];
+        let b = vec![2u32, 3];
+        let s = portion_stats(&g, &[&a, &b]);
+        assert_eq!(s.total_refs, 4);
+        assert_eq!(s.portion_refs, vec![2, 2]);
+        assert_eq!(s.distinct_elements, 4);
+    }
+
+    #[test]
+    fn empty_stream_is_neutral() {
+        let g = PhaseGeometry::try_new(2, 1, 4).unwrap();
+        let empty: Vec<u32> = vec![];
+        let s = portion_stats(&g, &[&empty]);
+        assert_eq!(s.total_refs, 0);
+        assert_eq!(s.skew, 1.0);
+    }
+}

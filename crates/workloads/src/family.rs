@@ -1,0 +1,196 @@
+//! The common shape of the skewed workload families.
+//!
+//! The three families of ROADMAP item 4 (power-law graph analytics,
+//! hot-key histogram / embedding-gradient scatter-add, particle-in-cell
+//! deposition) differ in *where their indirection points*, not in what
+//! the loop body computes. Each generator therefore lowers to one
+//! [`FamilySpec`]: indirection arrays plus integer-valued per-iteration
+//! weights and a small integer coefficient matrix. The contribution of
+//! iteration `i` through reference `r` to reduction array `a` is
+//!
+//! ```text
+//! x[a][ind[r][i]] += coeffs[r][a] · w[i]
+//! ```
+//!
+//! Every partial sum is an exactly-representable integer, so any
+//! execution strategy — whatever order it sums in — must reproduce the
+//! straight-line oracle ([`crate::oracle`]) **bit for bit**. That is
+//! what makes cross-engine `assert_eq!` on `f64` meaningful.
+
+/// Why a family request is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyError {
+    /// A family needs at least one reduction element.
+    ZeroElements,
+    /// A family needs at least one iteration.
+    ZeroIterations,
+    /// A knob outside its domain (e.g. a hot fraction not in `[0, 1]`).
+    BadKnob(&'static str),
+}
+
+impl std::fmt::Display for FamilyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyError::ZeroElements => write!(f, "family needs at least 1 element"),
+            FamilyError::ZeroIterations => write!(f, "family needs at least 1 iteration"),
+            FamilyError::BadKnob(k) => write!(f, "family knob out of domain: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for FamilyError {}
+
+/// One generated irregular-reduction workload, ready to lower onto any
+/// engine (the `kernels` crate wraps it in an `EdgeKernel`) and to feed
+/// the golden oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySpec {
+    /// Family + knob label, used in figures and JSON reports.
+    pub name: String,
+    /// Size of each reduction array.
+    pub num_elements: usize,
+    /// `indirection[r][i]` = element hit by reference `r` of iteration
+    /// `i`. All arrays have equal length (the iteration count).
+    pub indirection: Vec<Vec<u32>>,
+    /// Integer-valued weight per iteration (stored as `f64`).
+    pub weights: Vec<f64>,
+    /// `coeffs[r][a]` = signed integer coefficient applied to `w[i]`
+    /// for reference `r`, reduction array `a`.
+    pub coeffs: Vec<Vec<f64>>,
+}
+
+impl FamilySpec {
+    /// Reduction references per iteration.
+    pub fn num_refs(&self) -> usize {
+        self.indirection.len()
+    }
+
+    /// Reduction arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.coeffs.first().map_or(0, |c| c.len())
+    }
+
+    /// Loop iterations.
+    pub fn num_iterations(&self) -> usize {
+        self.indirection.first().map_or(0, |a| a.len())
+    }
+
+    /// Structural sanity: equal-length indirection arrays, one weight
+    /// per iteration, a rectangular coefficient matrix, and in-range
+    /// element references. The generators uphold this by construction;
+    /// the harness re-checks it on every generated deck.
+    pub fn validate(&self) -> Result<(), FamilyError> {
+        if self.num_elements == 0 {
+            return Err(FamilyError::ZeroElements);
+        }
+        let iters = self.num_iterations();
+        if iters == 0 {
+            return Err(FamilyError::ZeroIterations);
+        }
+        if self.weights.len() != iters {
+            return Err(FamilyError::BadKnob("weights length"));
+        }
+        if self.coeffs.len() != self.num_refs() || self.num_arrays() == 0 {
+            return Err(FamilyError::BadKnob("coeffs shape"));
+        }
+        for c in &self.coeffs {
+            if c.len() != self.num_arrays() {
+                return Err(FamilyError::BadKnob("coeffs shape"));
+            }
+            if c.iter().any(|v| v.fract() != 0.0 || v.abs() > 16.0) {
+                return Err(FamilyError::BadKnob("coefficients must be small integers"));
+            }
+        }
+        if self.weights.iter().any(|w| w.fract() != 0.0) {
+            return Err(FamilyError::BadKnob("weights must be integer-valued"));
+        }
+        for arr in &self.indirection {
+            if arr.len() != iters {
+                return Err(FamilyError::BadKnob("indirection lengths"));
+            }
+            if arr.iter().any(|&e| e as usize >= self.num_elements) {
+                return Err(FamilyError::BadKnob("indirection out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Empirical element-level skew of the reference stream: the maximum
+    /// number of references landing on one element divided by the mean
+    /// over *referenced* elements. `1.0` is perfectly flat; hot-key
+    /// decks reach into the hundreds.
+    pub fn element_skew(&self) -> f64 {
+        let mut counts = vec![0u64; self.num_elements];
+        for arr in &self.indirection {
+            for &e in arr {
+                counts[e as usize] += 1;
+            }
+        }
+        let referenced: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+        if referenced.is_empty() {
+            return 1.0;
+        }
+        let max = *referenced.iter().max().unwrap() as f64;
+        let mean = referenced.iter().sum::<u64>() as f64 / referenced.len() as f64;
+        max / mean
+    }
+
+    /// Number of distinct elements the indirection touches.
+    pub fn distinct_elements(&self) -> usize {
+        let mut seen = vec![false; self.num_elements];
+        let mut n = 0usize;
+        for arr in &self.indirection {
+            for &e in arr {
+                if !seen[e as usize] {
+                    seen[e as usize] = true;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FamilySpec {
+        FamilySpec {
+            name: "tiny".into(),
+            num_elements: 4,
+            indirection: vec![vec![0, 1, 0], vec![2, 3, 2]],
+            weights: vec![1.0, 2.0, 3.0],
+            coeffs: vec![vec![1.0, 2.0], vec![-1.0, 1.0]],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let mut f = tiny();
+        f.weights.pop();
+        assert!(f.validate().is_err());
+        let mut f = tiny();
+        f.indirection[1][0] = 9;
+        assert!(f.validate().is_err());
+        let mut f = tiny();
+        f.weights[0] = 0.5;
+        assert!(f.validate().is_err());
+        let mut f = tiny();
+        f.num_elements = 0;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn skew_and_distinct() {
+        let f = tiny();
+        // Element hits: 0→2, 1→1, 2→2, 3→1; max 2, mean 1.5.
+        assert!((f.element_skew() - 2.0 / 1.5).abs() < 1e-12);
+        assert_eq!(f.distinct_elements(), 4);
+    }
+}

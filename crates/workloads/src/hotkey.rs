@@ -1,0 +1,149 @@
+//! Hot-key scatter-add family: ML-shaped histogram / embedding-gradient
+//! accumulation — many rows, few hot keys.
+//!
+//! Mirrors the access pattern of embedding-table gradient accumulation
+//! and of group-by histogram kernels: a long stream of rows, each
+//! updating one key's accumulator (optionally several gradient
+//! components, i.e. several reduction arrays), where a small hot set of
+//! keys absorbs most of the stream. `hot_frac = 0` is a flat histogram;
+//! `hot_frac → 1` sends almost every row to the hot set — the extreme
+//! portion-imbalance endpoint.
+
+use harness::Rng64;
+
+use crate::family::{FamilyError, FamilySpec};
+
+/// A generated hot-key scatter-add deck.
+#[derive(Debug, Clone)]
+pub struct HotKeyScatter {
+    pub num_keys: usize,
+    /// Target key per row.
+    pub keys: Vec<u32>,
+    /// The hot key ids (pseudo-randomly spread across the key space so
+    /// they straddle portion boundaries).
+    pub hot: Vec<u32>,
+    pub hot_frac: f64,
+    /// Gradient components per key (reduction arrays).
+    pub components: usize,
+}
+
+impl HotKeyScatter {
+    /// Generate `rows` updates over `num_keys` keys; a `hot_frac`
+    /// fraction of rows lands uniformly on `num_hot` hot keys, the rest
+    /// uniformly on the whole key space. `components` is the number of
+    /// reduction arrays (embedding gradient width).
+    pub fn generate(
+        num_keys: usize,
+        rows: usize,
+        num_hot: usize,
+        hot_frac: f64,
+        components: usize,
+        seed: u64,
+    ) -> Result<HotKeyScatter, FamilyError> {
+        if num_keys == 0 {
+            return Err(FamilyError::ZeroElements);
+        }
+        if rows == 0 {
+            return Err(FamilyError::ZeroIterations);
+        }
+        if !(0.0..=1.0).contains(&hot_frac) {
+            return Err(FamilyError::BadKnob("hot_frac must be in [0, 1]"));
+        }
+        if num_hot == 0 || num_hot > num_keys {
+            return Err(FamilyError::BadKnob("num_hot must be in 1..=num_keys"));
+        }
+        if components == 0 || components > 8 {
+            return Err(FamilyError::BadKnob("components must be in 1..=8"));
+        }
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x1107_4B35);
+        // Hot set: multiplicative-hash spread over the key space, so the
+        // hot keys land in different portions rather than clustering at
+        // the front.
+        let mut hot = Vec::with_capacity(num_hot);
+        let mut h = 0u64;
+        while hot.len() < num_hot {
+            let k = ((h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % num_keys as u64) as u32;
+            if !hot.contains(&k) {
+                hot.push(k);
+            }
+            h = h.wrapping_add(1);
+        }
+        let keys = (0..rows)
+            .map(|_| {
+                if rng.gen_bool(hot_frac) {
+                    hot[rng.gen_range(0..num_hot as u32) as usize]
+                } else {
+                    rng.gen_range(0..num_keys as u32)
+                }
+            })
+            .collect();
+        Ok(HotKeyScatter {
+            num_keys,
+            keys,
+            hot,
+            hot_frac,
+            components,
+        })
+    }
+
+    /// Lower to the common family shape: 1 reference (the key), one
+    /// reduction array per gradient component with coefficient `a+1`,
+    /// integer weights in `0..1000`.
+    pub fn to_family(&self, seed: u64) -> FamilySpec {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x6E5B_ADD5);
+        let weights: Vec<f64> = (0..self.keys.len())
+            .map(|_| rng.gen_range(0..1000u32) as f64)
+            .collect();
+        FamilySpec {
+            name: format!("hotkey-f{:.2}", self.hot_frac),
+            num_elements: self.num_keys,
+            indirection: vec![self.keys.clone()],
+            weights,
+            coeffs: vec![(0..self.components).map(|a| (a + 1) as f64).collect()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = HotKeyScatter::generate(500, 5_000, 4, 0.9, 2, 3).unwrap();
+        let b = HotKeyScatter::generate(500, 5_000, 4, 0.9, 2, 3).unwrap();
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.hot, b.hot);
+    }
+
+    #[test]
+    fn hot_frac_controls_concentration() {
+        let flat = HotKeyScatter::generate(500, 10_000, 4, 0.0, 1, 5).unwrap();
+        let hot = HotKeyScatter::generate(500, 10_000, 4, 0.95, 1, 5).unwrap();
+        let hot_hits = |d: &HotKeyScatter| {
+            d.keys.iter().filter(|k| d.hot.contains(k)).count() as f64 / d.keys.len() as f64
+        };
+        assert!(hot_hits(&hot) > 0.9);
+        assert!(hot_hits(&flat) < 0.1);
+        assert!(hot.to_family(1).element_skew() > 10.0 * flat.to_family(1).element_skew());
+    }
+
+    #[test]
+    fn family_is_well_formed() {
+        let d = HotKeyScatter::generate(100, 2_000, 3, 0.5, 4, 9).unwrap();
+        let f = d.to_family(9);
+        assert_eq!(f.validate(), Ok(()));
+        assert_eq!(f.num_refs(), 1);
+        assert_eq!(f.num_arrays(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        assert!(HotKeyScatter::generate(0, 10, 1, 0.5, 1, 1).is_err());
+        assert!(HotKeyScatter::generate(10, 0, 1, 0.5, 1, 1).is_err());
+        assert!(HotKeyScatter::generate(10, 10, 0, 0.5, 1, 1).is_err());
+        assert!(HotKeyScatter::generate(10, 10, 11, 0.5, 1, 1).is_err());
+        assert!(HotKeyScatter::generate(10, 10, 1, 1.5, 1, 1).is_err());
+        assert!(HotKeyScatter::generate(10, 10, 1, 0.5, 0, 1).is_err());
+    }
+}

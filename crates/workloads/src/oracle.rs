@@ -1,0 +1,98 @@
+//! The golden oracle: a straight-line sequential scatter-add against
+//! which every engine's result is checked **bit for bit**.
+//!
+//! Deliberately the dumbest possible implementation — one loop, global
+//! iteration order, no distribution, no phases, no buffering — so it
+//! shares no code (and no bugs) with any executor. Because the family
+//! weights and coefficients are integer-valued, every partial sum is an
+//! exactly-representable integer and summation order cannot perturb the
+//! bits; an engine that loses, duplicates, or misroutes a single
+//! contribution produces a different `f64` and fails `assert_eq!`.
+//!
+//! This crate sits *below* `irred` in the dependency order, so the
+//! oracle works on raw [`FamilySpec`] data only — it never sees a
+//! kernel, an engine, or a plan.
+
+use crate::family::FamilySpec;
+
+/// Reduce a family sequentially: returns `x[a][e]` = the summed
+/// contributions of every iteration's every reference, one `Vec` per
+/// reduction array.
+pub fn oracle_reduce(f: &FamilySpec) -> Vec<Vec<f64>> {
+    oracle_reduce_raw(f.num_elements, &f.indirection, &f.weights, &f.coeffs)
+}
+
+/// The raw form of [`oracle_reduce`], for callers holding loose arrays
+/// (e.g. a churned indirection mid-trajectory).
+pub fn oracle_reduce_raw(
+    num_elements: usize,
+    indirection: &[Vec<u32>],
+    weights: &[f64],
+    coeffs: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    let arrays = coeffs.first().map_or(0, |c| c.len());
+    let mut x = vec![vec![0.0f64; num_elements]; arrays];
+    let iters = indirection.first().map_or(0, |a| a.len());
+    for i in 0..iters {
+        for (r, ind_r) in indirection.iter().enumerate() {
+            let e = ind_r[i] as usize;
+            for (a, xa) in x.iter_mut().enumerate() {
+                xa[e] += coeffs[r][a] * weights[i];
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotkey::HotKeyScatter;
+    use crate::pic::PicDeck;
+    use crate::powerlaw::PowerLawGraph;
+
+    #[test]
+    fn hand_computed_tiny_case() {
+        let f = FamilySpec {
+            name: "tiny".into(),
+            num_elements: 3,
+            indirection: vec![vec![0, 2], vec![1, 1]],
+            weights: vec![5.0, 7.0],
+            coeffs: vec![vec![1.0], vec![-2.0]],
+        };
+        let x = oracle_reduce(&f);
+        // iter 0: x[0] += 5, x[1] -= 10; iter 1: x[2] += 7, x[1] -= 14.
+        assert_eq!(x, vec![vec![5.0, -24.0, 7.0]]);
+    }
+
+    #[test]
+    fn powerlaw_mass_is_conserved() {
+        // coeffs (-1, +1) on the two endpoints: total mass must be 0.
+        let g = PowerLawGraph::generate(80, 900, 1.8, 3).unwrap();
+        let x = oracle_reduce(&g.to_family(3));
+        assert_eq!(x[0].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn hotkey_totals_match_weights() {
+        let d = HotKeyScatter::generate(50, 700, 3, 0.8, 2, 4).unwrap();
+        let f = d.to_family(4);
+        let x = oracle_reduce(&f);
+        let w_total: f64 = f.weights.iter().sum();
+        assert_eq!(x[0].iter().sum::<f64>(), w_total);
+        assert_eq!(x[1].iter().sum::<f64>(), 2.0 * w_total);
+    }
+
+    #[test]
+    fn pic_charge_totals_and_current_cancel() {
+        let d = PicDeck::generate(40, 500, 2, 0.3, 6).unwrap();
+        for step in 0..=d.steps {
+            let f = d.family_at(step);
+            let x = oracle_reduce(&f);
+            let q: f64 = f.weights.iter().sum();
+            // Charge splits 2:1 → total 3q; current is +1/−1 → total 0.
+            assert_eq!(x[0].iter().sum::<f64>(), 3.0 * q, "step {step}");
+            assert_eq!(x[1].iter().sum::<f64>(), 0.0, "step {step}");
+        }
+    }
+}

@@ -7,6 +7,38 @@
 //! instead pays for a geometric partitioner; we provide recursive
 //! coordinate bisection (RCB), the standard light-geometry choice.
 
+/// Why a partition request is rejected. The high-skew workload families
+/// routinely produce degenerate shapes (more processors than iterations,
+/// part counts that RCB cannot halve); callers that reach those corners
+/// get a typed error to match on instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Zero processors describe no machine.
+    ZeroProcs,
+    /// RCB halves the point set recursively; `parts` must be a power of
+    /// two.
+    NotPowerOfTwo { parts: usize },
+    /// A part received no items — the degenerate case where fewer
+    /// iterations (or points) exist than parts.
+    EmptyPart { part: usize, parts: usize },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroProcs => write!(f, "partition needs at least 1 processor"),
+            PartitionError::NotPowerOfTwo { parts } => {
+                write!(f, "RCB needs a power-of-two part count, got {parts}")
+            }
+            PartitionError::EmptyPart { part, parts } => {
+                write!(f, "part {part} of {parts} received no items")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// How loop iterations (and their per-iteration arrays) are divided
 /// among processors before the LightInspector runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +61,17 @@ impl Distribution {
 
 /// Assign `num_iters` iterations to `procs` processors. Returns the
 /// global iteration ids owned by each processor, in increasing order.
-pub fn distribute(num_iters: usize, procs: usize, d: Distribution) -> Vec<Vec<u32>> {
-    assert!(procs >= 1);
+/// Processors beyond `num_iters` legally receive empty portions (the
+/// phased executor degrades them to bare synchronization); use
+/// [`try_distribute_nonempty`] when every part must carry work.
+pub fn try_distribute(
+    num_iters: usize,
+    procs: usize,
+    d: Distribution,
+) -> Result<Vec<Vec<u32>>, PartitionError> {
+    if procs < 1 {
+        return Err(PartitionError::ZeroProcs);
+    }
     let mut out = vec![Vec::with_capacity(num_iters / procs + 1); procs];
     match d {
         Distribution::Block => {
@@ -51,7 +92,26 @@ pub fn distribute(num_iters: usize, procs: usize, d: Distribution) -> Vec<Vec<u3
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// [`try_distribute`], additionally rejecting distributions where any
+/// processor ends up with no iterations at all.
+pub fn try_distribute_nonempty(
+    num_iters: usize,
+    procs: usize,
+    d: Distribution,
+) -> Result<Vec<Vec<u32>>, PartitionError> {
+    let out = try_distribute(num_iters, procs, d)?;
+    if let Some(part) = out.iter().position(|v| v.is_empty()) {
+        return Err(PartitionError::EmptyPart { part, parts: procs });
+    }
+    Ok(out)
+}
+
+/// Panicking wrapper around [`try_distribute`] for static call sites.
+pub fn distribute(num_iters: usize, procs: usize, d: Distribution) -> Vec<Vec<u32>> {
+    try_distribute(num_iters, procs, d).unwrap_or_else(|e| panic!("invalid distribution: {e}"))
 }
 
 /// Distribute interaction pairs to processors by a stable hash of the
@@ -59,8 +119,14 @@ pub fn distribute(num_iters: usize, procs: usize, d: Distribution) -> Vec<Vec<u3
 /// under reordering of the list — after an adaptive neighbour-list
 /// rebuild, surviving pairs land on the *same* processor, so only real
 /// churn reaches the incremental inspector.
-pub fn hash_distribute_pairs(ia1: &[u32], ia2: &[u32], procs: usize) -> Vec<Vec<(u32, u32)>> {
-    assert!(procs >= 1);
+pub fn try_hash_distribute_pairs(
+    ia1: &[u32],
+    ia2: &[u32],
+    procs: usize,
+) -> Result<Vec<Vec<(u32, u32)>>, PartitionError> {
+    if procs < 1 {
+        return Err(PartitionError::ZeroProcs);
+    }
     let mut out = vec![Vec::with_capacity(ia1.len() / procs + 1); procs];
     for (&a, &b) in ia1.iter().zip(ia2) {
         let h = (u64::from(a)
@@ -69,21 +135,41 @@ pub fn hash_distribute_pairs(ia1: &[u32], ia2: &[u32], procs: usize) -> Vec<Vec<
         .wrapping_mul(0xC2B2AE3D27D4EB4F);
         out[(h >> 33) as usize % procs].push((a, b));
     }
-    out
+    Ok(out)
+}
+
+/// Panicking wrapper around [`try_hash_distribute_pairs`].
+pub fn hash_distribute_pairs(ia1: &[u32], ia2: &[u32], procs: usize) -> Vec<Vec<(u32, u32)>> {
+    try_hash_distribute_pairs(ia1, ia2, procs)
+        .unwrap_or_else(|e| panic!("invalid distribution: {e}"))
 }
 
 /// Recursive coordinate bisection over 3-D points: split the longest
 /// axis at the median until `parts` parts exist. Returns a part id per
-/// point. `parts` must be a power of two.
-pub fn rcb_partition(points: &[[f64; 3]], parts: usize) -> Vec<u32> {
-    assert!(
-        parts.is_power_of_two(),
-        "RCB needs a power-of-two part count"
-    );
+/// point. Rejects non-power-of-two part counts, and part counts
+/// exceeding the point count (those would leave parts empty — the
+/// degenerate shape extreme-skew decks produce).
+pub fn try_rcb_partition(points: &[[f64; 3]], parts: usize) -> Result<Vec<u32>, PartitionError> {
+    if parts == 0 || !parts.is_power_of_two() {
+        return Err(PartitionError::NotPowerOfTwo { parts });
+    }
+    if points.len() < parts {
+        return Err(PartitionError::EmptyPart {
+            part: points.len(),
+            parts,
+        });
+    }
     let mut ids: Vec<u32> = (0..points.len() as u32).collect();
     let mut owner = vec![0u32; points.len()];
     rcb_rec(points, &mut ids, 0, parts as u32, &mut owner);
-    owner
+    Ok(owner)
+}
+
+/// Panicking wrapper around [`try_rcb_partition`], kept for static call
+/// sites whose part counts are compile-time powers of two.
+pub fn rcb_partition(points: &[[f64; 3]], parts: usize) -> Vec<u32> {
+    try_rcb_partition(points, parts)
+        .unwrap_or_else(|e| panic!("RCB needs a power-of-two part count: {e}"))
 }
 
 fn rcb_rec(points: &[[f64; 3]], ids: &mut [u32], first: u32, parts: u32, owner: &mut [u32]) {
@@ -191,5 +277,57 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn rcb_rejects_odd_parts() {
         rcb_partition(&[[0.0; 3]; 4], 3);
+    }
+
+    #[test]
+    fn try_distribute_rejects_zero_procs() {
+        assert_eq!(
+            try_distribute(10, 0, Distribution::Block),
+            Err(PartitionError::ZeroProcs)
+        );
+        assert_eq!(
+            try_hash_distribute_pairs(&[0], &[1], 0),
+            Err(PartitionError::ZeroProcs)
+        );
+    }
+
+    #[test]
+    fn try_distribute_allows_empty_trailing_portions() {
+        // 2 iterations on 5 processors: legal, trailing portions empty.
+        let parts = try_distribute(2, 5, Distribution::Cyclic).unwrap();
+        assert_eq!(parts.iter().filter(|v| v.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn try_distribute_nonempty_rejects_starved_parts() {
+        assert_eq!(
+            try_distribute_nonempty(2, 5, Distribution::Block),
+            Err(PartitionError::EmptyPart { part: 2, parts: 5 })
+        );
+        assert!(try_distribute_nonempty(5, 5, Distribution::Block).is_ok());
+    }
+
+    #[test]
+    fn try_rcb_rejects_degenerate_shapes() {
+        assert_eq!(
+            try_rcb_partition(&[[0.0; 3]; 4], 3),
+            Err(PartitionError::NotPowerOfTwo { parts: 3 })
+        );
+        assert_eq!(
+            try_rcb_partition(&[[0.0; 3]; 4], 0),
+            Err(PartitionError::NotPowerOfTwo { parts: 0 })
+        );
+        // More parts than points: some part must end up empty.
+        assert_eq!(
+            try_rcb_partition(&[[0.0; 3]; 2], 4),
+            Err(PartitionError::EmptyPart { part: 2, parts: 4 })
+        );
+    }
+
+    #[test]
+    fn partition_errors_display() {
+        assert!(format!("{}", PartitionError::ZeroProcs).contains("at least 1"));
+        assert!(format!("{}", PartitionError::NotPowerOfTwo { parts: 3 }).contains("power-of-two"));
+        assert!(format!("{}", PartitionError::EmptyPart { part: 2, parts: 4 }).contains("part 2"));
     }
 }

@@ -1,0 +1,170 @@
+//! Power-law graph analytics family: PageRank / label-propagation-shaped
+//! edge loops with configurable degree skew.
+//!
+//! Endpoint popularity follows a Zipf-like law: node `v` is drawn with
+//! probability proportional to `(v+1)^(-alpha)`. `alpha = 0` is a flat
+//! (Erdős–Rényi-like) graph; `alpha ≈ 1.5–2.5` concentrates most edges
+//! on a handful of hub nodes — the regime where per-portion reference
+//! counts become wildly imbalanced and execution strategies diverge.
+//! Each edge contributes `+w` to its destination's rank mass and `-w`
+//! to its source (a push-style propagation step).
+
+use harness::Rng64;
+
+use crate::family::{FamilyError, FamilySpec};
+
+/// A degree-skewed directed multigraph.
+#[derive(Debug, Clone)]
+pub struct PowerLawGraph {
+    pub num_nodes: usize,
+    /// Edge endpoints: `src[i] → dst[i]`.
+    pub src: Vec<u32>,
+    pub dst: Vec<u32>,
+    /// The skew exponent the endpoints were drawn with.
+    pub alpha: f64,
+}
+
+/// Sampler over `{0..n}` with `P(v) ∝ (v+1)^(-alpha)`, via inverse CDF
+/// on a precomputed cumulative table (exact, deterministic).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, alpha: f64) -> ZipfSampler {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for v in 0..n {
+            acc += ((v + 1) as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn draw(&self, rng: &mut Rng64) -> u32 {
+        let total = *self.cdf.last().unwrap();
+        let u = rng.gen_range(0.0..1.0) * total;
+        // partition_point: first index with cdf > u.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1) as u32
+    }
+}
+
+impl PowerLawGraph {
+    /// Generate `num_edges` edges over `num_nodes` nodes with skew
+    /// exponent `alpha ≥ 0`. Destinations carry the skew (hubs receive);
+    /// sources are drawn uniformly, so every node keeps sending work.
+    pub fn generate(
+        num_nodes: usize,
+        num_edges: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Result<PowerLawGraph, FamilyError> {
+        if num_nodes == 0 {
+            return Err(FamilyError::ZeroElements);
+        }
+        if num_edges == 0 {
+            return Err(FamilyError::ZeroIterations);
+        }
+        if !(0.0..=8.0).contains(&alpha) {
+            return Err(FamilyError::BadKnob("alpha must be in [0, 8]"));
+        }
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x9C0F_FEE1);
+        let zipf = ZipfSampler::new(num_nodes, alpha);
+        let mut src = Vec::with_capacity(num_edges);
+        let mut dst = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            let s = rng.gen_range(0..num_nodes as u32);
+            let mut d = zipf.draw(&mut rng);
+            if d == s && num_nodes > 1 {
+                // One resample against self-loops; a residual loop is
+                // harmless (it contributes ±w to the same node).
+                d = zipf.draw(&mut rng);
+            }
+            src.push(s);
+            dst.push(d);
+        }
+        Ok(PowerLawGraph {
+            num_nodes,
+            src,
+            dst,
+            alpha,
+        })
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes];
+        for &d in &self.dst {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Lower to the common family shape: 2 references (src, dst), one
+    /// rank-mass reduction array, integer weights in `0..1000`.
+    pub fn to_family(&self, seed: u64) -> FamilySpec {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x7A6E_5BAD);
+        let weights: Vec<f64> = (0..self.src.len())
+            .map(|_| rng.gen_range(0..1000u32) as f64)
+            .collect();
+        FamilySpec {
+            name: format!("powerlaw-a{:.1}", self.alpha),
+            num_elements: self.num_nodes,
+            indirection: vec![self.src.clone(), self.dst.clone()],
+            weights,
+            // Push propagation: the destination gains what the source
+            // sheds.
+            coeffs: vec![vec![-1.0], vec![1.0]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = PowerLawGraph::generate(100, 1_000, 1.5, 7).unwrap();
+        let b = PowerLawGraph::generate(100, 1_000, 1.5, 7).unwrap();
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+        let c = PowerLawGraph::generate(100, 1_000, 1.5, 8).unwrap();
+        assert_ne!(a.dst, c.dst);
+    }
+
+    #[test]
+    fn alpha_controls_skew() {
+        let flat = PowerLawGraph::generate(200, 4_000, 0.0, 3).unwrap();
+        let skewed = PowerLawGraph::generate(200, 4_000, 2.0, 3).unwrap();
+        let max_deg = |g: &PowerLawGraph| *g.in_degrees().iter().max().unwrap();
+        assert!(
+            max_deg(&skewed) > 4 * max_deg(&flat),
+            "alpha=2 max in-degree {} vs flat {}",
+            max_deg(&skewed),
+            max_deg(&flat)
+        );
+        let ff = flat.to_family(1);
+        let sf = skewed.to_family(1);
+        assert!(sf.element_skew() > 2.0 * ff.element_skew());
+    }
+
+    #[test]
+    fn family_is_well_formed() {
+        let g = PowerLawGraph::generate(64, 500, 1.2, 11).unwrap();
+        let f = g.to_family(11);
+        assert_eq!(f.validate(), Ok(()));
+        assert_eq!(f.num_refs(), 2);
+        assert_eq!(f.num_arrays(), 1);
+        assert_eq!(f.num_iterations(), 500);
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        assert!(PowerLawGraph::generate(0, 10, 1.0, 1).is_err());
+        assert!(PowerLawGraph::generate(10, 0, 1.0, 1).is_err());
+        assert!(PowerLawGraph::generate(10, 10, -1.0, 1).is_err());
+    }
+}

@@ -8,9 +8,9 @@ use irred::{
     approx_eq, seq_reduction, Distribution, EdgeKernel, GatherEngine, PhasedEngine, PhasedSpec,
     ReductionEngine, StrategyConfig,
 };
-use kernels::{EulerProblem, MolDynProblem, MvmProblem};
+use kernels::{EulerProblem, FamilyProblem, MolDynProblem, MvmProblem};
 use std::sync::Arc;
-use workloads::{Mesh, MolDyn, SparseMatrix};
+use workloads::{HotKeyScatter, Mesh, MolDyn, PicDeck, PowerLawGraph, SparseMatrix};
 
 #[test]
 fn phased_sim_is_deterministic() {
@@ -217,6 +217,73 @@ fn strategies_deterministic_euler() {
 fn strategies_deterministic_moldyn() {
     let p = MolDynProblem::from_config(MolDyn::fcc(3, 0.75));
     assert_strategy_determinism("moldyn", &freeze(&p.spec), 3, 2);
+}
+
+#[test]
+fn strategies_deterministic_powerlaw() {
+    let g = PowerLawGraph::generate(200, 1_200, 1.5, 11).unwrap();
+    let p = FamilyProblem::from_family(g.to_family(11));
+    assert_strategy_determinism("powerlaw", &p.spec, 4, 2);
+}
+
+#[test]
+fn strategies_deterministic_hotkey() {
+    let d = HotKeyScatter::generate(160, 1_500, 2, 0.9, 3, 13).unwrap();
+    let p = FamilyProblem::from_family(d.to_family(13));
+    assert_strategy_determinism("hotkey", &p.spec, 5, 2);
+}
+
+#[test]
+fn strategies_deterministic_pic() {
+    let d = PicDeck::generate(64, 900, 1, 0.3, 17).unwrap();
+    let p = FamilyProblem::from_family(d.initial());
+    assert_strategy_determinism("pic", &p.spec, 3, 2);
+}
+
+/// The churn path must be as deterministic as a cold prepare: replaying
+/// the same particle sweep through `apply_updates` twice gives
+/// bit-identical values *and* simulated times at every step.
+#[test]
+fn pic_churn_replay_is_deterministic() {
+    let run = || {
+        let d = PicDeck::generate(48, 600, 3, 0.5, 23).unwrap();
+        let strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 1);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let problem = FamilyProblem::from_family(d.initial());
+        let mut prepared = engine.prepare(&problem.spec, &strat).unwrap();
+        let mut ws = irred::Workspace::new();
+        let mut trace = Vec::new();
+        for step in 0..d.steps {
+            let out = engine.execute(&mut prepared, &mut ws).unwrap();
+            trace.push((out.time_cycles, out.values.clone()));
+            prepared.apply_updates(&d.step_updates(step)).unwrap();
+        }
+        trace
+    };
+    assert_eq!(run(), run(), "churned plan execution not bit-stable");
+}
+
+#[test]
+fn family_generators_are_seed_stable() {
+    let a = PowerLawGraph::generate(100, 700, 2.0, 5)
+        .unwrap()
+        .to_family(5);
+    let b = PowerLawGraph::generate(100, 700, 2.0, 5)
+        .unwrap()
+        .to_family(5);
+    assert_eq!(a.indirection, b.indirection);
+    assert_eq!(a.weights, b.weights);
+    let ha = HotKeyScatter::generate(64, 400, 2, 0.8, 2, 9)
+        .unwrap()
+        .to_family(9);
+    let hb = HotKeyScatter::generate(64, 400, 2, 0.8, 2, 9)
+        .unwrap()
+        .to_family(9);
+    assert_eq!(ha.indirection, hb.indirection);
+    assert_eq!(ha.weights, hb.weights);
+    let pa = PicDeck::generate(32, 300, 2, 0.4, 3).unwrap();
+    let pb = PicDeck::generate(32, 300, 2, 0.4, 3).unwrap();
+    assert_eq!(pa.family_at(2).indirection, pb.family_at(2).indirection);
 }
 
 #[test]

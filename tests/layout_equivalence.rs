@@ -20,8 +20,8 @@ use irred::{
     Distribution, EdgeKernel, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec, ReductionEngine,
     StrategyConfig,
 };
-use kernels::{EulerProblem, MolDynProblem, MvmProblem};
-use workloads::{Mesh, MolDyn, SparseMatrix};
+use kernels::{EulerProblem, FamilyProblem, MolDynProblem, MvmProblem};
+use workloads::{HotKeyScatter, Mesh, MolDyn, PicDeck, PowerLawGraph, SparseMatrix};
 
 #[derive(Debug, Clone)]
 struct Case {
@@ -90,7 +90,7 @@ fn assert_layouts_agree<K: EdgeKernel>(spec: &PhasedSpec<K>, c: &Case) -> Result
 fn moldyn_flat_equals_nested() {
     check(
         "moldyn_flat_equals_nested",
-        Config::cases(64),
+        Config::cases_quick(64),
         gen_case,
         |c| {
             // 2–3 fcc cells: 32–108 molecules, enough for portions on up
@@ -107,7 +107,7 @@ fn moldyn_flat_equals_nested() {
 fn euler_flat_equals_nested() {
     check(
         "euler_flat_equals_nested",
-        Config::cases(64),
+        Config::cases_quick(64),
         gen_case,
         |c| {
             let nodes = 48 + 40 * c.size;
@@ -120,34 +120,130 @@ fn euler_flat_equals_nested() {
 }
 
 #[test]
+fn powerlaw_flat_equals_nested() {
+    check(
+        "powerlaw_flat_equals_nested",
+        Config::cases_quick(64),
+        gen_case,
+        |c| {
+            let nodes = 32 + 32 * c.size;
+            let edges = nodes * (3 + c.size);
+            let alpha = 0.5 + (c.seed % 4) as f64 * 0.7; // sweep mild → severe skew
+            let g =
+                PowerLawGraph::generate(nodes, edges, alpha, c.seed).map_err(|e| format!("{e}"))?;
+            let p = FamilyProblem::from_family(g.to_family(c.seed));
+            assert_layouts_agree(&p.spec, c)
+        },
+    );
+}
+
+#[test]
+fn hotkey_flat_equals_nested() {
+    check(
+        "hotkey_flat_equals_nested",
+        Config::cases_quick(64),
+        gen_case,
+        |c| {
+            let keys = 48 + 32 * c.size;
+            let rows = 200 + 150 * c.size;
+            let hot_frac = [0.0, 0.6, 0.95, 0.99][(c.seed % 4) as usize];
+            let d = HotKeyScatter::generate(keys, rows, 2, hot_frac, 1 + c.size, c.seed)
+                .map_err(|e| format!("{e}"))?;
+            let p = FamilyProblem::from_family(d.to_family(c.seed));
+            assert_layouts_agree(&p.spec, c)
+        },
+    );
+}
+
+/// The PIC family through the churn path: both layouts must stay
+/// bit-identical to each other *after* `apply_updates` re-targets the
+/// deposits — on the simulator and on the faulted native backend.
+#[test]
+fn pic_flat_equals_nested_across_churn() {
+    check(
+        "pic_flat_equals_nested_across_churn",
+        Config::cases_quick(64),
+        gen_case,
+        |c| {
+            let cells = 24 + 16 * c.size;
+            let particles = 120 + 120 * c.size;
+            let d =
+                PicDeck::generate(cells, particles, 2, 0.4, c.seed).map_err(|e| format!("{e}"))?;
+            let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+            let nested = flat.with_layout(LoopLayout::Nested);
+            let engine = PhasedEngine::sim(SimConfig::default());
+            let problem = FamilyProblem::from_family(d.initial());
+            let mut pf = engine
+                .prepare(&problem.spec, &flat)
+                .map_err(|e| format!("{e}"))?;
+            let mut pn = engine
+                .prepare(&problem.spec, &nested)
+                .map_err(|e| format!("{e}"))?;
+            let mut ws = irred::Workspace::new();
+            for step in 0..d.steps {
+                let of = engine
+                    .execute(&mut pf, &mut ws)
+                    .map_err(|e| format!("{e}"))?;
+                let on = engine
+                    .execute(&mut pn, &mut ws)
+                    .map_err(|e| format!("{e}"))?;
+                prop_assert!(
+                    of.values == on.values,
+                    "sim flat != sim nested at churn step {step} for {c:?}"
+                );
+                // The churned spec, run cold on the faulted native
+                // backend in both layouts, must match too.
+                let churned = FamilyProblem::from_family(d.family_at(step));
+                let nf = PhasedEngine::native(native_cfg(c.seed ^ step as u64))
+                    .run(&churned.spec, &flat)
+                    .map_err(|e| format!("{e}"))?;
+                prop_assert!(
+                    nf.values == of.values,
+                    "native flat != churned sim at step {step} for {c:?}"
+                );
+                let updates = d.step_updates(step);
+                pf.apply_updates(&updates).map_err(|e| format!("{e}"))?;
+                pn.apply_updates(&updates).map_err(|e| format!("{e}"))?;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn mvm_flat_equals_nested() {
-    check("mvm_flat_equals_nested", Config::cases(64), gen_case, |c| {
-        let rows = 24 + 32 * c.size;
-        let nnz = rows * (3 + c.size);
-        let problem =
-            MvmProblem::from_matrix(Arc::new(SparseMatrix::random(rows, rows, nnz, c.seed)));
-        let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
-        let nested = flat.with_layout(LoopLayout::Nested);
-        let sim = GatherEngine::sim(SimConfig::default());
-        let sf = sim.run(&problem.spec, &flat).map_err(|e| format!("{e}"))?;
-        let sn = sim
-            .run(&problem.spec, &nested)
-            .map_err(|e| format!("{e}"))?;
-        prop_assert!(sf.values == sn.values, "sim flat != sim nested for {c:?}");
-        let nf = GatherEngine::native(native_cfg(c.seed))
-            .run(&problem.spec, &flat)
-            .map_err(|e| format!("{e}"))?;
-        prop_assert!(
-            nf.values == sf.values,
-            "native flat (lossless faults) != sim for {c:?}"
-        );
-        let nn = GatherEngine::native(native_cfg(c.seed))
-            .run(&problem.spec, &nested)
-            .map_err(|e| format!("{e}"))?;
-        prop_assert!(
-            nn.values == sf.values,
-            "native nested (lossless faults) != sim for {c:?}"
-        );
-        Ok(())
-    });
+    check(
+        "mvm_flat_equals_nested",
+        Config::cases_quick(64),
+        gen_case,
+        |c| {
+            let rows = 24 + 32 * c.size;
+            let nnz = rows * (3 + c.size);
+            let problem =
+                MvmProblem::from_matrix(Arc::new(SparseMatrix::random(rows, rows, nnz, c.seed)));
+            let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+            let nested = flat.with_layout(LoopLayout::Nested);
+            let sim = GatherEngine::sim(SimConfig::default());
+            let sf = sim.run(&problem.spec, &flat).map_err(|e| format!("{e}"))?;
+            let sn = sim
+                .run(&problem.spec, &nested)
+                .map_err(|e| format!("{e}"))?;
+            prop_assert!(sf.values == sn.values, "sim flat != sim nested for {c:?}");
+            let nf = GatherEngine::native(native_cfg(c.seed))
+                .run(&problem.spec, &flat)
+                .map_err(|e| format!("{e}"))?;
+            prop_assert!(
+                nf.values == sf.values,
+                "native flat (lossless faults) != sim for {c:?}"
+            );
+            let nn = GatherEngine::native(native_cfg(c.seed))
+                .run(&problem.spec, &nested)
+                .map_err(|e| format!("{e}"))?;
+            prop_assert!(
+                nn.values == sf.values,
+                "native nested (lossless faults) != sim for {c:?}"
+            );
+            Ok(())
+        },
+    );
 }
