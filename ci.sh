@@ -14,6 +14,11 @@
 #   ./ci.sh workloads # skewed-family golden-oracle sweeps (3 fixed
 #                    # seeds + one randomized pass) plus the strategy
 #                    # auto-selection check on the deterministic sim
+#   ./ci.sh server   # daemon robustness: frame-decoder fuzz (3 fixed
+#                    # seeds + one randomized pass), the chaos-client
+#                    # soak, and a quick bench_server smoke — all under
+#                    # the hard timeout (the daemon's contract is
+#                    # "typed error, never a hang")
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
 # including in the code under test, whose whole contract is "typed error,
@@ -103,6 +108,34 @@ workloads() {
     REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_workloads -- --check
 }
 
+server() {
+    # Frame-decoder fuzz: three fixed base seeds for deterministic
+    # replay, then one randomized pass to keep widening coverage (its
+    # seed prints on failure for replay via PROP_SEED).
+    for seed in 1 2 3; do
+        echo "== server decoder fuzz (PROP_BASE_SEED=$seed) =="
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p server --test protocol_fuzz
+    done
+
+    echo "== server decoder fuzz (randomized pass) =="
+    rand_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    echo "   PROP_BASE_SEED=$rand_seed"
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p server --test protocol_fuzz
+
+    # Chaos soak: concurrent healthy + adversarial tenants against a
+    # live daemon; bit-identity, backpressure, deadlines, slowloris,
+    # clean shutdown. The hard timeout is the hang detector.
+    echo "== server chaos soak =="
+    run_tests cargo test -q -p server --test soak
+
+    # End-to-end smoke over a real socket with verification on: an
+    # in-process daemon, two tenants plus a chaos neighbour, every
+    # reply checked bit-identical against a direct engine run.
+    echo "== server bench smoke (--check --chaos) =="
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_server -- \
+        --check --chaos
+}
+
 perf() {
     # Quick-mode native benchmark against the checked-in quick baseline
     # (bench_results/BENCH_native_quick.json). >20 % median regression on
@@ -135,14 +168,16 @@ case "${1:-all}" in
     faults) faults ;;
     perf) perf ;;
     workloads) workloads ;;
+    server) server ;;
     all)
         tier1
         faults
         workloads
+        server
         perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults|perf|workloads]" >&2
+        echo "usage: $0 [tier1|faults|perf|workloads|server]" >&2
         exit 2
         ;;
 esac

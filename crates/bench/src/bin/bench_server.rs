@@ -1,0 +1,351 @@
+//! Serving-layer throughput/latency harness for `reductiond`.
+//!
+//! Spawns an in-process daemon (or connects to an external one with
+//! `--addr`), drives it with N tenant threads submitting jobs that
+//! share a handful of plan structures, and reports jobs/sec plus
+//! cold-vs-warm latency percentiles — the warm numbers show what the
+//! plan cache and workspace pooling amortize away.
+//!
+//! Modes:
+//!   bench_server                       in-process daemon, 2 tenants
+//!   bench_server --addr HOST:PORT      drive an external daemon
+//!   bench_server --tenants N --jobs N  scale the client side
+//!   bench_server --structures N        distinct plan shapes (default 4)
+//!   bench_server --chaos               add an adversarial tenant
+//!   bench_server --check               verify every reply bit-identical
+//!                                      to a direct engine run
+//!
+//! `REPRO_QUICK=1` shrinks the job count for CI smoke use.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use irred::{ExecutionConfig, PhasedSpec, ReductionEngine, SeqEngine, StrategyConfig};
+use server::client::Client;
+use server::executor::JobKernel;
+use server::protocol::{FaultSpec, Frame, SubmitJob, FLAG_NO_FALLBACK};
+use server::{Server, ServerConfig};
+use workloads::Distribution;
+
+struct Opts {
+    addr: Option<String>,
+    tenants: usize,
+    jobs: usize,
+    structures: u64,
+    chaos: bool,
+    check: bool,
+    elements: u32,
+    iterations: u32,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        let quick = std::env::var("REPRO_QUICK").is_ok();
+        Opts {
+            addr: None,
+            tenants: 2,
+            jobs: if quick { 40 } else { 400 },
+            structures: 4,
+            chaos: false,
+            check: false,
+            elements: 256,
+            iterations: 2048,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_server [--addr HOST:PORT] [--tenants N] [--jobs N] \
+         [--structures N] [--elements N] [--iterations N] [--chaos] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => o.addr = Some(val()),
+            "--tenants" => o.tenants = val().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => o.jobs = val().parse().unwrap_or_else(|_| usage()),
+            "--structures" => o.structures = val().parse().unwrap_or_else(|_| usage()),
+            "--elements" => o.elements = val().parse().unwrap_or_else(|_| usage()),
+            "--iterations" => o.iterations = val().parse().unwrap_or_else(|_| usage()),
+            "--chaos" => o.chaos = true,
+            "--check" => o.check = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Deterministic job: `structure` picks the plan shape (indirection +
+/// strategy), `seed` perturbs only the weights, so jobs with the same
+/// `structure` hit the same plan-cache entry.
+fn mk_job(o: &Opts, id: u64, structure: u64, seed: u64) -> SubmitJob {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let elems = o.elements;
+    let iters = o.iterations as usize;
+    let ind = |salt: u64| -> Vec<u32> {
+        (0..iters)
+            .map(|i| {
+                ((i as u64).wrapping_mul(2654435761 + salt * 97 + structure * 31)
+                    % u64::from(elems)) as u32
+            })
+            .collect()
+    };
+    SubmitJob {
+        job_id: id,
+        deadline_ms: 0,
+        flags: 0,
+        num_elements: elems,
+        iterations: iters as u32,
+        num_refs: 2,
+        num_arrays: 1,
+        procs: 4,
+        k: 2,
+        dist: if structure.is_multiple_of(2) { 0 } else { 1 },
+        sweeps: 2,
+        fault: None,
+        weights: (0..iters).map(|_| (next() % 4096) as f64 / 128.0).collect(),
+        indirection: vec![ind(1), ind(2)],
+    }
+}
+
+fn direct_values(job: &SubmitJob) -> Vec<Vec<f64>> {
+    let spec = PhasedSpec {
+        kernel: Arc::new(JobKernel {
+            num_refs: usize::from(job.num_refs),
+            num_arrays: usize::from(job.num_arrays),
+            weights: Arc::new(job.weights.clone()),
+        }),
+        num_elements: job.num_elements as usize,
+        indirection: Arc::new(job.indirection.clone()),
+    };
+    let strat = StrategyConfig::try_new(
+        usize::from(job.procs),
+        usize::from(job.k),
+        if job.dist == 0 {
+            Distribution::Block
+        } else {
+            Distribution::Cyclic
+        },
+        usize::from(job.sweeps),
+    )
+    .expect("bench strategy");
+    SeqEngine::new(ExecutionConfig::default())
+        .run(&spec, &strat)
+        .expect("direct run")
+        .values
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+struct TenantResult {
+    ok: u64,
+    busy_retries: u64,
+    cold: Vec<Duration>,
+    warm: Vec<Duration>,
+}
+
+fn run_tenant(addr: std::net::SocketAddr, o: &Opts, t: usize) -> TenantResult {
+    let tenant = format!("bench-{t}");
+    let mut c = Client::connect(addr, &tenant).expect("connect");
+    let mut res = TenantResult {
+        ok: 0,
+        busy_retries: 0,
+        cold: Vec::new(),
+        warm: Vec::new(),
+    };
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..o.jobs as u64 {
+        let structure = i % o.structures;
+        let job = mk_job(o, t as u64 * 1_000_000 + i, structure, t as u64 * 31 + i);
+        let expect = o.check.then(|| direct_values(&job));
+        let t0 = Instant::now();
+        let frame = loop {
+            match c.submit(job.clone()).expect("submit") {
+                Frame::Busy(b) => {
+                    res.busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(b.retry_after_ms).min(20)));
+                }
+                f => break f,
+            }
+        };
+        let dt = t0.elapsed();
+        match frame {
+            Frame::JobOk(ok) => {
+                res.ok += 1;
+                if let Some(expect) = expect {
+                    assert_eq!(
+                        ok.values, expect,
+                        "tenant {t} job {i}: bit-identity violated"
+                    );
+                }
+            }
+            f => panic!("tenant {t} job {i}: {f:?}"),
+        }
+        if seen.insert(structure) {
+            res.cold.push(dt);
+        } else {
+            res.warm.push(dt);
+        }
+    }
+    res
+}
+
+/// One adversarial neighbor cycling poisoned jobs + wire garbage, to
+/// measure healthy-tenant latency under fault-isolation pressure.
+fn run_chaos(
+    addr: std::net::SocketAddr,
+    o: &Opts,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> u64 {
+    let mut rounds = 0u64;
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        rounds += 1;
+        if let Ok(mut c) = Client::connect(addr, "bench-chaos") {
+            let mut j = mk_job(o, rounds, rounds % o.structures, rounds);
+            j.fault = Some(FaultSpec {
+                kind: 3,
+                seed: rounds,
+            });
+            j.flags = FLAG_NO_FALLBACK;
+            let _ = c.submit(j);
+        }
+        if let Ok(mut c) = Client::connect(addr, "bench-chaos") {
+            let _ = c.send_raw(&[0xFF; 32]);
+            let _ = c.recv();
+        }
+    }
+    rounds
+}
+
+fn main() {
+    let o = parse_opts();
+
+    // In-process daemon unless an external address was given.
+    let local = o.addr.is_none().then(|| {
+        Server::bind_tcp(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind in-process daemon")
+    });
+    let addr: std::net::SocketAddr = match (&local, &o.addr) {
+        (Some(s), _) => s.local_addr().expect("local addr"),
+        (None, Some(a)) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+    println!(
+        "# bench_server: {} tenants x {} jobs, {} structures, {} elems x {} iters{}{}",
+        o.tenants,
+        o.jobs,
+        o.structures,
+        o.elements,
+        o.iterations,
+        if o.chaos { ", +chaos" } else { "" },
+        if o.check { ", checked" } else { "" },
+    );
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let chaos = o.chaos.then(|| {
+        let stop = Arc::clone(&stop);
+        let oc = Opts {
+            addr: o.addr.clone(),
+            ..parse_opts()
+        };
+        std::thread::spawn(move || run_chaos(addr, &oc, stop))
+    });
+
+    let t0 = Instant::now();
+    let results: Vec<TenantResult> = std::thread::scope(|s| {
+        let o = &o;
+        let handles: Vec<_> = (0..o.tenants)
+            .map(|t| s.spawn(move || run_tenant(addr, o, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let chaos_rounds = chaos.map(|h| h.join().expect("chaos"));
+
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let busy: u64 = results.iter().map(|r| r.busy_retries).sum();
+    let mut cold: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.cold.iter().copied())
+        .collect();
+    let mut warm: Vec<Duration> = results
+        .iter()
+        .flat_map(|r| r.warm.iter().copied())
+        .collect();
+    cold.sort();
+    warm.sort();
+
+    println!("jobs_ok         {ok}");
+    println!("busy_retries    {busy}");
+    println!("wall_s          {:.3}", wall.as_secs_f64());
+    println!("throughput_jps  {:.1}", ok as f64 / wall.as_secs_f64());
+    println!(
+        "cold_ms         p50={:.3} p99={:.3} (n={}, first job per structure: prepare + plan build)",
+        ms(percentile(&cold, 0.50)),
+        ms(percentile(&cold, 0.99)),
+        cold.len()
+    );
+    println!(
+        "warm_ms         p50={:.3} p99={:.3} (n={}, plan-cache hits)",
+        ms(percentile(&warm, 0.50)),
+        ms(percentile(&warm, 0.99)),
+        warm.len()
+    );
+    if let Some(rounds) = chaos_rounds {
+        println!("chaos_rounds    {rounds}");
+    }
+
+    // Pull the daemon's own view before shutting it down.
+    if let Ok(mut c) = Client::connect(addr, "bench-metrics") {
+        if let Ok(report) = c.metrics() {
+            for line in report.lines() {
+                if line.starts_with("plan_cache") || line.starts_with("jobs_") {
+                    println!("daemon: {line}");
+                }
+            }
+        }
+        if local.is_some() {
+            c.shutdown().expect("shutdown");
+        }
+    }
+    if let Some(s) = local {
+        s.stop();
+    }
+    if o.check {
+        println!("# bit-identity: every reply matched a direct engine run");
+    }
+}

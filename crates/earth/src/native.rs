@@ -82,6 +82,10 @@ pub enum StallReason {
     /// they were waiting for never arrived (only reported when
     /// [`NativeConfig::starved_is_error`] is set).
     Starved,
+    /// The run exceeded [`NativeConfig::deadline`] and was cancelled by
+    /// the watchdog supervisor even though it was still making progress.
+    /// Serving layers use this for per-job deadlines.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for StallReason {
@@ -89,6 +93,7 @@ impl std::fmt::Display for StallReason {
         match self {
             StallReason::NoProgress => write!(f, "no progress"),
             StallReason::Starved => write!(f, "starved"),
+            StallReason::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -233,6 +238,14 @@ pub struct NativeConfig {
     /// stall must pause exactly one node, not everything co-scheduled
     /// with it.
     pub host_threads: Option<usize>,
+    /// Hard wall-clock budget for the whole run. Unlike the watchdog —
+    /// which only fires when progress *stops* — the deadline cancels a
+    /// run that is still healthy but too slow: the supervisor broadcasts
+    /// shutdown and returns
+    /// [`RunError::Stalled`]`{ reason: `[`StallReason::DeadlineExceeded`]` }`
+    /// with a [`StallDump`] of whatever was outstanding. `None` (the
+    /// default) means no budget. Serving layers set this per job.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for NativeConfig {
@@ -242,6 +255,7 @@ impl Default for NativeConfig {
             faults: None,
             starved_is_error: false,
             host_threads: None,
+            deadline: None,
         }
     }
 }
@@ -1345,11 +1359,26 @@ pub fn run_native_traced<S: Send + 'static>(
     // returns).
     let mut exits: Vec<Option<NodeExit<S>>> = (0..num_nodes).map(|_| None).collect();
     let mut received = 0usize;
-    let tick = (cfg.watchdog / 8).clamp(Duration::from_millis(2), Duration::from_millis(250));
+    // The supervisor tick must be fine enough to notice both watchdog
+    // stalls and deadline expiry promptly.
+    let probe = cfg.deadline.map_or(cfg.watchdog, |d| d.min(cfg.watchdog));
+    let tick = (probe / 8).clamp(Duration::from_millis(2), Duration::from_millis(250));
     let mut last_progress = shared.progress.load(Ordering::Relaxed);
     let mut last_change = Instant::now();
     let mut stalled = false;
+    let mut deadline_hit = false;
     while received < num_nodes {
+        // Deadline enforcement is progress-independent: a run that is
+        // healthy but over budget is cancelled just like a wedged one,
+        // through the same shutdown broadcast.
+        if let Some(d) = cfg.deadline {
+            if start.elapsed() >= d {
+                stalled = true;
+                deadline_hit = true;
+                shared.broadcast_shutdown();
+                break;
+            }
+        }
         match done_rx.recv_timeout(tick) {
             Ok(ex) => {
                 let n = ex.node;
@@ -1413,8 +1442,12 @@ pub fn run_native_traced<S: Send + 'static>(
     }
     if stalled {
         return Err(RunError::Stalled {
-            reason: StallReason::NoProgress,
-            waited: cfg.watchdog,
+            reason: if deadline_hit {
+                StallReason::DeadlineExceeded
+            } else {
+                StallReason::NoProgress
+            },
+            waited: if deadline_hit { wall } else { cfg.watchdog },
             outstanding: shared.outstanding.load(Ordering::Relaxed),
             dump: build_dump(&shared, &fiber_names, &exits),
         });
@@ -1742,6 +1775,68 @@ mod tests {
             }
             other => panic!("expected Stalled(Starved), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_cancels_healthy_but_slow_run() {
+        // A chain of fibers that each sleep briefly: the machine makes
+        // steady progress (the watchdog never fires) but blows a short
+        // wall-clock budget, so the supervisor cancels it.
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        const STEPS: u32 = 100;
+        prog.node_mut(0).add_fiber(FiberSpec::ready(
+            "step",
+            |s: &mut u32, cx: &mut NativeCtx<u32>| {
+                std::thread::sleep(Duration::from_millis(10));
+                *s += 1;
+                cx.data_sync(0, 100u64, Value::Int(1), 1);
+            },
+        ));
+        for i in 1..STEPS {
+            prog.node_mut(0).add_fiber(FiberSpec::new(
+                "step",
+                1,
+                move |s: &mut u32, cx: &mut NativeCtx<u32>| {
+                    let _ = cx.recv(u64::from(100 + i - 1));
+                    std::thread::sleep(Duration::from_millis(10));
+                    *s += 1;
+                    if i + 1 < STEPS {
+                        cx.data_sync(0, u64::from(100 + i), Value::Int(1), i + 1);
+                    }
+                },
+            ));
+        }
+        let cfg = NativeConfig {
+            deadline: Some(Duration::from_millis(120)),
+            ..NativeConfig::default()
+        };
+        let begun = Instant::now();
+        match run_native_with(prog, cfg) {
+            Err(RunError::Stalled { reason, .. }) => {
+                assert_eq!(reason, StallReason::DeadlineExceeded);
+            }
+            other => panic!("expected Stalled(DeadlineExceeded), got {other:?}"),
+        }
+        assert!(
+            begun.elapsed() < Duration::from_millis(700),
+            "cancel came promptly, not at run completion ({:?})",
+            begun.elapsed()
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_cancel() {
+        let mut prog: Prog<u32> = MachineProgram::new();
+        prog.add_node(0);
+        prog.node_mut(0)
+            .add_fiber(FiberSpec::ready("runs", |s, _cx| *s += 1));
+        let cfg = NativeConfig {
+            deadline: Some(Duration::from_secs(30)),
+            ..NativeConfig::default()
+        };
+        let r = run_native_with(prog, cfg).unwrap();
+        assert_eq!(r.states[0], 1);
     }
 
     #[test]

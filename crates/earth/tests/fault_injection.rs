@@ -143,6 +143,7 @@ fn strict_cfg(faults: Option<FaultConfig>) -> NativeConfig {
         faults,
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     }
 }
 
@@ -429,6 +430,7 @@ fn watchdog_reports_deadlocked_program_within_deadline() {
         faults: None,
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     };
     let started = Instant::now();
     match run_native_with(prog, cfg) {
@@ -476,6 +478,7 @@ fn watchdog_trips_on_wedged_fiber_body() {
         faults: None,
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     };
     let started = Instant::now();
     match run_native_with(prog, cfg) {

@@ -230,6 +230,12 @@ pub struct RecoveryReport {
     pub attempts: u32,
     /// Display-formatted error of each failed attempt, in order.
     pub errors: Vec<String>,
+    /// The fault-plan seed in effect at each attempt, aligned with the
+    /// attempt number (`fault_seeds[n]` is attempt `n`'s seed; `None`
+    /// when no fault plan was configured). Retries reseed the plan, so
+    /// recording the per-rung seed makes every failed attempt — and a
+    /// server job's error frame — replayable on its own.
+    pub fault_seeds: Vec<Option<u64>>,
     /// The answer came from the sequential executor, not the machine.
     pub fell_back_to_seq: bool,
     /// Human-readable summary when anything non-default happened.
@@ -337,6 +343,24 @@ pub fn validate_gather_x(
     Ok(())
 }
 
+/// The fault plan a given retry rung runs under: attempt 0 keeps the
+/// configured plan, later attempts reseed it (same rates, fresh seed) so
+/// a retry re-rolls transient faults instead of replaying the failure.
+/// Shared by every ladder call site so [`RecoveryReport::fault_seeds`]
+/// always matches what actually ran.
+pub(crate) fn attempt_faults(
+    base: Option<earth_model::FaultConfig>,
+    attempt: u32,
+) -> Option<earth_model::FaultConfig> {
+    base.map(|f| {
+        if attempt > 0 {
+            f.reseeded(u64::from(attempt))
+        } else {
+            f
+        }
+    })
+}
+
 /// The one recovery ladder every native engine walks: retry `attempt`
 /// with backoff, collecting errors; `Run` errors walk the ladder, caller
 /// bugs return immediately. After exhausting retries, `fallback` (the
@@ -348,9 +372,15 @@ pub fn validate_gather_x(
 /// event (`attempt: u32::MAX` marks the sequential-fallback rung) at
 /// timestamp 0 on [`RUN_NODE`], so a traced run's event stream shows the
 /// ladder alongside the per-node machine events.
+///
+/// `fault_seed_of` reports the fault-plan seed the caller's `attempt`
+/// closure will use for a given attempt number (`None` when no fault
+/// plan is configured); the ladder records it in
+/// [`RecoveryReport::fault_seeds`] so every rung is replayable.
 pub(crate) fn run_recovery_ladder(
     policy: RecoveryPolicy,
     sink: &dyn TraceSink,
+    fault_seed_of: impl Fn(u32) -> Option<u64>,
     mut attempt: impl FnMut(u32) -> Result<RunOutcome, EngineError>,
     fallback: impl FnOnce() -> RunOutcome,
 ) -> Result<RunOutcome, EngineError> {
@@ -371,6 +401,7 @@ pub(crate) fn run_recovery_ladder(
             ));
         }
         report.attempts = n + 1;
+        report.fault_seeds.push(fault_seed_of(n));
         match attempt(n) {
             Ok(mut res) => {
                 if n > 0 {
@@ -428,6 +459,7 @@ mod tests {
         let out = run_recovery_ladder(
             RecoveryPolicy::default(),
             &trace::NullSink,
+            |_| None,
             |_| {
                 Ok(RunOutcome {
                     values: vec![vec![1.0]],
@@ -452,6 +484,7 @@ mod tests {
         let out = run_recovery_ladder(
             policy,
             &trace::NullSink,
+            |n| Some(1000 + u64::from(n)),
             |n| {
                 if n < 2 {
                     Err(EngineError::Run(RunError::NodePanicked {
@@ -470,6 +503,10 @@ mod tests {
         assert_eq!(out.recovery.attempts, 3);
         assert_eq!(out.recovery.errors.len(), 2);
         assert!(out.recovery.warning.is_some());
+        assert_eq!(
+            out.recovery.fault_seeds,
+            vec![Some(1000), Some(1001), Some(1002)]
+        );
     }
 
     #[test]
@@ -482,6 +519,7 @@ mod tests {
         let out = run_recovery_ladder(
             policy,
             &trace::NullSink,
+            |_| None,
             |_| {
                 Err(EngineError::Run(RunError::NodePanicked {
                     node: 0,
@@ -510,6 +548,7 @@ mod tests {
                 ..RecoveryPolicy::default()
             },
             &trace::NullSink,
+            |_| None,
             |_| {
                 calls += 1;
                 Err(EngineError::Shape {
@@ -536,6 +575,7 @@ mod tests {
         let out = run_recovery_ladder(
             policy,
             &sink,
+            |n| Some(77 + u64::from(n)),
             |_| {
                 Err(EngineError::Run(RunError::NodePanicked {
                     node: 0,
@@ -549,6 +589,7 @@ mod tests {
         .unwrap();
         assert_eq!(out.metrics.counter("recovery_attempts"), Some(2));
         assert_eq!(out.metrics.counter("recovery_fell_back"), Some(1));
+        assert_eq!(out.recovery.fault_seeds, vec![Some(77), Some(78)]);
         let rungs: Vec<u32> = sink
             .drain()
             .into_iter()

@@ -33,8 +33,8 @@ use workloads::{distribute, SparseMatrix};
 
 use crate::config::{BackendKind, ExecutionConfig};
 use crate::engine::{
-    run_recovery_ladder, validate_gather_spec, validate_gather_x, EngineError, Provenance,
-    RecoveryPolicy, ReductionEngine, RunOutcome,
+    attempt_faults, run_recovery_ladder, validate_gather_spec, validate_gather_x, EngineError,
+    Provenance, RecoveryPolicy, ReductionEngine, RunOutcome,
 };
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::strategy::StrategyConfig;
@@ -575,13 +575,10 @@ impl PreparedGather {
                     Some(policy) => run_recovery_ladder(
                         policy,
                         sink.as_ref(),
+                        |attempt| attempt_faults(base.faults, attempt).map(|f| f.seed),
                         |attempt| {
                             let mut c = base;
-                            if attempt > 0 {
-                                if let Some(f) = c.faults {
-                                    c.faults = Some(f.reseeded(attempt as u64));
-                                }
-                            }
+                            c.faults = attempt_faults(base.faults, attempt);
                             self.native_attempt(c, &sink, ws)
                         },
                         || self.seq_fallback(),

@@ -44,16 +44,17 @@ use earth_model::{
 use lightinspector::{IncrementalInspector, InspectError, InspectorPlan, PhaseGeometry};
 use memsim::{AddressMap, Region, StreamModel};
 use trace::{TraceEvent, TraceKind};
-use workloads::distribute;
+use workloads::{distribute, Distribution};
 
 use crate::config::{BackendKind, ExecutionConfig, TraceConfig};
 use crate::engine::{
-    run_recovery_ladder, validate_phased_spec, EngineError, Provenance, ReductionEngine, RunOutcome,
+    attempt_faults, run_recovery_ladder, validate_phased_spec, EngineError, Provenance,
+    ReductionEngine, RunOutcome,
 };
 use crate::kernel::EdgeKernel;
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::seq::seq_reduction;
-use crate::strategy::StrategyConfig;
+use crate::strategy::{LoopLayout, StrategyConfig};
 
 // Compatibility names: the error and recovery types moved to the shared
 // engine layer (crate::engine); these aliases keep old paths working.
@@ -77,6 +78,58 @@ impl<K: EdgeKernel> PhasedSpec<K> {
     pub fn num_iterations(&self) -> usize {
         self.indirection[0].len()
     }
+
+    /// Structure hash of this spec under `strat`: a 64-bit digest of
+    /// everything inspection depends on — element count, kernel *shape*
+    /// (ref/array counts and whether it updates read state), the full
+    /// indirection contents, and every strategy field. Two (spec,
+    /// strategy) pairs with the same hash prepare to interchangeable
+    /// plans; kernel *values* (weights, read state) deliberately do not
+    /// participate, so a cached [`PreparedPhased`] can serve specs that
+    /// differ only in values via [`PreparedPhased::set_kernel`].
+    pub fn structure_hash(&self, strat: &StrategyConfig) -> u64 {
+        // "IRED" tag | hash-format version: bump if the fold order or
+        // field set changes, so stale cross-process keys never collide.
+        let mut h: u64 = 0x4952_4544_0000_0001;
+        fold64(&mut h, self.num_elements as u64);
+        fold64(&mut h, self.kernel.num_refs() as u64);
+        fold64(&mut h, self.kernel.num_arrays() as u64);
+        fold64(&mut h, self.kernel.num_read_arrays() as u64);
+        fold64(&mut h, u64::from(self.kernel.updates_read_state()));
+        fold64(&mut h, self.indirection.len() as u64);
+        for arr in self.indirection.iter() {
+            fold64(&mut h, arr.len() as u64);
+            for &e in arr {
+                fold64(&mut h, u64::from(e));
+            }
+        }
+        fold64(&mut h, strat.procs as u64);
+        fold64(&mut h, strat.k as u64);
+        fold64(
+            &mut h,
+            match strat.distribution {
+                Distribution::Block => 0,
+                Distribution::Cyclic => 1,
+            },
+        );
+        fold64(&mut h, strat.sweeps as u64);
+        fold64(
+            &mut h,
+            match strat.layout {
+                LoopLayout::Flat => 0,
+                LoopLayout::Nested => 1,
+            },
+        );
+        h
+    }
+}
+
+/// Fold one word into a running structure hash. The state is replaced
+/// by the splitmix64 *output*, so single-bit input differences
+/// avalanche across the whole word before the next fold.
+fn fold64(h: &mut u64, word: u64) {
+    *h ^= word;
+    *h = harness::rng::splitmix64(h);
 }
 
 impl<K> Clone for PhasedSpec<K> {
@@ -1384,6 +1437,10 @@ pub struct PreparedPhased<K> {
     inspector_events: Vec<TraceEvent>,
     template: PhasedTemplate<K>,
     token: PlanToken,
+    /// [`PhasedSpec::structure_hash`] of the originating (spec,
+    /// strategy) pair, fixed at prepare; combined with the mutation
+    /// version to form [`Self::cache_key`].
+    structure_hash: u64,
     executions: u64,
 }
 
@@ -1539,8 +1596,70 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             inspector_events,
             template,
             token: PlanToken::fresh(),
+            structure_hash: spec.structure_hash(strat),
             executions: 0,
         })
+    }
+
+    /// Cache identity of this plan for cross-request plan caching: the
+    /// structure hash captured at prepare, mixed with the mutation
+    /// version so [`Self::apply_updates`] derives a new key in `O(1)`
+    /// without rehashing the indirection. Equal keys mean the plan is
+    /// interchangeable with a fresh prepare of a structurally equal
+    /// (spec, strategy) pair — up to kernel values, which
+    /// [`Self::set_kernel`] may swap.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = self.structure_hash;
+        fold64(&mut h, self.token.version());
+        h
+    }
+
+    /// Swap in a kernel with identical *shape* but (possibly) different
+    /// values — weights, read state, arity-preserving body changes.
+    /// Valid because the inspector plans, addressing, and program
+    /// template depend only on kernel shape; the kernel itself is
+    /// re-read from the plan on every execute. The initial read state
+    /// is recomputed from the new kernel. Rejects (with no change) any
+    /// kernel whose ref/array counts or read-update flag differ.
+    pub fn set_kernel(&mut self, kernel: Arc<K>) -> Result<(), EngineError> {
+        let checks = [
+            ("kernel num_refs", self.kernel.num_refs(), kernel.num_refs()),
+            (
+                "kernel num_arrays",
+                self.kernel.num_arrays(),
+                kernel.num_arrays(),
+            ),
+            (
+                "kernel num_read_arrays",
+                self.kernel.num_read_arrays(),
+                kernel.num_read_arrays(),
+            ),
+            (
+                "kernel updates_read_state",
+                usize::from(self.kernel.updates_read_state()),
+                usize::from(kernel.updates_read_state()),
+            ),
+        ];
+        for (what, expected, got) in checks {
+            if expected != got {
+                return Err(EngineError::Shape {
+                    what,
+                    expected,
+                    got,
+                });
+            }
+        }
+        let read_init = kernel.init_read();
+        if read_init.len() != self.num_elements * kernel.num_read_arrays() {
+            return Err(EngineError::Shape {
+                what: "init_read length (num_elements * num_read_arrays)",
+                expected: self.num_elements * kernel.num_read_arrays(),
+                got: read_init.len(),
+            });
+        }
+        self.kernel = kernel;
+        self.read_init = read_init;
+        Ok(())
     }
 
     /// The strategy this run was prepared for.
@@ -1835,13 +1954,10 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                     Some(policy) => run_recovery_ladder(
                         policy,
                         sink.as_ref(),
+                        |attempt| attempt_faults(base.faults, attempt).map(|f| f.seed),
                         |attempt| {
                             let mut c = base;
-                            if attempt > 0 {
-                                if let Some(f) = c.faults {
-                                    c.faults = Some(f.reseeded(attempt as u64));
-                                }
-                            }
+                            c.faults = attempt_faults(base.faults, attempt);
                             self.native_attempt(c, &sink, ws)
                         },
                         || self.seq_fallback(),
@@ -1913,6 +2029,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         let mut out = run_recovery_ladder(
             policy,
             sink.as_ref(),
+            |attempt| cfg_for_attempt(attempt).faults.map(|f| f.seed),
             |attempt| self.native_attempt(cfg_for_attempt(attempt), &sink, ws),
             || self.seq_fallback(),
         )?;
@@ -2168,6 +2285,85 @@ mod tests {
         assert!(
             approx_eq(&after.values[0], &fresh.values[0], 1e-9),
             "incremental re-prepare must agree with fresh prepare"
+        );
+    }
+
+    #[test]
+    fn structure_hash_keys_on_structure_not_values() {
+        let spec = tiny_spec(64, 21, 300);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+        let h = spec.structure_hash(&strat);
+        // Deterministic across calls and clones.
+        assert_eq!(h, spec.structure_hash(&strat));
+        assert_eq!(h, spec.clone().structure_hash(&strat));
+        // Kernel values (weights) do not participate.
+        let reweighted = PhasedSpec {
+            kernel: Arc::new(WeightedPairKernel {
+                weights: Arc::new(vec![9.0; spec.num_iterations()]),
+            }),
+            ..spec.clone()
+        };
+        assert_eq!(h, reweighted.structure_hash(&strat));
+        // Structure does: indirection contents, geometry, strategy.
+        let mut ind = spec.indirection.as_ref().clone();
+        ind[0][0] ^= 1;
+        let rerouted = PhasedSpec {
+            indirection: Arc::new(ind),
+            ..spec.clone()
+        };
+        assert_ne!(h, rerouted.structure_hash(&strat));
+        let wider = PhasedSpec {
+            num_elements: spec.num_elements + 1,
+            ..spec.clone()
+        };
+        assert_ne!(h, wider.structure_hash(&strat));
+        let other_strat = StrategyConfig::new(4, 2, Distribution::Cyclic, 2);
+        assert_ne!(h, spec.structure_hash(&other_strat));
+    }
+
+    #[test]
+    fn cache_key_tracks_incremental_updates() {
+        let spec = tiny_spec(64, 22, 300);
+        let strat = StrategyConfig::new(4, 2, Distribution::Block, 2);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&spec, &strat).unwrap();
+        let k0 = prepared.cache_key();
+        assert_eq!(k0, engine.prepare(&spec, &strat).unwrap().cache_key());
+        prepared.apply_updates(&[(0, vec![1, 2])]).unwrap();
+        let k1 = prepared.cache_key();
+        assert_ne!(k0, k1, "mutation must derive a new cache key");
+        assert_eq!(k1, prepared.cache_key());
+    }
+
+    #[test]
+    fn set_kernel_swaps_values_on_cached_plan() {
+        let spec = tiny_spec(48, 23, 250);
+        let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 2);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        let mut prepared = engine.prepare(&spec, &strat).unwrap();
+        let mut ws = Workspace::new();
+        let _ = engine.execute(&mut prepared, &mut ws).unwrap();
+
+        let swapped = Arc::new(WeightedPairKernel {
+            weights: Arc::new(
+                spec.kernel
+                    .weights
+                    .iter()
+                    .map(|w| w * 1.5 + 0.25)
+                    .collect::<Vec<f64>>(),
+            ),
+        });
+        prepared.set_kernel(Arc::clone(&swapped)).unwrap();
+        let res = engine.execute(&mut prepared, &mut ws).unwrap();
+
+        let fresh_spec = PhasedSpec {
+            kernel: swapped,
+            ..spec.clone()
+        };
+        let fresh = engine.run(&fresh_spec, &strat).unwrap();
+        assert_eq!(
+            res.values, fresh.values,
+            "cached plan with swapped kernel must match a fresh prepare bit-for-bit"
         );
     }
 

@@ -448,6 +448,7 @@ fn prepared_native_lossless_matches_fresh_and_sim() {
         faults: Some(FaultConfig::lossless(0x5EED)),
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     });
     let mut prepared = native.prepare(&spec, &strat).expect("valid spec");
     let mut ws = Workspace::new();

@@ -90,6 +90,7 @@ fn strict(faults: Option<FaultConfig>) -> NativeConfig {
         faults,
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     }
 }
 

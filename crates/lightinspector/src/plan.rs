@@ -169,6 +169,45 @@ pub enum PlanError {
     PhaseCount { got: usize, want: usize },
 }
 
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::IterationCoverage { iter, times } => write!(
+                f,
+                "iteration {iter} appears in {times} phases (must be exactly 1)"
+            ),
+            PlanError::NotResident { phase, elem } => write!(
+                f,
+                "resident reference to element {elem} not owned in phase {phase}"
+            ),
+            PlanError::BufferAliased { slot } => {
+                write!(f, "buffer slot {slot} written by more than one reference")
+            }
+            PlanError::CopyCount { slot, times } => write!(
+                f,
+                "buffer slot {slot} copied {times} times (must be exactly 1)"
+            ),
+            PlanError::CopyDestNotResident { phase, dest } => write!(
+                f,
+                "copy destination element {dest} not resident in phase {phase}"
+            ),
+            PlanError::CopyBeforeWrite { slot } => write!(
+                f,
+                "buffer slot {slot} copied at or before the phase that writes it"
+            ),
+            PlanError::WrongTarget { iter, r } => write!(
+                f,
+                "remapped reference {r} of iteration {iter} disagrees with the indirection array"
+            ),
+            PlanError::PhaseCount { got, want } => {
+                write!(f, "plan has {got} phases, geometry requires {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Check every structural invariant of a plan against the original
 /// indirection arrays. Used by unit tests, property tests, and (in debug
 /// builds) the executors.

@@ -1,0 +1,140 @@
+//! The serving-layer plan cache: structure-hash keyed prepared runs
+//! with workspace pooling and failure quarantine.
+//!
+//! This is the paper's amortization argument lifted to a daemon: the
+//! inspector runs once per *structure* (indirection contents, strategy,
+//! geometry), and every later job with the same structure reuses the
+//! plan, swapping in its own kernel values via
+//! [`PreparedPhased::set_kernel`]. Entries are checked out exclusively
+//! (removed from the map while a worker executes on them) so the cache
+//! itself needs no interior locking beyond its own mutex, and a plan
+//! that fails repeatedly is *quarantined* — dropped so the next job
+//! with that structure re-prepares from scratch rather than re-using
+//! state a faulty run may have left behind.
+
+use std::collections::HashMap;
+
+use irred::{PreparedPhased, Workspace};
+
+use crate::executor::JobKernel;
+
+/// Consecutive checked-in failures after which an entry is dropped.
+const QUARANTINE_AFTER: u32 = 2;
+/// Resident plan cap: oldest entries are evicted beyond this.
+const MAX_ENTRIES: usize = 64;
+
+struct Entry {
+    prepared: Box<PreparedPhased<JobKernel>>,
+    ws: Workspace,
+    /// Consecutive failures observed on check-in.
+    failures: u32,
+    /// Insertion stamp for FIFO eviction.
+    stamp: u64,
+}
+
+/// What a checkout found.
+pub enum Checkout {
+    /// A cached plan for this structure (exclusively owned until
+    /// [`PlanCache::checkin`]). `failures` is the entry's consecutive
+    /// failure count so far; the caller threads it back into
+    /// [`PlanCache::checkin`].
+    Hit {
+        prepared: Box<PreparedPhased<JobKernel>>,
+        ws: Workspace,
+        failures: u32,
+    },
+    /// No cached plan — prepare one and check it in (failure count 0).
+    Miss,
+}
+
+/// Structure-hash keyed plan cache. All methods take `&mut self`; the
+/// server wraps it in a mutex held only for the map operation, never
+/// across an execute.
+#[derive(Default)]
+pub struct PlanCache {
+    entries: HashMap<u64, Entry>,
+    next_stamp: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub quarantined: u64,
+    pub evicted: u64,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Take the plan for `key` out of the cache, if present. The caller
+    /// owns it exclusively until `checkin`; a concurrent job with the
+    /// same structure simply misses and prepares its own copy (the
+    /// later check-in wins, the earlier one is dropped by stamp order).
+    pub fn checkout(&mut self, key: u64) -> Checkout {
+        match self.entries.remove(&key) {
+            Some(e) => {
+                self.hits += 1;
+                Checkout::Hit {
+                    prepared: e.prepared,
+                    ws: e.ws,
+                    failures: e.failures,
+                }
+            }
+            None => {
+                self.misses += 1;
+                Checkout::Miss
+            }
+        }
+    }
+
+    /// Return a plan after a job. `ok = false` counts a failure; a plan
+    /// that keeps failing is quarantined (dropped) so the next job
+    /// re-prepares instead of inheriting poisoned state. The failure
+    /// count survives check-out/check-in cycles via the entry itself,
+    /// so two failing jobs in a row are enough regardless of
+    /// interleaving with the map.
+    pub fn checkin(
+        &mut self,
+        key: u64,
+        prepared: Box<PreparedPhased<JobKernel>>,
+        ws: Workspace,
+        ok: bool,
+        prior_failures: u32,
+    ) {
+        let failures = if ok { 0 } else { prior_failures + 1 };
+        if failures >= QUARANTINE_AFTER {
+            self.quarantined += 1;
+            return;
+        }
+        if self.entries.len() >= MAX_ENTRIES {
+            // FIFO eviction: drop the oldest stamp.
+            if let Some(&old) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&old);
+                self.evicted += 1;
+            }
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                prepared,
+                ws,
+                failures,
+                stamp,
+            },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -1,0 +1,481 @@
+//! Job execution: one [`SubmitJob`] in, one [`JobOk`]/[`JobErr`] frame
+//! out, with the plan cache, the recovery ladder, the watchdog, and the
+//! per-job deadline wired together.
+//!
+//! Fault isolation is layered: a panicking node is caught by the native
+//! supervisor (typed [`RunError`]), a wedged node by the watchdog, a
+//! healthy-but-slow run by the per-job deadline, and whatever survives
+//! the retry ladder either falls back to the sequential executor (bit-
+//! identical results, `degraded = 1`) or surfaces as a typed [`JobErr`]
+//! carrying the engine error `Display` text — including the `StallDump`
+//! summary — plus the per-attempt fault seeds for replay.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use earth_model::native::{NativeConfig, RunError, StallReason};
+use earth_model::FaultConfig;
+use irred::{
+    EdgeKernel, EngineError, ExecutionConfig, PhasedEngine, PhasedSpec, RecoveryPolicy,
+    ReductionEngine, RunOutcome, SeqEngine, StrategyConfig, Workspace,
+};
+use workloads::Distribution;
+
+use crate::cache::{Checkout, PlanCache};
+use crate::protocol::{ErrCode, Frame, JobErr, JobOk, SubmitJob, FLAG_NO_FALLBACK};
+
+/// The server's job kernel: per-iteration weighted contributions,
+/// `out[r * num_arrays + a] = (r + 1) · (a + 1) · w[iter]`. Simple
+/// enough to transport as one weight array, rich enough to exercise
+/// multi-ref/multi-array plans; deterministic, so server results are
+/// bit-comparable against a direct engine run of the same kernel.
+#[derive(Debug, Clone)]
+pub struct JobKernel {
+    pub num_refs: usize,
+    pub num_arrays: usize,
+    pub weights: Arc<Vec<f64>>,
+}
+
+impl EdgeKernel for JobKernel {
+    fn num_refs(&self) -> usize {
+        self.num_refs
+    }
+
+    fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        let w = self.weights[iter];
+        for r in 0..self.num_refs {
+            for a in 0..self.num_arrays {
+                out[r * self.num_arrays + a] = (r + 1) as f64 * (a + 1) as f64 * w;
+            }
+        }
+    }
+
+    fn flops_per_iter(&self) -> u64 {
+        (self.num_refs * self.num_arrays) as u64
+    }
+}
+
+/// How hard the server is shedding load when a job is dequeued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedLevel {
+    /// Normal service: native parallel execution.
+    Native,
+    /// Queue past the shed threshold: run sequentially. Results stay
+    /// bit-identical (the repo invariant); only latency degrades.
+    Seq,
+}
+
+/// Everything needed to run jobs; shared by all worker threads.
+pub struct Executor {
+    pub cache: Mutex<PlanCache>,
+    pub recovery: RecoveryPolicy,
+    pub watchdog: Duration,
+}
+
+impl Executor {
+    pub fn new(recovery: RecoveryPolicy, watchdog: Duration) -> Self {
+        Executor {
+            cache: Mutex::new(PlanCache::new()),
+            recovery,
+            watchdog,
+        }
+    }
+
+    /// Run one job to a reply frame. Never panics the worker: every
+    /// failure mode becomes a typed [`JobErr`].
+    pub fn run_job(&self, job: &SubmitJob, shed: ShedLevel, deadline: Option<Instant>) -> Frame {
+        let fault = job_fault(job);
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::Deadline,
+                    0,
+                    Vec::new(),
+                    "deadline expired before execution started".into(),
+                );
+            }
+        }
+        let strat = match StrategyConfig::try_new(
+            usize::from(job.procs),
+            usize::from(job.k),
+            if job.dist == 0 {
+                Distribution::Block
+            } else {
+                Distribution::Cyclic
+            },
+            usize::from(job.sweeps),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::Strategy,
+                    0,
+                    Vec::new(),
+                    EngineError::Strategy(e).to_string(),
+                )
+            }
+        };
+        let kernel = Arc::new(JobKernel {
+            num_refs: usize::from(job.num_refs),
+            num_arrays: usize::from(job.num_arrays),
+            weights: Arc::new(job.weights.clone()),
+        });
+        let spec = PhasedSpec {
+            kernel,
+            num_elements: job.num_elements as usize,
+            indirection: Arc::new(job.indirection.clone()),
+        };
+
+        match shed {
+            ShedLevel::Seq => self.run_seq(job, &spec, &strat),
+            ShedLevel::Native => self.run_native(job, &spec, &strat, fault, deadline),
+        }
+    }
+
+    /// Load-shed path: sequential execution, no plan cache, no faults
+    /// (the fault plan models machine-level faults; there is no machine
+    /// here). Bit-identical to the native result by the repo invariant.
+    fn run_seq(
+        &self,
+        job: &SubmitJob,
+        spec: &PhasedSpec<JobKernel>,
+        strat: &StrategyConfig,
+    ) -> Frame {
+        match SeqEngine::new(ExecutionConfig::default()).run(spec, strat) {
+            Ok(out) => ok_frame(job.job_id, 2, &out),
+            Err(e) => engine_err_frame(job.job_id, &e, 0, Vec::new()),
+        }
+    }
+
+    fn run_native(
+        &self,
+        job: &SubmitJob,
+        spec: &PhasedSpec<JobKernel>,
+        strat: &StrategyConfig,
+        fault: Option<FaultConfig>,
+        deadline: Option<Instant>,
+    ) -> Frame {
+        let mut native = NativeConfig {
+            watchdog: self.watchdog,
+            ..NativeConfig::default()
+        };
+        native.deadline = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let mut policy = self.recovery;
+        if job.flags & FLAG_NO_FALLBACK != 0 || deadline.is_some() {
+            // A hard deadline must not be quietly absorbed by an
+            // unbounded sequential fallback.
+            policy.fall_back_to_seq = false;
+        }
+        let mut cfg = ExecutionConfig::native(native).with_recovery(policy);
+        if let Some(f) = fault {
+            cfg = cfg.with_faults(f);
+        }
+        let engine = PhasedEngine::new(cfg);
+        let key = spec.structure_hash(strat);
+
+        // Check the plan cache out exclusively; swap our kernel values
+        // into a hit. A swap rejection means a structure-hash collision
+        // (different kernel shape, same key) — treat it as a miss.
+        let (mut prepared, mut ws, prior_failures) = {
+            let checkout = self.cache.lock().unwrap().checkout(key);
+            match checkout {
+                Checkout::Hit {
+                    mut prepared,
+                    ws,
+                    failures,
+                } => match prepared.set_kernel(Arc::clone(&spec.kernel)) {
+                    Ok(()) => (prepared, ws, failures),
+                    Err(_) => match self.prepare_fresh(&engine, spec, strat) {
+                        Ok(p) => (Box::new(p), Workspace::new(), 0),
+                        Err(frame) => return frame_err_for_job(job.job_id, frame),
+                    },
+                },
+                Checkout::Miss => match self.prepare_fresh(&engine, spec, strat) {
+                    Ok(p) => (Box::new(p), Workspace::new(), 0),
+                    Err(frame) => return frame_err_for_job(job.job_id, frame),
+                },
+            }
+        };
+
+        let result = engine.execute(&mut prepared, &mut ws);
+        let ok = result.is_ok();
+        self.cache
+            .lock()
+            .unwrap()
+            .checkin(key, prepared, ws, ok, prior_failures);
+
+        match result {
+            Ok(out) => {
+                let degraded = u8::from(out.recovery.fell_back_to_seq);
+                let mut frame = ok_frame(job.job_id, degraded, &out);
+                if let Frame::JobOk(ok) = &mut frame {
+                    ok.attempts = out.recovery.attempts;
+                    ok.fault_seeds = out.recovery.fault_seeds.clone();
+                }
+                frame
+            }
+            Err(e) => {
+                // The ladder's report is lost on the error path; the
+                // seeds are reconstructible because retries reseed
+                // deterministically (attempt n uses `reseeded(n)`).
+                let attempts = match &e {
+                    EngineError::Run(_) => policy.max_attempts,
+                    _ => 1,
+                };
+                let seeds = (0..attempts)
+                    .map(|n| attempt_seed(fault, n))
+                    .collect::<Vec<_>>();
+                engine_err_frame(job.job_id, &e, attempts, seeds)
+            }
+        }
+    }
+
+    fn prepare_fresh(
+        &self,
+        engine: &PhasedEngine,
+        spec: &PhasedSpec<JobKernel>,
+        strat: &StrategyConfig,
+    ) -> Result<irred::PreparedPhased<JobKernel>, EngineError> {
+        engine.prepare(spec, strat)
+    }
+}
+
+/// The seed the fault plan had at retry rung `attempt` — the same rule
+/// the recovery ladder applies, so error frames are replayable.
+fn attempt_seed(fault: Option<FaultConfig>, attempt: u32) -> Option<u64> {
+    fault.map(|f| {
+        if attempt > 0 {
+            f.reseeded(u64::from(attempt)).seed
+        } else {
+            f.seed
+        }
+    })
+}
+
+fn job_fault(job: &SubmitJob) -> Option<FaultConfig> {
+    job.fault.map(|f| match f.kind {
+        1 => FaultConfig::lossless(f.seed),
+        2 => FaultConfig::lossy(f.seed),
+        _ => FaultConfig::chaos(f.seed),
+    })
+}
+
+fn ok_frame(job_id: u64, degraded: u8, out: &RunOutcome) -> Frame {
+    Frame::JobOk(JobOk {
+        job_id,
+        degraded,
+        attempts: out.recovery.attempts,
+        fault_seeds: out.recovery.fault_seeds.clone(),
+        values: out.values.clone(),
+    })
+}
+
+fn err_frame(
+    job_id: u64,
+    code: ErrCode,
+    attempts: u32,
+    fault_seeds: Vec<Option<u64>>,
+    message: String,
+) -> Frame {
+    Frame::JobErr(JobErr {
+        job_id,
+        code,
+        attempts,
+        fault_seeds,
+        message,
+    })
+}
+
+fn frame_err_for_job(job_id: u64, e: EngineError) -> Frame {
+    engine_err_frame(job_id, &e, 0, Vec::new())
+}
+
+/// Map an [`EngineError`] to a typed wire code, forwarding the stable
+/// `Display` text verbatim (the satellite error-audit guarantees every
+/// leaf implements `Error` with stable `Display`).
+fn engine_err_frame(
+    job_id: u64,
+    e: &EngineError,
+    attempts: u32,
+    fault_seeds: Vec<Option<u64>>,
+) -> Frame {
+    let code = match e {
+        EngineError::Invalid(_) => ErrCode::InvalidSpec,
+        EngineError::Shape { .. } => ErrCode::Shape,
+        EngineError::Strategy(_) => ErrCode::Strategy,
+        EngineError::Unsupported(_) => ErrCode::Unsupported,
+        EngineError::Run(RunError::Stalled {
+            reason: StallReason::DeadlineExceeded,
+            ..
+        }) => ErrCode::Deadline,
+        EngineError::Run(RunError::Stalled { .. }) => ErrCode::Stalled,
+        EngineError::Run(_) => ErrCode::Panicked,
+    };
+    err_frame(job_id, code, attempts, fault_seeds, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FaultSpec;
+
+    fn job(id: u64) -> SubmitJob {
+        SubmitJob {
+            job_id: id,
+            deadline_ms: 0,
+            flags: 0,
+            num_elements: 16,
+            iterations: 40,
+            num_refs: 2,
+            num_arrays: 1,
+            procs: 2,
+            k: 2,
+            dist: 0,
+            sweeps: 2,
+            fault: None,
+            weights: (0..40).map(|i| i as f64 * 0.25).collect(),
+            indirection: vec![
+                (0..40).map(|i| (i * 7 % 16) as u32).collect(),
+                (0..40).map(|i| (i * 3 % 16) as u32).collect(),
+            ],
+        }
+    }
+
+    fn exec() -> Executor {
+        Executor::new(RecoveryPolicy::default(), Duration::from_secs(2))
+    }
+
+    #[test]
+    fn healthy_job_matches_direct_engine_run() {
+        let e = exec();
+        let j = job(1);
+        let frame = e.run_job(&j, ShedLevel::Native, None);
+        let Frame::JobOk(ok) = frame else {
+            panic!("expected JobOk, got {frame:?}");
+        };
+        assert_eq!(ok.degraded, 0);
+
+        let spec = PhasedSpec {
+            kernel: Arc::new(JobKernel {
+                num_refs: 2,
+                num_arrays: 1,
+                weights: Arc::new(j.weights.clone()),
+            }),
+            num_elements: 16,
+            indirection: Arc::new(j.indirection.clone()),
+        };
+        let strat = StrategyConfig::try_new(2, 2, Distribution::Block, 2).unwrap();
+        let direct = PhasedEngine::native(NativeConfig::default())
+            .run(&spec, &strat)
+            .unwrap();
+        assert_eq!(
+            ok.values, direct.values,
+            "server result must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn shed_seq_is_bit_identical_too() {
+        let e = exec();
+        let j = job(2);
+        let native = e.run_job(&j, ShedLevel::Native, None);
+        let seq = e.run_job(&j, ShedLevel::Seq, None);
+        let (Frame::JobOk(a), Frame::JobOk(b)) = (native, seq) else {
+            panic!("both paths must succeed");
+        };
+        assert_eq!(b.degraded, 2);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_same_structure() {
+        let e = exec();
+        let mut j = job(3);
+        let _ = e.run_job(&j, ShedLevel::Native, None);
+        // Same structure, different values: must hit.
+        j.weights.iter_mut().for_each(|w| *w += 1.0);
+        let before = e.cache.lock().unwrap().hits;
+        let frame = e.run_job(&j, ShedLevel::Native, None);
+        assert!(matches!(frame, Frame::JobOk(_)));
+        assert_eq!(e.cache.lock().unwrap().hits, before + 1);
+        // Different structure: miss.
+        j.indirection[0][0] = (j.indirection[0][0] + 1) % 16;
+        let misses = e.cache.lock().unwrap().misses;
+        let _ = e.run_job(&j, ShedLevel::Native, None);
+        assert_eq!(e.cache.lock().unwrap().misses, misses + 1);
+    }
+
+    #[test]
+    fn poisoned_job_returns_typed_error_and_daemon_state_survives() {
+        let e = exec();
+        let mut j = job(4);
+        j.fault = Some(FaultSpec { kind: 3, seed: 99 });
+        j.flags = FLAG_NO_FALLBACK;
+        let frame = e.run_job(&j, ShedLevel::Native, None);
+        let Frame::JobErr(err) = frame else {
+            panic!("chaos + no-fallback must fail, got {frame:?}");
+        };
+        assert!(matches!(
+            err.code,
+            ErrCode::Panicked | ErrCode::Stalled | ErrCode::Deadline
+        ));
+        assert_eq!(err.attempts, RecoveryPolicy::default().max_attempts);
+        assert_eq!(err.fault_seeds.len(), err.attempts as usize);
+        assert_eq!(err.fault_seeds[0], Some(99));
+        assert!(!err.message.is_empty());
+        // The executor still serves healthy jobs afterwards.
+        let frame = e.run_job(&job(5), ShedLevel::Native, None);
+        assert!(matches!(frame, Frame::JobOk(_)));
+    }
+
+    #[test]
+    fn poisoned_job_with_fallback_degrades_gracefully() {
+        let e = exec();
+        let mut j = job(6);
+        j.fault = Some(FaultSpec { kind: 3, seed: 7 });
+        let frame = e.run_job(&j, ShedLevel::Native, None);
+        let Frame::JobOk(ok) = frame else {
+            panic!("fallback must produce a result, got {frame:?}");
+        };
+        // Either a lucky native attempt or the sequential fallback; both
+        // are bit-correct. Seeds are recorded per attempt either way.
+        assert_eq!(ok.fault_seeds.len(), ok.attempts as usize);
+        let direct = e.run_job(&job(6), ShedLevel::Seq, None);
+        let Frame::JobOk(d) = direct else {
+            unreachable!()
+        };
+        assert_eq!(ok.values, d.values);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_before_execution() {
+        let e = exec();
+        let frame = e.run_job(
+            &job(7),
+            ShedLevel::Native,
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let Frame::JobErr(err) = frame else {
+            panic!("expired deadline must fail");
+        };
+        assert_eq!(err.code, ErrCode::Deadline);
+    }
+
+    #[test]
+    fn malformed_strategy_is_a_typed_error() {
+        let e = exec();
+        let mut j = job(8);
+        j.procs = 0;
+        let Frame::JobErr(err) = e.run_job(&j, ShedLevel::Native, None) else {
+            panic!("zero procs must fail");
+        };
+        assert_eq!(err.code, ErrCode::Strategy);
+        assert!(err.message.contains("invalid strategy"));
+    }
+}

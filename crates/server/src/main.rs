@@ -1,0 +1,104 @@
+//! `reductiond` — the reduction-as-a-service daemon.
+//!
+//! ```text
+//! reductiond [--listen ADDR] [--uds PATH] [--workers N] [--queue N]
+//!            [--inflight N] [--watchdog-ms N]
+//! ```
+//!
+//! Serves until a client sends a `Shutdown` frame. See DESIGN.md §14
+//! for the wire protocol and README for a quickstart.
+
+use std::process::exit;
+use std::time::Duration;
+
+use server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reductiond [--listen ADDR] [--uds PATH] [--workers N] \
+         [--queue N] [--inflight N] [--watchdog-ms N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut listen: Option<String> = None;
+    let mut uds: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(val("--listen")),
+            "--uds" => uds = Some(val("--uds")),
+            "--workers" => cfg.workers = parse(&val("--workers")),
+            "--queue" => cfg.queue_capacity = parse(&val("--queue")),
+            "--inflight" => cfg.tenant_inflight = parse(&val("--inflight")),
+            "--watchdog-ms" => {
+                cfg.watchdog = Duration::from_millis(parse::<u64>(&val("--watchdog-ms")))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    if listen.is_none() && uds.is_none() {
+        listen = Some("127.0.0.1:7171".into());
+    }
+
+    let server = if let Some(addr) = &listen {
+        match Server::bind_tcp(addr.as_str(), cfg) {
+            Ok(s) => {
+                println!(
+                    "reductiond listening on tcp {}",
+                    s.local_addr()
+                        .map_or_else(|| addr.clone(), |a| a.to_string())
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        #[cfg(unix)]
+        {
+            let path = uds.as_deref().expect("uds path set");
+            match Server::bind_uds(std::path::Path::new(path), cfg) {
+                Ok(s) => {
+                    println!("reductiond listening on uds {path}");
+                    s
+                }
+                Err(e) => {
+                    eprintln!("cannot bind {path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("--uds requires a unix platform");
+            exit(1);
+        }
+    };
+
+    server.wait();
+    println!("reductiond: shutdown complete");
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse argument value: {s}");
+        usage()
+    })
+}

@@ -69,3 +69,5 @@ impl std::fmt::Display for Diagnostic {
         write!(f, "line {}: {}", self.line, self.message)
     }
 }
+
+impl std::error::Error for Diagnostic {}

@@ -30,6 +30,7 @@
 //! simulator the drained event stream is byte-identical across runs
 //! with the same seed.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -334,10 +335,30 @@ pub fn events_to_csv(events: &[TraceEvent]) -> String {
 
 /// Named counters and gauges describing one run, with deterministic
 /// (sorted) iteration order. Counters accumulate; gauges overwrite.
+///
+/// Names are either plain (`"messages"`) or labeled
+/// (`"jobs_ok{tenant=acme}"`, built by [`Self::count_labeled`] /
+/// [`Self::gauge_labeled`]) — the label syntax is part of the rendered
+/// name, so exports and `render` need no schema change for multi-tenant
+/// serving metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    gauges: BTreeMap<Cow<'static, str>, f64>,
+}
+
+/// Render a `name{label=value}` metric key. Label values are sanitized
+/// (braces, `=`, and newlines replaced) so a hostile tenant id cannot
+/// forge a different metric name.
+pub fn labeled_key(name: &str, label: &str, value: &str) -> String {
+    let mut clean = String::with_capacity(value.len());
+    for c in value.chars() {
+        clean.push(match c {
+            '{' | '}' | '=' | '\n' | '\r' | ',' => '_',
+            c => c,
+        });
+    }
+    format!("{name}{{{label}={clean}}}")
 }
 
 impl MetricsRegistry {
@@ -346,13 +367,24 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to counter `name` (creating it at zero).
-    pub fn count(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn count(&mut self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Add `delta` to the labeled counter `name{label=value}` — e.g.
+    /// `count_labeled("jobs_ok", "tenant", "acme", 1)`.
+    pub fn count_labeled(&mut self, name: &str, label: &str, value: &str, delta: u64) {
+        self.count(labeled_key(name, label, value), delta);
     }
 
     /// Set gauge `name` to `value`.
-    pub fn gauge(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn gauge(&mut self, name: impl Into<Cow<'static, str>>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Set the labeled gauge `name{label=value}`.
+    pub fn gauge_labeled(&mut self, name: &str, label: &str, lvalue: &str, value: f64) {
+        self.gauge(labeled_key(name, label, lvalue), value);
     }
 
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -363,12 +395,12 @@ impl MetricsRegistry {
         self.gauges.get(name).copied()
     }
 
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(&k, &v)| (k, v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
-    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
-        self.gauges.iter().map(|(&k, &v)| (k, v))
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -376,13 +408,14 @@ impl MetricsRegistry {
     }
 
     /// Merge another registry into this one (counters add, gauges
-    /// overwrite) — used when a recovery ladder accumulates attempts.
+    /// overwrite) — used when a recovery ladder accumulates attempts
+    /// and when a server folds per-job metrics into its registry.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (k, v) in other.counters() {
-            self.count(k, v);
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
         }
-        for (k, v) in other.gauges() {
-            self.gauge(k, v);
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
         }
     }
 
@@ -466,6 +499,27 @@ mod tests {
         let csv = s.to_csv();
         assert!(csv.starts_with("ts,node,event,"));
         assert!(csv.contains("7,0,sync,to,0,slot,1"));
+    }
+
+    #[test]
+    fn labeled_metrics_key_by_tenant_and_sanitize() {
+        let mut m = MetricsRegistry::new();
+        m.count_labeled("jobs_ok", "tenant", "acme", 2);
+        m.count_labeled("jobs_ok", "tenant", "acme", 1);
+        m.count_labeled("jobs_ok", "tenant", "zeta", 5);
+        m.gauge_labeled("queue_depth", "tenant", "acme", 3.0);
+        assert_eq!(m.counter("jobs_ok{tenant=acme}"), Some(3));
+        assert_eq!(m.counter("jobs_ok{tenant=zeta}"), Some(5));
+        assert_eq!(m.gauge_value("queue_depth{tenant=acme}"), Some(3.0));
+        // A hostile tenant id cannot forge a different metric name.
+        m.count_labeled("jobs_ok", "tenant", "x}\njobs_ok{tenant=y", 1);
+        assert_eq!(m.counter("jobs_ok{tenant=x__jobs_ok_tenant_y}"), Some(1));
+        assert!(m.render().contains("jobs_ok{tenant=acme}"));
+        // Labeled counters survive a merge.
+        let mut sum = MetricsRegistry::new();
+        sum.count_labeled("jobs_ok", "tenant", "acme", 1);
+        sum.merge(&m);
+        assert_eq!(sum.counter("jobs_ok{tenant=acme}"), Some(4));
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn native_cfg(fault_seed: u64) -> NativeConfig {
         faults: Some(FaultConfig::lossless(fault_seed)),
         starved_is_error: true,
         host_threads: None,
+        deadline: None,
     }
 }
 
