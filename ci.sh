@@ -19,6 +19,11 @@
 #                    # soak, and a quick bench_server smoke — all under
 #                    # the hard timeout (the daemon's contract is
 #                    # "typed error, never a hang")
+#   ./ci.sh compiler # threadedc front door: the compiled-vs-interpreter
+#                    # property suite (3 fixed seeds + one randomized
+#                    # pass), the source-over-the-wire server tests, a
+#                    # CLI smoke over the checked-in fixtures, and the
+#                    # compile-cache hit/miss gate via bench_compile
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
 # including in the code under test, whose whole contract is "typed error,
@@ -136,6 +141,52 @@ server() {
         --check --chaos
 }
 
+compiler() {
+    # The compiler property suite (compiled execution vs the
+    # interpreter, bit-identity across engines, fission, gather
+    # cross-check) and the server's SubmitSource path: three fixed base
+    # seeds for deterministic replay, then one randomized pass to keep
+    # widening coverage (its seed prints on failure for replay via
+    # PROP_SEED).
+    for seed in 1 2 3; do
+        echo "== compiler pipeline (PROP_BASE_SEED=$seed) =="
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p earth-irred --test compiler_pipeline
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p server --test source_jobs
+    done
+
+    echo "== compiler pipeline (randomized pass) =="
+    rand_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    echo "   PROP_BASE_SEED=$rand_seed"
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p earth-irred --test compiler_pipeline
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p server --test source_jobs
+
+    # CLI smoke over the checked-in fixtures: the good programs must
+    # report plans (multigroup via automatic fission), the bad one must
+    # exit non-zero with a spanned diagnostic on stderr.
+    echo "== threadedc CLI smoke =="
+    local cli_out
+    cli_out=$(run_tests cargo run --release -q -p threadedc --bin threadedc -- \
+        --procs 4 --k 2 crates/threadedc/testdata/fig1.tc)
+    grep -q "flat plan" <<<"$cli_out"
+    cli_out=$(run_tests cargo run --release -q -p threadedc --bin threadedc -- \
+        --run crates/threadedc/testdata/multigroup.tc)
+    grep -q "fissioned into 3 loops" <<<"$cli_out"
+    grep -q "2 phased loop(s)" <<<"$cli_out"
+    if cli_out=$(run_tests cargo run --release -q -p threadedc --bin threadedc -- \
+        crates/threadedc/testdata/bad_nonreduction.tc 2>&1); then
+        echo "compiler gate: bad_nonreduction.tc unexpectedly compiled" >&2
+        return 1
+    fi
+    grep -q "line 3" <<<"$cli_out"
+    grep -q "not a recognized reduction" <<<"$cli_out"
+
+    # Compile-cache gate: every reply bit-identical to the interpreter,
+    # and the daemon's hit/miss counters must account for exactly one
+    # miss per distinct program.
+    echo "== compile-cache gate (bench_compile --check) =="
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_compile -- --check
+}
+
 perf() {
     # Quick-mode native benchmark against the checked-in quick baseline
     # (bench_results/BENCH_native_quick.json). >20 % median regression on
@@ -169,15 +220,17 @@ case "${1:-all}" in
     perf) perf ;;
     workloads) workloads ;;
     server) server ;;
+    compiler) compiler ;;
     all)
         tier1
         faults
         workloads
         server
+        compiler
         perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults|perf|workloads|server]" >&2
+        echo "usage: $0 [tier1|faults|perf|workloads|server|compiler]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,373 @@
+//! Compiler front-door latency harness: cold-compile vs compile-cache-hit
+//! submit latency over the daemon's `SubmitSource` path, plus the raw
+//! in-process `threadedc::compile` cost for scale.
+//!
+//! Drives an in-process `reductiond` with N distinct source programs
+//! (distinct cache keys), submitting each `resubmits + 1` times: the
+//! first submit pays parse + analysis + fission + verification (a cache
+//! miss), the rest hit the tenant's compile cache and pay only
+//! execution. Emits `bench_results/BENCH_compile.json`.
+//!
+//! Modes:
+//!   bench_compile                        full run, writes the JSON
+//!   bench_compile --programs N           distinct sources (default 8)
+//!   bench_compile --resubmits N          cache-hit submits per source
+//!   bench_compile --check [baseline]     gate mode: assert every reply
+//!                                        bit-identical to the
+//!                                        interpreter and the daemon's
+//!                                        hit/miss counters add up; with
+//!                                        a baseline path, also gate
+//!                                        cold-vs-baseline latency
+//!
+//! `REPRO_QUICK=1` shrinks the program count for CI smoke use.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use server::client::Client;
+use server::protocol::{Frame, SubmitSource};
+use server::{Server, ServerConfig};
+use threadedc::{compile, interpret, parse, Bindings};
+
+struct Opts {
+    programs: usize,
+    resubmits: usize,
+    check: bool,
+    baseline: Option<String>,
+    elements: usize,
+    iterations: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        let quick = repro_bench::quick();
+        Opts {
+            programs: if quick { 4 } else { 8 },
+            resubmits: if quick { 2 } else { 5 },
+            check: false,
+            baseline: None,
+            elements: 64,
+            iterations: 512,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compile [--programs N] [--resubmits N] [--elements N] \
+         [--iterations N] [--check [baseline.json]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--programs" => o.programs = num(args.next()),
+            "--resubmits" => o.resubmits = num(args.next()),
+            "--elements" => o.elements = num(args.next()),
+            "--iterations" => o.iterations = num(args.next()),
+            "--check" => {
+                o.check = true;
+                if args.peek().is_some_and(|a| !a.starts_with("--")) {
+                    o.baseline = args.next();
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn num(v: Option<String>) -> usize {
+    v.and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| usage())
+}
+
+/// Distinct source per index: the multiplier constant changes the source
+/// hash, so each program is its own compile-cache entry, while the
+/// shape (un-annotated two-group loop, automatic fission) stays fixed.
+fn source(idx: usize) -> String {
+    format!(
+        "double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];\n\
+         forall (i = 0; i < e; i++) {{\n\
+         \x20 double f = W[i] * {}.0;\n\
+         \x20 P[A[i]] = P[A[i]] + f;\n\
+         \x20 Q[B[i]] = Q[B[i]] - f;\n\
+         }}\n",
+        idx + 1
+    )
+}
+
+/// Whole-number weights: every partial sum is exact, so the phased
+/// result is bit-comparable to the sequential interpreter.
+fn inputs(n: usize, e: usize, seed: u64) -> (Vec<f64>, Vec<u32>, Vec<u32>) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let w = (0..e).map(|_| (next() % 50) as f64).collect();
+    let a = (0..e).map(|_| (next() % n as u64) as u32).collect();
+    let b = (0..e).map(|_| (next() % n as u64) as u32).collect();
+    (w, a, b)
+}
+
+fn job(o: &Opts, id: u64, idx: usize) -> SubmitSource {
+    let (w, a, b) = inputs(o.elements, o.iterations, idx as u64 + 1);
+    SubmitSource {
+        job_id: id,
+        deadline_ms: 0,
+        procs: 2,
+        k: 2,
+        dist: 1,
+        sweeps: 1,
+        source: source(idx),
+        sizes: vec![
+            ("n".into(), o.elements as u32),
+            ("e".into(), o.iterations as u32),
+        ],
+        f64s: vec![("W".into(), w)],
+        ints: vec![("A".into(), a), ("B".into(), b)],
+    }
+}
+
+/// Interpreter reference for `--check`: P and Q on identical bindings.
+fn reference(o: &Opts, idx: usize) -> (Vec<f64>, Vec<f64>) {
+    let (w, a, b) = inputs(o.elements, o.iterations, idx as u64 + 1);
+    let mut bind = Bindings::default();
+    bind.sizes.insert("n".into(), o.elements);
+    bind.sizes.insert("e".into(), o.iterations);
+    bind.f64s.insert("W".into(), w);
+    bind.ints.insert("A".into(), a);
+    bind.ints.insert("B".into(), b);
+    interpret(&parse(&source(idx)).unwrap(), &mut bind).unwrap();
+    (bind.f64s["P"].clone(), bind.f64s["Q"].clone())
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn metric(report: &str, key: &str) -> u64 {
+    report
+        .lines()
+        .find_map(|l| l.strip_prefix(key))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {key} missing in:\n{report}"))
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extract one `"key": <float>` from our own flat JSON (hermetic
+/// policy: no serde; this only reads files this tool wrote).
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let o = parse_opts();
+    let quick = repro_bench::quick();
+
+    let srv = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind in-process daemon");
+    let addr = srv.local_addr().expect("local addr");
+    println!(
+        "# bench_compile: {} programs x {} resubmits, {} elems x {} iters{}",
+        o.programs,
+        o.resubmits,
+        o.elements,
+        o.iterations,
+        if o.check { ", checked" } else { "" },
+    );
+
+    // Raw front-end cost, no daemon: parse + analysis + fission +
+    // verification per program.
+    let mut compile_only = Vec::with_capacity(o.programs);
+    for idx in 0..o.programs {
+        let src = source(idx);
+        let t0 = Instant::now();
+        compile(&src).expect("benchmark sources compile");
+        compile_only.push(t0.elapsed());
+    }
+    compile_only.sort();
+
+    let mut c = Client::connect(addr, "bench-compile").expect("connect");
+    let mut cold = Vec::with_capacity(o.programs);
+    let mut hit = Vec::with_capacity(o.programs * o.resubmits);
+    let mut id = 0u64;
+    for idx in 0..o.programs {
+        let expect = o.check.then(|| reference(&o, idx));
+        for round in 0..=o.resubmits {
+            id += 1;
+            let t0 = Instant::now();
+            let frame = c.submit_source(job(&o, id, idx)).expect("submit");
+            let dt = t0.elapsed();
+            let Frame::JobOk(ok) = frame else {
+                panic!("program {idx} round {round}: {frame:?}");
+            };
+            if let Some((p, q)) = &expect {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&ok.values[0]), bits(p), "program {idx}: P mismatch");
+                assert_eq!(bits(&ok.values[1]), bits(q), "program {idx}: Q mismatch");
+            }
+            if round == 0 {
+                cold.push(dt);
+            } else {
+                hit.push(dt);
+            }
+        }
+    }
+    cold.sort();
+    hit.sort();
+
+    let metrics = c.metrics().expect("metrics");
+    let (hits, misses, entries) = (
+        metric(&metrics, "compile_cache_hits "),
+        metric(&metrics, "compile_cache_misses "),
+        metric(&metrics, "compile_cache_entries "),
+    );
+    c.shutdown().expect("shutdown");
+    srv.stop();
+
+    let cold_p50 = percentile(&cold, 0.50);
+    let hit_p50 = percentile(&hit, 0.50);
+    println!(
+        "compile_only_ms p50={:.3} (n={}, parse+analysis+fission+verify)",
+        ms(percentile(&compile_only, 0.50)),
+        compile_only.len()
+    );
+    println!(
+        "cold_ms         p50={:.3} p99={:.3} (n={}, cache miss: compile + execute)",
+        ms(cold_p50),
+        ms(percentile(&cold, 0.99)),
+        cold.len()
+    );
+    println!(
+        "hit_ms          p50={:.3} p99={:.3} (n={}, cache hit: execute only)",
+        ms(hit_p50),
+        ms(percentile(&hit, 0.99)),
+        hit.len()
+    );
+    println!("daemon: compile_cache_entries {entries}");
+    println!("daemon: compile_cache_hits    {hits}");
+    println!("daemon: compile_cache_misses  {misses}");
+
+    // Quick runs use a smaller config, so they track their own baseline
+    // file instead of clobbering the full one.
+    let path = if quick {
+        "bench_results/BENCH_compile_quick.json"
+    } else {
+        "bench_results/BENCH_compile.json"
+    };
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(out, "  \"tool\": \"bench_compile\",").unwrap();
+    writeln!(out, "  \"git_sha\": \"{}\",", git_sha()).unwrap();
+    writeln!(out, "  \"quick\": {quick},").unwrap();
+    writeln!(
+        out,
+        "  \"config\": {{ \"programs\": {}, \"resubmits\": {}, \"elements\": {}, \
+         \"iterations\": {} }},",
+        o.programs, o.resubmits, o.elements, o.iterations
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"compile_only_p50_ms\": {:.6},",
+        ms(percentile(&compile_only, 0.50))
+    )
+    .unwrap();
+    writeln!(out, "  \"cold_p50_ms\": {:.6},", ms(cold_p50)).unwrap();
+    writeln!(
+        out,
+        "  \"cold_p99_ms\": {:.6},",
+        ms(percentile(&cold, 0.99))
+    )
+    .unwrap();
+    writeln!(out, "  \"hit_p50_ms\": {:.6},", ms(hit_p50)).unwrap();
+    writeln!(out, "  \"hit_p99_ms\": {:.6},", ms(percentile(&hit, 0.99))).unwrap();
+    writeln!(
+        out,
+        "  \"cache_counters\": {{ \"entries\": {entries}, \"hits\": {hits}, \
+         \"misses\": {misses} }}"
+    )
+    .unwrap();
+    writeln!(out, "}}").unwrap();
+    std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
+    std::fs::write(path, &out).expect("write BENCH_compile.json");
+    println!("wrote {path}");
+
+    if o.check {
+        // The daemon's counters must account for exactly this run: one
+        // miss per distinct program, the rest hits, nothing evicted.
+        let want_misses = o.programs as u64;
+        let want_hits = (o.programs * o.resubmits) as u64;
+        if misses != want_misses || hits != want_hits || entries != want_misses {
+            eprintln!(
+                "CACHE CHECK FAILED: entries/hits/misses = {entries}/{hits}/{misses}, \
+                 expected {want_misses}/{want_hits}/{want_misses}"
+            );
+            std::process::exit(1);
+        }
+        println!("# cache counters: {want_misses} misses, {want_hits} hits, as expected");
+        println!("# bit-identity: every reply matched the interpreter");
+        if let Some(base) = &o.baseline {
+            // Generous 3x gate: this is a smoke check against gross
+            // regressions (e.g. cache no longer hit), not a perf SLO —
+            // CI hosts are noisy.
+            match std::fs::read_to_string(base) {
+                Ok(text) => {
+                    let base_cold = json_f64(&text, "cold_p50_ms").unwrap_or(f64::MAX);
+                    let now = ms(cold_p50);
+                    if now > base_cold * 3.0 {
+                        eprintln!(
+                            "PERF REGRESSION: cold p50 {now:.2} ms is over 3x baseline \
+                             {base_cold:.2} ms"
+                        );
+                        std::process::exit(1);
+                    }
+                    println!("# cold p50 {now:.2} ms vs baseline {base_cold:.2} ms (within 3x)");
+                }
+                Err(e) => {
+                    eprintln!("note: baseline {base} unreadable ({e}); latency gate skipped");
+                }
+            }
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use earth_model::native::RunError;
 use earth_model::RunStats;
-use lightinspector::InspectError;
+use lightinspector::{InspectError, PlanError};
 use trace::{MetricsRegistry, Timeline, TraceEvent, TraceKind, TraceSink, RUN_NODE};
 
 use crate::kernel::EdgeKernel;
@@ -49,6 +49,9 @@ pub enum EngineError {
     /// The backend returned a structured runtime error (panic or
     /// watchdog stall).
     Run(RunError),
+    /// An externally supplied (e.g. compiler-emitted) inspector plan
+    /// failed verification against the indirection arrays.
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Strategy(e) => write!(f, "invalid strategy: {e}"),
             EngineError::Unsupported(what) => write!(f, "unsupported by this engine: {what}"),
             EngineError::Run(e) => write!(f, "run failed: {e}"),
+            EngineError::Plan(e) => write!(f, "rejected supplied plan: {e}"),
         }
     }
 }
@@ -86,6 +90,12 @@ impl From<RunError> for EngineError {
 impl From<StrategyError> for EngineError {
     fn from(e: StrategyError) -> Self {
         EngineError::Strategy(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
     }
 }
 

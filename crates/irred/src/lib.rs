@@ -78,7 +78,7 @@ pub use phased::{PhasedEngine, PhasedError, PhasedSpec, PreparedPhased};
 pub use prepared::{PlanToken, Workspace};
 pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
 pub use strategy::{EngineChoice, LoopLayout, StrategyConfig, StrategyError};
-pub use workloads::Distribution;
+pub use workloads::{distribute, Distribution};
 
 /// Compare two reduction results element-wise with a tolerance that
 /// accounts for reassociation of floating-point sums.

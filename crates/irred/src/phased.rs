@@ -198,7 +198,34 @@ impl NodePlanData {
         kernel: &K,
     ) -> NodePlanData {
         let plan = insp.plan().clone();
-        let local_ind = insp.indirection();
+        let flat = plan.flatten();
+        Self::from_parts(
+            plan,
+            flat,
+            insp.indirection(),
+            local_iters,
+            spec_elems,
+            total_iterations,
+            kernel,
+        )
+    }
+
+    /// Derive the frozen per-node data from an already-validated plan
+    /// and its flattened form — the entry point for adopting plans
+    /// emitted directly in CSR form (e.g. by the `threadedc` compiler)
+    /// without re-flattening. `flat` must equal `plan.flatten()`; the
+    /// adoption path guarantees this because [`InspectorPlan::from_flat`]
+    /// is `flatten`'s exact inverse.
+    fn from_parts<K: EdgeKernel>(
+        plan: InspectorPlan,
+        flat: lightinspector::FlatPlan,
+        local_ind: &[Vec<u32>],
+        local_iters: &[u32],
+        spec_elems: usize,
+        total_iterations: usize,
+        kernel: &K,
+    ) -> NodePlanData {
+        debug_assert_eq!(flat, plan.flatten());
         let m = kernel.num_refs();
         let kp = plan.geometry.num_phases();
         let mut giters = Vec::with_capacity(kp);
@@ -237,7 +264,6 @@ impl NodePlanData {
             edge: am.alloc_f64(total_iterations.max(1)),
             copies: am.alloc(plan.total_copies().max(1), 8),
         };
-        let flat = plan.flatten();
         NodePlanData {
             geometry: plan.geometry,
             plan,
@@ -1552,6 +1578,132 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             inspector_events.extend(events);
         }
 
+        Self::assemble(
+            spec,
+            strat,
+            cfg,
+            iter_loc,
+            owned,
+            inspectors,
+            node_data,
+            inspector_events,
+        )
+    }
+
+    /// Prepare a phased run by *adopting* externally produced flat plans
+    /// (one [`FlatInspection`] per processor, e.g. emitted directly by
+    /// the `threadedc` compiler) instead of running the inspector here.
+    /// Each plan is verified against the spec's indirection before
+    /// anything executes — a malformed or stale plan is a typed
+    /// [`EngineError::Plan`], never silent corruption. The resulting
+    /// prepared run is bit-identical to one built by [`Self::new`] on
+    /// the same `(spec, strategy)`.
+    pub(crate) fn new_from_flat(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        cfg: &ExecutionConfig,
+        flats: Vec<lightinspector::FlatInspection>,
+    ) -> Result<Self, EngineError> {
+        validate_phased_spec(spec)?;
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
+        let m = spec.kernel.num_refs();
+        let total_iterations = spec.num_iterations();
+        if flats.len() != strat.procs {
+            return Err(EngineError::Shape {
+                what: "flat inspections (strat.procs)",
+                expected: strat.procs,
+                got: flats.len(),
+            });
+        }
+        let owned = distribute(total_iterations, strat.procs, strat.distribution);
+        let mut iter_loc = vec![(0u32, 0u32); total_iterations];
+        for (proc, iters) in owned.iter().enumerate() {
+            for (li, &gi) in iters.iter().enumerate() {
+                iter_loc[gi as usize] = (proc as u32, li as u32);
+            }
+        }
+
+        let mut inspectors = Vec::with_capacity(strat.procs);
+        let mut node_data = Vec::with_capacity(strat.procs);
+        for (proc, fi) in flats.into_iter().enumerate() {
+            if fi.proc_id != proc {
+                return Err(EngineError::Shape {
+                    what: "flat inspection proc_id",
+                    expected: proc,
+                    got: fi.proc_id,
+                });
+            }
+            if fi.geometry != geometry {
+                return Err(EngineError::Plan(lightinspector::PlanError::FlatShape {
+                    what: "inspection geometry must match (procs, k, num_elements)",
+                }));
+            }
+            if fi.flat.m() != m {
+                return Err(EngineError::Shape {
+                    what: "flat plan ref arity (kernel.num_refs)",
+                    expected: m,
+                    got: fi.flat.m(),
+                });
+            }
+            let local_iters = &owned[proc];
+            if fi.iters.len() != local_iters.len()
+                || fi.iter_phase.len() != local_iters.len()
+                || fi.flat.refs.len() != local_iters.len() * m
+            {
+                return Err(EngineError::Plan(lightinspector::PlanError::FlatShape {
+                    what: "inspection iteration count must match the distribution",
+                }));
+            }
+            let local_ind: Vec<Vec<u32>> = (0..m)
+                .map(|r| {
+                    local_iters
+                        .iter()
+                        .map(|&i| spec.indirection[r][i as usize])
+                        .collect()
+                })
+                .collect();
+            let plan = fi.to_plan();
+            // Verified adoption: `from_plan` runs the full plan checker
+            // against the local indirection before indexing.
+            let insp = IncrementalInspector::from_plan(plan, local_ind)?;
+            let data = NodePlanData::from_parts(
+                insp.plan().clone(),
+                fi.flat,
+                insp.indirection(),
+                local_iters,
+                spec.num_elements,
+                total_iterations,
+                &*spec.kernel,
+            );
+            inspectors.push(insp);
+            node_data.push(Arc::new(data));
+        }
+
+        Self::assemble(
+            spec,
+            strat,
+            cfg,
+            iter_loc,
+            owned,
+            inspectors,
+            node_data,
+            Vec::new(),
+        )
+    }
+
+    /// Common tail of [`Self::new`] and [`Self::new_from_flat`]: read
+    /// state, backend template, and the prepared-run record itself.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        cfg: &ExecutionConfig,
+        iter_loc: Vec<(u32, u32)>,
+        owned: Vec<Vec<u32>>,
+        inspectors: Vec<IncrementalInspector>,
+        node_data: Vec<Arc<NodePlanData>>,
+        inspector_events: Vec<TraceEvent>,
+    ) -> Result<Self, EngineError> {
         let n_read = spec.kernel.num_read_arrays();
         let read_init = spec.kernel.init_read();
         if read_init.len() != spec.num_elements * n_read {
@@ -2078,6 +2230,22 @@ impl PhasedEngine {
     pub fn config(&self) -> &ExecutionConfig {
         &self.cfg
     }
+
+    /// Prepare by adopting compiler-emitted flat plans (one
+    /// [`lightinspector::FlatInspection`] per processor, built under the
+    /// same iteration distribution as `strat`) instead of running the
+    /// inspector. Every plan is verified against `spec.indirection`
+    /// before adoption; the prepared run then behaves exactly like one
+    /// from [`ReductionEngine::prepare`] — incremental updates, plan
+    /// caching, and repeated executes all work.
+    pub fn prepare_from_flat<K: EdgeKernel>(
+        &self,
+        spec: &PhasedSpec<K>,
+        strat: &StrategyConfig,
+        flats: Vec<lightinspector::FlatInspection>,
+    ) -> Result<PreparedPhased<K>, EngineError> {
+        PreparedPhased::new_from_flat(spec, strat, &self.cfg, flats)
+    }
 }
 
 impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for PhasedEngine {
@@ -2187,6 +2355,76 @@ mod tests {
     fn single_sweep() {
         let spec = tiny_spec(32, 6, 100);
         check_matches_seq(&spec, StrategyConfig::new(4, 2, Distribution::Cyclic, 1));
+    }
+
+    /// Build the per-proc flat inspections exactly the way the compiler
+    /// does: split iterations under the strategy's distribution, then
+    /// run the one-pass flat emitter on each local slice.
+    fn emit_flats(
+        spec: &PhasedSpec<WeightedPairKernel>,
+        strat: &StrategyConfig,
+    ) -> Vec<lightinspector::FlatInspection> {
+        let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements).unwrap();
+        let owned = distribute(spec.num_iterations(), strat.procs, strat.distribution);
+        (0..strat.procs)
+            .map(|proc| {
+                let local: Vec<Vec<u32>> = spec
+                    .indirection
+                    .iter()
+                    .map(|arr| owned[proc].iter().map(|&i| arr[i as usize]).collect())
+                    .collect();
+                let refs: Vec<&[u32]> = local.iter().map(|v| v.as_slice()).collect();
+                lightinspector::inspect_flat(lightinspector::InspectorInput {
+                    geometry,
+                    proc_id: proc,
+                    indirection: &refs,
+                })
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prepare_from_flat_is_bit_identical_to_prepare() {
+        let spec = tiny_spec(48, 11, 300);
+        for strat in [
+            StrategyConfig::new(2, 2, Distribution::Cyclic, 3),
+            StrategyConfig::new(4, 1, Distribution::Block, 2),
+            StrategyConfig::new(3, 3, Distribution::Cyclic, 2),
+        ] {
+            let engine = PhasedEngine::sim(SimConfig::default());
+            let mut normal = engine.prepare(&spec, &strat).unwrap();
+            let mut adopted = engine
+                .prepare_from_flat(&spec, &strat, emit_flats(&spec, &strat))
+                .unwrap();
+            let mut ws1 = Workspace::new();
+            let mut ws2 = Workspace::new();
+            let a = engine.execute(&mut normal, &mut ws1).unwrap();
+            let b = engine.execute(&mut adopted, &mut ws2).unwrap();
+            for (x, y) in a.values[0].iter().zip(&b.values[0]) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}", strat.label());
+            }
+            assert_eq!(a.time_cycles, b.time_cycles, "{}", strat.label());
+        }
+    }
+
+    #[test]
+    fn prepare_from_flat_rejects_mismatched_plans() {
+        let spec = tiny_spec(32, 12, 100);
+        let strat = StrategyConfig::new(2, 2, Distribution::Block, 1);
+        let engine = PhasedEngine::sim(SimConfig::default());
+        // Wrong processor count.
+        let flats = emit_flats(&spec, &strat);
+        let err = engine
+            .prepare_from_flat(&spec, &strat, flats[..1].to_vec())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Shape { .. }), "{err}");
+        // Plans built for a different distribution fail verification.
+        let other = StrategyConfig::new(2, 2, Distribution::Cyclic, 1);
+        let err = engine
+            .prepare_from_flat(&spec, &strat, emit_flats(&spec, &other))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Plan(_)), "{err}");
     }
 
     #[test]

@@ -79,6 +79,32 @@ impl IncrementalInspector {
             .expect("IncrementalInspector::new: invalid inspector input")
     }
 
+    /// Adopt an externally produced plan (e.g. the compiler's direct
+    /// flat emission, unflattened) instead of re-running inspection.
+    /// The plan is [`verify_plan`](crate::verify_plan)-checked against
+    /// `indirection` first, so a malformed plan is a typed error here
+    /// rather than corruption later.
+    pub fn from_plan(
+        plan: InspectorPlan,
+        indirection: Vec<Vec<u32>>,
+    ) -> Result<Self, crate::PlanError> {
+        let m = plan.phases.first().map_or(0, |p| p.refs.len());
+        if indirection.len() != m {
+            return Err(crate::PlanError::FlatShape {
+                what: "indirection arity must match the plan's reference count",
+            });
+        }
+        let num_iters = indirection.first().map_or(0, |a| a.len());
+        if plan.iter_phase.len() != num_iters {
+            return Err(crate::PlanError::FlatShape {
+                what: "iter_phase length must match the local iteration count",
+            });
+        }
+        let refs: Vec<&[u32]> = indirection.iter().map(|v| v.as_slice()).collect();
+        crate::verify_plan(&plan, &refs)?;
+        Ok(Self::index(plan, indirection))
+    }
+
     /// Index a freshly inspected plan for O(m) incremental updates.
     fn index(plan: InspectorPlan, indirection: Vec<Vec<u32>>) -> Self {
         let geometry = plan.geometry;

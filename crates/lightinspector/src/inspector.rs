@@ -18,7 +18,7 @@
 //! `m = 2` (edges/interactions touching two nodes/molecules).
 
 use crate::geometry::PhaseGeometry;
-use crate::plan::{CopyOp, InspectorPlan, PhasePlan, SingleRefPlan};
+use crate::plan::{CopyOp, FlatPlan, InspectorPlan, PhasePlan, SingleRefPlan};
 
 /// Why an inspector input was rejected. Every variant is a caller bug
 /// that would previously panic (debug) or silently mis-bucket references
@@ -225,6 +225,138 @@ pub fn inspect_observed(
         buffer_len: (next_slot - n) as usize,
         phases,
         iter_phase,
+    })
+}
+
+/// A complete inspection emitted directly in flat (CSR) form: the
+/// [`FlatPlan`] the executors' fast path streams, plus the sidecar
+/// arrays (iteration order, phase assignment, buffer size) the nested
+/// [`InspectorPlan`] would otherwise carry. Produced by
+/// [`inspect_flat`] with **no nested intermediate** — the compiler's
+/// direct lowering path hands these straight to the phased executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatInspection {
+    pub geometry: PhaseGeometry,
+    pub proc_id: usize,
+    /// Buffer slots appended to the reduction array.
+    pub buffer_len: usize,
+    /// Local iteration ids in phase-concatenated order (phase `p`
+    /// occupies `flat.iter_ptr[p]..flat.iter_ptr[p+1]`) — the executors'
+    /// `giters` flattening.
+    pub iters: Vec<u32>,
+    /// Phase of each local iteration, indexed by local iteration id.
+    pub iter_phase: Vec<u32>,
+    pub flat: FlatPlan,
+}
+
+impl FlatInspection {
+    /// Reconstruct the nested [`InspectorPlan`]. Exact: for any input,
+    /// `inspect_flat(x)?.to_plan() == inspect(x)?` and conversely
+    /// `to_plan().flatten() == flat`.
+    pub fn to_plan(&self) -> InspectorPlan {
+        InspectorPlan::from_flat(
+            self.geometry,
+            self.proc_id,
+            self.buffer_len,
+            &self.iters,
+            self.iter_phase.clone(),
+            &self.flat,
+        )
+    }
+}
+
+/// Run the LightInspector emitting the flat (CSR) schedule directly —
+/// no nested per-phase structures are ever built. Produces bit-identical
+/// output to `inspect(input)?.flatten()`: iterations within a phase
+/// appear in ascending local order, buffer slots are numbered in the
+/// same global `(iteration, reference)` scan order, and each phase's
+/// copy list preserves that order.
+pub fn inspect_flat(input: InspectorInput<'_>) -> Result<FlatInspection, InspectError> {
+    let g = input.geometry;
+    validate(&g, input.proc_id, input.indirection)?;
+    let m = input.indirection.len();
+    let num_iters = input.indirection[0].len();
+    let kp = g.num_phases();
+
+    // Pass 1: phase of each iteration + per-phase iteration/copy counts
+    // (identical to `inspect`'s first pass).
+    let mut iter_phase = vec![0u32; num_iters];
+    let mut phase_counts = vec![0usize; kp];
+    let mut copy_counts = vec![0usize; kp];
+    let mut scratch = vec![0usize; m];
+    for i in 0..num_iters {
+        let mut min_phase = usize::MAX;
+        for (r, ind) in input.indirection.iter().enumerate() {
+            let e = ind[i] as usize;
+            let ph = g.phase_of_portion_on(input.proc_id, g.portion_of(e));
+            scratch[r] = ph;
+            min_phase = min_phase.min(ph);
+        }
+        iter_phase[i] = min_phase as u32;
+        phase_counts[min_phase] += 1;
+        for &ph in &scratch {
+            if ph > min_phase {
+                copy_counts[ph] += 1;
+            }
+        }
+    }
+
+    // CSR pointers are exactly the prefix sums of the counts.
+    let mut iter_ptr = Vec::with_capacity(kp + 1);
+    let mut copy_ptr = Vec::with_capacity(kp + 1);
+    iter_ptr.push(0u32);
+    copy_ptr.push(0u32);
+    for p in 0..kp {
+        iter_ptr.push(iter_ptr[p] + phase_counts[p] as u32);
+        copy_ptr.push(copy_ptr[p] + copy_counts[p] as u32);
+    }
+
+    // Pass 2: place every iteration straight into its phase's CSR range.
+    // Scanning iterations in ascending order and bumping a per-phase
+    // cursor reproduces the within-phase order `inspect`'s push-based
+    // placement yields; the single `next_slot` counter reproduces its
+    // buffer numbering.
+    let total_iters: usize = *iter_ptr.last().unwrap() as usize;
+    let total_copies: usize = *copy_ptr.last().unwrap() as usize;
+    let mut iters = vec![0u32; total_iters];
+    let mut refs = vec![0u32; total_iters * m];
+    let mut copies = vec![CopyOp { dest: 0, src: 0 }; total_copies];
+    let mut iter_cursor: Vec<u32> = iter_ptr[..kp].to_vec();
+    let mut copy_cursor: Vec<u32> = copy_ptr[..kp].to_vec();
+    let n = g.num_elements() as u32;
+    let mut next_slot = n;
+    for i in 0..num_iters {
+        let p = iter_phase[i] as usize;
+        let j = iter_cursor[p] as usize;
+        iter_cursor[p] += 1;
+        iters[j] = i as u32;
+        for (r, ind) in input.indirection.iter().enumerate() {
+            let e = ind[i];
+            let ph = g.phase_of_portion_on(input.proc_id, g.portion_of(e as usize));
+            refs[j * m + r] = if ph == p {
+                e
+            } else {
+                let slot = next_slot;
+                next_slot += 1;
+                let ci = copy_cursor[ph] as usize;
+                copy_cursor[ph] += 1;
+                copies[ci] = CopyOp { dest: e, src: slot };
+                slot
+            };
+        }
+    }
+    debug_assert_eq!(iter_cursor, iter_ptr[1..]);
+    debug_assert_eq!(copy_cursor, copy_ptr[1..]);
+
+    let flat = FlatPlan::new(m, iter_ptr, refs, copy_ptr, copies)
+        .expect("prefix-sum construction satisfies the CSR invariants");
+    Ok(FlatInspection {
+        geometry: g,
+        proc_id: input.proc_id,
+        buffer_len: (next_slot - n) as usize,
+        iters,
+        iter_phase,
+        flat,
     })
 }
 
@@ -450,6 +582,67 @@ mod tests {
         assert_eq!(plan.total_iters(), 0);
         assert_eq!(plan.buffer_len, 0);
         verify_plan(&plan, &[&a, &b]).unwrap();
+    }
+
+    #[test]
+    fn flat_emission_equals_flattened_nested_plan() {
+        // Bit-equality of the one-pass CSR emission against
+        // inspect().flatten(), across geometries and skews.
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for &(procs, k, n, iters, m) in &[
+            (2usize, 2usize, 8usize, 20usize, 2usize),
+            (4, 1, 32, 100, 2),
+            (4, 2, 64, 257, 3),
+            (3, 3, 17, 55, 1),
+            (2, 2, 8, 0, 2),
+        ] {
+            let g = PhaseGeometry::new(procs, k, n);
+            let ind: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..iters).map(|_| (next() % n as u64) as u32).collect())
+                .collect();
+            let refs: Vec<&[u32]> = ind.iter().map(|v| v.as_slice()).collect();
+            for proc in 0..procs {
+                let input = InspectorInput {
+                    geometry: g,
+                    proc_id: proc,
+                    indirection: &refs,
+                };
+                let nested = inspect(input).unwrap();
+                let fi = inspect_flat(input).unwrap();
+                assert_eq!(fi.flat, nested.flatten(), "P{procs} k{k} n{n} proc{proc}");
+                assert_eq!(fi.iter_phase, nested.iter_phase);
+                assert_eq!(fi.buffer_len, nested.buffer_len);
+                let concat: Vec<u32> = nested
+                    .phases
+                    .iter()
+                    .flat_map(|p| p.iters.iter().copied())
+                    .collect();
+                assert_eq!(fi.iters, concat);
+                // And the unflattened form is the nested plan, exactly.
+                assert_eq!(fi.to_plan(), nested);
+                verify_plan(&fi.to_plan(), &refs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn flat_emission_rejects_what_inspect_rejects() {
+        let g = PhaseGeometry::new(2, 2, 8);
+        let a: Vec<u32> = vec![0, 8, 1];
+        let b: Vec<u32> = vec![1, 2, 3];
+        let err = inspect_flat(InspectorInput {
+            geometry: g,
+            proc_id: 0,
+            indirection: &[&a, &b],
+        })
+        .unwrap_err();
+        assert!(matches!(err, InspectError::OutOfRange { elem: 8, .. }));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod stats;
 pub use geometry::{PhaseGeometry, PortionId};
 pub use incremental::{diff_pairs, IncrementalInspector};
 pub use inspector::{
-    inspect, inspect_observed, inspect_single, InspectError, InspectorInput, STAGE_CLASSIFY,
-    STAGE_PLACE, STAGE_VALIDATE,
+    inspect, inspect_flat, inspect_observed, inspect_single, FlatInspection, InspectError,
+    InspectorInput, STAGE_CLASSIFY, STAGE_PLACE, STAGE_VALIDATE,
 };
 pub use plan::{verify_plan, CopyOp, FlatPlan, InspectorPlan, PhasePlan, PlanError, SingleRefPlan};
 pub use stats::{portion_stats, PlanStats};

@@ -90,6 +90,51 @@ impl InspectorPlan {
     }
 }
 
+impl InspectorPlan {
+    /// Reconstruct the nested per-phase structure from a flat schedule —
+    /// the exact inverse of [`InspectorPlan::flatten`]. `iters` is the
+    /// phase-concatenated local iteration order (phase `p` occupies
+    /// `iter_ptr[p]..iter_ptr[p+1]`), `iter_phase` the per-iteration
+    /// phase assignment. Used to adopt compiler-emitted flat plans into
+    /// machinery that walks the nested form (metering, incremental
+    /// updates).
+    pub fn from_flat(
+        geometry: PhaseGeometry,
+        proc_id: usize,
+        buffer_len: usize,
+        iters: &[u32],
+        iter_phase: Vec<u32>,
+        flat: &FlatPlan,
+    ) -> InspectorPlan {
+        let m = flat.m();
+        let kp = flat.num_phases();
+        let mut phases = Vec::with_capacity(kp);
+        for p in 0..kp {
+            let lo = flat.iter_ptr[p] as usize;
+            let hi = flat.iter_ptr[p + 1] as usize;
+            let prefs = flat.phase_refs(p);
+            let mut refs: Vec<Vec<u32>> = (0..m).map(|_| Vec::with_capacity(hi - lo)).collect();
+            for j in 0..(hi - lo) {
+                for (r, col) in refs.iter_mut().enumerate() {
+                    col.push(prefs[j * m + r]);
+                }
+            }
+            phases.push(PhasePlan {
+                iters: iters[lo..hi].to_vec(),
+                refs,
+                copies: flat.phase_copies(p).to_vec(),
+            });
+        }
+        InspectorPlan {
+            geometry,
+            proc_id,
+            buffer_len,
+            phases,
+            iter_phase,
+        }
+    }
+}
+
 /// The inspector plan flattened into a CSR-style schedule: one
 /// contiguous reference array (iteration-major, `m`-interleaved — the
 /// order the executor's scatter consumes them in) and one contiguous
@@ -114,6 +159,53 @@ pub struct FlatPlan {
 }
 
 impl FlatPlan {
+    /// Assemble a flat plan from externally produced CSR arrays — the
+    /// constructor the compiler's direct lowering path uses (it never
+    /// builds the nested [`InspectorPlan`]). Shape invariants are
+    /// checked; *semantic* validity against an indirection array is the
+    /// job of [`verify_plan`] on the unflattened form.
+    pub fn new(
+        m: usize,
+        iter_ptr: Vec<u32>,
+        refs: Vec<u32>,
+        copy_ptr: Vec<u32>,
+        copies: Vec<CopyOp>,
+    ) -> Result<FlatPlan, PlanError> {
+        let shape = |what| Err(PlanError::FlatShape { what });
+        if iter_ptr.len() < 2 || copy_ptr.len() != iter_ptr.len() {
+            return shape("pointer arrays need one entry per phase plus one");
+        }
+        if iter_ptr[0] != 0 || copy_ptr[0] != 0 {
+            return shape("pointer arrays must start at 0");
+        }
+        if iter_ptr.windows(2).any(|w| w[0] > w[1]) || copy_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return shape("pointer arrays must be monotone");
+        }
+        if refs.len() != *iter_ptr.last().unwrap() as usize * m {
+            return shape("refs length must be total iterations times m");
+        }
+        if copies.len() != *copy_ptr.last().unwrap() as usize {
+            return shape("copies length must match the last copy pointer");
+        }
+        Ok(FlatPlan {
+            m,
+            iter_ptr,
+            refs,
+            copy_ptr,
+            copies,
+        })
+    }
+
+    /// References per iteration (`num_refs`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of phases the schedule covers.
+    pub fn num_phases(&self) -> usize {
+        self.iter_ptr.len() - 1
+    }
+
     /// Phase `p`'s scatter targets, iteration-major `m`-interleaved.
     pub fn phase_refs(&self, p: usize) -> &[u32] {
         let lo = self.iter_ptr[p] as usize * self.m;
@@ -167,6 +259,9 @@ pub enum PlanError {
     WrongTarget { iter: u32, r: usize },
     /// Phase count does not match the geometry.
     PhaseCount { got: usize, want: usize },
+    /// A [`FlatPlan`] handed to [`FlatPlan::new`] has inconsistent CSR
+    /// arrays.
+    FlatShape { what: &'static str },
 }
 
 impl std::fmt::Display for PlanError {
@@ -201,6 +296,9 @@ impl std::fmt::Display for PlanError {
             ),
             PlanError::PhaseCount { got, want } => {
                 write!(f, "plan has {got} phases, geometry requires {want}")
+            }
+            PlanError::FlatShape { what } => {
+                write!(f, "malformed flat plan: {what}")
             }
         }
     }
@@ -351,5 +449,41 @@ mod tests {
         assert_eq!(flat.phase_refs(1), &[4, 5]);
         assert!(flat.phase_copies(0).is_empty());
         assert_eq!(flat.phase_copies(1), &plan.phases[1].copies[..]);
+
+        // Unflatten is the exact inverse.
+        let iters: Vec<u32> = plan.phases.iter().flat_map(|p| p.iters.clone()).collect();
+        let back = InspectorPlan::from_flat(
+            plan.geometry,
+            plan.proc_id,
+            plan.buffer_len,
+            &iters,
+            plan.iter_phase.clone(),
+            &flat,
+        );
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn flat_plan_constructor_validates_shape() {
+        let ok = FlatPlan::new(
+            2,
+            vec![0, 2],
+            vec![0, 8, 1, 9],
+            vec![0, 1],
+            vec![CopyOp { dest: 1, src: 8 }],
+        )
+        .unwrap();
+        assert_eq!(ok.m(), 2);
+        assert_eq!(ok.num_phases(), 1);
+
+        // Wrong refs length for the pointer total.
+        let err = FlatPlan::new(2, vec![0, 2], vec![0, 8, 1], vec![0, 0], vec![]).unwrap_err();
+        assert!(matches!(err, PlanError::FlatShape { .. }));
+        // Non-monotone pointers.
+        let err = FlatPlan::new(1, vec![0, 2, 1], vec![0, 1], vec![0, 0, 0], vec![]).unwrap_err();
+        assert!(matches!(err, PlanError::FlatShape { .. }));
+        // Mismatched pointer lengths.
+        let err = FlatPlan::new(1, vec![0, 1], vec![0], vec![0], vec![]).unwrap_err();
+        assert!(matches!(err, PlanError::FlatShape { .. }));
     }
 }

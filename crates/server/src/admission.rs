@@ -15,13 +15,30 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::executor::ShedLevel;
-use crate::protocol::SubmitJob;
+use crate::protocol::{SubmitJob, SubmitSource};
 use crate::session::Reply;
+
+/// What a queued job asks the executor to do: run a prepared-spec job
+/// or compile-and-run a source program. Admission treats both alike —
+/// same queue, same fairness, same backpressure.
+pub enum JobWork {
+    Job(SubmitJob),
+    Source(SubmitSource),
+}
+
+impl JobWork {
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JobWork::Job(j) => j.job_id,
+            JobWork::Source(s) => s.job_id,
+        }
+    }
+}
 
 /// One queued job: the parsed submission plus where to send the answer.
 pub struct Job {
     pub tenant: String,
-    pub submit: SubmitJob,
+    pub work: JobWork,
     pub reply: Reply,
     pub deadline: Option<Instant>,
 }
@@ -194,7 +211,7 @@ mod tests {
     fn job(tenant: &str, id: u64) -> Job {
         Job {
             tenant: tenant.into(),
-            submit: SubmitJob {
+            work: JobWork::Job(SubmitJob {
                 job_id: id,
                 deadline_ms: 0,
                 flags: 0,
@@ -209,7 +226,7 @@ mod tests {
                 fault: None,
                 weights: vec![1.0, 2.0],
                 indirection: vec![vec![0, 1], vec![2, 3]],
-            },
+            }),
             reply: Reply::sink(),
             deadline: None,
         }
@@ -242,7 +259,7 @@ mod tests {
         let order: Vec<(String, u64)> = (0..6)
             .map(|_| {
                 let (j, _) = a.next().unwrap();
-                (j.tenant.clone(), j.submit.job_id)
+                (j.tenant.clone(), j.work.job_id())
             })
             .collect();
         let tenants: Vec<&str> = order.iter().map(|(t, _)| t.as_str()).collect();
@@ -262,11 +279,11 @@ mod tests {
         a.submit(job("flood", 1));
         a.submit(job("flood", 2));
         let (j1, _) = a.next().unwrap();
-        assert_eq!(j1.submit.job_id, 1);
+        assert_eq!(j1.work.job_id(), 1);
         // flood is at its cap; job 2 must wait for done().
         let a2 = Arc::new(a);
         let a3 = Arc::clone(&a2);
-        let h = std::thread::spawn(move || a3.next().map(|(j, _)| j.submit.job_id));
+        let h = std::thread::spawn(move || a3.next().map(|(j, _)| j.work.job_id()));
         std::thread::sleep(std::time::Duration::from_millis(50));
         assert!(!h.is_finished(), "job 2 must be held back by the cap");
         a2.done("flood");

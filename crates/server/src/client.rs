@@ -9,7 +9,8 @@ use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 use crate::protocol::{
-    check_len, decode, encode, Frame, Hello, ProtocolError, SubmitJob, DEFAULT_MAX_FRAME, VERSION,
+    check_len, decode, encode, Frame, Hello, ProtocolError, SubmitJob, SubmitSource,
+    DEFAULT_MAX_FRAME, VERSION,
 };
 
 /// Client-side failures: transport, protocol, or an unexpected frame.
@@ -124,6 +125,26 @@ impl<S: Read + Write> Client<S> {
     pub fn submit(&mut self, job: SubmitJob) -> Result<Frame, ClientError> {
         let id = job.job_id;
         self.send(&Frame::SubmitJob(job))?;
+        loop {
+            let frame = self.recv()?;
+            let done = match &frame {
+                Frame::JobOk(o) => o.job_id == id,
+                Frame::JobErr(e) => e.job_id == id,
+                Frame::Busy(b) => b.job_id == id,
+                _ => false,
+            };
+            if done {
+                return Ok(frame);
+            }
+        }
+    }
+
+    /// Submit a source program and wait for its terminal frame
+    /// (`JobOk`, `JobErr`, or `Busy`), skipping responses to other
+    /// in-flight jobs on this connection.
+    pub fn submit_source(&mut self, job: SubmitSource) -> Result<Frame, ClientError> {
+        let id = job.job_id;
+        self.send(&Frame::SubmitSource(job))?;
         loop {
             let frame = self.recv()?;
             let done = match &frame {

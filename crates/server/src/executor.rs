@@ -10,6 +10,7 @@
 //! carrying the engine error `Display` text — including the `StallDump`
 //! summary — plus the per-attempt fault seeds for replay.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -19,10 +20,17 @@ use irred::{
     EdgeKernel, EngineError, ExecutionConfig, PhasedEngine, PhasedSpec, RecoveryPolicy,
     ReductionEngine, RunOutcome, SeqEngine, StrategyConfig, Workspace,
 };
+use threadedc::ast::ElemType;
+use threadedc::CompileCache;
 use workloads::Distribution;
 
 use crate::cache::{Checkout, PlanCache};
-use crate::protocol::{ErrCode, Frame, JobErr, JobOk, SubmitJob, FLAG_NO_FALLBACK};
+use crate::protocol::{
+    ErrCode, Frame, JobErr, JobOk, SubmitJob, SubmitSource, FLAG_NO_FALLBACK, MAX_ELEMENTS,
+};
+
+/// Compiled programs cached per tenant (FIFO, keyed by source hash).
+const COMPILE_CACHE_CAP: usize = 32;
 
 /// The server's job kernel: per-iteration weighted contributions,
 /// `out[r * num_arrays + a] = (r + 1) · (a + 1) · w[iter]`. Simple
@@ -72,6 +80,10 @@ pub enum ShedLevel {
 /// Everything needed to run jobs; shared by all worker threads.
 pub struct Executor {
     pub cache: Mutex<PlanCache>,
+    /// Per-tenant source-hash compile caches for `SubmitSource` jobs —
+    /// tenant-keyed so one tenant's churn cannot evict another's
+    /// programs.
+    pub compile_caches: Mutex<HashMap<String, CompileCache>>,
     pub recovery: RecoveryPolicy,
     pub watchdog: Duration,
 }
@@ -80,9 +92,19 @@ impl Executor {
     pub fn new(recovery: RecoveryPolicy, watchdog: Duration) -> Self {
         Executor {
             cache: Mutex::new(PlanCache::new()),
+            compile_caches: Mutex::new(HashMap::new()),
             recovery,
             watchdog,
         }
+    }
+
+    /// `(entries, hits, misses)` summed over every tenant's compile
+    /// cache — for the metrics report.
+    pub fn compile_cache_stats(&self) -> (usize, u64, u64) {
+        let caches = self.compile_caches.lock().unwrap();
+        caches.values().fold((0, 0, 0), |(n, h, m), c| {
+            (n + c.len(), h + c.hits(), m + c.misses())
+        })
     }
 
     /// Run one job to a reply frame. Never panics the worker: every
@@ -135,6 +157,166 @@ impl Executor {
         match shed {
             ShedLevel::Seq => self.run_seq(job, &spec, &strat),
             ShedLevel::Native => self.run_native(job, &spec, &strat, fault, deadline),
+        }
+    }
+
+    /// Run one source-submitted job: compile (through the tenant's
+    /// compile cache), bind the named inputs, execute on the compiled
+    /// flat fast path (or sequentially when shedding), and reply with
+    /// every non-temporary declared f64 array in declaration order.
+    /// Compile failures come back as [`ErrCode::Compile`] carrying the
+    /// spanned diagnostic verbatim; the worker never drops the
+    /// connection over bad source.
+    pub fn run_source(
+        &self,
+        tenant: &str,
+        job: &SubmitSource,
+        shed: ShedLevel,
+        deadline: Option<Instant>,
+    ) -> Frame {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::Deadline,
+                    0,
+                    Vec::new(),
+                    "deadline expired before execution started".into(),
+                );
+            }
+        }
+        let strat = match StrategyConfig::try_new(
+            usize::from(job.procs),
+            usize::from(job.k),
+            if job.dist == 0 {
+                Distribution::Block
+            } else {
+                Distribution::Cyclic
+            },
+            usize::from(job.sweeps),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::Strategy,
+                    0,
+                    Vec::new(),
+                    EngineError::Strategy(e).to_string(),
+                )
+            }
+        };
+
+        let compiled = {
+            let mut caches = self.compile_caches.lock().unwrap();
+            let cache = caches
+                .entry(tenant.to_string())
+                .or_insert_with(|| CompileCache::new(COMPILE_CACHE_CAP));
+            match cache.get_or_compile(&job.source) {
+                Ok(c) => c,
+                Err(d) => {
+                    return err_frame(job.job_id, ErrCode::Compile, 0, Vec::new(), d.to_string())
+                }
+            }
+        };
+
+        let mut b = threadedc::Bindings::default();
+        for (name, v) in &job.sizes {
+            if *v == 0 || *v > MAX_ELEMENTS {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::InvalidSpec,
+                    0,
+                    Vec::new(),
+                    format!("size binding `{name}` = {v} is out of range"),
+                );
+            }
+            b.sizes.insert(name.clone(), *v as usize);
+        }
+        for d in &compiled.program.decls {
+            if let Ok(n) = d.size.parse::<usize>() {
+                if n > MAX_ELEMENTS as usize {
+                    return err_frame(
+                        job.job_id,
+                        ErrCode::InvalidSpec,
+                        0,
+                        Vec::new(),
+                        format!("array `{}` declares {n} elements (over the cap)", d.name),
+                    );
+                }
+            }
+        }
+        for (name, arr) in &job.f64s {
+            b.f64s.insert(name.clone(), arr.clone());
+        }
+        for (name, arr) in &job.ints {
+            b.ints.insert(name.clone(), arr.clone());
+        }
+
+        // A malicious binding (an indirection value past an array read
+        // inside a loop body) can index out of range in the sequential
+        // interpreter, which runs regular loops inline on this worker
+        // thread. Catch it: the job fails typed, the worker survives.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shed {
+            ShedLevel::Seq => (
+                compiled.execute_with(&mut b, &SeqEngine::new(ExecutionConfig::default()), &strat),
+                2u8,
+            ),
+            ShedLevel::Native => {
+                let mut native = NativeConfig {
+                    watchdog: self.watchdog,
+                    ..NativeConfig::default()
+                };
+                native.deadline = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                let mut policy = self.recovery;
+                if deadline.is_some() {
+                    policy.fall_back_to_seq = false;
+                }
+                let engine =
+                    PhasedEngine::new(ExecutionConfig::native(native).with_recovery(policy));
+                (compiled.execute_flat(&mut b, &strat, &engine), 0u8)
+            }
+        }));
+        let (result, degraded) = match caught {
+            Ok(r) => r,
+            Err(_) => {
+                return err_frame(
+                    job.job_id,
+                    ErrCode::Panicked,
+                    0,
+                    Vec::new(),
+                    "source job panicked during execution (index out of range?)".into(),
+                )
+            }
+        };
+
+        match result {
+            Ok(_) => {
+                let values: Vec<Vec<f64>> = compiled
+                    .program
+                    .decls
+                    .iter()
+                    .filter(|d| d.ty == ElemType::Double && !d.name.starts_with("__tmp_"))
+                    .filter_map(|d| b.f64s.get(&d.name).cloned())
+                    .collect();
+                Frame::JobOk(JobOk {
+                    job_id: job.job_id,
+                    degraded,
+                    attempts: 0,
+                    fault_seeds: Vec::new(),
+                    values,
+                })
+            }
+            // Post-compile failures (unbound/ill-shaped arrays, engine
+            // rejection, watchdog) carry the spanned diagnostic text.
+            Err(d) => {
+                let code = if d.message.contains("deadline") {
+                    ErrCode::Deadline
+                } else {
+                    ErrCode::InvalidSpec
+                };
+                err_frame(job.job_id, code, 0, Vec::new(), d.to_string())
+            }
         }
     }
 
@@ -306,7 +488,7 @@ fn engine_err_frame(
     fault_seeds: Vec<Option<u64>>,
 ) -> Frame {
     let code = match e {
-        EngineError::Invalid(_) => ErrCode::InvalidSpec,
+        EngineError::Invalid(_) | EngineError::Plan(_) => ErrCode::InvalidSpec,
         EngineError::Shape { .. } => ErrCode::Shape,
         EngineError::Strategy(_) => ErrCode::Strategy,
         EngineError::Unsupported(_) => ErrCode::Unsupported,

@@ -141,6 +141,12 @@ impl ServerInner {
             out.push_str(&format!("plan_cache_quarantined {}\n", c.quarantined));
             out.push_str(&format!("plan_cache_evicted {}\n", c.evicted));
         }
+        {
+            let (entries, hits, misses) = self.executor.compile_cache_stats();
+            out.push_str(&format!("compile_cache_entries {entries}\n"));
+            out.push_str(&format!("compile_cache_hits {hits}\n"));
+            out.push_str(&format!("compile_cache_misses {misses}\n"));
+        }
         out.push_str(&format!("queue_depth {}\n", self.admission.queue_len()));
         out.push_str(&format!(
             "jobs_executed {}\n",
@@ -155,7 +161,13 @@ impl ServerInner {
 /// `run_job` is a typed frame.
 fn worker_loop(srv: Arc<ServerInner>) {
     while let Some((job, shed)) = srv.admission.next() {
-        let frame = srv.executor.run_job(&job.submit, shed, job.deadline);
+        let frame = match &job.work {
+            admission::JobWork::Job(submit) => srv.executor.run_job(submit, shed, job.deadline),
+            admission::JobWork::Source(src) => {
+                srv.executor
+                    .run_source(&job.tenant, src, shed, job.deadline)
+            }
+        };
         srv.jobs_executed.fetch_add(1, Ordering::Relaxed);
         match &frame {
             protocol::Frame::JobOk(ok) => {

@@ -26,6 +26,10 @@ pub const HELLO_MAX_FRAME: u32 = 4096;
 /// Hard caps on job geometry, independent of frame size.
 pub const MAX_ELEMENTS: u32 = 1 << 24;
 pub const MAX_ITERATIONS: u32 = 1 << 24;
+/// Largest DSL source a [`SubmitSource`] may carry (bytes).
+pub const MAX_SOURCE: u32 = 64 << 10;
+/// Most named bindings (per kind) a [`SubmitSource`] may carry.
+pub const MAX_BINDINGS: u8 = 32;
 
 /// `SubmitJob.flags` bit: fail the job instead of falling back to the
 /// sequential executor when the native ladder is exhausted.
@@ -42,6 +46,7 @@ const T_METRICS_REPORT: u8 = 0x08;
 const T_SHUTDOWN: u8 = 0x09;
 const T_SHUTDOWN_ACK: u8 = 0x0A;
 const T_PROTO_ERR: u8 = 0x0B;
+const T_SUBMIT_SOURCE: u8 = 0x0C;
 
 /// Why a frame (or frame header) was rejected. Every variant is a
 /// protocol-level fault of the *peer*; none of them are server bugs,
@@ -114,6 +119,9 @@ pub enum ErrCode {
     Deadline = 7,
     /// Admission refused the job for a non-queue reason (e.g. shutdown).
     Refused = 8,
+    /// A [`SubmitSource`] program failed to compile; the message is the
+    /// compiler diagnostic verbatim (`line L:C: …`).
+    Compile = 9,
 }
 
 impl ErrCode {
@@ -127,6 +135,7 @@ impl ErrCode {
             6 => ErrCode::Stalled,
             7 => ErrCode::Deadline,
             8 => ErrCode::Refused,
+            9 => ErrCode::Compile,
             _ => return None,
         })
     }
@@ -186,6 +195,32 @@ pub struct SubmitJob {
     pub indirection: Vec<Vec<u32>>,
 }
 
+/// A source-submitted job: a DSL program compiled server-side (through
+/// the per-tenant compile cache) and executed under the given strategy
+/// against the named bindings. Symbolic sizes bind through `sizes`;
+/// input arrays through `f64s` / `ints`; declared f64 arrays not bound
+/// start zeroed. The reply's `values` are every non-temporary declared
+/// f64 array, in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSource {
+    pub job_id: u64,
+    /// Hard wall-clock budget in milliseconds; `0` = none.
+    pub deadline_ms: u32,
+    pub procs: u16,
+    pub k: u16,
+    /// 0 = block, 1 = cyclic.
+    pub dist: u8,
+    pub sweeps: u16,
+    /// DSL program text (at most [`MAX_SOURCE`] bytes).
+    pub source: String,
+    /// Symbolic size bindings (`n`, `e`, …).
+    pub sizes: Vec<(String, u32)>,
+    /// Named f64 input arrays.
+    pub f64s: Vec<(String, Vec<f64>)>,
+    /// Named int (indirection) input arrays.
+    pub ints: Vec<(String, Vec<u32>)>,
+}
+
 /// Successful job result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOk {
@@ -232,6 +267,7 @@ pub enum Frame {
     Hello(Hello),
     HelloAck(HelloAck),
     SubmitJob(SubmitJob),
+    SubmitSource(SubmitSource),
     JobOk(JobOk),
     JobErr(JobErr),
     Busy(Busy),
@@ -327,6 +363,37 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
                 }
             }
         }
+        Frame::SubmitSource(s) => {
+            e.u8(T_SUBMIT_SOURCE);
+            e.u64(s.job_id);
+            e.u32(s.deadline_ms);
+            e.u16(s.procs);
+            e.u16(s.k);
+            e.u8(s.dist);
+            e.u16(s.sweeps);
+            e.str(&s.source);
+            e.u8(s.sizes.len() as u8);
+            for (name, v) in &s.sizes {
+                e.str(name);
+                e.u32(*v);
+            }
+            e.u8(s.f64s.len() as u8);
+            for (name, arr) in &s.f64s {
+                e.str(name);
+                e.u32(arr.len() as u32);
+                for v in arr {
+                    e.f64(*v);
+                }
+            }
+            e.u8(s.ints.len() as u8);
+            for (name, arr) in &s.ints {
+                e.str(name);
+                e.u32(arr.len() as u32);
+                for v in arr {
+                    e.u32(*v);
+                }
+            }
+        }
         Frame::JobOk(o) => {
             e.u8(T_JOB_OK);
             e.u64(o.job_id);
@@ -334,8 +401,8 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             e.u32(o.attempts);
             e.seeds(&o.fault_seeds);
             e.u8(o.values.len() as u8);
-            e.u32(o.values.first().map_or(0, |v| v.len() as u32));
             for arr in &o.values {
+                e.u32(arr.len() as u32);
                 for v in arr {
                     e.f64(*v);
                 }
@@ -523,18 +590,19 @@ pub fn decode(frame: &[u8]) -> Result<Frame, ProtocolError> {
             })
         }
         T_SUBMIT_JOB => Frame::SubmitJob(decode_submit(&mut d)?),
+        T_SUBMIT_SOURCE => Frame::SubmitSource(decode_submit_source(&mut d)?),
         T_JOB_OK => {
             let job_id = d.u64("job id")?;
             let degraded = d.u8("degraded flag")?;
             let attempts = d.u32("attempts")?;
             let fault_seeds = d.seeds()?;
             let num_arrays = d.u8("value array count")? as usize;
-            let per = d.u32("values per array")? as usize;
-            if num_arrays.saturating_mul(per).saturating_mul(8) > d.remaining() {
-                return Err(ProtocolError::Truncated { what: "values" });
-            }
             let mut values = Vec::with_capacity(num_arrays);
             for _ in 0..num_arrays {
+                // Per-array length (source jobs return decl arrays of
+                // differing sizes), validated against the bytes present
+                // before the allocation.
+                let per = d.count(8, "values per array")?;
                 let mut arr = Vec::with_capacity(per);
                 for _ in 0..per {
                     arr.push(d.f64("value")?);
@@ -686,6 +754,89 @@ fn decode_submit(d: &mut Dec<'_>) -> Result<SubmitJob, ProtocolError> {
     })
 }
 
+fn decode_submit_source(d: &mut Dec<'_>) -> Result<SubmitSource, ProtocolError> {
+    let job_id = d.u64("job id")?;
+    let deadline_ms = d.u32("deadline")?;
+    let procs = d.u16("procs")?;
+    let k = d.u16("k")?;
+    let dist = d.u8("distribution")?;
+    if dist > 1 {
+        return Err(ProtocolError::BadValue {
+            what: "distribution",
+            got: u64::from(dist),
+        });
+    }
+    let sweeps = d.u16("sweeps")?;
+    let source = d.str("source text")?;
+    if source.is_empty() || source.len() > MAX_SOURCE as usize {
+        return Err(ProtocolError::BadValue {
+            what: "source text length",
+            got: source.len() as u64,
+        });
+    }
+    let name = |d: &mut Dec<'_>, what: &'static str| -> Result<String, ProtocolError> {
+        let s = d.str(what)?;
+        if s.is_empty() || s.len() > 64 {
+            return Err(ProtocolError::BadValue {
+                what,
+                got: s.len() as u64,
+            });
+        }
+        Ok(s)
+    };
+    let bind_count = |d: &mut Dec<'_>, what: &'static str| -> Result<usize, ProtocolError> {
+        let n = d.u8(what)?;
+        if n > MAX_BINDINGS {
+            return Err(ProtocolError::BadValue {
+                what,
+                got: u64::from(n),
+            });
+        }
+        Ok(usize::from(n))
+    };
+
+    let n_sizes = bind_count(d, "size binding count")?;
+    let mut sizes = Vec::with_capacity(n_sizes);
+    for _ in 0..n_sizes {
+        let nm = name(d, "size binding name")?;
+        sizes.push((nm, d.u32("size binding value")?));
+    }
+    let n_f64s = bind_count(d, "f64 binding count")?;
+    let mut f64s = Vec::with_capacity(n_f64s);
+    for _ in 0..n_f64s {
+        let nm = name(d, "f64 binding name")?;
+        let len = d.count(8, "f64 binding length")?;
+        let mut arr = Vec::with_capacity(len);
+        for _ in 0..len {
+            arr.push(d.f64("f64 binding value")?);
+        }
+        f64s.push((nm, arr));
+    }
+    let n_ints = bind_count(d, "int binding count")?;
+    let mut ints = Vec::with_capacity(n_ints);
+    for _ in 0..n_ints {
+        let nm = name(d, "int binding name")?;
+        let len = d.count(4, "int binding length")?;
+        let mut arr = Vec::with_capacity(len);
+        for _ in 0..len {
+            arr.push(d.u32("int binding value")?);
+        }
+        ints.push((nm, arr));
+    }
+    Ok(SubmitSource {
+        job_id,
+        deadline_ms,
+        procs,
+        k,
+        dist,
+        sweeps,
+        source,
+        sizes,
+        f64s,
+        ints,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,12 +878,25 @@ mod tests {
             weights: vec![1.0, -0.5, 1.25e300],
             indirection: vec![vec![0, 1, 7], vec![3, 3, 0]],
         }));
+        roundtrip(Frame::SubmitSource(SubmitSource {
+            job_id: 11,
+            deadline_ms: 0,
+            procs: 4,
+            k: 2,
+            dist: 1,
+            sweeps: 1,
+            source: "double X[n]; int A[e];\nforall (i = 0; i < e; i++) { X[A[i]] += 1.0; }".into(),
+            sizes: vec![("n".into(), 8), ("e".into(), 3)],
+            f64s: vec![("W".into(), vec![0.5, -1.0, 2.0])],
+            ints: vec![("A".into(), vec![0, 7, 3])],
+        }));
         roundtrip(Frame::JobOk(JobOk {
             job_id: 7,
             degraded: 1,
             attempts: 2,
             fault_seeds: vec![Some(42), Some(43), None],
-            values: vec![vec![1.5, 2.5], vec![0.0, -1.0]],
+            // Differing lengths: source jobs return decl arrays as-is.
+            values: vec![vec![1.5, 2.5], vec![0.0, -1.0, 3.25]],
         }));
         roundtrip(Frame::JobErr(JobErr {
             job_id: 9,

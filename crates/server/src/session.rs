@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::admission::{Admit, Job};
+use crate::admission::{Admit, Job, JobWork};
 use crate::protocol::{
     check_len, decode, encode, Busy, ErrCode, Frame, HelloAck, JobErr, ProtoErr, ProtocolError,
     HELLO_MAX_FRAME, VERSION,
@@ -232,13 +232,22 @@ pub fn serve<C: Conn>(mut conn: C, srv: Arc<ServerInner>) {
                 }));
                 return;
             }
-            (Frame::SubmitJob(submit), Some(t)) => {
-                let deadline = (submit.deadline_ms > 0)
-                    .then(|| Instant::now() + Duration::from_millis(u64::from(submit.deadline_ms)));
-                let job_id = submit.job_id;
+            (frame @ (Frame::SubmitJob(_) | Frame::SubmitSource(_)), Some(t)) => {
+                let work = match frame {
+                    Frame::SubmitJob(submit) => JobWork::Job(submit),
+                    Frame::SubmitSource(src) => JobWork::Source(src),
+                    _ => unreachable!("matched above"),
+                };
+                let deadline_ms = match &work {
+                    JobWork::Job(j) => j.deadline_ms,
+                    JobWork::Source(s) => s.deadline_ms,
+                };
+                let deadline = (deadline_ms > 0)
+                    .then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+                let job_id = work.job_id();
                 let admit = srv.admission.submit(Job {
                     tenant: t.clone(),
-                    submit,
+                    work,
                     reply: reply.clone(),
                     deadline,
                 });

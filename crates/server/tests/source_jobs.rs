@@ -1,0 +1,185 @@
+//! End-to-end tests for the `SubmitSource` path: a live daemon compiles
+//! tenant-submitted DSL programs (through the per-tenant compile
+//! cache), executes them on the compiled flat fast path, and returns
+//! either the declared arrays or a typed, span-carrying compile error —
+//! never a dropped connection.
+
+use server::client::Client;
+use server::protocol::{ErrCode, Frame, SubmitSource};
+use server::{Server, ServerConfig};
+use threadedc::{interpret, parse, Bindings};
+
+/// An un-annotated multi-group reduction: recognition must normalize
+/// both statements, analysis must split them into two reference groups,
+/// and fission must split the loop — all server-side.
+const MULTI_GROUP: &str = "\
+double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+forall (i = 0; i < e; i++) {
+    double f = W[i] * 2.0;
+    P[A[i]] = P[A[i]] + f;
+    Q[B[i]] = Q[B[i]] - f;
+}";
+
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Whole-number weights keep every partial sum exact, so the phased
+/// result is bit-identical to the sequential interpreter regardless of
+/// summation order.
+fn inputs(n: usize, e: usize, seed: u64) -> (Vec<f64>, Vec<u32>, Vec<u32>) {
+    let mut next = rng(seed);
+    let w = (0..e).map(|_| (next() % 50) as f64).collect();
+    let a = (0..e).map(|_| (next() % n as u64) as u32).collect();
+    let b = (0..e).map(|_| (next() % n as u64) as u32).collect();
+    (w, a, b)
+}
+
+fn source_job(id: u64, n: u32, e: u32, seed: u64) -> SubmitSource {
+    let (w, a, b) = inputs(n as usize, e as usize, seed);
+    SubmitSource {
+        job_id: id,
+        deadline_ms: 0,
+        procs: 2,
+        k: 2,
+        dist: 1,
+        sweeps: 1,
+        source: MULTI_GROUP.into(),
+        sizes: vec![("n".into(), n), ("e".into(), e)],
+        f64s: vec![("W".into(), w)],
+        ints: vec![("A".into(), a), ("B".into(), b)],
+    }
+}
+
+fn start() -> (Server, std::net::SocketAddr) {
+    let srv = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = srv.local_addr().expect("addr");
+    (srv, addr)
+}
+
+#[test]
+fn source_job_matches_interpreter_and_cache_hits_on_resubmit() {
+    let (srv, addr) = start();
+    let mut c = Client::connect(addr, "alice").expect("connect");
+
+    let (n, e, seed) = (24u32, 150u32, 42u64);
+    let frame = c.submit_source(source_job(1, n, e, seed)).expect("submit");
+    let Frame::JobOk(ok) = frame else {
+        panic!("expected JobOk, got {frame:?}");
+    };
+    // Values are the non-temp f64 decls in declaration order: P, Q, W.
+    assert_eq!(ok.values.len(), 3);
+
+    // Reference: the sequential interpreter on identical bindings.
+    let (w, a, b) = inputs(n as usize, e as usize, seed);
+    let mut bind = Bindings::default();
+    bind.sizes.insert("n".into(), n as usize);
+    bind.sizes.insert("e".into(), e as usize);
+    bind.f64s.insert("W".into(), w);
+    bind.ints.insert("A".into(), a);
+    bind.ints.insert("B".into(), b);
+    interpret(&parse(MULTI_GROUP).unwrap(), &mut bind).unwrap();
+
+    for (name, got) in [("P", &ok.values[0]), ("Q", &ok.values[1])] {
+        let want = &bind.f64s[name];
+        assert_eq!(got.len(), want.len());
+        for (x, y) in got.iter().zip(want) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}: {x} vs {y}");
+        }
+    }
+
+    // Resubmit the identical source (different job id, same text): the
+    // tenant's compile cache must hit.
+    let frame = c
+        .submit_source(source_job(2, n, e, seed))
+        .expect("resubmit");
+    assert!(matches!(frame, Frame::JobOk(_)));
+    let metrics = c.metrics().expect("metrics");
+    let get = |key: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(key))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric {key} missing in:\n{metrics}"))
+    };
+    assert!(get("compile_cache_hits ") >= 1, "resubmit must hit");
+    assert!(get("compile_cache_misses ") >= 1, "first compile must miss");
+    assert_eq!(get("compile_cache_entries "), 1);
+
+    srv.stop();
+}
+
+#[test]
+fn bad_source_yields_spanned_compile_error_not_a_drop() {
+    let (srv, addr) = start();
+    let mut c = Client::connect(addr, "bob").expect("connect");
+
+    // A genuine non-reduction dependence: rejected by the dependence
+    // test with the offending line and column.
+    let frame = c
+        .submit_source(SubmitSource {
+            job_id: 9,
+            deadline_ms: 0,
+            procs: 2,
+            k: 2,
+            dist: 0,
+            sweeps: 1,
+            source: "double X[n]; int A[e];\nforall (i = 0; i < e; i++) {\n  X[A[i]] = 1.0;\n}"
+                .into(),
+            sizes: vec![("n".into(), 8), ("e".into(), 16)],
+            f64s: vec![],
+            ints: vec![("A".into(), (0..16).map(|i| i % 8).collect())],
+        })
+        .expect("submit");
+    let Frame::JobErr(err) = frame else {
+        panic!("expected JobErr, got {frame:?}");
+    };
+    assert_eq!(err.code, ErrCode::Compile);
+    assert!(err.message.contains("line 3"), "{}", err.message);
+    assert!(
+        err.message.contains("not a recognized reduction"),
+        "{}",
+        err.message
+    );
+
+    // The connection survives: a healthy job right after succeeds.
+    let frame = c.submit_source(source_job(10, 16, 80, 7)).expect("submit");
+    assert!(matches!(frame, Frame::JobOk(_)), "got {frame:?}");
+
+    // Failed compiles are not cached: entries stays at the one healthy
+    // program.
+    let metrics = c.metrics().expect("metrics");
+    let entries = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("compile_cache_entries "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap();
+    assert_eq!(entries, 1);
+
+    srv.stop();
+}
+
+#[test]
+fn unbound_array_is_a_typed_error() {
+    let (srv, addr) = start();
+    let mut c = Client::connect(addr, "carol").expect("connect");
+
+    // Compiles fine, but `A` has the wrong length for `e`: the lowering
+    // rejects it with a typed frame instead of panicking a worker.
+    let mut job = source_job(20, 24, 150, 3);
+    job.ints[0].1.truncate(10);
+    let frame = c.submit_source(job).expect("submit");
+    let Frame::JobErr(err) = frame else {
+        panic!("expected JobErr, got {frame:?}");
+    };
+    assert_eq!(err.code, ErrCode::InvalidSpec);
+    assert!(err.message.contains("line"), "{}", err.message);
+
+    srv.stop();
+}

@@ -1,17 +1,48 @@
 //! Loop analysis: the first phase of the paper's compiler (§4).
 //!
-//! For each `forall`, extract the **reduction array sections** (regular
-//! sections of arrays accessed through indirection and updated with
-//! associative/commutative operations) and the **indirection array
-//! sections** (regular sections used to perform those accesses), in the
-//! paper's triplet notation. Reduction sections are then partitioned
-//! into **reference groups** (Definition 1): sections accessed through
-//! the same *set* of indirection sections, which can share one
-//! LightInspector.
+//! Three jobs live here:
+//!
+//! 1. **Reduction recognition** ([`normalize_program`]): un-annotated
+//!    self-accumulating stores through indirection —
+//!    `X[A[i]] = X[A[i]] + e` (and the commuted / subtracting forms) —
+//!    are rewritten into the canonical [`Stmt::ReduceIndirect`] so the
+//!    rest of the pipeline sees one reduction shape.
+//! 2. **Section extraction and reference-group formation**
+//!    ([`analyze_program`]): for each `forall`, extract the **reduction
+//!    array sections** and **indirection array sections** in the paper's
+//!    triplet notation, and partition reduction sections into
+//!    **reference groups** (Definition 1): sections accessed through the
+//!    same *set* of indirection sections, which can share one
+//!    LightInspector.
+//! 3. **The dependence test**: a statement the recognizer could not
+//!    canonicalize, or a reduction whose value expression observes an
+//!    array this loop also writes in a way loop fission would reorder,
+//!    is a genuine non-reduction loop-carried dependence. It is rejected
+//!    with a [`Diagnostic`] pointing at the offending reference instead
+//!    of being miscompiled.
+//!
+//! The dependence rules mirror what fission does (see
+//! [`crate::fission`]): all non-reduce statements are hoisted into a
+//! sequential *prelude* loop that preserves their original order, and
+//! each reference group becomes its own phased loop that runs after the
+//! prelude completes. A read is therefore safe iff moving it behind the
+//! completed prelude cannot change the value it observes:
+//!
+//! - a **direct** read `Y[i]` of a direct-written array is safe iff no
+//!   write to `Y` occurs at a *later* statement index (direct writes
+//!   only ever touch index `i`, so order within the iteration is all
+//!   that matters);
+//! - an **indirect** read `Y[B[i]]` of a direct-written array is never
+//!   safe: it can observe writes from *other* iterations, so the
+//!   pre-fission value depends on iteration order (a loop-carried flow
+//!   dependence, not a reduction).
+//!
+//! Reads of *reduction* arrays are rejected earlier by [`crate::sema`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::*;
+use crate::{Diagnostic, Span};
 
 /// A regular array section in triplet notation `(start, end, stride)` —
 /// for `forall (i = 0; i < count; i++)` accesses these are always
@@ -59,12 +90,71 @@ pub struct LoopInfo {
     pub reduction_sections: Vec<(Section, String)>,
 }
 
-/// Analyze every loop of a (sema-checked) program.
-pub fn analyze_program(prog: &Program) -> Vec<LoopInfo> {
+/// Rewrite un-annotated self-accumulations into canonical reductions.
+///
+/// `X[A[i]] = X[A[i]] + e` / `X[A[i]] = e + X[A[i]]` become
+/// `X[A[i]] += e`, and `X[A[i]] = X[A[i]] - e` becomes `X[A[i]] -= e`,
+/// provided the residual expression `e` does not itself read `X` (a
+/// second read would not be a plain accumulation). Statements that do
+/// not match are left as [`Stmt::AssignIndirect`] for the dependence
+/// test to reject with a precise diagnostic.
+pub fn normalize_program(prog: &mut Program) {
+    for l in &mut prog.loops {
+        for s in &mut l.body {
+            let Stmt::AssignIndirect {
+                array,
+                via,
+                value,
+                span,
+            } = s
+            else {
+                continue;
+            };
+            let target = Expr::Indirect {
+                array: array.clone(),
+                via: via.clone(),
+                span: Span::default(),
+            };
+            let rewritten = match value {
+                Expr::Bin(BinOp::Add, lhs, rhs) if lhs.same_shape(&target) => {
+                    Some((false, (**rhs).clone()))
+                }
+                Expr::Bin(BinOp::Add, lhs, rhs) if rhs.same_shape(&target) => {
+                    Some((false, (**lhs).clone()))
+                }
+                Expr::Bin(BinOp::Sub, lhs, rhs) if lhs.same_shape(&target) => {
+                    Some((true, (**rhs).clone()))
+                }
+                _ => None,
+            };
+            if let Some((negate, residue)) = rewritten {
+                let mut reads = Vec::new();
+                residue.array_reads(&mut reads);
+                if reads.iter().any(|(a, _, _)| a == array) {
+                    continue; // a second read of the target: not a plain accumulation
+                }
+                *s = Stmt::ReduceIndirect {
+                    array: array.clone(),
+                    via: via.clone(),
+                    negate,
+                    value: residue,
+                    span: *span,
+                };
+            }
+        }
+    }
+}
+
+/// Analyze every loop of a (sema-checked) program, running the
+/// dependence test. The first genuine non-reduction dependence aborts
+/// compilation with a spanned diagnostic.
+pub fn analyze_program(prog: &Program) -> Result<Vec<LoopInfo>, Diagnostic> {
     prog.loops.iter().map(analyze_loop).collect()
 }
 
-fn analyze_loop(l: &Forall) -> LoopInfo {
+fn analyze_loop(l: &Forall) -> Result<LoopInfo, Diagnostic> {
+    dependence_test(l)?;
+
     // array -> set of vias used to update it
     let mut updates: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
@@ -111,7 +201,7 @@ fn analyze_loop(l: &Forall) -> LoopInfo {
         LoopClass::IrregularReduction { groups }
     };
 
-    LoopInfo {
+    Ok(LoopInfo {
         class,
         indirection_sections: ind_sections
             .into_iter()
@@ -121,7 +211,77 @@ fn analyze_loop(l: &Forall) -> LoopInfo {
             })
             .collect(),
         reduction_sections: red_sections,
+    })
+}
+
+/// Reject non-reduction loop-carried dependences (see module docs for
+/// the rules and why they match what fission does).
+fn dependence_test(l: &Forall) -> Result<(), Diagnostic> {
+    // Last statement index at which each array is direct-written.
+    let mut last_write: BTreeMap<&str, usize> = BTreeMap::new();
+    for (p, s) in l.body.iter().enumerate() {
+        if let Stmt::AssignDirect { array, .. } = s {
+            last_write.insert(array.as_str(), p);
+        }
     }
+
+    let i = &l.var;
+    for (p, s) in l.body.iter().enumerate() {
+        match s {
+            Stmt::AssignIndirect {
+                array, via, span, ..
+            } => {
+                return Err(Diagnostic::at(
+                    *span,
+                    format!(
+                        "`{array}[{via}[{i}]] = …` is not a recognized reduction: the stored \
+                         value does not accumulate onto `{array}[{via}[{i}]]`, so iterations \
+                         that collide on `{via}` carry a true dependence; write \
+                         `{array}[{via}[{i}]] += …` (or the equivalent `=` form) if a \
+                         reduction was intended"
+                    ),
+                ));
+            }
+            Stmt::ReduceIndirect { value, .. } => {
+                let mut reads = Vec::new();
+                value.array_reads(&mut reads);
+                for (arr, via, span) in reads {
+                    let Some(&w) = last_write.get(arr.as_str()) else {
+                        continue;
+                    };
+                    match via {
+                        Some(v) => {
+                            return Err(Diagnostic::at(
+                                span,
+                                format!(
+                                    "`{arr}[{v}[{i}]]` reads `{arr}`, which this loop writes at \
+                                     line {}: the value observed depends on how many iterations \
+                                     have already stored into `{arr}` — a loop-carried flow \
+                                     dependence, not a reduction",
+                                    l.body[w].span().line
+                                ),
+                            ));
+                        }
+                        None if w > p => {
+                            return Err(Diagnostic::at(
+                                span,
+                                format!(
+                                    "`{arr}[{i}]` is read before the write to `{arr}` at line \
+                                     {}: splitting the reduction off would make the read \
+                                     observe the written value — a dependence fission cannot \
+                                     preserve",
+                                    l.body[w].span().line
+                                ),
+                            ));
+                        }
+                        None => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -130,9 +290,17 @@ mod tests {
     use crate::parser::parse;
 
     fn analyze(src: &str) -> Vec<LoopInfo> {
-        let prog = parse(src).unwrap();
+        let mut prog = parse(src).unwrap();
+        normalize_program(&mut prog);
         crate::sema::check(&prog).unwrap();
-        analyze_program(&prog)
+        analyze_program(&prog).unwrap()
+    }
+
+    fn analyze_err(src: &str) -> Diagnostic {
+        let mut prog = parse(src).unwrap();
+        normalize_program(&mut prog);
+        crate::sema::check(&prog).unwrap();
+        analyze_program(&prog).unwrap_err()
     }
 
     #[test]
@@ -226,5 +394,113 @@ mod tests {
              forall (i = 0; i < e; i++) { X[A[i]] += 1.0; X[A[i]] += 2.0; }",
         );
         assert_eq!(info[0].reduction_sections.len(), 1);
+    }
+
+    // --- reduction recognition -------------------------------------
+
+    #[test]
+    fn unannotated_accumulation_recognized() {
+        let info = analyze(
+            "double X[n]; double W[e]; int A[e];
+             forall (i = 0; i < e; i++) { X[A[i]] = X[A[i]] + W[i]; }",
+        );
+        let LoopClass::IrregularReduction { groups } = &info[0].class else {
+            panic!("`X[A[i]] = X[A[i]] + W[i]` should normalize to a reduction");
+        };
+        assert_eq!(groups[0].arrays, vec!["X"]);
+    }
+
+    #[test]
+    fn commuted_and_subtracting_forms_recognized() {
+        let mut prog = parse(
+            "double X[n]; double W[e]; int A[e];
+             forall (i = 0; i < e; i++) {
+                 X[A[i]] = W[i] + X[A[i]];
+                 X[A[i]] = X[A[i]] - W[i];
+             }",
+        )
+        .unwrap();
+        normalize_program(&mut prog);
+        assert!(matches!(
+            &prog.loops[0].body[0],
+            Stmt::ReduceIndirect { negate: false, .. }
+        ));
+        assert!(matches!(
+            &prog.loops[0].body[1],
+            Stmt::ReduceIndirect { negate: true, .. }
+        ));
+    }
+
+    #[test]
+    fn subtraction_from_the_left_is_not_a_reduction() {
+        // X[A[i]] = W[i] - X[A[i]] negates the accumulator — not an
+        // accumulation; must be left alone and then rejected.
+        let err = analyze_err(
+            "double X[n]; double W[e]; int A[e];
+             forall (i = 0; i < e; i++) { X[A[i]] = W[i] - X[A[i]]; }",
+        );
+        assert!(err.message.contains("not a recognized reduction"), "{err}");
+    }
+
+    #[test]
+    fn double_read_of_target_is_not_a_reduction() {
+        let err = analyze_err(
+            "double X[n]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) { X[A[i]] = X[A[i]] + X[B[i]]; }",
+        );
+        assert!(err.message.contains("not a recognized reduction"), "{err}");
+    }
+
+    // --- dependence test -------------------------------------------
+
+    #[test]
+    fn plain_overwrite_rejected_with_span() {
+        let err = analyze_err(
+            "double X[n]; int A[e];\nforall (i = 0; i < e; i++) {\n  X[A[i]] = 1.0;\n}",
+        );
+        assert_eq!(err.span.line, 3);
+        assert!(err.span.col > 0, "diagnostic should carry a column");
+        assert!(err.message.contains("not a recognized reduction"), "{err}");
+    }
+
+    #[test]
+    fn indirect_read_of_written_array_rejected() {
+        // Y is written directly and read through indirection by the
+        // reduction: a cross-iteration flow dependence.
+        let err = analyze_err(
+            "double X[n]; double Y[e]; int A[e]; int B[e];
+             forall (i = 0; i < e; i++) {
+                 Y[i] = 2.0;
+                 X[A[i]] += Y[B[i]];
+             }",
+        );
+        assert!(err.message.contains("loop-carried"), "{err}");
+    }
+
+    #[test]
+    fn direct_read_before_later_write_rejected() {
+        let err = analyze_err(
+            "double X[n]; double Y[e]; int A[e];
+             forall (i = 0; i < e; i++) {
+                 X[A[i]] += Y[i];
+                 Y[i] = 2.0;
+             }",
+        );
+        assert!(err.message.contains("read before the write"), "{err}");
+    }
+
+    #[test]
+    fn direct_read_after_last_write_allowed() {
+        let info = analyze(
+            "double X[n]; double Y[e]; int A[e];
+             forall (i = 0; i < e; i++) {
+                 Y[i] = 2.0;
+                 X[A[i]] += Y[i];
+             }",
+        );
+        assert!(matches!(
+            info[0].class,
+            LoopClass::IrregularReduction { .. }
+        ));
     }
 }

@@ -1,5 +1,7 @@
 //! Abstract syntax of the EARTH-C-like DSL.
 
+use crate::Span;
+
 /// Binary arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
@@ -12,6 +14,10 @@ pub enum BinOp {
 /// Expressions. Array indexing is restricted to one level of
 /// indirection, matching the paper's stated assumption (§4: "no array is
 /// accessed through more than one level of indirection").
+///
+/// Array references carry their source [`Span`] so the dependence test
+/// can point at the offending reference; synthesized references (loop
+/// fission temps) use `Span::default()`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Number(f64),
@@ -20,11 +26,13 @@ pub enum Expr {
     /// `A[i]` — direct array access by the loop variable.
     Direct {
         array: String,
+        span: Span,
     },
     /// `A[B[i]]` — one level of indirection.
     Indirect {
         array: String,
         via: String,
+        span: Span,
     },
     Bin(BinOp, Box<Expr>, Box<Expr>),
     Neg(Box<Expr>),
@@ -32,13 +40,15 @@ pub enum Expr {
 
 impl Expr {
     /// All array names read by this expression, with how they are
-    /// accessed: `(array, Some(via))` for indirect, `(array, None)` for
-    /// direct.
-    pub fn array_reads(&self, out: &mut Vec<(String, Option<String>)>) {
+    /// accessed and where: `(array, Some(via), span)` for indirect,
+    /// `(array, None, span)` for direct.
+    pub fn array_reads(&self, out: &mut Vec<(String, Option<String>, Span)>) {
         match self {
             Expr::Number(_) | Expr::Var(_) => {}
-            Expr::Direct { array } => out.push((array.clone(), None)),
-            Expr::Indirect { array, via } => out.push((array.clone(), Some(via.clone()))),
+            Expr::Direct { array, span } => out.push((array.clone(), None, *span)),
+            Expr::Indirect { array, via, span } => {
+                out.push((array.clone(), Some(via.clone()), *span))
+            }
             Expr::Bin(_, a, b) => {
                 a.array_reads(out);
                 b.array_reads(out);
@@ -69,6 +79,29 @@ impl Expr {
             Expr::Neg(a) => 1 + a.flops(),
         }
     }
+
+    /// Structural equality ignoring spans — used by reduction
+    /// recognition to match `X[V[i]]` occurrences.
+    pub fn same_shape(&self, other: &Expr) -> bool {
+        match (self, other) {
+            (Expr::Number(a), Expr::Number(b)) => a == b,
+            (Expr::Var(a), Expr::Var(b)) => a == b,
+            (Expr::Direct { array: a, .. }, Expr::Direct { array: b, .. }) => a == b,
+            (
+                Expr::Indirect {
+                    array: a, via: va, ..
+                },
+                Expr::Indirect {
+                    array: b, via: vb, ..
+                },
+            ) => a == b && va == vb,
+            (Expr::Bin(op1, a1, b1), Expr::Bin(op2, a2, b2)) => {
+                op1 == op2 && a1.same_shape(a2) && b1.same_shape(b2)
+            }
+            (Expr::Neg(a), Expr::Neg(b)) => a.same_shape(b),
+            _ => false,
+        }
+    }
 }
 
 /// Statements allowed inside a `forall` body.
@@ -78,7 +111,7 @@ pub enum Stmt {
     Local {
         name: String,
         init: Expr,
-        line: usize,
+        span: Span,
     },
     /// `X[IA[i]] += expr;` / `-=` — an irregular reduction update.
     ReduceIndirect {
@@ -86,15 +119,37 @@ pub enum Stmt {
         via: String,
         negate: bool,
         value: Expr,
-        line: usize,
+        span: Span,
+    },
+    /// `X[IA[i]] = expr;` — a plain store through indirection. Reduction
+    /// recognition ([`crate::analysis::normalize_program`]) rewrites the
+    /// self-accumulating form into [`Stmt::ReduceIndirect`]; anything
+    /// left is rejected by the dependence test.
+    AssignIndirect {
+        array: String,
+        via: String,
+        value: Expr,
+        span: Span,
     },
     /// `Y[i] += expr;` / `Y[i] = expr;` — a direct update by loop index.
     AssignDirect {
         array: String,
         accumulate: bool,
         value: Expr,
-        line: usize,
+        span: Span,
     },
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Local { span, .. }
+            | Stmt::ReduceIndirect { span, .. }
+            | Stmt::AssignIndirect { span, .. }
+            | Stmt::AssignDirect { span, .. } => *span,
+        }
+    }
 }
 
 /// Element type of an array.
@@ -111,7 +166,7 @@ pub struct ArrayDecl {
     pub ty: ElemType,
     /// Symbolic size (resolved against the runtime bindings at execution).
     pub size: String,
-    pub line: usize,
+    pub span: Span,
 }
 
 /// A `forall` loop.
@@ -122,7 +177,7 @@ pub struct Forall {
     /// Symbolic iteration count (upper bound).
     pub count: String,
     pub body: Vec<Stmt>,
-    pub line: usize,
+    pub span: Span,
 }
 
 /// A whole program: declarations followed by loops.
@@ -146,10 +201,14 @@ mod tests {
     fn array_reads_collects_both_kinds() {
         let e = Expr::Bin(
             BinOp::Mul,
-            Box::new(Expr::Direct { array: "W".into() }),
+            Box::new(Expr::Direct {
+                array: "W".into(),
+                span: Span::new(1, 5),
+            }),
             Box::new(Expr::Indirect {
                 array: "Q".into(),
                 via: "IA".into(),
+                span: Span::new(1, 12),
             }),
         );
         let mut reads = Vec::new();
@@ -157,8 +216,8 @@ mod tests {
         assert_eq!(
             reads,
             vec![
-                ("W".to_string(), None),
-                ("Q".to_string(), Some("IA".to_string()))
+                ("W".to_string(), None, Span::new(1, 5)),
+                ("Q".to_string(), Some("IA".to_string()), Span::new(1, 12))
             ]
         );
     }
@@ -182,10 +241,29 @@ mod tests {
         let e = Expr::Bin(
             BinOp::Add,
             Box::new(Expr::Var("f".into())),
-            Box::new(Expr::Direct { array: "W".into() }),
+            Box::new(Expr::Direct {
+                array: "W".into(),
+                span: Span::default(),
+            }),
         );
         let mut vars = Vec::new();
         e.var_reads(&mut vars);
         assert_eq!(vars, vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn same_shape_ignores_spans() {
+        let a = Expr::Indirect {
+            array: "X".into(),
+            via: "A".into(),
+            span: Span::new(3, 9),
+        };
+        let b = Expr::Indirect {
+            array: "X".into(),
+            via: "A".into(),
+            span: Span::default(),
+        };
+        assert!(a.same_shape(&b));
+        assert_ne!(a, b, "derived equality still sees the span");
     }
 }

@@ -1,0 +1,167 @@
+//! A source-hash keyed compile cache.
+//!
+//! Compilation is pure: the same source text always yields the same
+//! [`CompiledProgram`] (the pipeline is deterministic and consults
+//! nothing else). That makes a content-addressed cache sound — the key
+//! is a 64-bit digest of the *bytes* of the source, so an edit–rerun
+//! loop or a server tenant resubmitting the same program skips parse,
+//! sema, analysis, fission, *and* the compile-time fission verification
+//! entirely. Only successful compiles are cached: a failing program
+//! costs a (cheap) recompile per submit, and never pins an error state.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::codegen::{compile, CompiledProgram};
+use crate::Diagnostic;
+
+/// Fold one word into a running hash (same construction as the engine's
+/// structure hash: xor, then a full splitmix64 avalanche).
+fn fold64(h: &mut u64, word: u64) {
+    *h ^= word;
+    *h = harness::rng::splitmix64(h);
+}
+
+/// Content hash of a source text: the compile-cache key. The seed tags
+/// the scheme ("TCC" | format version 1) — bump it if the compiler's
+/// observable output for unchanged source ever changes, so stale
+/// cross-process keys cannot collide.
+pub fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0x5443_4331_0000_0001;
+    fold64(&mut h, src.len() as u64);
+    for chunk in src.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        fold64(&mut h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// A bounded FIFO cache of compiled programs keyed by [`source_hash`].
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    capacity: usize,
+    entries: HashMap<u64, Arc<CompiledProgram>>,
+    /// Insertion order, for FIFO eviction at capacity.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` compiled programs
+    /// (`capacity == 0` disables caching: every call compiles).
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            capacity,
+            ..CompileCache::default()
+        }
+    }
+
+    /// Compile `src`, reusing the cached program if this exact text was
+    /// compiled before. Failures are returned (and counted as misses)
+    /// but never cached.
+    pub fn get_or_compile(&mut self, src: &str) -> Result<Arc<CompiledProgram>, Diagnostic> {
+        let key = source_hash(src);
+        if let Some(p) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(p));
+        }
+        self.misses += 1;
+        let compiled = Arc::new(compile(src)?);
+        if self.capacity > 0 {
+            while self.entries.len() >= self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                } else {
+                    break;
+                }
+            }
+            self.entries.insert(key, Arc::clone(&compiled));
+            self.order.push_back(key);
+        }
+        Ok(compiled)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (including failed compiles).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Programs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = "double X[n]; int A[e];
+                      forall (i = 0; i < e; i++) { X[A[i]] += 1.0; }";
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        assert_eq!(source_hash(OK), source_hash(OK));
+        assert_ne!(source_hash(OK), source_hash("double X[n];"));
+        // Trailing content matters even within one 8-byte word.
+        assert_ne!(source_hash("abc"), source_hash("abd"));
+        assert_ne!(source_hash("abc"), source_hash("abc "));
+    }
+
+    #[test]
+    fn second_compile_hits() {
+        let mut c = CompileCache::new(4);
+        let a = c.get_or_compile(OK).unwrap();
+        let b = c.get_or_compile(OK).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let mut c = CompileCache::new(4);
+        let bad = "double X[n]; int A[e];
+                   forall (i = 0; i < e; i++) { X[A[i]] = 1.0; }";
+        assert!(c.get_or_compile(bad).is_err());
+        assert!(c.get_or_compile(bad).is_err());
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 2, 0));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = CompileCache::new(2);
+        let srcs = [
+            "double A[n]; forall (i = 0; i < n; i++) { A[i] = 1.0; }",
+            "double B[n]; forall (i = 0; i < n; i++) { B[i] = 1.0; }",
+            "double C[n]; forall (i = 0; i < n; i++) { C[i] = 1.0; }",
+        ];
+        for s in &srcs {
+            c.get_or_compile(s).unwrap();
+        }
+        assert_eq!(c.len(), 2);
+        // Oldest (A) evicted: recompiling it misses, newest (C) hits.
+        c.get_or_compile(srcs[2]).unwrap();
+        assert_eq!(c.hits(), 1);
+        c.get_or_compile(srcs[0]).unwrap();
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = CompileCache::new(0);
+        c.get_or_compile(OK).unwrap();
+        c.get_or_compile(OK).unwrap();
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 2, 0));
+    }
+}

@@ -1,5 +1,5 @@
-//! Code generation: lower analyzed, fissioned loops onto the phased
-//! execution strategy.
+//! Code generation: analyze, fission, and plan the execution of a
+//! program onto the phased strategy.
 //!
 //! "After loop fission, each loop can be easily processed to generate
 //! code for the execution strategy presented in Section 2. The
@@ -7,127 +7,38 @@
 //! LIGHTINSPECTOR. The reduction array sections are used to establish
 //! the communication." (§4)
 //!
-//! Concretely, each irregular loop becomes a [`CompiledLoop`]: the
-//! indirection arrays (LightInspector parameters), the reduction arrays
-//! (the rotating group), and an [`InterpKernel`] — an interpreted
-//! [`irred::EdgeKernel`] evaluating the loop body — which
-//! [`CompiledProgram::execute_with`] runs through any
-//! [`irred::ReductionEngine`] (the phased engine being the strategy the
-//! paper's compiler targets; [`CompiledProgram::execute_sim`] is that
-//! default). Codegen itself is engine-agnostic: it emits a
-//! [`irred::PhasedSpec`] per irregular loop and lets the engine prepare
-//! and execute it. Regular loops (including fission preludes) run
-//! sequentially between phased loops.
-
-use std::collections::HashMap;
-use std::sync::Arc;
+//! [`compile`] runs the whole front half: parse → reduction
+//! recognition → sema → reference-group analysis (with the dependence
+//! test) → loop fission — and *verifies* each fission against the
+//! sequential interpreter on synthetic bindings before accepting it.
+//! Each irregular loop becomes a [`CompiledLoop`]; execution lowers it
+//! with [`crate::lower`]: an [`InterpKernel`] plus per-processor CSR
+//! flat plans emitted directly by the compiler
+//! ([`crate::lower::emit_flat_plans`]) and adopted by the engine
+//! ([`irred::PhasedEngine::prepare_from_flat`]) with zero translation
+//! — that is [`CompiledProgram::execute_flat`], the compiled fast
+//! path, with [`CompiledProgram::execute_sim`] as the simulator
+//! default. [`CompiledProgram::execute_with`] remains engine-agnostic
+//! (any [`irred::ReductionEngine`] over the emitted specs). Regular
+//! loops (including fission preludes) run sequentially between phased
+//! loops.
 
 use earth_model::sim::SimConfig;
-use irred::{
-    EdgeKernel, PhasedEngine, PhasedSpec, ReductionEngine, RunOutcome, StrategyConfig, Workspace,
-};
+use irred::{PhasedEngine, PhasedSpec, ReductionEngine, RunOutcome, StrategyConfig, Workspace};
 
-use crate::analysis::{analyze_program, LoopClass};
+use crate::analysis::{analyze_program, normalize_program, LoopClass};
 use crate::ast::*;
-use crate::fission::fission_loop;
-use crate::interp::{interpret_loop, Bindings};
+use crate::fission::{fission_loop, FissionResult};
+use crate::interp::{interpret, interpret_loop, Bindings};
+use crate::lower::{emit_flat_plans, lower_kernel};
 use crate::parser::parse;
 use crate::sema::check;
 use crate::Diagnostic;
 
-/// A compiled (resolved-reference) expression, evaluable without name
-/// lookups.
-#[derive(Debug, Clone)]
-enum CExpr {
-    Number(f64),
-    LoopVar,
-    Local(usize),
-    /// Direct read: f64 array slot, indexed by the iteration.
-    Direct(usize),
-    /// Indirect read: f64 array slot through int array slot.
-    Indirect(usize, usize),
-    Bin(BinOp, Box<CExpr>, Box<CExpr>),
-    Neg(Box<CExpr>),
-}
-
-impl CExpr {
-    fn eval(
-        &self,
-        i: usize,
-        locals: &[f64],
-        f64s: &[Arc<Vec<f64>>],
-        ints: &[Arc<Vec<u32>>],
-    ) -> f64 {
-        match self {
-            CExpr::Number(v) => *v,
-            CExpr::LoopVar => i as f64,
-            CExpr::Local(s) => locals[*s],
-            CExpr::Direct(a) => f64s[*a][i],
-            CExpr::Indirect(a, v) => f64s[*a][ints[*v][i] as usize],
-            CExpr::Bin(op, x, y) => {
-                let (x, y) = (x.eval(i, locals, f64s, ints), y.eval(i, locals, f64s, ints));
-                match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    BinOp::Div => x / y,
-                }
-            }
-            CExpr::Neg(x) => -x.eval(i, locals, f64s, ints),
-        }
-    }
-}
-
-/// The interpreted kernel generated for one irregular loop: implements
-/// [`irred::EdgeKernel`] by evaluating the loop body.
-pub struct InterpKernel {
-    locals: Vec<CExpr>,
-    /// `(ref index, array index, negate, value)` per reduction statement.
-    updates: Vec<(usize, usize, bool, CExpr)>,
-    f64s: Vec<Arc<Vec<f64>>>,
-    ints: Vec<Arc<Vec<u32>>>,
-    num_refs: usize,
-    num_arrays: usize,
-    flops: u64,
-    edge_reads: usize,
-    node_reads: usize,
-}
-
-impl EdgeKernel for InterpKernel {
-    fn num_refs(&self) -> usize {
-        self.num_refs
-    }
-
-    fn num_arrays(&self) -> usize {
-        self.num_arrays
-    }
-
-    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
-        let mut locals = [0.0f64; 16];
-        for (s, init) in self.locals.iter().enumerate() {
-            locals[s] = init.eval(iter, &locals, &self.f64s, &self.ints);
-        }
-        for (r, a, negate, value) in &self.updates {
-            let v = value.eval(iter, &locals, &self.f64s, &self.ints);
-            let slot = r * self.num_arrays + a;
-            out[slot] += if *negate { -v } else { v };
-        }
-    }
-
-    fn flops_per_iter(&self) -> u64 {
-        self.flops
-    }
-
-    fn edge_reads_per_iter(&self) -> usize {
-        self.edge_reads
-    }
-
-    fn node_reads_per_elem(&self) -> usize {
-        self.node_reads
-    }
-}
+pub use crate::lower::InterpKernel;
 
 /// One irregular loop lowered to the phased strategy.
+#[derive(Debug)]
 pub struct CompiledLoop {
     /// Index into [`CompiledProgram::program`]'s loop list.
     pub loop_index: usize,
@@ -142,6 +53,7 @@ pub struct CompiledLoop {
 }
 
 /// What to do with each loop, in program order.
+#[derive(Debug)]
 pub enum LoopPlan {
     /// Run sequentially on the control processor (regular loops and
     /// fission preludes).
@@ -151,6 +63,7 @@ pub enum LoopPlan {
 }
 
 /// The compiler's output: the transformed program plus an execution plan.
+#[derive(Debug)]
 pub struct CompiledProgram {
     /// Post-fission program (declarations include introduced temps).
     pub program: Program,
@@ -159,12 +72,14 @@ pub struct CompiledProgram {
     pub log: Vec<String>,
 }
 
-/// Compile source text end to end (parse → sema → analysis → fission →
-/// plan).
+/// Compile source text end to end: parse → reduction recognition →
+/// sema → analysis (reference groups + dependence test) → verified
+/// fission → plan.
 pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
-    let prog = parse(src)?;
+    let mut prog = parse(src)?;
+    normalize_program(&mut prog);
     check(&prog)?;
-    let infos = analyze_program(&prog);
+    let infos = analyze_program(&prog)?;
 
     let mut out = Program {
         decls: prog.decls.clone(),
@@ -174,37 +89,37 @@ pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
     let mut log = Vec::new();
 
     for (l, info) in prog.loops.iter().zip(&infos) {
+        let line = l.span.line;
         for sec in &info.indirection_sections {
-            log.push(format!("loop@{}: indirection section {sec}", l.line));
+            log.push(format!("loop@{line}: indirection section {sec}"));
         }
         for (sec, via) in &info.reduction_sections {
-            log.push(format!(
-                "loop@{}: reduction section {sec} via {via}",
-                l.line
-            ));
+            log.push(format!("loop@{line}: reduction section {sec} via {via}"));
         }
         match &info.class {
             LoopClass::Regular => {
-                log.push(format!("loop@{}: regular (no inspector needed)", l.line));
+                log.push(format!("loop@{line}: regular (no inspector needed)"));
                 let idx = out.loops.len();
                 out.loops.push(l.clone());
                 plan.push(LoopPlan::Regular(idx));
             }
             LoopClass::IrregularReduction { groups } => {
                 log.push(format!(
-                    "loop@{}: irregular reduction, {} reference group(s)",
-                    l.line,
+                    "loop@{line}: irregular reduction, {} reference group(s)",
                     groups.len()
                 ));
                 let f = fission_loop(l, groups);
-                if groups.len() > 1 {
+                if f.loops.len() > 1 {
                     log.push(format!(
-                        "loop@{}: fissioned into {} loops, {} temp array(s)",
-                        l.line,
+                        "loop@{line}: fissioned into {} loops, {} temp array(s)",
                         f.loops.len(),
                         f.temps.len()
                     ));
                 }
+                verify_fission(&prog, l, &f)?;
+                log.push(format!(
+                    "loop@{line}: fission verified against the interpreter"
+                ));
                 out.decls.extend(f.temps.clone());
                 let n_groups = groups.len();
                 let n_loops = f.loops.len();
@@ -225,8 +140,7 @@ pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
                         .size
                         .clone();
                     log.push(format!(
-                        "loop@{}: LIGHTINSPECTOR({}) over {}; rotating group {{{}}}",
-                        l.line,
+                        "loop@{line}: LIGHTINSPECTOR({}) over {}; rotating group {{{}}}",
                         g.vias.join(", "),
                         l.count,
                         g.arrays.join(", ")
@@ -249,6 +163,109 @@ pub fn compile(src: &str) -> Result<CompiledProgram, Diagnostic> {
     })
 }
 
+/// Deterministic synthetic bindings for a program: every symbolic size
+/// resolves to the same small bound (clamped by any literal sizes so no
+/// access can run off an array), int arrays hold in-range pseudo-random
+/// indices, f64 arrays pseudo-random values. Used by the compile-time
+/// fission verification and the CLI's plan preview, which must run
+/// without user data.
+pub fn synthetic_bindings(prog: &Program, default_size: usize) -> Bindings {
+    // Literal sizes cap the symbolic bound: loop counts are symbols, so
+    // `count <= every array length` holds and no access goes out of
+    // bounds.
+    let literal_min = prog
+        .decls
+        .iter()
+        .filter_map(|d| d.size.parse::<usize>().ok())
+        .min();
+    let s = literal_min.map_or(default_size, |m| m.min(default_size));
+
+    let mut b = Bindings::default();
+    for d in &prog.decls {
+        if d.size.parse::<usize>().is_err() {
+            b.sizes.insert(d.size.clone(), s);
+        }
+    }
+    for l in &prog.loops {
+        if l.count.parse::<usize>().is_err() {
+            b.sizes.entry(l.count.clone()).or_insert(s);
+        }
+    }
+    let min_f64_len = prog
+        .decls
+        .iter()
+        .filter(|d| d.ty == ElemType::Double)
+        .map(|d| d.size.parse::<usize>().unwrap_or(s))
+        .min()
+        .unwrap_or(s);
+    for (r, d) in prog.decls.iter().enumerate() {
+        let n = d.size.parse::<usize>().unwrap_or(s);
+        match d.ty {
+            ElemType::Int => {
+                let v: Vec<u32> = (0..n)
+                    .map(|j| ((j * j * 31 + j * 7 + r * 13) % min_f64_len.max(1)) as u32)
+                    .collect();
+                b.ints.insert(d.name.clone(), v);
+            }
+            ElemType::Double => {
+                let v: Vec<f64> = (0..n)
+                    .map(|j| ((j * 13 + 5 + r * 3) % 97) as f64 / 7.0)
+                    .collect();
+                b.f64s.insert(d.name.clone(), v);
+            }
+        }
+    }
+    b
+}
+
+/// Verify one loop's fission against the sequential interpreter: run
+/// the original (normalized) loop and the fissioned sequence on
+/// identical synthetic bindings and require every declared f64 array to
+/// come out **bit-identical**. Sound because fission only reorders
+/// whole statements across loops, never the per-array `+=` sequences —
+/// so any divergence is a compiler bug, reported as a diagnostic
+/// instead of miscompiled silently.
+fn verify_fission(prog: &Program, l: &Forall, f: &FissionResult) -> Result<(), Diagnostic> {
+    let mut decls = prog.decls.clone();
+    decls.extend(f.temps.clone());
+    let seed = synthetic_bindings(
+        &Program {
+            decls: decls.clone(),
+            loops: Vec::new(),
+        },
+        24,
+    );
+
+    let original = Program {
+        decls: decls.clone(),
+        loops: vec![l.clone()],
+    };
+    let fissioned = Program {
+        decls,
+        loops: f.loops.clone(),
+    };
+    let mut b1 = seed.clone();
+    let mut b2 = seed;
+    interpret(&original, &mut b1)?;
+    interpret(&fissioned, &mut b2)?;
+    for d in &prog.decls {
+        if d.ty != ElemType::Double {
+            continue;
+        }
+        let (x, y) = (&b1.f64s[&d.name], &b2.f64s[&d.name]);
+        if x.len() != y.len() || x.iter().zip(y).any(|(a, b)| a.to_bits() != b.to_bits()) {
+            return Err(Diagnostic::at(
+                l.span,
+                format!(
+                    "internal error: loop fission changed the value of `{}` (compiler bug)",
+                    d.name
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Result of executing a compiled program on the simulated machine.
 #[derive(Debug)]
 pub struct ExecReport {
@@ -261,171 +278,6 @@ pub struct ExecReport {
 }
 
 impl CompiledProgram {
-    /// Build the [`InterpKernel`] and [`PhasedSpec`] for one compiled loop
-    /// against concrete bindings.
-    fn lower_kernel(
-        &self,
-        cl: &CompiledLoop,
-        b: &Bindings,
-    ) -> Result<PhasedSpec<InterpKernel>, Diagnostic> {
-        let l = &self.program.loops[cl.loop_index];
-        let mut f64_slots: Vec<(String, Arc<Vec<f64>>)> = Vec::new();
-        let mut int_slots: Vec<(String, Arc<Vec<u32>>)> = Vec::new();
-        let mut local_slots: HashMap<String, usize> = HashMap::new();
-
-        let f64_slot = |name: &str,
-                        f64_slots: &mut Vec<(String, Arc<Vec<f64>>)>|
-         -> Result<usize, Diagnostic> {
-            if let Some(p) = f64_slots.iter().position(|(n, _)| n == name) {
-                return Ok(p);
-            }
-            let data = b.f64s.get(name).cloned().ok_or_else(|| Diagnostic {
-                line: l.line,
-                message: format!("array `{name}` not bound"),
-            })?;
-            f64_slots.push((name.to_string(), Arc::new(data)));
-            Ok(f64_slots.len() - 1)
-        };
-        let int_slot = |name: &str,
-                        int_slots: &mut Vec<(String, Arc<Vec<u32>>)>|
-         -> Result<usize, Diagnostic> {
-            if let Some(p) = int_slots.iter().position(|(n, _)| n == name) {
-                return Ok(p);
-            }
-            let data = b.ints.get(name).cloned().ok_or_else(|| Diagnostic {
-                line: l.line,
-                message: format!("indirection array `{name}` not bound"),
-            })?;
-            int_slots.push((name.to_string(), Arc::new(data)));
-            Ok(int_slots.len() - 1)
-        };
-
-        let mut edge_reads = 0usize;
-        let mut node_reads = 0usize;
-        fn lower(
-            e: &Expr,
-            locals: &HashMap<String, usize>,
-            f64_slot: &mut dyn FnMut(&str) -> Result<usize, Diagnostic>,
-            int_slot: &mut dyn FnMut(&str) -> Result<usize, Diagnostic>,
-            edge_reads: &mut usize,
-            node_reads: &mut usize,
-        ) -> Result<CExpr, Diagnostic> {
-            Ok(match e {
-                Expr::Number(v) => CExpr::Number(*v),
-                Expr::Var(v) => match locals.get(v) {
-                    Some(s) => CExpr::Local(*s),
-                    None => CExpr::LoopVar,
-                },
-                Expr::Direct { array } => {
-                    *edge_reads += 1;
-                    CExpr::Direct(f64_slot(array)?)
-                }
-                Expr::Indirect { array, via } => {
-                    *node_reads += 1;
-                    CExpr::Indirect(f64_slot(array)?, int_slot(via)?)
-                }
-                Expr::Bin(op, a, c) => CExpr::Bin(
-                    *op,
-                    Box::new(lower(
-                        a, locals, f64_slot, int_slot, edge_reads, node_reads,
-                    )?),
-                    Box::new(lower(
-                        c, locals, f64_slot, int_slot, edge_reads, node_reads,
-                    )?),
-                ),
-                Expr::Neg(a) => CExpr::Neg(Box::new(lower(
-                    a, locals, f64_slot, int_slot, edge_reads, node_reads,
-                )?)),
-            })
-        }
-
-        let mut locals = Vec::new();
-        let mut updates = Vec::new();
-        let mut flops = 0u64;
-        for s in &l.body {
-            match s {
-                Stmt::Local { name, init, .. } => {
-                    assert!(locals.len() < 16, "more than 16 loop locals unsupported");
-                    let ce = lower(
-                        init,
-                        &local_slots,
-                        &mut |n| f64_slot(n, &mut f64_slots),
-                        &mut |n| int_slot(n, &mut int_slots),
-                        &mut edge_reads,
-                        &mut node_reads,
-                    )?;
-                    flops += init.flops();
-                    local_slots.insert(name.clone(), locals.len());
-                    locals.push(ce);
-                }
-                Stmt::ReduceIndirect {
-                    array,
-                    via,
-                    negate,
-                    value,
-                    ..
-                } => {
-                    let r = cl.vias.iter().position(|v| v == via).expect("analysis");
-                    let a = cl
-                        .reduction_arrays
-                        .iter()
-                        .position(|x| x == array)
-                        .expect("analysis");
-                    let ce = lower(
-                        value,
-                        &local_slots,
-                        &mut |n| f64_slot(n, &mut f64_slots),
-                        &mut |n| int_slot(n, &mut int_slots),
-                        &mut edge_reads,
-                        &mut node_reads,
-                    )?;
-                    flops += value.flops() + 1;
-                    updates.push((r, a, *negate, ce));
-                }
-                Stmt::AssignDirect { .. } => return Err(Diagnostic {
-                    line: l.line,
-                    message:
-                        "direct assignment inside a phased loop (fission should have removed it)"
-                            .into(),
-                }),
-            }
-        }
-
-        // The indirection arrays of the group, in via order.
-        let e = b.size_of(&cl.count)?;
-        let mut indirection = Vec::with_capacity(cl.vias.len());
-        for via in &cl.vias {
-            let data = b.ints.get(via).cloned().ok_or_else(|| Diagnostic {
-                line: l.line,
-                message: format!("indirection array `{via}` not bound"),
-            })?;
-            if data.len() != e {
-                return Err(Diagnostic {
-                    line: l.line,
-                    message: format!("indirection array `{via}` has wrong length"),
-                });
-            }
-            indirection.push(data);
-        }
-
-        let kernel = InterpKernel {
-            locals,
-            updates,
-            f64s: f64_slots.into_iter().map(|(_, d)| d).collect(),
-            ints: int_slots.into_iter().map(|(_, d)| d).collect(),
-            num_refs: cl.vias.len(),
-            num_arrays: cl.reduction_arrays.len(),
-            flops,
-            edge_reads,
-            node_reads,
-        };
-        Ok(PhasedSpec {
-            kernel: Arc::new(kernel),
-            num_elements: b.size_of(&cl.elem_size)?,
-            indirection: Arc::new(indirection),
-        })
-    }
-
     /// Execute the compiled program through an arbitrary
     /// [`ReductionEngine`]: regular loops run sequentially on the control
     /// processor, irregular loops are lowered to [`PhasedSpec`]s and
@@ -444,63 +296,138 @@ impl CompiledProgram {
     {
         b.materialize(&self.program)?;
         let mut ws = Workspace::new();
-        let mut time = 0u64;
-        let mut phased = 0usize;
-        let mut regular = 0usize;
+        let mut rep = ExecReport {
+            time_cycles: 0,
+            phased_loops: 0,
+            regular_loops: 0,
+        };
         for p in &self.plan {
             match p {
                 LoopPlan::Regular(idx) => {
                     interpret_loop(&self.program.loops[*idx], b)?;
-                    regular += 1;
+                    rep.regular_loops += 1;
                 }
                 LoopPlan::Phased(cl) => {
-                    let line = self.program.loops[cl.loop_index].line;
-                    let spec = self.lower_kernel(cl, b)?;
-                    let to_diag = |e: irred::EngineError| Diagnostic {
-                        line,
-                        message: format!("engine `{}` failed: {e}", engine.name()),
+                    let span = self.program.loops[cl.loop_index].span;
+                    let spec = lower_kernel(&self.program, cl, b)?;
+                    let to_diag = |e: irred::EngineError| {
+                        Diagnostic::at(span, format!("engine `{}` failed: {e}", engine.name()))
                     };
                     let mut prepared = engine.prepare(&spec, strat).map_err(to_diag)?;
                     let out: RunOutcome =
                         engine.execute(&mut prepared, &mut ws).map_err(to_diag)?;
-                    // DSL semantics: X accumulates onto its prior contents;
-                    // the engine computes the pure sum.
-                    for (a, name) in cl.reduction_arrays.iter().enumerate() {
-                        let x = b.f64s.get_mut(name).expect("materialized");
-                        for (xi, ri) in x.iter_mut().zip(&out.values[a]) {
-                            *xi += ri;
-                        }
-                    }
-                    time += out.time_cycles;
-                    phased += 1;
+                    self.accumulate(cl, b, &out);
+                    rep.time_cycles += out.time_cycles;
+                    rep.phased_loops += 1;
                 }
             }
         }
-        Ok(ExecReport {
-            time_cycles: time,
-            phased_loops: phased,
-            regular_loops: regular,
-        })
+        Ok(rep)
+    }
+
+    /// Execute on the compiled fast path: the compiler emits each
+    /// loop's per-processor CSR flat plans directly
+    /// ([`crate::lower::emit_flat_plans`]) and the phased engine adopts
+    /// them ([`PhasedEngine::prepare_from_flat`]) — no inspector run,
+    /// no nested-plan intermediate. Results are bit-identical to
+    /// [`Self::execute_with`] on the same engine configuration.
+    pub fn execute_flat(
+        &self,
+        b: &mut Bindings,
+        strat: &StrategyConfig,
+        engine: &PhasedEngine,
+    ) -> Result<ExecReport, Diagnostic> {
+        b.materialize(&self.program)?;
+        let mut ws = Workspace::new();
+        let mut rep = ExecReport {
+            time_cycles: 0,
+            phased_loops: 0,
+            regular_loops: 0,
+        };
+        for p in &self.plan {
+            match p {
+                LoopPlan::Regular(idx) => {
+                    interpret_loop(&self.program.loops[*idx], b)?;
+                    rep.regular_loops += 1;
+                }
+                LoopPlan::Phased(cl) => {
+                    let span = self.program.loops[cl.loop_index].span;
+                    let spec = lower_kernel(&self.program, cl, b)?;
+                    let flats = emit_flat_plans(&spec, strat).map_err(|e| {
+                        Diagnostic::at(span, format!("inspector rejected the loop: {e}"))
+                    })?;
+                    let mut prepared =
+                        engine.prepare_from_flat(&spec, strat, flats).map_err(|e| {
+                            Diagnostic::at(
+                                span,
+                                format!("engine `phased` rejected the emitted plan: {e}"),
+                            )
+                        })?;
+                    let out: RunOutcome = engine.execute(&mut prepared, &mut ws).map_err(|e| {
+                        Diagnostic::at(span, format!("engine `phased` failed: {e}"))
+                    })?;
+                    self.accumulate(cl, b, &out);
+                    rep.time_cycles += out.time_cycles;
+                    rep.phased_loops += 1;
+                }
+            }
+        }
+        Ok(rep)
     }
 
     /// Execute on the paper's target: the phased engine over the
-    /// simulated EARTH machine. Equivalent to
-    /// [`execute_with`](Self::execute_with) with
-    /// [`PhasedEngine::sim`]`(cfg)`.
+    /// simulated EARTH machine, via the compiled flat fast path.
     pub fn execute_sim(
         &self,
         b: &mut Bindings,
         strat: &StrategyConfig,
         cfg: SimConfig,
     ) -> Result<ExecReport, Diagnostic> {
-        self.execute_with(b, &PhasedEngine::sim(cfg), strat)
+        self.execute_flat(b, strat, &PhasedEngine::sim(cfg))
+    }
+
+    /// Summarize the flat plans the compiler would emit for each phased
+    /// loop under `strat`, without executing anything. Returns
+    /// `(source line, summary)` pairs in plan order — what the
+    /// `threadedc` CLI prints as its plan preview.
+    pub fn flat_summaries(
+        &self,
+        b: &mut Bindings,
+        strat: &StrategyConfig,
+    ) -> Result<Vec<(usize, crate::lower::FlatSummary)>, Diagnostic> {
+        b.materialize(&self.program)?;
+        let mut out = Vec::new();
+        for p in &self.plan {
+            if let LoopPlan::Phased(cl) = p {
+                let span = self.program.loops[cl.loop_index].span;
+                let spec = lower_kernel(&self.program, cl, b)?;
+                let flats = emit_flat_plans(&spec, strat).map_err(|e| {
+                    Diagnostic::at(span, format!("inspector rejected the loop: {e}"))
+                })?;
+                out.push((
+                    span.line,
+                    crate::lower::FlatSummary::from_flats(&flats, strat),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// DSL semantics: X accumulates onto its prior contents; the engine
+    /// computes the pure sum.
+    fn accumulate(&self, cl: &CompiledLoop, b: &mut Bindings, out: &RunOutcome) {
+        for (a, name) in cl.reduction_arrays.iter().enumerate() {
+            let x = b.f64s.get_mut(name).expect("materialized");
+            for (xi, ri) in x.iter_mut().zip(&out.values[a]) {
+                *xi += ri;
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::interp::interpret;
 
     fn rng(seed: u64) -> impl FnMut() -> u64 {
         let mut s = seed | 1;
@@ -551,6 +478,11 @@ mod tests {
             "{:?}",
             c.log
         );
+        assert!(
+            c.log.iter().any(|l| l.contains("fission verified")),
+            "{:?}",
+            c.log
+        );
     }
 
     #[test]
@@ -569,6 +501,27 @@ mod tests {
         interpret(&prog, &mut direct).unwrap();
         for (a, b) in phased.f64s["X"].iter().zip(&direct.f64s["X"]) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flat_path_is_bit_identical_to_engine_prepare() {
+        // The compiled fast path (compiler-emitted flat plans, adopted
+        // by the engine) must agree bit-for-bit with the engine running
+        // its own inspector on the same spec.
+        let c = compile(FIG1).unwrap();
+        let strat = StrategyConfig::new(3, 2, irred::Distribution::Block, 1);
+        let engine = PhasedEngine::sim(SimConfig::default());
+
+        let mut via_flat = fig1_bindings(32, 250, 7);
+        let rep_flat = c.execute_flat(&mut via_flat, &strat, &engine).unwrap();
+
+        let mut via_prepare = fig1_bindings(32, 250, 7);
+        let rep_prep = c.execute_with(&mut via_prepare, &engine, &strat).unwrap();
+
+        assert_eq!(rep_flat.time_cycles, rep_prep.time_cycles);
+        for (a, b) in via_flat.f64s["X"].iter().zip(&via_prepare.f64s["X"]) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 
@@ -653,6 +606,57 @@ mod tests {
     }
 
     #[test]
+    fn unannotated_multi_group_compiles_via_recognition_and_fission() {
+        // Neither reduction is annotated (+=): recognition normalizes
+        // both, analysis splits them into two groups, fission splits the
+        // loop. End-to-end result must match the raw interpreter.
+        let src = "
+            double P[n]; double Q[n]; double W[e]; int A[e]; int B[e];
+            forall (i = 0; i < e; i++) {
+                double f = W[i] * 2.0;
+                P[A[i]] = P[A[i]] + f;
+                Q[B[i]] = Q[B[i]] - f;
+            }";
+        let c = compile(src).unwrap();
+        assert_eq!(c.plan.len(), 3, "prelude + one phased loop per group");
+
+        let mut next = rng(21);
+        let (n, e) = (24usize, 150usize);
+        let mut b = Bindings::default();
+        b.sizes.insert("n".into(), n);
+        b.sizes.insert("e".into(), e);
+        b.f64s
+            .insert("W".into(), (0..e).map(|_| (next() % 50) as f64).collect());
+        b.ints.insert(
+            "A".into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
+        b.ints.insert(
+            "B".into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
+        let mut direct = b.clone();
+        let strat = StrategyConfig::new(2, 2, irred::Distribution::Cyclic, 1);
+        c.execute_sim(&mut b, &strat, SimConfig::default()).unwrap();
+        interpret(&parse(src).unwrap(), &mut direct).unwrap();
+        for arr in ["P", "Q"] {
+            for (x, y) in b.f64s[arr].iter().zip(&direct.f64s[arr]) {
+                assert!((x - y).abs() < 1e-9, "{arr}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_reduction_dependence_rejected_with_span() {
+        let err =
+            compile("double X[n]; int A[e];\nforall (i = 0; i < e; i++) {\n  X[A[i]] = 1.0;\n}")
+                .unwrap_err();
+        assert_eq!(err.span.line, 3);
+        assert!(err.span.col > 0);
+        assert!(err.message.contains("not a recognized reduction"), "{err}");
+    }
+
+    #[test]
     fn multi_array_group_uses_single_inspector() {
         let src = "
             double FX[n]; double FY[n]; int A[e]; int B[e];
@@ -677,5 +681,20 @@ mod tests {
         let strat = StrategyConfig::new(2, 2, irred::Distribution::Block, 1);
         c.execute_sim(&mut b, &strat, SimConfig::default()).unwrap();
         assert_eq!(b.f64s["Y"], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn synthetic_bindings_respect_literal_sizes() {
+        let prog = parse(
+            "double X[5]; double Y[e]; int A[e];
+             forall (i = 0; i < e; i++) { X[A[i]] += Y[i]; }",
+        )
+        .unwrap();
+        let b = synthetic_bindings(&prog, 24);
+        // Symbolic sizes clamp to the smallest literal so every access
+        // stays in bounds.
+        assert_eq!(b.sizes["e"], 5);
+        assert_eq!(b.f64s["X"].len(), 5);
+        assert!(b.ints["A"].iter().all(|&v| (v as usize) < 5));
     }
 }

@@ -8,16 +8,28 @@
 //! loop may now be required in multiple loops, so temporary arrays may
 //! need to be introduced."
 //!
-//! Implementation: scalars needed by more than one fissioned loop are
-//! materialized into compiler-introduced temporary arrays
-//! (`__tmp_<name>`) filled by a leading *prelude* loop, which also
-//! carries any direct (non-reduction) assignments. Scalars used by a
-//! single group sink into that group's loop.
+//! Implementation: all non-reduction statements (locals and direct
+//! assignments, in their original order) are hoisted into a leading
+//! *prelude* loop that runs sequentially, followed by one phased loop
+//! per reference group. Because the prelude preserves statement order,
+//! every value it computes is exactly what the unfissioned loop would
+//! have computed at that point. Scalars needed by more than one
+//! fissioned loop — or whose initializer observes an array the prelude
+//! writes, so re-evaluating them after the prelude would see different
+//! values — are materialized into compiler-introduced temporary arrays
+//! (`__tmp_<name>`) filled at the end of the prelude body. Scalars used
+//! by a single group and untouched by prelude writes sink into that
+//! group's loop.
+//!
+//! A *single*-group loop that also carries direct assignments is split
+//! the same way (prelude + one group loop): direct stores cannot live
+//! inside a phased reduction loop.
 
 use std::collections::{HashMap, HashSet};
 
 use crate::analysis::RefGroup;
 use crate::ast::*;
+use crate::Span;
 
 /// Result of fissioning one loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,13 +46,11 @@ pub struct FissionResult {
 fn local_consumers(body: &[Stmt], groups: &[RefGroup]) -> HashMap<String, HashSet<usize>> {
     // local -> locals it depends on
     let mut deps: HashMap<String, Vec<String>> = HashMap::new();
-    let mut order: Vec<String> = Vec::new();
     for s in body {
         if let Stmt::Local { name, init, .. } = s {
             let mut vars = Vec::new();
             init.var_reads(&mut vars);
             deps.insert(name.clone(), vars);
-            order.push(name.clone());
         }
     }
     let group_of_array = |array: &str| -> Option<usize> {
@@ -79,7 +89,10 @@ fn local_consumers(body: &[Stmt], groups: &[RefGroup]) -> HashMap<String, HashSe
 fn substitute(e: &Expr, renames: &HashMap<String, String>) -> Expr {
     match e {
         Expr::Var(v) => match renames.get(v) {
-            Some(t) => Expr::Direct { array: t.clone() },
+            Some(t) => Expr::Direct {
+                array: t.clone(),
+                span: Span::default(),
+            },
             None => e.clone(),
         },
         Expr::Bin(op, a, b) => Expr::Bin(
@@ -92,10 +105,21 @@ fn substitute(e: &Expr, renames: &HashMap<String, String>) -> Expr {
     }
 }
 
+/// Does `e` read (directly or through indirection) any array in `set`?
+fn reads_any(e: &Expr, set: &HashSet<String>) -> bool {
+    let mut reads = Vec::new();
+    e.array_reads(&mut reads);
+    reads.iter().any(|(a, _, _)| set.contains(a))
+}
+
 /// Fission `l` into per-group loops. `groups` must come from
 /// [`crate::analysis`] on the same loop.
 pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
-    if groups.len() <= 1 {
+    let has_nonreduce_writes = l
+        .body
+        .iter()
+        .any(|s| matches!(s, Stmt::AssignDirect { .. } | Stmt::AssignIndirect { .. }));
+    if groups.len() <= 1 && !has_nonreduce_writes {
         return FissionResult {
             temps: Vec::new(),
             loops: vec![l.clone()],
@@ -103,24 +127,27 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
     }
 
     let consumers = local_consumers(&l.body, groups);
-    // Locals needed by >1 group (or by a group *and* a direct assign) are
-    // materialized. For simplicity, any local read by a direct assignment
-    // also counts as "shared" since direct assignments live in the
-    // prelude.
+    // Locals needed by >1 group, read by a direct assignment (direct
+    // assignments live in the prelude), or whose initializer observes an
+    // array the prelude writes (sinking them behind the completed
+    // prelude would change the value observed) are materialized.
     let mut direct_reads: HashSet<String> = HashSet::new();
+    let mut direct_written: HashSet<String> = HashSet::new();
     for s in &l.body {
-        if let Stmt::AssignDirect { value, .. } = s {
+        if let Stmt::AssignDirect { array, value, .. } = s {
             let mut vars = Vec::new();
             value.var_reads(&mut vars);
             direct_reads.extend(vars);
+            direct_written.insert(array.clone());
         }
     }
 
     let mut shared: Vec<String> = Vec::new();
     for s in &l.body {
-        if let Stmt::Local { name, .. } = s {
+        if let Stmt::Local { name, init, .. } = s {
             let ngroups = consumers.get(name).map_or(0, |s| s.len());
-            if ngroups > 1 || (ngroups >= 1 && direct_reads.contains(name)) {
+            let pinned = direct_reads.contains(name) || reads_any(init, &direct_written);
+            if ngroups > 1 || (ngroups >= 1 && pinned) {
                 shared.push(name.clone());
             }
         }
@@ -136,17 +163,19 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
             name: renames[n].clone(),
             ty: ElemType::Double,
             size: l.count.clone(),
-            line: l.line,
+            span: l.span,
         })
         .collect();
 
     // Prelude: locals (all of them, in order — cheap and keeps
-    // dependencies simple), temp stores, and direct assignments.
+    // dependencies simple), direct assignments at their original
+    // positions, and temp stores at the end.
     let mut prelude: Vec<Stmt> = Vec::new();
     for s in &l.body {
         match s {
-            Stmt::Local { .. } => prelude.push(s.clone()),
-            Stmt::AssignDirect { .. } => prelude.push(s.clone()),
+            Stmt::Local { .. } | Stmt::AssignDirect { .. } | Stmt::AssignIndirect { .. } => {
+                prelude.push(s.clone())
+            }
             Stmt::ReduceIndirect { .. } => {}
         }
     }
@@ -155,21 +184,18 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
             array: renames[n].clone(),
             accumulate: false,
             value: Expr::Var(n.clone()),
-            line: l.line,
+            span: l.span,
         });
     }
 
     let mut loops = Vec::new();
-    let needs_prelude = !shared.is_empty()
-        || prelude
-            .iter()
-            .any(|s| matches!(s, Stmt::AssignDirect { .. }));
+    let needs_prelude = !shared.is_empty() || has_nonreduce_writes;
     if needs_prelude {
         loops.push(Forall {
             var: l.var.clone(),
             count: l.count.clone(),
             body: prelude,
-            line: l.line,
+            span: l.span,
         });
     }
 
@@ -179,14 +205,14 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
         // ones are read back from their temps).
         for s in &l.body {
             match s {
-                Stmt::Local { name, init, line } => {
+                Stmt::Local { name, init, span } => {
                     let cons = consumers.get(name);
                     let only_here = cons.is_some_and(|c| c.len() == 1 && c.contains(&gi));
                     if only_here && !renames.contains_key(name) {
                         body.push(Stmt::Local {
                             name: name.clone(),
                             init: substitute(init, &renames),
-                            line: *line,
+                            span: *span,
                         });
                     }
                 }
@@ -195,7 +221,7 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
                     via,
                     negate,
                     value,
-                    line,
+                    span,
                 } => {
                     if g.arrays.iter().any(|a| a == array) {
                         body.push(Stmt::ReduceIndirect {
@@ -203,18 +229,18 @@ pub fn fission_loop(l: &Forall, groups: &[RefGroup]) -> FissionResult {
                             via: via.clone(),
                             negate: *negate,
                             value: substitute(value, &renames),
-                            line: *line,
+                            span: *span,
                         });
                     }
                 }
-                Stmt::AssignDirect { .. } => {}
+                Stmt::AssignDirect { .. } | Stmt::AssignIndirect { .. } => {}
             }
         }
         loops.push(Forall {
             var: l.var.clone(),
             count: l.count.clone(),
             body,
-            line: l.line,
+            span: l.span,
         });
     }
 
@@ -230,7 +256,7 @@ mod tests {
     fn fission(src: &str) -> FissionResult {
         let prog = parse(src).unwrap();
         crate::sema::check(&prog).unwrap();
-        let info = analyze_program(&prog);
+        let info = analyze_program(&prog).unwrap();
         let LoopClass::IrregularReduction { groups } = &info[0].class else {
             panic!("not irregular");
         };
@@ -245,6 +271,19 @@ mod tests {
         );
         assert!(r.temps.is_empty());
         assert_eq!(r.loops.len(), 1);
+    }
+
+    #[test]
+    fn single_group_with_direct_assign_splits_off_prelude() {
+        // Direct stores cannot live in a phased reduction loop even
+        // when there is nothing to fission by group.
+        let r = fission(
+            "double X[n]; double Y[e]; int A[e];
+             forall (i = 0; i < e; i++) { Y[i] = 2.0; X[A[i]] += 1.0; }",
+        );
+        assert_eq!(r.loops.len(), 2);
+        assert!(matches!(&r.loops[0].body[0], Stmt::AssignDirect { .. }));
+        assert!(matches!(&r.loops[1].body[0], Stmt::ReduceIndirect { .. }));
     }
 
     #[test]
@@ -281,7 +320,8 @@ mod tests {
             assert_eq!(
                 value,
                 &Expr::Direct {
-                    array: "__tmp_f".into()
+                    array: "__tmp_f".into(),
+                    span: Span::default(),
                 }
             );
         }
@@ -304,6 +344,29 @@ mod tests {
         assert_eq!(r.loops[0].body.len(), 2);
         assert!(matches!(&r.loops[0].body[0], Stmt::Local { name, .. } if name == "f"));
         assert!(matches!(&r.loops[1].body[0], Stmt::Local { name, .. } if name == "g"));
+    }
+
+    #[test]
+    fn local_observing_prelude_write_is_forced_to_temp() {
+        // f reads Y which the prelude writes; sinking f into the group
+        // loop would make it observe the *written* Y, so it must be
+        // materialized at its original position instead.
+        let r = fission(
+            "double X[n]; double Y[e]; int A[e];
+             forall (i = 0; i < e; i++) {
+                 double f = Y[i] * 2.0;
+                 Y[i] = 7.0;
+                 X[A[i]] += f;
+             }",
+        );
+        assert_eq!(r.temps.len(), 1);
+        assert_eq!(r.temps[0].name, "__tmp_f");
+        assert_eq!(r.loops.len(), 2);
+        // The group loop reads the temp.
+        let Stmt::ReduceIndirect { value, .. } = &r.loops[1].body[0] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Direct { array, .. } if array == "__tmp_f"));
     }
 
     #[test]

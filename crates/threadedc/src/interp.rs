@@ -1,5 +1,11 @@
 //! A direct sequential interpreter for the DSL — the reference
 //! semantics that compiled (phased) execution is validated against.
+//!
+//! The interpreter accepts the *raw* parsed program, including
+//! un-normalized [`Stmt::AssignIndirect`] stores, with plain sequential
+//! semantics (statements in order, iterations in order). This is what
+//! makes it usable both as the oracle for compiled reductions and as
+//! the arbiter the compile-time fission check compares against.
 
 use std::collections::HashMap;
 
@@ -21,10 +27,10 @@ impl Bindings {
         if let Ok(v) = sym.parse::<usize>() {
             return Ok(v);
         }
-        self.sizes.get(sym).copied().ok_or_else(|| Diagnostic {
-            line: 0,
-            message: format!("unbound size symbol `{sym}`"),
-        })
+        self.sizes
+            .get(sym)
+            .copied()
+            .ok_or_else(|| Diagnostic::line(0, format!("unbound size symbol `{sym}`")))
     }
 
     /// Allocate any declared arrays not provided by the caller
@@ -39,10 +45,10 @@ impl Bindings {
                         .entry(d.name.clone())
                         .or_insert_with(|| vec![0.0; n]);
                     if v.len() != n {
-                        return Err(Diagnostic {
-                            line: d.line,
-                            message: format!("array `{}` bound with wrong length", d.name),
-                        });
+                        return Err(Diagnostic::at(
+                            d.span,
+                            format!("array `{}` bound with wrong length", d.name),
+                        ));
                     }
                 }
                 ElemType::Int => {
@@ -51,10 +57,10 @@ impl Bindings {
                         .entry(d.name.clone())
                         .or_insert_with(|| vec![0; n]);
                     if v.len() != n {
-                        return Err(Diagnostic {
-                            line: d.line,
-                            message: format!("array `{}` bound with wrong length", d.name),
-                        });
+                        return Err(Diagnostic::at(
+                            d.span,
+                            format!("array `{}` bound with wrong length", d.name),
+                        ));
                     }
                 }
             }
@@ -89,25 +95,45 @@ pub fn interpret_loop(l: &Forall, b: &mut Bindings) -> Result<(), Diagnostic> {
                     via,
                     negate,
                     value,
-                    line,
+                    span,
                 } => {
                     let v = eval(value, i, &locals, b)?;
                     let e = b.ints[via][i] as usize;
-                    let x = b.f64s.get_mut(array).ok_or_else(|| miss(array, *line))?;
+                    let x = b
+                        .f64s
+                        .get_mut(array)
+                        .ok_or_else(|| miss(array, span.line))?;
                     if *negate {
                         x[e] -= v;
                     } else {
                         x[e] += v;
                     }
                 }
+                Stmt::AssignIndirect {
+                    array,
+                    via,
+                    value,
+                    span,
+                } => {
+                    let v = eval(value, i, &locals, b)?;
+                    let e = b.ints[via][i] as usize;
+                    let x = b
+                        .f64s
+                        .get_mut(array)
+                        .ok_or_else(|| miss(array, span.line))?;
+                    x[e] = v;
+                }
                 Stmt::AssignDirect {
                     array,
                     accumulate,
                     value,
-                    line,
+                    span,
                 } => {
                     let v = eval(value, i, &locals, b)?;
-                    let y = b.f64s.get_mut(array).ok_or_else(|| miss(array, *line))?;
+                    let y = b
+                        .f64s
+                        .get_mut(array)
+                        .ok_or_else(|| miss(array, span.line))?;
                     if *accumulate {
                         y[i] += v;
                     } else {
@@ -121,10 +147,7 @@ pub fn interpret_loop(l: &Forall, b: &mut Bindings) -> Result<(), Diagnostic> {
 }
 
 fn miss(array: &str, line: usize) -> Diagnostic {
-    Diagnostic {
-        line,
-        message: format!("array `{array}` not bound"),
-    }
+    Diagnostic::line(line, format!("array `{array}` not bound"))
 }
 
 fn eval(
@@ -139,8 +162,8 @@ fn eval(
             Some(x) => *x,
             None => i as f64, // the loop variable
         },
-        Expr::Direct { array } => b.f64s[array][i],
-        Expr::Indirect { array, via } => {
+        Expr::Direct { array, .. } => b.f64s[array][i],
+        Expr::Indirect { array, via, .. } => {
             let e = b.ints[via][i] as usize;
             b.f64s[array][e]
         }
@@ -225,5 +248,22 @@ mod tests {
         b.sizes.insert("e".into(), 2);
         interpret(&prog, &mut b).unwrap();
         assert_eq!(b.f64s["Z"], vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn raw_indirect_store_interprets_sequentially() {
+        // Last writer wins under sequential semantics — this is the
+        // behavior the compiler refuses to parallelize.
+        let prog = parse(
+            "double X[n]; int A[e];
+             forall (i = 0; i < e; i++) { X[A[i]] = i + 1.0; }",
+        )
+        .unwrap();
+        let mut b = Bindings::default();
+        b.sizes.insert("n".into(), 2);
+        b.sizes.insert("e".into(), 3);
+        b.ints.insert("A".into(), vec![0, 0, 1]);
+        interpret(&prog, &mut b).unwrap();
+        assert_eq!(b.f64s["X"], vec![2.0, 3.0]);
     }
 }

@@ -1,8 +1,8 @@
 //! Tokenizer for the EARTH-C-like DSL.
 
-use crate::Diagnostic;
+use crate::{Diagnostic, Span};
 
-/// A lexical token, tagged with its source line.
+/// A lexical token, tagged with its source span.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     // keywords
@@ -33,88 +33,101 @@ pub enum Token {
     Number(f64),
 }
 
-/// A token with position info.
+/// A token with position info (1-based line and column of its first
+/// character).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     pub tok: Token,
-    pub line: usize,
+    pub span: Span,
 }
 
 /// Tokenize the whole source, reporting the first lexical error.
 pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
     let mut out = Vec::new();
     let mut line = 1usize;
+    let mut col = 1usize;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0usize;
     while i < bytes.len() {
         let c = bytes[i];
+        let span = Span { line, col };
         match c {
             '\n' => {
                 line += 1;
+                col = 1;
                 i += 1;
             }
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
             '/' if bytes.get(i + 1) == Some(&'/') => {
                 while i < bytes.len() && bytes[i] != '\n' {
                     i += 1;
+                    col += 1;
                 }
             }
             '/' if bytes.get(i + 1) == Some(&'*') => {
                 i += 2;
+                col += 2;
                 while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
                     if bytes[i] == '\n' {
                         line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
                     }
                     i += 1;
                 }
                 if i + 1 >= bytes.len() {
-                    return Err(Diagnostic {
-                        line,
-                        message: "unterminated block comment".into(),
-                    });
+                    return Err(Diagnostic::at(span, "unterminated block comment"));
                 }
                 i += 2;
+                col += 2;
             }
-            '(' => push(&mut out, Token::LParen, line, &mut i),
-            ')' => push(&mut out, Token::RParen, line, &mut i),
-            '{' => push(&mut out, Token::LBrace, line, &mut i),
-            '}' => push(&mut out, Token::RBrace, line, &mut i),
-            '[' => push(&mut out, Token::LBracket, line, &mut i),
-            ']' => push(&mut out, Token::RBracket, line, &mut i),
-            ';' => push(&mut out, Token::Semi, line, &mut i),
-            ',' => push(&mut out, Token::Comma, line, &mut i),
-            '*' => push(&mut out, Token::Star, line, &mut i),
-            '/' => push(&mut out, Token::Slash, line, &mut i),
-            '<' => push(&mut out, Token::Lt, line, &mut i),
+            '(' => push(&mut out, Token::LParen, span, &mut i, &mut col),
+            ')' => push(&mut out, Token::RParen, span, &mut i, &mut col),
+            '{' => push(&mut out, Token::LBrace, span, &mut i, &mut col),
+            '}' => push(&mut out, Token::RBrace, span, &mut i, &mut col),
+            '[' => push(&mut out, Token::LBracket, span, &mut i, &mut col),
+            ']' => push(&mut out, Token::RBracket, span, &mut i, &mut col),
+            ';' => push(&mut out, Token::Semi, span, &mut i, &mut col),
+            ',' => push(&mut out, Token::Comma, span, &mut i, &mut col),
+            '*' => push(&mut out, Token::Star, span, &mut i, &mut col),
+            '/' => push(&mut out, Token::Slash, span, &mut i, &mut col),
+            '<' => push(&mut out, Token::Lt, span, &mut i, &mut col),
             '+' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Spanned {
                         tok: Token::PlusEq,
-                        line,
+                        span,
                     });
                     i += 2;
+                    col += 2;
                 } else if bytes.get(i + 1) == Some(&'+') {
                     out.push(Spanned {
                         tok: Token::PlusPlus,
-                        line,
+                        span,
                     });
                     i += 2;
+                    col += 2;
                 } else {
-                    push(&mut out, Token::Plus, line, &mut i);
+                    push(&mut out, Token::Plus, span, &mut i, &mut col);
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Spanned {
                         tok: Token::MinusEq,
-                        line,
+                        span,
                     });
                     i += 2;
+                    col += 2;
                 } else {
-                    push(&mut out, Token::Minus, line, &mut i);
+                    push(&mut out, Token::Minus, span, &mut i, &mut col);
                 }
             }
-            '=' => push(&mut out, Token::Assign, line, &mut i),
+            '=' => push(&mut out, Token::Assign, span, &mut i, &mut col),
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < bytes.len()
@@ -127,21 +140,22 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
                             && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
                 {
                     i += 1;
+                    col += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let v: f64 = text.parse().map_err(|_| Diagnostic {
-                    line,
-                    message: format!("bad number literal `{text}`"),
-                })?;
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| Diagnostic::at(span, format!("bad number literal `{text}`")))?;
                 out.push(Spanned {
                     tok: Token::Number(v),
-                    line,
+                    span,
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
+                    col += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
                 let tok = match text.as_str() {
@@ -150,22 +164,23 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
                     "forall" => Token::Forall,
                     _ => Token::Ident(text),
                 };
-                out.push(Spanned { tok, line });
+                out.push(Spanned { tok, span });
             }
             other => {
-                return Err(Diagnostic {
-                    line,
-                    message: format!("unexpected character `{other}`"),
-                })
+                return Err(Diagnostic::at(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
     Ok(out)
 }
 
-fn push(out: &mut Vec<Spanned>, tok: Token, line: usize, i: &mut usize) {
-    out.push(Spanned { tok, line });
+fn push(out: &mut Vec<Spanned>, tok: Token, span: Span, i: &mut usize, col: &mut usize) {
+    out.push(Spanned { tok, span });
     *i += 1;
+    *col += 1;
 }
 
 #[cfg(test)]
@@ -234,9 +249,25 @@ mod tests {
     #[test]
     fn line_numbers_tracked() {
         let t = tokenize("a\nb\n\nc").unwrap();
-        assert_eq!(t[0].line, 1);
-        assert_eq!(t[1].line, 2);
-        assert_eq!(t[2].line, 4);
+        assert_eq!(t[0].span.line, 1);
+        assert_eq!(t[1].span.line, 2);
+        assert_eq!(t[2].span.line, 4);
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let t = tokenize("ab cd\n  ef").unwrap();
+        assert_eq!(t[0].span, Span::new(1, 1));
+        assert_eq!(t[1].span, Span::new(1, 4));
+        assert_eq!(t[2].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn columns_after_operators_and_comments() {
+        let t = tokenize("a += b // x\n  c").unwrap();
+        assert_eq!(t[1].span, Span::new(1, 3)); // +=
+        assert_eq!(t[2].span, Span::new(1, 6)); // b
+        assert_eq!(t[3].span, Span::new(2, 3)); // c
     }
 
     #[test]

@@ -21,19 +21,29 @@
 //! }
 //! ```
 //!
+//! Reductions need not be annotated: `X[IA[i]] = X[IA[i]] + f` is
+//! recognized and normalized to the `+=` form, and statements through
+//! indirection that are *not* reductions are rejected by the dependence
+//! test with a [`Span`]-carrying [`Diagnostic`] instead of miscompiled.
+//!
 //! Pipeline stages (one module each):
 //!
 //! 1. [`lexer`] / [`parser`] — text → [`ast::Program`];
-//! 2. [`sema`] — name resolution, kind/type checking;
-//! 3. [`analysis`] — loop classification, array-section extraction,
-//!    reference-group formation;
-//! 4. [`fission`] — loop fission by reference group;
-//! 5. [`codegen`] — a [`codegen::CompiledLoop`] per fissioned loop: the
-//!    LightInspector parameters plus an interpretable kernel that
-//!    implements [`irred-compatible`](codegen::InterpKernel) execution
-//!    semantics;
-//! 6. [`interp`] — a direct sequential interpreter of the DSL, the
-//!    reference the compiled execution is validated against.
+//! 2. [`analysis::normalize_program`] — reduction recognition (rewrites
+//!    un-annotated self-accumulations into [`ast::Stmt::ReduceIndirect`]);
+//! 3. [`sema`] — name resolution, kind/type checking;
+//! 4. [`analysis`] — loop classification, array-section extraction,
+//!    reference-group formation (Definition 1), and the dependence test;
+//! 5. [`fission`] — loop fission by reference group, verified against
+//!    the interpreter at compile time;
+//! 6. [`codegen`] / [`lower`] — a [`codegen::CompiledLoop`] per
+//!    fissioned loop, lowered *directly* to the CSR
+//!    [`lightinspector::FlatPlan`] the PR 5 fast path streams — no
+//!    nested-plan intermediate;
+//! 7. [`interp`] — a direct sequential interpreter of the DSL, the
+//!    reference the compiled execution is validated against;
+//! 8. [`cache`] — a source-hash keyed compile cache for edit–rerun
+//!    loops and the server's `SubmitSource` path.
 //!
 //! The end-to-end path (source text → phased execution on the EARTH
 //! model) is exercised by the `compile_pipeline` example and the
@@ -41,33 +51,100 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod cache;
 pub mod codegen;
 pub mod fission;
 pub mod interp;
 pub mod lexer;
+pub mod lower;
 pub mod parser;
 pub mod sema;
 
-pub use analysis::{analyze_program, LoopClass, LoopInfo, RefGroup, Section};
+pub use analysis::{analyze_program, normalize_program, LoopClass, LoopInfo, RefGroup, Section};
 pub use ast::{BinOp, Expr, Program, Stmt};
-pub use codegen::{compile, CompiledLoop, CompiledProgram, InterpKernel};
+pub use cache::{source_hash, CompileCache};
+pub use codegen::{
+    compile, synthetic_bindings, CompiledLoop, CompiledProgram, InterpKernel, LoopPlan,
+};
 pub use fission::fission_loop;
 pub use interp::{interpret, Bindings};
 pub use lexer::{tokenize, Token};
+pub use lower::{emit_flat_plans, FlatSummary};
 pub use parser::parse;
 pub use sema::{check, SemaError};
 
-/// A compiler diagnostic with a 1-based line number.
+/// A source position: 1-based line and column. `col == 0` means "line
+/// only" (synthesized nodes, whole-loop diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.col > 0 {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "{}", self.line)
+        }
+    }
+}
+
+/// A compiler diagnostic carrying the source span of the offending
+/// construct (1-based line, and column when known).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    pub line: usize,
+    pub span: Span,
     pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic anchored at a full span.
+    pub fn at(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// A line-only diagnostic (column unknown).
+    pub fn line(line: usize, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            span: Span { line, col: 0 },
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line (0 when unknown).
+    pub fn line_no(&self) -> usize {
+        self.span.line
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.span, self.message)
     }
 }
 
 impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_with_and_without_column() {
+        let d = Diagnostic::at(Span::new(3, 7), "bad");
+        assert_eq!(d.to_string(), "line 3:7: bad");
+        let d = Diagnostic::line(3, "bad");
+        assert_eq!(d.to_string(), "line 3: bad");
+    }
+}

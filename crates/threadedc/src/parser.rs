@@ -13,10 +13,16 @@
 //! term     := factor (("*" | "/") factor)*
 //! factor   := NUMBER | "-" factor | "(" expr ")" | IDENT [ "[" index "]" ]
 //! ```
+//!
+//! Un-annotated stores through indirection (`X[A[i]] = …`) parse to
+//! [`Stmt::AssignIndirect`]; reduction recognition
+//! ([`crate::analysis::normalize_program`]) later rewrites the
+//! self-accumulating forms into [`Stmt::ReduceIndirect`] and the
+//! dependence test rejects the rest.
 
 use crate::ast::*;
 use crate::lexer::{tokenize, Spanned, Token};
-use crate::Diagnostic;
+use crate::{Diagnostic, Span};
 
 /// Parse source text into a [`Program`].
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
@@ -35,17 +41,15 @@ impl Parser {
         self.toks.get(self.pos).map(|s| &s.tok)
     }
 
-    fn line(&self) -> usize {
+    /// Span of the token at the cursor (or of the last token at EOF).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |s| s.line)
+            .map_or(Span::default(), |s| s.span)
     }
 
     fn err(&self, message: impl Into<String>) -> Diagnostic {
-        Diagnostic {
-            line: self.line(),
-            message: message.into(),
-        }
+        Diagnostic::at(self.span(), message)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -67,7 +71,12 @@ impl Parser {
     fn ident(&mut self, what: &str) -> Result<String, Diagnostic> {
         match self.bump() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                let e = self.err(format!("expected {what}, found {other:?}"));
+                self.pos += 1;
+                Err(e)
+            }
         }
     }
 
@@ -92,7 +101,7 @@ impl Parser {
     }
 
     fn decl(&mut self) -> Result<ArrayDecl, Diagnostic> {
-        let line = self.line();
+        let span = self.span();
         let ty = match self.bump() {
             Some(Token::Double) => ElemType::Double,
             Some(Token::Int) => ElemType::Int,
@@ -111,12 +120,12 @@ impl Parser {
             name,
             ty,
             size,
-            line,
+            span,
         })
     }
 
     fn forall(&mut self) -> Result<Forall, Diagnostic> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&Token::Forall, "`forall`")?;
         self.expect(&Token::LParen, "`(`")?;
         let var = self.ident("loop variable")?;
@@ -149,12 +158,12 @@ impl Parser {
             var,
             count,
             body,
-            line,
+            span,
         })
     }
 
     fn stmt(&mut self, loop_var: &str) -> Result<Stmt, Diagnostic> {
-        let line = self.line();
+        let span = self.span();
         match self.peek() {
             Some(Token::Double) => {
                 self.bump();
@@ -162,7 +171,7 @@ impl Parser {
                 self.expect(&Token::Assign, "`=`")?;
                 let init = self.expr(loop_var)?;
                 self.expect(&Token::Semi, "`;`")?;
-                Ok(Stmt::Local { name, init, line })
+                Ok(Stmt::Local { name, init, span })
             }
             Some(Token::Ident(_)) => {
                 let array = self.ident("array name")?;
@@ -195,31 +204,41 @@ impl Parser {
                         via,
                         negate: false,
                         value,
-                        line,
+                        span,
                     }),
                     (Some(via), Some(Token::MinusEq)) => Ok(Stmt::ReduceIndirect {
                         array,
                         via,
                         negate: true,
                         value,
-                        line,
+                        span,
                     }),
-                    (Some(_), other) => Err(self.err(format!(
-                        "indirect updates must be `+=` or `-=` (associative/commutative), found {other:?}"
-                    ))),
+                    (Some(via), Some(Token::Assign)) => Ok(Stmt::AssignIndirect {
+                        array,
+                        via,
+                        value,
+                        span,
+                    }),
+                    (Some(_), other) => Err(Diagnostic::at(
+                        span,
+                        format!("indirect updates must be `=`, `+=` or `-=`, found {other:?}"),
+                    )),
                     (None, Some(Token::PlusEq)) => Ok(Stmt::AssignDirect {
                         array,
                         accumulate: true,
                         value,
-                        line,
+                        span,
                     }),
                     (None, Some(Token::Assign)) => Ok(Stmt::AssignDirect {
                         array,
                         accumulate: false,
                         value,
-                        line,
+                        span,
                     }),
-                    (None, other) => Err(self.err(format!("expected `=` or `+=`, found {other:?}"))),
+                    (None, other) => Err(Diagnostic::at(
+                        span,
+                        format!("expected `=` or `+=`, found {other:?}"),
+                    )),
                 }
             }
             other => Err(self.err(format!("expected statement, found {other:?}"))),
@@ -257,6 +276,7 @@ impl Parser {
     }
 
     fn factor(&mut self, loop_var: &str) -> Result<Expr, Diagnostic> {
+        let span = self.span();
         match self.bump() {
             Some(Token::Number(v)) => Ok(Expr::Number(v)),
             Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.factor(loop_var)?))),
@@ -283,6 +303,7 @@ impl Parser {
                         Ok(Expr::Indirect {
                             array: name,
                             via: idx,
+                            span,
                         })
                     } else {
                         self.expect(&Token::RBracket, "`]`")?;
@@ -291,7 +312,7 @@ impl Parser {
                                 "direct access must use the loop variable `{loop_var}`"
                             )));
                         }
-                        Ok(Expr::Direct { array: name })
+                        Ok(Expr::Direct { array: name, span })
                     }
                 } else {
                     Ok(Expr::Var(name))
@@ -370,10 +391,13 @@ mod tests {
     }
 
     #[test]
-    fn rejects_plain_assign_through_indirection() {
-        let err = parse("double X[n]; int A[e]; forall (i = 0; i < e; i++) { X[A[i]] = 1.0; }")
-            .unwrap_err();
-        assert!(err.message.contains("associative"), "{err}");
+    fn plain_assign_through_indirection_parses_to_assign_indirect() {
+        let prog =
+            parse("double X[n]; int A[e]; forall (i = 0; i < e; i++) { X[A[i]] = 1.0; }").unwrap();
+        assert!(
+            matches!(&prog.loops[0].body[0], Stmt::AssignIndirect { array, via, .. }
+            if array == "X" && via == "A")
+        );
     }
 
     #[test]
@@ -399,6 +423,19 @@ mod tests {
     #[test]
     fn error_carries_line_number() {
         let err = parse("double X[n];\n\nforall (i = 0; i < e; i++) { X[ }").unwrap_err();
-        assert_eq!(err.line, 3);
+        assert_eq!(err.span.line, 3);
+    }
+
+    #[test]
+    fn statements_and_references_carry_spans() {
+        let prog = parse(
+            "double X[n]; double W[e]; int A[e];\nforall (i = 0; i < e; i++) {\n  X[A[i]] += W[i];\n}",
+        )
+        .unwrap();
+        let Stmt::ReduceIndirect { value, span, .. } = &prog.loops[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(*span, Span::new(3, 3));
+        assert!(matches!(value, Expr::Direct { span, .. } if *span == Span::new(3, 14)));
     }
 }

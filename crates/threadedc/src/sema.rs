@@ -4,19 +4,17 @@
 use std::collections::HashSet;
 
 use crate::ast::*;
-use crate::Diagnostic;
+use crate::{Diagnostic, Span};
 
 /// A semantic error (alias for the shared diagnostic type).
 pub type SemaError = Diagnostic;
 
-fn err(line: usize, message: impl Into<String>) -> SemaError {
-    Diagnostic {
-        line,
-        message: message.into(),
-    }
+fn err(span: Span, message: impl Into<String>) -> SemaError {
+    Diagnostic::at(span, message)
 }
 
-/// Check a parsed program. On success, the program satisfies:
+/// Check a parsed (and, in the full pipeline, reduction-normalized)
+/// program. On success, the program satisfies:
 ///
 /// * every referenced array is declared, exactly once;
 /// * arrays used as indirection (`via`) have `int` element type and are
@@ -27,11 +25,16 @@ fn err(line: usize, message: impl Into<String>) -> SemaError {
 ///   on reduction array elements";
 /// * loop-local scalars are defined before use and not redefined;
 /// * directly-assigned arrays are not also reduction targets.
+///
+/// Residual [`Stmt::AssignIndirect`] statements (plain stores through
+/// indirection the recognizer could not canonicalize) are only
+/// *type-checked* here; their legality is decided by the dependence test
+/// in [`crate::analysis`], which rejects them with a precise span.
 pub fn check(prog: &Program) -> Result<(), SemaError> {
     let mut names = HashSet::new();
     for d in &prog.decls {
         if !names.insert(d.name.clone()) {
-            return Err(err(d.line, format!("array `{}` declared twice", d.name)));
+            return Err(err(d.span, format!("array `{}` declared twice", d.name)));
         }
     }
     let decl = |name: &str| prog.decl(name);
@@ -46,31 +49,36 @@ pub fn check(prog: &Program) -> Result<(), SemaError> {
         for s in &l.body {
             match s {
                 Stmt::ReduceIndirect {
-                    array, via, line, ..
+                    array, via, span, ..
+                }
+                | Stmt::AssignIndirect {
+                    array, via, span, ..
                 } => {
                     let da = decl(array)
-                        .ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                        .ok_or_else(|| err(*span, format!("undeclared array `{array}`")))?;
                     if da.ty != ElemType::Double {
                         return Err(err(
-                            *line,
+                            *span,
                             format!("reduction array `{array}` must be double"),
                         ));
                     }
                     let dv = decl(via).ok_or_else(|| {
-                        err(*line, format!("undeclared indirection array `{via}`"))
+                        err(*span, format!("undeclared indirection array `{via}`"))
                     })?;
                     if dv.ty != ElemType::Int {
-                        return Err(err(*line, format!("indirection array `{via}` must be int")));
+                        return Err(err(*span, format!("indirection array `{via}` must be int")));
                     }
-                    reduced.insert(array.clone());
+                    if matches!(s, Stmt::ReduceIndirect { .. }) {
+                        reduced.insert(array.clone());
+                    }
                     vias.insert(via.clone());
                 }
-                Stmt::AssignDirect { array, line, .. } => {
+                Stmt::AssignDirect { array, span, .. } => {
                     let da = decl(array)
-                        .ok_or_else(|| err(*line, format!("undeclared array `{array}`")))?;
+                        .ok_or_else(|| err(*span, format!("undeclared array `{array}`")))?;
                     if da.ty != ElemType::Double {
                         return Err(err(
-                            *line,
+                            *span,
                             format!("assigned array `{array}` must be double"),
                         ));
                     }
@@ -81,52 +89,51 @@ pub fn check(prog: &Program) -> Result<(), SemaError> {
         }
         if let Some(both) = reduced.intersection(&direct_written).next() {
             return Err(err(
-                l.line,
+                l.span,
                 format!("array `{both}` is both a reduction target and directly assigned"),
             ));
         }
         if let Some(both) = reduced.intersection(&vias).next() {
             return Err(err(
-                l.line,
+                l.span,
                 format!("array `{both}` used both as reduction target and indirection"),
             ));
         }
 
         // Second pass: check reads in order.
         for s in &l.body {
-            let (value, line) = match s {
-                Stmt::Local { name, init, line } => {
+            let (value, span) = match s {
+                Stmt::Local { name, init, span } => {
                     if locals.contains(name) {
-                        return Err(err(*line, format!("local `{name}` redefined")));
+                        return Err(err(*span, format!("local `{name}` redefined")));
                     }
                     if name == &l.var {
                         return Err(err(
-                            *line,
+                            *span,
                             format!("local `{name}` shadows the loop variable"),
                         ));
                     }
-                    check_expr(prog, l, init, &locals, &reduced, &vias, *line)?;
+                    check_expr(prog, l, init, &locals, &reduced, *span)?;
                     locals.insert(name.clone());
                     continue;
                 }
-                Stmt::ReduceIndirect { value, line, .. } => (value, *line),
-                Stmt::AssignDirect { value, line, .. } => (value, *line),
+                Stmt::ReduceIndirect { value, span, .. } => (value, *span),
+                Stmt::AssignIndirect { value, span, .. } => (value, *span),
+                Stmt::AssignDirect { value, span, .. } => (value, *span),
             };
-            check_expr(prog, l, value, &locals, &reduced, &vias, line)?;
+            check_expr(prog, l, value, &locals, &reduced, span)?;
         }
     }
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
 fn check_expr(
     prog: &Program,
     l: &Forall,
     e: &Expr,
     locals: &HashSet<String>,
     reduced: &HashSet<String>,
-    vias: &HashSet<String>,
-    line: usize,
+    stmt_span: Span,
 ) -> Result<(), SemaError> {
     match e {
         Expr::Number(_) => Ok(()),
@@ -134,54 +141,53 @@ fn check_expr(
             if v == &l.var || locals.contains(v) {
                 Ok(())
             } else {
-                Err(err(line, format!("undefined scalar `{v}`")))
+                Err(err(stmt_span, format!("undefined scalar `{v}`")))
             }
         }
-        Expr::Direct { array } => {
+        Expr::Direct { array, span } => {
             let d = prog
                 .decl(array)
-                .ok_or_else(|| err(line, format!("undeclared array `{array}`")))?;
+                .ok_or_else(|| err(*span, format!("undeclared array `{array}`")))?;
             if reduced.contains(array) {
                 return Err(err(
-                    line,
+                    *span,
                     format!("reduction array `{array}` read inside its own loop (loop-carried dependency)"),
                 ));
             }
             if d.ty != ElemType::Double {
                 return Err(err(
-                    line,
+                    *span,
                     format!("array `{array}` read as a value but has int type"),
                 ));
             }
             Ok(())
         }
-        Expr::Indirect { array, via } => {
+        Expr::Indirect { array, via, span } => {
             let d = prog
                 .decl(array)
-                .ok_or_else(|| err(line, format!("undeclared array `{array}`")))?;
+                .ok_or_else(|| err(*span, format!("undeclared array `{array}`")))?;
             let dv = prog
                 .decl(via)
-                .ok_or_else(|| err(line, format!("undeclared indirection array `{via}`")))?;
+                .ok_or_else(|| err(*span, format!("undeclared indirection array `{via}`")))?;
             if reduced.contains(array) {
                 return Err(err(
-                    line,
+                    *span,
                     format!("reduction array `{array}` read inside its own loop (loop-carried dependency)"),
                 ));
             }
             if d.ty != ElemType::Double || dv.ty != ElemType::Int {
                 return Err(err(
-                    line,
+                    *span,
                     format!("`{array}[{via}[i]]` needs double[ int[i] ]"),
                 ));
             }
-            let _ = vias;
             Ok(())
         }
         Expr::Bin(_, a, b) => {
-            check_expr(prog, l, a, locals, reduced, vias, line)?;
-            check_expr(prog, l, b, locals, reduced, vias, line)
+            check_expr(prog, l, a, locals, reduced, stmt_span)?;
+            check_expr(prog, l, b, locals, reduced, stmt_span)
         }
-        Expr::Neg(a) => check_expr(prog, l, a, locals, reduced, vias, line),
+        Expr::Neg(a) => check_expr(prog, l, a, locals, reduced, stmt_span),
     }
 }
 
@@ -218,6 +224,18 @@ mod tests {
         let e = check_src(
             "double X[n]; double IA[e];
              forall (i = 0; i < e; i++) { X[IA[i]] += 1.0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("must be int"), "{e}");
+    }
+
+    #[test]
+    fn type_checks_unnormalized_indirect_stores() {
+        // AssignIndirect gets the same type discipline as a reduction,
+        // even though its legality is decided later by analysis.
+        let e = check_src(
+            "double X[n]; double IA[e];
+             forall (i = 0; i < e; i++) { X[IA[i]] = 1.0; }",
         )
         .unwrap_err();
         assert!(e.message.contains("must be int"), "{e}");
@@ -284,5 +302,16 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("undefined scalar"), "{e}");
+    }
+
+    #[test]
+    fn read_errors_point_at_the_reference() {
+        let e = check_src(
+            "double X[n]; int IA[e];\nforall (i = 0; i < e; i++) {\n  X[IA[i]] += X[IA[i]];\n}",
+        )
+        .unwrap_err();
+        assert_eq!(e.span.line, 3);
+        // Column of the *read* reference (after `+=`), not the statement.
+        assert!(e.span.col > 10, "span {:?} should be the read", e.span);
     }
 }

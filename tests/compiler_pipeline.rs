@@ -5,12 +5,20 @@
 //! The former `.proptest-regressions` seed is preserved as the named
 //! unit test [`regression_single_sub_stmt_six_procs`].
 
+use std::sync::Arc;
+
+use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
+use earth_model::FaultConfig;
 use harness::prop::{check, Config, Gen};
 use harness::prop_assert;
 use threadedc::{compile, interpret, parse, Bindings};
 
-use irred::{Distribution, StrategyConfig};
+use irred::{
+    Distribution, EdgeKernel, ExecutionConfig, GatherEngine, GatherSpec, PhasedEngine, PhasedSpec,
+    ReductionEngine, SeqEngine, StrategyConfig,
+};
+use workloads::SparseMatrix;
 
 /// Generate a random DSL program over a fixed set of declared arrays,
 /// together with sizes. Programs always sema-check by construction.
@@ -150,6 +158,316 @@ fn fission_temp_arrays_do_not_leak_into_results() {
     for (i, v) in b.f64s["__tmp_f"].iter().enumerate() {
         assert_eq!(*v, b.f64s["W"][i] * 3.0);
     }
+}
+
+/// Bindings whose weight values are whole numbers: every partial sum is
+/// exact in f64 (all magnitudes stay far below 2^53), so any summation
+/// order — phased, sequential, gather, native — produces bit-identical
+/// results. The bit-identity properties below all use these.
+fn int_bindings(n: usize, e: usize, seed: u64) -> Bindings {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut b = Bindings::default();
+    b.sizes.insert("n".into(), n);
+    b.sizes.insert("e".into(), e);
+    for name in ["W", "V"] {
+        b.f64s
+            .insert(name.into(), (0..e).map(|_| (next() % 64) as f64).collect());
+    }
+    for name in ["A", "B", "C"] {
+        b.ints.insert(
+            name.into(),
+            (0..e).map(|_| (next() % n as u64) as u32).collect(),
+        );
+    }
+    b
+}
+
+fn assert_bits_eq(label: &str, src: &str, got: &Bindings, want: &Bindings) -> Result<(), String> {
+    for arr in ["X", "Z"] {
+        for (i, (a, b)) in got.f64s[arr].iter().zip(&want.f64s[arr]).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "{label}: {arr}[{i}] = {a} vs interpreter {b}\nprogram:\n{src}"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Compiled execution is *bit-identical* to the interpreter across every
+/// engine and preparation path: the flat fast path on the simulator, the
+/// inspector `prepare` path on the same engine, and the sequential
+/// engine. The generator includes un-annotated multi-group programs, so
+/// automatic fission is exercised on every path.
+#[test]
+fn engines_bit_identical_to_interpreter() {
+    check(
+        "engines_bit_identical_to_interpreter",
+        Config::cases(48),
+        |g| {
+            let (src, n, e) = program(g);
+            let procs = g.usize_incl(1, 5);
+            let k = g.usize_incl(1, 3);
+            let seed = g.u64_in(0..10_000);
+            (src, n, e, procs, k, seed)
+        },
+        |(src, n, e, procs, k, seed)| {
+            let compiled = compile(src).expect("generated programs compile");
+            let strat = StrategyConfig::new(*procs, *k, Distribution::Cyclic, 1);
+
+            let mut want = int_bindings(*n, *e, *seed);
+            interpret(&parse(src).unwrap(), &mut want).unwrap();
+
+            // Flat fast path: compiler-emitted CSR plans, no inspector.
+            let mut flat = int_bindings(*n, *e, *seed);
+            let flat_rep = compiled
+                .execute_sim(&mut flat, &strat, SimConfig::default())
+                .unwrap();
+            assert_bits_eq("flat/sim", src, &flat, &want)?;
+
+            // Inspector prepare path on the same engine: identical
+            // results *and* identical simulated cost — the emitted flat
+            // plan is the inspector's plan, not an approximation of it.
+            let mut insp = int_bindings(*n, *e, *seed);
+            let insp_rep = compiled
+                .execute_with(&mut insp, &PhasedEngine::sim(SimConfig::default()), &strat)
+                .unwrap();
+            assert_bits_eq("prepare/sim", src, &insp, &want)?;
+            prop_assert!(
+                flat_rep.time_cycles == insp_rep.time_cycles,
+                "flat path cost {} != prepare path cost {}\nprogram:\n{src}",
+                flat_rep.time_cycles,
+                insp_rep.time_cycles
+            );
+
+            // Sequential engine (the shed path the server falls back to).
+            let mut seq = int_bindings(*n, *e, *seed);
+            compiled
+                .execute_with(
+                    &mut seq,
+                    &SeqEngine::new(ExecutionConfig::default()),
+                    &strat,
+                )
+                .unwrap();
+            assert_bits_eq("seq", src, &seq, &want)
+        },
+    );
+}
+
+/// The native thread-pool backend under a *lossless* fault plan
+/// (delayed / duplicated / reordered messages, no drops) is still
+/// bit-identical to the interpreter: reductions are pure dataflow and
+/// the weights are whole numbers.
+#[test]
+fn native_with_lossless_faults_bit_identical_to_interpreter() {
+    check(
+        "native_with_lossless_faults_bit_identical_to_interpreter",
+        Config::cases(16),
+        |g| {
+            let (src, n, e) = program(g);
+            let procs = g.usize_incl(1, 3);
+            let k = g.usize_incl(1, 2);
+            let seed = g.u64_in(0..10_000);
+            (src, n, e, procs, k, seed)
+        },
+        |(src, n, e, procs, k, seed)| {
+            let compiled = compile(src).expect("generated programs compile");
+            let strat = StrategyConfig::new(*procs, *k, Distribution::Cyclic, 1);
+
+            let mut want = int_bindings(*n, *e, *seed);
+            interpret(&parse(src).unwrap(), &mut want).unwrap();
+
+            let native = NativeConfig {
+                faults: Some(FaultConfig::lossless(*seed)),
+                ..NativeConfig::default()
+            };
+            let mut got = int_bindings(*n, *e, *seed);
+            compiled
+                .execute_flat(&mut got, &strat, &PhasedEngine::native(native))
+                .unwrap();
+            assert_bits_eq("native+lossless", src, &got, &want)
+        },
+    );
+}
+
+/// A hand-written [`EdgeKernel`] mirroring the paper's Fig. 1 loop: the
+/// compiled DSL program and the hand-built [`PhasedSpec`] must agree
+/// bit-for-bit — the compiler's lowering adds nothing and loses nothing
+/// relative to writing the kernel by hand.
+struct Fig1Kernel {
+    w: Vec<f64>,
+}
+
+impl EdgeKernel for Fig1Kernel {
+    fn contrib(&self, _read: &[f64], iter: usize, _elems: &[u32], out: &mut [f64]) {
+        let f = self.w[iter] * 0.5;
+        out[0] = f; // X[IA1[i]] += f
+        out[1] = -f; // X[IA2[i]] -= f
+    }
+}
+
+#[test]
+fn compiled_matches_hand_built_kernel_spec() {
+    let src = "
+        double X[n]; double W[e]; int A[e]; int B[e];
+        forall (i = 0; i < e; i++) {
+            double f = W[i] * 0.5;
+            X[A[i]] += f;
+            X[B[i]] -= f;
+        }";
+    let (n, e, seed) = (32usize, 200usize, 9u64);
+    let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 1);
+
+    let mut b = int_bindings(n, e, seed);
+    compile(src)
+        .unwrap()
+        .execute_sim(&mut b, &strat, SimConfig::default())
+        .unwrap();
+
+    let spec = PhasedSpec {
+        kernel: Arc::new(Fig1Kernel {
+            w: b.f64s["W"].clone(),
+        }),
+        num_elements: n,
+        indirection: Arc::new(vec![b.ints["A"].clone(), b.ints["B"].clone()]),
+    };
+    let out = PhasedEngine::sim(SimConfig::default())
+        .run(&spec, &strat)
+        .unwrap();
+
+    // The DSL accumulates onto X's prior contents (zeros here), so the
+    // engine's pure sum is directly comparable.
+    for (i, (got, want)) in b.f64s["X"].iter().zip(&out.values[0]).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "X[{i}]: compiled {got} vs hand-built kernel {want}"
+        );
+    }
+}
+
+/// Cross-executor check: a single-group `X[A[i]] += W[i]` reduction is
+/// an SpMV in disguise. Build the equivalent CSR matrix by hand (row
+/// `r` holds one entry of value `W[i]` per iteration `i` with
+/// `A[i] == r`), run it through the gather-rotation executor on both
+/// the simulator and the native backend, and demand bit-identity with
+/// the compiled phased result.
+#[test]
+fn single_group_reduction_matches_hand_built_gather_spmv() {
+    let src = "
+        double X[n]; double W[e]; int A[e];
+        forall (i = 0; i < e; i++) {
+            X[A[i]] += W[i];
+        }";
+    let (n, e, seed) = (24usize, 180usize, 17u64);
+    let strat = StrategyConfig::new(2, 2, Distribution::Block, 1);
+
+    let mut b = int_bindings(n, e, seed);
+    compile(src)
+        .unwrap()
+        .execute_sim(&mut b, &strat, SimConfig::default())
+        .unwrap();
+
+    // Rows = reduction elements, columns = iterations, entries in
+    // ascending iteration order within each row — the same order the
+    // phased executor's owner-local accumulation visits them.
+    let a = &b.ints["A"];
+    let mut row_ptr = vec![0u64; n + 1];
+    let mut col_idx = Vec::with_capacity(e);
+    let mut values = Vec::with_capacity(e);
+    for r in 0..n {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai as usize == r {
+                col_idx.push(i as u32);
+                values.push(b.f64s["W"][i]);
+            }
+        }
+        row_ptr[r + 1] = col_idx.len() as u64;
+    }
+    let spec = GatherSpec {
+        matrix: Arc::new(SparseMatrix {
+            nrows: n,
+            ncols: e,
+            row_ptr,
+            col_idx,
+            values,
+        }),
+        x: Arc::new(vec![1.0; e]),
+    };
+
+    for (label, out) in [
+        (
+            "gather/sim",
+            GatherEngine::sim(SimConfig::default())
+                .run(&spec, &strat)
+                .unwrap(),
+        ),
+        (
+            "gather/native",
+            GatherEngine::native(NativeConfig::default())
+                .run(&spec, &strat)
+                .unwrap(),
+        ),
+    ] {
+        for (i, (got, want)) in out.values[0].iter().zip(&b.f64s["X"]).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{label}: y[{i}] = {got} vs compiled X {want}"
+            );
+        }
+    }
+}
+
+/// An un-annotated two-group loop with a shared scalar must fission into
+/// two phased loops plus a temp prelude, and each fissioned loop must
+/// run on the flat fast path — checked through the public report, not
+/// crate internals.
+#[test]
+fn multi_group_fission_reaches_flat_path_on_every_engine() {
+    let src = "
+        double X[n]; double Z[n]; double W[e]; int A[e]; int B[e];
+        forall (i = 0; i < e; i++) {
+            double f = W[i] * 2.0;
+            X[A[i]] += f;
+            Z[B[i]] -= f;
+        }";
+    let compiled = compile(src).unwrap();
+    assert!(
+        compiled.log.iter().any(|l| l.contains("fission")),
+        "compile log must record the fission decision: {:?}",
+        compiled.log
+    );
+
+    let strat = StrategyConfig::new(2, 2, Distribution::Cyclic, 1);
+    let (n, e, seed) = (20usize, 120usize, 5u64);
+
+    let mut want = int_bindings(n, e, seed);
+    interpret(&parse(src).unwrap(), &mut want).unwrap();
+
+    let mut b = int_bindings(n, e, seed);
+    let rep = compiled
+        .execute_sim(&mut b, &strat, SimConfig::default())
+        .unwrap();
+    assert_eq!(rep.phased_loops, 2, "one phased loop per reference group");
+    assert_eq!(rep.regular_loops, 1, "temp-array prelude runs sequentially");
+    assert_bits_eq("fissioned flat/sim", src, &b, &want).unwrap();
+
+    let mut nat = int_bindings(n, e, seed);
+    compiled
+        .execute_flat(
+            &mut nat,
+            &strat,
+            &PhasedEngine::native(NativeConfig::default()),
+        )
+        .unwrap();
+    assert_bits_eq("fissioned flat/native", src, &nat, &want).unwrap();
 }
 
 fn bindings_small() -> Bindings {
