@@ -9,8 +9,11 @@
 #   ./ci.sh tier1    # fmt --check + build + full test suite + clippy
 #   ./ci.sh faults   # fault-injection / recovery sweeps only
 #   ./ci.sh perf     # quick native-bench subset vs checked-in baseline;
-#                    # fails on >20 % median regression on any workload,
-#                    # reproduced on 3 consecutive runs (host-noise guard)
+#                    # fails on >20 % median regression on any workload
+#                    # headline OR any per-core-count curve point,
+#                    # reproduced on 3 consecutive runs (host-noise
+#                    # guard), then smoke-checks the schema-2 sweep
+#                    # fields are present in the quick report
 #   ./ci.sh workloads # skewed-family golden-oracle sweeps (3 fixed
 #                    # seeds + one randomized pass) plus the strategy
 #                    # auto-selection check on the deterministic sim
@@ -19,6 +22,9 @@
 #                    # soak, and a quick bench_server smoke — all under
 #                    # the hard timeout (the daemon's contract is
 #                    # "typed error, never a hang")
+#   ./ci.sh simd     # `--features simd` lane: build + the engine tests
+#                    # + the vector-vs-scalar bit-identity property
+#                    # suite with the core::arch kernels enabled
 #   ./ci.sh compiler # threadedc front door: the compiled-vs-interpreter
 #                    # property suite (3 fixed seeds + one randomized
 #                    # pass), the source-over-the-wire server tests, a
@@ -205,6 +211,16 @@ perf() {
         if REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_native -- \
             --check "$pinned"; then
             rm -f "$pinned"
+            # Core-count-sweep smoke: the quick report must be schema 2 —
+            # a real host_cores count, the tuning label, and at least one
+            # per-core-count curve point per workload. A report that
+            # silently dropped the sweep would pass the median gate while
+            # losing the scaling curves the gate is supposed to protect.
+            echo "== perf (core-count sweep smoke) =="
+            grep -q '"schema": 2' bench_results/BENCH_native_quick.json
+            grep -q '"tuning"' bench_results/BENCH_native_quick.json
+            grep -q '"core_curve"' bench_results/BENCH_native_quick.json
+            grep -q '"host_threads"' bench_results/BENCH_native_quick.json
             return 0
         fi
         echo "perf gate: regression reported (attempt $attempt/3); retrying to rule out host noise"
@@ -214,6 +230,19 @@ perf() {
     return 1
 }
 
+simd() {
+    # The explicit-SIMD lane: the `simd` cargo feature swaps the chunked
+    # auto-vectorizable inner kernels for core::arch intrinsics, and the
+    # whole point of the design is that the swap is invisible — every
+    # engine test and the vector-vs-scalar bit-identity property suite
+    # must pass unchanged with the feature on.
+    echo "== simd lane (build + engine tests, --features simd) =="
+    cargo build --release --features simd
+    run_tests cargo test -q -p irred --features simd
+    echo "== simd lane (bit-identity property suite) =="
+    run_tests cargo test -q --features simd --test tuning_equivalence
+}
+
 case "${1:-all}" in
     tier1) tier1 ;;
     faults) faults ;;
@@ -221,16 +250,18 @@ case "${1:-all}" in
     workloads) workloads ;;
     server) server ;;
     compiler) compiler ;;
+    simd) simd ;;
     all)
         tier1
         faults
         workloads
         server
         compiler
+        simd
         perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults|perf|workloads|server|compiler]" >&2
+        echo "usage: $0 [tier1|faults|perf|workloads|server|compiler|simd]" >&2
         exit 2
         ;;
 esac

@@ -3,14 +3,22 @@
 //! Runs a fixed stable of workloads on the *native* (host-thread)
 //! backend at 8 nodes, times prepare once and `execute` over several
 //! repetitions, and emits machine-readable `bench_results/BENCH_native.json`
-//! (per-workload median/MAD wall-clock + speedup vs a timed sequential
-//! reference, git SHA, config) so the perf trajectory is tracked
+//! (schema 2: per-workload median/MAD wall-clock + speedup vs a timed
+//! sequential reference, a host-core scaling curve per workload, the
+//! `Tuning` label, git SHA, config) so the perf trajectory is tracked
 //! PR-over-PR.
+//!
+//! Every workload is swept over host core counts (1, powers of two,
+//! `available_parallelism`) by re-preparing with
+//! `Tuning::auto().host_threads(tc)`; the headline stats are the
+//! max-thread point and the full curve lands in `core_curve`. On a
+//! single-core host the sweep degenerates to one point.
 //!
 //! Modes:
 //!   bench_native                  full run, writes BENCH_native.json
 //!   REPRO_QUICK=1 bench_native    quick subset (fewer sweeps/reps)
 //!   bench_native --check <base>   also compare against a baseline JSON
+//!                                 (headline medians AND curve points)
 //!                                 and exit 1 on >20 % median regression
 //!
 //! `ci.sh perf` runs the quick mode against the checked-in baseline.
@@ -18,11 +26,11 @@
 use std::time::{Duration, Instant};
 
 use earth_model::native::NativeConfig;
-use irred::{GatherEngine, PhasedEngine, ReductionEngine, SeqEngine, Workspace};
+use irred::{GatherEngine, PhasedEngine, ReductionEngine, SeqEngine, Tuning, Workspace};
 use kernels::{EulerProblem, MolDynProblem, MvmProblem};
 use repro_bench::{
-    dump_trace, quick, trace_requested, ExecutionConfig, NativeBenchResult, NativeReport,
-    SimConfig, StrategyConfig,
+    core_sweep_counts, dump_trace, quick, trace_requested, CorePoint, ExecutionConfig,
+    NativeBenchResult, NativeReport, SimConfig, StrategyConfig,
 };
 use workloads::{CgClass, Distribution, MeshPreset, MolDynPreset};
 
@@ -68,6 +76,47 @@ fn time_engine<Spec, E: ReductionEngine<Spec>>(
     (samples, prepare)
 }
 
+fn median_secs(samples: &[Duration]) -> f64 {
+    let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    let n = secs.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        secs[n / 2]
+    } else {
+        0.5 * (secs[n / 2 - 1] + secs[n / 2])
+    }
+}
+
+/// Sweep one workload over the host core counts: re-prepare + time with
+/// each thread cap, collect the curve, and return the max-thread point's
+/// raw samples for the headline stats.
+fn sweep_cores<Spec, E, F>(
+    spec: &Spec,
+    strat: &StrategyConfig,
+    reps: usize,
+    make: F,
+) -> (Vec<Duration>, Duration, Vec<CorePoint>)
+where
+    E: ReductionEngine<Spec>,
+    F: Fn(usize) -> E,
+{
+    let mut curve = Vec::new();
+    let mut headline = None;
+    for tc in core_sweep_counts() {
+        let engine = make(tc);
+        let (samples, prepare) = time_engine(&engine, spec, strat, reps);
+        curve.push(CorePoint {
+            host_threads: tc,
+            median_s: median_secs(&samples),
+        });
+        headline = Some((samples, prepare));
+    }
+    let (samples, prepare) = headline.expect("core_sweep_counts is never empty");
+    (samples, prepare, curve)
+}
+
 /// Wall time of one sequential reference run (same sweeps).
 fn time_seq<Spec, E: ReductionEngine<Spec>>(
     engine: &E,
@@ -91,11 +140,16 @@ fn main() {
     let native = NativeConfig::default();
     let sweeps = sweeps();
     let reps = reps();
+    let tuning = Tuning::auto();
     let mut report = NativeReport::new(PROCS, sweeps, reps, quick());
+    report.set_tuning(tuning.label());
 
-    // --- phased workloads: moldyn 2K / 10K, euler 2K ---------------------
+    let phased_cfg =
+        move |tc: usize| ExecutionConfig::native(native).with_tuning(tuning.host_threads(tc));
+
+    // --- the workload stable: moldyn 2K / 10K, euler 2K, mvm-W -----------
     type Bench = Box<dyn Fn() -> NativeBenchResult>;
-    let phased: Vec<(&str, Bench)> = vec![
+    let stable: Vec<(&str, Bench)> = vec![
         (
             "moldyn-10K",
             Box::new(move || {
@@ -103,9 +157,12 @@ fn main() {
                 let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
                 let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
                 let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
-                let (samples, prepare) =
-                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                let (samples, prepare, curve) = sweep_cores(&problem.spec, &strat, reps, |tc| {
+                    PhasedEngine::new(phased_cfg(tc))
+                });
                 NativeBenchResult::new("moldyn-10K", "2c", samples, prepare, seq_s)
+                    .with_tuning(tuning.label())
+                    .with_core_curve(curve)
             }),
         ),
         (
@@ -115,9 +172,12 @@ fn main() {
                 let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
                 let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
                 let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
-                let (samples, prepare) =
-                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                let (samples, prepare, curve) = sweep_cores(&problem.spec, &strat, reps, |tc| {
+                    PhasedEngine::new(phased_cfg(tc))
+                });
                 NativeBenchResult::new("moldyn-2K", "2c", samples, prepare, seq_s)
+                    .with_tuning(tuning.label())
+                    .with_core_curve(curve)
             }),
         ),
         (
@@ -127,9 +187,12 @@ fn main() {
                 let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
                 let seq_strat = StrategyConfig::new(1, 1, Distribution::Block, sweeps);
                 let seq_s = time_seq(&SeqEngine::new(cfg), &problem.spec, &seq_strat);
-                let (samples, prepare) =
-                    time_engine(&PhasedEngine::native(native), &problem.spec, &strat, reps);
+                let (samples, prepare, curve) = sweep_cores(&problem.spec, &strat, reps, |tc| {
+                    PhasedEngine::new(phased_cfg(tc))
+                });
                 NativeBenchResult::new("euler-2K", "2c", samples, prepare, seq_s)
+                    .with_tuning(tuning.label())
+                    .with_core_curve(curve)
             }),
         ),
         (
@@ -142,14 +205,17 @@ fn main() {
                 let (y, _) = problem.sequential(mvm_sweeps, cfg);
                 std::hint::black_box(y.len());
                 let seq_s = t.elapsed().as_secs_f64();
-                let (samples, prepare) =
-                    time_engine(&GatherEngine::native(native), &problem.spec, &strat, reps);
+                let (samples, prepare, curve) = sweep_cores(&problem.spec, &strat, reps, |tc| {
+                    GatherEngine::new(phased_cfg(tc))
+                });
                 NativeBenchResult::new("mvm-W", "2c", samples, prepare, seq_s)
+                    .with_tuning(tuning.label())
+                    .with_core_curve(curve)
             }),
         ),
     ];
 
-    for (name, run) in phased {
+    for (name, run) in stable {
         eprintln!("bench_native: running {name} ({sweeps} sweeps x {reps} reps)...");
         let r = run();
         println!("{}", r.render());
@@ -162,9 +228,10 @@ fn main() {
         // inspectable; writes bench_results/bench_native_trace.json.
         let problem = MolDynProblem::preset(MolDynPreset::MolDyn10K);
         let strat = StrategyConfig::new(PROCS, K, Distribution::Cyclic, sweeps);
-        let traced = PhasedEngine::new(ExecutionConfig::native(native).traced())
-            .run(&problem.spec, &strat)
-            .expect("traced native run");
+        let traced =
+            PhasedEngine::new(ExecutionConfig::native(native).with_tuning(tuning).traced())
+                .run(&problem.spec, &strat)
+                .expect("traced native run");
         dump_trace("bench_native", &traced).expect("write trace");
     }
 

@@ -118,7 +118,7 @@ fn measure(family: FamilySpec, fam: &'static str, param: String) -> Point {
         phased_prep_cycles: phased_prep,
         ie_cycles: ie.time_cycles,
         ie_prep_cycles: ie_prep,
-        auto: strat.auto_select(&stats),
+        auto: strat.auto_select(&stats).engine,
         empirical: EngineChoice::RotatingPortions,
     };
     let empirical = if point.ie_total() < point.phased_total() {

@@ -202,12 +202,50 @@ impl Report {
     }
 }
 
+/// One point of a workload's host-core scaling curve: the median
+/// execute wall-clock when the native runtime is restricted to
+/// `host_threads` OS threads.
+#[derive(Debug, Clone)]
+pub struct CorePoint {
+    pub host_threads: usize,
+    pub median_s: f64,
+}
+
+/// The number of host cores the native backend can use. Captured once
+/// per process (the old code re-queried it at JSON-serialization time,
+/// which is how `host_cores: 1` could disagree with what the timed runs
+/// actually used).
+pub fn detect_host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The host-thread counts a scaling sweep visits: powers of two up to
+/// the detected core count, always including 1 and the core count
+/// itself. On a single-core host this degenerates to `[1]` — the curve
+/// then has one point and the monotonicity gate is trivially satisfied.
+pub fn core_sweep_counts() -> Vec<usize> {
+    let max = detect_host_cores();
+    let mut counts = vec![1];
+    let mut c = 2;
+    while c < max {
+        counts.push(c);
+        c *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
 /// One workload's native-backend timing: wall-clock samples reduced to
-/// median/MAD, plus the prepare cost and a timed sequential reference.
+/// median/MAD, plus the prepare cost, a timed sequential reference, the
+/// [`irred::Tuning`] label the run used, and (when the bench swept host
+/// cores) the per-core-count scaling curve.
 #[derive(Debug, Clone)]
 pub struct NativeBenchResult {
     pub name: String,
     pub strategy: String,
+    pub tuning: String,
     pub reps: usize,
     pub median_s: f64,
     pub mad_s: f64,
@@ -215,6 +253,7 @@ pub struct NativeBenchResult {
     pub max_s: f64,
     pub prepare_s: f64,
     pub seq_s: f64,
+    pub core_curve: Vec<CorePoint>,
 }
 
 impl NativeBenchResult {
@@ -243,6 +282,7 @@ impl NativeBenchResult {
         NativeBenchResult {
             name: name.to_string(),
             strategy: strategy.to_string(),
+            tuning: String::new(),
             reps: secs.len(),
             median_s: med,
             mad_s: median(&devs),
@@ -250,7 +290,21 @@ impl NativeBenchResult {
             max_s: secs.last().copied().unwrap_or(0.0),
             prepare_s: prepare.as_secs_f64(),
             seq_s,
+            core_curve: Vec::new(),
         }
+    }
+
+    /// Record the [`irred::Tuning`] label the measured runs used.
+    pub fn with_tuning(mut self, label: String) -> Self {
+        self.tuning = label;
+        self
+    }
+
+    /// Attach a host-core scaling curve (one point per swept thread
+    /// count, ascending).
+    pub fn with_core_curve(mut self, curve: Vec<CorePoint>) -> Self {
+        self.core_curve = curve;
+        self
     }
 
     pub fn speedup_vs_seq(&self) -> f64 {
@@ -284,6 +338,10 @@ pub struct NativeReport {
     sweeps: usize,
     reps: usize,
     quick: bool,
+    /// Captured at construction time — see [`detect_host_cores`].
+    host_cores: usize,
+    /// The default [`irred::Tuning`] label of the report's runs.
+    tuning: String,
     results: Vec<NativeBenchResult>,
 }
 
@@ -304,41 +362,54 @@ impl NativeReport {
             sweeps,
             reps,
             quick,
+            host_cores: detect_host_cores(),
+            tuning: String::new(),
             results: Vec::new(),
         }
+    }
+
+    /// Record the default [`irred::Tuning`] label for the report header.
+    pub fn set_tuning(&mut self, label: String) {
+        self.tuning = label;
     }
 
     pub fn push(&mut self, r: NativeBenchResult) {
         self.results.push(r);
     }
 
-    /// Serialize to the `BENCH_native.json` schema (hand-rolled, no serde).
+    /// Serialize to the `BENCH_native.json` schema, version 2
+    /// (hand-rolled, no serde). v2 adds the `tuning` labels and the
+    /// per-workload `core_curve` arrays; `host_cores` is the value
+    /// captured when the report was created, not at serialization time.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         writeln!(out, "{{").unwrap();
-        writeln!(out, "  \"schema\": 1,").unwrap();
+        writeln!(out, "  \"schema\": 2,").unwrap();
         writeln!(out, "  \"tool\": \"bench_native\",").unwrap();
         writeln!(out, "  \"git_sha\": \"{}\",", git_sha()).unwrap();
         writeln!(out, "  \"quick\": {},", self.quick).unwrap();
         writeln!(
             out,
-            "  \"config\": {{ \"procs\": {}, \"sweeps\": {}, \"reps\": {}, \"host_cores\": {} }},",
-            self.procs,
-            self.sweeps,
-            self.reps,
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            "  \"config\": {{ \"procs\": {}, \"sweeps\": {}, \"reps\": {}, \
+             \"host_cores\": {}, \"tuning\": \"{}\" }},",
+            self.procs, self.sweeps, self.reps, self.host_cores, self.tuning
         )
         .unwrap();
         writeln!(out, "  \"workloads\": [").unwrap();
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
+            // The workload record stays one-object-per-line (the
+            // baseline parser is a line scanner); curve points follow
+            // on their own lines, associated with the last-seen name.
             writeln!(
                 out,
-                "    {{ \"name\": \"{}\", \"strategy\": \"{}\", \"reps\": {}, \
+                "    {{ \"name\": \"{}\", \"strategy\": \"{}\", \"tuning\": \"{}\", \
+                 \"reps\": {}, \
                  \"median_s\": {:.6}, \"mad_s\": {:.6}, \"min_s\": {:.6}, \"max_s\": {:.6}, \
-                 \"prepare_s\": {:.6}, \"seq_s\": {:.6}, \"speedup_vs_seq\": {:.4} }}{}",
+                 \"prepare_s\": {:.6}, \"seq_s\": {:.6}, \"speedup_vs_seq\": {:.4},",
                 r.name,
                 r.strategy,
+                r.tuning,
                 r.reps,
                 r.median_s,
                 r.mad_s,
@@ -347,9 +418,19 @@ impl NativeReport {
                 r.prepare_s,
                 r.seq_s,
                 r.speedup_vs_seq(),
-                comma
             )
             .unwrap();
+            writeln!(out, "      \"core_curve\": [").unwrap();
+            for (j, pt) in r.core_curve.iter().enumerate() {
+                let pc = if j + 1 < r.core_curve.len() { "," } else { "" };
+                writeln!(
+                    out,
+                    "        {{ \"host_threads\": {}, \"median_s\": {:.6} }}{}",
+                    pt.host_threads, pt.median_s, pc
+                )
+                .unwrap();
+            }
+            writeln!(out, "      ] }}{comma}").unwrap();
         }
         writeln!(out, "  ]").unwrap();
         writeln!(out, "}}").unwrap();
@@ -367,10 +448,13 @@ impl NativeReport {
 
     /// Compare against a baseline `BENCH_native.json`: every workload
     /// present in BOTH reports must have `median_s` no worse than
-    /// `(1 + tolerance) x` the baseline median. Returns per-workload
-    /// comparison lines on success, or a description of the first
-    /// regression on failure. Workloads only in one report are noted
-    /// but never fail the check (so the stable can evolve).
+    /// `(1 + tolerance) x` the baseline median, and every scaling-curve
+    /// point present in both (same workload, same `host_threads`) must
+    /// satisfy the same bound — a regression that only shows at some
+    /// core counts still fails. Returns per-workload comparison lines
+    /// on success, or a description of the first regression on failure.
+    /// Workloads / curve points only in one report are noted but never
+    /// fail the check (so the stable and the host can evolve).
     pub fn check_against(
         &self,
         baseline_path: &str,
@@ -382,6 +466,7 @@ impl NativeReport {
         if base.is_empty() {
             return Err(format!("no workloads parsed from baseline {baseline_path}"));
         }
+        let base_curves = parse_native_curves(&text);
         let mut lines = Vec::new();
         let mut worst: Option<(String, f64, f64)> = None;
         for r in &self.results {
@@ -406,14 +491,43 @@ impl NativeReport {
                 }
                 None => lines.push(format!("  {:<12} (not in baseline; skipped)", r.name)),
             }
+            // The per-core-count curve gate (schema-1 baselines simply
+            // have no curves, so this loop is empty against them).
+            let base_curve = base_curves
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|(_, c)| c.as_slice())
+                .unwrap_or(&[]);
+            for pt in &r.core_curve {
+                let Some((_, base_med)) = base_curve.iter().find(|(ht, _)| *ht == pt.host_threads)
+                else {
+                    continue;
+                };
+                let ratio = if *base_med > 0.0 {
+                    pt.median_s / base_med
+                } else {
+                    1.0
+                };
+                lines.push(format!(
+                    "  {:<12} @{}t {:.2} ms vs baseline {:.2} ms ({:+.1} %)",
+                    r.name,
+                    pt.host_threads,
+                    pt.median_s * 1e3,
+                    base_med * 1e3,
+                    (ratio - 1.0) * 100.0
+                ));
+                if ratio > 1.0 + tolerance && worst.as_ref().is_none_or(|(_, _, w)| ratio > *w) {
+                    worst = Some((
+                        format!("{} @{} host threads", r.name, pt.host_threads),
+                        *base_med,
+                        ratio,
+                    ));
+                }
+            }
         }
         if let Some((name, base_med, ratio)) = worst {
             return Err(format!(
-                "{name}: median {:.2} ms is {:.0} % over baseline {:.2} ms (tolerance {:.0} %)",
-                self.results
-                    .iter()
-                    .find(|r| r.name == name)
-                    .map_or(0.0, |r| r.median_s * 1e3),
+                "{name}: median is {:.0} % over baseline {:.2} ms (tolerance {:.0} %)",
                 (ratio - 1.0) * 100.0,
                 base_med * 1e3,
                 tolerance * 100.0
@@ -444,6 +558,43 @@ pub fn parse_native_medians(json: &str) -> Vec<(String, f64)> {
             .unwrap_or(mrest.len());
         if let Ok(v) = mrest[..mend].parse::<f64>() {
             out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Extract per-workload scaling curves `(name, [(host_threads,
+/// median_s)])` from a schema-2 `BENCH_native.json`. Same targeted line
+/// scan as [`parse_native_medians`]: a line carrying `"name"` opens a
+/// workload record; subsequent `"host_threads"` lines (which carry no
+/// name) are that workload's curve points. Schema-1 files simply yield
+/// workloads with empty curves.
+pub fn parse_native_curves(json: &str) -> Vec<(String, Vec<(usize, f64)>)> {
+    fn num_after(line: &str, key: &str) -> Option<f64> {
+        let pos = line.find(key)?;
+        let rest = &line[pos + key.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse::<f64>().ok()
+    }
+    let mut out: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+    for line in json.lines() {
+        if let Some(npos) = line.find("\"name\": \"") {
+            let rest = &line[npos + 9..];
+            if let Some(nend) = rest.find('"') {
+                out.push((rest[..nend].to_string(), Vec::new()));
+            }
+            continue;
+        }
+        let (Some(ht), Some(med)) = (
+            num_after(line, "\"host_threads\": "),
+            num_after(line, "\"median_s\": "),
+        ) else {
+            continue;
+        };
+        if let Some((_, curve)) = out.last_mut() {
+            curve.push((ht as usize, med));
         }
     }
     out

@@ -16,6 +16,7 @@ use earth_model::sim::SimConfig;
 use earth_model::{FaultConfig, NullSink, RingSink, TraceSink};
 
 use crate::engine::RecoveryPolicy;
+use crate::tuning::Tuning;
 
 /// Which EARTH backend an [`ExecutionConfig`] drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,9 @@ pub struct ExecutionConfig {
     pub recovery: Option<RecoveryPolicy>,
     /// Trace-sink selection (see [`TraceConfig`]).
     pub trace: TraceConfig,
+    /// Performance knobs that do not change what is computed: loop
+    /// layout, SIMD mode, tiling, host thread cap (see [`Tuning`]).
+    pub tuning: Tuning,
 }
 
 impl Default for ExecutionConfig {
@@ -109,6 +113,7 @@ impl ExecutionConfig {
             native: NativeConfig::default(),
             recovery: None,
             trace: TraceConfig::Off,
+            tuning: Tuning::default(),
         }
     }
 
@@ -120,7 +125,20 @@ impl ExecutionConfig {
             native: cfg,
             recovery: None,
             trace: TraceConfig::Off,
+            tuning: Tuning::default(),
         }
+    }
+
+    /// Apply a [`Tuning`] bundle. This is the one place every
+    /// performance knob enters an engine: the bundle is stored whole,
+    /// and its `host_threads` cap is mirrored into the native backend
+    /// config (which is where the thread pool reads it).
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        if tuning.host_threads.is_some() {
+            self.native.host_threads = tuning.host_threads;
+        }
+        self
     }
 
     /// Inject this deterministic fault plan on whichever backend runs.
@@ -210,6 +228,24 @@ mod tests {
         assert_eq!(s.backend, BackendKind::Sim);
         let n: ExecutionConfig = NativeConfig::default().into();
         assert_eq!(n.backend, BackendKind::Native);
+    }
+
+    #[test]
+    fn with_tuning_mirrors_host_threads_into_native() {
+        use crate::tuning::{SimdMode, TileChoice};
+        let cfg = ExecutionConfig::native(NativeConfig::default())
+            .with_tuning(Tuning::auto().host_threads(3));
+        assert_eq!(cfg.native.host_threads, Some(3));
+        assert_eq!(cfg.tuning.tile, TileChoice::Auto);
+        // Without a cap, an existing native setting is left alone.
+        let native = NativeConfig {
+            host_threads: Some(2),
+            ..Default::default()
+        };
+        let cfg =
+            ExecutionConfig::native(native).with_tuning(Tuning::new().simd(SimdMode::Chunked));
+        assert_eq!(cfg.native.host_threads, Some(2));
+        assert_eq!(cfg.tuning.simd, SimdMode::Chunked);
     }
 
     #[test]

@@ -68,6 +68,34 @@ pub trait EdgeKernel: Send + Sync + 'static {
     ///   reference `r`. All slots are pre-zeroed.
     fn contrib(&self, read: &[f64], iter: usize, elems: &[u32], out: &mut [f64]);
 
+    /// Compute the contributions of a *chunk* of iterations into a
+    /// caller-provided buffer: iteration `giters[j]` (with elements
+    /// `elems[j*m..(j+1)*m]`) writes the
+    /// `num_refs() * num_arrays()`-wide slot group
+    /// `out[j*w..(j+1)*w]`. This is the hook of the chunked
+    /// ([`SimdMode::Chunked`](crate::SimdMode)) flat loops: the default
+    /// calls [`Self::contrib`] per iteration, and kernels may override
+    /// it with a branchless batch body the compiler can auto-vectorize.
+    ///
+    /// **Contract:** an override must produce, slot for slot, the
+    /// bit-identical values of `num_refs()*num_arrays()` pre-zeroed
+    /// per-iteration `contrib` calls — the vector paths' bit-identity
+    /// to the scalar reference rests on it (property-tested in
+    /// `tests/tuning_equivalence.rs`). `out` arrives zeroed; overrides
+    /// that assign every slot may rely on nothing else.
+    fn contrib_batch(&self, read: &[f64], giters: &[u32], elems: &[u32], out: &mut [f64]) {
+        let m = self.num_refs();
+        let w = m * self.num_arrays();
+        for (j, &gi) in giters.iter().enumerate() {
+            self.contrib(
+                read,
+                gi as usize,
+                &elems[j * m..(j + 1) * m],
+                &mut out[j * w..(j + 1) * w],
+            );
+        }
+    }
+
     /// Arithmetic cost of one `contrib` call, in floating-point ops.
     fn flops_per_iter(&self) -> u64 {
         10
@@ -116,6 +144,18 @@ impl EdgeKernel for WeightedPairKernel {
         out[1] = 2.0 * w;
     }
 
+    // Branchless batch body (same arithmetic per slot as `contrib`, so
+    // bit-identical): the gather + two stores per iteration
+    // auto-vectorize once the bounds checks hoist.
+    fn contrib_batch(&self, _read: &[f64], giters: &[u32], _elems: &[u32], out: &mut [f64]) {
+        let weights = &self.weights[..];
+        for (j, &gi) in giters.iter().enumerate() {
+            let w = weights[gi as usize];
+            out[j * 2] = w;
+            out[j * 2 + 1] = 2.0 * w;
+        }
+    }
+
     fn flops_per_iter(&self) -> u64 {
         2
     }
@@ -146,6 +186,23 @@ mod tests {
         let mut out = [0.0; 2];
         k.contrib(&[], 0, &[5, 9], &mut out);
         assert_eq!(out, [3.0, 6.0]);
+    }
+
+    #[test]
+    fn contrib_batch_override_is_bit_identical_to_contrib() {
+        let k = WeightedPairKernel {
+            weights: Arc::new((0..16).map(|i| 0.1 * i as f64).collect()),
+        };
+        let giters: Vec<u32> = vec![3, 0, 15, 7, 7, 2];
+        let elems: Vec<u32> = (0..giters.len() as u32 * 2).collect();
+        let mut batch = vec![0.0; giters.len() * 2];
+        k.contrib_batch(&[], &giters, &elems, &mut batch);
+        for (j, &gi) in giters.iter().enumerate() {
+            let mut one = [0.0; 2];
+            k.contrib(&[], gi as usize, &elems[j * 2..(j + 1) * 2], &mut one);
+            assert_eq!(one[0].to_bits(), batch[j * 2].to_bits());
+            assert_eq!(one[1].to_bits(), batch[j * 2 + 1].to_bits());
+        }
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub mod phased;
 pub mod prepared;
 pub mod seq;
 pub mod strategy;
+pub mod tuning;
+pub(crate) mod vector;
 
 pub use config::{BackendKind, ExecutionConfig, TraceConfig};
 pub use engine::{
@@ -77,7 +79,8 @@ pub use lightinspector::{portion_stats, PlanStats};
 pub use phased::{PhasedEngine, PhasedError, PhasedSpec, PreparedPhased};
 pub use prepared::{PlanToken, Workspace};
 pub use seq::{seq_gather_cycles, seq_reduction, PreparedSeq, SeqEngine, SeqResult};
-pub use strategy::{EngineChoice, LoopLayout, StrategyConfig, StrategyError};
+pub use strategy::{AutoTuning, EngineChoice, LoopLayout, StrategyConfig, StrategyError};
+pub use tuning::{SimdMode, TileChoice, Tuning};
 pub use workloads::{distribute, Distribution};
 
 /// Compare two reduction results element-wise with a tolerance that

@@ -55,6 +55,8 @@ use crate::kernel::EdgeKernel;
 use crate::prepared::{PhaseCosts, PlanToken, Workspace};
 use crate::seq::seq_reduction;
 use crate::strategy::{LoopLayout, StrategyConfig};
+use crate::tuning::{SimdMode, TileChoice, Tuning};
+use crate::vector;
 
 // Compatibility names: the error and recovery types moved to the shared
 // engine layer (crate::engine); these aliases keep old paths working.
@@ -187,6 +189,65 @@ struct NodePlanData {
     regions: Regions,
 }
 
+/// Stable phase-local tiling: reorder each phase's iterations so that
+/// scatters landing in the same `span`-element block of the local
+/// reduction index space happen together (and likewise cluster the
+/// copy-folds by destination block). The sort key is the *first*
+/// reference's target block — the reference-group layout makes that the
+/// line the iteration is guaranteed to touch — and the sort is stable,
+/// so within one tile block iterations keep their original relative
+/// order (the property `PreparedPhased::phase_order` exposes and
+/// `tests/tuning_equivalence.rs` proves).
+///
+/// Tiling reorders *within a phase only*: phase membership, portion
+/// ownership, and the communication schedule are untouched, so
+/// `verify_plan` invariants are preserved by construction. It does
+/// reassociate each element's partial sums across tiles — exact on
+/// whole-number weights, ULP-bounded otherwise (see DESIGN.md §16).
+fn tile_plan(plan: &mut InspectorPlan, span: usize) {
+    let span = span.max(1) as u32;
+    for ph in &mut plan.phases {
+        let n = ph.iters.len();
+        if n > 1 {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            let key = &ph.refs[0];
+            order.sort_by_key(|&j| key[j as usize] / span);
+            ph.iters = order.iter().map(|&j| ph.iters[j as usize]).collect();
+            for col in &mut ph.refs {
+                let tiled: Vec<u32> = order.iter().map(|&j| col[j as usize]).collect();
+                *col = tiled;
+            }
+        }
+        ph.copies.sort_by_key(|c| c.dest / span);
+    }
+}
+
+/// Resolve the [`TileChoice`] into a concrete span for this prepare:
+/// `Auto` predicts from the backend's cache geometry (the simulator's
+/// configured model, or a conservative host L2 for native runs) and
+/// declines to tile when a whole portion already fits; an explicit
+/// `Elements` request is honoured as given.
+fn resolve_tile_span<K: EdgeKernel>(
+    tuning: &Tuning,
+    cfg: &ExecutionConfig,
+    geometry: &PhaseGeometry,
+    kernel: &K,
+) -> Option<usize> {
+    match tuning.tile {
+        TileChoice::Off => None,
+        TileChoice::Elements(s) => Some(s.max(1)),
+        TileChoice::Auto => {
+            let mem = match cfg.backend {
+                BackendKind::Sim => cfg.sim.mem,
+                BackendKind::Native => memsim::MemConfig::host_l2(),
+            };
+            let span =
+                memsim::predict_tile_elems(&mem, kernel.num_arrays(), kernel.num_read_arrays());
+            (span < geometry.portion_size()).then_some(span)
+        }
+    }
+}
+
 impl NodePlanData {
     /// Derive the frozen per-node data from an (incremental) inspector
     /// state.
@@ -196,6 +257,7 @@ impl NodePlanData {
         spec_elems: usize,
         total_iterations: usize,
         kernel: &K,
+        tile_span: Option<usize>,
     ) -> NodePlanData {
         let plan = insp.plan().clone();
         let flat = plan.flatten();
@@ -207,6 +269,7 @@ impl NodePlanData {
             spec_elems,
             total_iterations,
             kernel,
+            tile_span,
         )
     }
 
@@ -216,16 +279,28 @@ impl NodePlanData {
     /// without re-flattening. `flat` must equal `plan.flatten()`; the
     /// adoption path guarantees this because [`InspectorPlan::from_flat`]
     /// is `flatten`'s exact inverse.
+    #[allow(clippy::too_many_arguments)]
     fn from_parts<K: EdgeKernel>(
-        plan: InspectorPlan,
+        mut plan: InspectorPlan,
         flat: lightinspector::FlatPlan,
         local_ind: &[Vec<u32>],
         local_iters: &[u32],
         spec_elems: usize,
         total_iterations: usize,
         kernel: &K,
+        tile_span: Option<usize>,
     ) -> NodePlanData {
         debug_assert_eq!(flat, plan.flatten());
+        // Tiling happens here, on the frozen snapshot: the inspector's
+        // own plan stays in inspection order, so incremental updates
+        // keep working and `refresh_dirty` re-tiles rebuilt nodes.
+        let flat = match tile_span {
+            Some(span) => {
+                tile_plan(&mut plan, span);
+                plan.flatten()
+            }
+            None => flat,
+        };
         let m = kernel.num_refs();
         let kp = plan.geometry.num_phases();
         let mut giters = Vec::with_capacity(kp);
@@ -314,6 +389,10 @@ pub struct PhasedNode<K> {
     n_read: usize,
     /// Run the flattened fast-path loops (see [`StrategyConfig::layout`]).
     flat: bool,
+    /// Resolved vector mode for this execute (see [`SimdMode`]); the
+    /// flat loops dispatch to the chunked paths in [`crate::vector`]
+    /// when it is not `Scalar` and the kernel shape is supported.
+    simd: SimdMode,
     /// Scratch for kernel contributions.
     out: Vec<f64>,
     /// Recycled portion-payload buffers: boxes received from the ring
@@ -771,6 +850,9 @@ impl<K: EdgeKernel> PhasedNode<K> {
     /// float operations from the per-phase plan structures.
     fn exec_loops(&mut self, t: usize, p: usize, _meter: &mut NullMeter) {
         let d = &self.data;
+        let use_vec = self.simd != SimdMode::Scalar
+            && vector::supported(self.kernel.num_refs(), self.r_arrays);
+        let intr = self.simd == SimdMode::Intrinsics;
         if let Some(reg) = &self.region {
             let read: &[f64] = match &self.shared_read {
                 // SAFETY: called from a sweep-`t` fiber; see
@@ -778,30 +860,67 @@ impl<K: EdgeKernel> PhasedNode<K> {
                 Some(sr) => unsafe { sr.read_for(t, self.kernel.updates_read_state()) },
                 None => &self.read,
             };
-            loops_flat_region(
-                &*self.kernel,
-                read,
-                reg,
-                &mut self.x,
-                self.r_arrays,
-                &d.giters[p],
-                &d.elems[p],
-                d.flat.phase_refs(p),
-                d.flat.phase_copies(p),
-                &mut self.out,
-            );
+            if use_vec {
+                // SAFETY: identical region-ownership argument as the
+                // scalar path below (`loops_flat_region_r`): every
+                // dereferenced region offset lies inside the portion
+                // this phase owns, and `x` is the node's private
+                // buffer extension.
+                unsafe {
+                    vector::loops_flat_region_vec(
+                        &*self.kernel,
+                        read,
+                        reg.ptr(),
+                        reg.len(),
+                        &mut self.x,
+                        self.r_arrays,
+                        &d.giters[p],
+                        &d.elems[p],
+                        d.flat.phase_refs(p),
+                        d.flat.phase_copies(p),
+                        intr,
+                    );
+                }
+            } else {
+                loops_flat_region(
+                    &*self.kernel,
+                    read,
+                    reg,
+                    &mut self.x,
+                    self.r_arrays,
+                    &d.giters[p],
+                    &d.elems[p],
+                    d.flat.phase_refs(p),
+                    d.flat.phase_copies(p),
+                    &mut self.out,
+                );
+            }
         } else if self.flat {
-            loops_flat(
-                &*self.kernel,
-                &self.read,
-                &mut self.x,
-                self.r_arrays,
-                &d.giters[p],
-                &d.elems[p],
-                d.flat.phase_refs(p),
-                d.flat.phase_copies(p),
-                &mut self.out,
-            );
+            if use_vec {
+                vector::loops_flat_vec(
+                    &*self.kernel,
+                    &self.read,
+                    &mut self.x,
+                    self.r_arrays,
+                    &d.giters[p],
+                    &d.elems[p],
+                    d.flat.phase_refs(p),
+                    d.flat.phase_copies(p),
+                    intr,
+                );
+            } else {
+                loops_flat(
+                    &*self.kernel,
+                    &self.read,
+                    &mut self.x,
+                    self.r_arrays,
+                    &d.giters[p],
+                    &d.elems[p],
+                    d.flat.phase_refs(p),
+                    d.flat.phase_copies(p),
+                    &mut self.out,
+                );
+            }
         } else {
             loops(
                 &*self.kernel,
@@ -1071,14 +1190,14 @@ fn loops_flat_region<K: EdgeKernel>(
 /// Distance (in iterations) the flat loops prefetch ahead of the
 /// current iteration. Far enough to cover an L2 miss at ~2 refs per
 /// iteration, near enough that the lines are still resident when used.
-const PREFETCH_AHEAD: usize = 8;
+pub(crate) const PREFETCH_AHEAD: usize = 8;
 
 /// Best-effort prefetch of the cache line holding `ptr`. A pure
 /// latency hint — no architectural effect, so float results are
 /// untouched. `wrapping_add`-derived pointers are fine: the hint never
 /// faults and we never dereference them here.
 #[inline(always)]
-fn prefetch(ptr: *const f64) {
+pub(crate) fn prefetch(ptr: *const f64) {
     #[cfg(target_arch = "x86_64")]
     // SAFETY: `_mm_prefetch` is a hint; it cannot fault or write.
     unsafe {
@@ -1435,6 +1554,18 @@ pub struct PreparedPhased<K> {
     kernel: Arc<K>,
     num_elements: usize,
     strat: StrategyConfig,
+    /// Tuning captured at prepare time (layout/tile shaped the plan;
+    /// simd/host_threads are the defaults for entry points that bypass
+    /// the engine's [`ExecutionConfig`], e.g.
+    /// [`Self::execute_recovering_with`]).
+    tuning: Tuning,
+    /// Resolved phase-local tile span in elements (`None` = untiled);
+    /// see [`TileChoice`] and [`tile_plan`].
+    tile_span: Option<usize>,
+    /// Whether the flat fast path is active (both the legacy
+    /// [`StrategyConfig::layout`] and [`Tuning::layout`] request Flat —
+    /// nested wins if either side asks for the diagnostic layout).
+    layout_flat: bool,
     /// Current global indirection arrays (kept in sync with the per-node
     /// inspectors by [`Self::apply_updates`]).
     indirection: Vec<Vec<u32>>,
@@ -1493,6 +1624,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
         let m = spec.kernel.num_refs();
         let total_iterations = spec.num_iterations();
+        let tile_span = resolve_tile_span(&cfg.tuning, cfg, &geometry, &*spec.kernel);
         let owned = distribute(total_iterations, strat.procs, strat.distribution);
 
         let mut iter_loc = vec![(0u32, 0u32); total_iterations];
@@ -1540,6 +1672,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 spec.num_elements,
                 total_iterations,
                 &*spec.kernel,
+                tile_span,
             );
             Ok((insp, data, events))
         };
@@ -1587,6 +1720,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             inspectors,
             node_data,
             inspector_events,
+            tile_span,
         )
     }
 
@@ -1608,6 +1742,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         let geometry = PhaseGeometry::try_new(strat.procs, strat.k, spec.num_elements)?;
         let m = spec.kernel.num_refs();
         let total_iterations = spec.num_iterations();
+        let tile_span = resolve_tile_span(&cfg.tuning, cfg, &geometry, &*spec.kernel);
         if flats.len() != strat.procs {
             return Err(EngineError::Shape {
                 what: "flat inspections (strat.procs)",
@@ -1674,6 +1809,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 spec.num_elements,
                 total_iterations,
                 &*spec.kernel,
+                tile_span,
             );
             inspectors.push(insp);
             node_data.push(Arc::new(data));
@@ -1688,6 +1824,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             inspectors,
             node_data,
             Vec::new(),
+            tile_span,
         )
     }
 
@@ -1703,6 +1840,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         inspectors: Vec<IncrementalInspector>,
         node_data: Vec<Arc<NodePlanData>>,
         inspector_events: Vec<TraceEvent>,
+        tile_span: Option<usize>,
     ) -> Result<Self, EngineError> {
         let n_read = spec.kernel.num_read_arrays();
         let read_init = spec.kernel.init_read();
@@ -1731,10 +1869,22 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             ),
         };
 
+        // The plan-shaping Tuning knobs participate in the cache
+        // identity: a tiled plan is not interchangeable with an untiled
+        // one. Execute-time knobs (simd, host_threads) deliberately do
+        // not — see [`Tuning::plan_fingerprint`].
+        let mut structure_hash = spec.structure_hash(strat);
+        fold64(&mut structure_hash, cfg.tuning.plan_fingerprint());
+        let layout_flat = matches!(strat.layout, LoopLayout::Flat)
+            && matches!(cfg.tuning.layout, LoopLayout::Flat);
+
         Ok(PreparedPhased {
             kernel: Arc::clone(&spec.kernel),
             num_elements: spec.num_elements,
             strat: *strat,
+            tuning: cfg.tuning,
+            tile_span,
+            layout_flat,
             indirection: spec.indirection.as_ref().clone(),
             iter_loc,
             inspectors,
@@ -1748,7 +1898,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             inspector_events,
             template,
             token: PlanToken::fresh(),
-            structure_hash: spec.structure_hash(strat),
+            structure_hash,
             executions: 0,
         })
     }
@@ -1817,6 +1967,46 @@ impl<K: EdgeKernel> PreparedPhased<K> {
     /// The strategy this run was prepared for.
     pub fn strategy(&self) -> &StrategyConfig {
         &self.strat
+    }
+
+    /// The [`Tuning`] this run was prepared under.
+    pub fn tuning(&self) -> Tuning {
+        self.tuning
+    }
+
+    /// The resolved phase-local tile span in elements (`None` when the
+    /// plan is untiled — [`TileChoice::Off`], or `Auto` on a problem
+    /// whose portions already fit the cache budget).
+    pub fn tile_span(&self) -> Option<usize> {
+        self.tile_span
+    }
+
+    /// Number of processors in the prepared plan.
+    pub fn num_procs(&self) -> usize {
+        self.node_data.len()
+    }
+
+    /// Number of phases per sweep (`k·P`).
+    pub fn num_phases(&self) -> usize {
+        self.node_data.first().map_or(0, |d| d.giters.len())
+    }
+
+    /// The (possibly tiled) iteration order of phase `p` on processor
+    /// `proc`, as global iteration ids. Exposed so tests can prove the
+    /// tiling contract: within one tile block the order is a
+    /// subsequence of the untiled order (stable sort).
+    pub fn phase_order(&self, proc: usize, p: usize) -> Vec<u32> {
+        self.node_data[proc].giters[p].clone()
+    }
+
+    /// The first-reference scatter target (local element index) of each
+    /// iteration of phase `p` on processor `proc`, in the same order as
+    /// [`Self::phase_order`] — the tiling sort key.
+    pub fn phase_first_ref_targets(&self, proc: usize, p: usize) -> Vec<u32> {
+        let d = &self.node_data[proc];
+        let refs = d.flat.phase_refs(p);
+        let m = d.flat.m();
+        refs.iter().step_by(m.max(1)).copied().collect()
     }
 
     /// The current global indirection arrays (reflecting all applied
@@ -1910,19 +2100,21 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 self.num_elements,
                 total_iterations,
                 &*self.kernel,
+                self.tile_span,
             ));
             self.dirty[proc] = false;
         }
     }
 
-    /// Instantiate per-node states from pooled buffers.
-    fn make_nodes(&self, ws: &mut Workspace, sim: bool) -> Vec<PhasedNode<K>> {
+    /// Instantiate per-node states from pooled buffers. `simd` is the
+    /// already-[`vector::resolve`]d execute-time vector mode.
+    fn make_nodes(&self, ws: &mut Workspace, sim: bool, simd: SimdMode) -> Vec<PhasedNode<K>> {
         let kp = self.strat.phases_per_sweep();
         let r_arrays = self.kernel.num_arrays();
         let n_read = self.kernel.num_read_arrays();
         let m = self.kernel.num_refs();
         let n = self.num_elements;
-        let flat = matches!(self.strat.layout, crate::strategy::LoopLayout::Flat);
+        let flat = self.layout_flat;
         let cached = if sim {
             ws.costs_for(self.token).cloned()
         } else {
@@ -1975,6 +2167,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 r_arrays,
                 n_read,
                 flat,
+                simd,
                 out: vec![0.0; m * r_arrays],
                 pool: Vec::new(),
                 phase_cost,
@@ -2078,9 +2271,13 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         self.executions += 1;
         let sink = cfg.trace.make_sink(self.strat.procs);
         self.replay_inspector_events(sink.as_ref());
+        // Execute-time vector mode: the *caller's* config wins over the
+        // prepare-time tuning, so a cached plan can be re-executed
+        // scalar (the server's shed ladder relies on this).
+        let simd = vector::resolve(cfg.tuning.simd);
         match (&self.template, cfg.backend) {
             (PhasedTemplate::Sim(tmpl), BackendKind::Sim) => {
-                let nodes = self.make_nodes(ws, true);
+                let nodes = self.make_nodes(ws, true, simd);
                 let prog = tmpl.instantiate(nodes);
                 let report = run_sim_traced(prog, cfg.sim, sink);
                 assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
@@ -2102,7 +2299,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             (PhasedTemplate::Native(_), BackendKind::Native) => {
                 let base = cfg.native;
                 let mut out = match cfg.recovery {
-                    None => self.native_attempt(base, &sink, ws)?,
+                    None => self.native_attempt(base, &sink, ws, simd)?,
                     Some(policy) => run_recovery_ladder(
                         policy,
                         sink.as_ref(),
@@ -2110,7 +2307,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                         |attempt| {
                             let mut c = base;
                             c.faults = attempt_faults(base.faults, attempt);
-                            self.native_attempt(c, &sink, ws)
+                            self.native_attempt(c, &sink, ws, simd)
                         },
                         || self.seq_fallback(),
                     )?,
@@ -2139,6 +2336,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         cfg: NativeConfig,
         sink: &Arc<dyn TraceSink>,
         ws: &mut Workspace,
+        simd: SimdMode,
     ) -> Result<RunOutcome, EngineError> {
         let PhasedTemplate::Native(tmpl) = &self.template else {
             return Err(EngineError::Unsupported(
@@ -2149,7 +2347,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             starved_is_error: true,
             ..cfg
         };
-        let nodes = self.make_nodes(ws, false);
+        let nodes = self.make_nodes(ws, false, simd);
         let prog = tmpl.instantiate(nodes);
         let report = run_native_traced(prog, cfg, Arc::clone(sink))?;
         let (values, read, counts) = self.finish(report.states, ws, false);
@@ -2178,11 +2376,14 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         self.executions += 1;
         let sink = self.trace_cfg.make_sink(self.strat.procs);
         self.replay_inspector_events(sink.as_ref());
+        // No caller config here: the prepare-time tuning supplies the
+        // vector mode.
+        let simd = vector::resolve(self.tuning.simd);
         let mut out = run_recovery_ladder(
             policy,
             sink.as_ref(),
             |attempt| cfg_for_attempt(attempt).faults.map(|f| f.seed),
-            |attempt| self.native_attempt(cfg_for_attempt(attempt), &sink, ws),
+            |attempt| self.native_attempt(cfg_for_attempt(attempt), &sink, ws, simd),
             || self.seq_fallback(),
         )?;
         out.trace = sink.drain();

@@ -6,6 +6,8 @@
 use lightinspector::PlanStats;
 use workloads::Distribution;
 
+use crate::tuning::{SimdMode, TileChoice, Tuning};
+
 /// Why a strategy configuration is rejected. Every field of
 /// [`StrategyConfig`] must be at least 1: zero processors or zero phases
 /// describe no machine, and zero sweeps describe no work.
@@ -56,6 +58,11 @@ pub struct StrategyConfig {
     /// Time-step iterations (the paper uses 100 for euler/moldyn).
     pub sweeps: usize,
     /// Inner-loop layout for unmetered execution (native / sim replay).
+    ///
+    /// Superseded by [`Tuning::layout`] (set through
+    /// `ExecutionConfig::with_tuning`); kept as storage for one
+    /// deprecation window. The nested layout wins if either side
+    /// requests it.
     pub layout: LoopLayout,
 }
 
@@ -86,6 +93,10 @@ impl StrategyConfig {
     }
 
     /// Select the inner-loop layout (builder style).
+    #[deprecated(
+        since = "0.9.0",
+        note = "layout is a Tuning knob: use ExecutionConfig::with_tuning(Tuning::new().layout(..))"
+    )]
     pub fn with_layout(mut self, layout: LoopLayout) -> Self {
         self.layout = layout;
         self
@@ -140,7 +151,32 @@ impl StrategyConfig {
     /// while the rotating ring degrades toward serial execution. Shapes
     /// the IE baseline cannot run (more than 64 processors; its scatter
     /// keying limit) always select rotating portions.
-    pub fn auto_select(&self, stats: &PlanStats) -> EngineChoice {
+    ///
+    /// The returned [`AutoTuning`] pairs the engine choice with a full
+    /// [`Tuning`]: flat layout, the fastest SIMD mode this build
+    /// honours, and — for rotating portions, whose per-phase portion
+    /// working set is the locality hook — memory-model-predicted tiling
+    /// ([`TileChoice::Auto`], which switches itself off at prepare time
+    /// when a portion already fits the modeled cache). The IE executor
+    /// walks owner-partitioned data in index order and gets no tiling.
+    pub fn auto_select(&self, stats: &PlanStats) -> AutoTuning {
+        let engine = self.select_engine(stats);
+        let tile = match engine {
+            EngineChoice::RotatingPortions => TileChoice::Auto,
+            EngineChoice::InspectorExecutor => TileChoice::Off,
+        };
+        AutoTuning {
+            engine,
+            tuning: Tuning {
+                layout: LoopLayout::Flat,
+                simd: SimdMode::preferred(),
+                tile,
+                host_threads: None,
+            },
+        }
+    }
+
+    fn select_engine(&self, stats: &PlanStats) -> EngineChoice {
         if self.procs <= 1 || self.procs > 64 {
             return EngineChoice::RotatingPortions;
         }
@@ -182,7 +218,18 @@ impl StrategyConfig {
     pub const INSPECT_REF_CYCLES: f64 = 12.0;
 }
 
-/// What [`StrategyConfig::auto_select`] picks.
+/// What [`StrategyConfig::auto_select`] returns: the engine choice plus
+/// a full [`Tuning`] recommendation derived from the same statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoTuning {
+    /// Which executor the cost model picked.
+    pub engine: EngineChoice,
+    /// The recommended tuning bundle — hand it to
+    /// `ExecutionConfig::with_tuning`.
+    pub tuning: Tuning,
+}
+
+/// Which executor [`StrategyConfig::auto_select`] picks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineChoice {
     /// The paper's phased rotating-portions strategy ([`crate::PhasedEngine`]).
@@ -266,7 +313,12 @@ mod tests {
         let s = StrategyConfig::new(4, 2, Distribution::Cyclic, 1);
         // 8 balanced portions over 800 distinct elements.
         let flat = stats(vec![1_000; 8], 800);
-        assert_eq!(s.auto_select(&flat), EngineChoice::RotatingPortions);
+        let auto = s.auto_select(&flat);
+        assert_eq!(auto.engine, EngineChoice::RotatingPortions);
+        // Phased gets the locality treatment: tiled, vectorized, flat.
+        assert_eq!(auto.tuning.tile, TileChoice::Auto);
+        assert_eq!(auto.tuning.layout, LoopLayout::Flat);
+        assert_ne!(auto.tuning.simd, SimdMode::Scalar);
     }
 
     #[test]
@@ -274,7 +326,9 @@ mod tests {
         let s = StrategyConfig::new(4, 2, Distribution::Cyclic, 1);
         // Everything lands in one portion, on 4 distinct hot keys.
         let hot = stats(vec![8_000, 0, 0, 0, 0, 0, 0, 0], 4);
-        assert_eq!(s.auto_select(&hot), EngineChoice::InspectorExecutor);
+        let auto = s.auto_select(&hot);
+        assert_eq!(auto.engine, EngineChoice::InspectorExecutor);
+        assert_eq!(auto.tuning.tile, TileChoice::Off);
     }
 
     #[test]
@@ -283,9 +337,12 @@ mod tests {
         // that the choice must stay phased even for scorching skew.
         let s = StrategyConfig::new(65, 1, Distribution::Block, 1);
         let hot = stats(vec![8_000, 0, 0, 0], 4);
-        assert_eq!(s.auto_select(&hot), EngineChoice::RotatingPortions);
+        assert_eq!(s.auto_select(&hot).engine, EngineChoice::RotatingPortions);
         let single = StrategyConfig::new(1, 2, Distribution::Block, 1);
-        assert_eq!(single.auto_select(&hot), EngineChoice::RotatingPortions);
+        assert_eq!(
+            single.auto_select(&hot).engine,
+            EngineChoice::RotatingPortions
+        );
     }
 
     #[test]

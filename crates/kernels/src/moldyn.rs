@@ -92,6 +92,34 @@ impl EdgeKernel for MolDynKernel {
         }
     }
 
+    // Branchless batch body for the chunked flat loops: per iteration
+    // the same float expressions in the same order as `contrib` (the
+    // `min_image` branches depend only on data, not loop position), so
+    // each slot group is bit-identical to a per-iteration call — the
+    // contract `EdgeKernel::contrib_batch` demands. Writing straight
+    // into the caller's chunk buffer lets the compiler keep the whole
+    // pair computation in registers and vectorize across iterations.
+    fn contrib_batch(&self, read: &[f64], giters: &[u32], elems: &[u32], out: &mut [f64]) {
+        for j in 0..giters.len() {
+            let (i, k) = (elems[j * 2] as usize * 3, elems[j * 2 + 1] as usize * 3);
+            let (pi, pj) = (&read[i..i + 3], &read[k..k + 3]);
+            let d = [
+                self.min_image(pj[0] - pi[0]),
+                self.min_image(pj[1] - pi[1]),
+                self.min_image(pj[2] - pi[2]),
+            ];
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + EPS;
+            let u2 = SIGMA2 / r2;
+            let u6 = u2 * u2 * u2;
+            let f = (24.0 * u6 * (2.0 * u6 - 1.0) / r2).clamp(-FMAX, FMAX);
+            let o = &mut out[j * 6..(j + 1) * 6];
+            for a in 0..3 {
+                o[a] = f * d[a];
+                o[3 + a] = -f * d[a];
+            }
+        }
+    }
+
     fn flops_per_iter(&self) -> u64 {
         40
     }
@@ -240,6 +268,34 @@ mod tests {
         let res = run_phased(&p, &strat);
         for a in 0..3 {
             assert!(approx_eq(&res.read[a], &seq.read[a], 1e-8));
+        }
+    }
+
+    #[test]
+    fn contrib_batch_override_is_bit_identical_to_contrib() {
+        let mut config = MolDyn::fcc(3, 0.75);
+        config.perturb(0.04, 13);
+        config.rebuild_interactions();
+        let p = MolDynProblem::from_config(config);
+        let kernel = &p.spec.kernel;
+        let read = kernel.init_read();
+        let n = p.spec.num_iterations().min(64);
+        let giters: Vec<u32> = (0..n as u32).collect();
+        let elems: Vec<u32> = (0..n)
+            .flat_map(|i| [p.spec.indirection[0][i], p.spec.indirection[1][i]])
+            .collect();
+        let mut batch = vec![0.0f64; n * 6];
+        kernel.contrib_batch(&read, &giters, &elems, &mut batch);
+        for j in 0..n {
+            let mut one = [0.0f64; 6];
+            kernel.contrib(&read, j, &elems[j * 2..(j + 1) * 2], &mut one);
+            for s in 0..6 {
+                assert_eq!(
+                    one[s].to_bits(),
+                    batch[j * 6 + s].to_bits(),
+                    "iter {j} slot {s}"
+                );
+            }
         }
     }
 

@@ -32,6 +32,23 @@ impl MemConfig {
         }
     }
 
+    /// A generic modern host's per-core L2 slice (256 KiB, 8-way, 64 B
+    /// lines): the geometry the native backend's tile-size prediction
+    /// targets. Deliberately conservative — undershooting a real L2
+    /// still tiles well, overshooting thrashes.
+    pub const fn host_l2() -> Self {
+        MemConfig {
+            cache: CacheConfig {
+                capacity: 256 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            hit_cycles: 1,
+            miss_cycles: 40,
+            writeback_cycles: 10,
+        }
+    }
+
     /// Tiny geometry for unit tests.
     pub const fn tiny() -> Self {
         MemConfig {

@@ -1,0 +1,96 @@
+//! Tile-size prediction for phase-local iteration tiling.
+//!
+//! The phased executor can stable-sort each phase's iterations by the
+//! cache block of their scatter target, so that all updates landing in
+//! one `span`-element block of the reduction array (and the
+//! correspondingly clustered read-array gathers) happen together while
+//! the block's lines are resident. This module answers the one question
+//! that policy needs: **how many elements should a tile span** on a
+//! given memory model?
+//!
+//! ## The model
+//!
+//! While a tile executes, the resident working set is the tile's slice
+//! of the reduction group (`write_doubles_per_elem` doubles per
+//! element, read-modify-written) plus the clustered slice of the read
+//! group (`read_doubles_per_elem` doubles per element; indirection
+//! targets correlate with read gathers in the paper's kernels, so the
+//! two slices cover about the same elements). Everything else the loop
+//! touches — the iteration ids, the `m`-interleaved refs/elems streams,
+//! per-iteration edge data, buffered contributions — is *streamed*: each
+//! line is used once and never revisited, so it needs flow-through
+//! space, not residency.
+//!
+//! We therefore budget **half** the cache capacity for the resident
+//! slices and leave the other half to the streams and to
+//! associativity-conflict slack (an LRU set under a mixed
+//! stream/resident load keeps roughly half its ways useful):
+//!
+//! ```text
+//! span = (capacity / 2) / (8 · (write_dpe + read_dpe))
+//! ```
+//!
+//! The prediction is validated against an empirical sweep on the sim's
+//! memory model in `tests/tile_prediction.rs`: the predicted span's
+//! modeled miss count must be within 1.2× of the best candidate.
+
+use crate::model::MemConfig;
+
+/// Smallest tile span worth sorting for: below this the per-tile stream
+/// fraction dominates and the sort just shuffles lines that were going
+/// to miss anyway.
+pub const MIN_TILE_ELEMS: usize = 16;
+
+/// Predict the tile span (in reduction-array elements) for phase-local
+/// iteration tiling on the memory model `cfg`.
+///
+/// * `write_doubles_per_elem` — doubles of reduction state per element
+///   (the reference-group width, e.g. 3 for a force field).
+/// * `read_doubles_per_elem` — doubles of read-array state gathered per
+///   referenced element (e.g. 3 for positions), 0 for kernels without
+///   node-level reads.
+///
+/// Callers should compare the result against their portion length and
+/// skip tiling when a whole portion already fits.
+pub fn predict_tile_elems(
+    cfg: &MemConfig,
+    write_doubles_per_elem: usize,
+    read_doubles_per_elem: usize,
+) -> usize {
+    let bytes_per_elem = 8 * (write_doubles_per_elem + read_doubles_per_elem).max(1);
+    let budget = cfg.cache.capacity / 2;
+    (budget / bytes_per_elem).max(MIN_TILE_ELEMS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i860xp_moldyn_span_fits_half_the_cache() {
+        // moldyn: 3 force components written, 3 position components read.
+        let span = predict_tile_elems(&MemConfig::i860xp(), 3, 3);
+        assert_eq!(span, (16 * 1024 / 2) / 48);
+        assert!(span * 48 <= 16 * 1024 / 2);
+    }
+
+    #[test]
+    fn wider_elements_shrink_the_span() {
+        let cfg = MemConfig::i860xp();
+        assert!(predict_tile_elems(&cfg, 4, 4) < predict_tile_elems(&cfg, 1, 0));
+    }
+
+    #[test]
+    fn span_never_collapses_below_the_floor() {
+        let cfg = MemConfig::tiny();
+        assert!(predict_tile_elems(&cfg, 64, 64) >= MIN_TILE_ELEMS);
+    }
+
+    #[test]
+    fn host_cache_predicts_larger_tiles_than_i860xp() {
+        assert!(
+            predict_tile_elems(&MemConfig::host_l2(), 3, 3)
+                > predict_tile_elems(&MemConfig::i860xp(), 3, 3)
+        );
+    }
+}

@@ -143,8 +143,13 @@ impl Admission {
         let mut s = self.state.lock().unwrap();
         loop {
             if let Some(job) = Self::pop_fair(&mut s, &self.cfg) {
-                let shed = if s.queued * 2 >= self.cfg.queue_capacity {
+                // The shed ladder: half capacity drops to scalar inner
+                // loops (still parallel, still bit-identical), three
+                // quarters drops to sequential.
+                let shed = if s.queued * 4 >= self.cfg.queue_capacity * 3 {
                     ShedLevel::Seq
+                } else if s.queued * 2 >= self.cfg.queue_capacity {
+                    ShedLevel::Scalar
                 } else {
                     ShedLevel::Native
                 };
@@ -291,19 +296,34 @@ mod tests {
     }
 
     #[test]
-    fn shed_level_rises_with_backlog() {
+    fn shed_level_climbs_the_ladder_with_backlog() {
         let a = Admission::new(AdmissionConfig {
-            queue_capacity: 4,
-            tenant_inflight: 8,
+            queue_capacity: 8,
+            tenant_inflight: 16,
         });
         a.submit(job("t", 1));
         let (_, shed) = a.next().unwrap();
         assert_eq!(shed, ShedLevel::Native);
-        for i in 2..=4 {
+        // 4 queued after the pop = half capacity: first rung.
+        for i in 2..=6 {
             a.submit(job("t", i));
         }
         let (_, shed) = a.next().unwrap();
-        assert_eq!(shed, ShedLevel::Seq, "backlog at half capacity must shed");
+        assert_eq!(
+            shed,
+            ShedLevel::Scalar,
+            "backlog at half capacity must drop to scalar loops"
+        );
+        // 6 queued after the pop = three quarters: second rung.
+        for i in 7..=9 {
+            a.submit(job("t", i));
+        }
+        let (_, shed) = a.next().unwrap();
+        assert_eq!(
+            shed,
+            ShedLevel::Seq,
+            "backlog at three-quarters capacity must go sequential"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! supervisor (typed [`RunError`]), a wedged node by the watchdog, a
 //! healthy-but-slow run by the per-job deadline, and whatever survives
 //! the retry ladder either falls back to the sequential executor (bit-
-//! identical results, `degraded = 1`) or surfaces as a typed [`JobErr`]
+//! identical results, `degraded = 2`) or surfaces as a typed [`JobErr`]
 //! carrying the engine error `Display` text — including the `StallDump`
 //! summary — plus the per-attempt fault seeds for replay.
 
@@ -18,7 +18,7 @@ use earth_model::native::{NativeConfig, RunError, StallReason};
 use earth_model::FaultConfig;
 use irred::{
     EdgeKernel, EngineError, ExecutionConfig, PhasedEngine, PhasedSpec, RecoveryPolicy,
-    ReductionEngine, RunOutcome, SeqEngine, StrategyConfig, Workspace,
+    ReductionEngine, RunOutcome, SeqEngine, SimdMode, StrategyConfig, Tuning, Workspace,
 };
 use threadedc::ast::ElemType;
 use threadedc::CompileCache;
@@ -67,14 +67,49 @@ impl EdgeKernel for JobKernel {
     }
 }
 
-/// How hard the server is shedding load when a job is dequeued.
+/// How hard the server is shedding load when a job is dequeued — a
+/// three-rung ladder. Every rung returns bit-identical values (the repo
+/// invariant: the chunked SIMD path is bit-identical to scalar on all
+/// inputs, and the server never tiles), so shedding only trades
+/// throughput headroom, never answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShedLevel {
-    /// Normal service: native parallel execution.
+    /// Normal service: native parallel execution with the vectorized
+    /// flat loops.
     Native,
-    /// Queue past the shed threshold: run sequentially. Results stay
-    /// bit-identical (the repo invariant); only latency degrades.
+    /// Queue at half capacity: still native parallel, but scalar inner
+    /// loops — frees the host's vector units and memory bandwidth for
+    /// the backlog while keeping the parallel speedup. Shares cached
+    /// plans with [`ShedLevel::Native`] (SIMD mode is an execute-time
+    /// knob, not a plan-shaping one).
+    Scalar,
+    /// Queue at three-quarters capacity: run sequentially. Only latency
+    /// degrades further.
     Seq,
+}
+
+impl ShedLevel {
+    /// The [`Tuning`] this rung executes with. Both native rungs use
+    /// flat layout and no tiling, so their `plan_fingerprint` is equal
+    /// and they check the same plans out of the cache; tiling stays off
+    /// server-wide because it reassociates sums and job weights are
+    /// arbitrary floats.
+    fn tuning(self) -> Tuning {
+        match self {
+            ShedLevel::Native => Tuning::new().simd(SimdMode::preferred()),
+            ShedLevel::Scalar | ShedLevel::Seq => Tuning::new(),
+        }
+    }
+
+    /// The `degraded` byte this rung reports when the run itself did
+    /// not degrade further.
+    fn degraded(self) -> u8 {
+        match self {
+            ShedLevel::Native => 0,
+            ShedLevel::Scalar => 1,
+            ShedLevel::Seq => 2,
+        }
+    }
 }
 
 /// Everything needed to run jobs; shared by all worker threads.
@@ -156,7 +191,9 @@ impl Executor {
 
         match shed {
             ShedLevel::Seq => self.run_seq(job, &spec, &strat),
-            ShedLevel::Native => self.run_native(job, &spec, &strat, fault, deadline),
+            ShedLevel::Native | ShedLevel::Scalar => {
+                self.run_native(job, &spec, &strat, fault, deadline, shed)
+            }
         }
     }
 
@@ -262,7 +299,7 @@ impl Executor {
                 compiled.execute_with(&mut b, &SeqEngine::new(ExecutionConfig::default()), &strat),
                 2u8,
             ),
-            ShedLevel::Native => {
+            ShedLevel::Native | ShedLevel::Scalar => {
                 let mut native = NativeConfig {
                     watchdog: self.watchdog,
                     ..NativeConfig::default()
@@ -272,9 +309,15 @@ impl Executor {
                 if deadline.is_some() {
                     policy.fall_back_to_seq = false;
                 }
-                let engine =
-                    PhasedEngine::new(ExecutionConfig::native(native).with_recovery(policy));
-                (compiled.execute_flat(&mut b, &strat, &engine), 0u8)
+                let engine = PhasedEngine::new(
+                    ExecutionConfig::native(native)
+                        .with_recovery(policy)
+                        .with_tuning(shed.tuning()),
+                );
+                (
+                    compiled.execute_flat(&mut b, &strat, &engine),
+                    shed.degraded(),
+                )
             }
         }));
         let (result, degraded) = match caught {
@@ -342,7 +385,9 @@ impl Executor {
         strat: &StrategyConfig,
         fault: Option<FaultConfig>,
         deadline: Option<Instant>,
+        shed: ShedLevel,
     ) -> Frame {
+        let tuning = shed.tuning();
         let mut native = NativeConfig {
             watchdog: self.watchdog,
             ..NativeConfig::default()
@@ -354,12 +399,16 @@ impl Executor {
             // unbounded sequential fallback.
             policy.fall_back_to_seq = false;
         }
-        let mut cfg = ExecutionConfig::native(native).with_recovery(policy);
+        let mut cfg = ExecutionConfig::native(native)
+            .with_recovery(policy)
+            .with_tuning(tuning);
         if let Some(f) = fault {
             cfg = cfg.with_faults(f);
         }
         let engine = PhasedEngine::new(cfg);
-        let key = spec.structure_hash(strat);
+        // Plan-shaping tuning knobs participate in the cache key; both
+        // native rungs fingerprint identically and so share entries.
+        let key = spec.structure_hash(strat) ^ tuning.plan_fingerprint();
 
         // Check the plan cache out exclusively; swap our kernel values
         // into a hit. A swap rejection means a structure-hash collision
@@ -394,7 +443,11 @@ impl Executor {
 
         match result {
             Ok(out) => {
-                let degraded = u8::from(out.recovery.fell_back_to_seq);
+                let degraded = if out.recovery.fell_back_to_seq {
+                    2
+                } else {
+                    shed.degraded()
+                };
                 let mut frame = ok_frame(job.job_id, degraded, &out);
                 if let Frame::JobOk(ok) = &mut frame {
                     ok.attempts = out.recovery.attempts;
@@ -571,8 +624,26 @@ mod tests {
         let (Frame::JobOk(a), Frame::JobOk(b)) = (native, seq) else {
             panic!("both paths must succeed");
         };
+        assert_eq!(a.degraded, 0);
         assert_eq!(b.degraded, 2);
         assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn shed_scalar_rung_is_bit_identical_and_shares_the_plan_cache() {
+        let e = exec();
+        let j = job(9);
+        let native = e.run_job(&j, ShedLevel::Native, None);
+        let scalar = e.run_job(&j, ShedLevel::Scalar, None);
+        let (Frame::JobOk(a), Frame::JobOk(b)) = (native, scalar) else {
+            panic!("both rungs must succeed");
+        };
+        assert_eq!(a.degraded, 0);
+        assert_eq!(b.degraded, 1, "scalar rung reports mild degradation");
+        assert_eq!(a.values, b.values, "scalar rung must stay bit-identical");
+        // SIMD mode is execute-time: the scalar run must have HIT the
+        // plan the vectorized run populated, not prepared a second one.
+        assert_eq!(e.cache.lock().unwrap().hits, 1);
     }
 
     #[test]

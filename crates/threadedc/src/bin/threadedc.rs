@@ -7,7 +7,8 @@
 //! (`line L:C: message`) and a nonzero exit code.
 //!
 //! ```text
-//! threadedc [--procs N] [--k K] [--dist block|cyclic] [--size S] [--run] <file.tc>
+//! threadedc [--procs N] [--k K] [--dist block|cyclic] [--size S]
+//!           [--tuning scalar|auto] [--run] <file.tc>
 //! ```
 //!
 //! The plan preview (and `--run`) uses deterministic synthetic bindings
@@ -17,7 +18,7 @@
 use std::process::ExitCode;
 
 use earth_model::sim::SimConfig;
-use irred::{Distribution, StrategyConfig};
+use irred::{Distribution, ExecutionConfig, PhasedEngine, StrategyConfig, Tuning};
 use threadedc::{compile, synthetic_bindings, LoopPlan};
 
 struct Args {
@@ -26,12 +27,14 @@ struct Args {
     dist: Distribution,
     size: usize,
     run: bool,
+    tuning: Tuning,
     file: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: threadedc [--procs N] [--k K] [--dist block|cyclic] [--size S] [--run] <file.tc>"
+        "usage: threadedc [--procs N] [--k K] [--dist block|cyclic] [--size S] \
+         [--tuning scalar|auto] [--run] <file.tc>"
     );
     std::process::exit(2);
 }
@@ -43,6 +46,9 @@ fn parse_args() -> Args {
         dist: Distribution::Cyclic,
         size: 64,
         run: false,
+        // The determinism reference; `--tuning auto` opts into the
+        // vectorized + tiled fast path.
+        tuning: Tuning::new(),
         file: String::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -61,6 +67,13 @@ fn parse_args() -> Args {
                 args.dist = match it.next().as_deref() {
                     Some("block") => Distribution::Block,
                     Some("cyclic") => Distribution::Cyclic,
+                    _ => usage(),
+                }
+            }
+            "--tuning" => {
+                args.tuning = match it.next().as_deref() {
+                    Some("scalar") => Tuning::new(),
+                    Some("auto") => Tuning::auto(),
                     _ => usage(),
                 }
             }
@@ -126,7 +139,9 @@ fn main() -> ExitCode {
 
     if args.run {
         let mut b = synthetic_bindings(&compiled.program, args.size);
-        match compiled.execute_sim(&mut b, &strat, SimConfig::default()) {
+        let engine =
+            PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).with_tuning(args.tuning));
+        match compiled.execute_flat(&mut b, &strat, &engine) {
             Ok(rep) => {
                 println!(
                     "-- run (sim, synthetic bindings): {} cycles, {} phased / {} regular --",

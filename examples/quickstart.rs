@@ -15,7 +15,7 @@ use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
 use irred::{
     approx_eq, seq_reduction, Distribution, EdgeKernel, ExecutionConfig, PhasedEngine, PhasedSpec,
-    ReductionEngine, StrategyConfig,
+    ReductionEngine, StrategyConfig, Tuning,
 };
 
 /// The loop body: contributions `w` and `2w` through the two references.
@@ -79,13 +79,22 @@ fn main() {
         sim.bytes()
     );
 
-    // (c) the same program on real OS threads.
-    let native = PhasedEngine::native(NativeConfig::default())
-        .run(&spec, &strat)
-        .expect("native run");
+    // (c) the same program on real OS threads, with the performance
+    // tuning bundle: vectorized flat loops and memory-model-predicted
+    // cache tiling. `Tuning::auto()` is the one knob; results stay
+    // within reassociation tolerance of the scalar reference (and the
+    // SIMD part is bit-identical — see `Tuning::new()` for the strict
+    // determinism reference).
+    let native = PhasedEngine::new(
+        ExecutionConfig::native(NativeConfig::default()).with_tuning(Tuning::auto()),
+    )
+    .run(&spec, &strat)
+    .expect("native run");
     println!(
-        "phased host: {:>8.2?} wall on {} threads",
-        native.wall, strat.procs
+        "phased host: {:>8.2?} wall on {} threads [{}]",
+        native.wall,
+        strat.procs,
+        Tuning::auto().label()
     );
 
     assert!(

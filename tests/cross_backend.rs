@@ -8,8 +8,8 @@ use earth_model::native::NativeConfig;
 use earth_model::sim::SimConfig;
 use irred::kernel::WeightedPairKernel;
 use irred::{
-    approx_eq, Distribution, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec, ReductionEngine,
-    StrategyConfig,
+    approx_eq, Distribution, ExecutionConfig, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec,
+    ReductionEngine, StrategyConfig, Tuning,
 };
 use kernels::{EulerProblem, MvmProblem};
 use workloads::{Mesh, SparseMatrix};
@@ -90,13 +90,15 @@ fn op_counts_agree_across_backends() {
     // handoff), so for it only the fiber graph is preserved and the
     // native deposit count drops below the simulator's.
     let problem = EulerProblem::from_mesh(Mesh::generate3d(200, 900, 8), 8);
-    let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 2).with_layout(LoopLayout::Nested);
-    let sim = PhasedEngine::sim(SimConfig::default())
+    let strat = StrategyConfig::new(3, 2, Distribution::Cyclic, 2);
+    let nested = Tuning::new().layout(LoopLayout::Nested);
+    let sim = PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).with_tuning(nested))
         .run(&problem.spec, &strat)
         .unwrap();
-    let nat = PhasedEngine::native(NativeConfig::default())
-        .run(&problem.spec, &strat)
-        .unwrap();
+    let nat =
+        PhasedEngine::new(ExecutionConfig::native(NativeConfig::default()).with_tuning(nested))
+            .run(&problem.spec, &strat)
+            .unwrap();
     assert_eq!(sim.stats.ops.messages, nat.stats.ops.messages);
     assert_eq!(sim.stats.ops.bytes, nat.stats.ops.bytes);
     assert_eq!(sim.stats.ops.fibers_fired, nat.stats.ops.fibers_fired);

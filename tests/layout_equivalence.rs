@@ -17,8 +17,8 @@ use earth_model::FaultConfig;
 use harness::prop::{check, Config, Gen};
 use harness::prop_assert;
 use irred::{
-    Distribution, EdgeKernel, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec, ReductionEngine,
-    StrategyConfig,
+    Distribution, EdgeKernel, ExecutionConfig, GatherEngine, LoopLayout, PhasedEngine, PhasedSpec,
+    ReductionEngine, StrategyConfig, Tuning,
 };
 use kernels::{EulerProblem, FamilyProblem, MolDynProblem, MvmProblem};
 use workloads::{HotKeyScatter, Mesh, MolDyn, PicDeck, PowerLawGraph, SparseMatrix};
@@ -58,27 +58,34 @@ fn native_cfg(fault_seed: u64) -> NativeConfig {
     }
 }
 
+/// The nested (naive plan walk) layout, requested through the Tuning API.
+fn nested() -> Tuning {
+    Tuning::new().layout(LoopLayout::Nested)
+}
+
 /// Run one phased spec all four ways (sim/native × flat/nested) and
 /// demand exact `f64` equality of every reduction and read array.
 fn assert_layouts_agree<K: EdgeKernel>(spec: &PhasedSpec<K>, c: &Case) -> Result<(), String> {
-    let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
-    let nested = flat.with_layout(LoopLayout::Nested);
-    let sim = PhasedEngine::sim(SimConfig::default());
-    let sf = sim.run(spec, &flat).map_err(|e| format!("{e}"))?;
-    let sn = sim.run(spec, &nested).map_err(|e| format!("{e}"))?;
+    let strat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+    let sf = PhasedEngine::sim(SimConfig::default())
+        .run(spec, &strat)
+        .map_err(|e| format!("{e}"))?;
+    let sn = PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).with_tuning(nested()))
+        .run(spec, &strat)
+        .map_err(|e| format!("{e}"))?;
     prop_assert!(
         sf.values == sn.values && sf.read == sn.read,
         "sim flat != sim nested for {c:?}"
     );
     let nf = PhasedEngine::native(native_cfg(c.seed))
-        .run(spec, &flat)
+        .run(spec, &strat)
         .map_err(|e| format!("{e}"))?;
     prop_assert!(
         nf.values == sf.values && nf.read == sf.read,
         "native flat (lossless faults) != sim for {c:?}"
     );
-    let nn = PhasedEngine::native(native_cfg(c.seed))
-        .run(spec, &nested)
+    let nn = PhasedEngine::new(ExecutionConfig::native(native_cfg(c.seed)).with_tuning(nested()))
+        .run(spec, &strat)
         .map_err(|e| format!("{e}"))?;
     prop_assert!(
         nn.values == sf.values && nn.read == sf.read,
@@ -170,22 +177,23 @@ fn pic_flat_equals_nested_across_churn() {
             let particles = 120 + 120 * c.size;
             let d =
                 PicDeck::generate(cells, particles, 2, 0.4, c.seed).map_err(|e| format!("{e}"))?;
-            let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
-            let nested = flat.with_layout(LoopLayout::Nested);
+            let strat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
             let engine = PhasedEngine::sim(SimConfig::default());
+            let engine_n =
+                PhasedEngine::new(ExecutionConfig::sim(SimConfig::default()).with_tuning(nested()));
             let problem = FamilyProblem::from_family(d.initial());
             let mut pf = engine
-                .prepare(&problem.spec, &flat)
+                .prepare(&problem.spec, &strat)
                 .map_err(|e| format!("{e}"))?;
-            let mut pn = engine
-                .prepare(&problem.spec, &nested)
+            let mut pn = engine_n
+                .prepare(&problem.spec, &strat)
                 .map_err(|e| format!("{e}"))?;
             let mut ws = irred::Workspace::new();
             for step in 0..d.steps {
                 let of = engine
                     .execute(&mut pf, &mut ws)
                     .map_err(|e| format!("{e}"))?;
-                let on = engine
+                let on = engine_n
                     .execute(&mut pn, &mut ws)
                     .map_err(|e| format!("{e}"))?;
                 prop_assert!(
@@ -196,7 +204,7 @@ fn pic_flat_equals_nested_across_churn() {
                 // backend in both layouts, must match too.
                 let churned = FamilyProblem::from_family(d.family_at(step));
                 let nf = PhasedEngine::native(native_cfg(c.seed ^ step as u64))
-                    .run(&churned.spec, &flat)
+                    .run(&churned.spec, &strat)
                     .map_err(|e| format!("{e}"))?;
                 prop_assert!(
                     nf.values == of.values,
@@ -222,24 +230,27 @@ fn mvm_flat_equals_nested() {
             let nnz = rows * (3 + c.size);
             let problem =
                 MvmProblem::from_matrix(Arc::new(SparseMatrix::random(rows, rows, nnz, c.seed)));
-            let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
-            let nested = flat.with_layout(LoopLayout::Nested);
-            let sim = GatherEngine::sim(SimConfig::default());
-            let sf = sim.run(&problem.spec, &flat).map_err(|e| format!("{e}"))?;
-            let sn = sim
-                .run(&problem.spec, &nested)
+            let strat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
+            let sf = GatherEngine::sim(SimConfig::default())
+                .run(&problem.spec, &strat)
                 .map_err(|e| format!("{e}"))?;
+            let sn =
+                GatherEngine::new(ExecutionConfig::sim(SimConfig::default()).with_tuning(nested()))
+                    .run(&problem.spec, &strat)
+                    .map_err(|e| format!("{e}"))?;
             prop_assert!(sf.values == sn.values, "sim flat != sim nested for {c:?}");
             let nf = GatherEngine::native(native_cfg(c.seed))
-                .run(&problem.spec, &flat)
+                .run(&problem.spec, &strat)
                 .map_err(|e| format!("{e}"))?;
             prop_assert!(
                 nf.values == sf.values,
                 "native flat (lossless faults) != sim for {c:?}"
             );
-            let nn = GatherEngine::native(native_cfg(c.seed))
-                .run(&problem.spec, &nested)
-                .map_err(|e| format!("{e}"))?;
+            let nn = GatherEngine::new(
+                ExecutionConfig::native(native_cfg(c.seed)).with_tuning(nested()),
+            )
+            .run(&problem.spec, &strat)
+            .map_err(|e| format!("{e}"))?;
             prop_assert!(
                 nn.values == sf.values,
                 "native nested (lossless faults) != sim for {c:?}"

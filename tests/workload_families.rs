@@ -26,8 +26,8 @@ use harness::prop::{check, Config, Gen};
 use harness::prop_assert;
 use irred::baseline::IeEngine;
 use irred::{
-    Distribution, EngineChoice, GatherEngine, LoopLayout, PhasedEngine, ReductionEngine, SeqEngine,
-    StrategyConfig, Workspace,
+    Distribution, EngineChoice, ExecutionConfig, GatherEngine, LoopLayout, PhasedEngine,
+    ReductionEngine, SeqEngine, StrategyConfig, Tuning, Workspace,
 };
 use kernels::FamilyProblem;
 use workloads::{oracle_reduce, FamilySpec, HotKeyScatter, PicDeck, PowerLawGraph};
@@ -79,7 +79,7 @@ fn assert_family_matches_oracle(family: &FamilySpec, c: &Case) -> Result<(), Str
     let problem = FamilyProblem::from_family(family.clone());
     let name = &problem.family.name;
     let flat = StrategyConfig::new(c.procs, c.k, c.dist, c.sweeps);
-    let nested = flat.with_layout(LoopLayout::Nested);
+    let nested = Tuning::new().layout(LoopLayout::Nested);
     let sim = SimConfig::default();
 
     let seq = SeqEngine::new(sim)
@@ -123,8 +123,8 @@ fn assert_family_matches_oracle(family: &FamilySpec, c: &Case) -> Result<(), Str
         .map_err(|e| format!("phased sim: {e}"))?;
     prop_assert!(ps.values == want, "{name}: phased sim != oracle for {c:?}");
 
-    let pn = phased
-        .run(&problem.spec, &nested)
+    let pn = PhasedEngine::new(ExecutionConfig::sim(sim).with_tuning(nested))
+        .run(&problem.spec, &flat)
         .map_err(|e| format!("phased sim nested: {e}"))?;
     prop_assert!(
         pn.values == want,
@@ -138,9 +138,10 @@ fn assert_family_matches_oracle(family: &FamilySpec, c: &Case) -> Result<(), Str
         nf.values == want,
         "{name}: phased native flat (lossless faults) != oracle for {c:?}"
     );
-    let nn = PhasedEngine::native(native_cfg(c.seed ^ 0xA5))
-        .run(&problem.spec, &nested)
-        .map_err(|e| format!("phased native nested: {e}"))?;
+    let nn =
+        PhasedEngine::new(ExecutionConfig::native(native_cfg(c.seed ^ 0xA5)).with_tuning(nested))
+            .run(&problem.spec, &flat)
+            .map_err(|e| format!("phased native nested: {e}"))?;
     prop_assert!(
         nn.values == want,
         "{name}: phased native nested (lossless faults) != oracle for {c:?}"
@@ -288,7 +289,10 @@ fn auto_select_picks_by_skew_endpoint() {
         .unwrap();
     let s = prepared.plan_stats();
     assert!(s.skew < 2.0, "flat deck skew {}", s.skew);
-    assert_eq!(strat.auto_select(&s), EngineChoice::RotatingPortions);
+    let auto = strat.auto_select(&s);
+    assert_eq!(auto.engine, EngineChoice::RotatingPortions);
+    // The phased pick recommends the full performance bundle.
+    assert_eq!(auto.tuning, Tuning::auto());
 
     let hot = HotKeyScatter::generate(512, 8_000, 1, 0.995, 1, 42)
         .unwrap()
@@ -299,5 +303,8 @@ fn auto_select_picks_by_skew_endpoint() {
         .unwrap();
     let s = prepared.plan_stats();
     assert!(s.skew > 8.0, "hot deck skew {}", s.skew);
-    assert_eq!(strat.auto_select(&s), EngineChoice::InspectorExecutor);
+    let auto = strat.auto_select(&s);
+    assert_eq!(auto.engine, EngineChoice::InspectorExecutor);
+    // The IE engine has no phase-local iteration space to tile.
+    assert_eq!(auto.tuning.tile, irred::TileChoice::Off);
 }
