@@ -30,6 +30,11 @@
 #                    # pass), the source-over-the-wire server tests, a
 #                    # CLI smoke over the checked-in fixtures, and the
 #                    # compile-cache hit/miss gate via bench_compile
+#   ./ci.sh sim      # parallel sim core: serial ≡ parallel equivalence
+#                    # suite (3 fixed seeds + one randomized pass), then
+#                    # a 256-proc quick scaling smoke via bench_sim
+#                    # --check (byte-identical cycles/values across
+#                    # host_threads), all under the hard timeout
 #
 # Every test invocation runs under a hard timeout: a hang anywhere —
 # including in the code under test, whose whole contract is "typed error,
@@ -230,6 +235,31 @@ perf() {
     return 1
 }
 
+sim() {
+    # Serial ≡ parallel equivalence for the conservative time-window sim
+    # core: three fixed base seeds for deterministic replay, then one
+    # randomized pass to keep widening coverage (its seed prints on
+    # failure for replay via PROP_SEED). Byte-determinism — identical
+    # cycles, RunStats, and trace CSV at every host_threads — is the
+    # core's whole contract; any divergence fails the lane.
+    for seed in 1 2 3; do
+        echo "== pdes equivalence (PROP_BASE_SEED=$seed) =="
+        PROP_BASE_SEED=$seed run_tests cargo test -q -p earth-model --test pdes_equivalence
+    done
+
+    echo "== pdes equivalence (randomized pass) =="
+    rand_seed=$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')
+    echo "   PROP_BASE_SEED=$rand_seed"
+    PROP_BASE_SEED="$rand_seed" run_tests cargo test -q -p earth-model --test pdes_equivalence
+
+    # 256-proc scaling smoke: the quick sweep keeps the 256-proc point,
+    # and --check gates parallel-vs-serial cycle and value equality at
+    # every (family, P, k, host_threads) point. The wall-clock speedup
+    # gate self-skips with a log line on hosts with fewer than 4 cores.
+    echo "== sim scaling smoke (bench_sim --check, quick) =="
+    REPRO_QUICK=1 run_tests cargo run --release -q -p repro-bench --bin bench_sim -- --check
+}
+
 simd() {
     # The explicit-SIMD lane: the `simd` cargo feature swaps the chunked
     # auto-vectorizable inner kernels for core::arch intrinsics, and the
@@ -250,6 +280,7 @@ case "${1:-all}" in
     workloads) workloads ;;
     server) server ;;
     compiler) compiler ;;
+    sim) sim ;;
     simd) simd ;;
     all)
         tier1
@@ -257,11 +288,12 @@ case "${1:-all}" in
         workloads
         server
         compiler
+        sim
         simd
         perf
         ;;
     *)
-        echo "usage: $0 [tier1|faults|perf|workloads|server|compiler|simd]" >&2
+        echo "usage: $0 [tier1|faults|perf|workloads|server|compiler|sim|simd]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,283 @@
+//! Parallel sim-core scaling benchmark: speedup-vs-procs and k-sweep
+//! curves at 256 and 1024 simulated processors.
+//!
+//! The serial event loop caps every fig-4/5/6/7-style curve at the
+//! speed of one host core walking one binary heap. This harness drives
+//! the conservative time-window parallel core
+//! (`SimConfig::host_threads`, DESIGN.md §17) over the paper's three
+//! reduction families — the moldyn force loop, the euler edge loop, and
+//! a power-law scatter — at P ∈ {8, 32, 64, 256, 1024} simulated procs
+//! and k ∈ {1, 2, 4}, at 1, 2, and 4 host threads. For every point it
+//! records host wall-clock and *simulated* cycles; the simulated cycles
+//! must be byte-identical across host threads (the serial loop is the
+//! oracle), which `--check` enforces together with value equality.
+//!
+//! Results land in `bench_results/BENCH_sim.json`
+//! (`BENCH_sim_quick.json` in quick mode; see bench_results/README.md
+//! for the schema).
+//!
+//! Modes:
+//!   bench_sim                full sweep, writes the JSON
+//!   REPRO_QUICK=1 ...        trimmed decks + P list (CI smoke)
+//!   bench_sim --check        exit 1 on any parallel-vs-serial cycle or
+//!                            value divergence; on a ≥4-core host also
+//!                            require >1.5× wall-clock speedup at 4
+//!                            threads on 256-proc moldyn (self-skips
+//!                            with a log line on smaller hosts)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use irred::{
+    Distribution, EdgeKernel, ExecutionConfig, PhasedEngine, PhasedSpec, ReductionEngine,
+    StrategyConfig,
+};
+use kernels::{EulerProblem, FamilyProblem, MolDynProblem};
+use repro_bench::{detect_host_cores, quick, SimConfig};
+use workloads::{Mesh, MolDyn, PowerLawGraph};
+
+/// Host thread counts every (family, P, k) point is measured at.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Point {
+    family: &'static str,
+    procs: usize,
+    k: usize,
+    host_threads: usize,
+    wall_ms: f64,
+    sim_cycles: u64,
+    /// Wall-clock speedup vs the 1-thread run of the same point.
+    speedup: f64,
+    /// Cycles and values bit-identical to the 1-thread run.
+    check_ok: bool,
+}
+
+impl Point {
+    fn render(&self) -> String {
+        format!(
+            "  {:<9} P={:<5} k={}  t={}  {:>9.1} ms  {:>12} cyc  x{:<5.2} {}",
+            self.family,
+            self.procs,
+            self.k,
+            self.host_threads,
+            self.wall_ms,
+            self.sim_cycles,
+            self.speedup,
+            if self.check_ok { "ok" } else { "<-- DIVERGED" }
+        )
+    }
+}
+
+/// One sim run; returns (wall ms, simulated cycles, values).
+fn run_once<K: EdgeKernel>(
+    spec: &PhasedSpec<K>,
+    strat: &StrategyConfig,
+    threads: usize,
+) -> (f64, u64, Vec<Vec<f64>>) {
+    let cfg = ExecutionConfig::sim(SimConfig::default().with_host_threads(threads));
+    let start = Instant::now();
+    let out = PhasedEngine::new(cfg).run(spec, strat).expect("sim run");
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    (wall, out.time_cycles, out.values)
+}
+
+/// Measure one (family, P, k) point at every thread count, checking the
+/// parallel runs against the serial oracle.
+fn sweep_point<K: EdgeKernel>(
+    points: &mut Vec<Point>,
+    family: &'static str,
+    spec: &PhasedSpec<K>,
+    procs: usize,
+    k: usize,
+) -> bool {
+    let strat = StrategyConfig::new(procs, k, Distribution::Cyclic, 1);
+    let (wall1, cycles1, values1) = run_once(spec, &strat, 1);
+    points.push(Point {
+        family,
+        procs,
+        k,
+        host_threads: 1,
+        wall_ms: wall1,
+        sim_cycles: cycles1,
+        speedup: 1.0,
+        check_ok: true,
+    });
+    println!("{}", points.last().unwrap().render());
+    let mut all_ok = true;
+    for &t in &THREADS[1..] {
+        let (wall, cycles, values) = run_once(spec, &strat, t);
+        let check_ok = cycles == cycles1 && values == values1;
+        all_ok &= check_ok;
+        points.push(Point {
+            family,
+            procs,
+            k,
+            host_threads: t,
+            wall_ms: wall,
+            sim_cycles: cycles,
+            speedup: wall1 / wall.max(1e-9),
+            check_ok,
+        });
+        println!("{}", points.last().unwrap().render());
+    }
+    all_ok
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn to_json(points: &[Point], all_ok: bool, gate: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(out, "  \"tool\": \"bench_sim\",").unwrap();
+    writeln!(out, "  \"git_sha\": \"{}\",", git_sha()).unwrap();
+    writeln!(out, "  \"quick\": {},", quick()).unwrap();
+    writeln!(out, "  \"host_cores\": {},", detect_host_cores()).unwrap();
+    writeln!(out, "  \"check_ok\": {all_ok},").unwrap();
+    writeln!(out, "  \"speedup_gate\": \"{gate}\",").unwrap();
+    writeln!(out, "  \"points\": [").unwrap();
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{ \"family\": \"{}\", \"procs\": {}, \"k\": {}, \"host_threads\": {}, \
+             \"wall_ms\": {:.3}, \"sim_cycles\": {}, \"speedup\": {:.4}, \"check_ok\": {} }}{}",
+            p.family,
+            p.procs,
+            p.k,
+            p.host_threads,
+            p.wall_ms,
+            p.sim_cycles,
+            p.speedup,
+            p.check_ok,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(out, "  ]").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let q = quick();
+    let cores = detect_host_cores();
+    println!("=== parallel sim-core scaling (host_cores={cores}, quick={q}) ===");
+
+    // Simulated-processor sweep. Quick mode keeps the 256-proc point:
+    // the CI smoke is specifically a "does the windowed core still
+    // scale-and-agree at 256 procs" check.
+    let plist: &[usize] = if q {
+        &[8, 256]
+    } else {
+        &[8, 32, 64, 256, 1024]
+    };
+    // Full k-sweep at small P; k = 2 (the paper's all-round best) at
+    // the large points to keep the 1024-proc sweep affordable.
+    let klist = |p: usize| -> &'static [usize] {
+        if p <= 64 {
+            &[1, 2, 4]
+        } else {
+            &[2]
+        }
+    };
+
+    // Problem sizes: fixed per family, large enough that 1024 simulated
+    // procs still all receive elements.
+    let moldyn = MolDynProblem::from_config(MolDyn::fcc(if q { 4 } else { 8 }, 1.1));
+    let euler_n = if q { 1_024 } else { 4_096 };
+    let euler = EulerProblem::from_mesh(Mesh::generate(euler_n, euler_n * 4, 11), 11);
+    let pl_n = if q { 1_024 } else { 4_096 };
+    let powerlaw = FamilyProblem::from_family(
+        PowerLawGraph::generate(pl_n, pl_n * 4, 1.5, 13)
+            .expect("powerlaw deck")
+            .to_family(13),
+    );
+
+    let mut points = Vec::new();
+    let mut all_ok = true;
+    for &p in plist {
+        for &k in klist(p) {
+            all_ok &= sweep_point(&mut points, "moldyn", &moldyn.spec, p, k);
+            all_ok &= sweep_point(&mut points, "euler", &euler.spec, p, k);
+            all_ok &= sweep_point(&mut points, "powerlaw", &powerlaw.spec, p, k);
+        }
+    }
+
+    // The multi-core speedup gate: 256-proc moldyn, k=2, 4 host
+    // threads. Same self-skip policy as the schema-2 native core
+    // curves: a host without 4 cores cannot show parallel speedup, so
+    // the gate logs and passes rather than failing on hardware.
+    let mut gate_failed = false;
+    let gate_point = points
+        .iter()
+        .find(|p| p.family == "moldyn" && p.procs == 256 && p.k == 2 && p.host_threads == 4);
+    let gate = match (cores >= 4, gate_point) {
+        (false, _) => {
+            println!(
+                "speedup gate: SKIPPED — host has {cores} core(s), cannot demonstrate \
+                 4-thread wall-clock speedup (needs >= 4)"
+            );
+            format!("skipped: host has {cores} core(s)")
+        }
+        (true, None) => {
+            println!("speedup gate: SKIPPED — 256-proc point not in this sweep");
+            "skipped: 256-proc point not swept".to_string()
+        }
+        (true, Some(p)) if p.speedup > 1.5 => {
+            println!(
+                "speedup gate: PASSED — moldyn P=256 k=2 at 4 threads: x{:.2}",
+                p.speedup
+            );
+            format!("passed: x{:.2}", p.speedup)
+        }
+        (true, Some(p)) => {
+            println!(
+                "speedup gate: FAILED — moldyn P=256 k=2 at 4 threads: x{:.2} (need > 1.5)",
+                p.speedup
+            );
+            gate_failed = true;
+            format!("failed: x{:.2}", p.speedup)
+        }
+    };
+
+    // Quick mode writes its own file so the CI smoke never clobbers the
+    // committed full-sweep report (same convention as BENCH_native).
+    let path = if q {
+        "bench_results/BENCH_sim_quick.json"
+    } else {
+        "bench_results/BENCH_sim.json"
+    };
+    std::fs::create_dir_all("bench_results").expect("mkdir bench_results");
+    std::fs::write(path, to_json(&points, all_ok, &gate)).expect("write report");
+    println!("report: {path}");
+
+    if check {
+        let diverged: Vec<&Point> = points.iter().filter(|p| !p.check_ok).collect();
+        for p in &diverged {
+            eprintln!(
+                "check FAILED: {} P={} k={} t={}: simulated run diverged from serial",
+                p.family, p.procs, p.k, p.host_threads
+            );
+        }
+        if gate_failed {
+            eprintln!("check FAILED: wall-clock speedup gate (see above)");
+        }
+        if !diverged.is_empty() || gate_failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check: serial and parallel agree (cycles + values) at all {} points",
+            points.len()
+        );
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod faults;
 pub mod native;
+pub mod pdes;
 pub mod procedure;
 pub mod program;
 pub mod sim;
@@ -78,8 +79,10 @@ pub use program::{
     FiberCtx, FiberSpec, FiberTemplate, MachineProgram, Meter, NodeBuilder, NodeTemplate,
     NullMeter, ProgramTemplate, SharedFiberBody, SlotId,
 };
-pub use sim::{render_gantt, run_sim, run_sim_traced, SimConfig, SimReport};
-pub use stats::{OpCounts, RunStats};
+pub use sim::{
+    render_gantt, run_sim, run_sim_checked, run_sim_traced, SimConfig, SimError, SimReport,
+};
+pub use stats::{NodeStats, OpCounts, RunStats};
 pub use trace::{
     CsvSink, FaultKind, MetricsRegistry, NullSink, RingSink, Timeline, TraceEvent, TraceKind,
     TraceSink,

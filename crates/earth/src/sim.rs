@@ -14,18 +14,26 @@
 //! produce correct values) while time is advanced from the cost model,
 //! so results can be validated against sequential references in the same
 //! run that produces timing.
+//!
+//! The event loop itself lives in [`crate::pdes`]: a single `Shard`
+//! implementation that runs either serially (`host_threads = 1`, the
+//! default — exactly the historical single-heap loop) or as a
+//! conservative time-window parallel DES across host worker threads
+//! ([`SimConfig::host_threads`] > 1), byte-deterministic either way.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Duration;
 
 use memsim::{MemConfig, MemModel};
-use trace::{FaultKind, NullSink, TraceEvent, TraceKind, TraceSink};
+use trace::{NullSink, TraceEvent, TraceKind, TraceSink};
 
-use crate::faults::{FaultConfig, FaultPlan, MessageFault};
+use crate::faults::FaultConfig;
 use crate::program::{FiberCtx, FiberSpec, MachineProgram, SlotId};
-use crate::stats::{NodeStats, OpCounts, RunStats};
+use crate::stats::RunStats;
 use crate::value::Value;
+
+pub use crate::pdes::SimError;
 
 /// Cost parameters of the simulated machine.
 ///
@@ -65,6 +73,20 @@ pub struct SimConfig {
     /// (the arrival event is never scheduled). Fiber panic/stall rates
     /// are native-backend concepts and are ignored here.
     pub faults: Option<FaultConfig>,
+    /// Host worker threads for the event loop. `1` (the default) is the
+    /// serial reference loop; `> 1` shards the simulated nodes across
+    /// host threads under the conservative time-window protocol
+    /// ([`crate::pdes`]), with **identical** simulated cycles, stats,
+    /// and trace stream for any value. Simulated time never depends on
+    /// this knob — only host wall-clock does. Clamped to the node
+    /// count; programs with dynamic fiber capacity run serially.
+    pub host_threads: usize,
+    /// Watchdog deadline for the parallel event loop: if no shard
+    /// handles any event for this long, the run aborts with
+    /// [`SimError::Stalled`] instead of hanging on a wedged fiber body.
+    /// Must comfortably exceed the longest honest fiber body. `None`
+    /// (the default) disables the watchdog; the serial loop ignores it.
+    pub host_watchdog: Option<Duration>,
 }
 
 impl Default for SimConfig {
@@ -80,6 +102,8 @@ impl Default for SimConfig {
             phased_iter_overhead_cycles: 50,
             phased_copy_overhead_cycles: 16,
             faults: None,
+            host_threads: 1,
+            host_watchdog: None,
         }
     }
 }
@@ -88,6 +112,20 @@ impl SimConfig {
     /// Convert a cycle count to seconds at this machine's clock.
     pub fn seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Run the event loop on `threads` host worker threads (see
+    /// [`SimConfig::host_threads`]).
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads;
+        self
+    }
+
+    /// Arm the parallel event loop's stall watchdog (see
+    /// [`SimConfig::host_watchdog`]).
+    pub fn with_host_watchdog(mut self, deadline: Duration) -> Self {
+        self.host_watchdog = Some(deadline);
+        self
     }
 }
 
@@ -140,41 +178,34 @@ pub fn render_gantt(trace: &[TraceEvent], num_nodes: usize, total: u64, width: u
     out
 }
 
-/// Map a decided message fate to the trace vocabulary (`Deliver` is not
-/// a fault and must not be passed here).
-fn fault_kind(fate: MessageFault) -> FaultKind {
-    match fate {
-        MessageFault::Delay { .. } => FaultKind::MsgDelay,
-        MessageFault::Reorder => FaultKind::MsgReorder,
-        MessageFault::Duplicate => FaultKind::MsgDuplicate,
-        MessageFault::Drop | MessageFault::Deliver => FaultKind::MsgDrop,
-    }
-}
-
 /// The [`FiberCtx`] implementation for the simulator.
 ///
 /// Owned pieces of the executing node (mailbox, memory model) are swapped
 /// in for the duration of one fiber execution so the context type carries
-/// no lifetimes.
+/// no lifetimes. The mailbox is a `BTreeMap` so every per-node state walk
+/// is in sorted key order — no iteration-order nondeterminism can leak
+/// into results, whichever core runs the node.
 pub struct SimCtx<S> {
-    node: usize,
-    num_nodes: usize,
-    now: u64,
-    charged: u64,
-    flop_cycles: u64,
-    mailbox: HashMap<u64, VecDeque<Value>>,
-    mem: MemModel,
-    next_dyn: Vec<u32>,
-    dyn_cap: Vec<u32>,
-    ops: Vec<SimOp<S>>,
-    tracing: bool,
+    pub(crate) node: usize,
+    pub(crate) num_nodes: usize,
+    pub(crate) now: u64,
+    pub(crate) charged: u64,
+    pub(crate) flop_cycles: u64,
+    pub(crate) mailbox: BTreeMap<u64, VecDeque<Value>>,
+    pub(crate) mem: MemModel,
+    pub(crate) next_dyn: Vec<u32>,
+    /// Per node: `static_len + dynamic capacity`, shared by every fiber
+    /// run of the whole simulation (precomputed once in `pdes`).
+    pub(crate) dyn_cap: Arc<[u32]>,
+    pub(crate) ops: Vec<SimOp<S>>,
+    pub(crate) tracing: bool,
     /// Structured events the fiber body emitted, with the cycles charged
     /// at emission time — stamped `fire_time + offset` when the fiber
     /// retires, so timestamps stay deterministic.
-    tbuf: Vec<(u64, TraceKind)>,
+    pub(crate) tbuf: Vec<(u64, TraceKind)>,
 }
 
-enum SimOp<S> {
+pub(crate) enum SimOp<S> {
     Sync {
         node: usize,
         slot: SlotId,
@@ -305,471 +336,14 @@ impl<S> FiberCtx<S> for SimCtx<S> {
     }
 }
 
-enum Ev<S> {
-    /// `op` is a dedup-filter operation id, present only in faulted runs.
-    SyncArrive {
-        node: usize,
-        slot: SlotId,
-        op: Option<u64>,
-    },
-    DataArrive {
-        node: usize,
-        from: usize,
-        key: u64,
-        value: Value,
-        slot: SlotId,
-        op: Option<u64>,
-    },
-    SpawnArrive {
-        node: usize,
-        idx: SlotId,
-        spec: FiberSpec<S, SimCtx<S>>,
-    },
-    /// A GET_SYNC request reached the remote SU: evaluate and reply.
-    GetArrive {
-        node: usize,
-        extract: Box<dyn FnOnce(&S) -> Value + Send>,
-        reply_to: usize,
-        key: u64,
-        slot: SlotId,
-    },
-    EuIdle {
-        node: usize,
-    },
-}
-
-struct HeapEv<S> {
-    time: u64,
-    seq: u64,
-    ev: Ev<S>,
-}
-
-impl<S> PartialEq for HeapEv<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<S> Eq for HeapEv<S> {}
-impl<S> PartialOrd for HeapEv<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for HeapEv<S> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-struct SimNode<S> {
-    state: S,
-    bodies: Vec<Option<FiberSpec<S, SimCtx<S>>>>,
-    counts: Vec<i64>,
-    resets: Vec<i64>,
-    static_len: u32,
-    dyn_cap_total: u32,
-    mailbox: HashMap<u64, VecDeque<Value>>,
-    mem: MemModel,
-    ready: VecDeque<SlotId>,
-    /// Slots whose count reached zero before their spawn registered.
-    pending_ready: Vec<SlotId>,
-    eu_busy: bool,
-    out_link_free: u64,
-    stats: NodeStats,
-    fired_per_fiber: Vec<u64>,
-}
-
-/// The simulator.
-struct Sim<S> {
-    cfg: SimConfig,
-    nodes: Vec<SimNode<S>>,
-    next_dyn: Vec<u32>,
-    heap: BinaryHeap<Reverse<HeapEv<S>>>,
-    seq: u64,
-    now: u64,
-    ops: OpCounts,
-    sink: Arc<dyn TraceSink>,
-    tracing: bool,
-    faults: Option<FaultPlan>,
-}
-
-impl<S> Sim<S> {
-    #[inline]
-    fn record(&self, ts: u64, node: usize, kind: TraceKind) {
-        if self.tracing {
-            self.sink.record(TraceEvent::new(ts, node as u32, kind));
-        }
-    }
-
-    fn push(&mut self, time: u64, ev: Ev<S>) {
-        self.seq += 1;
-        self.heap.push(Reverse(HeapEv {
-            time,
-            seq: self.seq,
-            ev,
-        }));
-    }
-
-    /// Decide a message's fate and allocate its dedup-filter id (faulted
-    /// runs only — fault-free runs skip both).
-    fn message_fate(&self, src: usize, dst: usize, slot: SlotId) -> (MessageFault, Option<u64>) {
-        match &self.faults {
-            None => (MessageFault::Deliver, None),
-            Some(p) => (p.message_fault(src, dst, slot), Some(p.next_op_id())),
-        }
-    }
-
-    /// Extra arrival latency implied by a fault. Reorder is modeled as
-    /// one extra network hop: enough to land behind every same-batch
-    /// sibling without losing the message.
-    fn fault_delay_cycles(&self, fate: MessageFault) -> u64 {
-        match fate {
-            MessageFault::Delay { micros } => micros * (self.cfg.clock_hz / 1_000_000).max(1),
-            MessageFault::Reorder => self.cfg.net_latency_cycles + self.cfg.su_op_cycles,
-            _ => 0,
-        }
-    }
-
-    /// True when an arriving operation is a duplicate the SU's dedup
-    /// filter must swallow.
-    fn suppressed(&self, op: Option<u64>) -> bool {
-        match (&self.faults, op) {
-            (Some(p), Some(id)) => !p.first_delivery(id),
-            _ => false,
-        }
-    }
-
-    /// Decrement a slot; enqueue its fiber when it hits zero.
-    fn dec(&mut self, node: usize, slot: SlotId, t: u64) {
-        let n = &mut self.nodes[node];
-        let c = &mut n.counts[slot as usize];
-        *c -= 1;
-        if *c == 0 {
-            let reset = n.resets[slot as usize];
-            if reset > 0 {
-                *c += reset;
-            }
-            if n.bodies.get(slot as usize).is_none_or(|b| b.is_none()) {
-                n.pending_ready.push(slot);
-            } else {
-                n.ready.push_back(slot);
-                self.try_start(node, t);
-            }
-        }
-    }
-
-    fn try_start(&mut self, node: usize, t: u64) {
-        if self.nodes[node].eu_busy || self.nodes[node].ready.is_empty() {
-            return;
-        }
-        let slot = self.nodes[node].ready.pop_front().unwrap();
-        self.run_fiber(node, slot, t);
-    }
-
-    fn run_fiber(&mut self, node: usize, slot: SlotId, t: u64) {
-        let num_nodes = self.nodes.len();
-        let dyn_cap: Vec<u32> = self
-            .nodes
-            .iter()
-            .map(|n| n.static_len + n.dyn_cap_total)
-            .collect();
-        let n = &mut self.nodes[node];
-        n.eu_busy = true;
-        let mut spec = n.bodies[slot as usize]
-            .take()
-            .expect("ready fiber has a body");
-        let mut ctx = SimCtx {
-            node,
-            num_nodes,
-            now: t,
-            charged: 0,
-            flop_cycles: self.cfg.flop_cycles,
-            mailbox: std::mem::take(&mut n.mailbox),
-            mem: std::mem::replace(&mut n.mem, MemModel::new(self.cfg.mem)),
-            next_dyn: std::mem::take(&mut self.next_dyn),
-            dyn_cap,
-            ops: Vec::new(),
-            tracing: self.tracing,
-            tbuf: Vec::new(),
-        };
-        (spec.body)(&mut n.state, &mut ctx);
-        n.bodies[slot as usize] = Some(spec);
-        n.fired_per_fiber[slot as usize] += 1;
-        n.mailbox = ctx.mailbox;
-        n.mem = ctx.mem;
-        self.next_dyn = ctx.next_dyn;
-        let exec = self.cfg.fiber_switch_cycles + ctx.charged;
-        let end = t + exec;
-        n.stats.busy_cycles += exec;
-        n.stats.fibers_fired += 1;
-        self.ops.fibers_fired += 1;
-        if self.tracing {
-            self.record(t, node, TraceKind::FiberFire { slot });
-            for (off, kind) in ctx.tbuf.drain(..) {
-                self.record(t + self.cfg.fiber_switch_cycles + off, node, kind);
-            }
-            self.record(end, node, TraceKind::FiberRetire { slot, exec });
-        }
-        self.push(end, Ev::EuIdle { node });
-        // Dispatch the fiber's split-phase operations at its end time.
-        for op in ctx.ops {
-            match op {
-                SimOp::Sync { node: dst, slot } => {
-                    self.ops.syncs += 1;
-                    self.record(
-                        end,
-                        node,
-                        TraceKind::Sync {
-                            to_node: dst as u32,
-                            slot,
-                        },
-                    );
-                    let (fate, op) = self.message_fate(node, dst, slot);
-                    if fate != MessageFault::Deliver {
-                        self.record(
-                            end,
-                            node,
-                            TraceKind::FaultInjected {
-                                kind: fault_kind(fate),
-                            },
-                        );
-                    }
-                    if fate == MessageFault::Drop {
-                        continue;
-                    }
-                    let arr = if dst == node {
-                        end + self.cfg.su_op_cycles
-                    } else {
-                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    } + self.fault_delay_cycles(fate);
-                    let copies = if fate == MessageFault::Duplicate {
-                        2
-                    } else {
-                        1
-                    };
-                    for _ in 0..copies {
-                        self.push(
-                            arr,
-                            Ev::SyncArrive {
-                                node: dst,
-                                slot,
-                                op,
-                            },
-                        );
-                    }
-                }
-                SimOp::Data {
-                    node: dst,
-                    key,
-                    value,
-                    slot,
-                } => {
-                    self.ops.messages += 1;
-                    let bytes = value.bytes();
-                    self.ops.bytes += bytes;
-                    self.record(
-                        end,
-                        node,
-                        TraceKind::MsgSend {
-                            to_node: dst as u32,
-                            bytes,
-                        },
-                    );
-                    let (fate, op) = self.message_fate(node, dst, slot);
-                    if fate != MessageFault::Deliver {
-                        self.record(
-                            end,
-                            node,
-                            TraceKind::FaultInjected {
-                                kind: fault_kind(fate),
-                            },
-                        );
-                    }
-                    if fate == MessageFault::Drop {
-                        continue;
-                    }
-                    let arr = if dst == node {
-                        self.ops.local_messages += 1;
-                        end + self.cfg.su_op_cycles
-                    } else {
-                        let src = &mut self.nodes[node];
-                        let xfer = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
-                        let start = end.max(src.out_link_free);
-                        src.out_link_free = start + xfer;
-                        src.stats.bytes_sent += bytes;
-                        start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    } + self.fault_delay_cycles(fate);
-                    let copies = if fate == MessageFault::Duplicate {
-                        2
-                    } else {
-                        1
-                    };
-                    for _ in 0..copies {
-                        self.push(
-                            arr,
-                            Ev::DataArrive {
-                                node: dst,
-                                from: node,
-                                key,
-                                value: value.clone(),
-                                slot,
-                                op,
-                            },
-                        );
-                    }
-                }
-                SimOp::Spawn {
-                    node: dst,
-                    idx,
-                    spec,
-                } => {
-                    self.ops.spawns += 1;
-                    let arr = if dst == node {
-                        end + self.cfg.su_op_cycles
-                    } else {
-                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    };
-                    self.push(
-                        arr,
-                        Ev::SpawnArrive {
-                            node: dst,
-                            idx,
-                            spec,
-                        },
-                    );
-                }
-                SimOp::Get {
-                    node: dst,
-                    extract,
-                    key,
-                    slot,
-                } => {
-                    // Request leg of the round trip.
-                    let arr = if dst == node {
-                        end + self.cfg.su_op_cycles
-                    } else {
-                        end + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                    };
-                    self.push(
-                        arr,
-                        Ev::GetArrive {
-                            node: dst,
-                            extract,
-                            reply_to: node,
-                            key,
-                            slot,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn handle(&mut self, t: u64, ev: Ev<S>) {
-        self.now = t;
-        match ev {
-            Ev::SyncArrive { node, slot, op } => {
-                if self.suppressed(op) {
-                    return;
-                }
-                self.dec(node, slot, t)
-            }
-            Ev::DataArrive {
-                node,
-                from,
-                key,
-                value,
-                slot,
-                op,
-            } => {
-                if self.suppressed(op) {
-                    return;
-                }
-                self.record(
-                    t,
-                    node,
-                    TraceKind::MsgRecv {
-                        from_node: from as u32,
-                        bytes: value.bytes(),
-                    },
-                );
-                self.nodes[node]
-                    .mailbox
-                    .entry(key)
-                    .or_default()
-                    .push_back(value);
-                self.dec(node, slot, t);
-            }
-            Ev::SpawnArrive { node, idx, spec } => {
-                let n = &mut self.nodes[node];
-                let i = idx as usize;
-                if n.bodies.len() <= i {
-                    n.bodies.resize_with(i + 1, || None);
-                    n.counts.resize(i + 1, 0);
-                    n.resets.resize(i + 1, 0);
-                    n.fired_per_fiber.resize(i + 1, 0);
-                }
-                n.counts[i] = spec.sync_count as i64;
-                n.resets[i] = spec.reset.map_or(0, |r| r as i64);
-                let ready_now = spec.sync_count == 0;
-                n.bodies[i] = Some(spec);
-                if let Some(pos) = n.pending_ready.iter().position(|&p| p == idx) {
-                    n.pending_ready.swap_remove(pos);
-                    n.ready.push_back(idx);
-                }
-                if ready_now {
-                    n.ready.push_back(idx);
-                }
-                self.try_start(node, t);
-            }
-            Ev::GetArrive {
-                node,
-                extract,
-                reply_to,
-                key,
-                slot,
-            } => {
-                // The remote SU evaluates against the node state without
-                // involving its EU, then ships the value back.
-                let value = extract(&self.nodes[node].state);
-                self.ops.messages += 1;
-                let bytes = value.bytes();
-                self.ops.bytes += bytes;
-                let arr = if reply_to == node {
-                    self.ops.local_messages += 1;
-                    t + self.cfg.su_op_cycles
-                } else {
-                    let src = &mut self.nodes[node];
-                    let xfer = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
-                    let start = t.max(src.out_link_free);
-                    src.out_link_free = start + xfer;
-                    src.stats.bytes_sent += bytes;
-                    start + xfer + self.cfg.net_latency_cycles + self.cfg.su_op_cycles
-                };
-                self.push(
-                    arr,
-                    Ev::DataArrive {
-                        node: reply_to,
-                        from: node,
-                        key,
-                        value,
-                        slot,
-                        op: None,
-                    },
-                );
-            }
-            Ev::EuIdle { node } => {
-                self.nodes[node].eu_busy = false;
-                self.try_start(node, t);
-            }
-        }
-    }
-}
-
 /// Execute `prog` on the simulated machine. Deterministic: identical
-/// programs produce identical reports. Untraced: every potential event
+/// programs produce identical reports — including across
+/// [`SimConfig::host_threads`] values. Untraced: every potential event
 /// costs one predictable branch.
-pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimReport<S> {
+///
+/// Panics on [`SimError::Stalled`] (only reachable with a
+/// `host_watchdog`); use [`run_sim_checked`] to handle stalls as values.
+pub fn run_sim<S: Send>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimReport<S> {
     run_sim_traced(prog, cfg, Arc::new(NullSink))
 }
 
@@ -777,101 +351,30 @@ pub fn run_sim<S>(prog: MachineProgram<S, SimCtx<S>>, cfg: SimConfig) -> SimRepo
 /// fire/retire, syncs, messages with byte counts, fault injections, and
 /// whatever the fiber bodies emit through [`FiberCtx::trace`]) are
 /// recorded cycle-stamped as the simulation runs, then drained into
-/// [`SimReport::trace`]. Because recording never consults a clock, the
-/// drained stream is byte-identical across runs of the same program.
-pub fn run_sim_traced<S>(
+/// [`SimReport::trace`]. Because recording never consults a clock and
+/// every event is tagged with the simulated node that caused it, the
+/// drained stream is byte-identical across runs of the same program —
+/// serial or sharded.
+pub fn run_sim_traced<S: Send>(
     prog: MachineProgram<S, SimCtx<S>>,
     cfg: SimConfig,
     sink: Arc<dyn TraceSink>,
 ) -> SimReport<S> {
-    let mut nodes = Vec::with_capacity(prog.num_nodes());
-    for nb in prog.nodes {
-        let n_static = nb.fibers.len();
-        let mut counts = Vec::with_capacity(n_static);
-        let mut resets = Vec::with_capacity(n_static);
-        let mut bodies: Vec<Option<FiberSpec<S, SimCtx<S>>>> = Vec::with_capacity(n_static);
-        for f in nb.fibers {
-            counts.push(f.sync_count as i64);
-            resets.push(f.reset.map_or(0, |r| r as i64));
-            bodies.push(Some(f));
-        }
-        nodes.push(SimNode {
-            state: nb.state,
-            counts,
-            resets,
-            static_len: n_static as u32,
-            dyn_cap_total: nb.dynamic_capacity as u32,
-            fired_per_fiber: vec![0; n_static],
-            bodies,
-            mailbox: HashMap::new(),
-            mem: MemModel::new(cfg.mem),
-            ready: VecDeque::new(),
-            pending_ready: Vec::new(),
-            eu_busy: false,
-            out_link_free: 0,
-            stats: NodeStats::default(),
-        });
+    match crate::pdes::execute(prog, cfg, sink) {
+        Ok(report) => report,
+        Err(e) => panic!("simulation failed: {e}"),
     }
-    let next_dyn: Vec<u32> = nodes.iter().map(|n| n.static_len).collect();
-    let mut sim = Sim {
-        cfg,
-        nodes,
-        next_dyn,
-        heap: BinaryHeap::new(),
-        seq: 0,
-        now: 0,
-        ops: OpCounts::default(),
-        tracing: sink.enabled(),
-        sink,
-        faults: cfg.faults.filter(|f| !f.is_noop()).map(FaultPlan::new),
-    };
+}
 
-    // Seed initially-ready fibers.
-    for node in 0..sim.nodes.len() {
-        for slot in 0..sim.nodes[node].counts.len() {
-            if sim.nodes[node].counts[slot] == 0 {
-                let reset = sim.nodes[node].resets[slot];
-                if reset > 0 {
-                    sim.nodes[node].counts[slot] = reset;
-                }
-                sim.nodes[node].ready.push_back(slot as SlotId);
-            }
-        }
-        sim.try_start(node, 0);
-    }
-
-    while let Some(Reverse(HeapEv { time, ev, .. })) = sim.heap.pop() {
-        sim.handle(time, ev);
-    }
-
-    let time_cycles = sim.now;
-    let mut per_node = Vec::with_capacity(sim.nodes.len());
-    let mut states = Vec::with_capacity(sim.nodes.len());
-    let mut unfired = 0u64;
-    for mut n in sim.nodes {
-        unfired += n
-            .bodies
-            .iter()
-            .zip(n.fired_per_fiber.iter())
-            .filter(|(b, &f)| b.is_some() && f == 0)
-            .count() as u64;
-        n.stats.mem = n.mem.stats();
-        per_node.push(n.stats);
-        states.push(n.state);
-    }
-    SimReport {
-        states,
-        time_cycles,
-        seconds: cfg.seconds(time_cycles),
-        stats: RunStats {
-            ops: sim.ops,
-            unfired_fibers: unfired,
-            total_cycles: time_cycles,
-            per_node,
-            faults: sim.faults.as_ref().map(|p| p.counts()).unwrap_or_default(),
-        },
-        trace: sim.sink.drain(),
-    }
+/// [`run_sim_traced`] returning stall failures as typed values instead
+/// of panicking: a wedged shard under an armed
+/// [`SimConfig::host_watchdog`] yields [`SimError::Stalled`].
+pub fn run_sim_checked<S: Send>(
+    prog: MachineProgram<S, SimCtx<S>>,
+    cfg: SimConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Result<SimReport<S>, SimError> {
+    crate::pdes::execute(prog, cfg, sink)
 }
 
 #[cfg(test)]

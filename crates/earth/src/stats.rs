@@ -31,7 +31,7 @@ impl OpCounts {
 }
 
 /// Per-node statistics from a simulated run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Cycles the EU spent executing fiber bodies (incl. switch cost).
     pub busy_cycles: u64,
@@ -41,8 +41,10 @@ pub struct NodeStats {
     pub mem: MemStats,
 }
 
-/// Aggregate statistics for one run.
-#[derive(Debug, Clone, Default)]
+/// Aggregate statistics for one run. Derives `PartialEq` so the
+/// serial-vs-parallel equivalence suites can assert byte-level equality
+/// of whole reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     pub ops: OpCounts,
     /// Fibers registered but never fired (often intentional slack; callers

@@ -573,7 +573,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
         let nodes = prepared.make_nodes(ws);
         let prog = prepared.template.instantiate(nodes);
         let sink = self.cfg.trace.make_sink(prepared.node_plans.len());
-        let report = run_sim_traced(prog, self.cfg.sim, sink);
+        let report = run_sim_traced(prog, self.cfg.sim, Arc::clone(&sink));
         assert_eq!(report.stats.unfired_fibers, 0);
         let values = prepared.finish(report.states, ws);
         let mut out = RunOutcome {
@@ -591,6 +591,7 @@ impl<K: EdgeKernel> ReductionEngine<PhasedSpec<K>> for IeEngine {
             ..RunOutcome::default()
         };
         out.fill_metrics();
+        out.record_trace_drops(sink.as_ref());
         Ok(out)
     }
 }

@@ -52,8 +52,28 @@ pub enum TraceConfig {
 
 impl TraceConfig {
     /// Default per-node ring capacity — generous enough that the
-    /// benchmark-sized runs in this repo never wrap.
+    /// benchmark-sized runs in this repo never wrap at small processor
+    /// counts. At ≥ [`Self::BUDGET_NODE_THRESHOLD`] nodes the aggregate
+    /// budget below overrides this (see [`Self::budgeted_capacity`]).
     pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Node count at which the aggregate trace budget kicks in. Below
+    /// this, the requested per-node capacity is honored verbatim.
+    pub const BUDGET_NODE_THRESHOLD: usize = 256;
+
+    /// Aggregate retained-event budget across all rings at scale. Each
+    /// retained [`trace::TraceEvent`] is a few dozen bytes, so 2 Mi
+    /// events bounds trace memory near ~64 MiB no matter how many
+    /// simulated nodes a run has — without this, per-node rings are
+    /// O(nodes × capacity) and a traced 1024-proc run at the default
+    /// capacity would retain 64 Mi events. Overflow is *visible*: the
+    /// sink counts overwritten events and engines surface the count as
+    /// the `trace_dropped_events` metric.
+    pub const AGGREGATE_EVENT_BUDGET: usize = 1 << 21;
+
+    /// Per-node floor under the aggregate budget, so even huge runs
+    /// keep a useful recent-history window per node.
+    pub const MIN_RING_CAPACITY: usize = 256;
 
     /// Ring recording at [`Self::DEFAULT_RING_CAPACITY`].
     pub fn ring() -> Self {
@@ -66,13 +86,32 @@ impl TraceConfig {
         !matches!(self, TraceConfig::Off)
     }
 
+    /// The per-node ring capacity actually used for a run with `nodes`
+    /// processors: the requested capacity, clamped at ≥
+    /// [`Self::BUDGET_NODE_THRESHOLD`] nodes so total retained events
+    /// stay within [`Self::AGGREGATE_EVENT_BUDGET`] (with a
+    /// [`Self::MIN_RING_CAPACITY`] floor). Depends only on the node
+    /// count — never on `host_threads` — so the budget cannot break the
+    /// sim core's byte-determinism across thread counts.
+    pub fn budgeted_capacity(capacity: usize, nodes: usize) -> usize {
+        if nodes < Self::BUDGET_NODE_THRESHOLD {
+            return capacity;
+        }
+        // +1: the sink keeps one extra ring for run-level events.
+        let per_node = Self::AGGREGATE_EVENT_BUDGET / (nodes + 1);
+        capacity.min(per_node.max(Self::MIN_RING_CAPACITY))
+    }
+
     /// Build the sink this config calls for. `nodes` is the processor
     /// count; the ring sink keeps one extra ring for run-level events
     /// ([`trace::RUN_NODE`]).
     pub(crate) fn make_sink(self, nodes: usize) -> Arc<dyn TraceSink> {
         match self {
             TraceConfig::Off => Arc::new(NullSink),
-            TraceConfig::Ring { capacity } => Arc::new(RingSink::new(nodes, capacity)),
+            TraceConfig::Ring { capacity } => Arc::new(RingSink::new(
+                nodes,
+                Self::budgeted_capacity(capacity, nodes),
+            )),
         }
     }
 }
@@ -131,12 +170,16 @@ impl ExecutionConfig {
 
     /// Apply a [`Tuning`] bundle. This is the one place every
     /// performance knob enters an engine: the bundle is stored whole,
-    /// and its `host_threads` cap is mirrored into the native backend
-    /// config (which is where the thread pool reads it).
+    /// and its `host_threads` cap is mirrored into both backend configs —
+    /// the native thread pool reads `native.host_threads`, and the
+    /// simulator's parallel event core reads `sim.host_threads`. Neither
+    /// changes *what* is computed (the sim core is byte-deterministic
+    /// across thread counts), only how fast.
     pub fn with_tuning(mut self, tuning: Tuning) -> Self {
         self.tuning = tuning;
-        if tuning.host_threads.is_some() {
-            self.native.host_threads = tuning.host_threads;
+        if let Some(t) = tuning.host_threads {
+            self.native.host_threads = Some(t);
+            self.sim.host_threads = t;
         }
         self
     }
@@ -236,6 +279,7 @@ mod tests {
         let cfg = ExecutionConfig::native(NativeConfig::default())
             .with_tuning(Tuning::auto().host_threads(3));
         assert_eq!(cfg.native.host_threads, Some(3));
+        assert_eq!(cfg.sim.host_threads, 3);
         assert_eq!(cfg.tuning.tile, TileChoice::Auto);
         // Without a cap, an existing native setting is left alone.
         let native = NativeConfig {
@@ -252,5 +296,27 @@ mod tests {
     fn off_sink_is_disabled_ring_sink_enabled() {
         assert!(!TraceConfig::Off.make_sink(4).enabled());
         assert!(TraceConfig::ring().make_sink(4).enabled());
+    }
+
+    #[test]
+    fn trace_budget_caps_rings_at_scale_only() {
+        let cap = TraceConfig::DEFAULT_RING_CAPACITY;
+        // Small runs keep the requested capacity verbatim.
+        assert_eq!(TraceConfig::budgeted_capacity(cap, 8), cap);
+        assert_eq!(TraceConfig::budgeted_capacity(cap, 255), cap);
+        // At the threshold the aggregate budget takes over.
+        let at_256 = TraceConfig::budgeted_capacity(cap, 256);
+        assert!(at_256 < cap);
+        assert!(at_256 * 257 <= TraceConfig::AGGREGATE_EVENT_BUDGET);
+        // Bigger runs get smaller rings, but never below the floor.
+        let at_1024 = TraceConfig::budgeted_capacity(cap, 1024);
+        assert!(at_1024 <= at_256);
+        assert!(at_1024 * 1025 <= TraceConfig::AGGREGATE_EVENT_BUDGET);
+        assert_eq!(
+            TraceConfig::budgeted_capacity(cap, 1 << 20),
+            TraceConfig::MIN_RING_CAPACITY
+        );
+        // A caller asking for tiny rings is never inflated.
+        assert_eq!(TraceConfig::budgeted_capacity(16, 1024), 16);
     }
 }

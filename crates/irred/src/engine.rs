@@ -202,6 +202,15 @@ impl RunOutcome {
         m.gauge("wall_seconds", self.wall.as_secs_f64());
         m.gauge("mean_utilization", self.stats.mean_utilization());
     }
+
+    /// Record how many trace events the run's sink discarded (bounded
+    /// rings overwrite the oldest once full). Engines call this after
+    /// draining the sink; it pairs with the `trace_events` counter so a
+    /// budgeted ring at large node counts degrades visibly instead of
+    /// silently truncating the stream.
+    pub(crate) fn record_trace_drops(&mut self, sink: &dyn TraceSink) {
+        self.metrics.count("trace_dropped_events", sink.dropped());
+    }
 }
 
 /// How a recovering engine reacts to a failed native run: retry with

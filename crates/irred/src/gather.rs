@@ -553,7 +553,7 @@ impl PreparedGather {
             (GatherTemplate::Sim(tmpl), BackendKind::Sim) => {
                 let nodes = self.make_nodes(ws, true);
                 let prog = tmpl.instantiate(nodes);
-                let report = run_sim_traced(prog, cfg.sim, sink);
+                let report = run_sim_traced(prog, cfg.sim, Arc::clone(&sink));
                 assert_eq!(report.stats.unfired_fibers, 0);
                 let y = self.finish(report.states, ws, true);
                 let mut out = RunOutcome {
@@ -566,6 +566,7 @@ impl PreparedGather {
                     ..RunOutcome::default()
                 };
                 out.fill_metrics();
+                out.record_trace_drops(sink.as_ref());
                 Ok(out)
             }
             (GatherTemplate::Native(_), BackendKind::Native) => {
@@ -589,6 +590,7 @@ impl PreparedGather {
                 out.trace = sink.drain();
                 out.provenance = self.provenance("native", reused);
                 out.fill_metrics();
+                out.record_trace_drops(sink.as_ref());
                 Ok(out)
             }
             _ => Err(EngineError::Unsupported(

@@ -2279,7 +2279,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
             (PhasedTemplate::Sim(tmpl), BackendKind::Sim) => {
                 let nodes = self.make_nodes(ws, true, simd);
                 let prog = tmpl.instantiate(nodes);
-                let report = run_sim_traced(prog, cfg.sim, sink);
+                let report = run_sim_traced(prog, cfg.sim, Arc::clone(&sink));
                 assert_eq!(report.stats.unfired_fibers, 0, "phase fiber starved");
                 let (values, read, counts) = self.finish(report.states, ws, true);
                 let mut out = RunOutcome {
@@ -2294,6 +2294,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                     ..RunOutcome::default()
                 };
                 out.fill_metrics();
+                out.record_trace_drops(sink.as_ref());
                 Ok(out)
             }
             (PhasedTemplate::Native(_), BackendKind::Native) => {
@@ -2317,6 +2318,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
                 out.trace = sink.drain();
                 out.provenance = self.provenance("native", reused);
                 out.fill_metrics();
+                out.record_trace_drops(sink.as_ref());
                 Ok(out)
             }
             _ => Err(EngineError::Unsupported(
@@ -2389,6 +2391,7 @@ impl<K: EdgeKernel> PreparedPhased<K> {
         out.trace = sink.drain();
         out.provenance = self.provenance("native", reused);
         out.fill_metrics();
+        out.record_trace_drops(sink.as_ref());
         Ok(out)
     }
 }

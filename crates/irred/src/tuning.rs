@@ -124,10 +124,15 @@ pub struct Tuning {
     pub simd: SimdMode,
     /// Phase-local iteration tiling.
     pub tile: TileChoice,
-    /// Cap on host OS threads for the native backend (`None` = one per
-    /// hardware core, clamped to the node count). Mirrored into
-    /// `NativeConfig::host_threads` by
+    /// Cap on host OS threads, for *both* backends (`None` = backend
+    /// default: one per hardware core on native, serial on the sim).
+    /// Mirrored into `NativeConfig::host_threads` and
+    /// `SimConfig::host_threads` by
     /// [`ExecutionConfig::with_tuning`](crate::ExecutionConfig::with_tuning).
+    /// On the simulator this selects the conservative time-window
+    /// parallel core, which is byte-deterministic across thread counts —
+    /// an execute-time knob either way, so it stays out of
+    /// [`Tuning::plan_fingerprint`].
     pub host_threads: Option<usize>,
 }
 
@@ -168,7 +173,7 @@ impl Tuning {
         self
     }
 
-    /// Cap the native backend's host thread pool.
+    /// Cap the host thread pool (native node threads; sim event shards).
     pub fn host_threads(mut self, threads: usize) -> Self {
         self.host_threads = Some(threads);
         self

@@ -208,6 +208,14 @@ pub trait TraceSink: Send + Sync {
     fn drain(&self) -> Vec<TraceEvent> {
         Vec::new()
     }
+
+    /// Events this sink has discarded (bounded sinks overwrite oldest).
+    /// Zero for unbounded or always-off sinks. Surfaced as the
+    /// `trace_dropped_events` counter in run metrics so a budgeted ring
+    /// at large node counts degrades *visibly*, never silently.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The always-off sink: `enabled()` is `false` and `record` is a no-op.
@@ -229,8 +237,8 @@ struct NodeRing {
 }
 
 /// Per-node bounded ring buffers. Each node's events go to that node's
-/// own ring (one uncontended mutex per node — the simulator is
-/// single-threaded and native threads each write their own ring), so
+/// own ring (one uncontended mutex per node — simulator shards and
+/// native threads each write only their own nodes' rings), so
 /// recording is lock-cheap. When a ring is full the **oldest** event is
 /// overwritten and counted in [`RingSink::dropped`].
 pub struct RingSink {
@@ -266,6 +274,11 @@ impl RingSink {
     pub fn dropped(&self) -> u64 {
         self.rings.iter().map(|r| r.lock().unwrap().dropped).sum()
     }
+
+    /// The per-node ring capacity this sink was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 impl TraceSink for RingSink {
@@ -288,6 +301,10 @@ impl TraceSink for RingSink {
         // pure function of what was recorded.
         all.sort_by_key(|e| e.ts);
         all
+    }
+
+    fn dropped(&self) -> u64 {
+        RingSink::dropped(self)
     }
 }
 
@@ -320,6 +337,9 @@ impl TraceSink for CsvSink {
     }
     fn drain(&self) -> Vec<TraceEvent> {
         self.inner.drain()
+    }
+    fn dropped(&self) -> u64 {
+        self.inner.dropped()
     }
 }
 
